@@ -1,0 +1,292 @@
+//! Clique partitioning of compatibility graphs (Tseng & Siewiorek —
+//! tutorial reference [28], Fig. 7).
+//!
+//! "The problem then becomes one of finding those sets of nodes in the
+//! graph all of whose members are connected to one another, since all of
+//! the elements in such a set can share the same hardware without
+//! conflict ... Unfortunately, finding the maximal cliques in a graph is
+//! an NP-hard problem, so in practice greedy heuristics are employed"
+//! (§3.2.2).
+
+use std::collections::BTreeSet;
+
+/// An undirected compatibility graph over `n` elements.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompatGraph {
+    n: usize,
+    adj: Vec<BTreeSet<usize>>,
+}
+
+impl CompatGraph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        CompatGraph { n, adj: vec![BTreeSet::new(); n] }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds a compatibility edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range or `a == b`.
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        assert!(a != b && a < self.n && b < self.n, "bad edge ({a},{b})");
+        self.adj[a].insert(b);
+        self.adj[b].insert(a);
+    }
+
+    /// `true` when `a` and `b` are compatible.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.adj[a].contains(&b)
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(BTreeSet::len).sum::<usize>() / 2
+    }
+
+    /// `true` when `nodes` forms a clique.
+    pub fn is_clique(&self, nodes: &[usize]) -> bool {
+        for (i, &a) in nodes.iter().enumerate() {
+            for &b in &nodes[i + 1..] {
+                if !self.has_edge(a, b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Exact maximum clique by Bron–Kerbosch with pivoting. Exponential in the
+/// worst case; intended for the small graphs of data-path allocation.
+pub fn max_clique(g: &CompatGraph) -> Vec<usize> {
+    let mut best: Vec<usize> = Vec::new();
+    let mut r: Vec<usize> = Vec::new();
+    let p: BTreeSet<usize> = (0..g.len()).collect();
+    let x: BTreeSet<usize> = BTreeSet::new();
+    bk(g, &mut r, p, x, &mut best);
+    best.sort_unstable();
+    best
+}
+
+fn bk(
+    g: &CompatGraph,
+    r: &mut Vec<usize>,
+    mut p: BTreeSet<usize>,
+    mut x: BTreeSet<usize>,
+    best: &mut Vec<usize>,
+) {
+    if p.is_empty() && x.is_empty() {
+        if r.len() > best.len() {
+            *best = r.clone();
+        }
+        return;
+    }
+    if r.len() + p.len() <= best.len() {
+        return; // cannot improve
+    }
+    // Pivot on the vertex with most neighbors in P.
+    let pivot = p
+        .iter()
+        .chain(x.iter())
+        .copied()
+        .max_by_key(|&u| g.adj[u].intersection(&p).count())
+        .expect("p or x nonempty");
+    let candidates: Vec<usize> =
+        p.iter().copied().filter(|v| !g.adj[pivot].contains(v)).collect();
+    for v in candidates {
+        r.push(v);
+        let np: BTreeSet<usize> = p.intersection(&g.adj[v]).copied().collect();
+        let nx: BTreeSet<usize> = x.intersection(&g.adj[v]).copied().collect();
+        bk(g, r, np, nx, best);
+        r.pop();
+        p.remove(&v);
+        x.insert(v);
+    }
+}
+
+/// Clique cover by repeatedly extracting an exact maximum clique.
+///
+/// Still a heuristic for the (NP-hard) minimum cover, but a strong one on
+/// allocation-sized graphs.
+pub fn partition_max_clique(g: &CompatGraph) -> Vec<Vec<usize>> {
+    let mut remaining: BTreeSet<usize> = (0..g.len()).collect();
+    let mut out = Vec::new();
+    while !remaining.is_empty() {
+        // Build the induced subgraph.
+        let nodes: Vec<usize> = remaining.iter().copied().collect();
+        let index: std::collections::HashMap<usize, usize> =
+            nodes.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        let mut sub = CompatGraph::new(nodes.len());
+        for (i, &a) in nodes.iter().enumerate() {
+            for &b in g.adj[a].iter().filter(|b| remaining.contains(b)) {
+                let j = index[&b];
+                if i < j {
+                    sub.add_edge(i, j);
+                }
+            }
+        }
+        let clique: Vec<usize> = max_clique(&sub).into_iter().map(|i| nodes[i]).collect();
+        for &v in &clique {
+            remaining.remove(&v);
+        }
+        out.push(clique);
+    }
+    out
+}
+
+/// Tseng/Siewiorek-style greedy partitioning: repeatedly merge the
+/// compatible pair with the most common compatible neighbors.
+pub fn partition_tseng(g: &CompatGraph) -> Vec<Vec<usize>> {
+    // Super-nodes: groups that remain mutually compatible.
+    let mut groups: Vec<Vec<usize>> = (0..g.len()).map(|v| vec![v]).collect();
+    let compatible = |a: &[usize], b: &[usize]| -> bool {
+        a.iter().all(|&x| b.iter().all(|&y| g.has_edge(x, y)))
+    };
+    loop {
+        let mut best: Option<(usize, usize, usize)> = None; // (common, i, j)
+        for i in 0..groups.len() {
+            for j in i + 1..groups.len() {
+                if !compatible(&groups[i], &groups[j]) {
+                    continue;
+                }
+                // Common compatible neighbors among other groups.
+                let common = groups
+                    .iter()
+                    .enumerate()
+                    .filter(|&(k, gk)| {
+                        k != i && k != j && compatible(&groups[i], gk) && compatible(&groups[j], gk)
+                    })
+                    .count();
+                let better = match best {
+                    None => true,
+                    Some((bc, bi, bj)) => common > bc || (common == bc && (i, j) < (bi, bj)),
+                };
+                if better {
+                    best = Some((common, i, j));
+                }
+            }
+        }
+        let Some((_, i, j)) = best else { break };
+        let merged = groups.remove(j);
+        groups[i].extend(merged);
+        groups[i].sort_unstable();
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Fig. 7 compatibility graph: ops {a1,a2,a3,a4} with a1–a3,
+    /// a1–a4, a3–a4 compatible (different steps) and a2 compatible with
+    /// a3 and a4 but not a1 (same step).
+    fn fig7() -> CompatGraph {
+        let mut g = CompatGraph::new(4); // 0:a1 1:a2 2:a3 3:a4
+        g.add_edge(0, 2);
+        g.add_edge(0, 3);
+        g.add_edge(2, 3);
+        g.add_edge(1, 2);
+        g.add_edge(1, 3);
+        g
+    }
+
+    #[test]
+    fn max_clique_finds_the_triangle() {
+        let g = fig7();
+        let c = max_clique(&g);
+        assert_eq!(c.len(), 3);
+        assert!(g.is_clique(&c));
+        assert!(c.contains(&3), "a4 is in every 3-clique");
+    }
+
+    #[test]
+    fn fig7_partition_two_adders() {
+        // "One clique is highlighted, showing that the three operations can
+        // share the same adder, just as in the greedy example."
+        for part in [partition_max_clique(&fig7()), partition_tseng(&fig7())] {
+            assert_eq!(part.len(), 2, "{part:?}");
+            let sizes: Vec<usize> = {
+                let mut s: Vec<usize> = part.iter().map(Vec::len).collect();
+                s.sort_unstable();
+                s
+            };
+            assert_eq!(sizes, vec![1, 3]);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let g = CompatGraph::new(0);
+        assert!(partition_max_clique(&g).is_empty());
+        let g = CompatGraph::new(1);
+        assert_eq!(partition_max_clique(&g), vec![vec![0]]);
+        assert_eq!(max_clique(&g), vec![0]);
+    }
+
+    #[test]
+    fn edgeless_graph_needs_n_cliques() {
+        let g = CompatGraph::new(5);
+        assert_eq!(partition_max_clique(&g).len(), 5);
+        assert_eq!(partition_tseng(&g).len(), 5);
+    }
+
+    #[test]
+    fn complete_graph_is_one_clique() {
+        let mut g = CompatGraph::new(6);
+        for i in 0..6 {
+            for j in i + 1..6 {
+                g.add_edge(i, j);
+            }
+        }
+        assert_eq!(max_clique(&g).len(), 6);
+        assert_eq!(partition_max_clique(&g).len(), 1);
+        assert_eq!(partition_tseng(&g).len(), 1);
+    }
+
+    proptest::proptest! {
+        /// Both partitioners return genuine clique covers.
+        #[test]
+        fn partitions_are_clique_covers(
+            n in 1usize..12,
+            edges in proptest::collection::vec((0usize..12, 0usize..12), 0..40)
+        ) {
+            let mut g = CompatGraph::new(n);
+            for (a, b) in edges {
+                let (a, b) = (a % n, b % n);
+                if a != b {
+                    g.add_edge(a, b);
+                }
+            }
+            for part in [partition_max_clique(&g), partition_tseng(&g)] {
+                let mut seen = std::collections::BTreeSet::new();
+                for group in &part {
+                    proptest::prop_assert!(g.is_clique(group));
+                    for &v in group {
+                        proptest::prop_assert!(seen.insert(v), "node covered twice");
+                    }
+                }
+                proptest::prop_assert_eq!(seen.len(), n);
+            }
+        }
+
+        /// The exact-max-clique cover never uses more groups than Tseng's
+        /// first group count... both at most n.
+        #[test]
+        fn cover_sizes_bounded(n in 1usize..10) {
+            let g = CompatGraph::new(n);
+            proptest::prop_assert_eq!(partition_max_clique(&g).len(), n);
+        }
+    }
+}

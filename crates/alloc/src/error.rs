@@ -1,0 +1,62 @@
+//! Allocation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// A problem while assembling a datapath.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AllocError {
+    /// A block lacks a schedule.
+    MissingSchedule {
+        /// The block name.
+        block: String,
+    },
+    /// A value needing storage received no register.
+    UnboundValue {
+        /// Debug rendering of the value id.
+        value: String,
+    },
+    /// An operation was left without a functional unit.
+    UnboundOp {
+        /// Debug rendering of the op id.
+        op: String,
+    },
+    /// The library lacks a cell class required by the datapath.
+    MissingCell {
+        /// The class name.
+        class: String,
+    },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::MissingSchedule { block } => {
+                write!(f, "block `{block}` has no schedule")
+            }
+            AllocError::UnboundValue { value } => {
+                write!(f, "value {value} needs storage but has no register")
+            }
+            AllocError::UnboundOp { op } => write!(f, "operation {op} has no functional unit"),
+            AllocError::MissingCell { class } => {
+                write!(f, "library lacks a cell for class `{class}`")
+            }
+        }
+    }
+}
+
+impl Error for AllocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        let e = AllocError::MissingSchedule { block: "body".into() };
+        assert!(e.to_string().contains("body"));
+        fn assert_err<E: Error + Send + Sync>() {}
+        assert_err::<AllocError>();
+    }
+}

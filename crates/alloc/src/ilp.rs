@@ -1,0 +1,275 @@
+//! Exhaustive optimal binding ("mathematical programming" — Hafer,
+//! tutorial reference [9]).
+//!
+//! "Formulation of allocation as a mathematical programming problem
+//! involves creating a variable for each possible assignment of an
+//! operation ... Finding an optimal solution requires exhaustive search,
+//! which is very expensive" (§3.2.2). This module does exactly that — a
+//! branch-and-bound over op→unit assignments minimizing a weighted sum of
+//! unit count and multiplexer inputs — and serves as the ground truth the
+//! greedy and clique heuristics are measured against (experiment E11).
+
+use std::collections::{BTreeSet, HashMap};
+
+use hls_cdfg::{DataFlowGraph, OpId};
+use hls_sched::{FuClass, OpClassifier, Schedule};
+
+use crate::fu::{FuAllocation, FuInstance};
+use crate::interconnect::{source_of, Source};
+use crate::registers::RegisterAllocation;
+
+/// Cost of one functional unit, in multiplexer-input equivalents.
+pub const FU_WEIGHT: usize = 10;
+
+/// An optimal (or best-found) binding.
+#[derive(Clone, Debug)]
+pub struct OptimalBinding {
+    /// The binding.
+    pub alloc: FuAllocation,
+    /// Its cost: `FU_WEIGHT · units + mux_inputs`.
+    pub cost: usize,
+    /// `true` when the search completed within budget (provably optimal
+    /// under this cost model).
+    pub optimal: bool,
+    /// Search nodes explored.
+    pub nodes: u64,
+}
+
+/// Scores an existing allocation under the same cost model.
+pub fn binding_cost(
+    dfg: &DataFlowGraph,
+    classifier: &OpClassifier,
+    schedule: &Schedule,
+    regs: &RegisterAllocation,
+    alloc: &FuAllocation,
+) -> usize {
+    let conn = crate::interconnect::connections(dfg, classifier, schedule, regs, alloc);
+    FU_WEIGHT * alloc.count() + conn.mux_inputs()
+}
+
+/// Exhaustively finds the minimum-cost binding, class by class.
+///
+/// Each class is independent under this cost model, so the search is run
+/// per class and the results concatenated. `node_budget` bounds the total
+/// nodes; when exceeded the best binding found so far is returned with
+/// `optimal == false`.
+pub fn exhaustive_binding(
+    dfg: &DataFlowGraph,
+    classifier: &OpClassifier,
+    schedule: &Schedule,
+    regs: &RegisterAllocation,
+    node_budget: u64,
+) -> OptimalBinding {
+    let mut classes: Vec<FuClass> = dfg
+        .op_ids()
+        .filter_map(|op| classifier.classify(dfg, op))
+        .collect();
+    classes.sort();
+    classes.dedup();
+
+    let mut alloc = FuAllocation::default();
+    let mut total_cost = 0;
+    let mut optimal = true;
+    let mut nodes_used = 0u64;
+    for class in classes {
+        let ops: Vec<OpId> = {
+            let mut v: Vec<OpId> = dfg
+                .op_ids()
+                .filter(|&op| classifier.classify(dfg, op) == Some(class))
+                .collect();
+            v.sort_by_key(|&op| (schedule.step(op), op));
+            v
+        };
+        let mut search = Search {
+            dfg,
+            classifier,
+            schedule,
+            regs,
+            ops: &ops,
+            class,
+            best: None,
+            best_cost: usize::MAX,
+            nodes: 0,
+            // Guarantee at least one complete depth-first descent per class
+            // so a (possibly non-optimal) binding always exists.
+            budget: node_budget
+                .saturating_sub(nodes_used)
+                .max(ops.len() as u64 + 2),
+        };
+        let mut units: Vec<Unit> = Vec::new();
+        search.dfs(0, 0, &mut units);
+        nodes_used += search.nodes;
+        optimal &= search.nodes < search.budget;
+        total_cost += search.best_cost;
+        let best = search.best.expect("at least the all-new-units assignment exists");
+        let base = alloc.fus.len();
+        for (i, unit) in best.iter().enumerate() {
+            for &op in &unit.ops {
+                alloc.binding.insert(op, base + i);
+            }
+            alloc.fus.push(FuInstance {
+                class,
+                ops: unit.ops.clone(),
+                ports: unit.ops.iter().map(|&o| dfg.op(o).kind.arity()).max().unwrap_or(2),
+            });
+        }
+    }
+    OptimalBinding { alloc, cost: total_cost, optimal, nodes: nodes_used }
+}
+
+#[derive(Clone, Debug)]
+struct Unit {
+    ops: Vec<OpId>,
+    steps: BTreeSet<u32>,
+    ports: Vec<BTreeSet<Source>>,
+}
+
+struct Search<'a> {
+    dfg: &'a DataFlowGraph,
+    classifier: &'a OpClassifier,
+    schedule: &'a Schedule,
+    regs: &'a RegisterAllocation,
+    ops: &'a [OpId],
+    class: FuClass,
+    best: Option<Vec<Unit>>,
+    best_cost: usize,
+    nodes: u64,
+    budget: u64,
+}
+
+impl Search<'_> {
+    fn dfs(&mut self, idx: usize, cost: usize, units: &mut Vec<Unit>) {
+        if self.nodes >= self.budget {
+            return;
+        }
+        self.nodes += 1;
+        if cost >= self.best_cost {
+            return;
+        }
+        if idx == self.ops.len() {
+            self.best_cost = cost;
+            self.best = Some(units.clone());
+            return;
+        }
+        let op = self.ops[idx];
+        let step = self.schedule.step(op).unwrap_or(0);
+        let binding = HashMap::new(); // same-step producers impossible here
+        let sources: Vec<Source> = self
+            .dfg
+            .op(op)
+            .operands
+            .iter()
+            .map(|&v| {
+                source_of(self.dfg, self.classifier, self.schedule, self.regs, &binding, v, step)
+            })
+            .collect();
+        let _ = self.class;
+
+        for u in 0..units.len() {
+            if units[u].steps.contains(&step) {
+                continue;
+            }
+            let mut added = 0;
+            for (port, src) in sources.iter().enumerate() {
+                if port < units[u].ports.len() {
+                    let set = &units[u].ports[port];
+                    if !set.is_empty() && !set.contains(src) {
+                        added += 1;
+                    }
+                }
+            }
+            // Commit.
+            units[u].ops.push(op);
+            units[u].steps.insert(step);
+            let inserted: Vec<bool> = sources
+                .iter()
+                .enumerate()
+                .map(|(port, src)| {
+                    port < units[u].ports.len() && units[u].ports[port].insert(src.clone())
+                })
+                .collect();
+            self.dfs(idx + 1, cost + added, units);
+            // Undo.
+            for (port, src) in sources.iter().enumerate() {
+                if inserted[port] {
+                    units[u].ports[port].remove(src);
+                }
+            }
+            units[u].steps.remove(&step);
+            units[u].ops.pop();
+        }
+
+        // New unit (symmetry-broken: only ever append one new unit).
+        let arity = self.dfg.op(op).kind.arity().max(1);
+        let mut unit = Unit {
+            ops: vec![op],
+            steps: BTreeSet::from([step]),
+            ports: vec![BTreeSet::new(); arity],
+        };
+        for (port, src) in sources.iter().enumerate() {
+            if port < unit.ports.len() {
+                unit.ports[port].insert(src.clone());
+            }
+        }
+        units.push(unit);
+        self.dfs(idx + 1, cost + FU_WEIGHT, units);
+        units.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fu::greedy_allocation;
+    use crate::lifetime::value_intervals;
+    use crate::registers::left_edge;
+    use hls_sched::{asap_schedule, ResourceLimits};
+    use hls_workloads::figures::fig6_graph;
+
+    #[test]
+    fn optimal_never_worse_than_greedy_on_fig6() {
+        let (g, _) = fig6_graph();
+        let cls = OpClassifier::typed();
+        let s = asap_schedule(&g, &cls, &ResourceLimits::unlimited()).unwrap();
+        let regs = left_edge(&value_intervals(&g, &s));
+        let opt = exhaustive_binding(&g, &cls, &s, &regs, 5_000_000);
+        assert!(opt.optimal);
+        assert!(opt.alloc.is_valid(&g, &cls, &s));
+        let greedy = greedy_allocation(&g, &cls, &s, &regs, true);
+        let greedy_cost = binding_cost(&g, &cls, &s, &regs, &greedy);
+        assert!(opt.cost <= greedy_cost, "{} vs {greedy_cost}", opt.cost);
+        // Greedy is near-optimal on Fig. 6: same unit count, within a couple
+        // of mux inputs of the exhaustive optimum.
+        assert_eq!(opt.alloc.count(), greedy.count());
+        assert!(greedy_cost - opt.cost <= 2, "{} vs {greedy_cost}", opt.cost);
+    }
+
+    #[test]
+    fn optimal_on_diffeq_within_budget() {
+        let g = hls_workloads::benchmarks::diffeq();
+        let cls = OpClassifier::typed();
+        let s = asap_schedule(
+            &g,
+            &cls,
+            &ResourceLimits::unlimited().with(FuClass::Multiplier, 2),
+        )
+        .unwrap();
+        let regs = left_edge(&value_intervals(&g, &s));
+        let opt = exhaustive_binding(&g, &cls, &s, &regs, 5_000_000);
+        assert!(opt.alloc.is_valid(&g, &cls, &s));
+        let greedy = greedy_allocation(&g, &cls, &s, &regs, true);
+        assert!(opt.cost <= binding_cost(&g, &cls, &s, &regs, &greedy));
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_non_optimal() {
+        let g = hls_workloads::benchmarks::ewf();
+        let cls = OpClassifier::typed();
+        let s = asap_schedule(&g, &cls, &ResourceLimits::unlimited()).unwrap();
+        let regs = left_edge(&value_intervals(&g, &s));
+        let opt = exhaustive_binding(&g, &cls, &s, &regs, 500);
+        assert!(!opt.optimal);
+        // Still returns a usable binding.
+        assert!(opt.alloc.is_valid(&g, &cls, &s));
+    }
+}

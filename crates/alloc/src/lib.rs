@@ -1,0 +1,41 @@
+//! # hls-alloc — data-path allocation
+//!
+//! Every allocation technique of §3.2 of the DAC'88 tutorial:
+//!
+//! * [`value_intervals`] / [`max_live`] — value lifetime analysis.
+//! * [`left_edge`] (REAL) and [`color_registers`] — register allocation.
+//! * [`greedy_allocation`] — iterative/constructive, interconnect-aware FU
+//!   binding (Fig. 6).
+//! * [`clique_allocation`] over [`CompatGraph`]s with exact Bron–Kerbosch
+//!   ([`max_clique`]) or Tseng/Siewiorek merging (Fig. 7).
+//! * [`exhaustive_binding`] — Hafer-style optimal search (ground truth).
+//! * [`connections`] / [`bus_allocation`] — multiplexer vs bus
+//!   interconnect.
+//! * [`build_datapath`] — whole-behavior datapath assembly feeding the
+//!   controller generator, the RTL simulator, and netlist export.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod clique;
+mod datapath;
+mod error;
+mod fu;
+mod ilp;
+mod interconnect;
+mod lifetime;
+mod registers;
+
+pub use clique::{max_clique, partition_max_clique, partition_tseng, CompatGraph};
+pub use datapath::{
+    build_datapath, global_source, BlockBinding, Datapath, FuDesc, FuStrategy, OutputWrite,
+    RegDesc, RegKind,
+};
+pub use error::AllocError;
+pub use fu::{
+    clique_allocation, fu_lower_bound, greedy_allocation, CliqueMethod, FuAllocation, FuInstance,
+};
+pub use ilp::{binding_cost, exhaustive_binding, OptimalBinding, FU_WEIGHT};
+pub use interconnect::{bus_allocation, connections, source_of, BusReport, Connections, Source};
+pub use lifetime::{max_live, render_gantt, value_intervals, Interval};
+pub use registers::{color_registers, left_edge, minimum_registers, RegisterAllocation};

@@ -1,0 +1,62 @@
+//! Exact vs heuristic clique partitioning on random compatibility graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hls_alloc::{partition_max_clique, partition_tseng, CompatGraph};
+
+/// Deterministic pseudo-random compatibility graph.
+fn random_graph(n: usize, density_pct: u64, seed: u64) -> CompatGraph {
+    let mut g = CompatGraph::new(n);
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    for i in 0..n {
+        for j in i + 1..n {
+            if next() % 100 < density_pct {
+                g.add_edge(i, j);
+            }
+        }
+    }
+    g
+}
+
+fn partitioning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clique_partition");
+    for n in [10usize, 20, 40] {
+        let g = random_graph(n, 60, 0xC11D);
+        group.bench_with_input(BenchmarkId::new("exact_bk", n), &g, |b, g| {
+            b.iter(|| partition_max_clique(g))
+        });
+        group.bench_with_input(BenchmarkId::new("tseng", n), &g, |b, g| {
+            b.iter(|| partition_tseng(g))
+        });
+    }
+    group.finish();
+}
+
+fn quality(c: &mut Criterion) {
+    // Not a timing benchmark: prints the cover-size comparison once so the
+    // bench run records heuristic quality alongside speed.
+    let mut worse = 0;
+    let mut total = 0;
+    for seed in 0..20u64 {
+        let g = random_graph(24, 55, seed.wrapping_mul(0x9E37) | 1);
+        let exact = partition_max_clique(&g).len();
+        let tseng = partition_tseng(&g).len();
+        total += 1;
+        if tseng > exact {
+            worse += 1;
+        }
+    }
+    println!("tseng used more cliques than exact-BK on {worse}/{total} random graphs");
+    c.bench_function("clique_quality_probe", |b| {
+        let g = random_graph(16, 55, 7);
+        b.iter(|| partition_max_clique(&g).len())
+    });
+}
+
+criterion_group!(benches, partitioning, quality);
+criterion_main!(benches);

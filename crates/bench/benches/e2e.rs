@@ -1,0 +1,35 @@
+//! End-to-end pipeline throughput: full synthesis of each BSL workload,
+//! and the RTL-vs-behavioral verification loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hls_core::Synthesizer;
+
+fn synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2e_synthesis");
+    for (name, src) in [
+        ("sqrt", hls_workloads::sources::SQRT),
+        ("gcd", hls_workloads::sources::GCD),
+        ("diffeq", hls_workloads::sources::DIFFEQ),
+        ("fir4", hls_workloads::sources::FIR4),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), src, |b, src| {
+            b.iter(|| Synthesizer::new().synthesize_source(src).expect("synthesizes"))
+        });
+    }
+    group.finish();
+}
+
+fn verification(c: &mut Criterion) {
+    let design = Synthesizer::new()
+        .synthesize_source(hls_workloads::sources::SQRT)
+        .expect("synthesizes");
+    c.bench_function("e2e_verify_sqrt_8_vectors", |b| {
+        b.iter(|| {
+            let eq = design.verify(8, (0.05, 1.0)).expect("simulates");
+            assert!(eq.equivalent);
+        })
+    });
+}
+
+criterion_group!(benches, synthesis, verification);
+criterion_main!(benches);

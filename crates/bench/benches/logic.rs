@@ -1,0 +1,51 @@
+//! Controller-logic benchmarks: Quine–McCluskey minimization and FSM
+//! construction/encoding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hls_ctrl::logic::minimize;
+use hls_ctrl::{build_fsm, compare_encodings, minimize_states};
+
+fn qm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quine_mccluskey");
+    for vars in [4u32, 6, 8, 10] {
+        // A structured on-set: every third minterm.
+        let on: Vec<u64> = (0..(1u64 << vars)).step_by(3).collect();
+        group.bench_with_input(BenchmarkId::new("every_third", vars), &on, |b, on| {
+            b.iter(|| minimize(vars, on, &[]))
+        });
+    }
+    group.finish();
+}
+
+fn controller(c: &mut Criterion) {
+    let mut cdfg = hls_lang::compile(hls_workloads::sources::GCD).expect("compiles");
+    hls_opt::optimize(&mut cdfg);
+    let cls = hls_sched::OpClassifier::universal();
+    let sched = hls_sched::schedule_cdfg(
+        &cdfg,
+        &cls,
+        &hls_sched::ResourceLimits::universal(1),
+        hls_sched::Algorithm::List(hls_sched::Priority::PathLength),
+    )
+    .expect("schedules");
+    let dp = hls_alloc::build_datapath(
+        &cdfg,
+        &sched,
+        &cls,
+        &hls_rtl::Library::standard(),
+        hls_alloc::FuStrategy::GreedyAware,
+    )
+    .expect("allocates");
+
+    c.bench_function("fsm_build_gcd", |b| {
+        b.iter(|| build_fsm(&cdfg, &sched, &dp, &cls).expect("builds"))
+    });
+    let fsm = build_fsm(&cdfg, &sched, &dp, &cls).expect("builds");
+    c.bench_function("fsm_encode_all_styles", |b| {
+        b.iter(|| compare_encodings(&fsm).expect("encodes"))
+    });
+    c.bench_function("fsm_minimize", |b| b.iter(|| minimize_states(&fsm)));
+}
+
+criterion_group!(benches, qm, controller);
+criterion_main!(benches);

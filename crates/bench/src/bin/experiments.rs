@@ -1,0 +1,507 @@
+//! Regenerates every figure and table of the DAC'88 HLS tutorial.
+//!
+//! Usage: `cargo run -p hls-bench --bin experiments -- [ID|all]`
+//!
+//! IDs: fig1 fig2 fig3 fig4 fig5 fig6 fig7 table-sched table-reg
+//!      table-alloc table-interconnect table-ctrl table-dse table-pipe
+//!      verify
+
+use std::collections::BTreeMap;
+
+use hls_alloc::{
+    binding_cost, bus_allocation, clique_allocation, connections, exhaustive_binding,
+    greedy_allocation, left_edge, minimum_registers, color_registers, value_intervals,
+    CliqueMethod,
+};
+use hls_bench::comparison_algorithms;
+use hls_cdfg::Fx;
+use hls_core::{pareto_front, sweep_fus, ControlStyle, Synthesizer};
+use hls_ctrl::{compare_encodings, microcode};
+use hls_sched::{
+    asap_schedule, branch_and_bound_schedule, distribution_graphs, force_directed_schedule,
+    list_schedule, pipeline_loop, Algorithm, FuClass, OpClassifier, Priority, ResourceLimits,
+};
+use hls_workloads::figures::{fig3_graph, fig5_graph, fig6_graph};
+use hls_workloads::sources::SQRT;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let experiments: Vec<(&str, fn())> = vec![
+        ("fig1", fig1),
+        ("fig2", fig2),
+        ("fig3", fig3),
+        ("fig4", fig4),
+        ("fig5", fig5),
+        ("fig6", fig6),
+        ("fig7", fig7),
+        ("table-sched", table_sched),
+        ("table-reg", table_reg),
+        ("table-alloc", table_alloc),
+        ("table-interconnect", table_interconnect),
+        ("table-ctrl", table_ctrl),
+        ("table-dse", table_dse),
+        ("table-pipe", table_pipe),
+        ("table-chain", table_chain),
+        ("table-ifconv", table_ifconv),
+        ("verify", verify),
+    ];
+    match arg.as_str() {
+        "all" => {
+            for (name, f) in &experiments {
+                println!("\n############ {name} ############");
+                f();
+            }
+        }
+        other => match experiments.iter().find(|(n, _)| *n == other) {
+            Some((_, f)) => f(),
+            None => {
+                eprintln!("unknown experiment `{other}`");
+                eprintln!(
+                    "available: all {}",
+                    experiments.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(" ")
+                );
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+/// E1 / Fig. 1: the sqrt specification and its two linked graphs.
+fn fig1() {
+    println!("Fig. 1 — high-level specification and graphs for sqrt\n{SQRT}");
+    let cdfg = hls_lang::compile(SQRT).expect("sqrt compiles");
+    println!("control-flow graph (DOT):\n{}", hls_cdfg::dot::cfg_to_dot(&cdfg));
+    for block in cdfg.block_order() {
+        let b = cdfg.block(block);
+        println!(
+            "data-flow graph of `{}` ({} ops, {} arcs):\n{}",
+            b.name,
+            b.dfg.live_op_count(),
+            b.dfg.edge_count(),
+            hls_cdfg::dot::dfg_to_dot(&b.dfg, &b.name)
+        );
+    }
+}
+
+/// E2 / Fig. 2: the optimized control graph and the 23- vs 10-step
+/// schedules.
+fn fig2() {
+    println!("Fig. 2 — optimization and scheduling of sqrt\n");
+    let serial = Synthesizer::new()
+        .without_optimization()
+        .universal_fus(1)
+        .synthesize_source(SQRT)
+        .expect("serial flow");
+    println!(
+        "one universal FU, unoptimized : {} control steps   (paper: 3 + 4*5 = 23)",
+        serial.latency
+    );
+    let fast = Synthesizer::new()
+        .universal_fus(2)
+        .synthesize_source(SQRT)
+        .expect("optimized flow");
+    println!(
+        "two FUs after transformations : {} control steps   (paper: 2 + 4*2 = 10)",
+        fast.latency
+    );
+    println!("\ntransformations applied:");
+    for s in &fast.pass_stats {
+        if s.rewrites > 0 {
+            println!("  {:<16} {} rewrites", s.pass.name(), s.rewrites);
+        }
+    }
+    println!("\noptimized schedule:\n{}", fast.schedule_table());
+}
+
+/// E3 / Fig. 3: resource-constrained ASAP blocks the critical path.
+fn fig3() {
+    println!("Fig. 3 — ASAP scheduling (2 adders)\n");
+    let (g, ops) = fig3_graph();
+    let cls = OpClassifier::universal();
+    let limits = ResourceLimits::universal(2);
+    let s = asap_schedule(&g, &cls, &limits).expect("asap");
+    println!("{}", s.render(&g));
+    println!(
+        "op 2 (critical) lands in step {} -> {} steps total (optimum: 3)",
+        s.step(ops[1]).expect("scheduled") + 1,
+        s.num_steps()
+    );
+}
+
+/// E4 / Fig. 4: list scheduling recovers the optimum on the same graph.
+fn fig4() {
+    println!("Fig. 4 — list scheduling, priority = path length (2 adders)\n");
+    let (g, ops) = fig3_graph();
+    let cls = OpClassifier::universal();
+    let limits = ResourceLimits::universal(2);
+    let s = list_schedule(&g, &cls, &limits, Priority::PathLength).expect("list");
+    println!("{}", s.render(&g));
+    println!(
+        "op 2 scheduled first (step {}) -> {} steps (optimal)",
+        s.step(ops[1]).expect("scheduled") + 1,
+        s.num_steps()
+    );
+}
+
+/// E5 / Fig. 5: the distribution graph and the force-directed placement.
+fn fig5() {
+    println!("Fig. 5 — force-directed distribution graph (3-step constraint)\n");
+    let (g, (a1, a2, a3, _)) = fig5_graph();
+    let cls = OpClassifier::typed();
+    let dg = distribution_graphs(&g, &cls, 3).expect("dg");
+    println!("distribution graph of the additions (paper: 1, 1.5, 0.5):");
+    for (i, v) in dg[&FuClass::Alu].iter().enumerate() {
+        println!("  step {}: {:.2}  {}", i + 1, v, "#".repeat((v * 4.0).round() as usize));
+    }
+    let s = force_directed_schedule(&g, &cls, 3).expect("fds");
+    println!("\nFDS placement: a1 -> step {}, a2 -> step {}, a3 -> step {}",
+        s.step(a1).expect("a1") + 1,
+        s.step(a2).expect("a2") + 1,
+        s.step(a3).expect("a3") + 1);
+    println!("(paper: a3 is scheduled into step 3, balancing the graph)");
+    println!("adders needed after balancing: {}", s.fu_usage(&g, &cls)[&FuClass::Alu]);
+}
+
+/// E6 / Fig. 6: greedy interconnect-aware data-path allocation.
+fn fig6() {
+    println!("Fig. 6 — greedy data-path allocation\n");
+    let (g, (a1, a2, a3, a4, m1, m2)) = fig6_graph();
+    let cls = OpClassifier::typed();
+    let s = asap_schedule(&g, &cls, &ResourceLimits::unlimited()).expect("asap");
+    let regs = left_edge(&value_intervals(&g, &s));
+    let aware = greedy_allocation(&g, &cls, &s, &regs, true);
+    println!("interconnect-aware assignment:");
+    for (op, label) in [(a1, "a1"), (a2, "a2"), (a3, "a3"), (a4, "a4"), (m1, "m1"), (m2, "m2")] {
+        let f = aware.binding[&op];
+        println!("  {label} -> {} {}", aware.fus[f].class, f);
+    }
+    let aware_cost = connections(&g, &cls, &s, &regs, &aware).mux_inputs();
+    let blind = greedy_allocation(&g, &cls, &s, &regs, false);
+    let blind_cost = connections(&g, &cls, &s, &regs, &blind).mux_inputs();
+    println!("\nmux inputs, interconnect-aware : {aware_cost}");
+    println!("mux inputs, cost-blind         : {blind_cost}");
+    println!("(paper: ignoring interconnection costs makes the final multiplexing more");
+    println!(" expensive — on this six-op example the blind order happens to tie; the");
+    println!(" effect shows at benchmark scale, see `table-alloc`)");
+}
+
+/// E7 / Fig. 7: the clique formulation of allocation.
+fn fig7() {
+    println!("Fig. 7 — clique partitioning of the compatibility graph\n");
+    let (g, _) = fig6_graph();
+    let cls = OpClassifier::typed();
+    let s = asap_schedule(&g, &cls, &ResourceLimits::unlimited()).expect("asap");
+    for (name, method) in [
+        ("exact max-clique", CliqueMethod::ExactMaxClique),
+        ("tseng-siewiorek", CliqueMethod::Tseng),
+    ] {
+        let alloc = clique_allocation(&g, &cls, &s, method);
+        println!("{name}:");
+        for fu in &alloc.fus {
+            let labels: Vec<&str> =
+                fu.ops.iter().map(|&o| g.op(o).label.as_str()).collect();
+            println!("  {} shares {{{}}}", fu.class, labels.join(", "));
+        }
+    }
+    println!("(paper: the three operations share the same adder, just as in the greedy example)");
+}
+
+/// E8+E9: scheduling algorithms across benchmarks.
+fn table_sched() {
+    println!("Table — latency by scheduler (typed FUs: 2 ALUs, 2 muls, 1 div, 1 cmp)\n");
+    let cls = OpClassifier::typed();
+    let limits = ResourceLimits::unlimited()
+        .with(FuClass::Alu, 2)
+        .with(FuClass::Multiplier, 2)
+        .with(FuClass::Divider, 1)
+        .with(FuClass::Comparator, 1);
+    print!("{:<12}", "benchmark");
+    for (name, _) in comparison_algorithms() {
+        print!("{name:>14}");
+    }
+    println!();
+    for (bench, g) in hls_workloads::all_benchmarks() {
+        print!("{bench:<12}");
+        for (name, alg) in comparison_algorithms() {
+            let steps = match alg {
+                Algorithm::BranchAndBound { node_budget } => {
+                    branch_and_bound_schedule(&g, &cls, &limits, node_budget)
+                        .map(|s| s.num_steps())
+                }
+                Algorithm::Asap => asap_schedule(&g, &cls, &limits).map(|s| s.num_steps()),
+                Algorithm::List(p) => {
+                    list_schedule(&g, &cls, &limits, p).map(|s| s.num_steps())
+                }
+                Algorithm::Transformational => {
+                    hls_sched::transformational_schedule(&g, &cls, &limits)
+                        .map(|(s, _)| s.num_steps())
+                }
+                _ => unreachable!("comparison set is resource-constrained"),
+            };
+            match steps {
+                Ok(n) => print!("{n:>14}"),
+                Err(_) => print!("{:>14}", "-"),
+            }
+            let _ = name;
+        }
+        println!();
+    }
+    println!("\n(claim [6]: list scheduling works nearly as well as branch-and-bound)");
+}
+
+/// E10: register allocation across benchmarks.
+fn table_reg() {
+    println!("Table — registers by allocator (list schedule, 2 ALUs + 2 muls)\n");
+    println!("{:<12} {:>9} {:>10} {:>10}", "benchmark", "max-live", "left-edge", "coloring");
+    let cls = OpClassifier::typed();
+    let limits = ResourceLimits::unlimited()
+        .with(FuClass::Alu, 2)
+        .with(FuClass::Multiplier, 2);
+    for (bench, g) in hls_workloads::all_benchmarks() {
+        let s = list_schedule(&g, &cls, &limits, Priority::PathLength).expect("schedule");
+        let ivs = value_intervals(&g, &s);
+        println!(
+            "{bench:<12} {:>9} {:>10} {:>10}",
+            minimum_registers(&ivs),
+            left_edge(&ivs).count,
+            color_registers(&ivs).count
+        );
+    }
+    println!("\n(REAL's left-edge provably reaches the max-live lower bound)");
+}
+
+/// E11: heuristic vs exhaustive binding cost.
+fn table_alloc() {
+    println!("Table — FU binding cost (10·units + mux inputs), heuristics vs exhaustive\n");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>11} {:>9}",
+        "benchmark", "greedy", "blind", "clique", "exhaustive", "optimal?"
+    );
+    let cls = OpClassifier::typed();
+    let limits = ResourceLimits::unlimited()
+        .with(FuClass::Alu, 2)
+        .with(FuClass::Multiplier, 2);
+    for (bench, g) in hls_workloads::all_benchmarks() {
+        let s = list_schedule(&g, &cls, &limits, Priority::PathLength).expect("schedule");
+        let regs = left_edge(&value_intervals(&g, &s));
+        let greedy = binding_cost(&g, &cls, &s, &regs,
+            &greedy_allocation(&g, &cls, &s, &regs, true));
+        let blind = binding_cost(&g, &cls, &s, &regs,
+            &greedy_allocation(&g, &cls, &s, &regs, false));
+        let clique = binding_cost(&g, &cls, &s, &regs,
+            &clique_allocation(&g, &cls, &s, CliqueMethod::ExactMaxClique));
+        let budget = if g.live_op_count() <= 16 { 3_000_000 } else { 60_000 };
+        let opt = exhaustive_binding(&g, &cls, &s, &regs, budget);
+        println!(
+            "{bench:<12} {greedy:>8} {blind:>8} {clique:>8} {:>11} {:>9}",
+            opt.cost,
+            if opt.optimal { "yes" } else { "budget" }
+        );
+    }
+    println!("\n(Hafer: exhaustive search is optimal but exponential; heuristics stay close)");
+}
+
+/// E12: mux- vs bus-based interconnect.
+fn table_interconnect() {
+    println!("Table — interconnect style (list schedule, 2 ALUs + 2 muls)\n");
+    println!(
+        "{:<12} {:>6} {:>9} {:>9} | {:>6} {:>8} {:>6} {:>10}",
+        "benchmark", "wires", "mux-ins", "mux-wire", "buses", "drivers", "taps", "bus-wire"
+    );
+    let cls = OpClassifier::typed();
+    let limits = ResourceLimits::unlimited()
+        .with(FuClass::Alu, 2)
+        .with(FuClass::Multiplier, 2);
+    for (bench, g) in hls_workloads::all_benchmarks() {
+        let s = list_schedule(&g, &cls, &limits, Priority::PathLength).expect("schedule");
+        let regs = left_edge(&value_intervals(&g, &s));
+        let fus = greedy_allocation(&g, &cls, &s, &regs, true);
+        let conn = connections(&g, &cls, &s, &regs, &fus);
+        let bus = bus_allocation(&g, &cls, &s, &regs, &fus);
+        println!(
+            "{bench:<12} {:>6} {:>9} {:>9} | {:>6} {:>8} {:>6} {:>10}",
+            conn.wire_count(),
+            conn.mux_inputs(),
+            conn.wire_count(),
+            bus.buses,
+            bus.drivers,
+            bus.taps,
+            bus.wire_count()
+        );
+    }
+    println!("\n(paper: buses can be seen as distributed multiplexers and need less wiring)");
+}
+
+/// E13: control styles.
+fn table_ctrl() {
+    println!("Table — controller implementations (sqrt and diffeq)\n");
+    for (name, src, fus) in [
+        ("sqrt", SQRT, 2usize),
+        ("diffeq", hls_workloads::sources::DIFFEQ, 2),
+        ("gcd", hls_workloads::sources::GCD, 1),
+    ] {
+        let design = Synthesizer::new()
+            .universal_fus(fus)
+            .control(ControlStyle::Microcode)
+            .synthesize_source(src)
+            .expect("flow");
+        println!("{name}: {} states, {} flags", design.fsm.len(), design.fsm.flags.len());
+        let enc = compare_encodings(&design.fsm).expect("encodings");
+        println!("  {:<9} {:>5} {:>7} {:>9}", "encoding", "FFs", "terms", "literals");
+        for (style, r) in &enc {
+            println!("  {style:<9} {:>5} {:>7} {:>9}", r.state_bits, r.terms, r.literals);
+        }
+        let mp = microcode(&design.fsm);
+        println!(
+            "  microcode: {} words; horizontal {}b/word ({}b ROM), encoded {}b/word ({}b ROM)\n",
+            mp.rom.len(),
+            mp.horizontal_width(),
+            mp.horizontal_rom_bits(),
+            mp.encoded_width(),
+            mp.encoded_rom_bits()
+        );
+    }
+}
+
+/// E15: design-space exploration.
+fn table_dse() {
+    println!("Table — design-space exploration (universal-FU sweep)\n");
+    for (name, src) in [("sqrt", SQRT), ("diffeq", hls_workloads::sources::DIFFEQ)] {
+        println!("{name}:");
+        println!("  {:<4} {:>8} {:>9} {:>6} {:>8}", "fus", "latency", "area(GE)", "regs", "mux-ins");
+        let points = sweep_fus(&Synthesizer::new(), src, 5).expect("sweep");
+        for p in &points {
+            println!(
+                "  {:<4} {:>8} {:>9.0} {:>6} {:>8}",
+                p.fus, p.latency, p.area, p.registers, p.mux_inputs
+            );
+        }
+        let front = pareto_front(&points);
+        let ids: Vec<String> = front.iter().map(|p| format!("{}FU", p.fus)).collect();
+        println!("  pareto front: {}\n", ids.join(", "));
+    }
+}
+
+/// E16: loop pipelining (Sehwa).
+fn table_pipe() {
+    println!("Table — FIR16 loop pipelining (Sehwa-style)\n");
+    println!(
+        "{:<6} {:>7} {:>7} {:>4} {:>8} {:>8}",
+        "muls", "ResMII", "RecMII", "II", "latency", "speedup"
+    );
+    let cls = OpClassifier::typed();
+    let fir = hls_workloads::benchmarks::fir16();
+    for m in [1usize, 2, 4, 8, 16] {
+        let limits = ResourceLimits::unlimited()
+            .with(FuClass::Multiplier, m)
+            .with(FuClass::Alu, m);
+        match pipeline_loop(&fir, &cls, &limits) {
+            Ok(p) => println!(
+                "{m:<6} {:>7} {:>7} {:>4} {:>8} {:>7.2}x",
+                p.res_mii, p.rec_mii, p.ii, p.latency, p.speedup
+            ),
+            Err(e) => println!("{m:<6} {e}"),
+        }
+    }
+    println!("\n(throughput follows 16/muls until the recurrence floor)");
+}
+
+/// E17 (ablation): operator chaining under a cycle-time budget.
+///
+/// The §3.1.1 observation: efficient schedules need real operator delays.
+/// Sweeping the clock period trades steps against cycle time; total time =
+/// steps × effective clock (the clock stretches to the slowest chained
+/// path, e.g. the 80 ns multiplier).
+fn table_chain() {
+    use hls_sched::{chained_schedule, DelayModel};
+    println!("Table — operator chaining on diffeq and ewf (2 ALUs + 2 muls)\n");
+    let cls = OpClassifier::typed();
+    let limits = ResourceLimits::unlimited()
+        .with(FuClass::Alu, 2)
+        .with(FuClass::Multiplier, 2);
+    let dm = DelayModel::standard();
+    for (name, g) in [
+        ("diffeq", hls_workloads::benchmarks::diffeq()),
+        ("ewf", hls_workloads::benchmarks::ewf()),
+    ] {
+        println!("{name}:");
+        println!("  {:<10} {:>6} {:>10} {:>11}", "clock(ns)", "steps", "eff-ns", "total(ns)");
+        // Unit-latency baseline: every op one step at the slowest-op clock.
+        let unit = list_schedule(&g, &cls, &limits, Priority::PathLength).expect("schedule");
+        let worst = 80.0f64; // the multiplier
+        println!(
+            "  {:<10} {:>6} {:>10.0} {:>11.0}   (unit-latency baseline)",
+            "-", unit.num_steps(), worst,
+            unit.num_steps() as f64 * worst
+        );
+        for cycle in [25.0f64, 50.0, 100.0, 200.0] {
+            let cs = chained_schedule(&g, &cls, &limits, &dm, cycle).expect("chains");
+            cs.verify(&g, &cls, &limits, &dm).expect("valid");
+            // Minimum feasible period: the longest combinational path the
+            // schedule actually created (an over-long op stretches it).
+            let clock = cs.critical_ns;
+            println!(
+                "  {:<10} {:>6} {:>10.0} {:>11.0}",
+                cycle, cs.schedule.num_steps(), clock,
+                cs.schedule.num_steps() as f64 * clock
+            );
+        }
+        println!();
+    }
+    println!("(longer clocks chain more ops per step: fewer steps, longer cycles —");
+    println!(" the §3.1.1 schedule/delay interdependence)");
+}
+
+/// E18 (ablation): if-conversion — control vs datapath complexity.
+fn table_ifconv() {
+    println!("Table — if-conversion on gcd (control vs datapath trade-off)\n");
+    println!("{:<14} {:>7} {:>6} {:>8} {:>9}", "flow", "states", "flags", "mux-ins", "verified");
+    for (name, convert) in [("branching", false), ("if-converted", true)] {
+        let mut s = Synthesizer::new().universal_fus(2);
+        if convert {
+            s = s.with_if_conversion();
+        }
+        let design = s
+            .synthesize_source(hls_workloads::sources::GCD)
+            .expect("flow");
+        let eq = design.verify(20, (1.0, 64.0)).expect("simulates");
+        println!(
+            "{name:<14} {:>7} {:>6} {:>8} {:>9}",
+            design.fsm.len(),
+            design.fsm.flags.len(),
+            design.datapath.mux_inputs,
+            if eq.equivalent { "yes" } else { "NO" }
+        );
+        assert!(eq.equivalent);
+    }
+    println!("\n(the tutorial's open issue: \"trading off complexity between the control");
+    println!(" and the data paths\" — branch states become datapath muxes)");
+}
+
+/// E14: verification of every synthesized design.
+fn verify() {
+    println!("Verification — RTL vs behavioral co-simulation\n");
+    for (name, src, range, fus) in [
+        ("sqrt", SQRT, (0.05, 1.0), 2usize),
+        ("gcd", hls_workloads::sources::GCD, (1.0, 64.0), 1),
+        ("diffeq", hls_workloads::sources::DIFFEQ, (0.1, 0.9), 3),
+        ("fir4", hls_workloads::sources::FIR4, (-2.0, 2.0), 2),
+    ] {
+        let design = Synthesizer::new()
+            .universal_fus(fus)
+            .synthesize_source(src)
+            .expect("flow");
+        let eq = design.verify(50, range).expect("simulation");
+        println!(
+            "{name:<8} {} vectors, {} total cycles, equivalent = {}",
+            eq.vectors, eq.total_cycles, eq.equivalent
+        );
+        assert!(eq.equivalent, "{name} failed: {:?}", eq.mismatch);
+    }
+    // A spot numeric check, for the skeptical.
+    let design = Synthesizer::new().synthesize_source(SQRT).expect("flow");
+    let run = design
+        .run(&BTreeMap::from([("X".to_string(), Fx::from_f64(0.81))]))
+        .expect("run");
+    println!("\nsqrt(0.81) = {} in {} cycles", run.outputs["Y"], run.cycles);
+}

@@ -1,0 +1,52 @@
+//! # hls-bench — evaluation harness
+//!
+//! Shared helpers for the Criterion benchmarks and the `experiments`
+//! binary that regenerates every figure and table of the DAC'88 tutorial
+//! (see EXPERIMENTS.md at the repository root).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use hls_sched::{Algorithm, Priority};
+
+/// The scheduling algorithms compared in experiment E9, with display
+/// names.
+pub fn comparison_algorithms() -> Vec<(&'static str, Algorithm)> {
+    vec![
+        ("asap", Algorithm::Asap),
+        ("list/path", Algorithm::List(Priority::PathLength)),
+        ("list/urgency", Algorithm::List(Priority::Urgency)),
+        ("list/mobility", Algorithm::List(Priority::Mobility)),
+        ("transform", Algorithm::Transformational),
+        ("b&b", Algorithm::BranchAndBound { node_budget: 4_000_000 }),
+    ]
+}
+
+/// Formats one table row with fixed-width columns.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:<w$}", w = w))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithms_cover_the_survey() {
+        let names: Vec<&str> = comparison_algorithms().iter().map(|(n, _)| *n).collect();
+        assert!(names.contains(&"asap"));
+        assert!(names.contains(&"b&b"));
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn row_formatting() {
+        let r = row(&["a".into(), "bb".into()], &[4, 4]);
+        assert_eq!(r, "a    bb  ");
+    }
+}

@@ -1,0 +1,235 @@
+//! Dependence-only timing analysis: unconstrained ASAP/ALAP levels,
+//! mobility (freedom), and critical paths.
+//!
+//! These are *analyses*, not schedulers: they ignore resource limits and
+//! compute the bounds every scheduling algorithm in the tutorial starts
+//! from (the "range of possible control step assignments for each
+//! operation", §3.1.2).
+
+use std::collections::HashMap;
+
+use crate::dfg::DataFlowGraph;
+use crate::error::CdfgError;
+use crate::op::{OpId, Operation};
+
+/// Step bounds for every live operation of a block.
+#[derive(Clone, Debug)]
+pub struct TimingBounds {
+    /// Earliest start step (0-based) of each op.
+    pub asap: HashMap<OpId, u32>,
+    /// Latest start step under the given deadline.
+    pub alap: HashMap<OpId, u32>,
+    /// Length of the critical path in steps (ops occupying a step).
+    pub critical_path: u32,
+    /// The deadline the ALAP levels were computed against.
+    pub deadline: u32,
+}
+
+impl TimingBounds {
+    /// The mobility (the tutorial's *freedom*) of `op`: the number of extra
+    /// steps it can slide past its ASAP position.
+    pub fn mobility(&self, op: OpId) -> u32 {
+        self.alap[&op] - self.asap[&op]
+    }
+
+    /// The inclusive range of feasible start steps for `op`.
+    pub fn range(&self, op: OpId) -> std::ops::RangeInclusive<u32> {
+        self.asap[&op]..=self.alap[&op]
+    }
+}
+
+/// Returns `false` for every op: the unit-latency model where each op
+/// occupies one control step.
+pub fn no_free_ops(_: &Operation) -> bool {
+    false
+}
+
+/// Unconstrained ASAP start steps.
+///
+/// `is_free` marks operations that are absorbed into their consumer's step
+/// (the paper treats the strength-reduced shift as free hardware). A free op
+/// starts at the same step its latest predecessor *finishes in*, and takes
+/// zero steps itself.
+///
+/// Returns `(start_steps, total_steps)`.
+///
+/// # Errors
+///
+/// Returns [`CdfgError::Cycle`] on cyclic graphs.
+pub fn asap_levels(
+    dfg: &DataFlowGraph,
+    is_free: &dyn Fn(&Operation) -> bool,
+) -> Result<(HashMap<OpId, u32>, u32), CdfgError> {
+    let order = dfg.topological_order()?;
+    let mut start: HashMap<OpId, u32> = HashMap::new();
+    let mut finish_after: HashMap<OpId, u32> = HashMap::new();
+    let mut total = 0u32;
+    for id in order {
+        let ready = dfg
+            .preds(id)
+            .iter()
+            .map(|p| finish_after[p])
+            .max()
+            .unwrap_or(0);
+        let free = is_free(dfg.op(id));
+        start.insert(id, ready);
+        let after = if free { ready } else { ready + 1 };
+        finish_after.insert(id, after);
+        total = total.max(after);
+    }
+    Ok((start, total))
+}
+
+/// Unconstrained ALAP start steps against `deadline` total steps.
+///
+/// # Errors
+///
+/// Returns [`CdfgError::Cycle`] on cyclic graphs. If `deadline` is shorter
+/// than the critical path, levels go "negative"; they are clamped at 0 and
+/// the caller should check feasibility via [`bounds`].
+pub fn alap_levels(
+    dfg: &DataFlowGraph,
+    deadline: u32,
+    is_free: &dyn Fn(&Operation) -> bool,
+) -> Result<HashMap<OpId, u32>, CdfgError> {
+    let order = dfg.topological_order()?;
+    let mut start: HashMap<OpId, u32> = HashMap::new();
+    for &id in order.iter().rev() {
+        let succs = dfg.succs(id);
+        // Latest step boundary by which this op must have produced its value:
+        // the earliest ALAP start among consumers, or the deadline for sinks.
+        let bound = if succs.is_empty() {
+            deadline
+        } else {
+            succs.iter().map(|s| start.get(s).copied().unwrap_or(0)).min().unwrap_or(deadline)
+        };
+        let free = is_free(dfg.op(id));
+        let s = if free { bound } else { bound.saturating_sub(1) };
+        start.insert(id, s);
+    }
+    Ok(start)
+}
+
+/// Computes ASAP + ALAP bounds against `deadline` (defaults to the critical
+/// path when `None`).
+///
+/// # Errors
+///
+/// Returns [`CdfgError::Cycle`] on cyclic graphs.
+pub fn bounds(
+    dfg: &DataFlowGraph,
+    deadline: Option<u32>,
+    is_free: &dyn Fn(&Operation) -> bool,
+) -> Result<TimingBounds, CdfgError> {
+    let (asap, cp) = asap_levels(dfg, is_free)?;
+    let deadline = deadline.unwrap_or(cp).max(cp);
+    let alap = alap_levels(dfg, deadline, is_free)?;
+    Ok(TimingBounds { asap, alap, critical_path: cp, deadline })
+}
+
+/// For each op, the number of ops on the longest dependence chain from it
+/// to any sink, *including itself*.
+///
+/// This is BUD's list-scheduling priority ("the length of the path from the
+/// operation to the end of the block").
+pub fn path_length_to_sink(dfg: &DataFlowGraph) -> HashMap<OpId, u32> {
+    let order = dfg.topological_order().expect("acyclic");
+    let mut len: HashMap<OpId, u32> = HashMap::new();
+    for &id in order.iter().rev() {
+        let below = dfg.succs(id).iter().map(|s| len[s]).max().unwrap_or(0);
+        len.insert(id, below + 1);
+    }
+    len
+}
+
+/// The ops lying on a longest dependence chain (mobility 0 at the
+/// critical-path deadline).
+pub fn critical_path_ops(dfg: &DataFlowGraph) -> Vec<OpId> {
+    let b = bounds(dfg, None, &no_free_ops).expect("acyclic");
+    let mut out: Vec<OpId> = dfg.op_ids().filter(|&id| b.mobility(id) == 0).collect();
+    out.sort_by_key(|&id| b.asap[&id]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::Fx;
+    use crate::op::OpKind;
+
+    /// Chain x -> m -> a -> s plus an independent inc.
+    fn chain_plus_stray() -> (DataFlowGraph, OpId, OpId, OpId, OpId) {
+        let mut g = DataFlowGraph::new();
+        let x = g.add_input("x", 32);
+        let c = g.add_const_value(Fx::from_i64(3));
+        let m = g.add_op(OpKind::Mul, vec![x, c]);
+        let a = g.add_op(OpKind::Add, vec![g.result(m).unwrap(), x]);
+        let s = g.add_op(OpKind::Shr, vec![g.result(a).unwrap(), c]);
+        let i = g.add_op(OpKind::Inc, vec![x]);
+        g.set_output("y", g.result(s).unwrap());
+        g.set_output("i", g.result(i).unwrap());
+        (g, m, a, s, i)
+    }
+
+    #[test]
+    fn asap_unit_latency() {
+        let (g, m, a, s, i) = chain_plus_stray();
+        let (start, total) = asap_levels(&g, &no_free_ops).unwrap();
+        // const at 0, mul at 1 (after const), add at 2, shr at 3.
+        assert_eq!(start[&m], 1);
+        assert_eq!(start[&a], 2);
+        assert_eq!(start[&s], 3);
+        assert_eq!(start[&i], 0);
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn free_shift_shortens_critical_path() {
+        let (g, _, a, s, _) = chain_plus_stray();
+        let free = |op: &Operation| matches!(op.kind, OpKind::Shr | OpKind::Shl);
+        let (start, total) = asap_levels(&g, &free).unwrap();
+        assert_eq!(total, 3); // shift absorbed
+        assert_eq!(start[&s], start[&a] + 1);
+    }
+
+    #[test]
+    fn alap_and_mobility() {
+        let (g, m, a, s, i) = chain_plus_stray();
+        let b = bounds(&g, None, &no_free_ops).unwrap();
+        assert_eq!(b.critical_path, 4);
+        // Chain ops have zero mobility at the critical-path deadline.
+        for id in [m, a, s] {
+            assert_eq!(b.mobility(id), 0, "{id:?}");
+        }
+        // The stray inc can sit anywhere in steps 0..=3.
+        assert_eq!(b.mobility(i), 3);
+        assert_eq!(b.range(i), 0..=3);
+    }
+
+    #[test]
+    fn deadline_extends_mobility_uniformly() {
+        let (g, m, ..) = chain_plus_stray();
+        let b = bounds(&g, Some(6), &no_free_ops).unwrap();
+        assert_eq!(b.deadline, 6);
+        assert_eq!(b.mobility(m), 2);
+    }
+
+    #[test]
+    fn path_length_priority() {
+        let (g, m, a, s, i) = chain_plus_stray();
+        let len = path_length_to_sink(&g);
+        assert_eq!(len[&s], 1);
+        assert_eq!(len[&a], 2);
+        assert_eq!(len[&m], 3);
+        assert_eq!(len[&i], 1);
+    }
+
+    #[test]
+    fn critical_path_ops_are_the_chain() {
+        let (g, m, a, s, _) = chain_plus_stray();
+        let cp = critical_path_ops(&g);
+        // const, mul, add, shr — in ASAP order.
+        assert!(cp.ends_with(&[m, a, s]));
+        assert_eq!(cp.len(), 4);
+    }
+}

@@ -1,0 +1,180 @@
+//! Graphviz DOT export of data-flow graphs and control trees (Fig. 1).
+
+use std::fmt::Write as _;
+
+use crate::cdfg::{Cdfg, Region};
+use crate::dfg::DataFlowGraph;
+use crate::op::{OpKind, ValueDef};
+
+/// Renders a block's data-flow graph as a DOT digraph.
+///
+/// Operations are drawn as circles labeled with their operator symbol (and
+/// diagram label when set); block inputs as plain names; data arcs as
+/// directed edges — the same drawing convention as the tutorial's Fig. 1
+/// data-flow graph.
+pub fn dfg_to_dot(dfg: &DataFlowGraph, name: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{name}\" {{");
+    let _ = writeln!(s, "  rankdir=TB;");
+    for &iv in dfg.inputs() {
+        let v = dfg.value(iv);
+        let _ = writeln!(s, "  v{} [label=\"{}\", shape=plaintext];", iv.index(), v.name);
+    }
+    for id in dfg.op_ids() {
+        let op = dfg.op(id);
+        let label = if op.label.is_empty() {
+            match op.kind {
+                OpKind::Const => format!("{}", op.constant.unwrap_or_default()),
+                k => k.symbol().to_string(),
+            }
+        } else {
+            format!("{} {}", op.kind.symbol(), op.label)
+        };
+        let shape = if op.kind == OpKind::Const { "box" } else { "circle" };
+        let _ = writeln!(s, "  n{} [label=\"{label}\", shape={shape}];", id.index());
+    }
+    for id in dfg.op_ids() {
+        let op = dfg.op(id);
+        for &v in &op.operands {
+            match dfg.value(v).def {
+                ValueDef::Op(p) => {
+                    if !dfg.op(p).dead {
+                        let _ = writeln!(s, "  n{} -> n{};", p.index(), id.index());
+                    }
+                }
+                ValueDef::BlockInput(_) => {
+                    let _ = writeln!(s, "  v{} -> n{};", v.index(), id.index());
+                }
+            }
+        }
+    }
+    for (name, v) in dfg.outputs() {
+        let _ = writeln!(s, "  out_{name} [label=\"{name}\", shape=plaintext];");
+        match dfg.value(*v).def {
+            ValueDef::Op(p) => {
+                let _ = writeln!(s, "  n{} -> out_{name};", p.index());
+            }
+            ValueDef::BlockInput(_) => {
+                let _ = writeln!(s, "  v{} -> out_{name};", v.index());
+            }
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Renders the control tree of a CDFG as a DOT digraph: one box per block,
+/// sequence edges, and loop back-edges — the Fig. 1 control-flow graph.
+pub fn cfg_to_dot(cdfg: &Cdfg) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}_cfg\" {{", cdfg.name());
+    for (id, b) in cdfg.blocks() {
+        let _ = writeln!(
+            s,
+            "  b{} [label=\"{} ({} ops)\", shape=box];",
+            id.index(),
+            b.name,
+            b.dfg.live_op_count()
+        );
+    }
+    let mut edges = String::new();
+    emit_region_edges(cdfg.body(), &mut edges, &mut None);
+    s.push_str(&edges);
+    s.push_str("}\n");
+    s
+}
+
+/// Walks a region emitting sequence and loop edges; tracks the most recent
+/// "exit" block so sequences chain correctly.
+fn emit_region_edges(r: &Region, out: &mut String, prev: &mut Option<usize>) {
+    match r {
+        Region::Block(b) => {
+            if let Some(p) = *prev {
+                let _ = writeln!(out, "  b{} -> b{};", p, b.index());
+            }
+            *prev = Some(b.index());
+        }
+        Region::Seq(rs) => {
+            for r in rs {
+                emit_region_edges(r, out, prev);
+            }
+        }
+        Region::Loop(l) => {
+            let body_blocks = l.body.blocks();
+            if let (Some(first), Some(last)) = (body_blocks.first(), body_blocks.last()) {
+                if let Some(p) = *prev {
+                    let _ = writeln!(out, "  b{} -> b{};", p, first.index());
+                }
+                // Walk the body for its internal edges, then close the loop.
+                let mut body_prev = None;
+                emit_region_edges(&l.body, out, &mut body_prev);
+                let _ = writeln!(
+                    out,
+                    "  b{} -> b{} [style=dashed, label=\"loop\"];",
+                    last.index(),
+                    first.index()
+                );
+                *prev = Some(last.index());
+            }
+        }
+        Region::If(i) => {
+            if let Some(p) = *prev {
+                let _ = writeln!(out, "  b{} -> b{};", p, i.cond_block.index());
+            }
+            let mut t_prev = Some(i.cond_block.index());
+            emit_region_edges(&i.then_region, out, &mut t_prev);
+            if let Some(e) = &i.else_region {
+                let mut e_prev = Some(i.cond_block.index());
+                emit_region_edges(e, out, &mut e_prev);
+            }
+            *prev = t_prev;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cdfg::{LoopKind, LoopRegion};
+    use crate::op::OpKind;
+
+    #[test]
+    fn dfg_dot_contains_nodes_and_edges() {
+        let mut g = DataFlowGraph::new();
+        let x = g.add_input("x", 32);
+        let a = g.add_op(OpKind::Inc, vec![x]);
+        g.label(a, "a1");
+        g.set_output("y", g.result(a).unwrap());
+        let dot = dfg_to_dot(&g, "t");
+        assert!(dot.contains("digraph \"t\""));
+        assert!(dot.contains("+1 a1"));
+        assert!(dot.contains("-> out_y"));
+    }
+
+    #[test]
+    fn cfg_dot_has_loop_backedge() {
+        let mut body = DataFlowGraph::new();
+        let i = body.add_input("i", 32);
+        let inc = body.add_op(OpKind::Inc, vec![i]);
+        let c = body.add_const_value(crate::Fx::from_i64(3));
+        let gt = body.add_op(OpKind::Gt, vec![body.result(inc).unwrap(), c]);
+        body.set_output("i", body.result(inc).unwrap());
+        body.set_output("done", body.result(gt).unwrap());
+        let mut cdfg = Cdfg::new("l");
+        let pre = cdfg.add_block("pre", DataFlowGraph::new());
+        let b = cdfg.add_block("body", body);
+        cdfg.set_body(Region::Seq(vec![
+            Region::Block(pre),
+            Region::Loop(LoopRegion {
+                body: Box::new(Region::Block(b)),
+                kind: LoopKind::DoUntil,
+                cond_block: None,
+                exit_var: "done".into(),
+                trip_hint: Some(4),
+            }),
+        ]));
+        let dot = cfg_to_dot(&cdfg);
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("b0 -> b1"));
+    }
+}

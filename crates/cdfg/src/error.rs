@@ -1,0 +1,89 @@
+//! Error types for IR construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// A structural problem detected in a CDFG.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CdfgError {
+    /// The data-flow graph contains a cycle.
+    Cycle,
+    /// An operation has the wrong number of operands.
+    Arity {
+        /// Symbol of the offending operation.
+        op: String,
+    },
+    /// A `Const` operation has no constant payload.
+    MissingConstant,
+    /// A `Load`/`Store` has no memory name.
+    MissingMemory,
+    /// An operand refers to a value outside the graph.
+    DanglingValue,
+    /// A value's use list disagrees with operand lists.
+    UseListInconsistent,
+    /// An operand value is defined by a dead operation.
+    UseOfDeadOp,
+    /// A block output is produced by a dead operation.
+    DeadOutput {
+        /// The output variable name.
+        name: String,
+    },
+    /// A region refers to a block that does not exist.
+    UnknownBlock,
+    /// A loop's exit variable is not a live-out of its body.
+    MissingExitVar {
+        /// The exit variable name.
+        name: String,
+    },
+}
+
+impl fmt::Display for CdfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CdfgError::Cycle => write!(f, "data-flow graph contains a cycle"),
+            CdfgError::Arity { op } => write!(f, "operation `{op}` has wrong operand count"),
+            CdfgError::MissingConstant => write!(f, "const operation lacks a constant payload"),
+            CdfgError::MissingMemory => write!(f, "memory operation lacks a memory name"),
+            CdfgError::DanglingValue => write!(f, "operand refers to a value outside the graph"),
+            CdfgError::UseListInconsistent => {
+                write!(f, "value use list disagrees with operand lists")
+            }
+            CdfgError::UseOfDeadOp => write!(f, "operand value is defined by a dead operation"),
+            CdfgError::DeadOutput { name } => {
+                write!(f, "output `{name}` is produced by a dead operation")
+            }
+            CdfgError::UnknownBlock => write!(f, "region refers to an unknown block"),
+            CdfgError::MissingExitVar { name } => {
+                write!(f, "loop exit variable `{name}` is not produced by the loop body")
+            }
+        }
+    }
+}
+
+impl Error for CdfgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_period() {
+        for e in [
+            CdfgError::Cycle,
+            CdfgError::Arity { op: "+".into() },
+            CdfgError::MissingConstant,
+            CdfgError::DeadOutput { name: "y".into() },
+        ] {
+            let s = e.to_string();
+            assert!(!s.ends_with('.'), "{s}");
+            assert!(s.chars().next().unwrap().is_lowercase(), "{s}");
+        }
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err<E: Error + Send + Sync + 'static>(_e: E) {}
+        takes_err(CdfgError::Cycle);
+    }
+}

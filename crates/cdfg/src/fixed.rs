@@ -1,0 +1,288 @@
+//! Signed fixed-point arithmetic (Q16.16).
+//!
+//! The tutorial's square-root example manipulates real constants
+//! (`0.222222`, `0.888889`, `0.5`). Late-1980s silicon compilers mapped such
+//! reals onto fixed-point integer datapaths, and so do we: [`Fx`] is a
+//! signed 64-bit value with 16 fractional bits, wide enough that a 32-bit
+//! datapath value (Q16.16) never overflows intermediate products.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Rem, Shl, Shr, Sub};
+
+/// Number of fractional bits in an [`Fx`].
+pub const FRAC_BITS: u32 = 16;
+const ONE_RAW: i64 = 1 << FRAC_BITS;
+
+/// A signed fixed-point number with 16 fractional bits.
+///
+/// ```
+/// use hls_cdfg::Fx;
+/// let half = Fx::from_f64(0.5);
+/// let two = Fx::from_i64(2);
+/// assert_eq!((half * two).to_f64(), 1.0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Fx(i64);
+
+impl Fx {
+    /// Zero.
+    pub const ZERO: Fx = Fx(0);
+    /// One.
+    pub const ONE: Fx = Fx(ONE_RAW);
+
+    /// Creates a fixed-point value from a raw Q16.16 bit pattern.
+    pub const fn from_raw(raw: i64) -> Self {
+        Fx(raw)
+    }
+
+    /// Returns the raw Q16.16 bit pattern.
+    pub const fn raw(self) -> i64 {
+        self.0
+    }
+
+    /// Converts an integer.
+    pub const fn from_i64(v: i64) -> Self {
+        Fx(v << FRAC_BITS)
+    }
+
+    /// Converts from `f64`, rounding to the nearest representable value.
+    pub fn from_f64(v: f64) -> Self {
+        Fx((v * ONE_RAW as f64).round() as i64)
+    }
+
+    /// Converts to `f64` (exact for all representable values).
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / ONE_RAW as f64
+    }
+
+    /// Truncates toward zero to an integer.
+    pub fn to_i64(self) -> i64 {
+        if self.0 >= 0 {
+            self.0 >> FRAC_BITS
+        } else {
+            -((-self.0) >> FRAC_BITS)
+        }
+    }
+
+    /// Returns `true` when the value is an exact integer.
+    pub fn is_integer(self) -> bool {
+        self.0 & (ONE_RAW - 1) == 0
+    }
+
+    /// Returns `true` when the value is zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Absolute value (wrapping at `i64::MIN`).
+    pub fn abs(self) -> Self {
+        Fx(self.0.wrapping_abs())
+    }
+
+    /// If the value is an exact non-negative power of two, returns `log2`.
+    ///
+    /// Used by strength reduction: `x * 2^k` becomes `x << k`, and
+    /// `x * 0.5 == x * 2^-1` becomes `x >> 1`.
+    pub fn log2_exact(self) -> Option<i32> {
+        if self.0 <= 0 || self.0.count_ones() != 1 {
+            return None;
+        }
+        Some(self.0.trailing_zeros() as i32 - FRAC_BITS as i32)
+    }
+
+    /// Wrapping truncation to the low `width` bits (unsigned).
+    ///
+    /// Models what a narrowed datapath register actually stores; a 2-bit
+    /// counter incremented past 3 wraps to 0, which is precisely the
+    /// behavior the tutorial's `I > 3` → `I = 0` rewrite relies on.
+    pub fn wrap_to_width(self, width: u8) -> Self {
+        debug_assert!(width > 0 && width <= 64);
+        if width >= 64 {
+            return self;
+        }
+        Fx(self.0 & ((1i64 << width) - 1))
+    }
+
+    /// Wraps the *integer part* to `width` bits (unsigned), keeping the
+    /// fixed-point encoding.
+    ///
+    /// Integer-typed datapath values of width `w < 32` are stored in
+    /// registers of that width; this models their overflow. A 2-bit counter
+    /// holding 3, incremented, yields 0.
+    pub fn wrap_int_bits(self, width: u8) -> Self {
+        debug_assert!(width > 0 && width <= 47);
+        let mask = (1i64 << width) - 1;
+        Fx(((self.0 >> FRAC_BITS) & mask) << FRAC_BITS | (self.0 & (ONE_RAW - 1)))
+    }
+}
+
+impl Add for Fx {
+    type Output = Fx;
+    fn add(self, rhs: Fx) -> Fx {
+        Fx(self.0.wrapping_add(rhs.0))
+    }
+}
+impl Sub for Fx {
+    type Output = Fx;
+    fn sub(self, rhs: Fx) -> Fx {
+        Fx(self.0.wrapping_sub(rhs.0))
+    }
+}
+impl Mul for Fx {
+    type Output = Fx;
+    fn mul(self, rhs: Fx) -> Fx {
+        Fx(((self.0 as i128 * rhs.0 as i128) >> FRAC_BITS) as i64)
+    }
+}
+impl Div for Fx {
+    type Output = Fx;
+    /// Fixed-point division.
+    ///
+    /// # Panics
+    /// Panics on division by zero, like integer division.
+    fn div(self, rhs: Fx) -> Fx {
+        Fx((((self.0 as i128) << FRAC_BITS) / rhs.0 as i128) as i64)
+    }
+}
+impl Rem for Fx {
+    type Output = Fx;
+    fn rem(self, rhs: Fx) -> Fx {
+        Fx(self.0 % rhs.0)
+    }
+}
+impl Neg for Fx {
+    type Output = Fx;
+    fn neg(self) -> Fx {
+        Fx(self.0.wrapping_neg())
+    }
+}
+impl Shl<u32> for Fx {
+    type Output = Fx;
+    fn shl(self, rhs: u32) -> Fx {
+        Fx(self.0.wrapping_shl(rhs))
+    }
+}
+impl Shr<u32> for Fx {
+    type Output = Fx;
+    /// Arithmetic right shift.
+    fn shr(self, rhs: u32) -> Fx {
+        Fx(self.0.wrapping_shr(rhs))
+    }
+}
+
+impl From<i64> for Fx {
+    fn from(v: i64) -> Self {
+        Fx::from_i64(v)
+    }
+}
+impl From<i32> for Fx {
+    fn from(v: i32) -> Self {
+        Fx::from_i64(v as i64)
+    }
+}
+
+impl fmt::Debug for Fx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fx({})", self.to_f64())
+    }
+}
+
+impl fmt::Display for Fx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_integer() {
+            write!(f, "{}", self.to_i64())
+        } else {
+            write!(f, "{}", self.to_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_integers() {
+        for v in [-5i64, -1, 0, 1, 2, 100, 30000] {
+            assert_eq!(Fx::from_i64(v).to_i64(), v);
+            assert!(Fx::from_i64(v).is_integer());
+        }
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Fx::from_f64(1.5);
+        let b = Fx::from_f64(2.25);
+        assert_eq!((a + b).to_f64(), 3.75);
+        assert_eq!((b - a).to_f64(), 0.75);
+        assert_eq!((a * b).to_f64(), 3.375);
+        assert_eq!((b / a).to_f64(), 1.5);
+        assert_eq!((-a).to_f64(), -1.5);
+    }
+
+    #[test]
+    fn mul_by_half_equals_shift() {
+        let y = Fx::from_f64(3.25);
+        assert_eq!(y * Fx::from_f64(0.5), y >> 1);
+    }
+
+    #[test]
+    fn log2_exact_cases() {
+        assert_eq!(Fx::from_i64(8).log2_exact(), Some(3));
+        assert_eq!(Fx::from_i64(1).log2_exact(), Some(0));
+        assert_eq!(Fx::from_f64(0.5).log2_exact(), Some(-1));
+        assert_eq!(Fx::from_f64(0.25).log2_exact(), Some(-2));
+        assert_eq!(Fx::from_i64(3).log2_exact(), None);
+        assert_eq!(Fx::from_i64(0).log2_exact(), None);
+        assert_eq!(Fx::from_i64(-4).log2_exact(), None);
+    }
+
+    #[test]
+    fn wrap_to_width_two_bit_counter() {
+        // The tutorial's 2-bit loop counter: 0,1,2,3 then wraps to 0.
+        let mut i = Fx::from_i64(0);
+        let mut seen = Vec::new();
+        for _ in 0..5 {
+            seen.push(i.to_i64());
+            i = (i + Fx::ONE).wrap_to_width(18); // 2 integer bits + 16 frac
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn wrap_int_bits_counter() {
+        let mut i = Fx::from_i64(0);
+        let mut seen = Vec::new();
+        for _ in 0..5 {
+            seen.push(i.to_i64());
+            i = (i + Fx::ONE).wrap_int_bits(2);
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 0]);
+        // Fractional part survives.
+        assert_eq!(Fx::from_f64(2.5).wrap_int_bits(1).to_f64(), 0.5);
+    }
+
+    #[test]
+    fn newton_sqrt_converges_in_fixed_point() {
+        // The paper's algorithm verbatim, in Q16.16.
+        let x = Fx::from_f64(0.7);
+        let mut y = Fx::from_f64(0.222222) + Fx::from_f64(0.888889) * x;
+        for _ in 0..4 {
+            y = (y + x / y) >> 1;
+        }
+        assert!((y.to_f64() - 0.7f64.sqrt()).abs() < 1e-3, "y = {}", y.to_f64());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Fx::from_i64(7).to_string(), "7");
+        assert_eq!(Fx::from_f64(0.5).to_string(), "0.5");
+        assert_eq!(format!("{:?}", Fx::from_f64(0.5)), "Fx(0.5)");
+    }
+
+    #[test]
+    fn ordering_matches_reals() {
+        assert!(Fx::from_f64(-0.1) < Fx::ZERO);
+        assert!(Fx::from_f64(1.9) < Fx::from_i64(2));
+    }
+}

@@ -1,0 +1,211 @@
+//! Typed index newtypes and a simple typed arena.
+//!
+//! All IR entities (operations, values, blocks) live in [`Arena`]s owned by
+//! their containing graph and are referred to by small `Copy` ids. This is
+//! the standard way to represent ownership-heavy graph structures in Rust
+//! without reference counting or unsafe code: the graph owns the nodes, ids
+//! are plain indices, and the borrow checker stays happy.
+
+use std::fmt;
+use std::marker::PhantomData;
+
+/// A key into an [`Arena`].
+///
+/// The type parameter ties a key to the entity type it indexes, so an
+/// `OpId` can never be used to look up a value (C-NEWTYPE).
+pub struct Id<T> {
+    index: u32,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Id<T> {
+    /// Creates an id from a raw index. Intended for arenas and tests.
+    #[inline]
+    pub fn from_raw(index: u32) -> Self {
+        Id { index, _marker: PhantomData }
+    }
+
+    /// Returns the raw index of this id.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.index as usize
+    }
+}
+
+impl<T> Clone for Id<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Id<T> {}
+impl<T> PartialEq for Id<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.index == other.index
+    }
+}
+impl<T> Eq for Id<T> {}
+impl<T> PartialOrd for Id<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Id<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.index.cmp(&other.index)
+    }
+}
+impl<T> std::hash::Hash for Id<T> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.index.hash(state);
+    }
+}
+impl<T> fmt::Debug for Id<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.index)
+    }
+}
+impl<T> fmt::Display for Id<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.index)
+    }
+}
+
+/// A growable, id-addressed store for IR entities.
+///
+/// Entities are never removed; passes that delete entities mark them dead
+/// and a later compaction rebuilds the graph. This keeps every outstanding
+/// id valid for the lifetime of the arena.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Arena<T> {
+    items: Vec<T>,
+}
+
+impl<T> Arena<T> {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Arena { items: Vec::new() }
+    }
+
+    /// Inserts `item` and returns its id.
+    pub fn alloc(&mut self, item: T) -> Id<T> {
+        let id = Id::from_raw(self.items.len() as u32);
+        self.items.push(item);
+        id
+    }
+
+    /// Number of entities ever allocated.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` if nothing has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Immutable access. Panics if `id` is from another arena.
+    #[inline]
+    pub fn get(&self, id: Id<T>) -> &T {
+        &self.items[id.index()]
+    }
+
+    /// Mutable access. Panics if `id` is from another arena.
+    #[inline]
+    pub fn get_mut(&mut self, id: Id<T>) -> &mut T {
+        &mut self.items[id.index()]
+    }
+
+    /// Iterates `(id, &item)` pairs in allocation order.
+    pub fn iter(&self) -> impl Iterator<Item = (Id<T>, &T)> {
+        self.items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (Id::from_raw(i as u32), t))
+    }
+
+    /// Iterates all ids in allocation order.
+    pub fn ids(&self) -> impl Iterator<Item = Id<T>> + '_ {
+        (0..self.items.len() as u32).map(Id::from_raw)
+    }
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Arena<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.items.iter()).finish()
+    }
+}
+
+impl<T> std::ops::Index<Id<T>> for Arena<T> {
+    type Output = T;
+    fn index(&self, id: Id<T>) -> &T {
+        self.get(id)
+    }
+}
+
+impl<T> std::ops::IndexMut<Id<T>> for Arena<T> {
+    fn index_mut(&mut self, id: Id<T>) -> &mut T {
+        self.get_mut(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_lookup() {
+        let mut a: Arena<&'static str> = Arena::new();
+        let x = a.alloc("x");
+        let y = a.alloc("y");
+        assert_eq!(a[x], "x");
+        assert_eq!(a[y], "y");
+        assert_ne!(x, y);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn ids_iterate_in_order() {
+        let mut a: Arena<u32> = Arena::new();
+        for i in 0..5 {
+            a.alloc(i * 10);
+        }
+        let collected: Vec<u32> = a.iter().map(|(_, v)| *v).collect();
+        assert_eq!(collected, vec![0, 10, 20, 30, 40]);
+        assert_eq!(a.ids().count(), 5);
+    }
+
+    #[test]
+    fn mutate_through_id() {
+        let mut a: Arena<String> = Arena::new();
+        let id = a.alloc("hello".to_string());
+        a[id].push_str(" world");
+        assert_eq!(a[id], "hello world");
+    }
+
+    #[test]
+    fn id_traits() {
+        let a = Id::<u8>::from_raw(3);
+        let b = Id::<u8>::from_raw(3);
+        let c = Id::<u8>::from_raw(4);
+        assert_eq!(a, b);
+        assert!(a < c);
+        assert_eq!(format!("{a:?}"), "#3");
+        assert_eq!(format!("{a}"), "3");
+        let mut set = std::collections::HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn empty_arena() {
+        let a: Arena<u8> = Arena::default();
+        assert!(a.is_empty());
+        assert_eq!(a.len(), 0);
+    }
+}

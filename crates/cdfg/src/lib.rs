@@ -1,0 +1,49 @@
+//! # hls-cdfg — the control/data-flow-graph IR
+//!
+//! The internal representation at the heart of the DAC'88 HLS tutorial
+//! reproduction. A behavioral specification compiles into a [`Cdfg`]:
+//! program inputs/outputs, a set of basic [`Block`]s each holding a pure
+//! [`DataFlowGraph`], and a structured control [`Region`] tree (sequence,
+//! loop, if) connecting them — the tutorial's paired control-flow and
+//! data-flow graphs (Fig. 1).
+//!
+//! The crate also provides the dependence-only timing analyses every
+//! scheduler builds on ([`analysis`]), fixed-point constants ([`Fx`]), and
+//! Graphviz export ([`dot`]).
+//!
+//! ```
+//! use hls_cdfg::{DataFlowGraph, OpKind, analysis};
+//!
+//! // y := (x * 3 + x) >> 1
+//! let mut dfg = DataFlowGraph::new();
+//! let x = dfg.add_input("x", 32);
+//! let three = dfg.add_const_value(hls_cdfg::Fx::from_i64(3));
+//! let m = dfg.add_op(OpKind::Mul, vec![x, three]);
+//! let a = dfg.add_op(OpKind::Add, vec![dfg.result(m).unwrap(), x]);
+//! let one = dfg.add_const_value(hls_cdfg::Fx::from_i64(1));
+//! let s = dfg.add_op(OpKind::Shr, vec![dfg.result(a).unwrap(), one]);
+//! dfg.set_output("y", dfg.result(s).unwrap());
+//!
+//! let bounds = analysis::bounds(&dfg, None, &analysis::no_free_ops)?;
+//! assert_eq!(bounds.critical_path, 4);
+//! # Ok::<(), hls_cdfg::CdfgError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+mod cdfg;
+mod dfg;
+pub mod dot;
+mod error;
+mod fixed;
+pub mod ids;
+mod op;
+
+pub use cdfg::{Block, BlockId, Cdfg, IfRegion, LoopKind, LoopRegion, Region};
+pub use dfg::DataFlowGraph;
+pub use error::CdfgError;
+pub use fixed::{Fx, FRAC_BITS};
+pub use ids::{Arena, Id};
+pub use op::{OpId, OpKind, Operation, Value, ValueDef, ValueId};

@@ -1,0 +1,307 @@
+//! Operations and values of the data-flow graph.
+
+use crate::fixed::Fx;
+use crate::ids::Id;
+
+/// Id of an [`Operation`] within its [`crate::DataFlowGraph`].
+pub type OpId = Id<Operation>;
+/// Id of a [`Value`] within its [`crate::DataFlowGraph`].
+pub type ValueId = Id<Value>;
+
+/// The kind of an operation node.
+///
+/// This is the algorithmic-level operator vocabulary of the tutorial:
+/// arithmetic, shifts, logic, comparisons, selection, and memory access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpKind {
+    /// Two's-complement / fixed-point addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Fixed-point multiplication.
+    Mul,
+    /// Fixed-point division.
+    Div,
+    /// Remainder.
+    Mod,
+    /// Arithmetic negation.
+    Neg,
+    /// Left shift by a constant or value.
+    Shl,
+    /// Arithmetic right shift.
+    Shr,
+    /// Increment by one (produced by strength reduction of `x + 1`).
+    Inc,
+    /// Decrement by one.
+    Dec,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Bitwise not.
+    Not,
+    /// Equality comparison (produces a 1-bit value).
+    Eq,
+    /// Inequality comparison.
+    Ne,
+    /// Less-than comparison.
+    Lt,
+    /// Less-or-equal comparison.
+    Le,
+    /// Greater-than comparison.
+    Gt,
+    /// Greater-or-equal comparison.
+    Ge,
+    /// Two-way select: `mux(sel, a, b)` yields `a` when `sel` is nonzero.
+    Mux,
+    /// Materializes a constant.
+    Const,
+    /// Value copy (identity). Inserted by some passes; removed by DCE/CSE.
+    Copy,
+    /// Load from a named memory: `load(addr, token)`. The token operand is
+    /// the memory-state value threaded through every access to the same
+    /// memory, serializing them in program order.
+    Load,
+    /// Store to a named memory: `store(addr, data, token)`; produces the
+    /// next memory-state token.
+    Store,
+}
+
+impl OpKind {
+    /// All operation kinds, for exhaustive tests and tables.
+    pub const ALL: [OpKind; 25] = [
+        OpKind::Add,
+        OpKind::Sub,
+        OpKind::Mul,
+        OpKind::Div,
+        OpKind::Mod,
+        OpKind::Neg,
+        OpKind::Shl,
+        OpKind::Shr,
+        OpKind::Inc,
+        OpKind::Dec,
+        OpKind::And,
+        OpKind::Or,
+        OpKind::Xor,
+        OpKind::Not,
+        OpKind::Eq,
+        OpKind::Ne,
+        OpKind::Lt,
+        OpKind::Le,
+        OpKind::Gt,
+        OpKind::Ge,
+        OpKind::Mux,
+        OpKind::Const,
+        OpKind::Copy,
+        OpKind::Load,
+        OpKind::Store,
+    ];
+
+    /// Number of operand values the kind expects, if fixed.
+    pub fn arity(self) -> usize {
+        use OpKind::*;
+        match self {
+            Const => 0,
+            Neg | Not | Inc | Dec | Copy => 1,
+            Mux | Store => 3,
+            Load => 2,
+            _ => 2,
+        }
+    }
+
+    /// `true` for commutative binary operators, which allocation may exploit
+    /// when sharing functional-unit input ports.
+    pub fn is_commutative(self) -> bool {
+        use OpKind::*;
+        matches!(self, Add | Mul | And | Or | Xor | Eq | Ne)
+    }
+
+    /// `true` when the op produces a result value (`Store` produces the
+    /// next memory-state token).
+    pub fn has_result(self) -> bool {
+        true
+    }
+
+    /// `true` for comparison operators (1-bit result).
+    pub fn is_comparison(self) -> bool {
+        use OpKind::*;
+        matches!(self, Eq | Ne | Lt | Le | Gt | Ge)
+    }
+
+    /// The comparison with swapped operand order (`a < b` ⇔ `b > a`).
+    pub fn swapped_comparison(self) -> Option<OpKind> {
+        use OpKind::*;
+        Some(match self {
+            Eq => Eq,
+            Ne => Ne,
+            Lt => Gt,
+            Le => Ge,
+            Gt => Lt,
+            Ge => Le,
+            _ => return None,
+        })
+    }
+
+    /// Operator glyph used in diagrams and reports.
+    pub fn symbol(self) -> &'static str {
+        use OpKind::*;
+        match self {
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Div => "/",
+            Mod => "%",
+            Neg => "neg",
+            Shl => "<<",
+            Shr => ">>",
+            Inc => "+1",
+            Dec => "-1",
+            And => "&",
+            Or => "|",
+            Xor => "^",
+            Not => "~",
+            Eq => "=",
+            Ne => "/=",
+            Lt => "<",
+            Le => "<=",
+            Gt => ">",
+            Ge => ">=",
+            Mux => "mux",
+            Const => "const",
+            Copy => "copy",
+            Load => "load",
+            Store => "store",
+        }
+    }
+}
+
+impl std::fmt::Display for OpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// An operation node in a data-flow graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Operation {
+    /// What the operation computes.
+    pub kind: OpKind,
+    /// Operand values, in order. Length matches [`OpKind::arity`].
+    pub operands: Vec<ValueId>,
+    /// The produced value, if [`OpKind::has_result`].
+    pub result: Option<ValueId>,
+    /// Constant payload for [`OpKind::Const`] and the shift amount of
+    /// strength-reduced shifts.
+    pub constant: Option<Fx>,
+    /// Named memory accessed by [`OpKind::Load`]/[`OpKind::Store`].
+    pub memory: Option<String>,
+    /// Diagram label like `a1`, `m2`; empty if unnamed.
+    pub label: String,
+    /// `true` once a pass has deleted this op. Dead ops are skipped by all
+    /// traversals and removed on compaction.
+    pub dead: bool,
+}
+
+impl Operation {
+    /// Creates an operation of `kind` over `operands` (result attached by
+    /// the graph).
+    pub fn new(kind: OpKind, operands: Vec<ValueId>) -> Self {
+        Operation {
+            kind,
+            operands,
+            result: None,
+            constant: None,
+            memory: None,
+            label: String::new(),
+            dead: false,
+        }
+    }
+}
+
+/// How a value comes into existence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValueDef {
+    /// Produced by an operation in the same block.
+    Op(OpId),
+    /// Flows into the block from outside (a live-in variable or a program
+    /// input), identified by its variable name.
+    BlockInput(String),
+}
+
+/// A value (an arc of the data-flow graph).
+///
+/// Each value is produced exactly once and may be consumed many times; the
+/// tutorial notes that representing every produced/consumed value uniquely
+/// by an arc is what frees synthesis from the specification's variable
+/// names.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Value {
+    /// Producer of this value.
+    pub def: ValueDef,
+    /// Consuming operations (with duplicates when an op uses a value twice).
+    pub uses: Vec<OpId>,
+    /// Bit width of the value (Q16.16 datapath values default to 32).
+    pub width: u8,
+    /// Debug/report name; empty if unnamed.
+    pub name: String,
+}
+
+impl Value {
+    /// Creates a value produced by `def` with the default 32-bit width.
+    pub fn new(def: ValueDef) -> Self {
+        Value { def, uses: Vec::new(), width: 32, name: String::new() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_table() {
+        assert_eq!(OpKind::Const.arity(), 0);
+        assert_eq!(OpKind::Neg.arity(), 1);
+        assert_eq!(OpKind::Add.arity(), 2);
+        assert_eq!(OpKind::Mux.arity(), 3);
+        assert_eq!(OpKind::Store.arity(), 3);
+        assert_eq!(OpKind::Load.arity(), 2);
+    }
+
+    #[test]
+    fn commutativity() {
+        assert!(OpKind::Add.is_commutative());
+        assert!(OpKind::Mul.is_commutative());
+        assert!(!OpKind::Sub.is_commutative());
+        assert!(!OpKind::Div.is_commutative());
+        assert!(!OpKind::Shl.is_commutative());
+    }
+
+    #[test]
+    fn comparison_swap_is_involutive_on_strict() {
+        for k in [OpKind::Lt, OpKind::Le, OpKind::Gt, OpKind::Ge, OpKind::Eq] {
+            let s = k.swapped_comparison().unwrap();
+            assert_eq!(s.swapped_comparison().unwrap(), k);
+        }
+        assert_eq!(OpKind::Add.swapped_comparison(), None);
+    }
+
+    #[test]
+    fn every_kind_has_a_result() {
+        // Store's result is the threaded memory-state token.
+        assert!(OpKind::Store.has_result());
+        assert!(OpKind::Load.has_result());
+        assert!(OpKind::Add.has_result());
+    }
+
+    #[test]
+    fn symbols_are_unique_enough() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for k in OpKind::ALL {
+            seen.insert(k.symbol());
+        }
+        assert_eq!(seen.len(), OpKind::ALL.len());
+    }
+}

@@ -1,0 +1,120 @@
+//! Design-space exploration.
+//!
+//! "A good synthesis system can produce several designs for the same
+//! specification in a reasonable amount of time. This allows the developer
+//! to explore different trade-offs between cost, speed, power and so on"
+//! (§1.2). Sweeps resource limits and reports the area–latency Pareto
+//! front.
+
+use crate::pipeline::{SynthesisResult, Synthesizer};
+use crate::SynthesisError;
+
+/// One explored design point.
+#[derive(Clone, Debug)]
+pub struct DesignPoint {
+    /// Functional units used.
+    pub fus: usize,
+    /// Latency in control steps.
+    pub latency: u64,
+    /// Estimated area in gate equivalents.
+    pub area: f64,
+    /// Registers used.
+    pub registers: usize,
+    /// Multiplexer inputs.
+    pub mux_inputs: usize,
+}
+
+impl DesignPoint {
+    fn from_result(fus: usize, r: &SynthesisResult) -> Self {
+        DesignPoint {
+            fus,
+            latency: r.latency,
+            area: r.area.total(),
+            registers: r.datapath.reg_count(),
+            mux_inputs: r.datapath.mux_inputs,
+        }
+    }
+
+    /// `true` when `self` dominates `other` (no worse on both axes,
+    /// strictly better on one).
+    pub fn dominates(&self, other: &DesignPoint) -> bool {
+        (self.latency <= other.latency && self.area <= other.area)
+            && (self.latency < other.latency || self.area < other.area)
+    }
+}
+
+/// Sweeps universal-FU counts `1..=max_fus` over `source`, returning all
+/// design points in sweep order.
+///
+/// # Errors
+///
+/// Propagates the first synthesis failure.
+pub fn sweep_fus(
+    base: &Synthesizer,
+    source: &str,
+    max_fus: usize,
+) -> Result<Vec<DesignPoint>, SynthesisError> {
+    let mut out = Vec::new();
+    for fus in 1..=max_fus {
+        let r = base.clone().universal_fus(fus).synthesize_source(source)?;
+        out.push(DesignPoint::from_result(fus, &r));
+    }
+    Ok(out)
+}
+
+/// Filters `points` down to the area–latency Pareto front, sorted by
+/// latency.
+pub fn pareto_front(points: &[DesignPoint]) -> Vec<DesignPoint> {
+    let mut front: Vec<DesignPoint> = points
+        .iter()
+        .filter(|p| !points.iter().any(|q| q.dominates(p)))
+        .cloned()
+        .collect();
+    front.sort_by_key(|p| (p.latency, p.area as u64));
+    front.dedup_by(|a, b| a.latency == b.latency && a.area == b.area);
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_trades_area_for_speed() {
+        let points = sweep_fus(&Synthesizer::new(), hls_workloads::sources::SQRT, 4).unwrap();
+        assert_eq!(points.len(), 4);
+        // Latency never increases with more FUs.
+        for w in points.windows(2) {
+            assert!(w[1].latency <= w[0].latency, "{points:?}");
+        }
+        // The single-FU point is the slowest.
+        assert!(points[0].latency > points.last().unwrap().latency);
+    }
+
+    #[test]
+    fn pareto_front_is_non_dominated() {
+        let points = sweep_fus(&Synthesizer::new(), hls_workloads::sources::SQRT, 4).unwrap();
+        let front = pareto_front(&points);
+        assert!(!front.is_empty());
+        for (i, a) in front.iter().enumerate() {
+            for (j, b) in front.iter().enumerate() {
+                if i != j {
+                    assert!(!a.dominates(b), "front contains dominated points");
+                }
+            }
+        }
+        // Front is sorted by latency.
+        assert!(front.windows(2).all(|w| w[0].latency <= w[1].latency));
+    }
+
+    #[test]
+    fn dominance_semantics() {
+        let a = DesignPoint { fus: 1, latency: 10, area: 100.0, registers: 3, mux_inputs: 2 };
+        let b = DesignPoint { fus: 2, latency: 12, area: 120.0, registers: 3, mux_inputs: 2 };
+        let c = DesignPoint { fus: 2, latency: 8, area: 130.0, registers: 3, mux_inputs: 2 };
+        assert!(a.dominates(&b));
+        assert!(!a.dominates(&c));
+        assert!(!c.dominates(&a));
+        assert!(!a.dominates(&a), "no self-domination");
+    }
+}

@@ -1,0 +1,96 @@
+//! # hls-core — the end-to-end synthesis pipeline
+//!
+//! The driver tying every stage of the DAC'88 tutorial flow together:
+//! BSL source → CDFG → high-level transformations → scheduling → data-path
+//! allocation → controller synthesis → RT-level netlist, plus design-space
+//! exploration and behavioral/RTL verification.
+//!
+//! ```
+//! use hls_core::Synthesizer;
+//!
+//! let result = Synthesizer::new()
+//!     .synthesize_source(hls_workloads::sources::SQRT)?;
+//! assert_eq!(result.latency, 10);
+//! let check = result.verify(4, (0.1, 1.0))?;
+//! assert!(check.equivalent);
+//! # Ok::<(), hls_core::SynthesisError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod explore;
+mod pipeline;
+mod report;
+
+pub use explore::{pareto_front, sweep_fus, DesignPoint};
+pub use pipeline::{ControlReport, ControlStyle, SynthesisResult, Synthesizer};
+
+use std::error::Error;
+use std::fmt;
+
+/// Any error the synthesis pipeline can produce.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SynthesisError {
+    /// Front-end (lexing, parsing, lowering) failure.
+    Parse(hls_lang::ParseError),
+    /// Scheduling failure.
+    Schedule(hls_sched::ScheduleError),
+    /// Allocation failure.
+    Alloc(hls_alloc::AllocError),
+    /// Control-synthesis failure.
+    Ctrl(hls_ctrl::CtrlError),
+    /// Simulation failure during verification.
+    Sim(hls_sim::SimError),
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::Parse(e) => write!(f, "parse: {e}"),
+            SynthesisError::Schedule(e) => write!(f, "schedule: {e}"),
+            SynthesisError::Alloc(e) => write!(f, "allocate: {e}"),
+            SynthesisError::Ctrl(e) => write!(f, "control: {e}"),
+            SynthesisError::Sim(e) => write!(f, "simulate: {e}"),
+        }
+    }
+}
+
+impl Error for SynthesisError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SynthesisError::Parse(e) => Some(e),
+            SynthesisError::Schedule(e) => Some(e),
+            SynthesisError::Alloc(e) => Some(e),
+            SynthesisError::Ctrl(e) => Some(e),
+            SynthesisError::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<hls_lang::ParseError> for SynthesisError {
+    fn from(e: hls_lang::ParseError) -> Self {
+        SynthesisError::Parse(e)
+    }
+}
+impl From<hls_sched::ScheduleError> for SynthesisError {
+    fn from(e: hls_sched::ScheduleError) -> Self {
+        SynthesisError::Schedule(e)
+    }
+}
+impl From<hls_alloc::AllocError> for SynthesisError {
+    fn from(e: hls_alloc::AllocError) -> Self {
+        SynthesisError::Alloc(e)
+    }
+}
+impl From<hls_ctrl::CtrlError> for SynthesisError {
+    fn from(e: hls_ctrl::CtrlError) -> Self {
+        SynthesisError::Ctrl(e)
+    }
+}
+impl From<hls_sim::SimError> for SynthesisError {
+    fn from(e: hls_sim::SimError) -> Self {
+        SynthesisError::Sim(e)
+    }
+}

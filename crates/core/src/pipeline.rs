@@ -1,0 +1,373 @@
+//! The end-to-end synthesis pipeline.
+//!
+//! Ties together the whole flow of §2: compile → optimize → schedule →
+//! allocate → generate control → emit structure.
+
+use std::collections::BTreeMap;
+
+use hls_alloc::{build_datapath, Datapath, FuStrategy};
+use hls_cdfg::{Cdfg, Fx};
+use hls_ctrl::{build_fsm, hardwired_logic, microcode, EncodingStyle, Fsm, HardwiredReport};
+use hls_opt::PassStats;
+use hls_rtl::{estimate, AreaReport, Library, Netlist};
+use hls_sched::{schedule_cdfg, Algorithm, CdfgSchedule, OpClassifier, Priority, ResourceLimits};
+
+use crate::SynthesisError;
+
+/// Controller implementation style.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ControlStyle {
+    /// Hardwired FSM with the given state encoding.
+    Hardwired(EncodingStyle),
+    /// Microprogrammed control.
+    Microcode,
+}
+
+/// The configurable synthesis front end (builder).
+///
+/// # Examples
+///
+/// ```
+/// use hls_core::Synthesizer;
+///
+/// let result = Synthesizer::new()
+///     .universal_fus(2)
+///     .synthesize_source(hls_workloads::sources::SQRT)?;
+/// assert_eq!(result.latency, 10); // the paper's optimized schedule
+/// # Ok::<(), hls_core::SynthesisError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Synthesizer {
+    optimize: bool,
+    unroll: bool,
+    if_convert: bool,
+    classifier: OpClassifier,
+    limits: ResourceLimits,
+    algorithm: Algorithm,
+    fu_strategy: FuStrategy,
+    control: ControlStyle,
+    library: Library,
+}
+
+impl Synthesizer {
+    /// Default flow: standard optimizations, free constant shifts, two
+    /// universal FUs, list scheduling (path-length priority), greedy
+    /// interconnect-aware binding, hardwired binary-encoded control.
+    pub fn new() -> Self {
+        Synthesizer {
+            optimize: true,
+            unroll: false,
+            if_convert: false,
+            classifier: OpClassifier::universal_free_shifts(),
+            limits: ResourceLimits::universal(2),
+            algorithm: Algorithm::List(Priority::PathLength),
+            fu_strategy: FuStrategy::GreedyAware,
+            control: ControlStyle::Hardwired(EncodingStyle::Binary),
+            library: Library::standard(),
+        }
+    }
+
+    /// Disables the high-level transformation passes.
+    pub fn without_optimization(mut self) -> Self {
+        self.optimize = false;
+        self.classifier = OpClassifier::universal();
+        self
+    }
+
+    /// Fully unrolls counted loops before scheduling.
+    pub fn with_unrolling(mut self) -> Self {
+        self.unroll = true;
+        self
+    }
+
+    /// If-converts small conditionals into mux dataflow before scheduling
+    /// (trades controller states for datapath muxes).
+    pub fn with_if_conversion(mut self) -> Self {
+        self.if_convert = true;
+        self
+    }
+
+    /// Uses `n` universal functional units.
+    pub fn universal_fus(mut self, n: usize) -> Self {
+        self.limits = ResourceLimits::universal(n);
+        self
+    }
+
+    /// Uses typed functional units with the given limits.
+    pub fn typed_fus(mut self, limits: ResourceLimits) -> Self {
+        self.classifier = OpClassifier::typed();
+        self.limits = limits;
+        self
+    }
+
+    /// Overrides the op classifier.
+    pub fn classifier(mut self, classifier: OpClassifier) -> Self {
+        self.classifier = classifier;
+        self
+    }
+
+    /// Overrides the scheduling algorithm.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Overrides the FU binding strategy.
+    pub fn fu_strategy(mut self, strategy: FuStrategy) -> Self {
+        self.fu_strategy = strategy;
+        self
+    }
+
+    /// Overrides the control style.
+    pub fn control(mut self, control: ControlStyle) -> Self {
+        self.control = control;
+        self
+    }
+
+    /// Overrides the component library.
+    pub fn library(mut self, library: Library) -> Self {
+        self.library = library;
+        self
+    }
+
+    /// Synthesizes BSL source text.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse, scheduling, allocation, and control errors.
+    pub fn synthesize_source(&self, src: &str) -> Result<SynthesisResult, SynthesisError> {
+        let cdfg = hls_lang::compile(src)?;
+        self.synthesize(cdfg)
+    }
+
+    /// Synthesizes an already-compiled behavior.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling, allocation, and control errors.
+    pub fn synthesize(&self, mut cdfg: Cdfg) -> Result<SynthesisResult, SynthesisError> {
+        let mut pass_stats = Vec::new();
+        if self.if_convert {
+            hls_opt::run_pass(&mut cdfg, hls_opt::PassKind::IfConvert);
+        }
+        if self.unroll {
+            hls_opt::run_pass(&mut cdfg, hls_opt::PassKind::Unroll);
+        }
+        if self.optimize {
+            pass_stats = hls_opt::optimize(&mut cdfg);
+        }
+        let schedule = schedule_cdfg(&cdfg, &self.classifier, &self.limits, self.algorithm)?;
+        let latency = schedule.total_latency(&cdfg);
+        let datapath =
+            build_datapath(&cdfg, &schedule, &self.classifier, &self.library, self.fu_strategy)?;
+        let fsm = build_fsm(&cdfg, &schedule, &datapath, &self.classifier)?;
+        let control_report = match self.control {
+            ControlStyle::Hardwired(style) => ControlReport::Hardwired(hardwired_logic(&fsm, style)?),
+            ControlStyle::Microcode => {
+                let mp = microcode(&fsm);
+                ControlReport::Microcode {
+                    words: mp.rom.len(),
+                    horizontal_bits: mp.horizontal_rom_bits(),
+                    encoded_bits: mp.encoded_rom_bits(),
+                }
+            }
+        };
+        let netlist = datapath.to_netlist(&cdfg, &self.library)?;
+        let area = estimate(&netlist, &self.library);
+        Ok(SynthesisResult {
+            cdfg,
+            schedule,
+            datapath,
+            fsm,
+            control_report,
+            netlist,
+            area,
+            latency,
+            pass_stats,
+            classifier: self.classifier,
+        })
+    }
+}
+
+impl Default for Synthesizer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Controller cost summary.
+#[derive(Clone, Debug)]
+pub enum ControlReport {
+    /// Hardwired FSM logic sizes.
+    Hardwired(HardwiredReport),
+    /// Microcode ROM sizes.
+    Microcode {
+        /// Microinstruction count.
+        words: usize,
+        /// ROM bits with a horizontal word.
+        horizontal_bits: u64,
+        /// ROM bits with field-encoded word.
+        encoded_bits: u64,
+    },
+}
+
+/// Everything the flow produces.
+#[derive(Clone, Debug)]
+pub struct SynthesisResult {
+    /// The (optimized) behavior.
+    pub cdfg: Cdfg,
+    /// Per-block schedules.
+    pub schedule: CdfgSchedule,
+    /// The bound datapath.
+    pub datapath: Datapath,
+    /// The controller FSM.
+    pub fsm: Fsm,
+    /// Controller cost summary.
+    pub control_report: ControlReport,
+    /// The RT-level netlist.
+    pub netlist: Netlist,
+    /// Area/clock estimate.
+    pub area: AreaReport,
+    /// Total latency in control steps (loop-aware).
+    pub latency: u64,
+    /// Optimizer statistics.
+    pub pass_stats: Vec<PassStats>,
+    /// The classifier the flow used (needed for verification).
+    pub classifier: OpClassifier,
+}
+
+impl SynthesisResult {
+    /// Runs the design on one input vector through the RTL model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors.
+    pub fn run(&self, inputs: &BTreeMap<String, Fx>) -> Result<hls_sim::RtlResult, SynthesisError> {
+        Ok(hls_sim::simulate(
+            &self.cdfg,
+            &self.schedule,
+            &self.datapath,
+            &self.classifier,
+            inputs,
+            false,
+        )?)
+    }
+
+    /// Verifies the structure against the behavioral model on `n` random
+    /// vectors in `range`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors; a mismatch is reported in the
+    /// returned [`hls_sim::Equivalence`], not as an error.
+    pub fn verify(&self, n: usize, range: (f64, f64)) -> Result<hls_sim::Equivalence, SynthesisError> {
+        Ok(hls_sim::check_random_vectors(
+            &self.cdfg,
+            &self.schedule,
+            &self.datapath,
+            &self.classifier,
+            n,
+            range,
+            0xD5EA_D5EA,
+        )?)
+    }
+
+    /// Emits the datapath netlist as Verilog.
+    pub fn to_verilog(&self) -> String {
+        hls_rtl::to_verilog(&self.netlist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_flow_reproduces_the_10_step_sqrt() {
+        let r = Synthesizer::new()
+            .synthesize_source(hls_workloads::sources::SQRT)
+            .unwrap();
+        assert_eq!(r.latency, 10);
+        assert_eq!(r.datapath.fu_count(), 2);
+        let eq = r.verify(8, (0.1, 1.0)).unwrap();
+        assert!(eq.equivalent, "{:?}", eq.mismatch);
+    }
+
+    #[test]
+    fn unoptimized_single_fu_flow_reproduces_23_steps() {
+        let r = Synthesizer::new()
+            .without_optimization()
+            .universal_fus(1)
+            .synthesize_source(hls_workloads::sources::SQRT)
+            .unwrap();
+        assert_eq!(r.latency, 23);
+    }
+
+    #[test]
+    fn microcode_control_style() {
+        let r = Synthesizer::new()
+            .control(ControlStyle::Microcode)
+            .synthesize_source(hls_workloads::sources::SQRT)
+            .unwrap();
+        match r.control_report {
+            ControlReport::Microcode { words, horizontal_bits, encoded_bits } => {
+                assert_eq!(words, 5);
+                assert!(encoded_bits < horizontal_bits);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unrolled_flow_is_no_slower_and_still_correct() {
+        let rolled = Synthesizer::new()
+            .universal_fus(3)
+            .synthesize_source(hls_workloads::sources::SQRT)
+            .unwrap();
+        let unrolled = Synthesizer::new()
+            .universal_fus(3)
+            .with_unrolling()
+            .synthesize_source(hls_workloads::sources::SQRT)
+            .unwrap();
+        // Newton's recurrence serializes the Y chain, so unrolling cannot
+        // shorten the sqrt latency — but it must not lengthen it, it
+        // collapses the control tree to straight-line code, and it must
+        // stay functionally correct.
+        assert!(unrolled.latency <= rolled.latency);
+        assert_eq!(unrolled.fsm.flags.len(), 0, "no loop left, no flags");
+        let eq = unrolled.verify(6, (0.1, 1.0)).unwrap();
+        assert!(eq.equivalent, "{:?}", eq.mismatch);
+    }
+
+    #[test]
+    fn if_conversion_shrinks_the_controller_and_stays_correct() {
+        let plain = Synthesizer::new()
+            .universal_fus(2)
+            .synthesize_source(hls_workloads::sources::GCD)
+            .unwrap();
+        let conv = Synthesizer::new()
+            .universal_fus(2)
+            .with_if_conversion()
+            .synthesize_source(hls_workloads::sources::GCD)
+            .unwrap();
+        assert!(conv.fsm.len() < plain.fsm.len(), "{} vs {}", conv.fsm.len(), plain.fsm.len());
+        assert!(conv.fsm.flags.len() < plain.fsm.flags.len());
+        let eq = conv.verify(10, (1.0, 64.0)).unwrap();
+        assert!(eq.equivalent, "{:?}", eq.mismatch);
+    }
+
+    #[test]
+    fn area_and_verilog_available() {
+        let r = Synthesizer::new()
+            .synthesize_source(hls_workloads::sources::SQRT)
+            .unwrap();
+        assert!(r.area.total() > 0.0);
+        assert!(r.to_verilog().contains("module sqrt"));
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        let err = Synthesizer::new().synthesize_source("program ; begin end").unwrap_err();
+        assert!(err.to_string().contains("identifier"));
+    }
+}

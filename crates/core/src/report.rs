@@ -1,0 +1,102 @@
+//! Human-readable design reports.
+
+use std::fmt::Write as _;
+
+use crate::pipeline::{ControlReport, SynthesisResult};
+
+impl SynthesisResult {
+    /// Renders a compact design report: latency, resources, storage,
+    /// interconnect, control, and area.
+    pub fn report(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "design `{}`", self.cdfg.name());
+        let _ = writeln!(s, "  latency     : {} control steps", self.latency);
+        let _ = writeln!(s, "  func. units : {}", self.datapath.fu_count());
+        for fu in &self.datapath.fus {
+            let _ = writeln!(s, "    {:<8} ({})", fu.name, fu.cell);
+        }
+        let vars = self
+            .datapath
+            .regs
+            .iter()
+            .filter(|r| matches!(r.kind, hls_alloc::RegKind::Var(_)))
+            .count();
+        let _ = writeln!(
+            s,
+            "  registers   : {} ({} variable + {} temp)",
+            self.datapath.reg_count(),
+            vars,
+            self.datapath.reg_count() - vars
+        );
+        let _ = writeln!(s, "  mux inputs  : {}", self.datapath.mux_inputs);
+        match &self.control_report {
+            ControlReport::Hardwired(h) => {
+                let _ = writeln!(
+                    s,
+                    "  control     : hardwired {} ({} states, {} FFs, {} terms, {} literals)",
+                    h.style.name(),
+                    self.fsm.len(),
+                    h.state_bits,
+                    h.terms,
+                    h.literals
+                );
+            }
+            ControlReport::Microcode { words, horizontal_bits, encoded_bits } => {
+                let _ = writeln!(
+                    s,
+                    "  control     : microcode ({words} words, {horizontal_bits}b horizontal / {encoded_bits}b encoded)",
+                );
+            }
+        }
+        let _ = writeln!(
+            s,
+            "  area        : {:.0} GE, clock ≥ {:.1} ns",
+            self.area.total(),
+            self.area.clock_ns
+        );
+        s
+    }
+
+    /// Renders every block's schedule as step tables.
+    pub fn schedule_table(&self) -> String {
+        let mut s = String::new();
+        for block in self.cdfg.block_order() {
+            let b = self.cdfg.block(block);
+            if let Some(sched) = self.schedule.block(block) {
+                if sched.num_steps() == 0 {
+                    continue;
+                }
+                let _ = writeln!(s, "block `{}` ({} steps):", b.name, sched.num_steps());
+                s.push_str(&sched.render(&b.dfg));
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Synthesizer;
+
+    #[test]
+    fn report_mentions_the_essentials() {
+        let r = Synthesizer::new()
+            .synthesize_source(hls_workloads::sources::SQRT)
+            .unwrap();
+        let text = r.report();
+        assert!(text.contains("design `sqrt`"));
+        assert!(text.contains("latency     : 10"));
+        assert!(text.contains("registers"));
+        assert!(text.contains("hardwired"));
+    }
+
+    #[test]
+    fn schedule_table_lists_steps() {
+        let r = Synthesizer::new()
+            .synthesize_source(hls_workloads::sources::SQRT)
+            .unwrap();
+        let t = r.schedule_table();
+        assert!(t.contains("step  1:"));
+        assert!(t.contains("blk"));
+    }
+}

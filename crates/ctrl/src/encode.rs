@@ -1,0 +1,316 @@
+//! State encoding and hardwired control-logic estimation.
+
+use std::collections::BTreeMap;
+
+use crate::fsm::{Cond, Fsm};
+use crate::logic::{minimize, Cover};
+use crate::CtrlError;
+
+/// The state-encoding style.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EncodingStyle {
+    /// Dense binary (`ceil(log2 n)` flip-flops).
+    Binary,
+    /// One flip-flop per state.
+    OneHot,
+    /// Gray code (single-bit transitions along the main sequence).
+    Gray,
+}
+
+impl EncodingStyle {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EncodingStyle::Binary => "binary",
+            EncodingStyle::OneHot => "one-hot",
+            EncodingStyle::Gray => "gray",
+        }
+    }
+}
+
+/// A state assignment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Encoding {
+    /// Style used.
+    pub style: EncodingStyle,
+    /// State-register width in flip-flops.
+    pub bits: u32,
+    /// Code per state.
+    pub codes: Vec<u64>,
+}
+
+/// Encodes the states of `fsm`.
+pub fn encode_states(fsm: &Fsm, style: EncodingStyle) -> Encoding {
+    let n = fsm.len().max(1);
+    match style {
+        EncodingStyle::Binary => {
+            let bits = (usize::BITS - (n - 1).leading_zeros()).max(1);
+            Encoding { style, bits, codes: (0..n as u64).collect() }
+        }
+        EncodingStyle::OneHot => Encoding {
+            style,
+            bits: n as u32,
+            codes: (0..n).map(|i| 1u64 << i).collect(),
+        },
+        EncodingStyle::Gray => {
+            let bits = (usize::BITS - (n - 1).leading_zeros()).max(1);
+            Encoding { style, bits, codes: (0..n as u64).map(|i| i ^ (i >> 1)).collect() }
+        }
+    }
+}
+
+/// Size estimate of a hardwired controller after two-level minimization.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HardwiredReport {
+    /// Encoding used.
+    pub style: EncodingStyle,
+    /// State flip-flops.
+    pub state_bits: u32,
+    /// Distinct control outputs.
+    pub outputs: usize,
+    /// Total product terms across all output/next-state functions.
+    pub terms: usize,
+    /// Total literals — the AND-plane area proxy.
+    pub literals: u64,
+}
+
+/// Maximum state+flag input bits for exact minimization; larger
+/// controllers fall back to an unminimized estimate.
+const EXACT_LIMIT: u32 = 10;
+
+/// Maximum care+don't-care minterms handed to Quine–McCluskey per output.
+const EXACT_MINTERM_LIMIT: usize = 600;
+
+/// Synthesizes the hardwired control logic: next-state and output
+/// functions of the encoded FSM, each minimized with Quine–McCluskey.
+///
+/// Inputs to every function are the state bits plus the condition flags.
+///
+/// # Errors
+///
+/// Returns [`CtrlError::MalformedFsm`] if the FSM fails validation.
+pub fn hardwired_logic(fsm: &Fsm, style: EncodingStyle) -> Result<HardwiredReport, CtrlError> {
+    fsm.validate()?;
+    let enc = encode_states(fsm, style);
+    let flags: Vec<&String> = fsm.flags.iter().collect();
+    let inputs = enc.bits + flags.len() as u32;
+    let signals: Vec<String> = fsm.signal_set().into_iter().collect();
+
+    // Truth rows: (input vector, next code, asserted signal indices).
+    // Input vector = state code | flags << state_bits.
+    let mut rows: Vec<(u64, u64, Vec<usize>)> = Vec::new();
+    for (s, state) in fsm.states.iter().enumerate() {
+        let sig_idx: Vec<usize> = signals
+            .iter()
+            .enumerate()
+            .filter(|(_, name)| state.signals.contains(*name))
+            .map(|(i, _)| i)
+            .collect();
+        // Enumerate flag combinations relevant to this state's guards.
+        let used: Vec<usize> = flags
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| {
+                state.transitions.iter().any(|t| match &t.cond {
+                    Cond::Always => false,
+                    Cond::IsTrue(v) | Cond::IsFalse(v) => v == **f,
+                })
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let combos = 1u64 << used.len();
+        for c in 0..combos {
+            let mut flag_bits = 0u64;
+            for (k, &fi) in used.iter().enumerate() {
+                if c >> k & 1 == 1 {
+                    flag_bits |= 1 << fi;
+                }
+            }
+            let next = state
+                .transitions
+                .iter()
+                .find(|t| match &t.cond {
+                    Cond::Always => true,
+                    Cond::IsTrue(v) => {
+                        let fi = flags.iter().position(|f| *f == v).expect("known flag");
+                        flag_bits >> fi & 1 == 1
+                    }
+                    Cond::IsFalse(v) => {
+                        let fi = flags.iter().position(|f| *f == v).expect("known flag");
+                        flag_bits >> fi & 1 == 0
+                    }
+                })
+                .map(|t| t.to)
+                .unwrap_or(s);
+            let input = enc.codes[s] | flag_bits << enc.bits;
+            rows.push((input, enc.codes[next], sig_idx.clone()));
+        }
+    }
+
+    let mut terms = 0usize;
+    let mut literals = 0u64;
+    let mut count_fn = |on: &[u64], dc: &[u64]| {
+        if inputs <= EXACT_LIMIT && on.len() + dc.len() <= EXACT_MINTERM_LIMIT {
+            let c: Cover = minimize(inputs, on, dc);
+            terms += c.terms();
+            literals += c.literals() as u64;
+        } else {
+            // Unminimized sum-of-minterms estimate.
+            terms += on.len();
+            literals += on.len() as u64 * inputs as u64;
+        }
+    };
+
+    // Don't-care set: unused state codes (all flag combinations).
+    let dc: Vec<u64> = {
+        let mut dc = Vec::new();
+        if enc.bits + (flags.len() as u32) <= EXACT_LIMIT
+            && (1u64 << enc.bits) <= 4 * enc.codes.len() as u64
+        {
+            let used: std::collections::BTreeSet<u64> = enc.codes.iter().copied().collect();
+            for code in 0..(1u64 << enc.bits) {
+                if !used.contains(&code) {
+                    for fb in 0..(1u64 << flags.len()) {
+                        dc.push(code | fb << enc.bits);
+                    }
+                }
+            }
+        }
+        dc
+    };
+
+    // Next-state bit functions.
+    for bit in 0..enc.bits {
+        let on: Vec<u64> = rows
+            .iter()
+            .filter(|(_, next, _)| next >> bit & 1 == 1)
+            .map(|(i, _, _)| *i)
+            .collect();
+        count_fn(&on, &dc);
+    }
+    // Output functions.
+    for (i, _) in signals.iter().enumerate() {
+        let on: Vec<u64> = rows
+            .iter()
+            .filter(|(_, _, sig)| sig.contains(&i))
+            .map(|(inp, _, _)| *inp)
+            .collect();
+        count_fn(&on, &dc);
+    }
+
+    Ok(HardwiredReport {
+        style,
+        state_bits: enc.bits,
+        outputs: signals.len(),
+        terms,
+        literals,
+    })
+}
+
+/// Compares encodings on the same FSM, for experiment E13.
+pub fn compare_encodings(fsm: &Fsm) -> Result<BTreeMap<&'static str, HardwiredReport>, CtrlError> {
+    let mut out = BTreeMap::new();
+    for style in [EncodingStyle::Binary, EncodingStyle::OneHot, EncodingStyle::Gray] {
+        out.insert(style.name(), hardwired_logic(fsm, style)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fsm::{State, Transition};
+    use std::collections::BTreeSet;
+
+    /// A 4-state counter FSM with one looping guard.
+    fn small_fsm() -> Fsm {
+        let mk = |name: &str, sigs: &[&str], trans: Vec<Transition>| State {
+            name: name.to_string(),
+            signals: sigs.iter().map(|s| s.to_string()).collect(),
+            transitions: trans,
+        };
+        Fsm {
+            states: vec![
+                mk("s0", &["load_a"], vec![Transition { cond: Cond::Always, to: 1 }]),
+                mk("s1", &["alu_add", "load_b"], vec![Transition { cond: Cond::Always, to: 2 }]),
+                mk(
+                    "s2",
+                    &["alu_add"],
+                    vec![
+                        Transition { cond: Cond::IsFalse("done".into()), to: 0 },
+                        Transition { cond: Cond::IsTrue("done".into()), to: 3 },
+                    ],
+                ),
+                mk("s3", &[], vec![Transition { cond: Cond::Always, to: 3 }]),
+            ],
+            initial: 0,
+            done: 3,
+            flags: BTreeSet::from(["done".to_string()]),
+        }
+    }
+
+    #[test]
+    fn encoding_widths() {
+        let fsm = small_fsm();
+        assert_eq!(encode_states(&fsm, EncodingStyle::Binary).bits, 2);
+        assert_eq!(encode_states(&fsm, EncodingStyle::OneHot).bits, 4);
+        let gray = encode_states(&fsm, EncodingStyle::Gray);
+        assert_eq!(gray.bits, 2);
+        assert_eq!(gray.codes, vec![0b00, 0b01, 0b11, 0b10]);
+    }
+
+    #[test]
+    fn one_hot_codes_are_distinct_powers() {
+        let enc = encode_states(&small_fsm(), EncodingStyle::OneHot);
+        for (i, c) in enc.codes.iter().enumerate() {
+            assert_eq!(*c, 1 << i);
+        }
+    }
+
+    #[test]
+    fn hardwired_reports_positive_sizes() {
+        let fsm = small_fsm();
+        let r = hardwired_logic(&fsm, EncodingStyle::Binary).unwrap();
+        assert_eq!(r.state_bits, 2);
+        assert_eq!(r.outputs, 3, "load_a, load_b, alu_add");
+        assert!(r.terms > 0);
+        assert!(r.literals > 0);
+    }
+
+    #[test]
+    fn compare_encodings_covers_all_styles() {
+        let fsm = small_fsm();
+        let map = compare_encodings(&fsm).unwrap();
+        assert_eq!(map.len(), 3);
+        // One-hot spends more flip-flops.
+        assert!(map["one-hot"].state_bits > map["binary"].state_bits);
+    }
+
+    #[test]
+    fn real_sqrt_controller_encodes() {
+        let mut cdfg = hls_lang::compile(hls_workloads::sources::SQRT).unwrap();
+        hls_opt::optimize(&mut cdfg);
+        let cls = hls_sched::OpClassifier::universal_free_shifts();
+        let limits = hls_sched::ResourceLimits::universal(2);
+        let sched = hls_sched::schedule_cdfg(
+            &cdfg,
+            &cls,
+            &limits,
+            hls_sched::Algorithm::List(hls_sched::Priority::PathLength),
+        )
+        .unwrap();
+        let dp = hls_alloc::build_datapath(
+            &cdfg,
+            &sched,
+            &cls,
+            &hls_rtl::Library::standard(),
+            hls_alloc::FuStrategy::GreedyAware,
+        )
+        .unwrap();
+        let fsm = crate::build_fsm(&cdfg, &sched, &dp, &cls).unwrap();
+        let map = compare_encodings(&fsm).unwrap();
+        for (style, r) in &map {
+            assert!(r.literals > 0, "{style}");
+        }
+    }
+}

@@ -1,0 +1,431 @@
+//! Controller synthesis: from schedule + datapath binding to a finite
+//! state machine.
+//!
+//! "If hardwired control is chosen, a control step corresponds to a state
+//! in the controlling finite state machine. Once the inputs and outputs to
+//! the FSM — the interface to the data part — have been determined as part
+//! of the allocation, the FSM can be synthesized using known methods" (§2).
+
+use std::collections::BTreeSet;
+
+use hls_alloc::{global_source, Datapath};
+use hls_cdfg::{BlockId, Cdfg, LoopKind, OpKind, Region};
+use hls_sched::{CdfgSchedule, OpClassifier};
+
+use crate::CtrlError;
+
+/// Index of a state within its [`Fsm`].
+pub type StateId = usize;
+
+/// A transition guard: a 1-bit datapath flag (named after the variable
+/// holding the comparison result), tested Mealy-style at the step
+/// boundary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Cond {
+    /// Unconditional.
+    Always,
+    /// Taken when the flag is one.
+    IsTrue(String),
+    /// Taken when the flag is zero.
+    IsFalse(String),
+}
+
+/// A guarded transition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Transition {
+    /// Guard.
+    pub cond: Cond,
+    /// Destination state.
+    pub to: StateId,
+}
+
+/// One controller state (= one control step of one block).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct State {
+    /// Diagnostic name, e.g. `blk1.s0`.
+    pub name: String,
+    /// Asserted control signals (FU operations, mux selects, register
+    /// loads).
+    pub signals: BTreeSet<String>,
+    /// Outgoing transitions, tested in order; the first matching guard
+    /// wins.
+    pub transitions: Vec<Transition>,
+}
+
+/// The controller FSM.
+#[derive(Clone, Debug, Default)]
+pub struct Fsm {
+    /// States; index = [`StateId`].
+    pub states: Vec<State>,
+    /// Initial state.
+    pub initial: StateId,
+    /// The terminal `done` state (self-loop).
+    pub done: StateId,
+    /// Condition flags read from the datapath.
+    pub flags: BTreeSet<String>,
+}
+
+impl Fsm {
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// `true` when the FSM has no states (never produced by `build_fsm`).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Every distinct control signal, sorted.
+    pub fn signal_set(&self) -> BTreeSet<String> {
+        self.states.iter().flat_map(|s| s.signals.iter().cloned()).collect()
+    }
+
+    /// Checks that every transition target exists and every state (except
+    /// `done`) has at least one transition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtrlError::MalformedFsm`] on the first violation.
+    pub fn validate(&self) -> Result<(), CtrlError> {
+        for (i, s) in self.states.iter().enumerate() {
+            if s.transitions.is_empty() && i != self.done {
+                return Err(CtrlError::MalformedFsm {
+                    detail: format!("state `{}` has no transitions", s.name),
+                });
+            }
+            for t in &s.transitions {
+                if t.to >= self.states.len() {
+                    return Err(CtrlError::MalformedFsm {
+                        detail: format!("state `{}` jumps out of range", s.name),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds the controller for a scheduled, bound behavior.
+///
+/// # Errors
+///
+/// Returns [`CtrlError::MissingBinding`] when `datapath` lacks a block the
+/// control tree references.
+pub fn build_fsm(
+    cdfg: &Cdfg,
+    schedule: &CdfgSchedule,
+    datapath: &Datapath,
+    classifier: &OpClassifier,
+) -> Result<Fsm, CtrlError> {
+    let mut b = Builder { cdfg, schedule, datapath, classifier, fsm: Fsm::default() };
+    let (entry, exits) = b.emit_region(cdfg.body())?;
+    // Terminal state.
+    let done = b.fsm.states.len();
+    b.fsm.states.push(State {
+        name: "done".to_string(),
+        signals: BTreeSet::new(),
+        transitions: vec![Transition { cond: Cond::Always, to: done }],
+    });
+    for (state, cond) in exits {
+        b.fsm.states[state].transitions.push(Transition { cond, to: done });
+    }
+    b.fsm.initial = entry.unwrap_or(done);
+    b.fsm.done = done;
+    let fsm = b.fsm;
+    fsm.validate()?;
+    Ok(fsm)
+}
+
+struct Builder<'a> {
+    cdfg: &'a Cdfg,
+    schedule: &'a CdfgSchedule,
+    datapath: &'a Datapath,
+    classifier: &'a OpClassifier,
+    fsm: Fsm,
+}
+
+type Exits = Vec<(StateId, Cond)>;
+
+impl Builder<'_> {
+    /// Emits states for a region; returns its entry state and the dangling
+    /// exits to patch into whatever follows.
+    fn emit_region(&mut self, region: &Region) -> Result<(Option<StateId>, Exits), CtrlError> {
+        match region {
+            Region::Block(b) => self.emit_block(*b, false),
+            Region::Seq(rs) => {
+                let mut entry = None;
+                let mut exits: Exits = Vec::new();
+                for r in rs {
+                    let (e, x) = self.emit_region(r)?;
+                    if let Some(e) = e {
+                        for (state, cond) in exits.drain(..) {
+                            self.fsm.states[state]
+                                .transitions
+                                .push(Transition { cond, to: e });
+                        }
+                        if entry.is_none() {
+                            entry = Some(e);
+                        }
+                        exits = x;
+                    } else {
+                        // Empty piece: keep the previous exits dangling.
+                        debug_assert!(x.is_empty());
+                    }
+                }
+                Ok((entry, exits))
+            }
+            Region::Loop(l) => {
+                match (l.kind, l.cond_block) {
+                    (LoopKind::DoUntil, _) => {
+                        let (entry, body_exits) = self.emit_region(&l.body)?;
+                        let Some(entry) = entry else {
+                            return Ok((None, Vec::new()));
+                        };
+                        let mut exits = Vec::new();
+                        for (state, _) in body_exits {
+                            self.fsm.states[state].transitions.push(Transition {
+                                cond: Cond::IsFalse(l.exit_var.clone()),
+                                to: entry,
+                            });
+                            exits.push((state, Cond::IsTrue(l.exit_var.clone())));
+                        }
+                        self.fsm.flags.insert(l.exit_var.clone());
+                        Ok((Some(entry), exits))
+                    }
+                    (LoopKind::While, cond_block) => {
+                        let cb = cond_block.ok_or_else(|| CtrlError::MalformedFsm {
+                            detail: "while loop without a condition block".to_string(),
+                        })?;
+                        let (centry, cexits) = self.emit_block(cb, true)?;
+                        let centry = centry.expect("forced block state");
+                        let (bentry, bexits) = self.emit_region(&l.body)?;
+                        let btarget = bentry.unwrap_or(centry);
+                        let mut exits = Vec::new();
+                        for (state, _) in cexits {
+                            self.fsm.states[state].transitions.push(Transition {
+                                cond: Cond::IsTrue(l.exit_var.clone()),
+                                to: btarget,
+                            });
+                            exits.push((state, Cond::IsFalse(l.exit_var.clone())));
+                        }
+                        for (state, cond) in bexits {
+                            self.fsm.states[state]
+                                .transitions
+                                .push(Transition { cond, to: centry });
+                        }
+                        self.fsm.flags.insert(l.exit_var.clone());
+                        Ok((Some(centry), exits))
+                    }
+                }
+            }
+            Region::If(i) => {
+                let (centry, cexits) = self.emit_block(i.cond_block, true)?;
+                let centry = centry.expect("forced block state");
+                let (tentry, mut texits) = self.emit_region(&i.then_region)?;
+                let (eentry, eexits) = match &i.else_region {
+                    Some(e) => self.emit_region(e)?,
+                    None => (None, Vec::new()),
+                };
+                self.fsm.flags.insert(i.cond_var.clone());
+                let mut exits: Exits = Vec::new();
+                for (state, _) in cexits {
+                    match tentry {
+                        Some(t) => self.fsm.states[state].transitions.push(Transition {
+                            cond: Cond::IsTrue(i.cond_var.clone()),
+                            to: t,
+                        }),
+                        None => exits.push((state, Cond::IsTrue(i.cond_var.clone()))),
+                    }
+                    match eentry {
+                        Some(e) => self.fsm.states[state].transitions.push(Transition {
+                            cond: Cond::IsFalse(i.cond_var.clone()),
+                            to: e,
+                        }),
+                        None => exits.push((state, Cond::IsFalse(i.cond_var.clone()))),
+                    }
+                }
+                exits.extend(texits.drain(..));
+                exits.extend(eexits);
+                Ok((Some(centry), exits))
+            }
+        }
+    }
+
+    /// Emits the chain of states for one block. `force_state` materializes
+    /// an idle state even when the block schedules zero steps (condition
+    /// blocks must branch from somewhere).
+    fn emit_block(
+        &mut self,
+        block: BlockId,
+        force_state: bool,
+    ) -> Result<(Option<StateId>, Exits), CtrlError> {
+        let dfg = &self.cdfg.block(block).dfg;
+        let name = &self.cdfg.block(block).name;
+        let sched = self.schedule.block(block).ok_or_else(|| CtrlError::MissingBinding {
+            block: name.clone(),
+        })?;
+        let binding = self.datapath.blocks.get(&block).ok_or_else(|| {
+            CtrlError::MissingBinding { block: name.clone() }
+        })?;
+        let steps = sched.num_steps();
+        if steps == 0 && !force_state {
+            return Ok((None, Vec::new()));
+        }
+        let first = self.fsm.states.len();
+        let last_step = steps.saturating_sub(1);
+        for step in 0..steps.max(1) {
+            let mut signals = BTreeSet::new();
+            for op in sched.ops_in_step(step) {
+                if let Some(&f) = binding.op_fu.get(&op) {
+                    signals.insert(format!("fu{f}={}", dfg.op(op).kind.symbol()));
+                    for (port, &v) in dfg.op(op).operands.iter().enumerate() {
+                        let src = global_source(
+                            dfg,
+                            self.classifier,
+                            sched,
+                            &binding.op_fu,
+                            &binding.value_reg,
+                            &self.datapath.var_reg,
+                            v,
+                            step,
+                        );
+                        signals.insert(format!("fu{f}.p{port}<-{src}"));
+                    }
+                    if let Some(res) = dfg.result(op) {
+                        if let Some(&r) = binding.value_reg.get(&res) {
+                            signals.insert(format!("r{r}<=fu{f}"));
+                        }
+                    }
+                } else if self.classifier.is_free(dfg, op)
+                    && dfg.op(op).kind != OpKind::Const
+                {
+                    // Chained free op whose result is stored.
+                    if let Some(res) = dfg.result(op) {
+                        if let Some(&r) = binding.value_reg.get(&res) {
+                            // Described from the driving side of the wire.
+                            let drive = global_source(
+                                dfg,
+                                self.classifier,
+                                sched,
+                                &binding.op_fu,
+                                &binding.value_reg,
+                                &self.datapath.var_reg,
+                                dfg.op(op).operands[0],
+                                step,
+                            );
+                            signals
+                                .insert(format!("r{r}<={drive}{}", dfg.op(op).kind.symbol()));
+                        }
+                    }
+                }
+            }
+            if step == last_step {
+                for w in &binding.writes {
+                    if let Some(&r) = self.datapath.var_reg.get(&w.var) {
+                        let src = global_source(
+                            dfg,
+                            self.classifier,
+                            sched,
+                            &binding.op_fu,
+                            &binding.value_reg,
+                            &self.datapath.var_reg,
+                            w.value,
+                            last_step + 1,
+                        );
+                        signals.insert(format!("r{r}<={src}"));
+                    }
+                }
+            }
+            let id = self.fsm.states.len();
+            self.fsm.states.push(State {
+                name: format!("{name}.s{step}"),
+                signals,
+                transitions: Vec::new(),
+            });
+            if id > first {
+                self.fsm.states[id - 1]
+                    .transitions
+                    .push(Transition { cond: Cond::Always, to: id });
+            }
+        }
+        let last = self.fsm.states.len() - 1;
+        Ok((Some(first), vec![(last, Cond::Always)]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_alloc::{build_datapath, FuStrategy};
+    use hls_rtl::Library;
+    use hls_sched::{schedule_cdfg, Algorithm, Priority, ResourceLimits};
+
+    fn sqrt_fsm() -> Fsm {
+        let mut cdfg = hls_lang::compile(hls_workloads::sources::SQRT).unwrap();
+        hls_opt::optimize(&mut cdfg);
+        let cls = OpClassifier::universal_free_shifts();
+        let limits = ResourceLimits::universal(2);
+        let sched =
+            schedule_cdfg(&cdfg, &cls, &limits, Algorithm::List(Priority::PathLength)).unwrap();
+        let dp = build_datapath(&cdfg, &sched, &cls, &Library::standard(),
+            FuStrategy::GreedyAware).unwrap();
+        build_fsm(&cdfg, &sched, &dp, &cls).unwrap()
+    }
+
+    #[test]
+    fn sqrt_controller_has_one_state_per_step_plus_done() {
+        let fsm = sqrt_fsm();
+        // Optimized sqrt: entry 2 steps + body 2 steps + done.
+        assert_eq!(fsm.len(), 5);
+        fsm.validate().unwrap();
+        assert!(fsm.flags.iter().any(|f| f.starts_with("%exit")));
+    }
+
+    #[test]
+    fn loop_back_edge_present() {
+        let fsm = sqrt_fsm();
+        // Some state branches back to an earlier state on the exit flag.
+        let has_backedge = fsm.states.iter().enumerate().any(|(i, s)| {
+            s.transitions
+                .iter()
+                .any(|t| t.to < i && matches!(t.cond, Cond::IsFalse(_)))
+        });
+        assert!(has_backedge, "{:#?}", fsm.states);
+    }
+
+    #[test]
+    fn done_state_self_loops() {
+        let fsm = sqrt_fsm();
+        let done = &fsm.states[fsm.done];
+        assert_eq!(done.transitions, vec![Transition { cond: Cond::Always, to: fsm.done }]);
+    }
+
+    #[test]
+    fn signals_cover_fu_ops_and_reg_loads() {
+        let fsm = sqrt_fsm();
+        let sigs = fsm.signal_set();
+        assert!(sigs.iter().any(|s| s.contains("=/")), "a divide signal: {sigs:?}");
+        assert!(sigs.iter().any(|s| s.contains("<=")), "register loads: {sigs:?}");
+    }
+
+    #[test]
+    fn gcd_controller_branches() {
+        let cdfg = hls_lang::compile(hls_workloads::sources::GCD).unwrap();
+        let cls = OpClassifier::universal();
+        let limits = ResourceLimits::universal(1);
+        let sched =
+            schedule_cdfg(&cdfg, &cls, &limits, Algorithm::List(Priority::PathLength)).unwrap();
+        let dp = build_datapath(&cdfg, &sched, &cls, &Library::standard(),
+            FuStrategy::GreedyAware).unwrap();
+        let fsm = build_fsm(&cdfg, &sched, &dp, &cls).unwrap();
+        fsm.validate().unwrap();
+        // While + if: at least two distinct flags.
+        assert!(fsm.flags.len() >= 2, "{:?}", fsm.flags);
+        // Some state has both a true- and a false-guarded transition.
+        assert!(fsm.states.iter().any(|s| {
+            s.transitions.iter().any(|t| matches!(t.cond, Cond::IsTrue(_)))
+                && s.transitions.iter().any(|t| matches!(t.cond, Cond::IsFalse(_)))
+        }));
+    }
+}

@@ -1,0 +1,235 @@
+//! Two-level logic minimization (Quine–McCluskey with a greedy cover).
+//!
+//! "The FSM can be synthesized using known methods, including state
+//! encoding and optimization of the combinational logic" (§2). This is the
+//! combinational-logic half: single-output minimization over small input
+//! spaces, used to estimate the hardwired controller's AND-plane.
+
+use std::collections::BTreeSet;
+
+/// A product term over `n` inputs: `value` gives the required bits on the
+/// positions selected by `mask`; unselected positions are don't-cares.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Implicant {
+    /// Cared-about input positions.
+    pub mask: u64,
+    /// Required values on the cared positions.
+    pub value: u64,
+}
+
+impl Implicant {
+    /// `true` when the implicant covers `minterm`.
+    pub fn covers(&self, minterm: u64) -> bool {
+        minterm & self.mask == self.value
+    }
+
+    /// Number of literals in the product term.
+    pub fn literals(&self) -> u32 {
+        self.mask.count_ones()
+    }
+}
+
+/// The minimized cover of one output.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cover {
+    /// Chosen prime implicants.
+    pub implicants: Vec<Implicant>,
+    /// Input count.
+    pub inputs: u32,
+}
+
+impl Cover {
+    /// Total literal count — the classic area proxy for two-level logic.
+    pub fn literals(&self) -> u32 {
+        self.implicants.iter().map(Implicant::literals).sum()
+    }
+
+    /// Product-term count (AND-plane rows).
+    pub fn terms(&self) -> usize {
+        self.implicants.len()
+    }
+
+    /// Evaluates the cover on an input vector.
+    pub fn eval(&self, input: u64) -> bool {
+        self.implicants.iter().any(|i| i.covers(input))
+    }
+}
+
+/// Maximum supported input count (the algorithm is exponential).
+pub const MAX_INPUTS: u32 = 16;
+
+/// Minimizes a single-output function given by its on-set and
+/// don't-care-set minterms over `inputs` variables.
+///
+/// # Panics
+///
+/// Panics when `inputs > MAX_INPUTS` — controller logic in this crate
+/// never exceeds that; larger functions should be estimated instead.
+pub fn minimize(inputs: u32, on_set: &[u64], dc_set: &[u64]) -> Cover {
+    assert!(inputs <= MAX_INPUTS, "quine-mccluskey limited to {MAX_INPUTS} inputs");
+    let full_mask = if inputs == 64 { u64::MAX } else { (1u64 << inputs) - 1 };
+    let on: BTreeSet<u64> = on_set.iter().map(|m| m & full_mask).collect();
+    if on.is_empty() {
+        return Cover { implicants: Vec::new(), inputs };
+    }
+    let dc: BTreeSet<u64> = dc_set.iter().map(|m| m & full_mask).collect();
+
+    // Generate prime implicants by iterative pairwise combination.
+    let mut current: BTreeSet<Implicant> = on
+        .iter()
+        .chain(dc.iter())
+        .map(|&m| Implicant { mask: full_mask, value: m })
+        .collect();
+    let mut primes: BTreeSet<Implicant> = BTreeSet::new();
+    while !current.is_empty() {
+        let mut next: BTreeSet<Implicant> = BTreeSet::new();
+        let mut combined: BTreeSet<Implicant> = BTreeSet::new();
+        let v: Vec<Implicant> = current.iter().copied().collect();
+        for (i, a) in v.iter().enumerate() {
+            for b in &v[i + 1..] {
+                if a.mask != b.mask {
+                    continue;
+                }
+                let diff = a.value ^ b.value;
+                if diff.count_ones() == 1 {
+                    next.insert(Implicant { mask: a.mask & !diff, value: a.value & !diff });
+                    combined.insert(*a);
+                    combined.insert(*b);
+                }
+            }
+        }
+        for imp in v {
+            if !combined.contains(&imp) {
+                primes.insert(imp);
+            }
+        }
+        current = next;
+    }
+
+    // Greedy cover of the on-set (Petrick's method approximated).
+    let mut uncovered: BTreeSet<u64> = on.clone();
+    let mut chosen = Vec::new();
+    // Essential primes first.
+    loop {
+        let mut essential: Option<Implicant> = None;
+        'outer: for &m in &uncovered {
+            let covering: Vec<&Implicant> =
+                primes.iter().filter(|p| p.covers(m)).collect();
+            if covering.len() == 1 {
+                essential = Some(*covering[0]);
+                break 'outer;
+            }
+        }
+        match essential {
+            Some(p) => {
+                uncovered.retain(|&m| !p.covers(m));
+                chosen.push(p);
+                primes.remove(&p);
+            }
+            None => break,
+        }
+    }
+    while !uncovered.is_empty() {
+        let best = primes
+            .iter()
+            .max_by_key(|p| {
+                (
+                    uncovered.iter().filter(|&&m| p.covers(m)).count(),
+                    std::cmp::Reverse(p.literals()),
+                )
+            })
+            .copied()
+            .expect("primes cover every on-set minterm");
+        uncovered.retain(|&m| !best.covers(m));
+        chosen.push(best);
+        primes.remove(&best);
+    }
+    chosen.sort();
+    Cover { implicants: chosen, inputs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_exact(cover: &Cover, inputs: u32, on: &[u64], dc: &[u64]) {
+        for m in 0..(1u64 << inputs) {
+            let expected = on.contains(&m);
+            let is_dc = dc.contains(&m);
+            if !is_dc {
+                assert_eq!(cover.eval(m), expected, "minterm {m:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn classic_four_variable_example() {
+        // f = Σ(4,8,10,11,12,15), dc = {9,14}: the textbook QM example.
+        let on = [4, 8, 10, 11, 12, 15];
+        let dc = [9, 14];
+        let c = minimize(4, &on, &dc);
+        check_exact(&c, 4, &on, &dc);
+        assert!(c.terms() <= 4, "{:?}", c.implicants);
+        assert!(c.literals() <= 9, "{}", c.literals());
+    }
+
+    #[test]
+    fn tautology_reduces_to_zero_literals() {
+        let on: Vec<u64> = (0..8).collect();
+        let c = minimize(3, &on, &[]);
+        assert_eq!(c.terms(), 1);
+        assert_eq!(c.literals(), 0, "single always-true implicant");
+        check_exact(&c, 3, &on, &[]);
+    }
+
+    #[test]
+    fn single_minterm() {
+        let c = minimize(3, &[5], &[]);
+        assert_eq!(c.terms(), 1);
+        assert_eq!(c.literals(), 3);
+        check_exact(&c, 3, &[5], &[]);
+    }
+
+    #[test]
+    fn empty_on_set() {
+        let c = minimize(4, &[], &[1, 2]);
+        assert_eq!(c.terms(), 0);
+        assert!(!c.eval(1));
+    }
+
+    #[test]
+    fn xor_does_not_simplify() {
+        // a ^ b has no pairwise merges: 2 terms, 4 literals.
+        let c = minimize(2, &[1, 2], &[]);
+        assert_eq!(c.terms(), 2);
+        assert_eq!(c.literals(), 4);
+        check_exact(&c, 2, &[1, 2], &[]);
+    }
+
+    #[test]
+    fn dont_cares_enable_merging() {
+        // on = {0b00}, dc = {0b01}: merges to a single 1-literal term.
+        let c = minimize(2, &[0], &[1]);
+        assert_eq!(c.terms(), 1);
+        assert_eq!(c.literals(), 1);
+    }
+
+    proptest::proptest! {
+        /// The cover is always exact on the care set.
+        #[test]
+        fn cover_is_exact(
+            on in proptest::collection::btree_set(0u64..32, 0..20),
+            dc in proptest::collection::btree_set(0u64..32, 0..8),
+        ) {
+            let on: Vec<u64> = on.into_iter().collect();
+            let dc: Vec<u64> = dc.into_iter().filter(|m| !on.contains(m)).collect();
+            let c = minimize(5, &on, &dc);
+            for m in 0..32u64 {
+                if dc.contains(&m) {
+                    continue;
+                }
+                proptest::prop_assert_eq!(c.eval(m), on.contains(&m), "minterm {}", m);
+            }
+        }
+    }
+}

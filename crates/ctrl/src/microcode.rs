@@ -1,0 +1,226 @@
+//! Microcoded control.
+//!
+//! "If microcoded control is chosen instead, a control step corresponds to
+//! a microprogram step and the microprogram can be optimized using
+//! encoding techniques for the microcontrol word" (§2). We generate a
+//! microprogram from the FSM and report both the *horizontal* (one bit per
+//! signal) and *field-encoded* word formats, where mutually exclusive
+//! signals share an encoded field — found by coloring the
+//! asserted-together conflict graph.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::fsm::{Cond, Fsm};
+
+/// One microinstruction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MicroInstruction {
+    /// Source state name.
+    pub name: String,
+    /// Asserted signals.
+    pub signals: BTreeSet<String>,
+    /// Branch: `(flag, target-if-true, target-if-false)`; `None` flag
+    /// means an unconditional jump to the first target.
+    pub branch: (Option<String>, usize, usize),
+}
+
+/// A complete microprogram with format statistics.
+#[derive(Clone, Debug)]
+pub struct Microprogram {
+    /// The instructions, one per FSM state.
+    pub rom: Vec<MicroInstruction>,
+    /// All distinct signals in field order.
+    pub signals: Vec<String>,
+    /// Encoded fields: groups of mutually exclusive signals.
+    pub fields: Vec<Vec<String>>,
+    /// Address width in bits.
+    pub addr_bits: u32,
+}
+
+impl Microprogram {
+    /// Horizontal control-word width: one bit per signal plus the branch
+    /// section (flag select + two addresses).
+    pub fn horizontal_width(&self) -> u32 {
+        self.signals.len() as u32 + self.branch_bits()
+    }
+
+    /// Field-encoded width: `ceil(log2(|field|+1))` bits per field (the
+    /// +1 encodes "none asserted") plus the branch section.
+    pub fn encoded_width(&self) -> u32 {
+        let field_bits: u32 = self
+            .fields
+            .iter()
+            .map(|f| {
+                let options = f.len() as u64 + 1;
+                (64 - (options - 1).leading_zeros()).max(1)
+            })
+            .sum();
+        field_bits + self.branch_bits()
+    }
+
+    fn branch_bits(&self) -> u32 {
+        // Flag select (log2 of flags+1) + two target addresses.
+        let flags: BTreeSet<&String> = self
+            .rom
+            .iter()
+            .filter_map(|m| m.branch.0.as_ref())
+            .collect();
+        let flag_bits = (64 - (flags.len() as u64).leading_zeros()).max(1);
+        flag_bits + 2 * self.addr_bits
+    }
+
+    /// Total ROM bits under the horizontal format.
+    pub fn horizontal_rom_bits(&self) -> u64 {
+        self.rom.len() as u64 * self.horizontal_width() as u64
+    }
+
+    /// Total ROM bits under the field-encoded format.
+    pub fn encoded_rom_bits(&self) -> u64 {
+        self.rom.len() as u64 * self.encoded_width() as u64
+    }
+}
+
+/// Generates the microprogram for `fsm`.
+///
+/// FSM states with more than one guarded transition map onto conditional
+/// branch microinstructions; the first two transitions are used (the
+/// structured control tree never produces more than a two-way decision
+/// plus the fall-through).
+pub fn microcode(fsm: &Fsm) -> Microprogram {
+    let signals: Vec<String> = fsm.signal_set().into_iter().collect();
+    let n = fsm.len().max(1);
+    let addr_bits = (usize::BITS - (n - 1).leading_zeros()).max(1);
+
+    let rom: Vec<MicroInstruction> = fsm
+        .states
+        .iter()
+        .map(|s| {
+            let branch = branch_of(s);
+            MicroInstruction { name: s.name.clone(), signals: s.signals.clone(), branch }
+        })
+        .collect();
+
+    // Conflict graph: signals asserted in the same state cannot share an
+    // encoded field. Greedy coloring by assertion frequency.
+    let mut conflicts: BTreeMap<&String, BTreeSet<&String>> = BTreeMap::new();
+    for s in &fsm.states {
+        let list: Vec<&String> = s.signals.iter().collect();
+        for (i, a) in list.iter().enumerate() {
+            for b in &list[i + 1..] {
+                conflicts.entry(a).or_default().insert(b);
+                conflicts.entry(b).or_default().insert(a);
+            }
+        }
+    }
+    let mut fields: Vec<Vec<String>> = Vec::new();
+    for sig in &signals {
+        let empty = BTreeSet::new();
+        let conf = conflicts.get(sig).unwrap_or(&empty);
+        match fields
+            .iter_mut()
+            .find(|f| f.iter().all(|other| !conf.contains(other)))
+        {
+            Some(f) => f.push(sig.clone()),
+            None => fields.push(vec![sig.clone()]),
+        }
+    }
+
+    Microprogram { rom, signals, fields, addr_bits }
+}
+
+fn branch_of(state: &crate::fsm::State) -> (Option<String>, usize, usize) {
+    let mut flag = None;
+    let mut if_true = None;
+    let mut if_false = None;
+    let mut fallthrough = None;
+    for t in &state.transitions {
+        match &t.cond {
+            Cond::Always => fallthrough = fallthrough.or(Some(t.to)),
+            Cond::IsTrue(v) => {
+                flag = Some(v.clone());
+                if_true = if_true.or(Some(t.to));
+            }
+            Cond::IsFalse(v) => {
+                flag = Some(v.clone());
+                if_false = if_false.or(Some(t.to));
+            }
+        }
+    }
+    let default = fallthrough.unwrap_or(0);
+    match flag {
+        Some(f) => (Some(f), if_true.unwrap_or(default), if_false.unwrap_or(default)),
+        None => (None, default, default),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sqrt_microprogram() -> Microprogram {
+        let mut cdfg = hls_lang::compile(hls_workloads::sources::SQRT).unwrap();
+        hls_opt::optimize(&mut cdfg);
+        let cls = hls_sched::OpClassifier::universal_free_shifts();
+        let limits = hls_sched::ResourceLimits::universal(2);
+        let sched = hls_sched::schedule_cdfg(
+            &cdfg,
+            &cls,
+            &limits,
+            hls_sched::Algorithm::List(hls_sched::Priority::PathLength),
+        )
+        .unwrap();
+        let dp = hls_alloc::build_datapath(
+            &cdfg,
+            &sched,
+            &cls,
+            &hls_rtl::Library::standard(),
+            hls_alloc::FuStrategy::GreedyAware,
+        )
+        .unwrap();
+        let fsm = crate::build_fsm(&cdfg, &sched, &dp, &cls).unwrap();
+        microcode(&fsm)
+    }
+
+    #[test]
+    fn one_word_per_state() {
+        let mp = sqrt_microprogram();
+        assert_eq!(mp.rom.len(), 5);
+        assert_eq!(mp.addr_bits, 3);
+    }
+
+    #[test]
+    fn encoding_narrows_the_word() {
+        // The paper's point about "encoding techniques for the
+        // microcontrol word": mutually exclusive signals share fields.
+        let mp = sqrt_microprogram();
+        assert!(
+            mp.encoded_width() < mp.horizontal_width(),
+            "encoded {} vs horizontal {}",
+            mp.encoded_width(),
+            mp.horizontal_width()
+        );
+        assert!(mp.encoded_rom_bits() < mp.horizontal_rom_bits());
+    }
+
+    #[test]
+    fn fields_are_conflict_free() {
+        let mp = sqrt_microprogram();
+        // No two signals of a field appear together in any instruction.
+        for field in &mp.fields {
+            for m in &mp.rom {
+                let count = field.iter().filter(|s| m.signals.contains(*s)).count();
+                assert!(count <= 1, "field {field:?} clashes in {}", m.name);
+            }
+        }
+        // All signals covered exactly once.
+        let covered: usize = mp.fields.iter().map(Vec::len).sum();
+        assert_eq!(covered, mp.signals.len());
+    }
+
+    #[test]
+    fn branches_follow_fsm() {
+        let mp = sqrt_microprogram();
+        let conditional = mp.rom.iter().filter(|m| m.branch.0.is_some()).count();
+        assert_eq!(conditional, 1, "one loop-test branch");
+    }
+}

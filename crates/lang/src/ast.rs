@@ -1,0 +1,239 @@
+//! Abstract syntax tree for BSL programs.
+
+use hls_cdfg::Fx;
+
+/// A declared variable type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Type {
+    /// Signed fixed point (Q16.16, 32 datapath bits).
+    Fix,
+    /// Unsigned integer of the given bit width.
+    Int(u8),
+    /// A single bit.
+    Bit,
+}
+
+impl Type {
+    /// The datapath width in bits.
+    pub fn width(self) -> u8 {
+        match self {
+            Type::Fix => 32,
+            Type::Int(w) => w,
+            Type::Bit => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for Type {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Type::Fix => f.write_str("fix"),
+            Type::Int(w) => write!(f, "int<{w}>"),
+            Type::Bit => f.write_str("bit"),
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `=`
+    Eq,
+    /// `/=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Bitwise not.
+    Not,
+}
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// A literal constant.
+    Num(Fx),
+    /// A variable reference.
+    Var(String),
+    /// A unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// A binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// A call to a declared single-expression function (inlined during
+    /// lowering — the tutorial's "inline expansion of procedures").
+    Call(String, Vec<Expr>),
+    /// An array element read: `A[i]`.
+    Index(String, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for binary nodes.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Returns the literal value if this expression is a bare number.
+    pub fn as_num(&self) -> Option<Fx> {
+        match self {
+            Expr::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `name := expr;`
+    Assign {
+        /// Target variable.
+        name: String,
+        /// Assigned expression.
+        expr: Expr,
+    },
+    /// `name[index] := expr;`
+    ArrayAssign {
+        /// Target array.
+        name: String,
+        /// Element index.
+        index: Expr,
+        /// Stored expression.
+        expr: Expr,
+    },
+    /// `do <body> until <cond>;` — post-test loop.
+    DoUntil {
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Exit condition, tested after each iteration.
+        cond: Expr,
+    },
+    /// `while <cond> do <body> end` — pre-test loop.
+    While {
+        /// Continue condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `if <cond> then <body> [else <body>] end`
+    If {
+        /// Branch condition.
+        cond: Expr,
+        /// Taken when true.
+        then_body: Vec<Stmt>,
+        /// Taken when false.
+        else_body: Vec<Stmt>,
+    },
+}
+
+/// A single-expression function declaration:
+/// `function f(a, b) = a * a + b;`
+#[derive(Clone, Debug, PartialEq)]
+pub struct FuncDecl {
+    /// Function name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// The body expression.
+    pub body: Expr,
+}
+
+/// A whole BSL program.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Program {
+    /// Program name.
+    pub name: String,
+    /// Input ports with types.
+    pub inputs: Vec<(String, Type)>,
+    /// Output ports with types.
+    pub outputs: Vec<(String, Type)>,
+    /// Local variables with types.
+    pub vars: Vec<(String, Type)>,
+    /// Arrays with their element counts (each becomes a memory).
+    pub arrays: Vec<(String, u32)>,
+    /// Inlinable functions.
+    pub functions: Vec<FuncDecl>,
+    /// Top-level statements.
+    pub body: Vec<Stmt>,
+}
+
+impl Program {
+    /// Looks up the declared type of `name` across inputs, outputs, and
+    /// vars.
+    pub fn type_of(&self, name: &str) -> Option<Type> {
+        self.inputs
+            .iter()
+            .chain(&self.outputs)
+            .chain(&self.vars)
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| *t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_widths() {
+        assert_eq!(Type::Fix.width(), 32);
+        assert_eq!(Type::Int(4).width(), 4);
+        assert_eq!(Type::Bit.width(), 1);
+        assert_eq!(Type::Int(4).to_string(), "int<4>");
+    }
+
+    #[test]
+    fn expr_helpers() {
+        let e = Expr::bin(BinOp::Add, Expr::Num(Fx::ONE), Expr::Var("x".into()));
+        assert!(matches!(e, Expr::Binary(BinOp::Add, _, _)));
+        assert_eq!(Expr::Num(Fx::ONE).as_num(), Some(Fx::ONE));
+        assert_eq!(Expr::Var("x".into()).as_num(), None);
+    }
+
+    #[test]
+    fn program_type_lookup() {
+        let p = Program {
+            name: "t".into(),
+            inputs: vec![("x".into(), Type::Fix)],
+            outputs: vec![("y".into(), Type::Fix)],
+            vars: vec![("i".into(), Type::Int(4))],
+            arrays: vec![("buf".into(), 16)],
+            functions: vec![],
+            body: vec![],
+        };
+        assert_eq!(p.type_of("i"), Some(Type::Int(4)));
+        assert_eq!(p.type_of("x"), Some(Type::Fix));
+        assert_eq!(p.type_of("zz"), None);
+    }
+}

@@ -1,0 +1,73 @@
+//! Parse and lowering errors.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::lexer::Pos;
+
+/// An error produced while lexing, parsing, or lowering a BSL program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+    pos: Option<Pos>,
+}
+
+impl ParseError {
+    /// Creates an error with a message and source position.
+    pub fn new(message: impl Into<String>, pos: Pos) -> Self {
+        ParseError { message: message.into(), pos: Some(pos) }
+    }
+
+    /// Creates an error with no position (lowering-stage errors).
+    pub fn without_pos(message: impl Into<String>) -> Self {
+        ParseError { message: message.into(), pos: None }
+    }
+
+    pub(crate) fn bad_char(c: char, pos: Pos) -> Self {
+        Self::new(format!("unexpected character `{c}`"), pos)
+    }
+
+    pub(crate) fn bad_number(text: &str, pos: Pos) -> Self {
+        Self::new(format!("malformed number `{text}`"), pos)
+    }
+
+    /// The source position, if known.
+    pub fn pos(&self) -> Option<Pos> {
+        self.pos
+    }
+
+    /// The bare message without position.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pos {
+            Some(p) => write!(f, "{}: {}", p, self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_position() {
+        let e = ParseError::new("unexpected `;`", Pos { line: 3, col: 7 });
+        assert_eq!(e.to_string(), "3:7: unexpected `;`");
+        assert_eq!(e.pos(), Some(Pos { line: 3, col: 7 }));
+    }
+
+    #[test]
+    fn display_without_position() {
+        let e = ParseError::without_pos("unknown variable `q`");
+        assert_eq!(e.to_string(), "unknown variable `q`");
+        assert_eq!(e.pos(), None);
+    }
+}

@@ -1,0 +1,472 @@
+//! Lexer for BSL, the behavioral specification language.
+
+use crate::error::ParseError;
+use hls_cdfg::Fx;
+
+/// A source position (1-based line and column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl std::fmt::Display for Pos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// An identifier.
+    Ident(String),
+    /// A numeric literal (integer or fixed-point real).
+    Num(Fx),
+    /// `program`
+    Program,
+    /// `input`
+    Input,
+    /// `output`
+    Output,
+    /// `var`
+    Var,
+    /// `function`
+    Function,
+    /// `array`
+    Array,
+    /// `begin`
+    Begin,
+    /// `end`
+    End,
+    /// `do`
+    Do,
+    /// `until`
+    Until,
+    /// `while`
+    While,
+    /// `if`
+    If,
+    /// `then`
+    Then,
+    /// `else`
+    Else,
+    /// `fix` type
+    Fix,
+    /// `int` type
+    Int,
+    /// `bit` type
+    Bit,
+    /// `not`
+    Not,
+    /// `:=`
+    Assign,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `<` used both as comparison and in `int<4>`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    EqTok,
+    /// `/=`
+    Ne,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// End of input.
+    Eof,
+}
+
+impl std::fmt::Display for Token {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "identifier `{s}`"),
+            Token::Num(n) => write!(f, "number `{n}`"),
+            Token::Eof => write!(f, "end of input"),
+            other => {
+                let s = match other {
+                    Token::Program => "program",
+                    Token::Input => "input",
+                    Token::Output => "output",
+                    Token::Var => "var",
+                    Token::Function => "function",
+                    Token::Array => "array",
+                    Token::Begin => "begin",
+                    Token::End => "end",
+                    Token::Do => "do",
+                    Token::Until => "until",
+                    Token::While => "while",
+                    Token::If => "if",
+                    Token::Then => "then",
+                    Token::Else => "else",
+                    Token::Fix => "fix",
+                    Token::Int => "int",
+                    Token::Bit => "bit",
+                    Token::Not => "not",
+                    Token::Assign => ":=",
+                    Token::Semi => ";",
+                    Token::Colon => ":",
+                    Token::Comma => ",",
+                    Token::Dot => ".",
+                    Token::LParen => "(",
+                    Token::RParen => ")",
+                    Token::LBracket => "[",
+                    Token::RBracket => "]",
+                    Token::Lt => "<",
+                    Token::Le => "<=",
+                    Token::Gt => ">",
+                    Token::Ge => ">=",
+                    Token::EqTok => "=",
+                    Token::Ne => "/=",
+                    Token::Plus => "+",
+                    Token::Minus => "-",
+                    Token::Star => "*",
+                    Token::Slash => "/",
+                    Token::Percent => "%",
+                    Token::Shl => "<<",
+                    Token::Shr => ">>",
+                    Token::Amp => "&",
+                    Token::Pipe => "|",
+                    Token::Caret => "^",
+                    _ => unreachable!(),
+                };
+                write!(f, "`{s}`")
+            }
+        }
+    }
+}
+
+/// Tokenizes `src` into `(token, position)` pairs ending with [`Token::Eof`].
+///
+/// Comments run from `--` to end of line.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on unknown characters or malformed numbers.
+pub fn tokenize(src: &str) -> Result<Vec<(Token, Pos)>, ParseError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+    while i < bytes.len() {
+        let c = bytes[i];
+        let pos = Pos { line, col };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => bump!(),
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == '-' => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    bump!();
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    bump!();
+                }
+                let word: String = bytes[start..i].iter().collect();
+                // `loop` is pure sugar after `do ... until`: skip it.
+                if word.eq_ignore_ascii_case("loop") {
+                    continue;
+                }
+                let tok = match word.to_ascii_lowercase().as_str() {
+                    "program" => Token::Program,
+                    "input" => Token::Input,
+                    "output" => Token::Output,
+                    "var" => Token::Var,
+                    "function" => Token::Function,
+                    "array" => Token::Array,
+                    "begin" => Token::Begin,
+                    "end" => Token::End,
+                    "do" => Token::Do,
+                    "until" => Token::Until,
+                    "while" => Token::While,
+                    "if" => Token::If,
+                    "then" => Token::Then,
+                    "else" => Token::Else,
+                    "fix" => Token::Fix,
+                    "int" => Token::Int,
+                    "bit" => Token::Bit,
+                    "not" => Token::Not,
+                    _ => Token::Ident(word),
+                };
+                out.push((tok, pos));
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    bump!();
+                }
+                let mut is_real = false;
+                if i + 1 < bytes.len() && bytes[i] == '.' && bytes[i + 1].is_ascii_digit() {
+                    is_real = true;
+                    bump!(); // '.'
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        bump!();
+                    }
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let value = if is_real {
+                    text.parse::<f64>().map(Fx::from_f64).ok()
+                } else {
+                    text.parse::<i64>().map(Fx::from_i64).ok()
+                }
+                .ok_or_else(|| ParseError::bad_number(&text, pos))?;
+                out.push((Token::Num(value), pos));
+            }
+            ':' => {
+                bump!();
+                if i < bytes.len() && bytes[i] == '=' {
+                    bump!();
+                    out.push((Token::Assign, pos));
+                } else {
+                    out.push((Token::Colon, pos));
+                }
+            }
+            '<' => {
+                bump!();
+                if i < bytes.len() && bytes[i] == '=' {
+                    bump!();
+                    out.push((Token::Le, pos));
+                } else if i < bytes.len() && bytes[i] == '<' {
+                    bump!();
+                    out.push((Token::Shl, pos));
+                } else {
+                    out.push((Token::Lt, pos));
+                }
+            }
+            '>' => {
+                bump!();
+                if i < bytes.len() && bytes[i] == '=' {
+                    bump!();
+                    out.push((Token::Ge, pos));
+                } else if i < bytes.len() && bytes[i] == '>' {
+                    bump!();
+                    out.push((Token::Shr, pos));
+                } else {
+                    out.push((Token::Gt, pos));
+                }
+            }
+            '/' => {
+                bump!();
+                if i < bytes.len() && bytes[i] == '=' {
+                    bump!();
+                    out.push((Token::Ne, pos));
+                } else {
+                    out.push((Token::Slash, pos));
+                }
+            }
+            ';' => {
+                bump!();
+                out.push((Token::Semi, pos));
+            }
+            ',' => {
+                bump!();
+                out.push((Token::Comma, pos));
+            }
+            '.' => {
+                bump!();
+                out.push((Token::Dot, pos));
+            }
+            '(' => {
+                bump!();
+                out.push((Token::LParen, pos));
+            }
+            '[' => {
+                bump!();
+                out.push((Token::LBracket, pos));
+            }
+            ']' => {
+                bump!();
+                out.push((Token::RBracket, pos));
+            }
+            ')' => {
+                bump!();
+                out.push((Token::RParen, pos));
+            }
+            '=' => {
+                bump!();
+                out.push((Token::EqTok, pos));
+            }
+            '+' => {
+                bump!();
+                out.push((Token::Plus, pos));
+            }
+            '-' => {
+                bump!();
+                out.push((Token::Minus, pos));
+            }
+            '*' => {
+                bump!();
+                out.push((Token::Star, pos));
+            }
+            '%' => {
+                bump!();
+                out.push((Token::Percent, pos));
+            }
+            '&' => {
+                bump!();
+                out.push((Token::Amp, pos));
+            }
+            '|' => {
+                bump!();
+                out.push((Token::Pipe, pos));
+            }
+            '^' => {
+                bump!();
+                out.push((Token::Caret, pos));
+            }
+            other => return Err(ParseError::bad_char(other, pos)),
+        }
+    }
+    out.push((Token::Eof, Pos { line, col }));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("program sqrt;"),
+            vec![
+                Token::Program,
+                Token::Ident("sqrt".into()),
+                Token::Semi,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("42 0.5"),
+            vec![Token::Num(Fx::from_i64(42)), Token::Num(Fx::from_f64(0.5)), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("a := b + c * d / e <= f >> 2"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Assign,
+                Token::Ident("b".into()),
+                Token::Plus,
+                Token::Ident("c".into()),
+                Token::Star,
+                Token::Ident("d".into()),
+                Token::Slash,
+                Token::Ident("e".into()),
+                Token::Le,
+                Token::Ident("f".into()),
+                Token::Shr,
+                Token::Num(Fx::from_i64(2)),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn ne_vs_slash() {
+        assert_eq!(toks("a /= b"), vec![
+            Token::Ident("a".into()),
+            Token::Ne,
+            Token::Ident("b".into()),
+            Token::Eof
+        ]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(toks("a -- this is a comment\nb"), vec![
+            Token::Ident("a".into()),
+            Token::Ident("b".into()),
+            Token::Eof
+        ]);
+    }
+
+    #[test]
+    fn loop_keyword_is_sugar() {
+        assert_eq!(toks("do until loop"), vec![Token::Do, Token::Until, Token::Eof]);
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let t = tokenize("a\n  b").unwrap();
+        assert_eq!(t[0].1, Pos { line: 1, col: 1 });
+        assert_eq!(t[1].1, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn bad_char_errors() {
+        assert!(tokenize("a ? b").is_err());
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        assert_eq!(toks("DO UNTIL I"), vec![
+            Token::Do,
+            Token::Until,
+            Token::Ident("I".into()),
+            Token::Eof
+        ]);
+    }
+}

@@ -1,0 +1,38 @@
+//! # hls-lang — the BSL behavioral specification front end
+//!
+//! BSL is a small Pascal/ISPS-flavoured procedural language — the
+//! "algorithmic level" input the DAC'88 tutorial starts from. This crate
+//! lexes ([`lexer`]), parses ([`parse`]) and compiles ([`lower`]/[`compile`])
+//! BSL into the [`hls_cdfg::Cdfg`] internal representation.
+//!
+//! ```
+//! let cdfg = hls_lang::compile("
+//!     program sqrt;
+//!     input X; output Y; var I : int<4>;
+//!     begin
+//!       Y := 0.222222 + 0.888889 * X;
+//!       I := 0;
+//!       do
+//!         Y := 0.5 * (Y + X / Y);
+//!         I := I + 1;
+//!       until I > 3;
+//!     end.
+//! ")?;
+//! assert_eq!(cdfg.name(), "sqrt");
+//! # Ok::<(), hls_lang::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ast;
+mod error;
+pub mod lexer;
+mod lower;
+mod parser;
+pub mod pretty;
+
+pub use ast::{BinOp, Expr, FuncDecl, Program, Stmt, Type, UnOp};
+pub use error::ParseError;
+pub use lower::{compile, lower};
+pub use parser::parse;

@@ -1,0 +1,799 @@
+//! Lowering: compiles a parsed [`Program`] into a [`Cdfg`].
+//!
+//! This is the tutorial's "compilation of the formal language into an
+//! internal representation" (§2). Straight-line statement runs become basic
+//! blocks holding pure data-flow graphs; loops and conditionals become
+//! control regions. Variables are resolved to value arcs *within* a block
+//! (removing "the dependence on the way internal variables are used in the
+//! specification"); across blocks they flow as named live-ins/live-outs.
+//!
+//! Two lowering details matter for reproducing the paper's numbers:
+//!
+//! * An assignment whose right-hand side is a bare constant or variable
+//!   (e.g. `I := 0`) becomes a `Copy` operation — a register transfer that
+//!   occupies a control step on a functional unit, which is how the paper
+//!   counts 3 pre-loop steps for the sqrt example.
+//! * Counted `do..until` loops are recognized and annotated with their trip
+//!   count (4 for the sqrt example), which whole-behavior latency uses.
+
+use std::collections::HashMap;
+
+use crate::ast::{BinOp, Expr, FuncDecl, Program, Stmt, UnOp};
+use crate::error::ParseError;
+use hls_cdfg::{
+    Cdfg, DataFlowGraph, Fx, IfRegion, LoopKind, LoopRegion, OpKind, Region, ValueId,
+};
+
+/// Maximum iterations explored when inferring a loop trip count.
+const TRIP_SEARCH_CAP: u64 = 1 << 20;
+
+/// Compiles `prog` to a control/data-flow graph.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] for semantic problems: references to undeclared
+/// variables, unknown or recursive functions, or calls with the wrong
+/// argument count.
+///
+/// # Examples
+///
+/// ```
+/// let prog = hls_lang::parse(
+///     "program double; input x; output y; begin y := x + x; end."
+/// )?;
+/// let cdfg = hls_lang::lower(&prog)?;
+/// assert_eq!(cdfg.total_ops(), 1);
+/// # Ok::<(), hls_lang::ParseError>(())
+/// ```
+pub fn lower(prog: &Program) -> Result<Cdfg, ParseError> {
+    let mut cdfg = Cdfg::new(&prog.name);
+    for (n, t) in &prog.inputs {
+        cdfg.declare_input(n, t.width());
+    }
+    for (n, _) in &prog.outputs {
+        cdfg.declare_output(n);
+    }
+    let funcs: HashMap<&str, &FuncDecl> =
+        prog.functions.iter().map(|f| (f.name.as_str(), f)).collect();
+    let mut lw = Lowerer { prog, funcs, cdfg, exit_counter: 0, block_counter: 0 };
+    let body = lw.lower_stmts(&prog.body, None)?;
+    let body = if prog.arrays.is_empty() {
+        body
+    } else {
+        // Initialize one memory-state token per array so every block can
+        // read its live-in token (see the `Load`/`Store` docs in hls-cdfg).
+        let mut init = DataFlowGraph::new();
+        for (name, _) in &prog.arrays {
+            let z = init.add_const_value(Fx::ZERO);
+            init.set_output(&mem_token(name), z);
+        }
+        let ib = lw.cdfg.add_block("mem_init", init);
+        Region::Seq(vec![Region::Block(ib), body])
+    };
+    lw.cdfg.set_body(body);
+    lw.cdfg
+        .validate()
+        .map_err(|e| ParseError::without_pos(format!("internal lowering error: {e}")))?;
+    Ok(lw.cdfg)
+}
+
+/// Parses and lowers in one step.
+///
+/// # Errors
+///
+/// Propagates lexical, syntactic, and semantic errors.
+pub fn compile(src: &str) -> Result<Cdfg, ParseError> {
+    lower(&crate::parser::parse(src)?)
+}
+
+/// The threaded memory-state variable of array `name`.
+fn mem_token(name: &str) -> String {
+    format!("%mem_{name}")
+}
+
+struct Lowerer<'a> {
+    prog: &'a Program,
+    funcs: HashMap<&'a str, &'a FuncDecl>,
+    cdfg: Cdfg,
+    exit_counter: usize,
+    block_counter: usize,
+}
+
+/// Per-block lowering state.
+struct BlockCtx {
+    dfg: DataFlowGraph,
+    env: HashMap<String, ValueId>,
+    written: Vec<String>,
+}
+
+impl BlockCtx {
+    fn new() -> Self {
+        BlockCtx { dfg: DataFlowGraph::new(), env: HashMap::new(), written: Vec::new() }
+    }
+}
+
+impl<'a> Lowerer<'a> {
+    fn fresh_exit(&mut self) -> String {
+        self.exit_counter += 1;
+        format!("%exit{}", self.exit_counter)
+    }
+
+    fn fresh_block(&mut self, hint: &str) -> String {
+        self.block_counter += 1;
+        format!("{hint}{}", self.block_counter)
+    }
+
+    fn width_of(&self, name: &str) -> Result<u8, ParseError> {
+        self.prog
+            .type_of(name)
+            .map(|t| t.width())
+            .ok_or_else(|| ParseError::without_pos(format!("unknown variable `{name}`")))
+    }
+
+    fn check_array(&self, name: &str) -> Result<(), ParseError> {
+        if self.prog.arrays.iter().any(|(n, _)| n == name) {
+            Ok(())
+        } else {
+            Err(ParseError::without_pos(format!("unknown array `{name}`")))
+        }
+    }
+
+    /// Reads the current memory-state token of `array` within `ctx`.
+    fn read_token(&self, ctx: &mut BlockCtx, array: &str) -> ValueId {
+        let key = mem_token(array);
+        if let Some(&v) = ctx.env.get(&key) {
+            return v;
+        }
+        let v = ctx.dfg.add_input(&key, 32);
+        ctx.env.insert(key, v);
+        v
+    }
+
+    /// Installs `token` as the new memory state of `array` (and marks it a
+    /// block output, so the sequence threads across blocks).
+    fn write_token(&self, ctx: &mut BlockCtx, array: &str, token: ValueId) {
+        let key = mem_token(array);
+        ctx.env.insert(key.clone(), token);
+        if !ctx.written.contains(&key) {
+            ctx.written.push(key);
+        }
+    }
+
+    /// Lowers a statement list (plus an optional trailing condition
+    /// expression bound to `tail`'s variable name) into a region.
+    fn lower_stmts(
+        &mut self,
+        stmts: &[Stmt],
+        tail: Option<(&str, &Expr)>,
+    ) -> Result<Region, ParseError> {
+        let mut pieces: Vec<Region> = Vec::new();
+        let mut run: Vec<&Stmt> = Vec::new();
+        // Constant values of variables, tracked along the straight-line
+        // spine of this list for trip-count inference.
+        let mut known: HashMap<String, Fx> = HashMap::new();
+        for s in stmts {
+            match s {
+                Stmt::Assign { name, expr } => {
+                    match expr.as_num() {
+                        Some(c) => {
+                            known.insert(name.clone(), c);
+                        }
+                        None => {
+                            known.remove(name);
+                        }
+                    }
+                    run.push(s);
+                }
+                Stmt::ArrayAssign { .. } => {
+                    run.push(s);
+                }
+                Stmt::DoUntil { body, cond } => {
+                    self.flush_run(&mut run, &mut pieces, None)?;
+                    let exit = self.fresh_exit();
+                    let trip = infer_do_until_trip(body, cond, &known);
+                    let body_region = self.lower_stmts(body, Some((&exit, cond)))?;
+                    pieces.push(Region::Loop(LoopRegion {
+                        body: Box::new(body_region),
+                        kind: LoopKind::DoUntil,
+                        cond_block: None,
+                        exit_var: exit,
+                        trip_hint: trip,
+                    }));
+                    invalidate_written(body, &mut known);
+                }
+                Stmt::While { cond, body } => {
+                    self.flush_run(&mut run, &mut pieces, None)?;
+                    let exit = self.fresh_exit();
+                    let mut cb = BlockCtx::new();
+                    let v = self.lower_expr(&mut cb, cond, &mut Vec::new())?;
+                    cb.dfg.set_output(&exit, v);
+                    let name = self.fresh_block("while_cond");
+                    let cond_block = self.cdfg.add_block(&name, cb.dfg);
+                    let trip = infer_while_trip(body, cond, &known);
+                    let body_region = self.lower_stmts(body, None)?;
+                    pieces.push(Region::Loop(LoopRegion {
+                        body: Box::new(body_region),
+                        kind: LoopKind::While,
+                        cond_block: Some(cond_block),
+                        exit_var: exit,
+                        trip_hint: trip,
+                    }));
+                    invalidate_written(body, &mut known);
+                }
+                Stmt::If { cond, then_body, else_body } => {
+                    self.flush_run(&mut run, &mut pieces, None)?;
+                    let cv = self.fresh_exit();
+                    let mut cb = BlockCtx::new();
+                    let v = self.lower_expr(&mut cb, cond, &mut Vec::new())?;
+                    cb.dfg.set_output(&cv, v);
+                    let name = self.fresh_block("if_cond");
+                    let cond_block = self.cdfg.add_block(&name, cb.dfg);
+                    let then_region = self.lower_stmts(then_body, None)?;
+                    let else_region = if else_body.is_empty() {
+                        None
+                    } else {
+                        Some(Box::new(self.lower_stmts(else_body, None)?))
+                    };
+                    pieces.push(Region::If(IfRegion {
+                        cond_block,
+                        cond_var: cv,
+                        then_region: Box::new(then_region),
+                        else_region,
+                    }));
+                    invalidate_written(then_body, &mut known);
+                    invalidate_written(else_body, &mut known);
+                }
+            }
+        }
+        self.flush_run(&mut run, &mut pieces, tail)?;
+        Ok(match pieces.len() {
+            1 => pieces.into_iter().next().expect("one piece"),
+            _ => Region::Seq(pieces),
+        })
+    }
+
+    /// Turns the accumulated straight-line `run` (plus optional trailing
+    /// condition) into a basic block, if nonempty.
+    fn flush_run(
+        &mut self,
+        run: &mut Vec<&Stmt>,
+        pieces: &mut Vec<Region>,
+        tail: Option<(&str, &Expr)>,
+    ) -> Result<(), ParseError> {
+        if run.is_empty() && tail.is_none() {
+            return Ok(());
+        }
+        let mut ctx = BlockCtx::new();
+        for s in run.drain(..) {
+            match s {
+                Stmt::Assign { name, expr } => {
+                    let width = self.width_of(name)?;
+                    let mut v = self.lower_expr(&mut ctx, expr, &mut Vec::new())?;
+                    // A bare constant or variable on the RHS is a register
+                    // transfer: materialize it as a Copy op (it costs a
+                    // control step).
+                    if matches!(expr, Expr::Num(_) | Expr::Var(_)) {
+                        let cp = ctx.dfg.add_op(OpKind::Copy, vec![v]);
+                        v = ctx.dfg.result(cp).expect("copy has a result");
+                    }
+                    ctx.dfg.value_mut(v).width = width;
+                    ctx.dfg.value_mut(v).name = name.clone();
+                    ctx.env.insert(name.clone(), v);
+                    if !ctx.written.contains(name) {
+                        ctx.written.push(name.clone());
+                    }
+                }
+                Stmt::ArrayAssign { name, index, expr } => {
+                    self.check_array(name)?;
+                    let addr = self.lower_expr(&mut ctx, index, &mut Vec::new())?;
+                    let data = self.lower_expr(&mut ctx, expr, &mut Vec::new())?;
+                    let token = self.read_token(&mut ctx, name);
+                    let st = ctx.dfg.add_op(OpKind::Store, vec![addr, data, token]);
+                    ctx.dfg.op_mut(st).memory = Some(name.clone());
+                    let new_token = ctx.dfg.result(st).expect("store yields a token");
+                    self.write_token(&mut ctx, name, new_token);
+                }
+                other => unreachable!("run holds straight-line statements: {other:?}"),
+            }
+        }
+        if let Some((exit_name, cond)) = tail {
+            let v = self.lower_expr(&mut ctx, cond, &mut Vec::new())?;
+            ctx.dfg.set_output(exit_name, v);
+        }
+        for w in &ctx.written {
+            ctx.dfg.set_output(w, ctx.env[w]);
+        }
+        let name = self.fresh_block("blk");
+        let id = self.cdfg.add_block(&name, ctx.dfg);
+        pieces.push(Region::Block(id));
+        Ok(())
+    }
+
+    /// Lowers an expression inside `ctx`, returning its value.
+    ///
+    /// `call_stack` guards against recursive function inlining.
+    fn lower_expr(
+        &self,
+        ctx: &mut BlockCtx,
+        expr: &Expr,
+        call_stack: &mut Vec<String>,
+    ) -> Result<ValueId, ParseError> {
+        match expr {
+            Expr::Num(n) => Ok(ctx.dfg.add_const_value(*n)),
+            Expr::Var(name) => {
+                if let Some(&v) = ctx.env.get(name) {
+                    return Ok(v);
+                }
+                let width = self.width_of(name)?;
+                let v = ctx.dfg.add_input(name, width);
+                ctx.env.insert(name.clone(), v);
+                Ok(v)
+            }
+            Expr::Unary(op, e) => {
+                let v = self.lower_expr(ctx, e, call_stack)?;
+                let kind = match op {
+                    UnOp::Neg => OpKind::Neg,
+                    UnOp::Not => OpKind::Not,
+                };
+                let id = ctx.dfg.add_op(kind, vec![v]);
+                Ok(ctx.dfg.result(id).expect("unary has a result"))
+            }
+            Expr::Binary(op, l, r) => {
+                let lv = self.lower_expr(ctx, l, call_stack)?;
+                let rv = self.lower_expr(ctx, r, call_stack)?;
+                let kind = bin_kind(*op);
+                let id = ctx.dfg.add_op(kind, vec![lv, rv]);
+                Ok(ctx.dfg.result(id).expect("binary has a result"))
+            }
+            Expr::Index(name, idx) => {
+                self.check_array(name)?;
+                let addr = self.lower_expr(ctx, idx, call_stack)?;
+                // `self` is immutable here only for the environment; memory
+                // tokens live in `ctx`, which is mutable.
+                let token = {
+                    let key = mem_token(name);
+                    if let Some(&v) = ctx.env.get(&key) {
+                        v
+                    } else {
+                        let v = ctx.dfg.add_input(&key, 32);
+                        ctx.env.insert(key, v);
+                        v
+                    }
+                };
+                let ld = ctx.dfg.add_op(OpKind::Load, vec![addr, token]);
+                ctx.dfg.op_mut(ld).memory = Some(name.clone());
+                let data = ctx.dfg.result(ld).expect("load yields data");
+                // The loaded value doubles as the next memory-state token,
+                // serializing subsequent accesses after this load.
+                let key = mem_token(name);
+                ctx.env.insert(key.clone(), data);
+                if !ctx.written.contains(&key) {
+                    ctx.written.push(key);
+                }
+                Ok(data)
+            }
+            Expr::Call(name, args) => {
+                let f = self.funcs.get(name.as_str()).ok_or_else(|| {
+                    ParseError::without_pos(format!("unknown function `{name}`"))
+                })?;
+                if call_stack.iter().any(|c| c == name) {
+                    return Err(ParseError::without_pos(format!(
+                        "recursive function `{name}` cannot be inlined"
+                    )));
+                }
+                if args.len() != f.params.len() {
+                    return Err(ParseError::without_pos(format!(
+                        "function `{name}` expects {} arguments, got {}",
+                        f.params.len(),
+                        args.len()
+                    )));
+                }
+                // Inline expansion: lower the arguments, then lower the body
+                // with parameters bound to the argument values.
+                let mut bound = HashMap::new();
+                for (p, a) in f.params.iter().zip(args) {
+                    bound.insert(p.clone(), self.lower_expr(ctx, a, call_stack)?);
+                }
+                call_stack.push(name.clone());
+                let saved: Vec<(String, Option<ValueId>)> = f
+                    .params
+                    .iter()
+                    .map(|p| (p.clone(), ctx.env.get(p).copied()))
+                    .collect();
+                for (p, v) in &bound {
+                    ctx.env.insert(p.clone(), *v);
+                }
+                let result = self.lower_expr(ctx, &f.body, call_stack);
+                for (p, old) in saved {
+                    match old {
+                        Some(v) => ctx.env.insert(p, v),
+                        None => ctx.env.remove(&p),
+                    };
+                }
+                call_stack.pop();
+                result
+            }
+        }
+    }
+}
+
+fn bin_kind(op: BinOp) -> OpKind {
+    match op {
+        BinOp::Add => OpKind::Add,
+        BinOp::Sub => OpKind::Sub,
+        BinOp::Mul => OpKind::Mul,
+        BinOp::Div => OpKind::Div,
+        BinOp::Mod => OpKind::Mod,
+        BinOp::Shl => OpKind::Shl,
+        BinOp::Shr => OpKind::Shr,
+        BinOp::And => OpKind::And,
+        BinOp::Or => OpKind::Or,
+        BinOp::Xor => OpKind::Xor,
+        BinOp::Eq => OpKind::Eq,
+        BinOp::Ne => OpKind::Ne,
+        BinOp::Lt => OpKind::Lt,
+        BinOp::Le => OpKind::Le,
+        BinOp::Gt => OpKind::Gt,
+        BinOp::Ge => OpKind::Ge,
+    }
+}
+
+/// Drops constant knowledge for every variable written in `stmts`.
+fn invalidate_written(stmts: &[Stmt], known: &mut HashMap<String, Fx>) {
+    for s in stmts {
+        match s {
+            Stmt::Assign { name, .. } => {
+                known.remove(name);
+            }
+            Stmt::ArrayAssign { .. } => {}
+            Stmt::DoUntil { body, .. } | Stmt::While { body, .. } => {
+                invalidate_written(body, known);
+            }
+            Stmt::If { then_body, else_body, .. } => {
+                invalidate_written(then_body, known);
+                invalidate_written(else_body, known);
+            }
+        }
+    }
+}
+
+/// Recognizes the counted-loop pattern `IV := c0; do ... IV := IV ± c ...
+/// until IV cmp bound` and returns the trip count.
+fn infer_do_until_trip(
+    body: &[Stmt],
+    cond: &Expr,
+    known: &HashMap<String, Fx>,
+) -> Option<u64> {
+    let (iv, cmp, bound) = split_counted_cond(cond)?;
+    let step = induction_step(body, iv)?;
+    let init = *known.get(iv)?;
+    // Simulate: the body runs, then the condition is tested.
+    let mut i = init;
+    for n in 1..=TRIP_SEARCH_CAP {
+        i = i + step;
+        if eval_cmp(cmp, i, bound) {
+            return Some(n);
+        }
+    }
+    None
+}
+
+/// Recognizes the counted pre-test loop `while IV cmp bound do ... IV := IV
+/// ± c ...` and returns the trip count.
+fn infer_while_trip(body: &[Stmt], cond: &Expr, known: &HashMap<String, Fx>) -> Option<u64> {
+    let (iv, cmp, bound) = split_counted_cond(cond)?;
+    let step = induction_step(body, iv)?;
+    let init = *known.get(iv)?;
+    let mut i = init;
+    let mut n = 0u64;
+    while eval_cmp(cmp, i, bound) {
+        n += 1;
+        if n > TRIP_SEARCH_CAP {
+            return None;
+        }
+        i = i + step;
+    }
+    Some(n)
+}
+
+/// Splits `IV cmp CONST` (or `CONST cmp IV`) conditions.
+fn split_counted_cond(cond: &Expr) -> Option<(&str, BinOp, Fx)> {
+    let Expr::Binary(op, l, r) = cond else { return None };
+    match (&**l, &**r) {
+        (Expr::Var(v), Expr::Num(n)) => Some((v.as_str(), *op, *n)),
+        (Expr::Num(n), Expr::Var(v)) => {
+            let swapped = match op {
+                BinOp::Lt => BinOp::Gt,
+                BinOp::Le => BinOp::Ge,
+                BinOp::Gt => BinOp::Lt,
+                BinOp::Ge => BinOp::Le,
+                BinOp::Eq => BinOp::Eq,
+                BinOp::Ne => BinOp::Ne,
+                _ => return None,
+            };
+            Some((v.as_str(), swapped, *n))
+        }
+        _ => None,
+    }
+}
+
+/// Finds the unique `iv := iv ± const` update in the body's top level.
+/// Returns the signed step. Any other write to `iv` disqualifies the loop.
+fn induction_step(body: &[Stmt], iv: &str) -> Option<Fx> {
+    let mut step = None;
+    for s in body {
+        if let Stmt::Assign { name, expr } = s {
+            if name != iv {
+                continue;
+            }
+            let Expr::Binary(op, l, r) = expr else { return None };
+            let delta = match (&**l, &**r, op) {
+                (Expr::Var(v), Expr::Num(n), BinOp::Add) if v == iv => *n,
+                (Expr::Num(n), Expr::Var(v), BinOp::Add) if v == iv => *n,
+                (Expr::Var(v), Expr::Num(n), BinOp::Sub) if v == iv => -*n,
+                _ => return None,
+            };
+            if step.replace(delta).is_some() {
+                return None; // written twice
+            }
+        } else if stmt_writes(s, iv) {
+            return None;
+        }
+    }
+    step
+}
+
+fn stmt_writes(s: &Stmt, var: &str) -> bool {
+    match s {
+        Stmt::Assign { name, .. } => name == var,
+        Stmt::ArrayAssign { .. } => false,
+        Stmt::DoUntil { body, .. } | Stmt::While { body, .. } => {
+            body.iter().any(|s| stmt_writes(s, var))
+        }
+        Stmt::If { then_body, else_body, .. } => {
+            then_body.iter().chain(else_body).any(|s| stmt_writes(s, var))
+        }
+    }
+}
+
+fn eval_cmp(op: BinOp, a: Fx, b: Fx) -> bool {
+    match op {
+        BinOp::Eq => a == b,
+        BinOp::Ne => a != b,
+        BinOp::Lt => a < b,
+        BinOp::Le => a <= b,
+        BinOp::Gt => a > b,
+        BinOp::Ge => a >= b,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_cdfg::Region;
+
+    const SQRT: &str = "
+        program sqrt;
+        input X;
+        output Y;
+        var I : int<4>;
+        begin
+          Y := 0.222222 + 0.888889 * X;
+          I := 0;
+          do
+            Y := 0.5 * (Y + X / Y);
+            I := I + 1;
+          until I > 3;
+        end.
+    ";
+
+    #[test]
+    fn sqrt_structure() {
+        let cdfg = compile(SQRT).unwrap();
+        cdfg.validate().unwrap();
+        let Region::Seq(pieces) = cdfg.body() else { panic!("expected seq") };
+        assert_eq!(pieces.len(), 2);
+        assert!(matches!(pieces[0], Region::Block(_)));
+        let Region::Loop(l) = &pieces[1] else { panic!("expected loop") };
+        assert_eq!(l.kind, LoopKind::DoUntil);
+        assert_eq!(l.trip_hint, Some(4), "paper: 4 Newton iterations");
+    }
+
+    #[test]
+    fn sqrt_op_counts_match_paper() {
+        // Paper §2: pre-loop has 3 step-taking ops (*, +, I:=0), the body 5
+        // (/, +, *, +1 as add, >). Consts are free wires.
+        let cdfg = compile(SQRT).unwrap();
+        let blocks = cdfg.block_order();
+        let count_steps = |b: hls_cdfg::BlockId| {
+            cdfg.block(b)
+                .dfg
+                .op_ids()
+                .filter(|&id| cdfg.block(b).dfg.op(id).kind != OpKind::Const)
+                .count()
+        };
+        assert_eq!(count_steps(blocks[0]), 3, "entry: mul, add, copy");
+        assert_eq!(count_steps(blocks[1]), 5, "body: div, add, mul, add, gt");
+    }
+
+    #[test]
+    fn bare_constant_assign_becomes_copy() {
+        let cdfg = compile("program t; var a; begin a := 0; end").unwrap();
+        let b = cdfg.block_order()[0];
+        let kinds: Vec<OpKind> =
+            cdfg.block(b).dfg.op_ids().map(|id| cdfg.block(b).dfg.op(id).kind).collect();
+        assert_eq!(kinds, vec![OpKind::Const, OpKind::Copy]);
+    }
+
+    #[test]
+    fn variable_reuse_within_block_shares_value() {
+        // y := x + x must read x once (one block input).
+        let cdfg = compile("program t; input x; output y; begin y := x + x; end").unwrap();
+        let b = cdfg.block_order()[0];
+        assert_eq!(cdfg.block(b).dfg.inputs().len(), 1);
+    }
+
+    #[test]
+    fn sequential_assignments_chain_through_env() {
+        // a := x + 1; b := a * 2 — the read of `a` uses the add's value, no
+        // block input for a.
+        let cdfg = compile(
+            "program t; input x; output b; var a; begin a := x + 1; b := a * 2; end",
+        )
+        .unwrap();
+        let b = cdfg.block_order()[0];
+        let names: Vec<&str> = cdfg
+            .block(b)
+            .dfg
+            .inputs()
+            .iter()
+            .map(|&v| cdfg.block(b).dfg.value(v).name.as_str())
+            .collect();
+        assert_eq!(names, vec!["x"]);
+    }
+
+    #[test]
+    fn unknown_variable_is_an_error() {
+        let err = compile("program t; begin q := 1; end").unwrap_err();
+        assert!(err.to_string().contains("unknown variable"));
+    }
+
+    #[test]
+    fn function_inlining() {
+        let cdfg = compile(
+            "program t; input x; output y;
+             function sq(a) = a * a;
+             begin y := sq(x + 1); end",
+        )
+        .unwrap();
+        let b = cdfg.block_order()[0];
+        let kinds: Vec<OpKind> = cdfg
+            .block(b)
+            .dfg
+            .op_ids()
+            .map(|id| cdfg.block(b).dfg.op(id).kind)
+            .filter(|k| *k != OpKind::Const)
+            .collect();
+        assert_eq!(kinds, vec![OpKind::Add, OpKind::Mul]);
+    }
+
+    #[test]
+    fn recursive_function_rejected() {
+        let err = compile(
+            "program t; input x; output y;
+             function f(a) = f(a);
+             begin y := f(x); end",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("recursive"));
+    }
+
+    #[test]
+    fn while_trip_inference() {
+        let cdfg = compile(
+            "program t; var i : int<8>; output s; begin
+               s := 0;
+               i := 0;
+               while i < 10 do
+                 s := s + i;
+                 i := i + 1;
+               end;
+             end",
+        )
+        .unwrap();
+        let Region::Seq(pieces) = cdfg.body() else { panic!() };
+        let Region::Loop(l) = &pieces[1] else { panic!("{:?}", pieces[1]) };
+        assert_eq!(l.kind, LoopKind::While);
+        assert_eq!(l.trip_hint, Some(10));
+        assert!(l.cond_block.is_some());
+    }
+
+    #[test]
+    fn non_counted_loop_has_no_hint() {
+        let cdfg = compile(
+            "program t; input x; output y; var d; begin
+               y := x;
+               do
+                 y := y >> 1;
+                 d := y < 1;
+               until d = 1;
+             end",
+        )
+        .unwrap();
+        let Region::Seq(pieces) = cdfg.body() else { panic!() };
+        let Region::Loop(l) = &pieces[1] else { panic!() };
+        assert_eq!(l.trip_hint, None);
+    }
+
+    #[test]
+    fn array_access_lowers_to_memory_ops_with_threaded_tokens() {
+        let cdfg = compile(
+            "program t; input x; output y; array A[8]; begin
+               A[0] := x;
+               A[1] := x + 1;
+               y := A[0] + A[1];
+             end",
+        )
+        .unwrap();
+        cdfg.validate().unwrap();
+        // Init block for the token, then the access block.
+        let blocks = cdfg.block_order();
+        assert_eq!(cdfg.block(blocks[0]).name, "mem_init");
+        let dfg = &cdfg.block(blocks[1]).dfg;
+        let stores = dfg.op_ids().filter(|&i| dfg.op(i).kind == OpKind::Store).count();
+        let loads = dfg.op_ids().filter(|&i| dfg.op(i).kind == OpKind::Load).count();
+        assert_eq!(stores, 2);
+        assert_eq!(loads, 2);
+        // The second store's token is the first store's result: any valid
+        // topological order keeps them serialized.
+        let order = dfg.topological_order().unwrap();
+        let mem_ops: Vec<_> = order
+            .into_iter()
+            .filter(|&i| matches!(dfg.op(i).kind, OpKind::Store | OpKind::Load))
+            .collect();
+        assert_eq!(mem_ops.len(), 4);
+        for pair in mem_ops.windows(2) {
+            // Each later access transitively depends on the earlier one.
+            let mut reached = false;
+            let mut work = vec![pair[0]];
+            while let Some(o) = work.pop() {
+                if o == pair[1] {
+                    reached = true;
+                    break;
+                }
+                work.extend(dfg.succs(o));
+            }
+            assert!(reached, "memory accesses must stay ordered");
+        }
+    }
+
+    #[test]
+    fn unknown_array_is_an_error() {
+        let err = compile("program t; input x; output y; begin y := B[0]; end").unwrap_err();
+        assert!(err.to_string().contains("unknown array"));
+    }
+
+    #[test]
+    fn if_lowering_produces_cond_block_and_regions() {
+        let cdfg = compile(
+            "program t; input x; output y; begin
+               if x > 0 then y := x; else y := 0 - x; end;
+             end",
+        )
+        .unwrap();
+        let Region::If(i) = cdfg.body() else { panic!("{:?}", cdfg.body()) };
+        assert!(i.else_region.is_some());
+        let cb = &cdfg.block(i.cond_block).dfg;
+        assert!(cb.outputs().iter().any(|(n, _)| n == &i.cond_var));
+    }
+
+    #[test]
+    fn int_width_applied_to_assigned_values() {
+        let cdfg = compile(SQRT).unwrap();
+        let body = cdfg.block_order()[1];
+        let dfg = &cdfg.block(body).dfg;
+        let (_, iv) = dfg.outputs().iter().find(|(n, _)| n == "I").unwrap();
+        assert_eq!(dfg.value(*iv).width, 4);
+    }
+}

@@ -1,0 +1,575 @@
+//! Recursive-descent parser for BSL.
+//!
+//! Grammar (EBNF, `--` comments elided by the lexer):
+//!
+//! ```text
+//! program   = "program" IDENT ";" { decl } "begin" stmts "end" [ "." ]
+//! decl      = ("input"|"output"|"var") IDENT {"," IDENT} [":" type] ";"
+//!           | "function" IDENT "(" [IDENT {"," IDENT}] ")" "=" expr ";"
+//! type      = "fix" | "bit" | "int" [ "<" NUM ">" ]
+//! stmts     = { stmt }
+//! stmt      = IDENT ":=" expr ";"
+//!           | "do" stmts "until" expr ";"
+//!           | "while" expr "do" stmts "end" [";"]
+//!           | "if" expr "then" stmts ["else" stmts] "end" [";"]
+//! expr      = orex  [ ("="|"/="|"<"|"<="|">"|">=") orex ]
+//! orex      = andex { ("|"|"^") andex }
+//! andex     = shift { "&" shift }
+//! shift     = sum   { ("<<"|">>") sum }
+//! sum       = term  { ("+"|"-") term }
+//! term      = unary { ("*"|"/"|"%") unary }
+//! unary     = ("-"|"not") unary | atom
+//! atom      = NUM | IDENT [ "(" [expr {"," expr}] ")" | "[" expr "]" ]
+//!           | "(" expr ")"
+//! ```
+
+use crate::ast::{BinOp, Expr, FuncDecl, Program, Stmt, Type, UnOp};
+use crate::error::ParseError;
+use crate::lexer::{tokenize, Pos, Token};
+
+/// Parses a BSL source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the source position of the first problem.
+///
+/// # Examples
+///
+/// ```
+/// let prog = hls_lang::parse(
+///     "program double; input x; output y; begin y := x + x; end."
+/// )?;
+/// assert_eq!(prog.name, "double");
+/// # Ok::<(), hls_lang::ParseError>(())
+/// ```
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let tokens = tokenize(src)?;
+    Parser { tokens, at: 0 }.program()
+}
+
+struct Parser {
+    tokens: Vec<(Token, Pos)>,
+    at: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.at].0
+    }
+
+    fn pos(&self) -> Pos {
+        self.tokens[self.at].1
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.at].0.clone();
+        if self.at + 1 < self.tokens.len() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, want: &Token) -> Result<(), ParseError> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                format!("expected {want}, found {}", self.peek()),
+                self.pos(),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Token::Ident(s) => Ok(s),
+            other => Err(ParseError::new(
+                format!("expected identifier, found {other}"),
+                self.pos(),
+            )),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        self.eat(&Token::Program)?;
+        let name = self.ident()?;
+        self.eat(&Token::Semi)?;
+        let mut prog = Program {
+            name,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            vars: Vec::new(),
+            arrays: Vec::new(),
+            functions: Vec::new(),
+            body: Vec::new(),
+        };
+        loop {
+            match self.peek() {
+                Token::Input => {
+                    self.bump();
+                    let ds = self.decl_list()?;
+                    prog.inputs.extend(ds);
+                }
+                Token::Output => {
+                    self.bump();
+                    let ds = self.decl_list()?;
+                    prog.outputs.extend(ds);
+                }
+                Token::Var => {
+                    self.bump();
+                    let ds = self.decl_list()?;
+                    prog.vars.extend(ds);
+                }
+                Token::Array => {
+                    self.bump();
+                    loop {
+                        let name = self.ident()?;
+                        self.eat(&Token::LBracket)?;
+                        let size = match self.bump() {
+                            Token::Num(n) if n.is_integer() && n.to_i64() >= 1 => {
+                                n.to_i64() as u32
+                            }
+                            _ => {
+                                return Err(ParseError::new(
+                                    "array size must be a positive integer",
+                                    self.pos(),
+                                ))
+                            }
+                        };
+                        self.eat(&Token::RBracket)?;
+                        prog.arrays.push((name, size));
+                        if self.peek() == &Token::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.eat(&Token::Semi)?;
+                }
+                Token::Function => {
+                    self.bump();
+                    prog.functions.push(self.func_decl()?);
+                }
+                _ => break,
+            }
+        }
+        self.eat(&Token::Begin)?;
+        prog.body = self.stmts()?;
+        self.eat(&Token::End)?;
+        if self.peek() == &Token::Dot {
+            self.bump();
+        }
+        if self.peek() != &Token::Eof {
+            return Err(ParseError::new(
+                format!("unexpected {} after `end`", self.peek()),
+                self.pos(),
+            ));
+        }
+        Ok(prog)
+    }
+
+    fn decl_list(&mut self) -> Result<Vec<(String, Type)>, ParseError> {
+        let mut names = vec![self.ident()?];
+        while self.peek() == &Token::Comma {
+            self.bump();
+            names.push(self.ident()?);
+        }
+        let ty = if self.peek() == &Token::Colon {
+            self.bump();
+            self.parse_type()?
+        } else {
+            Type::Fix
+        };
+        self.eat(&Token::Semi)?;
+        Ok(names.into_iter().map(|n| (n, ty)).collect())
+    }
+
+    fn parse_type(&mut self) -> Result<Type, ParseError> {
+        match self.bump() {
+            Token::Fix => Ok(Type::Fix),
+            Token::Bit => Ok(Type::Bit),
+            Token::Int => {
+                if self.peek() == &Token::Lt {
+                    self.bump();
+                    let w = match self.bump() {
+                        Token::Num(n) if n.is_integer() && n.to_i64() >= 1 && n.to_i64() <= 32 => {
+                            n.to_i64() as u8
+                        }
+                        _ => {
+                            return Err(ParseError::new(
+                                "int width must be an integer in 1..=32",
+                                self.pos(),
+                            ))
+                        }
+                    };
+                    self.eat(&Token::Gt)?;
+                    Ok(Type::Int(w))
+                } else {
+                    Ok(Type::Int(32))
+                }
+            }
+            other => Err(ParseError::new(format!("expected type, found {other}"), self.pos())),
+        }
+    }
+
+    fn func_decl(&mut self) -> Result<FuncDecl, ParseError> {
+        let name = self.ident()?;
+        self.eat(&Token::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != &Token::RParen {
+            params.push(self.ident()?);
+            while self.peek() == &Token::Comma {
+                self.bump();
+                params.push(self.ident()?);
+            }
+        }
+        self.eat(&Token::RParen)?;
+        self.eat(&Token::EqTok)?;
+        let body = self.expr()?;
+        self.eat(&Token::Semi)?;
+        Ok(FuncDecl { name, params, body })
+    }
+
+    fn stmts(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            match self.peek() {
+                Token::Ident(_) => {
+                    let name = self.ident()?;
+                    if self.peek() == &Token::LBracket {
+                        self.bump();
+                        let index = self.expr()?;
+                        self.eat(&Token::RBracket)?;
+                        self.eat(&Token::Assign)?;
+                        let expr = self.expr()?;
+                        self.eat(&Token::Semi)?;
+                        out.push(Stmt::ArrayAssign { name, index, expr });
+                    } else {
+                        self.eat(&Token::Assign)?;
+                        let expr = self.expr()?;
+                        self.eat(&Token::Semi)?;
+                        out.push(Stmt::Assign { name, expr });
+                    }
+                }
+                Token::Do => {
+                    self.bump();
+                    let body = self.stmts()?;
+                    self.eat(&Token::Until)?;
+                    let cond = self.expr()?;
+                    self.eat(&Token::Semi)?;
+                    out.push(Stmt::DoUntil { body, cond });
+                }
+                Token::While => {
+                    self.bump();
+                    let cond = self.expr()?;
+                    self.eat(&Token::Do)?;
+                    let body = self.stmts()?;
+                    self.eat(&Token::End)?;
+                    if self.peek() == &Token::Semi {
+                        self.bump();
+                    }
+                    out.push(Stmt::While { cond, body });
+                }
+                Token::If => {
+                    self.bump();
+                    let cond = self.expr()?;
+                    self.eat(&Token::Then)?;
+                    let then_body = self.stmts()?;
+                    let else_body = if self.peek() == &Token::Else {
+                        self.bump();
+                        self.stmts()?
+                    } else {
+                        Vec::new()
+                    };
+                    self.eat(&Token::End)?;
+                    if self.peek() == &Token::Semi {
+                        self.bump();
+                    }
+                    out.push(Stmt::If { cond, then_body, else_body });
+                }
+                _ => break,
+            }
+        }
+        Ok(out)
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.orex()?;
+        let op = match self.peek() {
+            Token::EqTok => BinOp::Eq,
+            Token::Ne => BinOp::Ne,
+            Token::Lt => BinOp::Lt,
+            Token::Le => BinOp::Le,
+            Token::Gt => BinOp::Gt,
+            Token::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.orex()?;
+        Ok(Expr::bin(op, lhs, rhs))
+    }
+
+    fn orex(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.andex()?;
+        loop {
+            let op = match self.peek() {
+                Token::Pipe => BinOp::Or,
+                Token::Caret => BinOp::Xor,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.andex()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn andex(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.shift()?;
+        while self.peek() == &Token::Amp {
+            self.bump();
+            let rhs = self.shift()?;
+            lhs = Expr::bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn shift(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.sum()?;
+        loop {
+            let op = match self.peek() {
+                Token::Shl => BinOp::Shl,
+                Token::Shr => BinOp::Shr,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.sum()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn sum(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => BinOp::Add,
+                Token::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.term()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => BinOp::Mul,
+                Token::Slash => BinOp::Div,
+                Token::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Token::Minus => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Neg, Box::new(self.unary()?)))
+            }
+            Token::Not => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Not, Box::new(self.unary()?)))
+            }
+            _ => self.atom(),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            Token::Num(n) => Ok(Expr::Num(n)),
+            Token::Ident(name) => {
+                if self.peek() == &Token::LBracket {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.eat(&Token::RBracket)?;
+                    return Ok(Expr::Index(name, Box::new(idx)));
+                }
+                if self.peek() == &Token::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if self.peek() != &Token::RParen {
+                        args.push(self.expr()?);
+                        while self.peek() == &Token::Comma {
+                            self.bump();
+                            args.push(self.expr()?);
+                        }
+                    }
+                    self.eat(&Token::RParen)?;
+                    Ok(Expr::Call(name, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            Token::LParen => {
+                let e = self.expr()?;
+                self.eat(&Token::RParen)?;
+                Ok(e)
+            }
+            other => Err(ParseError::new(
+                format!("expected expression, found {other}"),
+                self.pos(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_cdfg::Fx;
+
+    /// The paper's Fig. 1 square-root program, in BSL.
+    pub const SQRT: &str = "
+        program sqrt;
+        input X;
+        output Y;
+        var I : int<4>;
+        begin
+          Y := 0.222222 + 0.888889 * X;
+          I := 0;
+          do
+            Y := 0.5 * (Y + X / Y);
+            I := I + 1;
+          until I > 3;
+        end.
+    ";
+
+    #[test]
+    fn parses_sqrt() {
+        let p = parse(SQRT).unwrap();
+        assert_eq!(p.name, "sqrt");
+        assert_eq!(p.inputs, vec![("X".to_string(), Type::Fix)]);
+        assert_eq!(p.outputs, vec![("Y".to_string(), Type::Fix)]);
+        assert_eq!(p.vars, vec![("I".to_string(), Type::Int(4))]);
+        assert_eq!(p.body.len(), 3);
+        match &p.body[2] {
+            Stmt::DoUntil { body, cond } => {
+                assert_eq!(body.len(), 2);
+                assert!(matches!(cond, Expr::Binary(BinOp::Gt, _, _)));
+            }
+            other => panic!("expected do-until, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse("program t; output y; begin y := 1 + 2 * 3; end").unwrap();
+        match &p.body[0] {
+            Stmt::Assign { expr: Expr::Binary(BinOp::Add, l, r), .. } => {
+                assert_eq!(**l, Expr::Num(Fx::from_i64(1)));
+                assert!(matches!(**r, Expr::Binary(BinOp::Mul, _, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parens_override_precedence() {
+        let p = parse("program t; output y; begin y := (1 + 2) * 3; end").unwrap();
+        match &p.body[0] {
+            Stmt::Assign { expr: Expr::Binary(BinOp::Mul, l, _), .. } => {
+                assert!(matches!(**l, Expr::Binary(BinOp::Add, _, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn comparison_binds_loosest() {
+        let p = parse("program t; output y; begin y := a + 1 > b * 2; end").unwrap();
+        match &p.body[0] {
+            Stmt::Assign { expr: Expr::Binary(BinOp::Gt, _, _), .. } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn while_and_if() {
+        let p = parse(
+            "program t; var a; begin
+               while a < 10 do a := a + 1; end;
+               if a = 10 then a := 0; else a := 1; end;
+             end",
+        )
+        .unwrap();
+        assert!(matches!(p.body[0], Stmt::While { .. }));
+        match &p.body[1] {
+            Stmt::If { then_body, else_body, .. } => {
+                assert_eq!(then_body.len(), 1);
+                assert_eq!(else_body.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn function_declaration_and_call() {
+        let p = parse(
+            "program t; input x; output y;
+             function sq(a) = a * a;
+             begin y := sq(x) + sq(x + 1); end",
+        )
+        .unwrap();
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.functions[0].params, vec!["a"]);
+        match &p.body[0] {
+            Stmt::Assign { expr: Expr::Binary(BinOp::Add, l, _), .. } => {
+                assert!(matches!(**l, Expr::Call(_, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse("program t; begin x := ; end").unwrap_err();
+        assert!(err.pos().is_some());
+        assert!(err.to_string().contains("expected expression"));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse("program t; begin end extra").is_err());
+    }
+
+    #[test]
+    fn multi_name_declaration() {
+        let p = parse("program t; var a, b, c : int<8>; begin end").unwrap();
+        assert_eq!(p.vars.len(), 3);
+        assert!(p.vars.iter().all(|(_, t)| *t == Type::Int(8)));
+    }
+
+    #[test]
+    fn shift_precedence_below_sum() {
+        // a + b >> 1 parses as (a + b) >> 1 — shifts bind looser than sums,
+        // convenient for the scaling idiom.
+        let p = parse("program t; output y; begin y := a + b >> 1; end").unwrap();
+        match &p.body[0] {
+            Stmt::Assign { expr: Expr::Binary(BinOp::Shr, l, _), .. } => {
+                assert!(matches!(**l, Expr::Binary(BinOp::Add, _, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

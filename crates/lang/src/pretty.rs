@@ -1,0 +1,204 @@
+//! Canonical pretty-printing of BSL programs.
+//!
+//! `parse(to_source(parse(s)))` always yields the same AST as `parse(s)` —
+//! the round-trip property checked in this module's tests. Useful for
+//! emitting transformed programs and for golden files.
+
+use std::fmt::Write as _;
+
+use crate::ast::{BinOp, Expr, Program, Stmt, Type, UnOp};
+
+/// Renders a program as canonical BSL source.
+pub fn to_source(prog: &Program) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "program {};", prog.name);
+    let decl = |s: &mut String, kw: &str, items: &[(String, Type)]| {
+        for (name, ty) in items {
+            let _ = writeln!(s, "{kw} {name} : {ty};");
+        }
+    };
+    decl(&mut s, "input", &prog.inputs);
+    decl(&mut s, "output", &prog.outputs);
+    decl(&mut s, "var", &prog.vars);
+    for (name, size) in &prog.arrays {
+        let _ = writeln!(s, "array {name}[{size}];");
+    }
+    for f in &prog.functions {
+        let _ = writeln!(
+            s,
+            "function {}({}) = {};",
+            f.name,
+            f.params.join(", "),
+            expr(&f.body)
+        );
+    }
+    let _ = writeln!(s, "begin");
+    stmts(&mut s, &prog.body, 1);
+    let _ = writeln!(s, "end.");
+    s
+}
+
+fn indent(s: &mut String, level: usize) {
+    for _ in 0..level {
+        s.push_str("  ");
+    }
+}
+
+fn stmts(s: &mut String, body: &[Stmt], level: usize) {
+    for st in body {
+        indent(s, level);
+        match st {
+            Stmt::Assign { name, expr: e } => {
+                let _ = writeln!(s, "{name} := {};", expr(e));
+            }
+            Stmt::ArrayAssign { name, index, expr: e } => {
+                let _ = writeln!(s, "{name}[{}] := {};", expr(index), expr(e));
+            }
+            Stmt::DoUntil { body, cond } => {
+                let _ = writeln!(s, "do");
+                stmts(s, body, level + 1);
+                indent(s, level);
+                let _ = writeln!(s, "until {};", expr(cond));
+            }
+            Stmt::While { cond, body } => {
+                let _ = writeln!(s, "while {} do", expr(cond));
+                stmts(s, body, level + 1);
+                indent(s, level);
+                let _ = writeln!(s, "end;");
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                let _ = writeln!(s, "if {} then", expr(cond));
+                stmts(s, then_body, level + 1);
+                if !else_body.is_empty() {
+                    indent(s, level);
+                    let _ = writeln!(s, "else");
+                    stmts(s, else_body, level + 1);
+                }
+                indent(s, level);
+                let _ = writeln!(s, "end;");
+            }
+        }
+    }
+}
+
+/// Renders an expression, fully parenthesized (canonical and unambiguous).
+pub fn expr(e: &Expr) -> String {
+    match e {
+        Expr::Num(n) => format!("{n}"),
+        Expr::Var(v) => v.clone(),
+        Expr::Unary(op, inner) => {
+            let sym = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "not ",
+            };
+            format!("({sym}{})", expr(inner))
+        }
+        Expr::Binary(op, l, r) => format!("({} {} {})", expr(l), bin(*op), expr(r)),
+        Expr::Call(name, args) => {
+            let args: Vec<String> = args.iter().map(expr).collect();
+            format!("{name}({})", args.join(", "))
+        }
+        Expr::Index(name, idx) => format!("{name}[{}]", expr(idx)),
+    }
+}
+
+fn bin(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Mod => "%",
+        BinOp::Shl => "<<",
+        BinOp::Shr => ">>",
+        BinOp::And => "&",
+        BinOp::Or => "|",
+        BinOp::Xor => "^",
+        BinOp::Eq => "=",
+        BinOp::Ne => "/=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn roundtrips(src: &str) {
+        let first = parse(src).unwrap();
+        let printed = to_source(&first);
+        let second = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        assert_eq!(first, second, "round-trip changed the AST:\n{printed}");
+    }
+
+    #[test]
+    fn workload_sources_round_trip() {
+        // Inline copies of the workload programs (hls-workloads depends on
+        // this crate, so tests here keep their own fixtures).
+        roundtrips(
+            "program sqrt; input X; output Y; var I : int<4>;
+             begin
+               Y := 0.222222 + 0.888889 * X;
+               I := 0;
+               do Y := 0.5 * (Y + X / Y); I := I + 1; until I > 3;
+             end.",
+        );
+        roundtrips(
+            "program gcd; input A, B; output G; var X, Y;
+             begin
+               X := A; Y := B;
+               while X /= Y do
+                 if X > Y then X := X - Y; else Y := Y - X; end;
+               end;
+               G := X;
+             end.",
+        );
+        roundtrips(
+            "program memy; input N; output S; array A[8]; var I : int<4>;
+             begin
+               I := 0;
+               do A[I] := I; I := I + 1; until I > 3;
+               S := A[0] + A[3];
+             end.",
+        );
+    }
+
+    #[test]
+    fn precedence_survives_canonical_parentheses() {
+        let p1 = parse("program t; output y; begin y := 1 + 2 * 3 - 4 / 2; end").unwrap();
+        let p2 = parse(&to_source(&p1)).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn functions_and_calls_round_trip() {
+        roundtrips(
+            "program t; input x; output y;
+             function sq(a) = a * a;
+             function mad(a, b, c) = a * b + c;
+             begin y := mad(sq(x), x, 1); end",
+        );
+    }
+
+    #[test]
+    fn unary_round_trip() {
+        roundtrips("program t; input x; output y; begin y := -x + (not x); end");
+    }
+
+    #[test]
+    fn printed_source_compiles() {
+        let prog = parse(
+            "program c; input a; output b; begin
+               b := a;
+               if a > 1 then b := a * 2; end;
+             end",
+        )
+        .unwrap();
+        let cdfg = crate::lower(&parse(&to_source(&prog)).unwrap()).unwrap();
+        cdfg.validate().unwrap();
+    }
+}

@@ -1,0 +1,94 @@
+//! Copy propagation.
+
+use hls_cdfg::{Cdfg, DataFlowGraph, OpKind};
+
+/// Forwards the source of every `Copy` to the copy's consumers.
+///
+/// The `Copy` itself survives when it defines a block output (it is a
+/// register transfer with architectural meaning — e.g. the paper's
+/// `I := 0`); otherwise dead-code elimination will collect it.
+///
+/// Returns the number of copies whose uses were forwarded.
+pub fn propagate_copies(cdfg: &mut Cdfg) -> usize {
+    let blocks: Vec<_> = cdfg.blocks().map(|(id, _)| id).collect();
+    let mut changed = 0;
+    for b in blocks {
+        changed += prop_block(&mut cdfg.block_mut(b).dfg);
+    }
+    changed
+}
+
+fn prop_block(dfg: &mut DataFlowGraph) -> usize {
+    let mut changed = 0;
+    let ids: Vec<_> = dfg.op_ids().collect();
+    for id in ids {
+        if dfg.op(id).kind != OpKind::Copy {
+            continue;
+        }
+        let src = dfg.op(id).operands[0];
+        let Some(res) = dfg.result(id) else { continue };
+        let users: Vec<_> = dfg.value(res).uses.clone();
+        if users.is_empty() {
+            continue;
+        }
+        // Rewire op uses only; keep outputs pointing at the copy.
+        for u in users {
+            let operands = dfg.op(u).operands.clone();
+            for (slot, v) in operands.into_iter().enumerate() {
+                if v == res {
+                    dfg.op_mut(u).operands[slot] = src;
+                    // Maintain use lists by hand for a partial rewire.
+                    let uses = &mut dfg.value_mut(res).uses;
+                    if let Some(pos) = uses.iter().position(|&x| x == u) {
+                        uses.remove(pos);
+                    }
+                    dfg.value_mut(src).uses.push(u);
+                }
+            }
+        }
+        changed += 1;
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_cdfg::{Fx, Region};
+
+    #[test]
+    fn forwards_copy_source_to_consumers() {
+        // i := 0 (copy); j := i + 1 — the add should read the const.
+        let mut dfg = DataFlowGraph::new();
+        let zero = dfg.add_const_value(Fx::ZERO);
+        let cp = dfg.add_op(OpKind::Copy, vec![zero]);
+        let cp_v = dfg.result(cp).unwrap();
+        let one = dfg.add_const_value(Fx::ONE);
+        let add = dfg.add_op(OpKind::Add, vec![cp_v, one]);
+        dfg.set_output("i", cp_v);
+        dfg.set_output("j", dfg.result(add).unwrap());
+        let mut cdfg = Cdfg::new("t");
+        let b = cdfg.add_block("b", dfg);
+        cdfg.set_body(Region::Block(b));
+        assert_eq!(propagate_copies(&mut cdfg), 1);
+        let dfg = &cdfg.block(b).dfg;
+        dfg.validate().unwrap();
+        assert_eq!(dfg.op(add).operands[0], zero);
+        // Copy still defines the `i` output.
+        assert_eq!(dfg.outputs()[0].1, cp_v);
+        // Now the add folds to a constant.
+        assert_eq!(crate::fold::fold_constants(&mut cdfg), 1);
+    }
+
+    #[test]
+    fn copy_without_uses_untouched() {
+        let mut dfg = DataFlowGraph::new();
+        let x = dfg.add_input("x", 32);
+        let cp = dfg.add_op(OpKind::Copy, vec![x]);
+        dfg.set_output("y", dfg.result(cp).unwrap());
+        let mut cdfg = Cdfg::new("t");
+        let b = cdfg.add_block("b", dfg);
+        cdfg.set_body(Region::Block(b));
+        assert_eq!(propagate_copies(&mut cdfg), 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Common-subexpression elimination by value numbering.
+
+use std::collections::HashMap;
+
+use hls_cdfg::{Cdfg, DataFlowGraph, OpKind, ValueId};
+
+/// Key identifying an expression: kind, (normalized) operands, constant
+/// payload, memory name.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct ExprKey {
+    kind: OpKind,
+    operands: Vec<ValueId>,
+    constant: Option<i64>,
+    memory: Option<String>,
+}
+
+/// Merges operations computing the same expression within each block.
+///
+/// Commutative operands are sorted first, so `a + b` and `b + a` merge;
+/// comparisons merge with their operand-swapped mirror (`a < b` ≡ `b > a`).
+/// `Copy`, `Load` and `Store` are never merged (`Copy` is a register
+/// transfer; memory may change between accesses).
+///
+/// Returns the number of operations removed.
+pub fn eliminate_common_subexpressions(cdfg: &mut Cdfg) -> usize {
+    let blocks: Vec<_> = cdfg.blocks().map(|(id, _)| id).collect();
+    let mut removed = 0;
+    for b in blocks {
+        removed += cse_block(&mut cdfg.block_mut(b).dfg);
+    }
+    removed
+}
+
+fn cse_block(dfg: &mut DataFlowGraph) -> usize {
+    let mut removed = 0;
+    let order = match dfg.topological_order() {
+        Ok(o) => o,
+        Err(_) => return 0,
+    };
+    let mut seen: HashMap<ExprKey, ValueId> = HashMap::new();
+    for id in order {
+        let op = dfg.op(id);
+        if op.dead || matches!(op.kind, OpKind::Copy | OpKind::Load | OpKind::Store) {
+            continue;
+        }
+        let Some(result) = op.result else { continue };
+        let mut kind = op.kind;
+        let mut operands = op.operands.clone();
+        if kind.is_commutative() {
+            operands.sort();
+        } else if let Some(sw) = kind.swapped_comparison() {
+            // Canonicalize `a cmp b` so the smaller value id comes first.
+            if operands.len() == 2 && operands[1] < operands[0] {
+                operands.swap(0, 1);
+                kind = sw;
+            }
+        }
+        let key = ExprKey {
+            kind,
+            operands,
+            constant: op.constant.map(|c| c.raw()),
+            memory: op.memory.clone(),
+        };
+        match seen.get(&key) {
+            Some(&existing) => {
+                dfg.replace_value_uses(result, existing);
+                dfg.kill_op(id);
+                removed += 1;
+            }
+            None => {
+                seen.insert(key, result);
+            }
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_cdfg::{Fx, Region};
+
+    fn wrap(dfg: DataFlowGraph) -> (Cdfg, hls_cdfg::BlockId) {
+        let mut cdfg = Cdfg::new("t");
+        let b = cdfg.add_block("b", dfg);
+        cdfg.set_body(Region::Block(b));
+        (cdfg, b)
+    }
+
+    #[test]
+    fn merges_identical_adds() {
+        let mut dfg = DataFlowGraph::new();
+        let x = dfg.add_input("x", 32);
+        let y = dfg.add_input("y", 32);
+        let a1 = dfg.add_op(OpKind::Add, vec![x, y]);
+        let a2 = dfg.add_op(OpKind::Add, vec![x, y]);
+        let m = dfg.add_op(OpKind::Mul, vec![dfg.result(a1).unwrap(), dfg.result(a2).unwrap()]);
+        dfg.set_output("z", dfg.result(m).unwrap());
+        let (mut cdfg, b) = wrap(dfg);
+        assert_eq!(eliminate_common_subexpressions(&mut cdfg), 1);
+        let dfg = &cdfg.block(b).dfg;
+        assert_eq!(dfg.live_op_count(), 2);
+        dfg.validate().unwrap();
+    }
+
+    #[test]
+    fn commutative_merge() {
+        let mut dfg = DataFlowGraph::new();
+        let x = dfg.add_input("x", 32);
+        let y = dfg.add_input("y", 32);
+        let a1 = dfg.add_op(OpKind::Add, vec![x, y]);
+        let a2 = dfg.add_op(OpKind::Add, vec![y, x]);
+        dfg.set_output("p", dfg.result(a1).unwrap());
+        dfg.set_output("q", dfg.result(a2).unwrap());
+        let (mut cdfg, _) = wrap(dfg);
+        assert_eq!(eliminate_common_subexpressions(&mut cdfg), 1);
+    }
+
+    #[test]
+    fn swapped_comparison_merges() {
+        let mut dfg = DataFlowGraph::new();
+        let x = dfg.add_input("x", 32);
+        let y = dfg.add_input("y", 32);
+        let lt = dfg.add_op(OpKind::Lt, vec![x, y]);
+        let gt = dfg.add_op(OpKind::Gt, vec![y, x]);
+        dfg.set_output("p", dfg.result(lt).unwrap());
+        dfg.set_output("q", dfg.result(gt).unwrap());
+        let (mut cdfg, _) = wrap(dfg);
+        assert_eq!(eliminate_common_subexpressions(&mut cdfg), 1);
+    }
+
+    #[test]
+    fn non_commutative_not_merged() {
+        let mut dfg = DataFlowGraph::new();
+        let x = dfg.add_input("x", 32);
+        let y = dfg.add_input("y", 32);
+        let s1 = dfg.add_op(OpKind::Sub, vec![x, y]);
+        let s2 = dfg.add_op(OpKind::Sub, vec![y, x]);
+        dfg.set_output("p", dfg.result(s1).unwrap());
+        dfg.set_output("q", dfg.result(s2).unwrap());
+        let (mut cdfg, _) = wrap(dfg);
+        assert_eq!(eliminate_common_subexpressions(&mut cdfg), 0);
+    }
+
+    #[test]
+    fn duplicate_constants_merge() {
+        let mut dfg = DataFlowGraph::new();
+        let c1 = dfg.add_const_value(Fx::from_f64(0.5));
+        let c2 = dfg.add_const_value(Fx::from_f64(0.5));
+        let x = dfg.add_input("x", 32);
+        let m1 = dfg.add_op(OpKind::Mul, vec![x, c1]);
+        let m2 = dfg.add_op(OpKind::Mul, vec![x, c2]);
+        dfg.set_output("p", dfg.result(m1).unwrap());
+        dfg.set_output("q", dfg.result(m2).unwrap());
+        let (mut cdfg, b) = wrap(dfg);
+        // One pass merges the constants, which rewrites the second multiply's
+        // operands in place, so the multiplies merge in the same pass.
+        let n = eliminate_common_subexpressions(&mut cdfg);
+        assert_eq!(n, 2);
+        assert_eq!(cdfg.block(b).dfg.live_op_count(), 2);
+    }
+
+    #[test]
+    fn copies_never_merge() {
+        let mut dfg = DataFlowGraph::new();
+        let x = dfg.add_input("x", 32);
+        let c1 = dfg.add_op(OpKind::Copy, vec![x]);
+        let c2 = dfg.add_op(OpKind::Copy, vec![x]);
+        dfg.set_output("p", dfg.result(c1).unwrap());
+        dfg.set_output("q", dfg.result(c2).unwrap());
+        let (mut cdfg, _) = wrap(dfg);
+        assert_eq!(eliminate_common_subexpressions(&mut cdfg), 0);
+    }
+}

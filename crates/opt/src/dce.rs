@@ -1,0 +1,98 @@
+//! Dead-code elimination.
+
+use hls_cdfg::{Cdfg, DataFlowGraph, OpKind};
+
+/// Removes operations whose results are never used and do not define a
+/// block output. `Store`s are always live (they have side effects).
+///
+/// Returns the number of operations removed.
+pub fn eliminate_dead_code(cdfg: &mut Cdfg) -> usize {
+    let blocks: Vec<_> = cdfg.blocks().map(|(id, _)| id).collect();
+    let mut removed = 0;
+    for b in blocks {
+        removed += dce_block(&mut cdfg.block_mut(b).dfg);
+    }
+    removed
+}
+
+fn dce_block(dfg: &mut DataFlowGraph) -> usize {
+    let mut removed = 0;
+    loop {
+        let mut killed_this_round = 0;
+        let ids: Vec<_> = dfg.op_ids().collect();
+        for id in ids.into_iter().rev() {
+            let op = dfg.op(id);
+            if op.kind == OpKind::Store {
+                continue;
+            }
+            let Some(r) = op.result else { continue };
+            let used = !dfg.value(r).uses.is_empty();
+            let is_output = dfg.outputs().iter().any(|(_, v)| *v == r);
+            if !used && !is_output {
+                dfg.kill_op(id);
+                killed_this_round += 1;
+            }
+        }
+        removed += killed_this_round;
+        if killed_this_round == 0 {
+            return removed;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_cdfg::{Fx, Region};
+
+    #[test]
+    fn removes_unused_chain() {
+        let mut dfg = DataFlowGraph::new();
+        let x = dfg.add_input("x", 32);
+        let used = dfg.add_op(OpKind::Inc, vec![x]);
+        dfg.set_output("y", dfg.result(used).unwrap());
+        // Dead chain: neg -> add(neg, x), neither used.
+        let n = dfg.add_op(OpKind::Neg, vec![x]);
+        let _a = dfg.add_op(OpKind::Add, vec![dfg.result(n).unwrap(), x]);
+        let mut cdfg = Cdfg::new("t");
+        let b = cdfg.add_block("b", dfg);
+        cdfg.set_body(Region::Block(b));
+        assert_eq!(eliminate_dead_code(&mut cdfg), 2);
+        assert_eq!(cdfg.block(b).dfg.live_op_count(), 1);
+        cdfg.block(b).dfg.validate().unwrap();
+    }
+
+    #[test]
+    fn keeps_outputs_and_stores() {
+        let mut dfg = DataFlowGraph::new();
+        let x = dfg.add_input("x", 32);
+        let addr = dfg.add_const_value(Fx::ZERO);
+        let token = dfg.add_const_value(Fx::ZERO);
+        let st = dfg.add_op(OpKind::Store, vec![addr, x, token]);
+        dfg.op_mut(st).memory = Some("m".into());
+        let cp = dfg.add_op(OpKind::Copy, vec![x]);
+        dfg.set_output("y", dfg.result(cp).unwrap());
+        let mut cdfg = Cdfg::new("t");
+        let b = cdfg.add_block("b", dfg);
+        cdfg.set_body(Region::Block(b));
+        assert_eq!(eliminate_dead_code(&mut cdfg), 0);
+        // Two consts, the store, and the output-defining copy all survive.
+        assert_eq!(cdfg.block(b).dfg.live_op_count(), 4);
+    }
+
+    #[test]
+    fn iterates_to_fixpoint_within_block() {
+        // A chain a -> b -> c where only nothing is used: all three go in
+        // one call even though uses cascade.
+        let mut dfg = DataFlowGraph::new();
+        let x = dfg.add_input("x", 32);
+        let a = dfg.add_op(OpKind::Inc, vec![x]);
+        let b = dfg.add_op(OpKind::Inc, vec![dfg.result(a).unwrap()]);
+        let _c = dfg.add_op(OpKind::Inc, vec![dfg.result(b).unwrap()]);
+        let mut cdfg = Cdfg::new("t");
+        let blk = cdfg.add_block("b", dfg);
+        cdfg.set_body(Region::Block(blk));
+        assert_eq!(eliminate_dead_code(&mut cdfg), 3);
+        assert_eq!(cdfg.block(blk).dfg.live_op_count(), 0);
+    }
+}

@@ -1,0 +1,275 @@
+//! Constant folding, constant propagation, and algebraic simplification.
+
+use hls_cdfg::{Cdfg, DataFlowGraph, Fx, OpId, OpKind, ValueDef, ValueId};
+
+/// Folds operations whose operands are all constants and applies algebraic
+/// identities (`x+0`, `x*1`, `x*0`, `x/1`, `x<<0`, ...).
+///
+/// Returns the number of rewrites performed.
+pub fn fold_constants(cdfg: &mut Cdfg) -> usize {
+    let blocks: Vec<_> = cdfg.blocks().map(|(id, _)| id).collect();
+    let mut changed = 0;
+    for b in blocks {
+        changed += fold_block(&mut cdfg.block_mut(b).dfg);
+    }
+    changed
+}
+
+/// Evaluates `kind` over constant operands.
+///
+/// Division by zero and unknown kinds yield `None` (left for runtime).
+pub fn eval_const(kind: OpKind, args: &[Fx]) -> Option<Fx> {
+    use OpKind::*;
+    Some(match (kind, args) {
+        (Add, [a, b]) => *a + *b,
+        (Sub, [a, b]) => *a - *b,
+        (Mul, [a, b]) => *a * *b,
+        (Div, [a, b]) => {
+            if b.is_zero() {
+                return None;
+            }
+            *a / *b
+        }
+        (Mod, [a, b]) => {
+            if b.is_zero() {
+                return None;
+            }
+            *a % *b
+        }
+        (Neg, [a]) => -*a,
+        (Inc, [a]) => *a + Fx::ONE,
+        (Dec, [a]) => *a - Fx::ONE,
+        (Shl, [a, b]) => *a << (b.to_i64().clamp(0, 63) as u32),
+        (Shr, [a, b]) => *a >> (b.to_i64().clamp(0, 63) as u32),
+        (And, [a, b]) => Fx::from_raw(a.raw() & b.raw()),
+        (Or, [a, b]) => Fx::from_raw(a.raw() | b.raw()),
+        (Xor, [a, b]) => Fx::from_raw(a.raw() ^ b.raw()),
+        (Not, [a]) => Fx::from_raw(!a.raw()),
+        (Eq, [a, b]) => bool_fx(a == b),
+        (Ne, [a, b]) => bool_fx(a != b),
+        (Lt, [a, b]) => bool_fx(a < b),
+        (Le, [a, b]) => bool_fx(a <= b),
+        (Gt, [a, b]) => bool_fx(a > b),
+        (Ge, [a, b]) => bool_fx(a >= b),
+        (Copy, [a]) => *a,
+        _ => return None,
+    })
+}
+
+fn bool_fx(b: bool) -> Fx {
+    if b {
+        Fx::ONE
+    } else {
+        Fx::ZERO
+    }
+}
+
+fn const_of(dfg: &DataFlowGraph, v: ValueId) -> Option<Fx> {
+    match dfg.value(v).def {
+        ValueDef::Op(p) if dfg.op(p).kind == OpKind::Const => dfg.op(p).constant,
+        _ => None,
+    }
+}
+
+fn fold_block(dfg: &mut DataFlowGraph) -> usize {
+    let mut changed = 0;
+    let order = match dfg.topological_order() {
+        Ok(o) => o,
+        Err(_) => return 0,
+    };
+    for id in order {
+        if dfg.op(id).dead {
+            continue;
+        }
+        let kind = dfg.op(id).kind;
+        if matches!(kind, OpKind::Const | OpKind::Copy | OpKind::Load | OpKind::Store) {
+            continue;
+        }
+        let operands = dfg.op(id).operands.clone();
+        let consts: Vec<Option<Fx>> = operands.iter().map(|&v| const_of(dfg, v)).collect();
+
+        // Full fold when every operand is constant.
+        if consts.iter().all(|c| c.is_some()) {
+            let args: Vec<Fx> = consts.iter().map(|c| c.unwrap()).collect();
+            if let Some(v) = eval_const(kind, &args) {
+                replace_with_value(dfg, id, ReplaceWith::Const(v));
+                changed += 1;
+                continue;
+            }
+        }
+
+        // Algebraic identities with one constant operand.
+        if let Some(rw) = identity_rewrite(kind, &operands, &consts) {
+            replace_with_value(dfg, id, rw);
+            changed += 1;
+        }
+    }
+    changed
+}
+
+enum ReplaceWith {
+    Const(Fx),
+    Value(ValueId),
+}
+
+fn replace_with_value(dfg: &mut DataFlowGraph, id: OpId, rw: ReplaceWith) {
+    let Some(old) = dfg.result(id) else { return };
+    let new = match rw {
+        ReplaceWith::Const(c) => dfg.add_const_value(c),
+        ReplaceWith::Value(v) => v,
+    };
+    dfg.replace_value_uses(old, new);
+    dfg.kill_op(id);
+}
+
+/// `x+0 → x`, `x-0 → x`, `x*1 → x`, `x*0 → 0`, `x/1 → x`, `x<<0 → x`,
+/// `x>>0 → x`, `x|0 → x`, `x^0 → x`, `x&0 → 0`.
+fn identity_rewrite(
+    kind: OpKind,
+    operands: &[ValueId],
+    consts: &[Option<Fx>],
+) -> Option<ReplaceWith> {
+    use OpKind::*;
+    let (lhs, rhs) = match operands {
+        [l, r] => (*l, *r),
+        _ => return None,
+    };
+    let (lc, rc) = (consts[0], consts[1]);
+    match kind {
+        Add | Or | Xor => {
+            if rc == Some(Fx::ZERO) {
+                return Some(ReplaceWith::Value(lhs));
+            }
+            if lc == Some(Fx::ZERO) {
+                return Some(ReplaceWith::Value(rhs));
+            }
+        }
+        Sub | Shl | Shr => {
+            if rc == Some(Fx::ZERO) {
+                return Some(ReplaceWith::Value(lhs));
+            }
+        }
+        Mul => {
+            if rc == Some(Fx::ONE) {
+                return Some(ReplaceWith::Value(lhs));
+            }
+            if lc == Some(Fx::ONE) {
+                return Some(ReplaceWith::Value(rhs));
+            }
+            if rc == Some(Fx::ZERO) || lc == Some(Fx::ZERO) {
+                return Some(ReplaceWith::Const(Fx::ZERO));
+            }
+        }
+        Div => {
+            if rc == Some(Fx::ONE) {
+                return Some(ReplaceWith::Value(lhs));
+            }
+        }
+        And => {
+            if rc == Some(Fx::ZERO) || lc == Some(Fx::ZERO) {
+                return Some(ReplaceWith::Const(Fx::ZERO));
+            }
+        }
+        _ => {}
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_constant_expression() {
+        // y := (2 + 3) * 4
+        let mut dfg = DataFlowGraph::new();
+        let two = dfg.add_const_value(Fx::from_i64(2));
+        let three = dfg.add_const_value(Fx::from_i64(3));
+        let add = dfg.add_op(OpKind::Add, vec![two, three]);
+        let four = dfg.add_const_value(Fx::from_i64(4));
+        let mul = dfg.add_op(OpKind::Mul, vec![dfg.result(add).unwrap(), four]);
+        dfg.set_output("y", dfg.result(mul).unwrap());
+
+        let mut cdfg = Cdfg::new("t");
+        let b = cdfg.add_block("b", dfg);
+        cdfg.set_body(hls_cdfg::Region::Block(b));
+        let n = fold_constants(&mut cdfg);
+        assert!(n >= 2);
+        let dfg = &cdfg.block(b).dfg;
+        let (_, out) = &dfg.outputs()[0];
+        assert_eq!(
+            super::const_of(dfg, *out),
+            Some(Fx::from_i64(20)),
+            "folded to 20"
+        );
+    }
+
+    #[test]
+    fn mul_by_one_simplifies() {
+        let mut dfg = DataFlowGraph::new();
+        let x = dfg.add_input("x", 32);
+        let one = dfg.add_const_value(Fx::ONE);
+        let mul = dfg.add_op(OpKind::Mul, vec![x, one]);
+        dfg.set_output("y", dfg.result(mul).unwrap());
+        let mut cdfg = Cdfg::new("t");
+        let b = cdfg.add_block("b", dfg);
+        cdfg.set_body(hls_cdfg::Region::Block(b));
+        assert_eq!(fold_constants(&mut cdfg), 1);
+        assert_eq!(cdfg.block(b).dfg.outputs()[0].1, x);
+    }
+
+    #[test]
+    fn mul_by_zero_becomes_zero() {
+        let mut dfg = DataFlowGraph::new();
+        let x = dfg.add_input("x", 32);
+        let z = dfg.add_const_value(Fx::ZERO);
+        let mul = dfg.add_op(OpKind::Mul, vec![x, z]);
+        dfg.set_output("y", dfg.result(mul).unwrap());
+        let mut cdfg = Cdfg::new("t");
+        let b = cdfg.add_block("b", dfg);
+        cdfg.set_body(hls_cdfg::Region::Block(b));
+        assert_eq!(fold_constants(&mut cdfg), 1);
+        let dfg = &cdfg.block(b).dfg;
+        assert_eq!(super::const_of(dfg, dfg.outputs()[0].1), Some(Fx::ZERO));
+    }
+
+    #[test]
+    fn division_by_zero_not_folded() {
+        let mut dfg = DataFlowGraph::new();
+        let a = dfg.add_const_value(Fx::ONE);
+        let z = dfg.add_const_value(Fx::ZERO);
+        let div = dfg.add_op(OpKind::Div, vec![a, z]);
+        dfg.set_output("y", dfg.result(div).unwrap());
+        let mut cdfg = Cdfg::new("t");
+        let b = cdfg.add_block("b", dfg);
+        cdfg.set_body(hls_cdfg::Region::Block(b));
+        assert_eq!(fold_constants(&mut cdfg), 0);
+    }
+
+    #[test]
+    fn eval_const_comparisons() {
+        assert_eq!(eval_const(OpKind::Gt, &[Fx::from_i64(4), Fx::from_i64(3)]), Some(Fx::ONE));
+        assert_eq!(eval_const(OpKind::Gt, &[Fx::from_i64(3), Fx::from_i64(3)]), Some(Fx::ZERO));
+        assert_eq!(eval_const(OpKind::Eq, &[Fx::ZERO, Fx::ZERO]), Some(Fx::ONE));
+    }
+
+    #[test]
+    fn fold_cascades_through_chain() {
+        // ((1+1)+1)+x : two inner folds happen in one run (topo order).
+        let mut dfg = DataFlowGraph::new();
+        let one = dfg.add_const_value(Fx::ONE);
+        let a = dfg.add_op(OpKind::Add, vec![one, one]);
+        let b = dfg.add_op(OpKind::Add, vec![dfg.result(a).unwrap(), one]);
+        let x = dfg.add_input("x", 32);
+        let c = dfg.add_op(OpKind::Add, vec![dfg.result(b).unwrap(), x]);
+        dfg.set_output("y", dfg.result(c).unwrap());
+        let mut cdfg = Cdfg::new("t");
+        let blk = cdfg.add_block("b", dfg);
+        cdfg.set_body(hls_cdfg::Region::Block(blk));
+        assert_eq!(fold_constants(&mut cdfg), 2);
+        let dfg = &cdfg.block(blk).dfg;
+        // c now adds x to the constant 3.
+        let ops: Vec<OpKind> = dfg.op_ids().map(|i| dfg.op(i).kind).collect();
+        assert_eq!(ops.iter().filter(|k| **k == OpKind::Add).count(), 1);
+    }
+}

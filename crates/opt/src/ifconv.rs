@@ -1,0 +1,256 @@
+//! If-conversion: turns small two-way conditionals into straight-line
+//! dataflow with `Mux` selection.
+//!
+//! The tutorial lists "trading off complexity between the control and the
+//! data paths" among the open system-level issues (§4). This pass moves
+//! work from the controller (branch states) into the datapath (both sides
+//! execute, a mux picks): fewer FSM states and no branch flags, at the
+//! price of speculative execution of both arms.
+//!
+//! Safety: a conditional is converted only when both arms are single
+//! straight-line blocks containing neither memory operations (speculative
+//! stores would be wrong) nor division (a speculative divide-by-zero
+//! would trap where the program would not).
+
+use std::collections::HashMap;
+
+use hls_cdfg::{Cdfg, DataFlowGraph, OpId, OpKind, Region, ValueId};
+
+/// Converts every eligible `if` into mux dataflow. Returns the number of
+/// conditionals converted.
+pub fn convert_ifs(cdfg: &mut Cdfg) -> usize {
+    let body = cdfg.body().clone();
+    let mut count = 0;
+    let new_body = walk(cdfg, body, &mut count);
+    cdfg.set_body(new_body);
+    count
+}
+
+fn walk(cdfg: &mut Cdfg, region: Region, count: &mut usize) -> Region {
+    match region {
+        Region::Block(b) => Region::Block(b),
+        Region::Seq(rs) => {
+            Region::Seq(rs.into_iter().map(|r| walk(cdfg, r, count)).collect())
+        }
+        Region::Loop(mut l) => {
+            l.body = Box::new(walk(cdfg, *l.body, count));
+            Region::Loop(l)
+        }
+        Region::If(mut i) => {
+            i.then_region = Box::new(walk(cdfg, *i.then_region, count));
+            i.else_region = i.else_region.map(|e| Box::new(walk(cdfg, *e, count)));
+            // Eligible shape: both arms single blocks (or absent).
+            let then_block = match &*i.then_region {
+                Region::Block(b) => Some(*b),
+                _ => return Region::If(i),
+            };
+            let else_block = match i.else_region.as_deref() {
+                None => None,
+                Some(Region::Block(b)) => Some(*b),
+                Some(_) => return Region::If(i),
+            };
+            let mut blocks = vec![i.cond_block];
+            blocks.extend(then_block);
+            blocks.extend(else_block);
+            if !blocks.iter().all(|&b| speculation_safe(&cdfg.block(b).dfg)) {
+                return Region::If(i);
+            }
+            let merged = fuse(
+                cdfg,
+                i.cond_block,
+                &i.cond_var,
+                then_block.expect("checked above"),
+                else_block,
+            );
+            let name = format!("{}_ifconv", cdfg.block(i.cond_block).name);
+            let nb = cdfg.add_block(&name, merged);
+            *count += 1;
+            Region::Block(nb)
+        }
+    }
+}
+
+/// `true` when every op in the block may execute speculatively.
+fn speculation_safe(dfg: &DataFlowGraph) -> bool {
+    dfg.op_ids().all(|op| {
+        !matches!(dfg.op(op).kind, OpKind::Load | OpKind::Store | OpKind::Div | OpKind::Mod)
+    })
+}
+
+/// Splices `src`'s ops into `out`, resolving block inputs through `env`
+/// (creating fresh inputs on first use). Returns the live-out map.
+fn splice(
+    src: &DataFlowGraph,
+    out: &mut DataFlowGraph,
+    env: &mut HashMap<String, ValueId>,
+) -> HashMap<String, ValueId> {
+    let mut vmap: HashMap<ValueId, ValueId> = HashMap::new();
+    for &iv in src.inputs() {
+        let v = src.value(iv);
+        let merged = *env
+            .entry(v.name.clone())
+            .or_insert_with(|| out.add_input(&v.name, v.width));
+        vmap.insert(iv, merged);
+    }
+    for id in src.topological_order().expect("acyclic block") {
+        let op = src.op(id);
+        let operands: Vec<ValueId> = op.operands.iter().map(|v| vmap[v]).collect();
+        let nid: OpId = out.add_op(op.kind, operands);
+        out.op_mut(nid).constant = op.constant;
+        out.op_mut(nid).memory = op.memory.clone();
+        out.op_mut(nid).label = op.label.clone();
+        if let (Some(old), Some(new)) = (op.result, out.result(nid)) {
+            out.value_mut(new).width = src.value(old).width;
+            out.value_mut(new).name = src.value(old).name.clone();
+            vmap.insert(old, new);
+        }
+    }
+    src.outputs().iter().map(|(n, v)| (n.clone(), vmap[v])).collect()
+}
+
+fn fuse(
+    cdfg: &Cdfg,
+    cond_block: hls_cdfg::BlockId,
+    cond_var: &str,
+    then_block: hls_cdfg::BlockId,
+    else_block: Option<hls_cdfg::BlockId>,
+) -> DataFlowGraph {
+    let mut out = DataFlowGraph::new();
+    let mut env: HashMap<String, ValueId> = HashMap::new();
+    let cond_outs = splice(&cdfg.block(cond_block).dfg, &mut out, &mut env);
+    let cv = cond_outs[cond_var];
+    // Both arms read the post-condition environment; their writes stay
+    // local until muxed.
+    let then_outs = splice(&cdfg.block(then_block).dfg, &mut out, &mut env.clone());
+    let else_outs = match else_block {
+        Some(b) => splice(&cdfg.block(b).dfg, &mut out, &mut env.clone()),
+        None => HashMap::new(),
+    };
+    let mut vars: Vec<&String> = then_outs.keys().chain(else_outs.keys()).collect();
+    vars.sort();
+    vars.dedup();
+    for var in vars {
+        let base = |out: &mut DataFlowGraph, env: &mut HashMap<String, ValueId>| {
+            *env.entry(var.clone()).or_insert_with(|| out.add_input(var, 32))
+        };
+        let t = match then_outs.get(var) {
+            Some(&v) => v,
+            None => base(&mut out, &mut env),
+        };
+        let e = match else_outs.get(var) {
+            Some(&v) => v,
+            None => base(&mut out, &mut env),
+        };
+        let mux = out.add_op(OpKind::Mux, vec![cv, t, e]);
+        let mv = out.result(mux).expect("mux has a result");
+        let width = out.value(t).width.max(out.value(e).width);
+        out.value_mut(mv).width = width;
+        out.value_mut(mv).name = var.clone();
+        out.set_output(var, mv);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    const ABSDIFF: &str = "
+        program absdiff; input a, b; output d;
+        begin
+          if a > b then d := a - b; else d := b - a; end;
+        end.
+    ";
+
+    #[test]
+    fn converts_simple_if_to_mux() {
+        let mut cdfg = hls_lang::compile(ABSDIFF).unwrap();
+        assert!(matches!(cdfg.body(), Region::If(_)));
+        assert_eq!(convert_ifs(&mut cdfg), 1);
+        cdfg.validate().unwrap();
+        assert!(matches!(cdfg.body(), Region::Block(_)));
+        let b = cdfg.block_order()[0];
+        let dfg = &cdfg.block(b).dfg;
+        assert_eq!(dfg.op_ids().filter(|&i| dfg.op(i).kind == OpKind::Mux).count(), 1);
+    }
+
+    #[test]
+    fn converted_if_preserves_behavior() {
+        let cdfg = hls_lang::compile(ABSDIFF).unwrap();
+        let mut conv = cdfg.clone();
+        convert_ifs(&mut conv);
+        for (a, b) in [(5.0, 3.0), (3.0, 5.0), (4.0, 4.0), (-2.0, 7.0)] {
+            let inputs = BTreeMap::from([
+                ("a".to_string(), hls_cdfg::Fx::from_f64(a)),
+                ("b".to_string(), hls_cdfg::Fx::from_f64(b)),
+            ]);
+            assert_eq!(
+                hls_sim::interpret(&cdfg, &inputs).unwrap().outputs,
+                hls_sim::interpret(&conv, &inputs).unwrap().outputs,
+                "a={a} b={b}"
+            );
+        }
+    }
+
+    #[test]
+    fn gcd_if_converts_inside_the_loop() {
+        let mut cdfg = hls_lang::compile(hls_workloads::sources::GCD).unwrap();
+        assert_eq!(convert_ifs(&mut cdfg), 1);
+        cdfg.validate().unwrap();
+        for (a, b, g) in [(12i64, 18, 6), (35, 14, 7), (9, 9, 9)] {
+            let inputs = BTreeMap::from([
+                ("A".to_string(), hls_cdfg::Fx::from_i64(a)),
+                ("B".to_string(), hls_cdfg::Fx::from_i64(b)),
+            ]);
+            let r = hls_sim::interpret(&cdfg, &inputs).unwrap();
+            assert_eq!(r.outputs["G"], hls_cdfg::Fx::from_i64(g), "gcd({a},{b})");
+        }
+    }
+
+    #[test]
+    fn division_blocks_conversion() {
+        let mut cdfg = hls_lang::compile(
+            "program t; input a, b; output d;
+             begin
+               if b > 0 then d := a / b; else d := 0 - a; end;
+             end.",
+        )
+        .unwrap();
+        assert_eq!(convert_ifs(&mut cdfg), 0, "speculative division is unsafe");
+        assert!(matches!(cdfg.body(), Region::If(_)));
+    }
+
+    #[test]
+    fn memory_ops_block_conversion() {
+        let mut cdfg = hls_lang::compile(
+            "program t; input a, i; output d; array M[8];
+             begin
+               if a > 0 then M[i] := a; else d := 0; end;
+               d := M[0];
+             end.",
+        )
+        .unwrap();
+        assert_eq!(convert_ifs(&mut cdfg), 0, "speculative stores are unsafe");
+    }
+
+    #[test]
+    fn missing_else_uses_passthrough() {
+        let mut cdfg = hls_lang::compile(
+            "program t; input a; output d;
+             begin
+               d := a;
+               if a > 2 then d := a + 1; end;
+             end.",
+        )
+        .unwrap();
+        assert_eq!(convert_ifs(&mut cdfg), 1);
+        cdfg.validate().unwrap();
+        for a in [1.0, 5.0] {
+            let inputs = BTreeMap::from([("a".to_string(), hls_cdfg::Fx::from_f64(a))]);
+            let r = hls_sim::interpret(&cdfg, &inputs).unwrap();
+            let expected = if a > 2.0 { a + 1.0 } else { a };
+            assert_eq!(r.outputs["d"].to_f64(), expected, "a={a}");
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! # hls-opt — high-level transformations
+//!
+//! The tutorial's §2 "compiler-like optimizations" over the CDFG: constant
+//! folding/propagation, dead-code elimination, common-subexpression
+//! elimination, copy propagation, strength reduction (`×0.5` → `>>1`,
+//! `+1` → increment), induction-variable narrowing with exit-test rewriting
+//! (`I > 3` → 2-bit `I = 0`), and loop unrolling.
+//!
+//! Passes run through a small pass manager:
+//!
+//! ```
+//! let mut cdfg = hls_lang::compile(
+//!     "program t; input x; output y; begin y := (x * 0.5) + 0; end."
+//! )?;
+//! let stats = hls_opt::optimize(&mut cdfg);
+//! assert!(stats.iter().map(|s| s.rewrites).sum::<usize>() > 0);
+//! # Ok::<(), hls_lang::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod copyprop;
+mod cse;
+mod dce;
+mod fold;
+mod ifconv;
+mod narrow;
+mod strength;
+mod unroll;
+
+pub use copyprop::propagate_copies;
+pub use cse::eliminate_common_subexpressions;
+pub use dce::eliminate_dead_code;
+pub use fold::{eval_const, fold_constants};
+pub use ifconv::convert_ifs;
+pub use narrow::narrow_loop_counters;
+pub use strength::reduce_strength;
+pub use unroll::{unroll_counted_loops, UNROLL_OP_BUDGET};
+
+use hls_cdfg::Cdfg;
+
+/// One of the available transformation passes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PassKind {
+    /// Constant folding + algebraic identities.
+    Fold,
+    /// Copy propagation.
+    CopyProp,
+    /// Common-subexpression elimination.
+    Cse,
+    /// Strength reduction.
+    Strength,
+    /// Induction-variable narrowing + exit-test rewrite.
+    Narrow,
+    /// Dead-code elimination.
+    Dce,
+    /// Full unrolling of counted loops.
+    Unroll,
+    /// If-conversion: small conditionals become mux dataflow.
+    IfConvert,
+}
+
+impl PassKind {
+    /// Stable display name of the pass.
+    pub fn name(self) -> &'static str {
+        match self {
+            PassKind::Fold => "const-fold",
+            PassKind::CopyProp => "copy-prop",
+            PassKind::Cse => "cse",
+            PassKind::Strength => "strength-reduce",
+            PassKind::Narrow => "narrow-counters",
+            PassKind::Dce => "dce",
+            PassKind::Unroll => "unroll",
+            PassKind::IfConvert => "if-convert",
+        }
+    }
+}
+
+/// Number of rewrites a pass performed during [`optimize_with`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PassStats {
+    /// Which pass ran.
+    pub pass: PassKind,
+    /// How many rewrites it made (summed across fix-point iterations).
+    pub rewrites: usize,
+}
+
+/// Runs a single pass once, returning its rewrite count.
+pub fn run_pass(cdfg: &mut Cdfg, pass: PassKind) -> usize {
+    match pass {
+        PassKind::Fold => fold_constants(cdfg),
+        PassKind::CopyProp => propagate_copies(cdfg),
+        PassKind::Cse => eliminate_common_subexpressions(cdfg),
+        PassKind::Strength => reduce_strength(cdfg),
+        PassKind::Narrow => narrow_loop_counters(cdfg),
+        PassKind::Dce => eliminate_dead_code(cdfg),
+        PassKind::Unroll => unroll_counted_loops(cdfg),
+        PassKind::IfConvert => convert_ifs(cdfg),
+    }
+}
+
+/// The standard optimization pipeline (no unrolling), iterated to a fix
+/// point.
+pub const STANDARD_PASSES: [PassKind; 6] = [
+    PassKind::Fold,
+    PassKind::CopyProp,
+    PassKind::Cse,
+    PassKind::Strength,
+    PassKind::Narrow,
+    PassKind::Dce,
+];
+
+/// Runs the given passes repeatedly until no pass makes a change (bounded
+/// at 16 rounds), returning per-pass rewrite totals.
+pub fn optimize_with(cdfg: &mut Cdfg, passes: &[PassKind]) -> Vec<PassStats> {
+    let mut stats: Vec<PassStats> =
+        passes.iter().map(|&p| PassStats { pass: p, rewrites: 0 }).collect();
+    for _round in 0..16 {
+        let mut round_changes = 0;
+        for (i, &p) in passes.iter().enumerate() {
+            let n = run_pass(cdfg, p);
+            stats[i].rewrites += n;
+            round_changes += n;
+        }
+        if round_changes == 0 {
+            break;
+        }
+    }
+    debug_assert!(cdfg.validate().is_ok(), "optimizer broke the CDFG");
+    stats
+}
+
+/// Runs [`STANDARD_PASSES`] to a fix point.
+pub fn optimize(cdfg: &mut Cdfg) -> Vec<PassStats> {
+    optimize_with(cdfg, &STANDARD_PASSES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_cdfg::OpKind;
+
+    const SQRT: &str = "
+        program sqrt;
+        input X; output Y; var I : int<4>;
+        begin
+          Y := 0.222222 + 0.888889 * X;
+          I := 0;
+          do
+            Y := 0.5 * (Y + X / Y);
+            I := I + 1;
+          until I > 3;
+        end.
+    ";
+
+    /// The full Fig. 2 check: after optimization the loop body holds
+    /// div, add, shr (free), inc, eq — and the counter is 2 bits.
+    #[test]
+    fn sqrt_matches_fig2_optimized_form() {
+        let mut cdfg = hls_lang::compile(SQRT).unwrap();
+        optimize(&mut cdfg);
+        cdfg.validate().unwrap();
+        let body = cdfg.block_order()[1];
+        let dfg = &cdfg.block(body).dfg;
+        let mut kinds: Vec<OpKind> = dfg
+            .op_ids()
+            .map(|i| dfg.op(i).kind)
+            .filter(|k| *k != OpKind::Const)
+            .collect();
+        kinds.sort();
+        let mut expected = vec![OpKind::Div, OpKind::Add, OpKind::Shr, OpKind::Inc, OpKind::Eq];
+        expected.sort();
+        assert_eq!(kinds, expected);
+        let (_, iv) = dfg.outputs().iter().find(|(n, _)| n == "I").unwrap();
+        assert_eq!(dfg.value(*iv).width, 2);
+    }
+
+    #[test]
+    fn sqrt_entry_keeps_three_step_ops() {
+        let mut cdfg = hls_lang::compile(SQRT).unwrap();
+        optimize(&mut cdfg);
+        let entry = cdfg.block_order()[0];
+        let dfg = &cdfg.block(entry).dfg;
+        let step_ops = dfg
+            .op_ids()
+            .filter(|&i| dfg.op(i).kind != OpKind::Const)
+            .count();
+        assert_eq!(step_ops, 3, "mul, add, and the I:=0 transfer survive");
+    }
+
+    #[test]
+    fn optimize_is_idempotent() {
+        let mut cdfg = hls_lang::compile(SQRT).unwrap();
+        optimize(&mut cdfg);
+        let ops_after_first = cdfg.total_ops();
+        let stats = optimize(&mut cdfg);
+        assert_eq!(cdfg.total_ops(), ops_after_first);
+        assert!(stats.iter().all(|s| s.rewrites == 0));
+    }
+
+    #[test]
+    fn unroll_plus_optimize_pipeline() {
+        let mut cdfg = hls_lang::compile(SQRT).unwrap();
+        run_pass(&mut cdfg, PassKind::Unroll);
+        optimize(&mut cdfg);
+        cdfg.validate().unwrap();
+        // Entire loop flattened into the second block; exit tests folded away.
+        let body = cdfg.block_order()[1];
+        let dfg = &cdfg.block(body).dfg;
+        assert_eq!(dfg.op_ids().filter(|&i| dfg.op(i).kind == OpKind::Div).count(), 4);
+        assert_eq!(dfg.op_ids().filter(|&i| dfg.op(i).kind.is_comparison()).count(), 0);
+    }
+
+    #[test]
+    fn pass_names_are_stable() {
+        assert_eq!(PassKind::Fold.name(), "const-fold");
+        assert_eq!(PassKind::Narrow.name(), "narrow-counters");
+    }
+}

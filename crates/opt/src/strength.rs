@@ -1,0 +1,211 @@
+//! Strength reduction: expensive operators become cheap ones.
+//!
+//! The tutorial's Fig. 2 transformations: "the multiplication times 0.5 can
+//! be replaced by a right shift by one; the addition of 1 to I can be
+//! replaced by an increment operation."
+
+use hls_cdfg::{Cdfg, DataFlowGraph, Fx, OpKind, ValueDef, ValueId};
+
+/// Applies strength reduction to every block:
+///
+/// * `x * 2^k` → `x << k` (or `x >> -k` for fractional powers like `0.5`)
+/// * `x / 2^k` → `x >> k`
+/// * `x + 1` → `inc x`, `x - 1` → `dec x`
+///
+/// Returns the number of rewrites.
+pub fn reduce_strength(cdfg: &mut Cdfg) -> usize {
+    let blocks: Vec<_> = cdfg.blocks().map(|(id, _)| id).collect();
+    let mut changed = 0;
+    for b in blocks {
+        changed += reduce_block(&mut cdfg.block_mut(b).dfg);
+    }
+    changed
+}
+
+fn const_of(dfg: &DataFlowGraph, v: ValueId) -> Option<Fx> {
+    match dfg.value(v).def {
+        ValueDef::Op(p) if dfg.op(p).kind == OpKind::Const => dfg.op(p).constant,
+        _ => None,
+    }
+}
+
+fn reduce_block(dfg: &mut DataFlowGraph) -> usize {
+    let mut changed = 0;
+    let ids: Vec<_> = dfg.op_ids().collect();
+    for id in ids {
+        let op = dfg.op(id);
+        let kind = op.kind;
+        let operands = op.operands.clone();
+        let label = op.label.clone();
+        let rewrite = match kind {
+            OpKind::Mul => {
+                let (x, k) = match (const_of(dfg, operands[0]), const_of(dfg, operands[1])) {
+                    (None, Some(c)) => (operands[0], c.log2_exact()),
+                    (Some(c), None) => (operands[1], c.log2_exact()),
+                    _ => (operands[0], None),
+                };
+                k.filter(|k| *k != 0).map(|k| shift_for(x, k))
+            }
+            OpKind::Div => const_of(dfg, operands[1])
+                .and_then(Fx::log2_exact)
+                .filter(|k| *k != 0)
+                .map(|k| shift_for(operands[0], -k)),
+            OpKind::Add => one_operand(dfg, &operands).map(|x| (OpKind::Inc, x, 0)),
+            OpKind::Sub => const_of(dfg, operands[1])
+                .filter(|c| *c == Fx::ONE)
+                .map(|_| (OpKind::Dec, operands[0], 0)),
+            _ => None,
+        };
+        let Some((new_kind, x, amount)) = rewrite else { continue };
+        let new_id = match new_kind {
+            OpKind::Shl | OpKind::Shr => {
+                let amt = dfg.add_const_value(Fx::from_i64(amount as i64));
+                dfg.add_op(new_kind, vec![x, amt])
+            }
+            _ => dfg.add_op(new_kind, vec![x]),
+        };
+        if !label.is_empty() {
+            dfg.op_mut(new_id).label = label;
+        }
+        let old_res = dfg.result(id).expect("arith op has a result");
+        let new_res = dfg.result(new_id).expect("new op has a result");
+        let width = dfg.value(old_res).width;
+        let name = dfg.value(old_res).name.clone();
+        dfg.value_mut(new_res).width = width;
+        dfg.value_mut(new_res).name = name;
+        dfg.replace_value_uses(old_res, new_res);
+        dfg.kill_op(id);
+        changed += 1;
+    }
+    changed
+}
+
+/// `x * 2^k`: positive `k` shifts left, negative shifts right.
+fn shift_for(x: ValueId, k: i32) -> (OpKind, ValueId, u32) {
+    if k > 0 {
+        (OpKind::Shl, x, k as u32)
+    } else {
+        (OpKind::Shr, x, (-k) as u32)
+    }
+}
+
+/// For `Add`, returns the non-constant operand when the other is the
+/// constant one.
+fn one_operand(dfg: &DataFlowGraph, operands: &[ValueId]) -> Option<ValueId> {
+    match (const_of(dfg, operands[0]), const_of(dfg, operands[1])) {
+        (None, Some(c)) if c == Fx::ONE => Some(operands[0]),
+        (Some(c), None) if c == Fx::ONE => Some(operands[1]),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_cdfg::Region;
+
+    fn wrap(dfg: DataFlowGraph) -> (Cdfg, hls_cdfg::BlockId) {
+        let mut cdfg = Cdfg::new("t");
+        let b = cdfg.add_block("b", dfg);
+        cdfg.set_body(Region::Block(b));
+        (cdfg, b)
+    }
+
+    fn kinds(cdfg: &Cdfg, b: hls_cdfg::BlockId) -> Vec<OpKind> {
+        cdfg.block(b)
+            .dfg
+            .op_ids()
+            .map(|i| cdfg.block(b).dfg.op(i).kind)
+            .filter(|k| *k != OpKind::Const)
+            .collect()
+    }
+
+    #[test]
+    fn mul_by_half_becomes_shr_one() {
+        // The exact Fig. 2 rewrite.
+        let mut dfg = DataFlowGraph::new();
+        let y = dfg.add_input("y", 32);
+        let half = dfg.add_const_value(Fx::from_f64(0.5));
+        let m = dfg.add_op(OpKind::Mul, vec![half, y]);
+        dfg.set_output("y", dfg.result(m).unwrap());
+        let (mut cdfg, b) = wrap(dfg);
+        assert_eq!(reduce_strength(&mut cdfg), 1);
+        assert_eq!(kinds(&cdfg, b), vec![OpKind::Shr]);
+        cdfg.validate().unwrap();
+    }
+
+    #[test]
+    fn add_one_becomes_inc() {
+        let mut dfg = DataFlowGraph::new();
+        let i = dfg.add_input("i", 4);
+        let one = dfg.add_const_value(Fx::ONE);
+        let a = dfg.add_op(OpKind::Add, vec![i, one]);
+        let r = dfg.result(a).unwrap();
+        dfg.value_mut(r).width = 4; // lowering narrows assigned values
+        dfg.set_output("i", r);
+        let (mut cdfg, b) = wrap(dfg);
+        assert_eq!(reduce_strength(&mut cdfg), 1);
+        assert_eq!(kinds(&cdfg, b), vec![OpKind::Inc]);
+        // Width of the assigned value is preserved.
+        let dfg = &cdfg.block(b).dfg;
+        assert_eq!(dfg.value(dfg.outputs()[0].1).width, 4);
+    }
+
+    #[test]
+    fn mul_by_eight_becomes_shl_three() {
+        let mut dfg = DataFlowGraph::new();
+        let x = dfg.add_input("x", 32);
+        let eight = dfg.add_const_value(Fx::from_i64(8));
+        let m = dfg.add_op(OpKind::Mul, vec![x, eight]);
+        dfg.set_output("y", dfg.result(m).unwrap());
+        let (mut cdfg, b) = wrap(dfg);
+        assert_eq!(reduce_strength(&mut cdfg), 1);
+        assert_eq!(kinds(&cdfg, b), vec![OpKind::Shl]);
+    }
+
+    #[test]
+    fn div_by_four_becomes_shr_two() {
+        let mut dfg = DataFlowGraph::new();
+        let x = dfg.add_input("x", 32);
+        let four = dfg.add_const_value(Fx::from_i64(4));
+        let d = dfg.add_op(OpKind::Div, vec![x, four]);
+        dfg.set_output("y", dfg.result(d).unwrap());
+        let (mut cdfg, b) = wrap(dfg);
+        assert_eq!(reduce_strength(&mut cdfg), 1);
+        assert_eq!(kinds(&cdfg, b), vec![OpKind::Shr]);
+    }
+
+    #[test]
+    fn mul_by_three_untouched() {
+        let mut dfg = DataFlowGraph::new();
+        let x = dfg.add_input("x", 32);
+        let three = dfg.add_const_value(Fx::from_i64(3));
+        let m = dfg.add_op(OpKind::Mul, vec![x, three]);
+        dfg.set_output("y", dfg.result(m).unwrap());
+        let (mut cdfg, _) = wrap(dfg);
+        assert_eq!(reduce_strength(&mut cdfg), 0);
+    }
+
+    #[test]
+    fn sub_one_becomes_dec() {
+        let mut dfg = DataFlowGraph::new();
+        let x = dfg.add_input("x", 32);
+        let one = dfg.add_const_value(Fx::ONE);
+        let s = dfg.add_op(OpKind::Sub, vec![x, one]);
+        dfg.set_output("y", dfg.result(s).unwrap());
+        let (mut cdfg, b) = wrap(dfg);
+        assert_eq!(reduce_strength(&mut cdfg), 1);
+        assert_eq!(kinds(&cdfg, b), vec![OpKind::Dec]);
+    }
+
+    #[test]
+    fn one_minus_x_not_dec() {
+        let mut dfg = DataFlowGraph::new();
+        let x = dfg.add_input("x", 32);
+        let one = dfg.add_const_value(Fx::ONE);
+        let s = dfg.add_op(OpKind::Sub, vec![one, x]);
+        dfg.set_output("y", dfg.result(s).unwrap());
+        let (mut cdfg, _) = wrap(dfg);
+        assert_eq!(reduce_strength(&mut cdfg), 0);
+    }
+}

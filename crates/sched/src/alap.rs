@@ -1,0 +1,136 @@
+//! As-late-as-possible (ALAP) scheduling.
+//!
+//! The mirror of ASAP: every operation is pushed to the latest step that
+//! still meets the deadline. Not a good scheduler on its own (it crowds
+//! the final steps), but the source of the "latest start" half of every
+//! mobility/freedom computation (§3.1.2), and a useful baseline.
+
+use std::collections::HashMap;
+
+use hls_cdfg::{DataFlowGraph, OpId};
+
+use crate::precedence::{is_wired, unconstrained_alap, unconstrained_asap};
+use crate::resource::{OpClassifier, ResourceLimits};
+use crate::schedule::Schedule;
+use crate::ScheduleError;
+
+/// Schedules `dfg` as late as possible against `deadline` total steps,
+/// packing ops backwards under `limits` (a step's over-subscribed ops
+/// spill to *earlier* steps, the reverse of ASAP).
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::DeadlineTooShort`] when the critical path does
+/// not fit, [`ScheduleError::ZeroResource`] for required-but-absent
+/// classes, and [`ScheduleError::SearchBudgetExhausted`] when resource
+/// pressure pushes an op before step 0 (deadline infeasible under these
+/// limits).
+pub fn alap_schedule(
+    dfg: &DataFlowGraph,
+    classifier: &OpClassifier,
+    limits: &ResourceLimits,
+    deadline: u32,
+) -> Result<Schedule, ScheduleError> {
+    let (_, cp) = unconstrained_asap(dfg, classifier)?;
+    if deadline < cp {
+        return Err(ScheduleError::DeadlineTooShort { deadline, critical_path: cp });
+    }
+    let unconstrained = unconstrained_alap(dfg, classifier, deadline)?;
+    // Reverse topological order; each op takes the latest feasible step.
+    let order = dfg.topological_order()?;
+    let mut steps: HashMap<OpId, u32> = HashMap::new();
+    let mut usage: HashMap<(crate::FuClass, u32), usize> = HashMap::new();
+    let mut schedule = Schedule::new();
+    for &op in order.iter().rev() {
+        if is_wired(dfg, op) {
+            steps.insert(op, 0);
+            schedule.assign(op, 0);
+            continue;
+        }
+        // Latest step permitted by already-placed successors.
+        let mut latest = unconstrained[&op];
+        for succ in dfg.succs(op) {
+            if is_wired(dfg, succ) {
+                continue;
+            }
+            let ss = steps[&succ];
+            let bound = if classifier.is_free(dfg, succ) { ss } else { ss.saturating_sub(1) };
+            latest = latest.min(bound);
+        }
+        let step = match classifier.classify(dfg, op) {
+            None => latest,
+            Some(class) => {
+                let limit = limits.limit(class);
+                if limit == 0 {
+                    return Err(ScheduleError::ZeroResource { class });
+                }
+                let mut s = latest;
+                while *usage.get(&(class, s)).unwrap_or(&0) >= limit {
+                    if s == 0 {
+                        return Err(ScheduleError::SearchBudgetExhausted);
+                    }
+                    s -= 1;
+                }
+                *usage.entry((class, s)).or_insert(0) += 1;
+                s
+            }
+        };
+        steps.insert(op, step);
+        schedule.assign(op, step);
+    }
+    schedule.set_num_steps(deadline);
+    Ok(schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_workloads::figures::fig3_graph;
+
+    #[test]
+    fn mirrors_asap_on_fig3() {
+        let (g, ops) = fig3_graph();
+        let cls = OpClassifier::universal();
+        let s = alap_schedule(&g, &cls, &ResourceLimits::unlimited(), 3).unwrap();
+        s.validate(&g, &cls, &ResourceLimits::unlimited()).unwrap();
+        // The critical chain is pinned; fillers crowd the last step.
+        assert_eq!(s.step(ops[1]), Some(0));
+        assert_eq!(s.step(ops[3]), Some(1));
+        assert_eq!(s.step(ops[5]), Some(2));
+        assert_eq!(s.step(ops[0]), Some(2), "non-critical op pushed late");
+    }
+
+    #[test]
+    fn resource_limits_spill_backwards() {
+        let (g, _) = fig3_graph();
+        let cls = OpClassifier::universal();
+        let limits = ResourceLimits::universal(2);
+        let s = alap_schedule(&g, &cls, &limits, 3).unwrap();
+        s.validate(&g, &cls, &limits).unwrap();
+        assert_eq!(s.num_steps(), 3);
+    }
+
+    #[test]
+    fn infeasible_deadline_rejected() {
+        let (g, _) = fig3_graph();
+        let cls = OpClassifier::universal();
+        assert!(matches!(
+            alap_schedule(&g, &cls, &ResourceLimits::unlimited(), 2),
+            Err(ScheduleError::DeadlineTooShort { .. })
+        ));
+        // 6 ops on 1 FU cannot fit 3 steps: pressure spills past step 0.
+        assert!(alap_schedule(&g, &cls, &ResourceLimits::single_universal(), 3).is_err());
+    }
+
+    #[test]
+    fn alap_complements_asap_for_mobility() {
+        use crate::asap::asap_schedule;
+        let (g, _) = fig3_graph();
+        let cls = OpClassifier::universal();
+        let asap = asap_schedule(&g, &cls, &ResourceLimits::unlimited()).unwrap();
+        let alap = alap_schedule(&g, &cls, &ResourceLimits::unlimited(), 3).unwrap();
+        for op in g.op_ids() {
+            assert!(asap.step(op).unwrap() <= alap.step(op).unwrap(), "{op:?}");
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Exhaustive branch-and-bound scheduling (EXPL — tutorial reference [1]).
+//!
+//! "Exhaustive search ... looks through all possible designs, but of
+//! course it is computationally very expensive and not practical for
+//! sizable designs. [It] can be improved somewhat by using
+//! branch-and-bound techniques, which cut off the search along any path
+//! that can be recognized to be suboptimal" (§3.1.2).
+//!
+//! This scheduler finds a provably latency-optimal resource-constrained
+//! schedule for small graphs, and serves as the ground truth against which
+//! the heuristic schedulers are measured (experiment E8).
+
+use std::collections::HashMap;
+
+use hls_cdfg::{DataFlowGraph, OpId};
+
+use crate::list::{list_schedule, Priority};
+use crate::precedence::{earliest_start, is_wired};
+use crate::resource::{FuClass, OpClassifier, ResourceLimits};
+use crate::schedule::Schedule;
+use crate::ScheduleError;
+
+/// Default search-node budget.
+pub const DEFAULT_NODE_BUDGET: u64 = 2_000_000;
+
+/// Finds a latency-optimal schedule under `limits` by branch-and-bound,
+/// seeded with a list-scheduling upper bound.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::SearchBudgetExhausted`] when more than
+/// `node_budget` search nodes would be explored (the optimum is unknown),
+/// plus the usual cycle/zero-resource errors.
+pub fn branch_and_bound_schedule(
+    dfg: &DataFlowGraph,
+    classifier: &OpClassifier,
+    limits: &ResourceLimits,
+    node_budget: u64,
+) -> Result<Schedule, ScheduleError> {
+    // Upper bound from list scheduling (also catches zero resources).
+    let seed = list_schedule(dfg, classifier, limits, Priority::PathLength)?;
+    let mut best_len = seed.num_steps();
+    let mut best = seed;
+    if best_len == 0 {
+        return Ok(best);
+    }
+
+    // Order step-taking ops topologically; free/wired ops are placed after.
+    let order: Vec<OpId> = dfg
+        .topological_order()?
+        .into_iter()
+        .filter(|&op| classifier.classify(dfg, op).is_some())
+        .collect();
+    // Remaining path length below each op (in step-taking ops, inclusive).
+    let tail = tail_lengths(dfg, classifier);
+
+    let mut steps: HashMap<OpId, u32> = HashMap::new();
+    let mut usage: HashMap<(FuClass, u32), usize> = HashMap::new();
+    let mut nodes = 0u64;
+    let exhausted = dfs(
+        dfg,
+        classifier,
+        limits,
+        &order,
+        0,
+        &tail,
+        &mut steps,
+        &mut usage,
+        0,
+        &mut best_len,
+        &mut best,
+        &mut nodes,
+        node_budget,
+    );
+    if exhausted {
+        return Err(ScheduleError::SearchBudgetExhausted);
+    }
+    Ok(best)
+}
+
+/// Longest chain of step-taking ops from each op to a sink, inclusive.
+fn tail_lengths(dfg: &DataFlowGraph, classifier: &OpClassifier) -> HashMap<OpId, u32> {
+    let order = dfg.topological_order().expect("checked by caller");
+    let mut tail: HashMap<OpId, u32> = HashMap::new();
+    for &op in order.iter().rev() {
+        let below = dfg.succs(op).iter().map(|s| tail[s]).max().unwrap_or(0);
+        let own = u32::from(classifier.classify(dfg, op).is_some());
+        tail.insert(op, below + own);
+    }
+    tail
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    dfg: &DataFlowGraph,
+    classifier: &OpClassifier,
+    limits: &ResourceLimits,
+    order: &[OpId],
+    idx: usize,
+    tail: &HashMap<OpId, u32>,
+    steps: &mut HashMap<OpId, u32>,
+    usage: &mut HashMap<(FuClass, u32), usize>,
+    makespan: u32,
+    best_len: &mut u32,
+    best: &mut Schedule,
+    nodes: &mut u64,
+    budget: u64,
+) -> bool {
+    if *nodes >= budget {
+        return true;
+    }
+    *nodes += 1;
+    if idx == order.len() {
+        if makespan < *best_len {
+            *best_len = makespan;
+            let mut s = Schedule::new();
+            // Free/wired ops at their earliest start given the assignment.
+            let full = dfg.topological_order().expect("acyclic");
+            let mut all = steps.clone();
+            for op in full {
+                if !all.contains_key(&op) {
+                    let e = earliest_start(dfg, classifier, &all, op);
+                    all.insert(op, e);
+                }
+                let t = if is_wired(dfg, op) { 0 } else { all[&op] };
+                s.assign(op, t);
+            }
+            *best = s;
+        }
+        return false;
+    }
+    let op = order[idx];
+    let class = classifier.classify(dfg, op).expect("order holds step-taking ops");
+    let ready = {
+        // earliest_start needs *all* non-wired preds scheduled; chained-free
+        // preds are not in `steps`, so resolve them on the fly.
+        let mut tmp = steps.clone();
+        for p in transitive_unscheduled_preds(dfg, classifier, steps, op) {
+            let e = earliest_start(dfg, classifier, &tmp, p);
+            tmp.insert(p, e);
+        }
+        earliest_start(dfg, classifier, &tmp, op)
+    };
+    let limit = limits.limit(class);
+    // Prune: op at step t forces completion no earlier than t + tail[op],
+    // so the latest start that can still *improve* on best_len is
+    // best_len - 1 - tail[op].
+    let horizon = (*best_len).saturating_sub(1).saturating_sub(tail[&op]);
+    let mut t = ready;
+    while t <= horizon {
+        let u = usage.get(&(class, t)).copied().unwrap_or(0);
+        if u < limit {
+            *usage.entry((class, t)).or_insert(0) += 1;
+            steps.insert(op, t);
+            let new_makespan = makespan.max(t + 1);
+            let stop = dfs(
+                dfg, classifier, limits, order, idx + 1, tail, steps, usage,
+                new_makespan, best_len, best, nodes, budget,
+            );
+            if stop {
+                return true;
+            }
+            steps.remove(&op);
+            *usage.get_mut(&(class, t)).expect("just inserted") -= 1;
+        }
+        t += 1;
+    }
+    false
+}
+
+/// Chained-free predecessors of `op` not yet scheduled (transitively).
+fn transitive_unscheduled_preds(
+    dfg: &DataFlowGraph,
+    classifier: &OpClassifier,
+    steps: &HashMap<OpId, u32>,
+    op: OpId,
+) -> Vec<OpId> {
+    let mut out = Vec::new();
+    let mut work = dfg.preds(op);
+    while let Some(p) = work.pop() {
+        if is_wired(dfg, p) || steps.contains_key(&p) || out.contains(&p) {
+            continue;
+        }
+        debug_assert!(classifier.is_free(dfg, p), "step-taking preds are scheduled first");
+        work.extend(dfg.preds(p));
+        out.push(p);
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_workloads::figures::fig3_graph;
+
+    #[test]
+    fn finds_three_step_optimum_on_fig3() {
+        let (g, _) = fig3_graph();
+        let cls = OpClassifier::universal();
+        let limits = ResourceLimits::universal(2);
+        let s = branch_and_bound_schedule(&g, &cls, &limits, DEFAULT_NODE_BUDGET).unwrap();
+        s.validate(&g, &cls, &limits).unwrap();
+        assert_eq!(s.num_steps(), 3);
+    }
+
+    #[test]
+    fn matches_serial_bound_with_one_fu() {
+        let (g, _) = fig3_graph();
+        let cls = OpClassifier::universal();
+        let limits = ResourceLimits::single_universal();
+        let s = branch_and_bound_schedule(&g, &cls, &limits, DEFAULT_NODE_BUDGET).unwrap();
+        assert_eq!(s.num_steps(), 6);
+    }
+
+    #[test]
+    fn optimal_on_diffeq_with_limited_multipliers() {
+        let g = hls_workloads::benchmarks::diffeq();
+        let cls = OpClassifier::typed();
+        let limits = ResourceLimits::unlimited()
+            .with(FuClass::Multiplier, 2)
+            .with(FuClass::Alu, 2)
+            .with(FuClass::Comparator, 1);
+        let s = branch_and_bound_schedule(&g, &cls, &limits, DEFAULT_NODE_BUDGET).unwrap();
+        s.validate(&g, &cls, &limits).unwrap();
+        // Known optimum for HAL diffeq with 2 multipliers: 4 steps.
+        assert_eq!(s.num_steps(), 4);
+    }
+
+    #[test]
+    fn never_worse_than_list_scheduling() {
+        let cls = OpClassifier::typed();
+        for (name, g) in hls_workloads::all_benchmarks() {
+            if g.live_op_count() > 16 {
+                continue; // keep the exact search fast in unit tests
+            }
+            let limits = ResourceLimits::unlimited()
+                .with(FuClass::Multiplier, 2)
+                .with(FuClass::Alu, 1);
+            let opt = branch_and_bound_schedule(&g, &cls, &limits, DEFAULT_NODE_BUDGET)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let heur = list_schedule(&g, &cls, &limits, Priority::PathLength).unwrap();
+            assert!(opt.num_steps() <= heur.num_steps(), "{name}");
+        }
+    }
+
+    #[test]
+    fn tiny_budget_errors() {
+        let (g, _) = fig3_graph();
+        let cls = OpClassifier::universal();
+        let limits = ResourceLimits::universal(2);
+        assert_eq!(
+            branch_and_bound_schedule(&g, &cls, &limits, 1),
+            Err(ScheduleError::SearchBudgetExhausted)
+        );
+    }
+}

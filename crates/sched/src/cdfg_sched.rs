@@ -1,0 +1,180 @@
+//! Whole-behavior scheduling: every block of a CDFG, plus loop-aware
+//! total latency — the machinery behind the paper's 23-step and 10-step
+//! square-root schedules.
+
+use hls_cdfg::Cdfg;
+
+use crate::bb::branch_and_bound_schedule;
+use crate::force::force_directed_schedule;
+use crate::freedom::freedom_based_schedule;
+use crate::list::{list_schedule, Priority};
+use crate::precedence::unconstrained_asap;
+use crate::resource::{OpClassifier, ResourceLimits};
+use crate::schedule::CdfgSchedule;
+use crate::transform::transformational_schedule;
+use crate::{asap::asap_schedule, ScheduleError};
+
+/// Which scheduling algorithm to run on each block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Resource-constrained ASAP (Fig. 3).
+    Asap,
+    /// List scheduling with the given priority (Fig. 4).
+    List(Priority),
+    /// Force-directed (HAL): per-block deadline = critical path + `slack`.
+    ForceDirected {
+        /// Extra steps beyond each block's critical path.
+        slack: u32,
+    },
+    /// Freedom-based (MAHA): per-block deadline = critical path + `slack`.
+    FreedomBased {
+        /// Extra steps beyond each block's critical path.
+        slack: u32,
+    },
+    /// Optimal branch-and-bound (EXPL) with a node budget.
+    BranchAndBound {
+        /// Search-node budget.
+        node_budget: u64,
+    },
+    /// YSC-style transformational serialization.
+    Transformational,
+}
+
+impl Algorithm {
+    /// Display name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Asap => "asap",
+            Algorithm::List(_) => "list",
+            Algorithm::ForceDirected { .. } => "force-directed",
+            Algorithm::FreedomBased { .. } => "freedom-based",
+            Algorithm::BranchAndBound { .. } => "branch-and-bound",
+            Algorithm::Transformational => "transformational",
+        }
+    }
+}
+
+/// Schedules every block of `cdfg` with `algorithm`.
+///
+/// Time-constrained algorithms (force-directed, freedom-based) derive each
+/// block's deadline from its own critical path plus the configured slack;
+/// resource-constrained algorithms obey `limits`.
+///
+/// # Errors
+///
+/// Propagates the first per-block scheduling error.
+pub fn schedule_cdfg(
+    cdfg: &Cdfg,
+    classifier: &OpClassifier,
+    limits: &ResourceLimits,
+    algorithm: Algorithm,
+) -> Result<CdfgSchedule, ScheduleError> {
+    let mut out = CdfgSchedule::new();
+    for block in cdfg.block_order() {
+        let dfg = &cdfg.block(block).dfg;
+        let schedule = match algorithm {
+            Algorithm::Asap => asap_schedule(dfg, classifier, limits)?,
+            Algorithm::List(p) => list_schedule(dfg, classifier, limits, p)?,
+            Algorithm::ForceDirected { slack } => {
+                let (_, cp) = unconstrained_asap(dfg, classifier)?;
+                force_directed_schedule(dfg, classifier, cp.max(1) + slack)?
+            }
+            Algorithm::FreedomBased { slack } => {
+                let (_, cp) = unconstrained_asap(dfg, classifier)?;
+                freedom_based_schedule(dfg, classifier, cp.max(1) + slack)?
+            }
+            Algorithm::BranchAndBound { node_budget } => {
+                branch_and_bound_schedule(dfg, classifier, limits, node_budget)?
+            }
+            Algorithm::Transformational => {
+                transformational_schedule(dfg, classifier, limits)?.0
+            }
+        };
+        out.insert(block, schedule);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sqrt_cdfg() -> Cdfg {
+        hls_lang::compile(hls_workloads::sources::SQRT).unwrap()
+    }
+
+    /// The paper's first headline number: one universal FU and one memory
+    /// ⇒ "the computation takes 3 + 4·5 = 23 control steps".
+    #[test]
+    fn sqrt_serial_takes_23_steps() {
+        let cdfg = sqrt_cdfg();
+        let cls = OpClassifier::universal();
+        let limits = ResourceLimits::single_universal();
+        let s = schedule_cdfg(&cdfg, &cls, &limits, Algorithm::List(Priority::PathLength))
+            .unwrap();
+        assert_eq!(s.total_latency(&cdfg), 23);
+    }
+
+    /// The second headline number: after the Fig. 2 optimizations, "with
+    /// two functional units the operations can now be scheduled in
+    /// 2 + 4·2 = 10 control steps" (the shift is free).
+    #[test]
+    fn sqrt_optimized_takes_10_steps_on_two_fus() {
+        let mut cdfg = sqrt_cdfg();
+        hls_opt::optimize(&mut cdfg);
+        let cls = OpClassifier::universal_free_shifts();
+        let limits = ResourceLimits::universal(2);
+        let s = schedule_cdfg(&cdfg, &cls, &limits, Algorithm::List(Priority::PathLength))
+            .unwrap();
+        assert_eq!(s.total_latency(&cdfg), 10);
+    }
+
+    /// Intermediate sanity: optimization alone (still 1 FU) removes the
+    /// multiply (shift is free) but the copy remains: 3 + 4·4 = 19.
+    #[test]
+    fn sqrt_optimized_single_fu_takes_19_steps() {
+        let mut cdfg = sqrt_cdfg();
+        hls_opt::optimize(&mut cdfg);
+        let cls = OpClassifier::universal_free_shifts();
+        let limits = ResourceLimits::single_universal();
+        let s = schedule_cdfg(&cdfg, &cls, &limits, Algorithm::List(Priority::PathLength))
+            .unwrap();
+        assert_eq!(s.total_latency(&cdfg), 19);
+    }
+
+    #[test]
+    fn all_algorithms_schedule_sqrt() {
+        let mut cdfg = sqrt_cdfg();
+        hls_opt::optimize(&mut cdfg);
+        let cls = OpClassifier::universal_free_shifts();
+        let limits = ResourceLimits::universal(2);
+        for alg in [
+            Algorithm::Asap,
+            Algorithm::List(Priority::PathLength),
+            Algorithm::List(Priority::Urgency),
+            Algorithm::ForceDirected { slack: 0 },
+            Algorithm::FreedomBased { slack: 0 },
+            Algorithm::BranchAndBound { node_budget: 1_000_000 },
+            Algorithm::Transformational,
+        ] {
+            let s = schedule_cdfg(&cdfg, &cls, &limits, alg)
+                .unwrap_or_else(|e| panic!("{}: {e}", alg.name()));
+            let lat = s.total_latency(&cdfg);
+            assert!(lat >= 10, "{}: {lat}", alg.name());
+            assert!(lat <= 23, "{}: {lat}", alg.name());
+        }
+    }
+
+    #[test]
+    fn gcd_schedules_with_branches() {
+        let cdfg = hls_lang::compile(hls_workloads::sources::GCD).unwrap();
+        let cls = OpClassifier::universal();
+        let limits = ResourceLimits::universal(1);
+        let s = schedule_cdfg(&cdfg, &cls, &limits, Algorithm::List(Priority::PathLength))
+            .unwrap();
+        // Latency with default single-trip loops is positive and counts the
+        // while-condition block twice (entry + exit test).
+        assert!(s.total_latency(&cdfg) > 0);
+        assert!(s.latency_with_default_trip(&cdfg, 8) > s.total_latency(&cdfg));
+    }
+}

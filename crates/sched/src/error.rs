@@ -1,0 +1,118 @@
+//! Scheduling errors.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::resource::FuClass;
+
+/// A problem detected while building or validating a schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// The graph has a data cycle.
+    Cycle,
+    /// A live op was left unscheduled.
+    Unscheduled {
+        /// Debug rendering of the op id.
+        op: String,
+    },
+    /// A consumer is scheduled at or before its producer.
+    PrecedenceViolated {
+        /// Producer op.
+        pred: String,
+        /// Consumer op.
+        succ: String,
+    },
+    /// A step uses more units of a class than allowed.
+    ResourceExceeded {
+        /// The class.
+        class: FuClass,
+        /// The step (0-based).
+        step: u32,
+        /// Units used.
+        used: usize,
+        /// Units available.
+        limit: usize,
+    },
+    /// A time-constrained scheduler was given a deadline shorter than the
+    /// critical path.
+    DeadlineTooShort {
+        /// Requested deadline in steps.
+        deadline: u32,
+        /// Critical-path length in steps.
+        critical_path: u32,
+    },
+    /// A resource limit of zero makes required work impossible.
+    ZeroResource {
+        /// The class with zero units.
+        class: FuClass,
+    },
+    /// Branch-and-bound exceeded its node budget.
+    SearchBudgetExhausted,
+    /// Pipelining could not find a feasible initiation interval.
+    NoFeasibleInterval,
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Cycle => write!(f, "data-flow graph contains a cycle"),
+            ScheduleError::Unscheduled { op } => write!(f, "operation {op} left unscheduled"),
+            ScheduleError::PrecedenceViolated { pred, succ } => {
+                write!(f, "operation {succ} scheduled no later than its producer {pred}")
+            }
+            ScheduleError::ResourceExceeded { class, step, used, limit } => write!(
+                f,
+                "step {step} uses {used} `{class}` units but only {limit} available"
+            ),
+            ScheduleError::DeadlineTooShort { deadline, critical_path } => write!(
+                f,
+                "deadline of {deadline} steps is shorter than the critical path ({critical_path})"
+            ),
+            ScheduleError::ZeroResource { class } => {
+                write!(f, "resource class `{class}` has zero units but is required")
+            }
+            ScheduleError::SearchBudgetExhausted => {
+                write!(f, "branch-and-bound search budget exhausted")
+            }
+            ScheduleError::NoFeasibleInterval => {
+                write!(f, "no feasible pipeline initiation interval found")
+            }
+        }
+    }
+}
+
+impl Error for ScheduleError {}
+
+impl From<hls_cdfg::CdfgError> for ScheduleError {
+    fn from(e: hls_cdfg::CdfgError) -> Self {
+        match e {
+            hls_cdfg::CdfgError::Cycle => ScheduleError::Cycle,
+            other => ScheduleError::Unscheduled { op: other.to_string() },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase() {
+        let e = ScheduleError::DeadlineTooShort { deadline: 2, critical_path: 4 };
+        assert!(e.to_string().starts_with("deadline"));
+        let e = ScheduleError::ResourceExceeded {
+            class: FuClass::Alu,
+            step: 3,
+            used: 2,
+            limit: 1,
+        };
+        assert!(e.to_string().contains("alu"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ScheduleError>();
+    }
+}

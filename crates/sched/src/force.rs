@@ -1,0 +1,354 @@
+//! Force-directed scheduling (HAL, Paulin & Knight — tutorial reference
+//! [22]) and distribution graphs (Fig. 5).
+//!
+//! Time-constrained: given a deadline, balance the expected number of
+//! concurrent operations of each FU class across control steps, so that
+//! the per-step maximum — and hence the number of functional units — is
+//! minimized.
+
+use std::collections::{BTreeMap, HashMap};
+
+use hls_cdfg::{DataFlowGraph, OpId};
+
+use crate::precedence::{earliest_start, is_wired, unconstrained_alap, unconstrained_asap};
+use crate::resource::{FuClass, OpClassifier};
+use crate::schedule::Schedule;
+use crate::ScheduleError;
+
+/// Feasible step ranges for every op, maintained under placement.
+#[derive(Clone, Debug)]
+struct Ranges {
+    lo: HashMap<OpId, u32>,
+    hi: HashMap<OpId, u32>,
+}
+
+impl Ranges {
+    fn range(&self, op: OpId) -> (u32, u32) {
+        (self.lo[&op], self.hi[&op])
+    }
+}
+
+/// A per-class distribution graph: expected FU usage per control step,
+/// assuming each unplaced op is equally likely anywhere in its range.
+pub type DistributionGraphs = BTreeMap<FuClass, Vec<f64>>;
+
+/// Computes the distribution graphs of `dfg` against `deadline` steps
+/// (the Fig. 5 artifact).
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::DeadlineTooShort`] when the deadline cannot
+/// accommodate the critical path, or [`ScheduleError::Cycle`].
+pub fn distribution_graphs(
+    dfg: &DataFlowGraph,
+    classifier: &OpClassifier,
+    deadline: u32,
+) -> Result<DistributionGraphs, ScheduleError> {
+    let ranges = initial_ranges(dfg, classifier, deadline)?;
+    Ok(graphs_from_ranges(dfg, classifier, &ranges, deadline, &HashMap::new()))
+}
+
+fn initial_ranges(
+    dfg: &DataFlowGraph,
+    classifier: &OpClassifier,
+    deadline: u32,
+) -> Result<Ranges, ScheduleError> {
+    let (asap, cp) = unconstrained_asap(dfg, classifier)?;
+    if deadline < cp {
+        return Err(ScheduleError::DeadlineTooShort { deadline, critical_path: cp });
+    }
+    let alap = unconstrained_alap(dfg, classifier, deadline)?;
+    let lo = asap;
+    let mut hi = HashMap::new();
+    for (op, a) in alap {
+        hi.insert(op, a.max(lo[&op]));
+    }
+    Ok(Ranges { lo, hi })
+}
+
+fn graphs_from_ranges(
+    dfg: &DataFlowGraph,
+    classifier: &OpClassifier,
+    ranges: &Ranges,
+    deadline: u32,
+    placed: &HashMap<OpId, u32>,
+) -> DistributionGraphs {
+    let mut dg: DistributionGraphs = BTreeMap::new();
+    for op in dfg.op_ids() {
+        let Some(class) = classifier.classify(dfg, op) else { continue };
+        let entry = dg.entry(class).or_insert_with(|| vec![0.0; deadline as usize]);
+        if let Some(&s) = placed.get(&op) {
+            entry[s as usize] += 1.0;
+        } else {
+            let (lo, hi) = ranges.range(op);
+            let p = 1.0 / (hi - lo + 1) as f64;
+            for s in lo..=hi {
+                entry[s as usize] += p;
+            }
+        }
+    }
+    dg
+}
+
+/// Schedules `dfg` against `deadline` steps by force-directed scheduling.
+///
+/// The returned schedule respects all dependences and the deadline; the
+/// implied FU allocation is the per-step maximum usage
+/// ([`Schedule::fu_usage`]) — "the number of functional units allocated is
+/// then the maximum number required in any control step".
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::DeadlineTooShort`] or [`ScheduleError::Cycle`].
+pub fn force_directed_schedule(
+    dfg: &DataFlowGraph,
+    classifier: &OpClassifier,
+    deadline: u32,
+) -> Result<Schedule, ScheduleError> {
+    let mut ranges = initial_ranges(dfg, classifier, deadline)?;
+    let mut placed: HashMap<OpId, u32> = HashMap::new();
+    let mut schedule = Schedule::new();
+
+    // Wired constants carry no force: pin them at step 0 immediately.
+    for op in dfg.op_ids() {
+        if is_wired(dfg, op) {
+            placed.insert(op, 0);
+            schedule.assign(op, 0);
+            ranges.lo.insert(op, 0);
+            ranges.hi.insert(op, 0);
+        }
+    }
+
+    loop {
+        let pending: Vec<OpId> = dfg
+            .op_ids()
+            .filter(|op| !placed.contains_key(op) && classifier.classify(dfg, *op).is_some())
+            .collect();
+        if pending.is_empty() {
+            break;
+        }
+        let dg = graphs_from_ranges(dfg, classifier, &ranges, deadline, &placed);
+        let mut best: Option<(f64, OpId, u32)> = None;
+        for &op in &pending {
+            let class = classifier.classify(dfg, op).expect("pending ops have a class");
+            let (lo, hi) = ranges.range(op);
+            for t in lo..=hi {
+                let force = total_force(dfg, classifier, &ranges, &dg, op, class, t);
+                let cand = (force, op, t);
+                let better = match &best {
+                    None => true,
+                    Some((bf, bo, bt)) => {
+                        force < bf - 1e-12
+                            || ((force - bf).abs() <= 1e-12 && (t, op) < (*bt, *bo))
+                    }
+                };
+                if better {
+                    best = Some(cand);
+                }
+            }
+        }
+        let (_, op, t) = best.expect("pending is nonempty");
+        placed.insert(op, t);
+        schedule.assign(op, t);
+        propagate(dfg, classifier, &mut ranges, op, t);
+    }
+
+    // Chained-free ops last: earliest start from final placement.
+    let order = dfg.topological_order()?;
+    for op in order {
+        if placed.contains_key(&op) {
+            continue;
+        }
+        let s = earliest_start(dfg, classifier, &placed, op);
+        placed.insert(op, s);
+        schedule.assign(op, s);
+    }
+    schedule.set_num_steps(deadline);
+    Ok(schedule)
+}
+
+/// Self force plus predecessor/successor forces of placing `op` at `t`.
+fn total_force(
+    dfg: &DataFlowGraph,
+    classifier: &OpClassifier,
+    ranges: &Ranges,
+    dg: &DistributionGraphs,
+    op: OpId,
+    class: FuClass,
+    t: u32,
+) -> f64 {
+    let mut force = self_force(&dg[&class], ranges.range(op), t);
+    // Implicit forces: placing op at t shrinks neighbors' ranges.
+    for pred in dfg.preds(op) {
+        if is_wired(dfg, pred) || classifier.classify(dfg, pred).is_none() {
+            continue;
+        }
+        let (lo, hi) = ranges.range(pred);
+        let new_hi = latest_pred_step(classifier, dfg, pred, op, t).min(hi);
+        if new_hi < hi {
+            let pc = classifier.classify(dfg, pred).expect("checked above");
+            force += range_avg(&dg[&pc], (lo, new_hi.max(lo))) - range_avg(&dg[&pc], (lo, hi));
+        }
+    }
+    for succ in dfg.succs(op) {
+        if classifier.classify(dfg, succ).is_none() {
+            continue;
+        }
+        let (lo, hi) = ranges.range(succ);
+        let min_start = t + if classifier.is_free(dfg, succ) { 0 } else { 1 };
+        let new_lo = min_start.max(lo);
+        if new_lo > lo {
+            let sc = classifier.classify(dfg, succ).expect("checked above");
+            force += range_avg(&dg[&sc], (new_lo.min(hi), hi)) - range_avg(&dg[&sc], (lo, hi));
+        }
+    }
+    force
+}
+
+/// The classic self force: DG at the candidate step minus the average over
+/// the feasible range.
+fn self_force(dg: &[f64], range: (u32, u32), t: u32) -> f64 {
+    dg[t as usize] - range_avg(dg, range)
+}
+
+fn range_avg(dg: &[f64], (lo, hi): (u32, u32)) -> f64 {
+    let n = (hi - lo + 1) as f64;
+    (lo..=hi).map(|s| dg[s as usize]).sum::<f64>() / n
+}
+
+/// Latest step `pred` may take once its consumer `op` sits at `t`.
+fn latest_pred_step(
+    classifier: &OpClassifier,
+    dfg: &DataFlowGraph,
+    _pred: OpId,
+    op: OpId,
+    t: u32,
+) -> u32 {
+    if classifier.is_free(dfg, op) {
+        t
+    } else {
+        t.saturating_sub(1)
+    }
+}
+
+/// Pins `op` at `t` and tightens ranges transitively.
+fn propagate(
+    dfg: &DataFlowGraph,
+    classifier: &OpClassifier,
+    ranges: &mut Ranges,
+    op: OpId,
+    t: u32,
+) {
+    ranges.lo.insert(op, t);
+    ranges.hi.insert(op, t);
+    let mut work = vec![op];
+    while let Some(o) = work.pop() {
+        let (olo, ohi) = ranges.range(o);
+        for succ in dfg.succs(o) {
+            if is_wired(dfg, succ) {
+                continue;
+            }
+            let min_start = olo + if classifier.is_free(dfg, succ) { 0 } else { 1 };
+            if ranges.lo[&succ] < min_start {
+                ranges.lo.insert(succ, min_start);
+                let hi = ranges.hi[&succ].max(min_start);
+                ranges.hi.insert(succ, hi);
+                work.push(succ);
+            }
+        }
+        for pred in dfg.preds(o) {
+            if is_wired(dfg, pred) {
+                continue;
+            }
+            let max_end = if classifier.is_free(dfg, o) { ohi } else { ohi.saturating_sub(1) };
+            if ranges.hi[&pred] > max_end {
+                ranges.hi.insert(pred, max_end);
+                let lo = ranges.lo[&pred].min(max_end);
+                ranges.lo.insert(pred, lo);
+                work.push(pred);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::ResourceLimits;
+    use hls_workloads::figures::fig5_graph;
+
+    #[test]
+    fn fig5_distribution_graph_matches_paper() {
+        // "Addition a1 must be scheduled in step 1, so it contributes 1 to
+        // that step. Similarly addition a2 adds 1 to control step 2.
+        // Addition a3 could be scheduled in either step 2 or step 3, so it
+        // contributes 1/2 to each."
+        let (g, _) = fig5_graph();
+        let cls = OpClassifier::typed();
+        let dg = distribution_graphs(&g, &cls, 3).unwrap();
+        let adds = &dg[&FuClass::Alu];
+        assert_eq!(adds.len(), 3);
+        assert!((adds[0] - 1.0).abs() < 1e-9, "{adds:?}");
+        assert!((adds[1] - 1.5).abs() < 1e-9, "{adds:?}");
+        assert!((adds[2] - 0.5).abs() < 1e-9, "{adds:?}");
+    }
+
+    #[test]
+    fn fig5_fds_balances_a3_into_step3() {
+        // "a3 would first be scheduled into step 3, since that would have
+        // the greatest effect in balancing the graph."
+        let (g, (a1, a2, a3, _)) = fig5_graph();
+        let cls = OpClassifier::typed();
+        let s = force_directed_schedule(&g, &cls, 3).unwrap();
+        s.validate(&g, &cls, &ResourceLimits::unlimited()).unwrap();
+        assert_eq!(s.step(a1), Some(0));
+        assert_eq!(s.step(a2), Some(1));
+        assert_eq!(s.step(a3), Some(2), "a3 balanced into the last step");
+        // One adder suffices after balancing.
+        assert_eq!(s.fu_usage(&g, &cls)[&FuClass::Alu], 1);
+    }
+
+    #[test]
+    fn deadline_too_short_is_an_error() {
+        let (g, _) = fig5_graph();
+        let cls = OpClassifier::typed();
+        assert!(matches!(
+            force_directed_schedule(&g, &cls, 2),
+            Err(ScheduleError::DeadlineTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn fds_minimizes_multipliers_on_diffeq() {
+        // The HAL paper's flagship result: diffeq in 4 steps needs only 2
+        // multipliers when force-balanced (6 multiplies spread 3+3... over
+        // limited steps, a naive ASAP placement uses 4 in step 0).
+        let g = hls_workloads::benchmarks::diffeq();
+        let cls = OpClassifier::typed();
+        let s = force_directed_schedule(&g, &cls, 4).unwrap();
+        s.validate(&g, &cls, &ResourceLimits::unlimited()).unwrap();
+        let mults = s.fu_usage(&g, &cls)[&FuClass::Multiplier];
+        assert!(mults <= 3, "FDS should balance multiplies, got {mults}");
+        // ASAP crams 4 multiplies into step 0.
+        let asap = crate::asap::asap_schedule(&g, &cls, &ResourceLimits::unlimited()).unwrap();
+        let asap_mults = asap.fu_usage(&g, &cls)[&FuClass::Multiplier];
+        assert!(asap_mults >= mults);
+    }
+
+    #[test]
+    fn longer_deadline_never_needs_more_fus() {
+        let g = hls_workloads::benchmarks::ewf();
+        let cls = OpClassifier::typed();
+        let mut prev: Option<usize> = None;
+        let (_, cp) = unconstrained_asap(&g, &cls).unwrap();
+        for extra in [0, 2, 4] {
+            let s = force_directed_schedule(&g, &cls, cp + extra).unwrap();
+            s.validate(&g, &cls, &ResourceLimits::unlimited()).unwrap();
+            let total: usize = s.fu_usage(&g, &cls).values().sum();
+            if let Some(p) = prev {
+                assert!(total <= p + 1, "deadline {} jumped {} -> {}", cp + extra, p, total);
+            }
+            prev = Some(total);
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Freedom-based scheduling (MAHA — tutorial reference [21]).
+//!
+//! "The operations on the critical path are scheduled first and assigned
+//! to functional units. Then the other operations are scheduled and
+//! assigned one at a time. At each step the unscheduled operation with the
+//! least freedom ... is chosen, so that operations that might present more
+//! difficult scheduling problems are taken care of first, before they
+//! become blocked" (§3.1.2).
+
+use std::collections::HashMap;
+
+use hls_cdfg::{DataFlowGraph, OpId};
+
+use crate::precedence::{earliest_start, is_wired, unconstrained_alap, unconstrained_asap};
+use crate::resource::OpClassifier;
+use crate::schedule::Schedule;
+use crate::ScheduleError;
+
+/// Schedules `dfg` against `deadline` steps, choosing the least-freedom
+/// operation first and the step that adds the fewest functional units.
+///
+/// Like force-directed scheduling this is time-constrained: the FU count
+/// is an output (read it with [`Schedule::fu_usage`]).
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::DeadlineTooShort`] or [`ScheduleError::Cycle`].
+pub fn freedom_based_schedule(
+    dfg: &DataFlowGraph,
+    classifier: &OpClassifier,
+    deadline: u32,
+) -> Result<Schedule, ScheduleError> {
+    let (asap, cp) = unconstrained_asap(dfg, classifier)?;
+    if deadline < cp {
+        return Err(ScheduleError::DeadlineTooShort { deadline, critical_path: cp });
+    }
+    let alap = unconstrained_alap(dfg, classifier, deadline)?;
+    let mut lo = asap;
+    let mut hi: HashMap<OpId, u32> = HashMap::new();
+    for op in dfg.op_ids() {
+        hi.insert(op, alap[&op].max(lo[&op]));
+    }
+
+    let mut schedule = Schedule::new();
+    let mut placed: HashMap<OpId, u32> = HashMap::new();
+    // usage[(class, step)] counts FU occupancy; the unit count per class is
+    // the running maximum, and we prefer steps that do not raise it.
+    let mut usage: HashMap<(crate::FuClass, u32), usize> = HashMap::new();
+    let mut unit_count: HashMap<crate::FuClass, usize> = HashMap::new();
+
+    // Phase 1: the critical path, in ASAP order.
+    let mut critical: Vec<OpId> = dfg
+        .op_ids()
+        .filter(|op| !is_wired(dfg, *op) && lo[op] == hi[op])
+        .collect();
+    critical.sort_by_key(|op| (lo[op], *op));
+    for op in critical {
+        let t = lo[&op];
+        place(dfg, classifier, op, t, &mut placed, &mut schedule, &mut usage, &mut unit_count);
+        propagate(dfg, classifier, &mut lo, &mut hi, op, t);
+    }
+    // Wired constants: step 0.
+    for op in dfg.op_ids() {
+        if is_wired(dfg, op) && !placed.contains_key(&op) {
+            placed.insert(op, 0);
+            schedule.assign(op, 0);
+        }
+    }
+
+    // Phase 2: least freedom first.
+    loop {
+        let mut pending: Vec<OpId> = dfg
+            .op_ids()
+            .filter(|op| !placed.contains_key(op) && classifier.classify(dfg, *op).is_some())
+            .collect();
+        if pending.is_empty() {
+            break;
+        }
+        pending.sort_by_key(|op| (hi[op] - lo[op], *op));
+        let op = pending[0];
+        let class = classifier.classify(dfg, op).expect("pending op has a class");
+        // Least added cost: a step where current usage is below the unit
+        // count; otherwise the least-used step (adding a unit).
+        let current_units = unit_count.get(&class).copied().unwrap_or(0);
+        let mut best: Option<(usize, usize, u32)> = None;
+        for t in lo[&op]..=hi[&op] {
+            let u = usage.get(&(class, t)).copied().unwrap_or(0);
+            let adds_unit = usize::from(u + 1 > current_units);
+            let key = (adds_unit, u, t);
+            if best.map_or(true, |b| key < b) {
+                best = Some(key);
+            }
+        }
+        let (_, _, t) = best.expect("range is nonempty");
+        place(dfg, classifier, op, t, &mut placed, &mut schedule, &mut usage, &mut unit_count);
+        propagate(dfg, classifier, &mut lo, &mut hi, op, t);
+    }
+
+    // Chained-free ops at their earliest start.
+    for op in dfg.topological_order()? {
+        if !placed.contains_key(&op) {
+            let s = earliest_start(dfg, classifier, &placed, op);
+            placed.insert(op, s);
+            schedule.assign(op, s);
+        }
+    }
+    schedule.set_num_steps(deadline);
+    Ok(schedule)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn place(
+    dfg: &DataFlowGraph,
+    classifier: &OpClassifier,
+    op: OpId,
+    t: u32,
+    placed: &mut HashMap<OpId, u32>,
+    schedule: &mut Schedule,
+    usage: &mut HashMap<(crate::FuClass, u32), usize>,
+    unit_count: &mut HashMap<crate::FuClass, usize>,
+) {
+    placed.insert(op, t);
+    schedule.assign(op, t);
+    if let Some(class) = classifier.classify(dfg, op) {
+        let u = usage.entry((class, t)).or_insert(0);
+        *u += 1;
+        let c = unit_count.entry(class).or_insert(0);
+        *c = (*c).max(*u);
+    }
+}
+
+fn propagate(
+    dfg: &DataFlowGraph,
+    classifier: &OpClassifier,
+    lo: &mut HashMap<OpId, u32>,
+    hi: &mut HashMap<OpId, u32>,
+    op: OpId,
+    t: u32,
+) {
+    lo.insert(op, t);
+    hi.insert(op, t);
+    let mut work = vec![op];
+    while let Some(o) = work.pop() {
+        let (olo, ohi) = (lo[&o], hi[&o]);
+        for succ in dfg.succs(o) {
+            if is_wired(dfg, succ) {
+                continue;
+            }
+            let min_start = olo + if classifier.is_free(dfg, succ) { 0 } else { 1 };
+            if lo[&succ] < min_start {
+                lo.insert(succ, min_start);
+                let h = hi[&succ].max(min_start);
+                hi.insert(succ, h);
+                work.push(succ);
+            }
+        }
+        for pred in dfg.preds(o) {
+            if is_wired(dfg, pred) {
+                continue;
+            }
+            let max_end = if classifier.is_free(dfg, o) { ohi } else { ohi.saturating_sub(1) };
+            if hi[&pred] > max_end {
+                hi.insert(pred, max_end);
+                let l = lo[&pred].min(max_end);
+                lo.insert(pred, l);
+                work.push(pred);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::{FuClass, ResourceLimits};
+
+    #[test]
+    fn critical_path_scheduled_at_asap() {
+        let (g, ops) = hls_workloads::figures::fig3_graph();
+        let cls = OpClassifier::universal();
+        let s = freedom_based_schedule(&g, &cls, 3).unwrap();
+        s.validate(&g, &cls, &ResourceLimits::unlimited()).unwrap();
+        // The chain op2 -> op4 -> op6 sits at steps 0, 1, 2.
+        assert_eq!(s.step(ops[1]), Some(0));
+        assert_eq!(s.step(ops[3]), Some(1));
+        assert_eq!(s.step(ops[5]), Some(2));
+        assert_eq!(s.num_steps(), 3);
+    }
+
+    #[test]
+    fn freedom_spreads_fill_ops() {
+        let (g, _) = hls_workloads::figures::fig3_graph();
+        let cls = OpClassifier::universal();
+        let s = freedom_based_schedule(&g, &cls, 3).unwrap();
+        // 6 ops over 3 steps with a 3-op chain: 2 FUs suffice if the three
+        // fillers spread across steps.
+        assert_eq!(s.fu_usage(&g, &cls)[&FuClass::Universal], 2);
+    }
+
+    #[test]
+    fn deadline_too_short_rejected() {
+        let (g, _) = hls_workloads::figures::fig3_graph();
+        let cls = OpClassifier::universal();
+        assert!(matches!(
+            freedom_based_schedule(&g, &cls, 2),
+            Err(ScheduleError::DeadlineTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn valid_on_all_benchmarks() {
+        let cls = OpClassifier::typed();
+        for (name, g) in hls_workloads::all_benchmarks() {
+            let (_, cp) = unconstrained_asap(&g, &cls).unwrap();
+            let s = freedom_based_schedule(&g, &cls, cp + 2).unwrap();
+            s.validate(&g, &cls, &ResourceLimits::unlimited())
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+}

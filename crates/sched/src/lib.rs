@@ -1,0 +1,65 @@
+//! # hls-sched — scheduling algorithms
+//!
+//! Every scheduling technique surveyed in §3.1 of the DAC'88 tutorial:
+//!
+//! * [`asap_schedule`] / [`alap_schedule`] — resource-constrained ASAP
+//!   (Fig. 3, local and priority-blind) and its as-late-as-possible mirror.
+//! * [`list_schedule`] — list scheduling with path-length (BUD), urgency
+//!   (Elf/ISYN) or mobility priorities (Fig. 4).
+//! * [`force_directed_schedule`] — HAL's time-constrained force-directed
+//!   scheduling with [`distribution_graphs`] (Fig. 5).
+//! * [`freedom_based_schedule`] — MAHA's least-freedom-first scheduling.
+//! * [`branch_and_bound_schedule`] — EXPL-style optimal search.
+//! * [`transformational_schedule`] — YSC-style serialize-from-parallel.
+//! * [`chained_schedule`] — delay-aware operator chaining.
+//! * [`pipeline_loop`] — Sehwa-style loop pipelining.
+//! * [`schedule_cdfg`] — whole-behavior scheduling with loop-aware latency
+//!   (reproduces the paper's 23- and 10-step sqrt schedules).
+//!
+//! ```
+//! use hls_sched::{asap_schedule, OpClassifier, ResourceLimits};
+//! use hls_cdfg::{DataFlowGraph, OpKind};
+//!
+//! let mut dfg = DataFlowGraph::new();
+//! let x = dfg.add_input("x", 32);
+//! let a = dfg.add_op(OpKind::Inc, vec![x]);
+//! let b = dfg.add_op(OpKind::Neg, vec![dfg.result(a).unwrap()]);
+//! dfg.set_output("y", dfg.result(b).unwrap());
+//!
+//! let s = asap_schedule(&dfg, &OpClassifier::universal(),
+//!                       &ResourceLimits::single_universal())?;
+//! assert_eq!(s.num_steps(), 2);
+//! # Ok::<(), hls_sched::ScheduleError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod alap;
+mod asap;
+mod bb;
+mod cdfg_sched;
+mod chain;
+mod error;
+mod force;
+mod freedom;
+mod list;
+mod pipeline;
+pub mod precedence;
+mod resource;
+mod schedule;
+mod transform;
+
+pub use alap::alap_schedule;
+pub use asap::asap_schedule;
+pub use bb::{branch_and_bound_schedule, DEFAULT_NODE_BUDGET};
+pub use cdfg_sched::{schedule_cdfg, Algorithm};
+pub use chain::{chained_schedule, ChainedSchedule, DelayModel};
+pub use error::ScheduleError;
+pub use force::{distribution_graphs, force_directed_schedule, DistributionGraphs};
+pub use freedom::freedom_based_schedule;
+pub use list::{list_schedule, Priority};
+pub use pipeline::{pipeline_loop, reservation_table, PipelineResult};
+pub use resource::{ClassifierStyle, FuClass, OpClassifier, ResourceLimits};
+pub use schedule::{CdfgSchedule, Schedule};
+pub use transform::{transformational_schedule, Move};

@@ -1,0 +1,184 @@
+//! Shared precedence rules used by every scheduler.
+//!
+//! Three kinds of operations exist under the control-step model:
+//!
+//! * **wired** — constants: no hardware, no step constraint; their value is
+//!   always available.
+//! * **chained free** — constant-amount shifts (under the "free shift"
+//!   policy) and muxes: combinational wiring that evaluates *within* the
+//!   step of its producers (it may share their step); its result is
+//!   registered at the end of its step.
+//! * **step-taking** — everything else: occupies a functional unit for one
+//!   control step; its result is available from the next step on.
+
+use std::collections::HashMap;
+
+use hls_cdfg::{DataFlowGraph, OpId, OpKind};
+
+use crate::resource::OpClassifier;
+
+/// `true` for operations with no timing footprint at all (constants).
+pub fn is_wired(dfg: &DataFlowGraph, op: OpId) -> bool {
+    dfg.op(op).kind == OpKind::Const
+}
+
+/// The earliest step `op` may occupy, given the steps of its already
+/// scheduled predecessors.
+///
+/// # Panics
+///
+/// Panics if a non-wired predecessor of `op` is unscheduled.
+pub fn earliest_start(
+    dfg: &DataFlowGraph,
+    classifier: &OpClassifier,
+    steps: &HashMap<OpId, u32>,
+    op: OpId,
+) -> u32 {
+    let op_free = classifier.is_free(dfg, op);
+    let mut earliest = 0;
+    for pred in dfg.preds(op) {
+        if is_wired(dfg, pred) {
+            continue;
+        }
+        let ps = steps[&pred];
+        let min = if op_free { ps } else { ps + 1 };
+        earliest = earliest.max(min);
+    }
+    earliest
+}
+
+/// `true` when every non-wired predecessor of `op` is in `steps`.
+pub fn preds_scheduled(
+    dfg: &DataFlowGraph,
+    steps: &HashMap<OpId, u32>,
+    op: OpId,
+) -> bool {
+    dfg.preds(op)
+        .into_iter()
+        .all(|p| is_wired(dfg, p) || steps.contains_key(&p))
+}
+
+/// Dependence-only ASAP steps under the chaining rules above (no resource
+/// limits). Returns `(steps, total)`.
+pub fn unconstrained_asap(
+    dfg: &DataFlowGraph,
+    classifier: &OpClassifier,
+) -> Result<(HashMap<OpId, u32>, u32), crate::ScheduleError> {
+    let order = dfg.topological_order()?;
+    let mut steps: HashMap<OpId, u32> = HashMap::new();
+    let mut total = 0;
+    for op in order {
+        let s = earliest_start(dfg, classifier, &steps, op);
+        steps.insert(op, s);
+        // Wired ops never extend the schedule; chained and step-taking ops
+        // both register their result at the end of step `s`.
+        if !is_wired(dfg, op) {
+            total = total.max(s + 1);
+        }
+    }
+    Ok((steps, total))
+}
+
+/// Dependence-only ALAP steps against a `deadline`, mirroring
+/// [`unconstrained_asap`].
+pub fn unconstrained_alap(
+    dfg: &DataFlowGraph,
+    classifier: &OpClassifier,
+    deadline: u32,
+) -> Result<HashMap<OpId, u32>, crate::ScheduleError> {
+    let order = dfg.topological_order()?;
+    let mut steps: HashMap<OpId, u32> = HashMap::new();
+    for &op in order.iter().rev() {
+        if is_wired(dfg, op) {
+            steps.insert(op, 0);
+            continue;
+        }
+        let mut latest = deadline.saturating_sub(1);
+        for succ in dfg.succs(op) {
+            if is_wired(dfg, succ) {
+                continue;
+            }
+            let ss = steps[&succ];
+            // Invert earliest_start: succ free ⇒ op ≤ ss; succ step-taking
+            // ⇒ op ≤ ss-1 when op is visible from step ss... op's result is
+            // ready at op_step+1 (both chained and step ops register at end
+            // of their step), except succ may chain onto a step op.
+            let max_for_succ = if classifier.is_free(dfg, succ) {
+                ss
+            } else {
+                ss.saturating_sub(1)
+            };
+            latest = latest.min(max_for_succ);
+        }
+        steps.insert(op, latest);
+    }
+    Ok(steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::OpClassifier;
+    use hls_cdfg::Fx;
+
+    /// div -> add -> shr(free) with inc independent: the Fig. 2 loop body.
+    fn fig2_body() -> (DataFlowGraph, OpId, OpId, OpId, OpId) {
+        let mut g = DataFlowGraph::new();
+        let y = g.add_input("y", 32);
+        let x = g.add_input("x", 32);
+        let i = g.add_input("i", 2);
+        let div = g.add_op(OpKind::Div, vec![x, y]);
+        let add = g.add_op(OpKind::Add, vec![y, g.result(div).unwrap()]);
+        let one = g.add_const_value(Fx::ONE);
+        let shr = g.add_op(OpKind::Shr, vec![g.result(add).unwrap(), one]);
+        let inc = g.add_op(OpKind::Inc, vec![i]);
+        g.set_output("y", g.result(shr).unwrap());
+        g.set_output("i", g.result(inc).unwrap());
+        (g, div, add, shr, inc)
+    }
+
+    #[test]
+    fn chained_shift_shares_producer_step() {
+        let (g, div, add, shr, inc) = fig2_body();
+        let cls = OpClassifier::universal_free_shifts();
+        let (steps, total) = unconstrained_asap(&g, &cls).unwrap();
+        assert_eq!(steps[&div], 0);
+        assert_eq!(steps[&add], 1);
+        assert_eq!(steps[&shr], 1, "free shift chains in the adder's step");
+        assert_eq!(steps[&inc], 0);
+        assert_eq!(total, 2, "the paper's 2-step loop body");
+    }
+
+    #[test]
+    fn without_free_shifts_chain_is_three_steps() {
+        let (g, _, _, shr, _) = fig2_body();
+        let cls = OpClassifier::universal();
+        let (steps, total) = unconstrained_asap(&g, &cls).unwrap();
+        assert_eq!(steps[&shr], 2);
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn alap_mirrors_asap_on_critical_path(){
+        let (g, div, add, shr, inc) = fig2_body();
+        let cls = OpClassifier::universal_free_shifts();
+        let alap = unconstrained_alap(&g, &cls, 2).unwrap();
+        assert_eq!(alap[&div], 0);
+        assert_eq!(alap[&add], 1);
+        assert_eq!(alap[&shr], 1);
+        assert_eq!(alap[&inc], 1, "inc can slide to the last step");
+    }
+
+    #[test]
+    fn earliest_start_skips_wired_preds() {
+        let mut g = DataFlowGraph::new();
+        let c = g.add_const_value(Fx::ONE);
+        let x = g.add_input("x", 32);
+        let add = g.add_op(OpKind::Add, vec![x, c]);
+        g.set_output("y", g.result(add).unwrap());
+        let steps = HashMap::new();
+        let cls = OpClassifier::universal();
+        assert_eq!(earliest_start(&g, &cls, &steps, add), 0);
+        assert!(preds_scheduled(&g, &steps, add));
+    }
+}

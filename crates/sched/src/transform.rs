@@ -1,0 +1,178 @@
+//! Transformational scheduling (Yorktown Silicon Compiler style — tutorial
+//! reference [4]).
+//!
+//! "A transformational type of algorithm begins with a default schedule,
+//! usually either maximally serial or maximally parallel, and applies
+//! transformations to it ... The transformations move serial operations in
+//! parallel and parallel operations in series" (§3.1.2). Like the YSC we
+//! start maximally parallel (unconstrained ASAP) and repeatedly *serialize*
+//! — defer one op out of an over-subscribed step — until every resource
+//! limit is met.
+
+use std::collections::HashMap;
+
+use hls_cdfg::{analysis, DataFlowGraph, OpId};
+
+use crate::precedence::{earliest_start, is_wired};
+use crate::resource::{FuClass, OpClassifier, ResourceLimits};
+use crate::schedule::Schedule;
+use crate::ScheduleError;
+
+/// A single serialization move, for trajectory reporting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Move {
+    /// The deferred op.
+    pub op: OpId,
+    /// Its step before the move.
+    pub from: u32,
+    /// Its step after the move.
+    pub to: u32,
+}
+
+/// Schedules `dfg` by iterative serialization from the maximally parallel
+/// schedule. Returns the schedule and the move trajectory.
+///
+/// # Errors
+///
+/// Returns the usual cycle/zero-resource errors.
+pub fn transformational_schedule(
+    dfg: &DataFlowGraph,
+    classifier: &OpClassifier,
+    limits: &ResourceLimits,
+) -> Result<(Schedule, Vec<Move>), ScheduleError> {
+    // Maximally parallel start.
+    let (mut steps, _) = crate::precedence::unconstrained_asap(dfg, classifier)?;
+    let priority = analysis::path_length_to_sink(dfg);
+    let mut moves = Vec::new();
+
+    // Defensive bound: each move strictly increases the sum of steps, which
+    // is bounded by ops * serial_length.
+    let op_count = dfg.live_op_count() as u64;
+    let max_moves = op_count * op_count + 256;
+
+    loop {
+        match first_violation(dfg, classifier, limits, &steps)? {
+            None => break,
+            Some((class, step)) => {
+                // Serialize: among this step's ops of the violating class,
+                // defer the one with the least downstream weight.
+                let mut candidates: Vec<OpId> = steps
+                    .iter()
+                    .filter(|(&op, &s)| {
+                        s == step && classifier.classify(dfg, op) == Some(class)
+                    })
+                    .map(|(&op, _)| op)
+                    .collect();
+                candidates.sort_by_key(|op| (priority[op], std::cmp::Reverse(*op)));
+                let victim = candidates[0];
+                let to = step + 1;
+                moves.push(Move { op: victim, from: step, to });
+                steps.insert(victim, to);
+                ripple_forward(dfg, classifier, &mut steps, victim);
+                if moves.len() as u64 > max_moves {
+                    return Err(ScheduleError::SearchBudgetExhausted);
+                }
+            }
+        }
+    }
+
+    let mut schedule = Schedule::new();
+    for (&op, &s) in &steps {
+        schedule.assign(op, if is_wired(dfg, op) { 0 } else { s });
+    }
+    Ok((schedule, moves))
+}
+
+/// The earliest `(class, step)` whose usage exceeds its limit.
+fn first_violation(
+    dfg: &DataFlowGraph,
+    classifier: &OpClassifier,
+    limits: &ResourceLimits,
+    steps: &HashMap<OpId, u32>,
+) -> Result<Option<(FuClass, u32)>, ScheduleError> {
+    let mut usage: HashMap<(FuClass, u32), usize> = HashMap::new();
+    for (&op, &s) in steps {
+        if let Some(class) = classifier.classify(dfg, op) {
+            if limits.limit(class) == 0 {
+                return Err(ScheduleError::ZeroResource { class });
+            }
+            *usage.entry((class, s)).or_insert(0) += 1;
+        }
+    }
+    Ok(usage
+        .into_iter()
+        .filter(|((class, _), n)| *n > limits.limit(*class))
+        .map(|((class, step), _)| (class, step))
+        .min_by_key(|&(_, step)| step))
+}
+
+/// Re-establishes precedence after `moved` slid later: every transitive
+/// successor shifts to its new earliest start if needed.
+fn ripple_forward(
+    dfg: &DataFlowGraph,
+    classifier: &OpClassifier,
+    steps: &mut HashMap<OpId, u32>,
+    moved: OpId,
+) {
+    let mut work = vec![moved];
+    while let Some(op) = work.pop() {
+        for succ in dfg.succs(op) {
+            let min = earliest_start(dfg, classifier, steps, succ);
+            if steps[&succ] < min {
+                steps.insert(succ, min);
+                work.push(succ);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_workloads::figures::fig3_graph;
+
+    #[test]
+    fn meets_resource_limits_on_fig3() {
+        let (g, _) = fig3_graph();
+        let cls = OpClassifier::universal();
+        let limits = ResourceLimits::universal(2);
+        let (s, moves) = transformational_schedule(&g, &cls, &limits).unwrap();
+        s.validate(&g, &cls, &limits).unwrap();
+        assert!(!moves.is_empty(), "starting point violates the 2-FU limit");
+        assert!(s.num_steps() <= 4);
+    }
+
+    #[test]
+    fn no_moves_when_unconstrained() {
+        let (g, _) = fig3_graph();
+        let cls = OpClassifier::universal();
+        let (s, moves) = transformational_schedule(&g, &cls, &ResourceLimits::unlimited())
+            .unwrap();
+        assert!(moves.is_empty());
+        assert_eq!(s.num_steps(), 3, "stays maximally parallel");
+    }
+
+    #[test]
+    fn serializes_fully_with_one_fu() {
+        let (g, _) = fig3_graph();
+        let cls = OpClassifier::universal();
+        let limits = ResourceLimits::single_universal();
+        let (s, _) = transformational_schedule(&g, &cls, &limits).unwrap();
+        s.validate(&g, &cls, &limits).unwrap();
+        assert_eq!(s.num_steps(), 6);
+    }
+
+    #[test]
+    fn valid_on_benchmarks_with_tight_limits() {
+        let cls = OpClassifier::typed();
+        for (name, g) in hls_workloads::all_benchmarks() {
+            let limits = ResourceLimits::unlimited()
+                .with(FuClass::Multiplier, 1)
+                .with(FuClass::Alu, 1)
+                .with(FuClass::Comparator, 1);
+            let (s, _) = transformational_schedule(&g, &cls, &limits)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            s.validate(&g, &cls, &limits).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! # hls-sim — behavioral and RT-level simulation
+//!
+//! The §4 "design verification" substrate:
+//!
+//! * [`interpret`] — the behavioral golden model: executes the CDFG
+//!   directly.
+//! * [`simulate`] — cycle-accurate execution of the bound datapath, reading
+//!   operands from the *physical* registers allocation chose, so register
+//!   clobbering and broken transfers surface as wrong outputs.
+//! * [`check_vector`] / [`check_random_vectors`] — co-simulation
+//!   equivalence checking.
+//! * [`to_vcd`] — waveform export of RTL traces.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod behav;
+mod equiv;
+mod rtl;
+mod vcd;
+
+pub use behav::{apply_width, eval_op, interpret, BehavResult, MAX_ITERATIONS};
+pub use equiv::{check_random_vectors, check_vector, Equivalence};
+pub use rtl::{simulate, RtlResult};
+pub use vcd::to_vcd;
+
+use std::error::Error;
+use std::fmt;
+
+/// A simulation error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A declared input was not supplied.
+    MissingInput {
+        /// Input name.
+        name: String,
+    },
+    /// A declared output was never assigned.
+    UnsetOutput {
+        /// Output name.
+        name: String,
+    },
+    /// Division (or remainder) by zero.
+    DivideByZero,
+    /// A data-dependent loop exceeded the iteration cap.
+    Nonterminating,
+    /// The op kind cannot be evaluated.
+    UnsupportedOp {
+        /// Operator symbol.
+        op: String,
+    },
+    /// The structure lacks storage or binding for something it needs.
+    UnboundValue {
+        /// What is missing.
+        detail: String,
+    },
+    /// The graph failed a structural check.
+    BadGraph {
+        /// The underlying problem.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MissingInput { name } => write!(f, "input `{name}` not supplied"),
+            SimError::UnsetOutput { name } => write!(f, "output `{name}` never assigned"),
+            SimError::DivideByZero => write!(f, "division by zero"),
+            SimError::Nonterminating => write!(f, "loop exceeded the iteration cap"),
+            SimError::UnsupportedOp { op } => write!(f, "operator `{op}` not simulatable here"),
+            SimError::UnboundValue { detail } => f.write_str(detail),
+            SimError::BadGraph { detail } => f.write_str(detail),
+        }
+    }
+}
+
+impl Error for SimError {}

@@ -1,0 +1,45 @@
+//! # hls-workloads — benchmark behaviors and figure graphs
+//!
+//! Workloads for the DAC'88 HLS tutorial reproduction:
+//!
+//! * [`figures`] — the paper's own example graphs (Fig. 3/4, Fig. 5,
+//!   Fig. 6/7), reconstructed.
+//! * [`benchmarks`] — classic HLS benchmark data-flow graphs (HAL diffeq,
+//!   elliptic wave filter, FIR, AR lattice, FFT butterfly).
+//! * [`sources`] — whole behaviors in BSL (sqrt, gcd, diffeq, fir4).
+//! * [`random`] — seeded random DAGs for scaling studies.
+//!
+//! ```
+//! let diffeq = hls_workloads::benchmarks::diffeq();
+//! // 11 operations plus the wired constant 3.
+//! assert_eq!(diffeq.live_op_count(), 12);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod benchmarks;
+pub mod figures;
+pub mod random;
+pub mod sources;
+
+/// All named benchmark DFGs, for sweep-style experiments.
+pub fn all_benchmarks() -> Vec<(&'static str, hls_cdfg::DataFlowGraph)> {
+    vec![
+        ("diffeq", benchmarks::diffeq()),
+        ("ewf", benchmarks::ewf()),
+        ("fir16", benchmarks::fir16()),
+        ("ar_lattice", benchmarks::ar_lattice()),
+        ("fft_bfly", benchmarks::fft_butterfly()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn all_benchmarks_validate() {
+        for (name, g) in super::all_benchmarks() {
+            g.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+}

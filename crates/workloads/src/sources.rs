@@ -1,0 +1,141 @@
+//! BSL source texts for whole-behavior workloads.
+
+/// The paper's Fig. 1 square-root program: Newton's method with a minimax
+/// polynomial seed and four iterations.
+pub const SQRT: &str = "
+program sqrt;
+input X;
+output Y;
+var I : int<4>;
+begin
+  Y := 0.222222 + 0.888889 * X;
+  I := 0;
+  do
+    Y := 0.5 * (Y + X / Y);
+    I := I + 1;
+  until I > 3;
+end.
+";
+
+/// Euclid's GCD by repeated subtraction — a control-dominated workload
+/// (while loop + if/else) exercising condition blocks and branches.
+pub const GCD: &str = "
+program gcd;
+input A, B;
+output G;
+var X, Y;
+begin
+  X := A;
+  Y := B;
+  while X /= Y do
+    if X > Y then
+      X := X - Y;
+    else
+      Y := Y - X;
+    end;
+  end;
+  G := X;
+end.
+";
+
+/// One Euler step of the HAL differential equation `y'' + 3xy' + 3y = 0`,
+/// iterated in a data-dependent loop (the DAC'87 HAL benchmark as a whole
+/// behavior).
+pub const DIFFEQ: &str = "
+program diffeq;
+input X0, Y0, U0, DX, A;
+output XN, YN, UN;
+var X, Y, U;
+var GOING : bit;
+begin
+  X := X0;
+  Y := Y0;
+  U := U0;
+  do
+    U := U - (3 * X * U * DX) - (3 * Y * DX);
+    Y := Y + U * DX;
+    X := X + DX;
+    GOING := X < A;
+  until GOING = 0;
+  XN := X;
+  YN := Y;
+  UN := U;
+end.
+";
+
+/// A 4-tap FIR filter written with an inlined multiply-accumulate
+/// function, exercising function inlining.
+pub const FIR4: &str = "
+program fir4;
+input X0, X1, X2, X3, C0, C1, C2, C3;
+output Y;
+function mac(acc, x, c) = acc + x * c;
+begin
+  Y := mac(mac(mac(X0 * C0, X1, C1), X2, C2), X3, C3);
+end.
+";
+
+/// Sum of squares through a scratch array: fills `A[i] = i*i` for
+/// `i < N`, then accumulates — a memory-bound workload exercising the
+/// Load/Store path and the MemPort resource class.
+pub const SUMSQ: &str = "
+program sumsq;
+input N : int<5>;
+output S;
+array A[16];
+var I : int<5>;
+var ACC;
+begin
+  I := 0;
+  while I < N do
+    A[I] := I * I;
+    I := I + 1;
+  end;
+  ACC := 0;
+  I := 0;
+  while I < N do
+    ACC := ACC + A[I];
+    I := I + 1;
+  end;
+  S := ACC;
+end.
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_sources_compile() {
+        for (name, src) in [
+            ("sqrt", SQRT),
+            ("gcd", GCD),
+            ("diffeq", DIFFEQ),
+            ("fir4", FIR4),
+            ("sumsq", SUMSQ),
+        ] {
+            let cdfg = hls_lang::compile(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+            cdfg.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn sqrt_trip_count_inferred() {
+        let cdfg = hls_lang::compile(SQRT).unwrap();
+        let hls_cdfg::Region::Seq(pieces) = cdfg.body() else { panic!() };
+        let hls_cdfg::Region::Loop(l) = &pieces[1] else { panic!() };
+        assert_eq!(l.trip_hint, Some(4));
+    }
+
+    #[test]
+    fn fir4_inlines_to_seven_ops() {
+        let cdfg = hls_lang::compile(FIR4).unwrap();
+        let b = cdfg.block_order()[0];
+        let dfg = &cdfg.block(b).dfg;
+        let step_ops = dfg
+            .op_ids()
+            .filter(|&i| dfg.op(i).kind != hls_cdfg::OpKind::Const)
+            .count();
+        assert_eq!(step_ops, 7, "4 muls + 3 adds");
+    }
+}

@@ -1,0 +1,46 @@
+//! Source round-trip: pretty-printing a parsed program and re-synthesizing
+//! it yields an identical design — the printer, parser, and lowering agree.
+
+use hls::lang::{parse, pretty};
+use hls::Synthesizer;
+
+fn roundtrip_design(src: &str, range: (f64, f64)) {
+    let prog = parse(src).unwrap();
+    let printed = pretty::to_source(&prog);
+    let reparsed = parse(&printed).unwrap_or_else(|e| panic!("{e}\n{printed}"));
+    assert_eq!(prog, reparsed, "AST changed through printing:\n{printed}");
+
+    let a = Synthesizer::new().synthesize_source(src).unwrap();
+    let b = Synthesizer::new().synthesize_source(&printed).unwrap();
+    assert_eq!(a.latency, b.latency);
+    assert_eq!(a.datapath.fu_count(), b.datapath.fu_count());
+    assert_eq!(a.datapath.reg_count(), b.datapath.reg_count());
+    assert_eq!(a.fsm.len(), b.fsm.len());
+    let eq = b.verify(6, range).unwrap();
+    assert!(eq.equivalent, "{:?}", eq.mismatch);
+}
+
+#[test]
+fn sqrt_roundtrips_through_the_printer() {
+    roundtrip_design(hls_workloads::sources::SQRT, (0.05, 1.0));
+}
+
+#[test]
+fn gcd_roundtrips_through_the_printer() {
+    roundtrip_design(hls_workloads::sources::GCD, (1.0, 64.0));
+}
+
+#[test]
+fn diffeq_roundtrips_through_the_printer() {
+    roundtrip_design(hls_workloads::sources::DIFFEQ, (0.1, 0.9));
+}
+
+#[test]
+fn fir4_roundtrips_through_the_printer() {
+    roundtrip_design(hls_workloads::sources::FIR4, (-2.0, 2.0));
+}
+
+#[test]
+fn sumsq_roundtrips_through_the_printer() {
+    roundtrip_design(hls_workloads::sources::SUMSQ, (1.0, 15.0));
+}
