@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Hermetic CI gate: the workspace must build, test, and stay formatted
+# with zero network access. Every dependency is an in-repo path crate,
+# so `--offline` is expected to just work; if it ever fails, a network
+# dependency has crept back in and that is the bug.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace --all-targets
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "CI OK"

@@ -20,7 +20,10 @@ pub struct CompatGraph {
 impl CompatGraph {
     /// Creates a graph with `n` nodes and no edges.
     pub fn new(n: usize) -> Self {
-        CompatGraph { n, adj: vec![BTreeSet::new(); n] }
+        CompatGraph {
+            n,
+            adj: vec![BTreeSet::new(); n],
+        }
     }
 
     /// Number of nodes.
@@ -102,8 +105,11 @@ fn bk(
         .copied()
         .max_by_key(|&u| g.adj[u].intersection(&p).count())
         .expect("p or x nonempty");
-    let candidates: Vec<usize> =
-        p.iter().copied().filter(|v| !g.adj[pivot].contains(v)).collect();
+    let candidates: Vec<usize> = p
+        .iter()
+        .copied()
+        .filter(|v| !g.adj[pivot].contains(v))
+        .collect();
     for v in candidates {
         r.push(v);
         let np: BTreeSet<usize> = p.intersection(&g.adj[v]).copied().collect();
@@ -255,38 +261,51 @@ mod tests {
         assert_eq!(partition_tseng(&g).len(), 1);
     }
 
-    proptest::proptest! {
-        /// Both partitioners return genuine clique covers.
-        #[test]
-        fn partitions_are_clique_covers(
-            n in 1usize..12,
-            edges in proptest::collection::vec((0usize..12, 0usize..12), 0..40)
-        ) {
-            let mut g = CompatGraph::new(n);
-            for (a, b) in edges {
-                let (a, b) = (a % n, b % n);
-                if a != b {
-                    g.add_edge(a, b);
-                }
-            }
-            for part in [partition_max_clique(&g), partition_tseng(&g)] {
-                let mut seen = std::collections::BTreeSet::new();
-                for group in &part {
-                    proptest::prop_assert!(g.is_clique(group));
-                    for &v in group {
-                        proptest::prop_assert!(seen.insert(v), "node covered twice");
+    /// Both partitioners return genuine clique covers.
+    #[test]
+    fn partitions_are_clique_covers() {
+        hls_testkit::forall(
+            &hls_testkit::Config::default(),
+            |rng| {
+                (
+                    rng.usize_in(1, 12),
+                    rng.vec(0, 40, |r| (r.usize_in(0, 12), r.usize_in(0, 12))),
+                )
+            },
+            |(n, edges)| {
+                let n = *n;
+                let mut g = CompatGraph::new(n);
+                for &(a, b) in edges {
+                    let (a, b) = (a % n, b % n);
+                    if a != b {
+                        g.add_edge(a, b);
                     }
                 }
-                proptest::prop_assert_eq!(seen.len(), n);
-            }
-        }
+                for part in [partition_max_clique(&g), partition_tseng(&g)] {
+                    let mut seen = std::collections::BTreeSet::new();
+                    for group in &part {
+                        assert!(g.is_clique(group));
+                        for &v in group {
+                            assert!(seen.insert(v), "node covered twice");
+                        }
+                    }
+                    assert_eq!(seen.len(), n);
+                }
+            },
+        );
+    }
 
-        /// The exact-max-clique cover never uses more groups than Tseng's
-        /// first group count... both at most n.
-        #[test]
-        fn cover_sizes_bounded(n in 1usize..10) {
-            let g = CompatGraph::new(n);
-            proptest::prop_assert_eq!(partition_max_clique(&g).len(), n);
-        }
+    /// The exact-max-clique cover of the empty graph has one singleton
+    /// group per node.
+    #[test]
+    fn cover_sizes_bounded() {
+        hls_testkit::forall(
+            &hls_testkit::Config::default(),
+            |rng| rng.usize_in(1, 10),
+            |&n| {
+                let g = CompatGraph::new(n);
+                assert_eq!(partition_max_clique(&g).len(), n);
+            },
+        );
     }
 }

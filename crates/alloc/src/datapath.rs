@@ -139,7 +139,11 @@ impl Datapath {
         let _ = writeln!(s, "digraph \"{}_datapath\" {{", cdfg.name());
         let _ = writeln!(s, "  rankdir=LR;");
         for (i, reg) in self.regs.iter().enumerate() {
-            let _ = writeln!(s, "  r{i} [label=\"{} [{}]\", shape=box];", reg.name, reg.width);
+            let _ = writeln!(
+                s,
+                "  r{i} [label=\"{} [{}]\", shape=box];",
+                reg.name, reg.width
+            );
         }
         for (i, fu) in self.fus.iter().enumerate() {
             let _ = writeln!(s, "  fu{i} [label=\"{}\", shape=circle];", fu.name);
@@ -149,16 +153,28 @@ impl Datapath {
         }
         let mut edges: BTreeSet<(String, String)> = BTreeSet::new();
         for block in cdfg.block_order() {
-            let Some(binding) = self.blocks.get(&block) else { continue };
-            let Some(sched) = schedule.block(block) else { continue };
+            let Some(binding) = self.blocks.get(&block) else {
+                continue;
+            };
+            let Some(sched) = schedule.block(block) else {
+                continue;
+            };
             let dfg = &cdfg.block(block).dfg;
             for op in dfg.op_ids() {
-                let Some(&f) = binding.op_fu.get(&op) else { continue };
+                let Some(&f) = binding.op_fu.get(&op) else {
+                    continue;
+                };
                 let step = sched.step(op).unwrap_or(0);
                 for &v in &dfg.op(op).operands {
                     let src = global_source(
-                        dfg, classifier, sched, &binding.op_fu, &binding.value_reg,
-                        &self.var_reg, v, step,
+                        dfg,
+                        classifier,
+                        sched,
+                        &binding.op_fu,
+                        &binding.value_reg,
+                        &self.var_reg,
+                        v,
+                        step,
                     );
                     if !src.starts_with('#') {
                         edges.insert((dot_node(&src), format!("fu{f}")));
@@ -183,7 +199,9 @@ impl Datapath {
     pub fn to_netlist(&self, cdfg: &Cdfg, library: &Library) -> Result<Netlist, AllocError> {
         for fu in &self.fus {
             if library.cell(&fu.cell).is_none() {
-                return Err(AllocError::MissingCell { class: fu.cell.clone() });
+                return Err(AllocError::MissingCell {
+                    class: fu.cell.clone(),
+                });
             }
         }
         let mut n = Netlist::new(cdfg.name());
@@ -196,10 +214,12 @@ impl Datapath {
         for (i, reg) in self.regs.iter().enumerate() {
             let d = n.add_net(&format!("r{i}_d"), reg.width);
             let q = n.add_net(&format!("r{i}_q"), reg.width);
-            n.add_instance(&reg.name, "reg_dff", reg.width, vec![
-                ("d".into(), d),
-                ("q".into(), q),
-            ]);
+            n.add_instance(
+                &reg.name,
+                "reg_dff",
+                reg.width,
+                vec![("d".into(), d), ("q".into(), q)],
+            );
         }
         for (i, fu) in self.fus.iter().enumerate() {
             let mut pins = Vec::new();
@@ -214,19 +234,23 @@ impl Datapath {
         for (i, mem) in self.memories.iter().enumerate() {
             let addr = n.add_net(&format!("mem{i}_addr"), 32);
             let q = n.add_net(&format!("mem{i}_q"), 32);
-            n.add_instance(&format!("mem_{}", sanitize(mem)), "mem_1rw", 32, vec![
-                ("addr".into(), addr),
-                ("q".into(), q),
-            ]);
+            n.add_instance(
+                &format!("mem_{}", sanitize(mem)),
+                "mem_1rw",
+                32,
+                vec![("addr".into(), addr), ("q".into(), q)],
+            );
         }
         // One 2-way mux instance per extra source (n-way = n-1 two-way).
         for m in 0..self.mux_inputs {
             let a = n.add_net(&format!("mux{m}_a"), 32);
             let y = n.add_net(&format!("mux{m}_y"), 32);
-            n.add_instance(&format!("mux{m}"), "mux2", 32, vec![
-                ("a".into(), a),
-                ("y".into(), y),
-            ]);
+            n.add_instance(
+                &format!("mux{m}"),
+                "mux2",
+                32,
+                vec![("a".into(), a), ("y".into(), y)],
+            );
         }
         Ok(n)
     }
@@ -278,17 +302,21 @@ pub fn build_datapath(
     let mut temp_widths: Vec<u8> = Vec::new();
     let mut fu_slots: BTreeMap<FuClass, usize> = BTreeMap::new(); // max per class
     let mut blocks: HashMap<BlockId, BlockBinding> = HashMap::new();
-    let mut per_block_local: HashMap<BlockId, (FuAllocation, crate::registers::RegisterAllocation)> =
-        HashMap::new();
+    let mut per_block_local: HashMap<
+        BlockId,
+        (FuAllocation, crate::registers::RegisterAllocation),
+    > = HashMap::new();
 
     for block in cdfg.block_order() {
         if blocks.contains_key(&block) {
             continue; // blocks may repeat in the order (shared in regions)
         }
         let dfg = &cdfg.block(block).dfg;
-        let sched = schedule.block(block).ok_or_else(|| AllocError::MissingSchedule {
-            block: cdfg.block(block).name.clone(),
-        })?;
+        let sched = schedule
+            .block(block)
+            .ok_or_else(|| AllocError::MissingSchedule {
+                block: cdfg.block(block).name.clone(),
+            })?;
         // Temps: intervals excluding block inputs (those live in var regs).
         let intervals: Vec<_> = value_intervals(dfg, sched)
             .into_iter()
@@ -304,7 +332,9 @@ pub fn build_datapath(
         }
         let fu_alloc = match strategy {
             FuStrategy::GreedyAware => greedy_allocation(dfg, classifier, sched, &local_regs, true),
-            FuStrategy::GreedyBlind => greedy_allocation(dfg, classifier, sched, &local_regs, false),
+            FuStrategy::GreedyBlind => {
+                greedy_allocation(dfg, classifier, sched, &local_regs, false)
+            }
             FuStrategy::Clique(m) => clique_allocation(dfg, classifier, sched, m),
         };
         // Per-class local indices.
@@ -326,9 +356,12 @@ pub fn build_datapath(
         fu_base.insert(class, fus.len());
         for slot in 0..count {
             let cell_class = cell_class_for(class);
-            let cell = library
-                .bind(cell_class, 32, None)
-                .ok_or_else(|| AllocError::MissingCell { class: class.to_string() })?;
+            let cell =
+                library
+                    .bind(cell_class, 32, None)
+                    .ok_or_else(|| AllocError::MissingCell {
+                        class: class.to_string(),
+                    })?;
             fus.push(FuDesc {
                 name: format!("{}{}", class.name(), slot),
                 class,
@@ -358,8 +391,11 @@ pub fn build_datapath(
             local_to_global.push(g);
             fus[g].ports = fus[g].ports.max(fu.ports);
         }
-        let op_fu: HashMap<OpId, usize> =
-            fu_alloc.binding.iter().map(|(&op, &f)| (op, local_to_global[f])).collect();
+        let op_fu: HashMap<OpId, usize> = fu_alloc
+            .binding
+            .iter()
+            .map(|(&op, &f)| (op, local_to_global[f]))
+            .collect();
         let value_reg: HashMap<ValueId, usize> = local_regs
             .assignment
             .iter()
@@ -368,18 +404,30 @@ pub fn build_datapath(
         let writes: Vec<OutputWrite> = dfg
             .outputs()
             .iter()
-            .map(|(name, v)| OutputWrite { var: name.clone(), value: *v })
+            .map(|(name, v)| OutputWrite {
+                var: name.clone(),
+                value: *v,
+            })
             .collect();
         // Interconnect estimate on the global indices.
         mux_inputs += block_mux_inputs(dfg, classifier, sched, &op_fu, &value_reg, &var_reg);
         blocks.insert(
             block,
-            BlockBinding { op_fu, value_reg, writes, fu_alloc },
+            BlockBinding {
+                op_fu,
+                value_reg,
+                writes,
+                fu_alloc,
+            },
         );
     }
 
     for (t, &width) in temp_widths.iter().enumerate() {
-        regs.push(RegDesc { name: format!("rt{t}"), width, kind: RegKind::Temp(t) });
+        regs.push(RegDesc {
+            name: format!("rt{t}"),
+            width,
+            kind: RegKind::Temp(t),
+        });
     }
 
     let mut memories: Vec<String> = cdfg
@@ -395,7 +443,14 @@ pub fn build_datapath(
     memories.sort();
     memories.dedup();
 
-    Ok(Datapath { fus, regs, var_reg, blocks, memories, mux_inputs })
+    Ok(Datapath {
+        fus,
+        regs,
+        var_reg,
+        blocks,
+        memories,
+        mux_inputs,
+    })
 }
 
 /// Canonical description of the datapath source feeding `value` when read
@@ -427,8 +482,14 @@ pub fn global_source(
                 }
             } else if classifier.is_free(dfg, p) {
                 let inner = global_source(
-                    dfg, classifier, sched, op_fu, value_reg, var_reg,
-                    dfg.op(p).operands[0], step,
+                    dfg,
+                    classifier,
+                    sched,
+                    op_fu,
+                    value_reg,
+                    var_reg,
+                    dfg.op(p).operands[0],
+                    step,
                 );
                 format!("{inner}{}", dfg.op(p).kind.symbol())
             } else {
@@ -453,8 +514,7 @@ fn block_mux_inputs(
         let Some(&f) = op_fu.get(&op) else { continue };
         let step = sched.step(op).unwrap_or(0);
         for (port, &v) in dfg.op(op).operands.iter().enumerate() {
-            let src =
-                global_source(dfg, classifier, sched, op_fu, value_reg, var_reg, v, step);
+            let src = global_source(dfg, classifier, sched, op_fu, value_reg, var_reg, v, step);
             fu_ports.entry((f, port)).or_default().insert(src);
         }
         if let Some(res) = dfg.result(op) {
@@ -468,13 +528,26 @@ fn block_mux_inputs(
         if let Some(&r) = var_reg.get(name) {
             let last = sched.num_steps().saturating_sub(1);
             let src = global_source(
-                dfg, classifier, sched, op_fu, value_reg, var_reg, *v, last + 1,
+                dfg,
+                classifier,
+                sched,
+                op_fu,
+                value_reg,
+                var_reg,
+                *v,
+                last + 1,
             );
             reg_in.entry(r).or_default().insert(src);
         }
     }
-    fu_ports.values().map(|s| s.len().saturating_sub(1)).sum::<usize>()
-        + reg_in.values().map(|s| s.len().saturating_sub(1)).sum::<usize>()
+    fu_ports
+        .values()
+        .map(|s| s.len().saturating_sub(1))
+        .sum::<usize>()
+        + reg_in
+            .values()
+            .map(|s| s.len().saturating_sub(1))
+            .sum::<usize>()
 }
 
 fn cell_class_for(class: FuClass) -> CellClass {
@@ -491,7 +564,9 @@ fn cell_class_for(class: FuClass) -> CellClass {
 }
 
 fn sanitize(name: &str) -> String {
-    name.chars().map(|c| if c.is_alphanumeric() { c } else { '_' }).collect()
+    name.chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect()
 }
 
 /// Maps a canonical source description onto a DOT node id; combinational
@@ -567,8 +642,14 @@ mod tests {
             hls_sched::Algorithm::List(hls_sched::Priority::PathLength),
         )
         .unwrap();
-        let dp = build_datapath(&cdfg, &sched, &cls, &Library::standard(),
-            FuStrategy::GreedyAware).unwrap();
+        let dp = build_datapath(
+            &cdfg,
+            &sched,
+            &cls,
+            &Library::standard(),
+            FuStrategy::GreedyAware,
+        )
+        .unwrap();
         let dot = dp.to_dot(&cdfg, &sched, &cls);
         assert!(dot.contains("digraph"));
         assert!(dot.contains("shape=circle"));
@@ -595,15 +676,28 @@ mod tests {
         let limits = ResourceLimits::universal(1);
         let sched =
             schedule_cdfg(&cdfg, &cls, &limits, Algorithm::List(Priority::PathLength)).unwrap();
-        let dp = build_datapath(&cdfg, &sched, &cls, &Library::standard(), FuStrategy::GreedyAware)
-            .unwrap();
-        let temps = dp.regs.iter().filter(|r| matches!(r.kind, RegKind::Temp(_))).count();
+        let dp = build_datapath(
+            &cdfg,
+            &sched,
+            &cls,
+            &Library::standard(),
+            FuStrategy::GreedyAware,
+        )
+        .unwrap();
+        let temps = dp
+            .regs
+            .iter()
+            .filter(|r| matches!(r.kind, RegKind::Temp(_)))
+            .count();
         // Several blocks, but temps are pooled: far fewer than one per value.
         let total_values: usize = cdfg
             .block_order()
             .iter()
             .map(|&b| cdfg.block(b).dfg.value_ids().count())
             .sum();
-        assert!(temps < total_values / 2, "temps = {temps}, values = {total_values}");
+        assert!(
+            temps < total_values / 2,
+            "temps = {temps}, values = {total_values}"
+        );
     }
 }

@@ -54,7 +54,9 @@ mod tests {
 
     #[test]
     fn messages() {
-        let e = AllocError::MissingSchedule { block: "body".into() };
+        let e = AllocError::MissingSchedule {
+            block: "body".into(),
+        };
         assert!(e.to_string().contains("body"));
         fn assert_err<E: Error + Send + Sync>() {}
         assert_err::<AllocError>();

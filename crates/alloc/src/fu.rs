@@ -105,7 +105,9 @@ pub fn greedy_allocation(
 
     for step in 0..schedule.num_steps() {
         for op in schedule.ops_in_step(step) {
-            let Some(class) = classifier.classify(dfg, op) else { continue };
+            let Some(class) = classifier.classify(dfg, op) else {
+                continue;
+            };
             let arity = dfg.op(op).kind.arity();
             let commutative = dfg.op(op).kind.is_commutative();
             let sources: Vec<Source> = dfg
@@ -159,7 +161,11 @@ pub fn greedy_allocation(
             let (f, swap) = match best {
                 Some((_, f, swap)) => (f, swap),
                 None => {
-                    alloc.fus.push(FuInstance { class, ops: Vec::new(), ports: arity });
+                    alloc.fus.push(FuInstance {
+                        class,
+                        ops: Vec::new(),
+                        ports: arity,
+                    });
                     fu_ports.push(vec![BTreeSet::new(); arity.max(1)]);
                     fu_busy.push(BTreeSet::new());
                     (alloc.fus.len() - 1, false)
@@ -180,7 +186,10 @@ pub fn greedy_allocation(
                 fu_ports[f][port].insert((*src).clone());
             }
             if let Some(r) = dest {
-                reg_inputs.entry(r).or_default().insert(Source::Wire(format!("fu{f}")));
+                reg_inputs
+                    .entry(r)
+                    .or_default()
+                    .insert(Source::Wire(format!("fu{f}")));
             }
         }
     }
@@ -239,12 +248,20 @@ pub fn clique_allocation(
         };
         for group in groups {
             let members: Vec<OpId> = group.iter().map(|&i| ops[i]).collect();
-            let ports = members.iter().map(|&o| dfg.op(o).kind.arity()).max().unwrap_or(2);
+            let ports = members
+                .iter()
+                .map(|&o| dfg.op(o).kind.arity())
+                .max()
+                .unwrap_or(2);
             let idx = alloc.fus.len();
             for &m in &members {
                 alloc.binding.insert(m, idx);
             }
-            alloc.fus.push(FuInstance { class, ops: members, ports });
+            alloc.fus.push(FuInstance {
+                class,
+                ops: members,
+                ports,
+            });
         }
     }
     alloc
@@ -290,8 +307,7 @@ mod tests {
         assert_ne!(alloc.binding[&a1], alloc.binding[&a2], "same step");
         assert_ne!(alloc.binding[&m1], alloc.binding[&m2], "same step");
         assert_eq!(
-            alloc.binding[&a4],
-            alloc.binding[&a1],
+            alloc.binding[&a4], alloc.binding[&a1],
             "a4 reuses adder 1's register connection"
         );
     }
@@ -301,10 +317,8 @@ mod tests {
         let (g, s, cls, regs) = fig6_setup();
         let aware = greedy_allocation(&g, &cls, &s, &regs, true);
         let blind = greedy_allocation(&g, &cls, &s, &regs, false);
-        let aware_cost =
-            crate::interconnect::connections(&g, &cls, &s, &regs, &aware).mux_inputs();
-        let blind_cost =
-            crate::interconnect::connections(&g, &cls, &s, &regs, &blind).mux_inputs();
+        let aware_cost = crate::interconnect::connections(&g, &cls, &s, &regs, &aware).mux_inputs();
+        let blind_cost = crate::interconnect::connections(&g, &cls, &s, &regs, &blind).mux_inputs();
         assert!(
             aware_cost <= blind_cost,
             "aware {aware_cost} vs blind {blind_cost}"
@@ -361,8 +375,8 @@ mod tests {
         g.set_output("p", g.result(z).unwrap());
         g.set_output("q", g.result(a2).unwrap());
         let cls = OpClassifier::typed();
-        let s = asap_schedule(&g, &cls, &ResourceLimits::unlimited().with(FuClass::Alu, 1))
-            .unwrap();
+        let s =
+            asap_schedule(&g, &cls, &ResourceLimits::unlimited().with(FuClass::Alu, 1)).unwrap();
         let regs = left_edge(&value_intervals(&g, &s));
         let alloc = greedy_allocation(&g, &cls, &s, &regs, true);
         let conn = crate::interconnect::connections(&g, &cls, &s, &regs, &alloc);

@@ -101,7 +101,9 @@ pub fn exhaustive_binding(
         nodes_used += search.nodes;
         optimal &= search.nodes < search.budget;
         total_cost += search.best_cost;
-        let best = search.best.expect("at least the all-new-units assignment exists");
+        let best = search
+            .best
+            .expect("at least the all-new-units assignment exists");
         let base = alloc.fus.len();
         for (i, unit) in best.iter().enumerate() {
             for &op in &unit.ops {
@@ -110,11 +112,21 @@ pub fn exhaustive_binding(
             alloc.fus.push(FuInstance {
                 class,
                 ops: unit.ops.clone(),
-                ports: unit.ops.iter().map(|&o| dfg.op(o).kind.arity()).max().unwrap_or(2),
+                ports: unit
+                    .ops
+                    .iter()
+                    .map(|&o| dfg.op(o).kind.arity())
+                    .max()
+                    .unwrap_or(2),
             });
         }
     }
-    OptimalBinding { alloc, cost: total_cost, optimal, nodes: nodes_used }
+    OptimalBinding {
+        alloc,
+        cost: total_cost,
+        optimal,
+        nodes: nodes_used,
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -160,7 +172,15 @@ impl Search<'_> {
             .operands
             .iter()
             .map(|&v| {
-                source_of(self.dfg, self.classifier, self.schedule, self.regs, &binding, v, step)
+                source_of(
+                    self.dfg,
+                    self.classifier,
+                    self.schedule,
+                    self.regs,
+                    &binding,
+                    v,
+                    step,
+                )
             })
             .collect();
         let _ = self.class;

@@ -71,15 +71,21 @@ pub fn source_of(
             } else if classifier.is_free(dfg, p) {
                 // Chained free op: describe the path through it.
                 let inner = source_of(
-                    dfg, classifier, schedule, regs, fu_of,
-                    dfg.op(p).operands[0], step,
+                    dfg,
+                    classifier,
+                    schedule,
+                    regs,
+                    fu_of,
+                    dfg.op(p).operands[0],
+                    step,
                 );
                 let suffix = match dfg.op(p).kind {
                     OpKind::Shr => ">>",
                     OpKind::Shl => "<<",
                     k => k.symbol(),
                 };
-                let amount = dfg.op(p)
+                let amount = dfg
+                    .op(p)
                     .operands
                     .get(1)
                     .and_then(|&a| match dfg.value(a).def {
@@ -120,16 +126,23 @@ impl Connections {
             .flat_map(|ports| ports.iter())
             .map(|s| s.len().saturating_sub(1))
             .sum();
-        let regs: usize =
-            self.reg_inputs.values().map(|s| s.len().saturating_sub(1)).sum();
+        let regs: usize = self
+            .reg_inputs
+            .values()
+            .map(|s| s.len().saturating_sub(1))
+            .sum();
         fu + regs
     }
 
     /// Total point-to-point connections (wire count for mux-based
     /// interconnect).
     pub fn wire_count(&self) -> usize {
-        let fu: usize =
-            self.fu_ports.iter().flat_map(|p| p.iter()).map(BTreeSet::len).sum();
+        let fu: usize = self
+            .fu_ports
+            .iter()
+            .flat_map(|p| p.iter())
+            .map(BTreeSet::len)
+            .sum();
         let regs: usize = self.reg_inputs.values().map(BTreeSet::len).sum();
         fu + regs
     }
@@ -145,11 +158,17 @@ pub fn connections(
     fus: &FuAllocation,
 ) -> Connections {
     let mut conn = Connections {
-        fu_ports: fus.fus.iter().map(|f| vec![BTreeSet::new(); f.ports]).collect(),
+        fu_ports: fus
+            .fus
+            .iter()
+            .map(|f| vec![BTreeSet::new(); f.ports])
+            .collect(),
         reg_inputs: BTreeMap::new(),
     };
     for op in dfg.op_ids() {
-        let Some(&f) = fus.binding.get(&op) else { continue };
+        let Some(&f) = fus.binding.get(&op) else {
+            continue;
+        };
         let step = schedule.step(op).unwrap_or(0);
         let operands = fus.port_order(dfg, op);
         for (port, v) in operands.iter().enumerate() {
@@ -161,7 +180,10 @@ pub fn connections(
         // Result into its register, if stored.
         if let Some(res) = dfg.result(op) {
             if let Some(r) = regs.register_of(res) {
-                conn.reg_inputs.entry(r).or_default().insert(Source::Wire(format!("fu{f}")));
+                conn.reg_inputs
+                    .entry(r)
+                    .or_default()
+                    .insert(Source::Wire(format!("fu{f}")));
             }
         }
     }
@@ -176,8 +198,13 @@ pub fn connections(
                 let step = schedule.step(op).unwrap_or(0);
                 // Describe the combinational path driving the register.
                 let drive = source_of(
-                    dfg, classifier, schedule, regs, &fus.binding,
-                    dfg.op(op).operands[0], step,
+                    dfg,
+                    classifier,
+                    schedule,
+                    regs,
+                    &fus.binding,
+                    dfg.op(op).operands[0],
+                    step,
                 );
                 let suffix = dfg.op(op).kind.symbol();
                 conn.reg_inputs
@@ -224,7 +251,9 @@ pub fn bus_allocation(
     let mut sources: BTreeSet<Source> = BTreeSet::new();
     let mut sinks: BTreeSet<String> = BTreeSet::new();
     for op in dfg.op_ids() {
-        let Some(&f) = fus.binding.get(&op) else { continue };
+        let Some(&f) = fus.binding.get(&op) else {
+            continue;
+        };
         let step = schedule.step(op).unwrap_or(0);
         for (port, v) in fus.port_order(dfg, op).iter().enumerate() {
             let src = source_of(dfg, classifier, schedule, regs, &fus.binding, *v, step);

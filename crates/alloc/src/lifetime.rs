@@ -30,7 +30,6 @@ impl Interval {
     pub fn steps(&self) -> u32 {
         self.end - self.start + 1
     }
-
 }
 
 /// Computes the register intervals of a scheduled block.
@@ -80,7 +79,11 @@ pub fn value_intervals(dfg: &DataFlowGraph, schedule: &Schedule) -> Vec<Interval
             end = Some(end.map_or(last_step.max(start), |e: u32| e.max(last_step).max(start)));
         }
         if let Some(end) = end {
-            out.push(Interval { value: v, start, end });
+            out.push(Interval {
+                value: v,
+                start,
+                end,
+            });
         }
     }
     out.sort_by_key(|i| (i.start, i.end, i.value));
@@ -100,7 +103,9 @@ pub fn render_gantt(dfg: &DataFlowGraph, intervals: &[Interval]) -> String {
         s,
         "{:<12} {}",
         "value",
-        (0..=max_step).map(|t| format!("{:>2}", t + 1)).collect::<String>()
+        (0..=max_step)
+            .map(|t| format!("{:>2}", t + 1))
+            .collect::<String>()
     );
     for iv in intervals {
         let v = dfg.value(iv.value);
@@ -112,7 +117,11 @@ pub fn render_gantt(dfg: &DataFlowGraph, intervals: &[Interval]) -> String {
         let mut row = String::new();
         for t in 0..=max_step {
             row.push(' ');
-            row.push(if t >= iv.start && t <= iv.end { '#' } else { '.' });
+            row.push(if t >= iv.start && t <= iv.end {
+                '#'
+            } else {
+                '.'
+            });
         }
         let _ = writeln!(s, "{name:<12}{row}");
     }
@@ -122,9 +131,16 @@ pub fn render_gantt(dfg: &DataFlowGraph, intervals: &[Interval]) -> String {
 /// The maximum number of simultaneously live values — the lower bound on
 /// register count that left-edge allocation provably achieves.
 pub fn max_live(intervals: &[Interval]) -> usize {
-    let Some(max_step) = intervals.iter().map(|i| i.end).max() else { return 0 };
+    let Some(max_step) = intervals.iter().map(|i| i.end).max() else {
+        return 0;
+    };
     (0..=max_step)
-        .map(|s| intervals.iter().filter(|i| i.start <= s && s <= i.end).count())
+        .map(|s| {
+            intervals
+                .iter()
+                .filter(|i| i.start <= s && s <= i.end)
+                .count()
+        })
         .max()
         .unwrap_or(0)
 }
@@ -136,7 +152,7 @@ mod tests {
     use hls_sched::{asap_schedule, OpClassifier, ResourceLimits};
 
     /// x -> inc -> neg -> out, plus x used late by `add`.
-    fn block() -> (DataFlowGraph, Schedule, OpClassifier) {  
+    fn block() -> (DataFlowGraph, Schedule, OpClassifier) {
         let mut g = DataFlowGraph::new();
         let x = g.add_input("x", 32);
         let inc = g.add_op(OpKind::Inc, vec![x]);
@@ -212,10 +228,26 @@ mod tests {
     #[test]
     fn max_live_counts_peak() {
         let iv = vec![
-            Interval { value: hls_cdfg::Id::from_raw(0), start: 0, end: 2 },
-            Interval { value: hls_cdfg::Id::from_raw(1), start: 1, end: 3 },
-            Interval { value: hls_cdfg::Id::from_raw(2), start: 2, end: 2 },
-            Interval { value: hls_cdfg::Id::from_raw(3), start: 4, end: 5 },
+            Interval {
+                value: hls_cdfg::Id::from_raw(0),
+                start: 0,
+                end: 2,
+            },
+            Interval {
+                value: hls_cdfg::Id::from_raw(1),
+                start: 1,
+                end: 3,
+            },
+            Interval {
+                value: hls_cdfg::Id::from_raw(2),
+                start: 2,
+                end: 2,
+            },
+            Interval {
+                value: hls_cdfg::Id::from_raw(3),
+                start: 4,
+                end: 5,
+            },
         ];
         assert_eq!(max_live(&iv), 3, "steps 2 has three live values");
         assert_eq!(max_live(&[]), 0);
@@ -223,9 +255,21 @@ mod tests {
 
     #[test]
     fn overlap_predicate() {
-        let a = Interval { value: hls_cdfg::Id::from_raw(0), start: 0, end: 2 };
-        let b = Interval { value: hls_cdfg::Id::from_raw(1), start: 2, end: 4 };
-        let c = Interval { value: hls_cdfg::Id::from_raw(2), start: 3, end: 4 };
+        let a = Interval {
+            value: hls_cdfg::Id::from_raw(0),
+            start: 0,
+            end: 2,
+        };
+        let b = Interval {
+            value: hls_cdfg::Id::from_raw(1),
+            start: 2,
+            end: 4,
+        };
+        let c = Interval {
+            value: hls_cdfg::Id::from_raw(2),
+            start: 3,
+            end: 4,
+        };
         assert!(a.overlaps(&b));
         assert!(!a.overlaps(&c));
         assert!(b.overlaps(&c));

@@ -26,14 +26,14 @@ impl RegisterAllocation {
     pub fn is_valid(&self, intervals: &[Interval]) -> bool {
         for (i, a) in intervals.iter().enumerate() {
             for b in &intervals[i + 1..] {
-                if self.assignment.get(&a.value) == self.assignment.get(&b.value)
-                    && a.overlaps(b)
-                {
+                if self.assignment.get(&a.value) == self.assignment.get(&b.value) && a.overlaps(b) {
                     return false;
                 }
             }
         }
-        intervals.iter().all(|i| self.assignment.contains_key(&i.value))
+        intervals
+            .iter()
+            .all(|i| self.assignment.contains_key(&i.value))
     }
 }
 
@@ -59,7 +59,10 @@ pub fn left_edge(intervals: &[Interval]) -> RegisterAllocation {
         reg_free_at[reg] = iv.end + 1;
         assignment.insert(iv.value, reg);
     }
-    RegisterAllocation { count: reg_free_at.len(), assignment }
+    RegisterAllocation {
+        count: reg_free_at.len(),
+        assignment,
+    }
 }
 
 /// Greedy graph coloring on the interference graph, highest-degree first.
@@ -92,7 +95,9 @@ pub fn color_registers(intervals: &[Interval]) -> RegisterAllocation {
                 }
             }
         }
-        let c = (0..).find(|&c| c >= used.len() || !used[c]).expect("always a free color");
+        let c = (0..)
+            .find(|&c| c >= used.len() || !used[c])
+            .expect("always a free color");
         color[i] = Some(c);
         count = count.max(c + 1);
     }
@@ -115,7 +120,11 @@ mod tests {
     use hls_cdfg::Id;
 
     fn iv(raw: u32, start: u32, end: u32) -> Interval {
-        Interval { value: Id::from_raw(raw), start, end }
+        Interval {
+            value: Id::from_raw(raw),
+            start,
+            end,
+        }
     }
 
     #[test]
@@ -133,7 +142,12 @@ mod tests {
     #[test]
     fn coloring_matches_left_edge_on_interval_graphs() {
         let ivs = vec![
-            iv(0, 0, 4), iv(1, 0, 1), iv(2, 2, 3), iv(3, 1, 2), iv(4, 4, 6), iv(5, 5, 6),
+            iv(0, 0, 4),
+            iv(1, 0, 1),
+            iv(2, 2, 3),
+            iv(3, 1, 2),
+            iv(4, 4, 6),
+            iv(5, 5, 6),
         ];
         let le = left_edge(&ivs);
         let gc = color_registers(&ivs);
@@ -158,35 +172,37 @@ mod tests {
         assert!(a.is_valid(&[]));
     }
 
-    proptest::proptest! {
-        /// Left-edge is always valid and always hits the max-live bound.
-        #[test]
-        fn left_edge_optimal_on_random_intervals(
-            spans in proptest::collection::vec((0u32..20, 0u32..8), 1..40)
-        ) {
-            let ivs: Vec<Interval> = spans
-                .iter()
-                .enumerate()
-                .map(|(i, &(s, l))| iv(i as u32, s, s + l))
-                .collect();
-            let a = left_edge(&ivs);
-            proptest::prop_assert!(a.is_valid(&ivs));
-            proptest::prop_assert_eq!(a.count, minimum_registers(&ivs));
-        }
+    fn gen_spans(rng: &mut hls_testkit::SplitMix64) -> Vec<(u32, u32)> {
+        rng.vec(1, 40, |r| (r.u32_in(0, 20), r.u32_in(0, 8)))
+    }
 
-        /// Coloring is always valid and never beats the lower bound.
-        #[test]
-        fn coloring_valid_on_random_intervals(
-            spans in proptest::collection::vec((0u32..20, 0u32..8), 1..40)
-        ) {
-            let ivs: Vec<Interval> = spans
-                .iter()
-                .enumerate()
-                .map(|(i, &(s, l))| iv(i as u32, s, s + l))
-                .collect();
+    fn to_intervals(spans: &[(u32, u32)]) -> Vec<Interval> {
+        spans
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, l))| iv(i as u32, s, s + l))
+            .collect()
+    }
+
+    /// Left-edge is always valid and always hits the max-live bound.
+    #[test]
+    fn left_edge_optimal_on_random_intervals() {
+        hls_testkit::forall(&hls_testkit::Config::default(), gen_spans, |spans| {
+            let ivs = to_intervals(spans);
+            let a = left_edge(&ivs);
+            assert!(a.is_valid(&ivs));
+            assert_eq!(a.count, minimum_registers(&ivs));
+        });
+    }
+
+    /// Coloring is always valid and never beats the lower bound.
+    #[test]
+    fn coloring_valid_on_random_intervals() {
+        hls_testkit::forall(&hls_testkit::Config::default(), gen_spans, |spans| {
+            let ivs = to_intervals(spans);
             let a = color_registers(&ivs);
-            proptest::prop_assert!(a.is_valid(&ivs));
-            proptest::prop_assert!(a.count >= minimum_registers(&ivs));
-        }
+            assert!(a.is_valid(&ivs));
+            assert!(a.count >= minimum_registers(&ivs));
+        });
     }
 }

@@ -1,36 +1,37 @@
 //! Allocation runtime: register allocators and FU binders over DAG sizes.
+//! Runs on the in-repo `std::time` harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hls_alloc::{
-    clique_allocation, color_registers, greedy_allocation, left_edge, value_intervals,
-    CliqueMethod,
+    clique_allocation, color_registers, greedy_allocation, left_edge, value_intervals, CliqueMethod,
 };
+use hls_bench::harness::Group;
 use hls_sched::{list_schedule, OpClassifier, Priority, ResourceLimits};
 use hls_workloads::random::{random_dag, RandomDagConfig};
 
-fn registers(c: &mut Criterion) {
+fn registers() {
     let cls = OpClassifier::universal();
     let limits = ResourceLimits::universal(4);
-    let mut group = c.benchmark_group("register_allocation");
+    let group = Group::new("register_allocation");
     for ops in [30usize, 100, 300] {
-        let g = random_dag(&RandomDagConfig { ops, ..Default::default() });
+        let g = random_dag(&RandomDagConfig {
+            ops,
+            ..Default::default()
+        });
         let s = list_schedule(&g, &cls, &limits, Priority::PathLength).expect("schedules");
         let ivs = value_intervals(&g, &s);
-        group.bench_with_input(BenchmarkId::new("left_edge", ops), &ivs, |b, ivs| {
-            b.iter(|| left_edge(ivs))
-        });
-        group.bench_with_input(BenchmarkId::new("coloring", ops), &ivs, |b, ivs| {
-            b.iter(|| color_registers(ivs))
-        });
+        group.bench("left_edge", ops, || left_edge(&ivs));
+        group.bench("coloring", ops, || color_registers(&ivs));
     }
-    group.finish();
 }
 
-fn fu_binding(c: &mut Criterion) {
+fn fu_binding() {
     let cls = OpClassifier::typed();
-    let mut group = c.benchmark_group("fu_binding");
+    let group = Group::new("fu_binding");
     for ops in [30usize, 100] {
-        let g = random_dag(&RandomDagConfig { ops, ..Default::default() });
+        let g = random_dag(&RandomDagConfig {
+            ops,
+            ..Default::default()
+        });
         let s = list_schedule(
             &g,
             &cls,
@@ -41,23 +42,24 @@ fn fu_binding(c: &mut Criterion) {
         )
         .expect("schedules");
         let regs = left_edge(&value_intervals(&g, &s));
-        group.bench_with_input(BenchmarkId::new("greedy_aware", ops), &g, |b, g| {
-            b.iter(|| greedy_allocation(g, &cls, &s, &regs, true))
+        group.bench("greedy_aware", ops, || {
+            greedy_allocation(&g, &cls, &s, &regs, true)
         });
-        group.bench_with_input(BenchmarkId::new("greedy_blind", ops), &g, |b, g| {
-            b.iter(|| greedy_allocation(g, &cls, &s, &regs, false))
+        group.bench("greedy_blind", ops, || {
+            greedy_allocation(&g, &cls, &s, &regs, false)
         });
-        group.bench_with_input(BenchmarkId::new("clique_tseng", ops), &g, |b, g| {
-            b.iter(|| clique_allocation(g, &cls, &s, CliqueMethod::Tseng))
+        group.bench("clique_tseng", ops, || {
+            clique_allocation(&g, &cls, &s, CliqueMethod::Tseng)
         });
         if ops <= 30 {
-            group.bench_with_input(BenchmarkId::new("clique_exact", ops), &g, |b, g| {
-                b.iter(|| clique_allocation(g, &cls, &s, CliqueMethod::ExactMaxClique))
+            group.bench("clique_exact", ops, || {
+                clique_allocation(&g, &cls, &s, CliqueMethod::ExactMaxClique)
             });
         }
     }
-    group.finish();
 }
 
-criterion_group!(benches, registers, fu_binding);
-criterion_main!(benches);
+fn main() {
+    registers();
+    fu_binding();
+}

@@ -1,7 +1,8 @@
 //! Exact vs heuristic clique partitioning on random compatibility graphs.
+//! Runs on the in-repo `std::time` harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hls_alloc::{partition_max_clique, partition_tseng, CompatGraph};
+use hls_bench::harness::{bench, Group};
 
 /// Deterministic pseudo-random compatibility graph.
 fn random_graph(n: usize, density_pct: u64, seed: u64) -> CompatGraph {
@@ -23,21 +24,16 @@ fn random_graph(n: usize, density_pct: u64, seed: u64) -> CompatGraph {
     g
 }
 
-fn partitioning(c: &mut Criterion) {
-    let mut group = c.benchmark_group("clique_partition");
+fn partitioning() {
+    let group = Group::new("clique_partition");
     for n in [10usize, 20, 40] {
         let g = random_graph(n, 60, 0xC11D);
-        group.bench_with_input(BenchmarkId::new("exact_bk", n), &g, |b, g| {
-            b.iter(|| partition_max_clique(g))
-        });
-        group.bench_with_input(BenchmarkId::new("tseng", n), &g, |b, g| {
-            b.iter(|| partition_tseng(g))
-        });
+        group.bench("exact_bk", n, || partition_max_clique(&g));
+        group.bench("tseng", n, || partition_tseng(&g));
     }
-    group.finish();
 }
 
-fn quality(c: &mut Criterion) {
+fn quality() {
     // Not a timing benchmark: prints the cover-size comparison once so the
     // bench run records heuristic quality alongside speed.
     let mut worse = 0;
@@ -52,11 +48,11 @@ fn quality(c: &mut Criterion) {
         }
     }
     println!("tseng used more cliques than exact-BK on {worse}/{total} random graphs");
-    c.bench_function("clique_quality_probe", |b| {
-        let g = random_graph(16, 55, 7);
-        b.iter(|| partition_max_clique(&g).len())
-    });
+    let g = random_graph(16, 55, 7);
+    bench("clique_quality_probe", || partition_max_clique(&g).len());
 }
 
-criterion_group!(benches, partitioning, quality);
-criterion_main!(benches);
+fn main() {
+    partitioning();
+    quality();
+}

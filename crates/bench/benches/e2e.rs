@@ -1,35 +1,64 @@
 //! End-to-end pipeline throughput: full synthesis of each BSL workload,
-//! and the RTL-vs-behavioral verification loop.
+//! the RTL-vs-behavioral verification loop, and serial vs parallel
+//! design-space exploration. Runs on the in-repo `std::time` harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hls_core::Synthesizer;
+use hls_bench::harness::{bench, Group};
+use hls_core::{Explorer, GridSpec, Synthesizer};
 
-fn synthesis(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e2e_synthesis");
+fn synthesis() {
+    let group = Group::new("e2e_synthesis");
     for (name, src) in [
         ("sqrt", hls_workloads::sources::SQRT),
         ("gcd", hls_workloads::sources::GCD),
         ("diffeq", hls_workloads::sources::DIFFEQ),
         ("fir4", hls_workloads::sources::FIR4),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), src, |b, src| {
-            b.iter(|| Synthesizer::new().synthesize_source(src).expect("synthesizes"))
+        group.bench("synthesize", name, || {
+            Synthesizer::new()
+                .synthesize_source(src)
+                .expect("synthesizes")
         });
     }
-    group.finish();
 }
 
-fn verification(c: &mut Criterion) {
+fn verification() {
     let design = Synthesizer::new()
         .synthesize_source(hls_workloads::sources::SQRT)
         .expect("synthesizes");
-    c.bench_function("e2e_verify_sqrt_8_vectors", |b| {
-        b.iter(|| {
-            let eq = design.verify(8, (0.05, 1.0)).expect("simulates");
-            assert!(eq.equivalent);
-        })
+    bench("e2e_verify_sqrt_8_vectors", || {
+        let eq = design.verify(8, (0.05, 1.0)).expect("simulates");
+        assert!(eq.equivalent);
     });
 }
 
-criterion_group!(benches, synthesis, verification);
-criterion_main!(benches);
+fn exploration() {
+    let group = Group::new("e2e_exploration");
+    let base = Synthesizer::new();
+    let spec = GridSpec::fu_sweep(&base, 5);
+    group.bench("sweep_serial", "diffeq", || {
+        hls_core::sweep_grid(&base, hls_workloads::sources::DIFFEQ, &spec).expect("sweeps")
+    });
+    for threads in [2usize, 4] {
+        group.bench("sweep_parallel_cold", format!("diffeq/t{threads}"), || {
+            // A fresh explorer per iteration: measures the pool fan-out
+            // without cache effects.
+            Explorer::with_threads(threads)
+                .sweep_grid(&base, hls_workloads::sources::DIFFEQ, &spec)
+                .expect("sweeps")
+        });
+    }
+    let warm = Explorer::with_threads(4);
+    warm.sweep_grid(&base, hls_workloads::sources::DIFFEQ, &spec)
+        .expect("sweeps");
+    group.bench("sweep_parallel_warm", "diffeq/t4", || {
+        warm.sweep_grid(&base, hls_workloads::sources::DIFFEQ, &spec)
+            .expect("sweeps")
+    });
+    println!("warm-cache stats: {:?}", warm.cache_stats());
+}
+
+fn main() {
+    synthesis();
+    verification();
+    exploration();
+}

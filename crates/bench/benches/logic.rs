@@ -1,23 +1,20 @@
 //! Controller-logic benchmarks: Quine–McCluskey minimization and FSM
-//! construction/encoding.
+//! construction/encoding. Runs on the in-repo `std::time` harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hls_bench::harness::{bench, Group};
 use hls_ctrl::logic::minimize;
 use hls_ctrl::{build_fsm, compare_encodings, minimize_states};
 
-fn qm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("quine_mccluskey");
+fn qm() {
+    let group = Group::new("quine_mccluskey");
     for vars in [4u32, 6, 8, 10] {
         // A structured on-set: every third minterm.
         let on: Vec<u64> = (0..(1u64 << vars)).step_by(3).collect();
-        group.bench_with_input(BenchmarkId::new("every_third", vars), &on, |b, on| {
-            b.iter(|| minimize(vars, on, &[]))
-        });
+        group.bench("every_third", vars, || minimize(vars, &on, &[]));
     }
-    group.finish();
 }
 
-fn controller(c: &mut Criterion) {
+fn controller() {
     let mut cdfg = hls_lang::compile(hls_workloads::sources::GCD).expect("compiles");
     hls_opt::optimize(&mut cdfg);
     let cls = hls_sched::OpClassifier::universal();
@@ -37,15 +34,17 @@ fn controller(c: &mut Criterion) {
     )
     .expect("allocates");
 
-    c.bench_function("fsm_build_gcd", |b| {
-        b.iter(|| build_fsm(&cdfg, &sched, &dp, &cls).expect("builds"))
+    bench("fsm_build_gcd", || {
+        build_fsm(&cdfg, &sched, &dp, &cls).expect("builds")
     });
     let fsm = build_fsm(&cdfg, &sched, &dp, &cls).expect("builds");
-    c.bench_function("fsm_encode_all_styles", |b| {
-        b.iter(|| compare_encodings(&fsm).expect("encodes"))
+    bench("fsm_encode_all_styles", || {
+        compare_encodings(&fsm).expect("encodes")
     });
-    c.bench_function("fsm_minimize", |b| b.iter(|| minimize_states(&fsm)));
+    bench("fsm_minimize", || minimize_states(&fsm));
 }
 
-criterion_group!(benches, qm, controller);
-criterion_main!(benches);
+fn main() {
+    qm();
+    controller();
+}

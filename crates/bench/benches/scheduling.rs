@@ -1,52 +1,54 @@
 //! Scheduling-algorithm runtime scaling over random DAG sizes, plus the
-//! benchmark graphs.
+//! benchmark graphs. Runs on the in-repo `std::time` harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hls_bench::harness::Group;
 use hls_sched::{
-    asap_schedule, force_directed_schedule, list_schedule, transformational_schedule,
-    OpClassifier, Priority, ResourceLimits,
+    asap_schedule, force_directed_schedule, list_schedule, transformational_schedule, OpClassifier,
+    Priority, ResourceLimits,
 };
 use hls_workloads::random::{random_dag, RandomDagConfig};
 
-fn scaling(c: &mut Criterion) {
+fn scaling() {
     let cls = OpClassifier::universal();
     let limits = ResourceLimits::universal(3);
-    let mut group = c.benchmark_group("sched_scaling");
+    let group = Group::new("sched_scaling");
     for ops in [20usize, 60, 150, 400] {
-        let g = random_dag(&RandomDagConfig { ops, ..Default::default() });
-        group.bench_with_input(BenchmarkId::new("asap", ops), &g, |b, g| {
-            b.iter(|| asap_schedule(g, &cls, &limits).expect("schedules"))
+        let g = random_dag(&RandomDagConfig {
+            ops,
+            ..Default::default()
         });
-        group.bench_with_input(BenchmarkId::new("list_path", ops), &g, |b, g| {
-            b.iter(|| list_schedule(g, &cls, &limits, Priority::PathLength).expect("schedules"))
+        group.bench("asap", ops, || {
+            asap_schedule(&g, &cls, &limits).expect("schedules")
         });
-        group.bench_with_input(BenchmarkId::new("transform", ops), &g, |b, g| {
-            b.iter(|| transformational_schedule(g, &cls, &limits).expect("schedules"))
+        group.bench("list_path", ops, || {
+            list_schedule(&g, &cls, &limits, Priority::PathLength).expect("schedules")
+        });
+        group.bench("transform", ops, || {
+            transformational_schedule(&g, &cls, &limits).expect("schedules")
         });
         if ops <= 150 {
-            let (_, cp) =
-                hls_sched::precedence::unconstrained_asap(&g, &cls).expect("acyclic");
-            group.bench_with_input(BenchmarkId::new("force_directed", ops), &g, |b, g| {
-                b.iter(|| force_directed_schedule(g, &cls, cp + 2).expect("schedules"))
+            let (_, cp) = hls_sched::precedence::unconstrained_asap(&g, &cls).expect("acyclic");
+            group.bench("force_directed", ops, || {
+                force_directed_schedule(&g, &cls, cp + 2).expect("schedules")
             });
         }
     }
-    group.finish();
 }
 
-fn benchmarks(c: &mut Criterion) {
+fn benchmarks() {
     let cls = OpClassifier::typed();
     let limits = ResourceLimits::unlimited()
         .with(hls_sched::FuClass::Alu, 2)
         .with(hls_sched::FuClass::Multiplier, 2);
-    let mut group = c.benchmark_group("sched_benchmarks");
+    let group = Group::new("sched_benchmarks");
     for (name, g) in hls_workloads::all_benchmarks() {
-        group.bench_with_input(BenchmarkId::new("list_path", name), &g, |b, g| {
-            b.iter(|| list_schedule(g, &cls, &limits, Priority::PathLength).expect("schedules"))
+        group.bench("list_path", name, || {
+            list_schedule(&g, &cls, &limits, Priority::PathLength).expect("schedules")
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, scaling, benchmarks);
-criterion_main!(benches);
+fn main() {
+    scaling();
+    benchmarks();
+}

@@ -3,14 +3,14 @@
 //! Usage: `cargo run -p hls-bench --bin experiments -- [ID|all]`
 //!
 //! IDs: fig1 fig2 fig3 fig4 fig5 fig6 fig7 table-sched table-reg
-//!      table-alloc table-interconnect table-ctrl table-dse table-pipe
-//!      verify
+//!      table-alloc table-interconnect table-ctrl table-dse table-explore
+//!      table-pipe verify
 
 use std::collections::BTreeMap;
 
 use hls_alloc::{
-    binding_cost, bus_allocation, clique_allocation, connections, exhaustive_binding,
-    greedy_allocation, left_edge, minimum_registers, color_registers, value_intervals,
+    binding_cost, bus_allocation, clique_allocation, color_registers, connections,
+    exhaustive_binding, greedy_allocation, left_edge, minimum_registers, value_intervals,
     CliqueMethod,
 };
 use hls_bench::comparison_algorithms;
@@ -40,6 +40,7 @@ fn main() {
         ("table-interconnect", table_interconnect),
         ("table-ctrl", table_ctrl),
         ("table-dse", table_dse),
+        ("table-explore", table_explore),
         ("table-pipe", table_pipe),
         ("table-chain", table_chain),
         ("table-ifconv", table_ifconv),
@@ -58,7 +59,11 @@ fn main() {
                 eprintln!("unknown experiment `{other}`");
                 eprintln!(
                     "available: all {}",
-                    experiments.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(" ")
+                    experiments
+                        .iter()
+                        .map(|(n, _)| *n)
+                        .collect::<Vec<_>>()
+                        .join(" ")
                 );
                 std::process::exit(2);
             }
@@ -70,7 +75,10 @@ fn main() {
 fn fig1() {
     println!("Fig. 1 — high-level specification and graphs for sqrt\n{SQRT}");
     let cdfg = hls_lang::compile(SQRT).expect("sqrt compiles");
-    println!("control-flow graph (DOT):\n{}", hls_cdfg::dot::cfg_to_dot(&cdfg));
+    println!(
+        "control-flow graph (DOT):\n{}",
+        hls_cdfg::dot::cfg_to_dot(&cdfg)
+    );
     for block in cdfg.block_order() {
         let b = cdfg.block(block);
         println!(
@@ -151,15 +159,25 @@ fn fig5() {
     let dg = distribution_graphs(&g, &cls, 3).expect("dg");
     println!("distribution graph of the additions (paper: 1, 1.5, 0.5):");
     for (i, v) in dg[&FuClass::Alu].iter().enumerate() {
-        println!("  step {}: {:.2}  {}", i + 1, v, "#".repeat((v * 4.0).round() as usize));
+        println!(
+            "  step {}: {:.2}  {}",
+            i + 1,
+            v,
+            "#".repeat((v * 4.0).round() as usize)
+        );
     }
     let s = force_directed_schedule(&g, &cls, 3).expect("fds");
-    println!("\nFDS placement: a1 -> step {}, a2 -> step {}, a3 -> step {}",
+    println!(
+        "\nFDS placement: a1 -> step {}, a2 -> step {}, a3 -> step {}",
         s.step(a1).expect("a1") + 1,
         s.step(a2).expect("a2") + 1,
-        s.step(a3).expect("a3") + 1);
+        s.step(a3).expect("a3") + 1
+    );
     println!("(paper: a3 is scheduled into step 3, balancing the graph)");
-    println!("adders needed after balancing: {}", s.fu_usage(&g, &cls)[&FuClass::Alu]);
+    println!(
+        "adders needed after balancing: {}",
+        s.fu_usage(&g, &cls)[&FuClass::Alu]
+    );
 }
 
 /// E6 / Fig. 6: greedy interconnect-aware data-path allocation.
@@ -171,7 +189,14 @@ fn fig6() {
     let regs = left_edge(&value_intervals(&g, &s));
     let aware = greedy_allocation(&g, &cls, &s, &regs, true);
     println!("interconnect-aware assignment:");
-    for (op, label) in [(a1, "a1"), (a2, "a2"), (a3, "a3"), (a4, "a4"), (m1, "m1"), (m2, "m2")] {
+    for (op, label) in [
+        (a1, "a1"),
+        (a2, "a2"),
+        (a3, "a3"),
+        (a4, "a4"),
+        (m1, "m1"),
+        (m2, "m2"),
+    ] {
         let f = aware.binding[&op];
         println!("  {label} -> {} {}", aware.fus[f].class, f);
     }
@@ -198,8 +223,7 @@ fn fig7() {
         let alloc = clique_allocation(&g, &cls, &s, method);
         println!("{name}:");
         for fu in &alloc.fus {
-            let labels: Vec<&str> =
-                fu.ops.iter().map(|&o| g.op(o).label.as_str()).collect();
+            let labels: Vec<&str> = fu.ops.iter().map(|&o| g.op(o).label.as_str()).collect();
             println!("  {} shares {{{}}}", fu.class, labels.join(", "));
         }
     }
@@ -225,13 +249,10 @@ fn table_sched() {
         for (name, alg) in comparison_algorithms() {
             let steps = match alg {
                 Algorithm::BranchAndBound { node_budget } => {
-                    branch_and_bound_schedule(&g, &cls, &limits, node_budget)
-                        .map(|s| s.num_steps())
+                    branch_and_bound_schedule(&g, &cls, &limits, node_budget).map(|s| s.num_steps())
                 }
                 Algorithm::Asap => asap_schedule(&g, &cls, &limits).map(|s| s.num_steps()),
-                Algorithm::List(p) => {
-                    list_schedule(&g, &cls, &limits, p).map(|s| s.num_steps())
-                }
+                Algorithm::List(p) => list_schedule(&g, &cls, &limits, p).map(|s| s.num_steps()),
                 Algorithm::Transformational => {
                     hls_sched::transformational_schedule(&g, &cls, &limits)
                         .map(|(s, _)| s.num_steps())
@@ -252,7 +273,10 @@ fn table_sched() {
 /// E10: register allocation across benchmarks.
 fn table_reg() {
     println!("Table — registers by allocator (list schedule, 2 ALUs + 2 muls)\n");
-    println!("{:<12} {:>9} {:>10} {:>10}", "benchmark", "max-live", "left-edge", "coloring");
+    println!(
+        "{:<12} {:>9} {:>10} {:>10}",
+        "benchmark", "max-live", "left-edge", "coloring"
+    );
     let cls = OpClassifier::typed();
     let limits = ResourceLimits::unlimited()
         .with(FuClass::Alu, 2)
@@ -284,13 +308,32 @@ fn table_alloc() {
     for (bench, g) in hls_workloads::all_benchmarks() {
         let s = list_schedule(&g, &cls, &limits, Priority::PathLength).expect("schedule");
         let regs = left_edge(&value_intervals(&g, &s));
-        let greedy = binding_cost(&g, &cls, &s, &regs,
-            &greedy_allocation(&g, &cls, &s, &regs, true));
-        let blind = binding_cost(&g, &cls, &s, &regs,
-            &greedy_allocation(&g, &cls, &s, &regs, false));
-        let clique = binding_cost(&g, &cls, &s, &regs,
-            &clique_allocation(&g, &cls, &s, CliqueMethod::ExactMaxClique));
-        let budget = if g.live_op_count() <= 16 { 3_000_000 } else { 60_000 };
+        let greedy = binding_cost(
+            &g,
+            &cls,
+            &s,
+            &regs,
+            &greedy_allocation(&g, &cls, &s, &regs, true),
+        );
+        let blind = binding_cost(
+            &g,
+            &cls,
+            &s,
+            &regs,
+            &greedy_allocation(&g, &cls, &s, &regs, false),
+        );
+        let clique = binding_cost(
+            &g,
+            &cls,
+            &s,
+            &regs,
+            &clique_allocation(&g, &cls, &s, CliqueMethod::ExactMaxClique),
+        );
+        let budget = if g.live_op_count() <= 16 {
+            3_000_000
+        } else {
+            60_000
+        };
         let opt = exhaustive_binding(&g, &cls, &s, &regs, budget);
         println!(
             "{bench:<12} {greedy:>8} {blind:>8} {clique:>8} {:>11} {:>9}",
@@ -345,11 +388,21 @@ fn table_ctrl() {
             .control(ControlStyle::Microcode)
             .synthesize_source(src)
             .expect("flow");
-        println!("{name}: {} states, {} flags", design.fsm.len(), design.fsm.flags.len());
+        println!(
+            "{name}: {} states, {} flags",
+            design.fsm.len(),
+            design.fsm.flags.len()
+        );
         let enc = compare_encodings(&design.fsm).expect("encodings");
-        println!("  {:<9} {:>5} {:>7} {:>9}", "encoding", "FFs", "terms", "literals");
+        println!(
+            "  {:<9} {:>5} {:>7} {:>9}",
+            "encoding", "FFs", "terms", "literals"
+        );
         for (style, r) in &enc {
-            println!("  {style:<9} {:>5} {:>7} {:>9}", r.state_bits, r.terms, r.literals);
+            println!(
+                "  {style:<9} {:>5} {:>7} {:>9}",
+                r.state_bits, r.terms, r.literals
+            );
         }
         let mp = microcode(&design.fsm);
         println!(
@@ -368,7 +421,10 @@ fn table_dse() {
     println!("Table — design-space exploration (universal-FU sweep)\n");
     for (name, src) in [("sqrt", SQRT), ("diffeq", hls_workloads::sources::DIFFEQ)] {
         println!("{name}:");
-        println!("  {:<4} {:>8} {:>9} {:>6} {:>8}", "fus", "latency", "area(GE)", "regs", "mux-ins");
+        println!(
+            "  {:<4} {:>8} {:>9} {:>6} {:>8}",
+            "fus", "latency", "area(GE)", "regs", "mux-ins"
+        );
         let points = sweep_fus(&Synthesizer::new(), src, 5).expect("sweep");
         for p in &points {
             println!(
@@ -380,6 +436,93 @@ fn table_dse() {
         let ids: Vec<String> = front.iter().map(|p| format!("{}FU", p.fus)).collect();
         println!("  pareto front: {}\n", ids.join(", "));
     }
+}
+
+/// E15b: parallel, cached exploration — serial vs parallel grid sweep
+/// wall-clock on the diffeq and elliptic-wave-filter workloads, with
+/// memo-cache hit rates.
+fn table_explore() {
+    use hls_core::{sweep_grid_cdfg, Explorer, GridSpec};
+    use std::time::Instant;
+
+    println!("Table — serial vs parallel design-space exploration\n");
+    let base = Synthesizer::new();
+    let spec = GridSpec {
+        fus: (1..=4).collect(),
+        algorithms: vec![
+            Algorithm::Asap,
+            Algorithm::List(Priority::PathLength),
+            Algorithm::List(Priority::Urgency),
+        ],
+        controls: vec![
+            ControlStyle::Hardwired(hls_ctrl::EncodingStyle::Binary),
+            ControlStyle::Microcode,
+        ],
+    };
+    let workloads = [
+        (
+            "diffeq",
+            hls_lang::compile(hls_workloads::sources::DIFFEQ).expect("compiles"),
+        ),
+        (
+            "wave-filter",
+            hls_workloads::benchmarks::to_cdfg("ewf", hls_workloads::benchmarks::ewf()),
+        ),
+    ];
+    println!(
+        "{:<12} {:>7} {:>12} {:>12} {:>12} {:>9} {:>10}",
+        "workload", "points", "serial", "par(cold)", "par(warm)", "speedup", "hit-rate"
+    );
+    for (name, cdfg) in &workloads {
+        let t = Instant::now();
+        let serial = sweep_grid_cdfg(&base, cdfg, &spec).expect("serial sweep");
+        let t_serial = t.elapsed();
+
+        let threads = 4;
+        let explorer = Explorer::with_threads(threads);
+        let t = Instant::now();
+        let cold = explorer
+            .sweep_grid_cdfg(&base, cdfg, &spec)
+            .expect("parallel sweep");
+        let t_cold = t.elapsed();
+        let t = Instant::now();
+        let warm = explorer
+            .sweep_grid_cdfg(&base, cdfg, &spec)
+            .expect("warm sweep");
+        let t_warm = t.elapsed();
+
+        assert_eq!(
+            serial, cold,
+            "parallel sweep must match serial byte-for-byte"
+        );
+        assert_eq!(serial, warm, "warm sweep must match serial byte-for-byte");
+        let stats = explorer.cache_stats();
+        println!(
+            "{name:<12} {:>7} {:>12?} {:>12?} {:>12?} {:>8.2}x {:>9.0}%",
+            spec.len(),
+            t_serial,
+            t_cold,
+            t_warm,
+            t_serial.as_secs_f64() / t_cold.as_secs_f64().max(1e-9),
+            stats.hit_rate() * 100.0
+        );
+        let front = pareto_front(&serial);
+        let ids: Vec<String> = front
+            .iter()
+            .map(|p| format!("{}FU/{}", p.fus, p.algorithm.name()))
+            .collect();
+        println!(
+            "  pareto front ({} of {} points): {}",
+            front.len(),
+            serial.len(),
+            ids.join(", ")
+        );
+    }
+    println!(
+        "\n(parallel sweep at {} worker(s); speedup tracks core count, and the warm pass is\n\
+         pure cache: every point a hit, zero resynthesis)",
+        4
+    );
 }
 
 /// E16: loop pipelining (Sehwa).
@@ -425,13 +568,18 @@ fn table_chain() {
         ("ewf", hls_workloads::benchmarks::ewf()),
     ] {
         println!("{name}:");
-        println!("  {:<10} {:>6} {:>10} {:>11}", "clock(ns)", "steps", "eff-ns", "total(ns)");
+        println!(
+            "  {:<10} {:>6} {:>10} {:>11}",
+            "clock(ns)", "steps", "eff-ns", "total(ns)"
+        );
         // Unit-latency baseline: every op one step at the slowest-op clock.
         let unit = list_schedule(&g, &cls, &limits, Priority::PathLength).expect("schedule");
         let worst = 80.0f64; // the multiplier
         println!(
             "  {:<10} {:>6} {:>10.0} {:>11.0}   (unit-latency baseline)",
-            "-", unit.num_steps(), worst,
+            "-",
+            unit.num_steps(),
+            worst,
             unit.num_steps() as f64 * worst
         );
         for cycle in [25.0f64, 50.0, 100.0, 200.0] {
@@ -442,7 +590,9 @@ fn table_chain() {
             let clock = cs.critical_ns;
             println!(
                 "  {:<10} {:>6} {:>10.0} {:>11.0}",
-                cycle, cs.schedule.num_steps(), clock,
+                cycle,
+                cs.schedule.num_steps(),
+                clock,
                 cs.schedule.num_steps() as f64 * clock
             );
         }
@@ -455,7 +605,10 @@ fn table_chain() {
 /// E18 (ablation): if-conversion — control vs datapath complexity.
 fn table_ifconv() {
     println!("Table — if-conversion on gcd (control vs datapath trade-off)\n");
-    println!("{:<14} {:>7} {:>6} {:>8} {:>9}", "flow", "states", "flags", "mux-ins", "verified");
+    println!(
+        "{:<14} {:>7} {:>6} {:>8} {:>9}",
+        "flow", "states", "flags", "mux-ins", "verified"
+    );
     for (name, convert) in [("branching", false), ("if-converted", true)] {
         let mut s = Synthesizer::new().universal_fus(2);
         if convert {
@@ -503,5 +656,8 @@ fn verify() {
     let run = design
         .run(&BTreeMap::from([("X".to_string(), Fx::from_f64(0.81))]))
         .expect("run");
-    println!("\nsqrt(0.81) = {} in {} cycles", run.outputs["Y"], run.cycles);
+    println!(
+        "\nsqrt(0.81) = {} in {} cycles",
+        run.outputs["Y"], run.cycles
+    );
 }

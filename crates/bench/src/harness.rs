@@ -1,0 +1,126 @@
+//! A dependency-free `std::time` micro-benchmark harness.
+//!
+//! The external Criterion crate cannot be fetched in the hermetic build,
+//! and its statistical machinery is overkill for the comparisons these
+//! benches make (orders of magnitude between algorithms, scaling trends
+//! over DAG sizes). This harness keeps the same bench-target layout
+//! (`harness = false` + a `main()` per file) and reports median / min /
+//! mean per benchmark.
+//!
+//! Knobs (environment variables):
+//! * `HLS_BENCH_SAMPLES` — timed samples per benchmark (default 15).
+//! * `HLS_BENCH_WARMUP` — untimed warm-up runs (default 2).
+
+use std::time::{Duration, Instant};
+
+/// Number of timed samples (`HLS_BENCH_SAMPLES`, default 15).
+pub fn samples() -> usize {
+    std::env::var("HLS_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(15)
+        .max(1)
+}
+
+/// Number of warm-up runs (`HLS_BENCH_WARMUP`, default 2).
+pub fn warmup() -> usize {
+    std::env::var("HLS_BENCH_WARMUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2)
+}
+
+/// One measured benchmark result.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Benchmark label (`group/name/param`).
+    pub name: String,
+    /// Sorted per-sample wall-clock times.
+    pub times: Vec<Duration>,
+}
+
+impl Measurement {
+    /// Median sample.
+    pub fn median(&self) -> Duration {
+        self.times[self.times.len() / 2]
+    }
+
+    /// Fastest sample.
+    pub fn min(&self) -> Duration {
+        self.times[0]
+    }
+
+    /// Mean of all samples.
+    pub fn mean(&self) -> Duration {
+        self.times.iter().sum::<Duration>() / self.times.len() as u32
+    }
+}
+
+/// Times `f` (after warm-up) and prints one aligned report line.
+///
+/// The closure's return value is passed through [`std::hint::black_box`]
+/// so the optimizer cannot delete the measured work.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> Measurement {
+    for _ in 0..warmup() {
+        std::hint::black_box(f());
+    }
+    let mut times = Vec::with_capacity(samples());
+    for _ in 0..samples() {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        times.push(t.elapsed());
+    }
+    times.sort();
+    let m = Measurement {
+        name: name.to_string(),
+        times,
+    };
+    println!(
+        "{:<44} median {:>12?}  min {:>12?}  mean {:>12?}  (n={})",
+        m.name,
+        m.median(),
+        m.min(),
+        m.mean(),
+        m.times.len()
+    );
+    m
+}
+
+/// A named group of benchmarks, mirroring Criterion's
+/// `benchmark_group`/`BenchmarkId` labeling (`group/name/param`).
+pub struct Group {
+    name: String,
+}
+
+impl Group {
+    /// Starts a group and prints its header.
+    pub fn new(name: &str) -> Self {
+        println!("\n== {name} ==");
+        Group {
+            name: name.to_string(),
+        }
+    }
+
+    /// Benchmarks `f` under `group/name/param`.
+    pub fn bench<R>(
+        &self,
+        name: &str,
+        param: impl std::fmt::Display,
+        f: impl FnMut() -> R,
+    ) -> Measurement {
+        bench(&format!("{}/{name}/{param}", self.name), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_sorted_times() {
+        let m = bench("harness_selftest", || (0..1000u64).sum::<u64>());
+        assert_eq!(m.times.len(), samples());
+        assert!(m.times.windows(2).all(|w| w[0] <= w[1]));
+        assert!(m.min() <= m.median());
+    }
+}

@@ -1,11 +1,18 @@
 //! # hls-bench — evaluation harness
 //!
-//! Shared helpers for the Criterion benchmarks and the `experiments`
-//! binary that regenerates every figure and table of the DAC'88 tutorial
-//! (see EXPERIMENTS.md at the repository root).
+//! Shared helpers for the benchmarks and the `experiments` binary that
+//! regenerates every figure and table of the DAC'88 tutorial (see
+//! EXPERIMENTS.md at the repository root).
+//!
+//! The timing benches under `benches/` run on the in-repo [`harness`]
+//! (a `std::time` micro-benchmark loop) instead of Criterion, so
+//! `cargo bench` works with zero network access and no external
+//! dependencies.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod harness;
 
 use hls_sched::{Algorithm, Priority};
 
@@ -18,7 +25,12 @@ pub fn comparison_algorithms() -> Vec<(&'static str, Algorithm)> {
         ("list/urgency", Algorithm::List(Priority::Urgency)),
         ("list/mobility", Algorithm::List(Priority::Mobility)),
         ("transform", Algorithm::Transformational),
-        ("b&b", Algorithm::BranchAndBound { node_budget: 4_000_000 }),
+        (
+            "b&b",
+            Algorithm::BranchAndBound {
+                node_budget: 4_000_000,
+            },
+        ),
     ]
 }
 

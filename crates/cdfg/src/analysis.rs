@@ -101,7 +101,11 @@ pub fn alap_levels(
         let bound = if succs.is_empty() {
             deadline
         } else {
-            succs.iter().map(|s| start.get(s).copied().unwrap_or(0)).min().unwrap_or(deadline)
+            succs
+                .iter()
+                .map(|s| start.get(s).copied().unwrap_or(0))
+                .min()
+                .unwrap_or(deadline)
         };
         let free = is_free(dfg.op(id));
         let s = if free { bound } else { bound.saturating_sub(1) };
@@ -124,7 +128,12 @@ pub fn bounds(
     let (asap, cp) = asap_levels(dfg, is_free)?;
     let deadline = deadline.unwrap_or(cp).max(cp);
     let alap = alap_levels(dfg, deadline, is_free)?;
-    Ok(TimingBounds { asap, alap, critical_path: cp, deadline })
+    Ok(TimingBounds {
+        asap,
+        alap,
+        critical_path: cp,
+        deadline,
+    })
 }
 
 /// For each op, the number of ops on the longest dependence chain from it

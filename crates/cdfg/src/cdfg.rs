@@ -181,7 +181,10 @@ impl Cdfg {
 
     /// Adds a block and returns its id.
     pub fn add_block(&mut self, name: &str, dfg: DataFlowGraph) -> BlockId {
-        self.blocks.alloc(Block { name: name.to_string(), dfg })
+        self.blocks.alloc(Block {
+            name: name.to_string(),
+            dfg,
+        })
     }
 
     /// Sets the control tree.
@@ -222,7 +225,10 @@ impl Cdfg {
 
     /// Total live operations over all blocks reachable from the body.
     pub fn total_ops(&self) -> usize {
-        self.block_order().iter().map(|&b| self.blocks[b].dfg.live_op_count()).sum()
+        self.block_order()
+            .iter()
+            .map(|&b| self.blocks[b].dfg.live_op_count())
+            .sum()
     }
 
     /// Checks structural invariants of the whole CDFG.
@@ -260,10 +266,16 @@ impl Cdfg {
                     _ => l.body.blocks(),
                 };
                 let produced = holder.iter().any(|&b| {
-                    self.blocks[b].dfg.outputs().iter().any(|(n, _)| *n == l.exit_var)
+                    self.blocks[b]
+                        .dfg
+                        .outputs()
+                        .iter()
+                        .any(|(n, _)| *n == l.exit_var)
                 });
                 if !produced {
-                    return Err(CdfgError::MissingExitVar { name: l.exit_var.clone() });
+                    return Err(CdfgError::MissingExitVar {
+                        name: l.exit_var.clone(),
+                    });
                 }
                 Ok(())
             }
@@ -277,7 +289,9 @@ impl Cdfg {
                     .iter()
                     .any(|(n, _)| *n == i.cond_var);
                 if !produced {
-                    return Err(CdfgError::MissingExitVar { name: i.cond_var.clone() });
+                    return Err(CdfgError::MissingExitVar {
+                        name: i.cond_var.clone(),
+                    });
                 }
                 self.validate_region(&i.then_region)?;
                 if let Some(e) = &i.else_region {
@@ -332,7 +346,9 @@ mod tests {
         }));
         assert_eq!(
             c.validate(),
-            Err(CdfgError::MissingExitVar { name: "done".into() })
+            Err(CdfgError::MissingExitVar {
+                name: "done".into()
+            })
         );
     }
 

@@ -175,7 +175,9 @@ impl DataFlowGraph {
                 self.ops[id]
                     .operands
                     .iter()
-                    .filter(|&&v| matches!(self.values[v].def, ValueDef::Op(p) if !self.ops[p].dead))
+                    .filter(
+                        |&&v| matches!(self.values[v].def, ValueDef::Op(p) if !self.ops[p].dead),
+                    )
                     .count()
             })
             .sum()
@@ -209,12 +211,16 @@ impl DataFlowGraph {
 
     /// Live operations with no live data predecessors.
     pub fn sources(&self) -> Vec<OpId> {
-        self.op_ids().filter(|&id| self.preds(id).is_empty()).collect()
+        self.op_ids()
+            .filter(|&id| self.preds(id).is_empty())
+            .collect()
     }
 
     /// Live operations whose result feeds no live op.
     pub fn sinks(&self) -> Vec<OpId> {
-        self.op_ids().filter(|&id| self.succs(id).is_empty()).collect()
+        self.op_ids()
+            .filter(|&id| self.succs(id).is_empty())
+            .collect()
     }
 
     /// A topological order of the live operations.
@@ -231,8 +237,11 @@ impl DataFlowGraph {
         for id in self.op_ids() {
             indeg.insert(id, self.preds(id).len());
         }
-        let mut ready: Vec<OpId> =
-            indeg.iter().filter(|(_, &d)| d == 0).map(|(&id, _)| id).collect();
+        let mut ready: Vec<OpId> = indeg
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&id, _)| id)
+            .collect();
         ready.sort();
         let mut order = Vec::with_capacity(indeg.len());
         let mut cursor = 0;
@@ -306,7 +315,9 @@ impl DataFlowGraph {
         for id in self.op_ids() {
             let op = &self.ops[id];
             if op.operands.len() != op.kind.arity() {
-                return Err(CdfgError::Arity { op: format!("{}", op.kind) });
+                return Err(CdfgError::Arity {
+                    op: format!("{}", op.kind),
+                });
             }
             if op.kind == OpKind::Const && op.constant.is_none() {
                 return Err(CdfgError::MissingConstant);
@@ -361,8 +372,7 @@ impl DataFlowGraph {
             .expect("compaction requires an acyclic graph");
         for id in order {
             let op = &self.ops[id];
-            let operands: Vec<ValueId> =
-                op.operands.iter().map(|v| vmap[v]).collect();
+            let operands: Vec<ValueId> = op.operands.iter().map(|v| vmap[v]).collect();
             let nid = out.add_op(op.kind, operands);
             out.ops[nid].constant = op.constant;
             out.ops[nid].memory = op.memory.clone();

@@ -18,7 +18,12 @@ pub fn dfg_to_dot(dfg: &DataFlowGraph, name: &str) -> String {
     let _ = writeln!(s, "  rankdir=TB;");
     for &iv in dfg.inputs() {
         let v = dfg.value(iv);
-        let _ = writeln!(s, "  v{} [label=\"{}\", shape=plaintext];", iv.index(), v.name);
+        let _ = writeln!(
+            s,
+            "  v{} [label=\"{}\", shape=plaintext];",
+            iv.index(),
+            v.name
+        );
     }
     for id in dfg.op_ids() {
         let op = dfg.op(id);
@@ -30,7 +35,11 @@ pub fn dfg_to_dot(dfg: &DataFlowGraph, name: &str) -> String {
         } else {
             format!("{} {}", op.kind.symbol(), op.label)
         };
-        let shape = if op.kind == OpKind::Const { "box" } else { "circle" };
+        let shape = if op.kind == OpKind::Const {
+            "box"
+        } else {
+            "circle"
+        };
         let _ = writeln!(s, "  n{} [label=\"{label}\", shape={shape}];", id.index());
     }
     for id in dfg.op_ids() {

@@ -55,7 +55,10 @@ impl fmt::Display for CdfgError {
             }
             CdfgError::UnknownBlock => write!(f, "region refers to an unknown block"),
             CdfgError::MissingExitVar { name } => {
-                write!(f, "loop exit variable `{name}` is not produced by the loop body")
+                write!(
+                    f,
+                    "loop exit variable `{name}` is not produced by the loop body"
+                )
             }
         }
     }

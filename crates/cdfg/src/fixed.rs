@@ -270,7 +270,11 @@ mod tests {
         for _ in 0..4 {
             y = (y + x / y) >> 1;
         }
-        assert!((y.to_f64() - 0.7f64.sqrt()).abs() < 1e-3, "y = {}", y.to_f64());
+        assert!(
+            (y.to_f64() - 0.7f64.sqrt()).abs() < 1e-3,
+            "y = {}",
+            y.to_f64()
+        );
     }
 
     #[test]

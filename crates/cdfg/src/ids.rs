@@ -22,7 +22,10 @@ impl<T> Id<T> {
     /// Creates an id from a raw index. Intended for arenas and tests.
     #[inline]
     pub fn from_raw(index: u32) -> Self {
-        Id { index, _marker: PhantomData }
+        Id {
+            index,
+            _marker: PhantomData,
+        }
     }
 
     /// Returns the raw index of this id.

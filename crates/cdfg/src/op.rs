@@ -251,7 +251,12 @@ pub struct Value {
 impl Value {
     /// Creates a value produced by `def` with the default 32-bit width.
     pub fn new(def: ValueDef) -> Self {
-        Value { def, uses: Vec::new(), width: 32, name: String::new() }
+        Value {
+            def,
+            uses: Vec::new(),
+            width: 32,
+            name: String::new(),
+        }
     }
 }
 

@@ -1,8 +1,9 @@
 //! Property-based tests for the IR: construction invariants, topological
 //! order, compaction, timing bounds, and fixed-point arithmetic.
+//! Runs on the in-repo `hls-testkit` runner (no external proptest).
 
 use hls_cdfg::{analysis, DataFlowGraph, Fx, OpKind, ValueId};
-use proptest::prelude::*;
+use hls_testkit::{forall, Config, SplitMix64};
 
 /// Builds an arbitrary acyclic DFG from a recipe: each entry picks an
 /// operator and two back-references into the values created so far.
@@ -29,8 +30,7 @@ fn build(recipe: &[(u8, u16, u16)], inputs: usize) -> DataFlowGraph {
     let unused: Vec<ValueId> = g
         .value_ids()
         .filter(|&v| {
-            g.value(v).uses.is_empty()
-                && matches!(g.value(v).def, hls_cdfg::ValueDef::Op(_))
+            g.value(v).uses.is_empty() && matches!(g.value(v).def, hls_cdfg::ValueDef::Op(_))
         })
         .collect();
     for (i, v) in unused.into_iter().enumerate() {
@@ -39,124 +39,157 @@ fn build(recipe: &[(u8, u16, u16)], inputs: usize) -> DataFlowGraph {
     g
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn gen_recipe(rng: &mut SplitMix64, min: usize, max: usize) -> Vec<(u8, u16, u16)> {
+    rng.vec(min, max, |r| {
+        (r.next_u32() as u8, r.next_u32() as u16, r.next_u32() as u16)
+    })
+}
 
-    /// Topological order visits every live op exactly once, producers
-    /// before consumers.
-    #[test]
-    fn topological_order_is_sound(
-        recipe in proptest::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 0..80),
-        inputs in 1usize..6,
-    ) {
-        let g = build(&recipe, inputs);
-        g.validate().unwrap();
-        let order = g.topological_order().unwrap();
-        prop_assert_eq!(order.len(), g.live_op_count());
-        let pos: std::collections::HashMap<_, _> =
-            order.iter().enumerate().map(|(i, &o)| (o, i)).collect();
-        for op in g.op_ids() {
-            for p in g.preds(op) {
-                prop_assert!(pos[&p] < pos[&op]);
-            }
-        }
-    }
-
-    /// Compaction preserves live op count, edge count, and outputs.
-    #[test]
-    fn compaction_preserves_structure(
-        recipe in proptest::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 0..60),
-    ) {
-        let g = build(&recipe, 3);
-        let ops = g.live_op_count();
-        let edges = g.edge_count();
-        let outs = g.outputs().len();
-        let g2 = g.into_compacted();
-        g2.validate().unwrap();
-        prop_assert_eq!(g2.live_op_count(), ops);
-        prop_assert_eq!(g2.edge_count(), edges);
-        prop_assert_eq!(g2.outputs().len(), outs);
-    }
-
-    /// ASAP ≤ ALAP for every op at every feasible deadline, and the
-    /// critical path equals the max ASAP finish.
-    #[test]
-    fn timing_bounds_are_consistent(
-        recipe in proptest::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 1..60),
-        slack in 0u32..5,
-    ) {
-        let g = build(&recipe, 3);
-        let (asap, cp) = analysis::asap_levels(&g, &analysis::no_free_ops).unwrap();
-        let bounds = analysis::bounds(&g, Some(cp + slack), &analysis::no_free_ops).unwrap();
-        for op in g.op_ids() {
-            prop_assert!(bounds.asap[&op] <= bounds.alap[&op], "{op:?}");
-            prop_assert_eq!(bounds.asap[&op], asap[&op]);
-            prop_assert!(bounds.alap[&op] < cp + slack);
-        }
-        let max_finish = g.op_ids().map(|o| asap[&o] + 1).max().unwrap_or(0);
-        prop_assert_eq!(cp, max_finish);
-    }
-
-    /// Killing an op never corrupts use lists (validate still passes once
-    /// its dependents are gone too).
-    #[test]
-    fn kill_op_is_consistent(
-        recipe in proptest::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 1..40),
-        victim in any::<u16>(),
-    ) {
-        let mut g = build(&recipe, 2);
-        let ops: Vec<_> = g.op_ids().collect();
-        let v = ops[victim as usize % ops.len()];
-        // Kill the victim and everything downstream of it (and any output
-        // records pointing into the killed cone).
-        let mut cone = vec![v];
-        let mut i = 0;
-        while i < cone.len() {
-            for s in g.succs(cone[i]) {
-                if !cone.contains(&s) {
-                    cone.push(s);
+/// Topological order visits every live op exactly once, producers
+/// before consumers.
+#[test]
+fn topological_order_is_sound() {
+    forall(
+        &Config::cases(64),
+        |rng| (gen_recipe(rng, 0, 80), rng.usize_in(1, 6)),
+        |(recipe, inputs)| {
+            let g = build(recipe, *inputs);
+            g.validate().unwrap();
+            let order = g.topological_order().unwrap();
+            assert_eq!(order.len(), g.live_op_count());
+            let pos: std::collections::HashMap<_, _> =
+                order.iter().enumerate().map(|(i, &o)| (o, i)).collect();
+            for op in g.op_ids() {
+                for p in g.preds(op) {
+                    assert!(pos[&p] < pos[&op]);
                 }
             }
-            i += 1;
-        }
-        let results: Vec<_> = cone.iter().filter_map(|&o| g.result(o)).collect();
-        for op in &cone {
-            g.kill_op(*op);
-        }
-        // Outputs referencing dead ops make validation fail (the documented
-        // contract); with no such output the graph stays valid.
-        if g.outputs().iter().any(|(_, v)| results.contains(v)) {
-            prop_assert!(g.validate().is_err());
-        } else {
-            prop_assert!(g.validate().is_ok());
-        }
-        // Use lists never point at dead ops after a kill.
-        for v in g.value_ids() {
-            for &u in &g.value(v).uses {
-                prop_assert!(!g.op(u).dead, "use list holds a dead op");
+        },
+    );
+}
+
+/// Compaction preserves live op count, edge count, and outputs.
+#[test]
+fn compaction_preserves_structure() {
+    forall(
+        &Config::cases(64),
+        |rng| gen_recipe(rng, 0, 60),
+        |recipe| {
+            let g = build(recipe, 3);
+            let ops = g.live_op_count();
+            let edges = g.edge_count();
+            let outs = g.outputs().len();
+            let g2 = g.into_compacted();
+            g2.validate().unwrap();
+            assert_eq!(g2.live_op_count(), ops);
+            assert_eq!(g2.edge_count(), edges);
+            assert_eq!(g2.outputs().len(), outs);
+        },
+    );
+}
+
+/// ASAP ≤ ALAP for every op at every feasible deadline, and the
+/// critical path equals the max ASAP finish.
+#[test]
+fn timing_bounds_are_consistent() {
+    forall(
+        &Config::cases(64),
+        |rng| (gen_recipe(rng, 1, 60), rng.u32_in(0, 5)),
+        |(recipe, slack)| {
+            let g = build(recipe, 3);
+            let (asap, cp) = analysis::asap_levels(&g, &analysis::no_free_ops).unwrap();
+            let bounds = analysis::bounds(&g, Some(cp + slack), &analysis::no_free_ops).unwrap();
+            for op in g.op_ids() {
+                assert!(bounds.asap[&op] <= bounds.alap[&op], "{op:?}");
+                assert_eq!(bounds.asap[&op], asap[&op]);
+                assert!(bounds.alap[&op] < cp + slack);
             }
-        }
-    }
+            let max_finish = g.op_ids().map(|o| asap[&o] + 1).max().unwrap_or(0);
+            assert_eq!(cp, max_finish);
+        },
+    );
+}
 
-    /// Fixed-point algebra: commutativity, associativity of add, shift =
-    /// scale, and division inverse (within representation error).
-    #[test]
-    fn fx_arithmetic_properties(a in -1000i64..1000, b in -1000i64..1000, c in 1i64..500) {
-        let (fa, fb, fc) = (Fx::from_i64(a), Fx::from_i64(b), Fx::from_i64(c));
-        prop_assert_eq!(fa + fb, fb + fa);
-        prop_assert_eq!(fa * fb, fb * fa);
-        prop_assert_eq!((fa + fb) + fc, fa + (fb + fc));
-        prop_assert_eq!(fa * Fx::from_i64(2), fa << 1);
-        // (a / c) * c ≈ a within one LSB per magnitude bit.
-        let round_trip = (fa / fc) * fc;
-        let err = (round_trip - fa).abs().to_f64().abs();
-        prop_assert!(err <= c as f64 / 65536.0 + 1e-9, "err = {err}");
-    }
+/// Killing an op never corrupts use lists (validate still passes once
+/// its dependents are gone too).
+#[test]
+fn kill_op_is_consistent() {
+    forall(
+        &Config::cases(64),
+        |rng| (gen_recipe(rng, 1, 40), rng.next_u32() as u16),
+        |(recipe, victim)| {
+            let mut g = build(recipe, 2);
+            let ops: Vec<_> = g.op_ids().collect();
+            let v = ops[*victim as usize % ops.len()];
+            // Kill the victim and everything downstream of it (and any output
+            // records pointing into the killed cone).
+            let mut cone = vec![v];
+            let mut i = 0;
+            while i < cone.len() {
+                for s in g.succs(cone[i]) {
+                    if !cone.contains(&s) {
+                        cone.push(s);
+                    }
+                }
+                i += 1;
+            }
+            let results: Vec<_> = cone.iter().filter_map(|&o| g.result(o)).collect();
+            for op in &cone {
+                g.kill_op(*op);
+            }
+            // Outputs referencing dead ops make validation fail (the documented
+            // contract); with no such output the graph stays valid.
+            if g.outputs().iter().any(|(_, v)| results.contains(v)) {
+                assert!(g.validate().is_err());
+            } else {
+                assert!(g.validate().is_ok());
+            }
+            // Use lists never point at dead ops after a kill.
+            for v in g.value_ids() {
+                for &u in &g.value(v).uses {
+                    assert!(!g.op(u).dead, "use list holds a dead op");
+                }
+            }
+        },
+    );
+}
 
-    /// Integer wrap matches modular arithmetic.
-    #[test]
-    fn wrap_int_bits_is_modular(v in 0i64..100_000, w in 1u8..20) {
-        let wrapped = Fx::from_i64(v).wrap_int_bits(w);
-        prop_assert_eq!(wrapped.to_i64(), v % (1i64 << w));
-    }
+/// Fixed-point algebra: commutativity, associativity of add, shift =
+/// scale, and division inverse (within representation error).
+#[test]
+fn fx_arithmetic_properties() {
+    forall(
+        &Config::cases(64),
+        |rng| {
+            (
+                rng.i64_in(-1000, 1000),
+                rng.i64_in(-1000, 1000),
+                rng.i64_in(1, 500),
+            )
+        },
+        |&(a, b, c)| {
+            let (fa, fb, fc) = (Fx::from_i64(a), Fx::from_i64(b), Fx::from_i64(c));
+            assert_eq!(fa + fb, fb + fa);
+            assert_eq!(fa * fb, fb * fa);
+            assert_eq!((fa + fb) + fc, fa + (fb + fc));
+            assert_eq!(fa * Fx::from_i64(2), fa << 1);
+            // (a / c) * c ≈ a within one LSB per magnitude bit.
+            let round_trip = (fa / fc) * fc;
+            let err = (round_trip - fa).abs().to_f64().abs();
+            assert!(err <= c as f64 / 65536.0 + 1e-9, "err = {err}");
+        },
+    );
+}
+
+/// Integer wrap matches modular arithmetic.
+#[test]
+fn wrap_int_bits_is_modular() {
+    forall(
+        &Config::cases(64),
+        |rng| (rng.i64_in(0, 100_000), rng.u32_in(1, 20) as u8),
+        |&(v, w)| {
+            let wrapped = Fx::from_i64(v).wrap_int_bits(w);
+            assert_eq!(wrapped.to_i64(), v % (1i64 << w));
+        },
+    );
 }

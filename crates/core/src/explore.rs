@@ -3,17 +3,40 @@
 //! "A good synthesis system can produce several designs for the same
 //! specification in a reasonable amount of time. This allows the developer
 //! to explore different trade-offs between cost, speed, power and so on"
-//! (§1.2). Sweeps resource limits and reports the area–latency Pareto
-//! front.
+//! (§1.2). This module sweeps resource limits, scheduling algorithms, and
+//! control styles over a behavior — serially via [`sweep_fus`]/[`sweep_grid`]
+//! or across every core via [`Explorer`] — and extracts the area–latency
+//! Pareto front.
+//!
+//! The parallel engine is the system's first genuinely concurrent hot
+//! path: grid points fan out over a work-stealing pool ([`crate::par`]),
+//! and a content-addressed memo cache (fingerprint of the lowered CDFG +
+//! the fully configured synthesizer → result summary) collapses repeated
+//! points so each distinct configuration is synthesized once. Result
+//! order is fixed by the grid, never by thread interleaving, so parallel
+//! sweeps are byte-identical to serial ones.
 
-use crate::pipeline::{SynthesisResult, Synthesizer};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use hls_cdfg::Cdfg;
+use hls_sched::Algorithm;
+
+use crate::par::{default_threads, ThreadPool};
+use crate::pipeline::{cdfg_fingerprint, ControlStyle, SynthesisResult, Synthesizer};
 use crate::SynthesisError;
 
 /// One explored design point.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DesignPoint {
     /// Functional units used.
     pub fus: usize,
+    /// Scheduling algorithm that produced the point.
+    pub algorithm: Algorithm,
+    /// Controller style of the point.
+    pub control: ControlStyle,
     /// Latency in control steps.
     pub latency: u64,
     /// Estimated area in gate equivalents.
@@ -25,13 +48,15 @@ pub struct DesignPoint {
 }
 
 impl DesignPoint {
-    fn from_result(fus: usize, r: &SynthesisResult) -> Self {
+    fn new(cfg: &PointConfig, s: PointSummary) -> Self {
         DesignPoint {
-            fus,
-            latency: r.latency,
-            area: r.area.total(),
-            registers: r.datapath.reg_count(),
-            mux_inputs: r.datapath.mux_inputs,
+            fus: cfg.fus,
+            algorithm: cfg.algorithm,
+            control: cfg.control,
+            latency: s.latency,
+            area: s.area,
+            registers: s.registers,
+            mux_inputs: s.mux_inputs,
         }
     }
 
@@ -43,41 +68,426 @@ impl DesignPoint {
     }
 }
 
+/// The numeric summary a sweep keeps per point (and what the memo cache
+/// stores — the full [`SynthesisResult`] would pin every netlist of a
+/// grid in memory).
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct PointSummary {
+    latency: u64,
+    area: f64,
+    registers: usize,
+    mux_inputs: usize,
+}
+
+impl PointSummary {
+    fn of(r: &SynthesisResult) -> Self {
+        PointSummary {
+            latency: r.latency,
+            area: r.area.total(),
+            registers: r.datapath.reg_count(),
+            mux_inputs: r.datapath.mux_inputs,
+        }
+    }
+}
+
+/// One grid coordinate: the overrides applied to the base synthesizer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct PointConfig {
+    fus: usize,
+    algorithm: Algorithm,
+    control: ControlStyle,
+}
+
+/// A multi-dimensional sweep specification: the cartesian product
+/// FU count × scheduling algorithm × control style, explored in exactly
+/// that nesting order (`fus` outermost, `controls` innermost).
+#[derive(Clone, Debug)]
+pub struct GridSpec {
+    /// Universal-FU counts to explore.
+    pub fus: Vec<usize>,
+    /// Scheduling algorithms to explore.
+    pub algorithms: Vec<Algorithm>,
+    /// Control styles to explore.
+    pub controls: Vec<ControlStyle>,
+}
+
+impl GridSpec {
+    /// A pure FU sweep (`1..=max_fus`) under `base`'s configured
+    /// algorithm and control style.
+    pub fn fu_sweep(base: &Synthesizer, max_fus: usize) -> Self {
+        GridSpec {
+            fus: (1..=max_fus).collect(),
+            algorithms: vec![base.configured_algorithm()],
+            controls: vec![base.configured_control()],
+        }
+    }
+
+    /// Number of grid points (duplicates included).
+    pub fn len(&self) -> usize {
+        self.fus.len() * self.algorithms.len() * self.controls.len()
+    }
+
+    /// `true` when any axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn points(&self) -> Vec<PointConfig> {
+        let mut out = Vec::with_capacity(self.len());
+        for &fus in &self.fus {
+            for &algorithm in &self.algorithms {
+                for &control in &self.controls {
+                    out.push(PointConfig {
+                        fus,
+                        algorithm,
+                        control,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Cache hit/miss counters of an [`Explorer`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Grid points answered from the memo cache (including waits on a
+    /// point another worker was already synthesizing).
+    pub hits: u64,
+    /// Grid points that ran full synthesis.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Content-addressed memo cache with in-flight deduplication: the first
+/// worker to claim a key synthesizes it; concurrent lookups of the same
+/// key park on a condvar and reuse the summary instead of repeating the
+/// work.
+struct MemoCache {
+    map: Mutex<HashMap<u64, Arc<CacheCell>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+struct CacheCell {
+    state: Mutex<CellState>,
+    ready: Condvar,
+}
+
+enum CellState {
+    Pending,
+    Done(PointSummary),
+    Failed(String),
+}
+
+impl MemoCache {
+    fn new() -> Self {
+        MemoCache {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::SeqCst),
+            misses: self.misses.load(Ordering::SeqCst),
+        }
+    }
+
+    fn get_or_compute(
+        &self,
+        key: u64,
+        compute: impl FnOnce() -> Result<PointSummary, SynthesisError>,
+    ) -> Result<PointSummary, SynthesisError> {
+        let (cell, owner) = {
+            let mut map = self.map.lock().expect("cache lock");
+            match map.entry(key) {
+                Entry::Occupied(e) => (Arc::clone(e.get()), false),
+                Entry::Vacant(v) => {
+                    let cell = Arc::new(CacheCell {
+                        state: Mutex::new(CellState::Pending),
+                        ready: Condvar::new(),
+                    });
+                    v.insert(Arc::clone(&cell));
+                    (cell, true)
+                }
+            }
+        };
+        if owner {
+            self.misses.fetch_add(1, Ordering::SeqCst);
+            let result = compute();
+            let mut state = cell.state.lock().expect("cell lock");
+            match &result {
+                Ok(s) => *state = CellState::Done(*s),
+                Err(e) => *state = CellState::Failed(e.to_string()),
+            }
+            cell.ready.notify_all();
+            result
+        } else {
+            self.hits.fetch_add(1, Ordering::SeqCst);
+            let mut state = cell.state.lock().expect("cell lock");
+            while matches!(*state, CellState::Pending) {
+                state = cell.ready.wait(state).expect("cell wait");
+            }
+            match &*state {
+                CellState::Done(s) => Ok(*s),
+                CellState::Failed(msg) => Err(SynthesisError::Explore(msg.clone())),
+                CellState::Pending => unreachable!("loop exits only on a final state"),
+            }
+        }
+    }
+}
+
+/// Applies a grid coordinate to the base synthesizer.
+fn configure(base: &Synthesizer, cfg: &PointConfig) -> Synthesizer {
+    base.clone()
+        .universal_fus(cfg.fus)
+        .algorithm(cfg.algorithm)
+        .control(cfg.control)
+}
+
+/// Synthesizes one point and summarizes it.
+fn run_point(syn: &Synthesizer, cdfg: &Cdfg) -> Result<PointSummary, SynthesisError> {
+    syn.synthesize(cdfg.clone()).map(|r| PointSummary::of(&r))
+}
+
 /// Sweeps universal-FU counts `1..=max_fus` over `source`, returning all
-/// design points in sweep order.
+/// design points in sweep order. Serial reference path; see
+/// [`Explorer::sweep_fus`] for the parallel, cached equivalent.
 ///
 /// # Errors
 ///
-/// Propagates the first synthesis failure.
+/// Propagates the first synthesis failure (in grid order).
 pub fn sweep_fus(
     base: &Synthesizer,
     source: &str,
     max_fus: usize,
 ) -> Result<Vec<DesignPoint>, SynthesisError> {
-    let mut out = Vec::new();
-    for fus in 1..=max_fus {
-        let r = base.clone().universal_fus(fus).synthesize_source(source)?;
-        out.push(DesignPoint::from_result(fus, &r));
+    sweep_grid(base, source, &GridSpec::fu_sweep(base, max_fus))
+}
+
+/// Serially sweeps the full cartesian grid over BSL `source`, returning
+/// points in grid order.
+///
+/// # Errors
+///
+/// Propagates parse errors and the first synthesis failure (in grid
+/// order).
+pub fn sweep_grid(
+    base: &Synthesizer,
+    source: &str,
+    spec: &GridSpec,
+) -> Result<Vec<DesignPoint>, SynthesisError> {
+    let cdfg = hls_lang::compile(source)?;
+    sweep_grid_cdfg(base, &cdfg, spec)
+}
+
+/// Serially sweeps the grid over an already-compiled behavior.
+///
+/// # Errors
+///
+/// Propagates the first synthesis failure (in grid order).
+pub fn sweep_grid_cdfg(
+    base: &Synthesizer,
+    cdfg: &Cdfg,
+    spec: &GridSpec,
+) -> Result<Vec<DesignPoint>, SynthesisError> {
+    spec.points()
+        .iter()
+        .map(|cfg| run_point(&configure(base, cfg), cdfg).map(|s| DesignPoint::new(cfg, s)))
+        .collect()
+}
+
+/// The parallel, cached exploration engine.
+///
+/// Owns a work-stealing thread pool and a content-addressed memo cache;
+/// both live across sweeps, so re-exploring a behavior (or overlapping
+/// grids) is answered from the cache. Sizing: [`Explorer::new`] uses one
+/// worker per available core, overridable with the `HLS_EXPLORE_THREADS`
+/// environment variable or [`Explorer::with_threads`].
+///
+/// # Examples
+///
+/// ```
+/// use hls_core::{Explorer, Synthesizer};
+///
+/// let explorer = Explorer::with_threads(2);
+/// let base = Synthesizer::new();
+/// let points = explorer.sweep_fus(&base, hls_workloads::sources::SQRT, 3)?;
+/// assert_eq!(points.len(), 3);
+/// // Identical to the serial reference sweep, in the same order.
+/// assert_eq!(points, hls_core::sweep_fus(&base, hls_workloads::sources::SQRT, 3)?);
+/// # Ok::<(), hls_core::SynthesisError>(())
+/// ```
+#[derive(Debug)]
+pub struct Explorer {
+    pool: ThreadPool,
+    cache: Arc<MemoCache>,
+}
+
+impl std::fmt::Debug for MemoCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoCache")
+            .field("stats", &self.stats())
+            .finish()
     }
-    Ok(out)
+}
+
+impl Explorer {
+    /// An explorer with [`default_threads`] workers.
+    pub fn new() -> Self {
+        Self::with_threads(default_threads())
+    }
+
+    /// An explorer with exactly `threads` workers (min 1).
+    pub fn with_threads(threads: usize) -> Self {
+        Explorer {
+            pool: ThreadPool::new(threads),
+            cache: Arc::new(MemoCache::new()),
+        }
+    }
+
+    /// Number of pool workers.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Cumulative cache counters across every sweep this explorer ran.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Parallel, cached FU sweep; same results and order as [`sweep_fus`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse errors and the first synthesis failure (in grid
+    /// order).
+    pub fn sweep_fus(
+        &self,
+        base: &Synthesizer,
+        source: &str,
+        max_fus: usize,
+    ) -> Result<Vec<DesignPoint>, SynthesisError> {
+        self.sweep_grid(base, source, &GridSpec::fu_sweep(base, max_fus))
+    }
+
+    /// Parallel, cached grid sweep over BSL `source`; same results and
+    /// order as [`sweep_grid`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse errors and the first synthesis failure (in grid
+    /// order).
+    pub fn sweep_grid(
+        &self,
+        base: &Synthesizer,
+        source: &str,
+        spec: &GridSpec,
+    ) -> Result<Vec<DesignPoint>, SynthesisError> {
+        let cdfg = hls_lang::compile(source)?;
+        self.sweep_grid_cdfg(base, &cdfg, spec)
+    }
+
+    /// Parallel, cached grid sweep over an already-compiled behavior;
+    /// same results and order as [`sweep_grid_cdfg`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first synthesis failure (in grid order).
+    pub fn sweep_grid_cdfg(
+        &self,
+        base: &Synthesizer,
+        cdfg: &Cdfg,
+        spec: &GridSpec,
+    ) -> Result<Vec<DesignPoint>, SynthesisError> {
+        let behavior_fp = cdfg_fingerprint(cdfg);
+        let base = Arc::new(base.clone());
+        let cdfg = Arc::new(cdfg.clone());
+        let cache = Arc::clone(&self.cache);
+        let results = self.pool.map(spec.points(), move |_, cfg| {
+            let syn = configure(&base, &cfg);
+            let key = memo_key(behavior_fp, syn.fingerprint());
+            cache
+                .get_or_compute(key, || run_point(&syn, &cdfg))
+                .map(|s| DesignPoint::new(&cfg, s))
+        });
+        // First error in grid order, independent of completion order.
+        results.into_iter().collect()
+    }
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Combines the behavior and configuration fingerprints into one cache
+/// key (FNV-1a over both digests).
+fn memo_key(behavior_fp: u64, config_fp: u64) -> u64 {
+    let mut w = hls_testkit::FnvWriter::new();
+    w.update(&behavior_fp.to_le_bytes());
+    w.update(&config_fp.to_le_bytes());
+    w.finish()
 }
 
 /// Filters `points` down to the area–latency Pareto front, sorted by
 /// latency.
+///
+/// Single sort + sweep (`O(n log n)`): after sorting by (latency, area),
+/// a point is on the front iff its area is strictly below every area
+/// seen so far. Duplicate (latency, area) pairs collapse to one point.
 pub fn pareto_front(points: &[DesignPoint]) -> Vec<DesignPoint> {
-    let mut front: Vec<DesignPoint> = points
-        .iter()
-        .filter(|p| !points.iter().any(|q| q.dominates(p)))
-        .cloned()
-        .collect();
-    front.sort_by_key(|p| (p.latency, p.area as u64));
-    front.dedup_by(|a, b| a.latency == b.latency && a.area == b.area);
+    let mut sorted: Vec<&DesignPoint> = points.iter().collect();
+    sorted.sort_by(|a, b| {
+        a.latency.cmp(&b.latency).then(
+            a.area
+                .partial_cmp(&b.area)
+                .unwrap_or(std::cmp::Ordering::Equal),
+        )
+    });
+    let mut front = Vec::new();
+    let mut best_area = f64::INFINITY;
+    for p in sorted {
+        if p.area < best_area {
+            best_area = p.area;
+            front.push(p.clone());
+        }
+    }
     front
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hls_sched::Priority;
+
+    fn point(latency: u64, area: f64) -> DesignPoint {
+        DesignPoint {
+            fus: 1,
+            algorithm: Algorithm::List(Priority::PathLength),
+            control: ControlStyle::Hardwired(hls_ctrl::EncodingStyle::Binary),
+            latency,
+            area,
+            registers: 3,
+            mux_inputs: 2,
+        }
+    }
 
     #[test]
     fn sweep_trades_area_for_speed() {
@@ -108,13 +518,45 @@ mod tests {
     }
 
     #[test]
+    fn pareto_front_minimal_on_fixture() {
+        // Hand-built: b dominated by a, d dominated by c, e a duplicate
+        // of c, f on the front (slower but smaller than everything).
+        let a = point(10, 100.0);
+        let b = point(12, 120.0);
+        let c = point(8, 130.0);
+        let d = point(9, 135.0);
+        let e = point(8, 130.0);
+        let f = point(14, 90.0);
+        let front = pareto_front(&[a.clone(), b, c.clone(), d, e, f.clone()]);
+        assert_eq!(front, vec![c, a, f]);
+    }
+
+    #[test]
     fn dominance_semantics() {
-        let a = DesignPoint { fus: 1, latency: 10, area: 100.0, registers: 3, mux_inputs: 2 };
-        let b = DesignPoint { fus: 2, latency: 12, area: 120.0, registers: 3, mux_inputs: 2 };
-        let c = DesignPoint { fus: 2, latency: 8, area: 130.0, registers: 3, mux_inputs: 2 };
+        let a = point(10, 100.0);
+        let b = point(12, 120.0);
+        let c = point(8, 130.0);
         assert!(a.dominates(&b));
         assert!(!a.dominates(&c));
         assert!(!c.dominates(&a));
         assert!(!a.dominates(&a), "no self-domination");
+    }
+
+    #[test]
+    fn grid_spec_order_and_len() {
+        let base = Synthesizer::new();
+        let spec = GridSpec {
+            fus: vec![1, 2],
+            algorithms: vec![Algorithm::Asap, Algorithm::List(Priority::Urgency)],
+            controls: vec![ControlStyle::Microcode],
+        };
+        assert_eq!(spec.len(), 4);
+        assert!(!spec.is_empty());
+        let pts = spec.points();
+        assert_eq!(pts[0].fus, 1);
+        assert_eq!(pts[0].algorithm, Algorithm::Asap);
+        assert_eq!(pts[1].algorithm, Algorithm::List(Priority::Urgency));
+        assert_eq!(pts[2].fus, 2);
+        let _ = &base;
     }
 }

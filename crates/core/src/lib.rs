@@ -20,11 +20,15 @@
 #![forbid(unsafe_code)]
 
 mod explore;
+pub mod par;
 mod pipeline;
 mod report;
 
-pub use explore::{pareto_front, sweep_fus, DesignPoint};
-pub use pipeline::{ControlReport, ControlStyle, SynthesisResult, Synthesizer};
+pub use explore::{
+    pareto_front, sweep_fus, sweep_grid, sweep_grid_cdfg, CacheStats, DesignPoint, Explorer,
+    GridSpec,
+};
+pub use pipeline::{cdfg_fingerprint, ControlReport, ControlStyle, SynthesisResult, Synthesizer};
 
 use std::error::Error;
 use std::fmt;
@@ -43,6 +47,10 @@ pub enum SynthesisError {
     Ctrl(hls_ctrl::CtrlError),
     /// Simulation failure during verification.
     Sim(hls_sim::SimError),
+    /// A cached exploration point whose original synthesis failed; the
+    /// message is the original error's rendering (the typed error went
+    /// to whichever sweep computed the point first).
+    Explore(String),
 }
 
 impl fmt::Display for SynthesisError {
@@ -53,6 +61,7 @@ impl fmt::Display for SynthesisError {
             SynthesisError::Alloc(e) => write!(f, "allocate: {e}"),
             SynthesisError::Ctrl(e) => write!(f, "control: {e}"),
             SynthesisError::Sim(e) => write!(f, "simulate: {e}"),
+            SynthesisError::Explore(msg) => write!(f, "explore (cached failure): {msg}"),
         }
     }
 }
@@ -65,6 +74,7 @@ impl Error for SynthesisError {
             SynthesisError::Alloc(e) => Some(e),
             SynthesisError::Ctrl(e) => Some(e),
             SynthesisError::Sim(e) => Some(e),
+            SynthesisError::Explore(_) => None,
         }
     }
 }

@@ -130,6 +130,24 @@ impl Synthesizer {
         self
     }
 
+    /// The currently configured scheduling algorithm.
+    pub fn configured_algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The currently configured control style.
+    pub fn configured_control(&self) -> ControlStyle {
+        self.control
+    }
+
+    /// A content fingerprint of the full configuration (64-bit FNV-1a
+    /// over the canonical `Debug` rendering). Equal configurations hash
+    /// equal across runs and platforms; the exploration memo cache keys
+    /// on this together with [`cdfg_fingerprint`].
+    pub fn fingerprint(&self) -> u64 {
+        debug_fingerprint(self)
+    }
+
     /// Synthesizes BSL source text.
     ///
     /// # Errors
@@ -158,11 +176,18 @@ impl Synthesizer {
         }
         let schedule = schedule_cdfg(&cdfg, &self.classifier, &self.limits, self.algorithm)?;
         let latency = schedule.total_latency(&cdfg);
-        let datapath =
-            build_datapath(&cdfg, &schedule, &self.classifier, &self.library, self.fu_strategy)?;
+        let datapath = build_datapath(
+            &cdfg,
+            &schedule,
+            &self.classifier,
+            &self.library,
+            self.fu_strategy,
+        )?;
         let fsm = build_fsm(&cdfg, &schedule, &datapath, &self.classifier)?;
         let control_report = match self.control {
-            ControlStyle::Hardwired(style) => ControlReport::Hardwired(hardwired_logic(&fsm, style)?),
+            ControlStyle::Hardwired(style) => {
+                ControlReport::Hardwired(hardwired_logic(&fsm, style)?)
+            }
             ControlStyle::Microcode => {
                 let mp = microcode(&fsm);
                 ControlReport::Microcode {
@@ -193,6 +218,23 @@ impl Default for Synthesizer {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// A cheap content fingerprint of a lowered behavior: 64-bit FNV-1a over
+/// its canonical `Debug` rendering (blocks, ops, values, control tree).
+/// Structurally identical CDFGs hash equal across runs and platforms;
+/// this is the behavior half of the exploration memo-cache key.
+pub fn cdfg_fingerprint(cdfg: &Cdfg) -> u64 {
+    debug_fingerprint(cdfg)
+}
+
+/// Streams `value`'s `Debug` rendering through an FNV-1a hasher without
+/// materializing the string.
+fn debug_fingerprint(value: &impl std::fmt::Debug) -> u64 {
+    use std::fmt::Write as _;
+    let mut w = hls_testkit::FnvWriter::new();
+    write!(w, "{value:?}").expect("FnvWriter never fails");
+    w.finish()
 }
 
 /// Controller cost summary.
@@ -260,7 +302,11 @@ impl SynthesisResult {
     ///
     /// Propagates simulation errors; a mismatch is reported in the
     /// returned [`hls_sim::Equivalence`], not as an error.
-    pub fn verify(&self, n: usize, range: (f64, f64)) -> Result<hls_sim::Equivalence, SynthesisError> {
+    pub fn verify(
+        &self,
+        n: usize,
+        range: (f64, f64),
+    ) -> Result<hls_sim::Equivalence, SynthesisError> {
         Ok(hls_sim::check_random_vectors(
             &self.cdfg,
             &self.schedule,
@@ -310,7 +356,11 @@ mod tests {
             .synthesize_source(hls_workloads::sources::SQRT)
             .unwrap();
         match r.control_report {
-            ControlReport::Microcode { words, horizontal_bits, encoded_bits } => {
+            ControlReport::Microcode {
+                words,
+                horizontal_bits,
+                encoded_bits,
+            } => {
                 assert_eq!(words, 5);
                 assert!(encoded_bits < horizontal_bits);
             }
@@ -350,7 +400,12 @@ mod tests {
             .with_if_conversion()
             .synthesize_source(hls_workloads::sources::GCD)
             .unwrap();
-        assert!(conv.fsm.len() < plain.fsm.len(), "{} vs {}", conv.fsm.len(), plain.fsm.len());
+        assert!(
+            conv.fsm.len() < plain.fsm.len(),
+            "{} vs {}",
+            conv.fsm.len(),
+            plain.fsm.len()
+        );
         assert!(conv.fsm.flags.len() < plain.fsm.flags.len());
         let eq = conv.verify(10, (1.0, 64.0)).unwrap();
         assert!(eq.equivalent, "{:?}", eq.mismatch);
@@ -367,7 +422,9 @@ mod tests {
 
     #[test]
     fn parse_errors_propagate() {
-        let err = Synthesizer::new().synthesize_source("program ; begin end").unwrap_err();
+        let err = Synthesizer::new()
+            .synthesize_source("program ; begin end")
+            .unwrap_err();
         assert!(err.to_string().contains("identifier"));
     }
 }

@@ -41,7 +41,11 @@ impl SynthesisResult {
                     h.literals
                 );
             }
-            ControlReport::Microcode { words, horizontal_bits, encoded_bits } => {
+            ControlReport::Microcode {
+                words,
+                horizontal_bits,
+                encoded_bits,
+            } => {
                 let _ = writeln!(
                     s,
                     "  control     : microcode ({words} words, {horizontal_bits}b horizontal / {encoded_bits}b encoded)",

@@ -1,0 +1,209 @@
+//! Differential tests for the parallel, cached exploration engine: the
+//! parallel path must be byte-identical to the serial reference, cached
+//! points must actually hit, and every explored point must respect the
+//! dependence lower bound.
+
+use hls_core::{
+    pareto_front, sweep_fus, sweep_grid, ControlStyle, Explorer, GridSpec, Synthesizer,
+};
+use hls_ctrl::EncodingStyle;
+use hls_sched::{Algorithm, Priority};
+
+fn grid() -> GridSpec {
+    GridSpec {
+        fus: vec![1, 2, 3],
+        algorithms: vec![
+            Algorithm::Asap,
+            Algorithm::List(Priority::PathLength),
+            Algorithm::List(Priority::Urgency),
+        ],
+        controls: vec![
+            ControlStyle::Hardwired(EncodingStyle::Binary),
+            ControlStyle::Microcode,
+        ],
+    }
+}
+
+/// (a) Parallel `sweep_fus` returns byte-identical `DesignPoint` vectors
+/// to the serial path, at several thread counts.
+#[test]
+fn parallel_sweep_fus_matches_serial() {
+    let base = Synthesizer::new();
+    let serial = sweep_fus(&base, hls_workloads::sources::DIFFEQ, 5).unwrap();
+    for threads in [1, 2, 4, 8] {
+        let par = Explorer::with_threads(threads)
+            .sweep_fus(&base, hls_workloads::sources::DIFFEQ, 5)
+            .unwrap();
+        assert_eq!(par, serial, "thread count {threads} diverged from serial");
+    }
+}
+
+/// (a') The full multi-dimensional grid is also identical and
+/// order-stable across repeated parallel runs.
+#[test]
+fn parallel_sweep_grid_matches_serial_and_is_order_stable() {
+    let base = Synthesizer::new();
+    let spec = grid();
+    let serial = sweep_grid(&base, hls_workloads::sources::DIFFEQ, &spec).unwrap();
+    assert_eq!(serial.len(), spec.len());
+    let explorer = Explorer::with_threads(4);
+    let first = explorer
+        .sweep_grid(&base, hls_workloads::sources::DIFFEQ, &spec)
+        .unwrap();
+    let second = explorer
+        .sweep_grid(&base, hls_workloads::sources::DIFFEQ, &spec)
+        .unwrap();
+    assert_eq!(first, serial, "parallel grid diverged from serial");
+    assert_eq!(second, serial, "warm-cache rerun diverged");
+}
+
+/// (b) The unconstrained dependence bound (ASAP latency with effectively
+/// unlimited FUs) never exceeds the resource-constrained list latency of
+/// any explored point.
+#[test]
+fn asap_bound_holds_for_every_explored_point() {
+    let base = Synthesizer::new();
+    let asap_floor = base
+        .clone()
+        .universal_fus(64)
+        .algorithm(Algorithm::Asap)
+        .synthesize_source(hls_workloads::sources::DIFFEQ)
+        .unwrap()
+        .latency;
+    let spec = GridSpec {
+        fus: vec![1, 2, 3, 4],
+        algorithms: vec![
+            Algorithm::List(Priority::PathLength),
+            Algorithm::List(Priority::Urgency),
+            Algorithm::List(Priority::Mobility),
+        ],
+        controls: vec![ControlStyle::Hardwired(EncodingStyle::Binary)],
+    };
+    let points = Explorer::with_threads(4)
+        .sweep_grid(&base, hls_workloads::sources::DIFFEQ, &spec)
+        .unwrap();
+    for p in &points {
+        assert!(
+            asap_floor <= p.latency,
+            "dependence bound {asap_floor} exceeds list latency {} at {p:?}",
+            p.latency
+        );
+    }
+}
+
+/// (c) The memo cache reports hits on repeated grid points: a grid with
+/// duplicated coordinates synthesizes each distinct point once, and a
+/// rerun of the same sweep is answered entirely from cache.
+#[test]
+fn memo_cache_hits_on_repeated_points() {
+    let base = Synthesizer::new();
+    let explorer = Explorer::with_threads(2);
+    // Duplicate FU axis: 6 grid points but only 3 distinct configurations.
+    let spec = GridSpec {
+        fus: vec![1, 2, 3, 1, 2, 3],
+        algorithms: vec![Algorithm::List(Priority::PathLength)],
+        controls: vec![ControlStyle::Hardwired(EncodingStyle::Binary)],
+    };
+    let points = explorer
+        .sweep_grid(&base, hls_workloads::sources::SQRT, &spec)
+        .unwrap();
+    assert_eq!(points.len(), 6);
+    assert_eq!(points[0], points[3]);
+    assert_eq!(points[1], points[4]);
+    assert_eq!(points[2], points[5]);
+    let stats = explorer.cache_stats();
+    assert_eq!(
+        stats.misses, 3,
+        "each distinct point synthesized once: {stats:?}"
+    );
+    assert_eq!(
+        stats.hits, 3,
+        "each duplicate answered from cache: {stats:?}"
+    );
+    // Re-sweeping adds zero misses.
+    explorer
+        .sweep_grid(&base, hls_workloads::sources::SQRT, &spec)
+        .unwrap();
+    let rerun = explorer.cache_stats();
+    assert_eq!(
+        rerun.misses, 3,
+        "warm rerun must not resynthesize: {rerun:?}"
+    );
+    assert_eq!(rerun.hits, 9);
+    assert!(rerun.hit_rate() > 0.74 && rerun.hit_rate() < 0.76);
+}
+
+/// Distinct behaviors and distinct configurations never collide in the
+/// cache: sweeping a second workload after the first keeps results
+/// correct (no cross-workload reuse).
+#[test]
+fn cache_is_content_addressed_across_workloads() {
+    let base = Synthesizer::new();
+    let explorer = Explorer::with_threads(2);
+    let sqrt = explorer
+        .sweep_fus(&base, hls_workloads::sources::SQRT, 3)
+        .unwrap();
+    let diffeq = explorer
+        .sweep_fus(&base, hls_workloads::sources::DIFFEQ, 3)
+        .unwrap();
+    assert_eq!(
+        sqrt,
+        sweep_fus(&base, hls_workloads::sources::SQRT, 3).unwrap()
+    );
+    assert_eq!(
+        diffeq,
+        sweep_fus(&base, hls_workloads::sources::DIFFEQ, 3).unwrap()
+    );
+    assert_ne!(sqrt, diffeq);
+    assert_eq!(
+        explorer.cache_stats().misses,
+        6,
+        "6 distinct (behavior, config) points"
+    );
+}
+
+/// (d) `pareto_front` output is minimal and dominance-sound on the full
+/// grid: no front point dominates another, every non-front point is
+/// dominated by (or duplicates) a front point.
+#[test]
+fn pareto_front_minimal_and_sound_on_grid() {
+    let base = Synthesizer::new();
+    let points = Explorer::with_threads(4)
+        .sweep_grid(&base, hls_workloads::sources::DIFFEQ, &grid())
+        .unwrap();
+    let front = pareto_front(&points);
+    assert!(!front.is_empty());
+    // Soundness: the front is mutually non-dominated.
+    for (i, a) in front.iter().enumerate() {
+        for (j, b) in front.iter().enumerate() {
+            if i != j {
+                assert!(!a.dominates(b), "{a:?} dominates front member {b:?}");
+            }
+        }
+    }
+    // Minimality: everything off the front is dominated by or equal (in
+    // both objectives) to some front member.
+    for p in &points {
+        let on_front = front
+            .iter()
+            .any(|f| f.latency == p.latency && f.area == p.area);
+        if !on_front {
+            assert!(
+                front.iter().any(|f| f.dominates(p)),
+                "non-front point {p:?} is not dominated by any front member"
+            );
+        }
+    }
+}
+
+/// Synthesis failures propagate deterministically: the first failing grid
+/// point in grid order, independent of interleaving.
+#[test]
+fn first_error_in_grid_order_propagates() {
+    let base = Synthesizer::new();
+    let explorer = Explorer::with_threads(4);
+    let err = explorer
+        .sweep_grid(&base, "program ; begin end", &grid())
+        .unwrap_err();
+    assert!(err.to_string().contains("identifier"), "{err}");
+}

@@ -45,7 +45,11 @@ pub fn encode_states(fsm: &Fsm, style: EncodingStyle) -> Encoding {
     match style {
         EncodingStyle::Binary => {
             let bits = (usize::BITS - (n - 1).leading_zeros()).max(1);
-            Encoding { style, bits, codes: (0..n as u64).collect() }
+            Encoding {
+                style,
+                bits,
+                codes: (0..n as u64).collect(),
+            }
         }
         EncodingStyle::OneHot => Encoding {
             style,
@@ -54,7 +58,11 @@ pub fn encode_states(fsm: &Fsm, style: EncodingStyle) -> Encoding {
         },
         EncodingStyle::Gray => {
             let bits = (usize::BITS - (n - 1).leading_zeros()).max(1);
-            Encoding { style, bits, codes: (0..n as u64).map(|i| i ^ (i >> 1)).collect() }
+            Encoding {
+                style,
+                bits,
+                codes: (0..n as u64).map(|i| i ^ (i >> 1)).collect(),
+            }
         }
     }
 }
@@ -210,7 +218,11 @@ pub fn hardwired_logic(fsm: &Fsm, style: EncodingStyle) -> Result<HardwiredRepor
 /// Compares encodings on the same FSM, for experiment E13.
 pub fn compare_encodings(fsm: &Fsm) -> Result<BTreeMap<&'static str, HardwiredReport>, CtrlError> {
     let mut out = BTreeMap::new();
-    for style in [EncodingStyle::Binary, EncodingStyle::OneHot, EncodingStyle::Gray] {
+    for style in [
+        EncodingStyle::Binary,
+        EncodingStyle::OneHot,
+        EncodingStyle::Gray,
+    ] {
         out.insert(style.name(), hardwired_logic(fsm, style)?);
     }
     Ok(out)
@@ -231,17 +243,44 @@ mod tests {
         };
         Fsm {
             states: vec![
-                mk("s0", &["load_a"], vec![Transition { cond: Cond::Always, to: 1 }]),
-                mk("s1", &["alu_add", "load_b"], vec![Transition { cond: Cond::Always, to: 2 }]),
+                mk(
+                    "s0",
+                    &["load_a"],
+                    vec![Transition {
+                        cond: Cond::Always,
+                        to: 1,
+                    }],
+                ),
+                mk(
+                    "s1",
+                    &["alu_add", "load_b"],
+                    vec![Transition {
+                        cond: Cond::Always,
+                        to: 2,
+                    }],
+                ),
                 mk(
                     "s2",
                     &["alu_add"],
                     vec![
-                        Transition { cond: Cond::IsFalse("done".into()), to: 0 },
-                        Transition { cond: Cond::IsTrue("done".into()), to: 3 },
+                        Transition {
+                            cond: Cond::IsFalse("done".into()),
+                            to: 0,
+                        },
+                        Transition {
+                            cond: Cond::IsTrue("done".into()),
+                            to: 3,
+                        },
                     ],
                 ),
-                mk("s3", &[], vec![Transition { cond: Cond::Always, to: 3 }]),
+                mk(
+                    "s3",
+                    &[],
+                    vec![Transition {
+                        cond: Cond::Always,
+                        to: 3,
+                    }],
+                ),
             ],
             initial: 0,
             done: 3,

@@ -78,7 +78,10 @@ impl Fsm {
 
     /// Every distinct control signal, sorted.
     pub fn signal_set(&self) -> BTreeSet<String> {
-        self.states.iter().flat_map(|s| s.signals.iter().cloned()).collect()
+        self.states
+            .iter()
+            .flat_map(|s| s.signals.iter().cloned())
+            .collect()
     }
 
     /// Checks that every transition target exists and every state (except
@@ -118,17 +121,28 @@ pub fn build_fsm(
     datapath: &Datapath,
     classifier: &OpClassifier,
 ) -> Result<Fsm, CtrlError> {
-    let mut b = Builder { cdfg, schedule, datapath, classifier, fsm: Fsm::default() };
+    let mut b = Builder {
+        cdfg,
+        schedule,
+        datapath,
+        classifier,
+        fsm: Fsm::default(),
+    };
     let (entry, exits) = b.emit_region(cdfg.body())?;
     // Terminal state.
     let done = b.fsm.states.len();
     b.fsm.states.push(State {
         name: "done".to_string(),
         signals: BTreeSet::new(),
-        transitions: vec![Transition { cond: Cond::Always, to: done }],
+        transitions: vec![Transition {
+            cond: Cond::Always,
+            to: done,
+        }],
     });
     for (state, cond) in exits {
-        b.fsm.states[state].transitions.push(Transition { cond, to: done });
+        b.fsm.states[state]
+            .transitions
+            .push(Transition { cond, to: done });
     }
     b.fsm.initial = entry.unwrap_or(done);
     b.fsm.done = done;
@@ -175,50 +189,48 @@ impl Builder<'_> {
                 }
                 Ok((entry, exits))
             }
-            Region::Loop(l) => {
-                match (l.kind, l.cond_block) {
-                    (LoopKind::DoUntil, _) => {
-                        let (entry, body_exits) = self.emit_region(&l.body)?;
-                        let Some(entry) = entry else {
-                            return Ok((None, Vec::new()));
-                        };
-                        let mut exits = Vec::new();
-                        for (state, _) in body_exits {
-                            self.fsm.states[state].transitions.push(Transition {
-                                cond: Cond::IsFalse(l.exit_var.clone()),
-                                to: entry,
-                            });
-                            exits.push((state, Cond::IsTrue(l.exit_var.clone())));
-                        }
-                        self.fsm.flags.insert(l.exit_var.clone());
-                        Ok((Some(entry), exits))
+            Region::Loop(l) => match (l.kind, l.cond_block) {
+                (LoopKind::DoUntil, _) => {
+                    let (entry, body_exits) = self.emit_region(&l.body)?;
+                    let Some(entry) = entry else {
+                        return Ok((None, Vec::new()));
+                    };
+                    let mut exits = Vec::new();
+                    for (state, _) in body_exits {
+                        self.fsm.states[state].transitions.push(Transition {
+                            cond: Cond::IsFalse(l.exit_var.clone()),
+                            to: entry,
+                        });
+                        exits.push((state, Cond::IsTrue(l.exit_var.clone())));
                     }
-                    (LoopKind::While, cond_block) => {
-                        let cb = cond_block.ok_or_else(|| CtrlError::MalformedFsm {
-                            detail: "while loop without a condition block".to_string(),
-                        })?;
-                        let (centry, cexits) = self.emit_block(cb, true)?;
-                        let centry = centry.expect("forced block state");
-                        let (bentry, bexits) = self.emit_region(&l.body)?;
-                        let btarget = bentry.unwrap_or(centry);
-                        let mut exits = Vec::new();
-                        for (state, _) in cexits {
-                            self.fsm.states[state].transitions.push(Transition {
-                                cond: Cond::IsTrue(l.exit_var.clone()),
-                                to: btarget,
-                            });
-                            exits.push((state, Cond::IsFalse(l.exit_var.clone())));
-                        }
-                        for (state, cond) in bexits {
-                            self.fsm.states[state]
-                                .transitions
-                                .push(Transition { cond, to: centry });
-                        }
-                        self.fsm.flags.insert(l.exit_var.clone());
-                        Ok((Some(centry), exits))
-                    }
+                    self.fsm.flags.insert(l.exit_var.clone());
+                    Ok((Some(entry), exits))
                 }
-            }
+                (LoopKind::While, cond_block) => {
+                    let cb = cond_block.ok_or_else(|| CtrlError::MalformedFsm {
+                        detail: "while loop without a condition block".to_string(),
+                    })?;
+                    let (centry, cexits) = self.emit_block(cb, true)?;
+                    let centry = centry.expect("forced block state");
+                    let (bentry, bexits) = self.emit_region(&l.body)?;
+                    let btarget = bentry.unwrap_or(centry);
+                    let mut exits = Vec::new();
+                    for (state, _) in cexits {
+                        self.fsm.states[state].transitions.push(Transition {
+                            cond: Cond::IsTrue(l.exit_var.clone()),
+                            to: btarget,
+                        });
+                        exits.push((state, Cond::IsFalse(l.exit_var.clone())));
+                    }
+                    for (state, cond) in bexits {
+                        self.fsm.states[state]
+                            .transitions
+                            .push(Transition { cond, to: centry });
+                    }
+                    self.fsm.flags.insert(l.exit_var.clone());
+                    Ok((Some(centry), exits))
+                }
+            },
             Region::If(i) => {
                 let (centry, cexits) = self.emit_block(i.cond_block, true)?;
                 let centry = centry.expect("forced block state");
@@ -262,12 +274,19 @@ impl Builder<'_> {
     ) -> Result<(Option<StateId>, Exits), CtrlError> {
         let dfg = &self.cdfg.block(block).dfg;
         let name = &self.cdfg.block(block).name;
-        let sched = self.schedule.block(block).ok_or_else(|| CtrlError::MissingBinding {
-            block: name.clone(),
-        })?;
-        let binding = self.datapath.blocks.get(&block).ok_or_else(|| {
-            CtrlError::MissingBinding { block: name.clone() }
-        })?;
+        let sched = self
+            .schedule
+            .block(block)
+            .ok_or_else(|| CtrlError::MissingBinding {
+                block: name.clone(),
+            })?;
+        let binding =
+            self.datapath
+                .blocks
+                .get(&block)
+                .ok_or_else(|| CtrlError::MissingBinding {
+                    block: name.clone(),
+                })?;
         let steps = sched.num_steps();
         if steps == 0 && !force_state {
             return Ok((None, Vec::new()));
@@ -297,9 +316,7 @@ impl Builder<'_> {
                             signals.insert(format!("r{r}<=fu{f}"));
                         }
                     }
-                } else if self.classifier.is_free(dfg, op)
-                    && dfg.op(op).kind != OpKind::Const
-                {
+                } else if self.classifier.is_free(dfg, op) && dfg.op(op).kind != OpKind::Const {
                     // Chained free op whose result is stored.
                     if let Some(res) = dfg.result(op) {
                         if let Some(&r) = binding.value_reg.get(&res) {
@@ -314,8 +331,7 @@ impl Builder<'_> {
                                 dfg.op(op).operands[0],
                                 step,
                             );
-                            signals
-                                .insert(format!("r{r}<={drive}{}", dfg.op(op).kind.symbol()));
+                            signals.insert(format!("r{r}<={drive}{}", dfg.op(op).kind.symbol()));
                         }
                     }
                 }
@@ -344,9 +360,10 @@ impl Builder<'_> {
                 transitions: Vec::new(),
             });
             if id > first {
-                self.fsm.states[id - 1]
-                    .transitions
-                    .push(Transition { cond: Cond::Always, to: id });
+                self.fsm.states[id - 1].transitions.push(Transition {
+                    cond: Cond::Always,
+                    to: id,
+                });
             }
         }
         let last = self.fsm.states.len() - 1;
@@ -368,8 +385,14 @@ mod tests {
         let limits = ResourceLimits::universal(2);
         let sched =
             schedule_cdfg(&cdfg, &cls, &limits, Algorithm::List(Priority::PathLength)).unwrap();
-        let dp = build_datapath(&cdfg, &sched, &cls, &Library::standard(),
-            FuStrategy::GreedyAware).unwrap();
+        let dp = build_datapath(
+            &cdfg,
+            &sched,
+            &cls,
+            &Library::standard(),
+            FuStrategy::GreedyAware,
+        )
+        .unwrap();
         build_fsm(&cdfg, &sched, &dp, &cls).unwrap()
     }
 
@@ -398,15 +421,27 @@ mod tests {
     fn done_state_self_loops() {
         let fsm = sqrt_fsm();
         let done = &fsm.states[fsm.done];
-        assert_eq!(done.transitions, vec![Transition { cond: Cond::Always, to: fsm.done }]);
+        assert_eq!(
+            done.transitions,
+            vec![Transition {
+                cond: Cond::Always,
+                to: fsm.done
+            }]
+        );
     }
 
     #[test]
     fn signals_cover_fu_ops_and_reg_loads() {
         let fsm = sqrt_fsm();
         let sigs = fsm.signal_set();
-        assert!(sigs.iter().any(|s| s.contains("=/")), "a divide signal: {sigs:?}");
-        assert!(sigs.iter().any(|s| s.contains("<=")), "register loads: {sigs:?}");
+        assert!(
+            sigs.iter().any(|s| s.contains("=/")),
+            "a divide signal: {sigs:?}"
+        );
+        assert!(
+            sigs.iter().any(|s| s.contains("<=")),
+            "register loads: {sigs:?}"
+        );
     }
 
     #[test]
@@ -416,16 +451,26 @@ mod tests {
         let limits = ResourceLimits::universal(1);
         let sched =
             schedule_cdfg(&cdfg, &cls, &limits, Algorithm::List(Priority::PathLength)).unwrap();
-        let dp = build_datapath(&cdfg, &sched, &cls, &Library::standard(),
-            FuStrategy::GreedyAware).unwrap();
+        let dp = build_datapath(
+            &cdfg,
+            &sched,
+            &cls,
+            &Library::standard(),
+            FuStrategy::GreedyAware,
+        )
+        .unwrap();
         let fsm = build_fsm(&cdfg, &sched, &dp, &cls).unwrap();
         fsm.validate().unwrap();
         // While + if: at least two distinct flags.
         assert!(fsm.flags.len() >= 2, "{:?}", fsm.flags);
         // Some state has both a true- and a false-guarded transition.
         assert!(fsm.states.iter().any(|s| {
-            s.transitions.iter().any(|t| matches!(t.cond, Cond::IsTrue(_)))
-                && s.transitions.iter().any(|t| matches!(t.cond, Cond::IsFalse(_)))
+            s.transitions
+                .iter()
+                .any(|t| matches!(t.cond, Cond::IsTrue(_)))
+                && s.transitions
+                    .iter()
+                    .any(|t| matches!(t.cond, Cond::IsFalse(_)))
         }));
     }
 }

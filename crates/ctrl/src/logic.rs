@@ -66,11 +66,21 @@ pub const MAX_INPUTS: u32 = 16;
 /// Panics when `inputs > MAX_INPUTS` — controller logic in this crate
 /// never exceeds that; larger functions should be estimated instead.
 pub fn minimize(inputs: u32, on_set: &[u64], dc_set: &[u64]) -> Cover {
-    assert!(inputs <= MAX_INPUTS, "quine-mccluskey limited to {MAX_INPUTS} inputs");
-    let full_mask = if inputs == 64 { u64::MAX } else { (1u64 << inputs) - 1 };
+    assert!(
+        inputs <= MAX_INPUTS,
+        "quine-mccluskey limited to {MAX_INPUTS} inputs"
+    );
+    let full_mask = if inputs == 64 {
+        u64::MAX
+    } else {
+        (1u64 << inputs) - 1
+    };
     let on: BTreeSet<u64> = on_set.iter().map(|m| m & full_mask).collect();
     if on.is_empty() {
-        return Cover { implicants: Vec::new(), inputs };
+        return Cover {
+            implicants: Vec::new(),
+            inputs,
+        };
     }
     let dc: BTreeSet<u64> = dc_set.iter().map(|m| m & full_mask).collect();
 
@@ -78,7 +88,10 @@ pub fn minimize(inputs: u32, on_set: &[u64], dc_set: &[u64]) -> Cover {
     let mut current: BTreeSet<Implicant> = on
         .iter()
         .chain(dc.iter())
-        .map(|&m| Implicant { mask: full_mask, value: m })
+        .map(|&m| Implicant {
+            mask: full_mask,
+            value: m,
+        })
         .collect();
     let mut primes: BTreeSet<Implicant> = BTreeSet::new();
     while !current.is_empty() {
@@ -92,7 +105,10 @@ pub fn minimize(inputs: u32, on_set: &[u64], dc_set: &[u64]) -> Cover {
                 }
                 let diff = a.value ^ b.value;
                 if diff.count_ones() == 1 {
-                    next.insert(Implicant { mask: a.mask & !diff, value: a.value & !diff });
+                    next.insert(Implicant {
+                        mask: a.mask & !diff,
+                        value: a.value & !diff,
+                    });
                     combined.insert(*a);
                     combined.insert(*b);
                 }
@@ -113,8 +129,7 @@ pub fn minimize(inputs: u32, on_set: &[u64], dc_set: &[u64]) -> Cover {
     loop {
         let mut essential: Option<Implicant> = None;
         'outer: for &m in &uncovered {
-            let covering: Vec<&Implicant> =
-                primes.iter().filter(|p| p.covers(m)).collect();
+            let covering: Vec<&Implicant> = primes.iter().filter(|p| p.covers(m)).collect();
             if covering.len() == 1 {
                 essential = Some(*covering[0]);
                 break 'outer;
@@ -145,7 +160,10 @@ pub fn minimize(inputs: u32, on_set: &[u64], dc_set: &[u64]) -> Cover {
         primes.remove(&best);
     }
     chosen.sort();
-    Cover { implicants: chosen, inputs }
+    Cover {
+        implicants: chosen,
+        inputs,
+    }
 }
 
 #[cfg(test)]
@@ -214,22 +232,29 @@ mod tests {
         assert_eq!(c.literals(), 1);
     }
 
-    proptest::proptest! {
-        /// The cover is always exact on the care set.
-        #[test]
-        fn cover_is_exact(
-            on in proptest::collection::btree_set(0u64..32, 0..20),
-            dc in proptest::collection::btree_set(0u64..32, 0..8),
-        ) {
-            let on: Vec<u64> = on.into_iter().collect();
-            let dc: Vec<u64> = dc.into_iter().filter(|m| !on.contains(m)).collect();
-            let c = minimize(5, &on, &dc);
-            for m in 0..32u64 {
-                if dc.contains(&m) {
-                    continue;
+    /// The cover is always exact on the care set.
+    #[test]
+    fn cover_is_exact() {
+        hls_testkit::forall(
+            &hls_testkit::Config::default(),
+            |rng| {
+                let on: std::collections::BTreeSet<u64> =
+                    rng.vec(0, 20, |r| r.u64_in(0, 32)).into_iter().collect();
+                let dc: std::collections::BTreeSet<u64> =
+                    rng.vec(0, 8, |r| r.u64_in(0, 32)).into_iter().collect();
+                (on, dc)
+            },
+            |(on, dc)| {
+                let on: Vec<u64> = on.iter().copied().collect();
+                let dc: Vec<u64> = dc.iter().copied().filter(|m| !on.contains(m)).collect();
+                let c = minimize(5, &on, &dc);
+                for m in 0..32u64 {
+                    if dc.contains(&m) {
+                        continue;
+                    }
+                    assert_eq!(c.eval(m), on.contains(&m), "minterm {}", m);
                 }
-                proptest::prop_assert_eq!(c.eval(m), on.contains(&m), "minterm {}", m);
-            }
-        }
+            },
+        );
     }
 }

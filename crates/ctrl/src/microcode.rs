@@ -96,7 +96,11 @@ pub fn microcode(fsm: &Fsm) -> Microprogram {
         .iter()
         .map(|s| {
             let branch = branch_of(s);
-            MicroInstruction { name: s.name.clone(), signals: s.signals.clone(), branch }
+            MicroInstruction {
+                name: s.name.clone(),
+                signals: s.signals.clone(),
+                branch,
+            }
         })
         .collect();
 
@@ -125,7 +129,12 @@ pub fn microcode(fsm: &Fsm) -> Microprogram {
         }
     }
 
-    Microprogram { rom, signals, fields, addr_bits }
+    Microprogram {
+        rom,
+        signals,
+        fields,
+        addr_bits,
+    }
 }
 
 fn branch_of(state: &crate::fsm::State) -> (Option<String>, usize, usize) {
@@ -148,7 +157,11 @@ fn branch_of(state: &crate::fsm::State) -> (Option<String>, usize, usize) {
     }
     let default = fallthrough.unwrap_or(0);
     match flag {
-        Some(f) => (Some(f), if_true.unwrap_or(default), if_false.unwrap_or(default)),
+        Some(f) => (
+            Some(f),
+            if_true.unwrap_or(default),
+            if_false.unwrap_or(default),
+        ),
         None => (None, default, default),
     }
 }

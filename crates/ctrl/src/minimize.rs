@@ -26,8 +26,7 @@ pub fn minimize_states(fsm: &Fsm) -> MinimizedFsm {
         let mut key_to_class: BTreeMap<(Vec<String>, Vec<String>), usize> = BTreeMap::new();
         for (i, s) in fsm.states.iter().enumerate() {
             let sig: Vec<String> = s.signals.iter().cloned().collect();
-            let guards: Vec<String> =
-                s.transitions.iter().map(|t| cond_key(&t.cond)).collect();
+            let guards: Vec<String> = s.transitions.iter().map(|t| cond_key(&t.cond)).collect();
             let next = key_to_class.len();
             let c = *key_to_class.entry((sig, guards)).or_insert(next);
             class[i] = c;
@@ -74,7 +73,10 @@ pub fn minimize_states(fsm: &Fsm) -> MinimizedFsm {
             new_states[new_id].transitions = s
                 .transitions
                 .iter()
-                .map(|t| Transition { cond: t.cond.clone(), to: mapping[t.to] })
+                .map(|t| Transition {
+                    cond: t.cond.clone(),
+                    to: mapping[t.to],
+                })
                 .collect();
         }
     }
@@ -117,13 +119,44 @@ mod tests {
         // s1 and s2 are identical (same signals, both go to done).
         let fsm = Fsm {
             states: vec![
-                state("s0", &["a"], vec![
-                    Transition { cond: Cond::IsTrue("f".into()), to: 1 },
-                    Transition { cond: Cond::IsFalse("f".into()), to: 2 },
-                ]),
-                state("s1", &["b"], vec![Transition { cond: Cond::Always, to: 3 }]),
-                state("s2", &["b"], vec![Transition { cond: Cond::Always, to: 3 }]),
-                state("done", &[], vec![Transition { cond: Cond::Always, to: 3 }]),
+                state(
+                    "s0",
+                    &["a"],
+                    vec![
+                        Transition {
+                            cond: Cond::IsTrue("f".into()),
+                            to: 1,
+                        },
+                        Transition {
+                            cond: Cond::IsFalse("f".into()),
+                            to: 2,
+                        },
+                    ],
+                ),
+                state(
+                    "s1",
+                    &["b"],
+                    vec![Transition {
+                        cond: Cond::Always,
+                        to: 3,
+                    }],
+                ),
+                state(
+                    "s2",
+                    &["b"],
+                    vec![Transition {
+                        cond: Cond::Always,
+                        to: 3,
+                    }],
+                ),
+                state(
+                    "done",
+                    &[],
+                    vec![Transition {
+                        cond: Cond::Always,
+                        to: 3,
+                    }],
+                ),
             ],
             initial: 0,
             done: 3,
@@ -141,10 +174,38 @@ mod tests {
         // Same signals but different successors: not merged.
         let fsm = Fsm {
             states: vec![
-                state("s0", &["x"], vec![Transition { cond: Cond::Always, to: 1 }]),
-                state("s1", &["x"], vec![Transition { cond: Cond::Always, to: 2 }]),
-                state("s2", &["y"], vec![Transition { cond: Cond::Always, to: 3 }]),
-                state("done", &[], vec![Transition { cond: Cond::Always, to: 3 }]),
+                state(
+                    "s0",
+                    &["x"],
+                    vec![Transition {
+                        cond: Cond::Always,
+                        to: 1,
+                    }],
+                ),
+                state(
+                    "s1",
+                    &["x"],
+                    vec![Transition {
+                        cond: Cond::Always,
+                        to: 2,
+                    }],
+                ),
+                state(
+                    "s2",
+                    &["y"],
+                    vec![Transition {
+                        cond: Cond::Always,
+                        to: 3,
+                    }],
+                ),
+                state(
+                    "done",
+                    &[],
+                    vec![Transition {
+                        cond: Cond::Always,
+                        to: 3,
+                    }],
+                ),
             ],
             initial: 0,
             done: 3,
@@ -158,8 +219,22 @@ mod tests {
     fn idempotent() {
         let fsm = Fsm {
             states: vec![
-                state("s0", &[], vec![Transition { cond: Cond::Always, to: 1 }]),
-                state("s1", &[], vec![Transition { cond: Cond::Always, to: 1 }]),
+                state(
+                    "s0",
+                    &[],
+                    vec![Transition {
+                        cond: Cond::Always,
+                        to: 1,
+                    }],
+                ),
+                state(
+                    "s1",
+                    &[],
+                    vec![Transition {
+                        cond: Cond::Always,
+                        to: 1,
+                    }],
+                ),
             ],
             initial: 0,
             done: 1,

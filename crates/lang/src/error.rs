@@ -15,12 +15,18 @@ pub struct ParseError {
 impl ParseError {
     /// Creates an error with a message and source position.
     pub fn new(message: impl Into<String>, pos: Pos) -> Self {
-        ParseError { message: message.into(), pos: Some(pos) }
+        ParseError {
+            message: message.into(),
+            pos: Some(pos),
+        }
     }
 
     /// Creates an error with no position (lowering-stage errors).
     pub fn without_pos(message: impl Into<String>) -> Self {
-        ParseError { message: message.into(), pos: None }
+        ParseError {
+            message: message.into(),
+            pos: None,
+        }
     }
 
     pub(crate) fn bad_char(c: char, pos: Pos) -> Self {

@@ -397,7 +397,11 @@ mod tests {
     fn numbers() {
         assert_eq!(
             toks("42 0.5"),
-            vec![Token::Num(Fx::from_i64(42)), Token::Num(Fx::from_f64(0.5)), Token::Eof]
+            vec![
+                Token::Num(Fx::from_i64(42)),
+                Token::Num(Fx::from_f64(0.5)),
+                Token::Eof
+            ]
         );
     }
 
@@ -426,26 +430,35 @@ mod tests {
 
     #[test]
     fn ne_vs_slash() {
-        assert_eq!(toks("a /= b"), vec![
-            Token::Ident("a".into()),
-            Token::Ne,
-            Token::Ident("b".into()),
-            Token::Eof
-        ]);
+        assert_eq!(
+            toks("a /= b"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Ne,
+                Token::Ident("b".into()),
+                Token::Eof
+            ]
+        );
     }
 
     #[test]
     fn comments_skipped() {
-        assert_eq!(toks("a -- this is a comment\nb"), vec![
-            Token::Ident("a".into()),
-            Token::Ident("b".into()),
-            Token::Eof
-        ]);
+        assert_eq!(
+            toks("a -- this is a comment\nb"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Ident("b".into()),
+                Token::Eof
+            ]
+        );
     }
 
     #[test]
     fn loop_keyword_is_sugar() {
-        assert_eq!(toks("do until loop"), vec![Token::Do, Token::Until, Token::Eof]);
+        assert_eq!(
+            toks("do until loop"),
+            vec![Token::Do, Token::Until, Token::Eof]
+        );
     }
 
     #[test]
@@ -462,11 +475,14 @@ mod tests {
 
     #[test]
     fn case_insensitive_keywords() {
-        assert_eq!(toks("DO UNTIL I"), vec![
-            Token::Do,
-            Token::Until,
-            Token::Ident("I".into()),
-            Token::Eof
-        ]);
+        assert_eq!(
+            toks("DO UNTIL I"),
+            vec![
+                Token::Do,
+                Token::Until,
+                Token::Ident("I".into()),
+                Token::Eof
+            ]
+        );
     }
 }

@@ -20,9 +20,7 @@ use std::collections::HashMap;
 
 use crate::ast::{BinOp, Expr, FuncDecl, Program, Stmt, UnOp};
 use crate::error::ParseError;
-use hls_cdfg::{
-    Cdfg, DataFlowGraph, Fx, IfRegion, LoopKind, LoopRegion, OpKind, Region, ValueId,
-};
+use hls_cdfg::{Cdfg, DataFlowGraph, Fx, IfRegion, LoopKind, LoopRegion, OpKind, Region, ValueId};
 
 /// Maximum iterations explored when inferring a loop trip count.
 const TRIP_SEARCH_CAP: u64 = 1 << 20;
@@ -53,9 +51,18 @@ pub fn lower(prog: &Program) -> Result<Cdfg, ParseError> {
     for (n, _) in &prog.outputs {
         cdfg.declare_output(n);
     }
-    let funcs: HashMap<&str, &FuncDecl> =
-        prog.functions.iter().map(|f| (f.name.as_str(), f)).collect();
-    let mut lw = Lowerer { prog, funcs, cdfg, exit_counter: 0, block_counter: 0 };
+    let funcs: HashMap<&str, &FuncDecl> = prog
+        .functions
+        .iter()
+        .map(|f| (f.name.as_str(), f))
+        .collect();
+    let mut lw = Lowerer {
+        prog,
+        funcs,
+        cdfg,
+        exit_counter: 0,
+        block_counter: 0,
+    };
     let body = lw.lower_stmts(&prog.body, None)?;
     let body = if prog.arrays.is_empty() {
         body
@@ -108,7 +115,11 @@ struct BlockCtx {
 
 impl BlockCtx {
     fn new() -> Self {
-        BlockCtx { dfg: DataFlowGraph::new(), env: HashMap::new(), written: Vec::new() }
+        BlockCtx {
+            dfg: DataFlowGraph::new(),
+            env: HashMap::new(),
+            written: Vec::new(),
+        }
     }
 }
 
@@ -220,7 +231,11 @@ impl<'a> Lowerer<'a> {
                     }));
                     invalidate_written(body, &mut known);
                 }
-                Stmt::If { cond, then_body, else_body } => {
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
                     self.flush_run(&mut run, &mut pieces, None)?;
                     let cv = self.fresh_exit();
                     let mut cb = BlockCtx::new();
@@ -373,9 +388,10 @@ impl<'a> Lowerer<'a> {
                 Ok(data)
             }
             Expr::Call(name, args) => {
-                let f = self.funcs.get(name.as_str()).ok_or_else(|| {
-                    ParseError::without_pos(format!("unknown function `{name}`"))
-                })?;
+                let f = self
+                    .funcs
+                    .get(name.as_str())
+                    .ok_or_else(|| ParseError::without_pos(format!("unknown function `{name}`")))?;
                 if call_stack.iter().any(|c| c == name) {
                     return Err(ParseError::without_pos(format!(
                         "recursive function `{name}` cannot be inlined"
@@ -449,7 +465,11 @@ fn invalidate_written(stmts: &[Stmt], known: &mut HashMap<String, Fx>) {
             Stmt::DoUntil { body, .. } | Stmt::While { body, .. } => {
                 invalidate_written(body, known);
             }
-            Stmt::If { then_body, else_body, .. } => {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 invalidate_written(then_body, known);
                 invalidate_written(else_body, known);
             }
@@ -459,11 +479,7 @@ fn invalidate_written(stmts: &[Stmt], known: &mut HashMap<String, Fx>) {
 
 /// Recognizes the counted-loop pattern `IV := c0; do ... IV := IV ± c ...
 /// until IV cmp bound` and returns the trip count.
-fn infer_do_until_trip(
-    body: &[Stmt],
-    cond: &Expr,
-    known: &HashMap<String, Fx>,
-) -> Option<u64> {
+fn infer_do_until_trip(body: &[Stmt], cond: &Expr, known: &HashMap<String, Fx>) -> Option<u64> {
     let (iv, cmp, bound) = split_counted_cond(cond)?;
     let step = induction_step(body, iv)?;
     let init = *known.get(iv)?;
@@ -498,7 +514,9 @@ fn infer_while_trip(body: &[Stmt], cond: &Expr, known: &HashMap<String, Fx>) -> 
 
 /// Splits `IV cmp CONST` (or `CONST cmp IV`) conditions.
 fn split_counted_cond(cond: &Expr) -> Option<(&str, BinOp, Fx)> {
-    let Expr::Binary(op, l, r) = cond else { return None };
+    let Expr::Binary(op, l, r) = cond else {
+        return None;
+    };
     match (&**l, &**r) {
         (Expr::Var(v), Expr::Num(n)) => Some((v.as_str(), *op, *n)),
         (Expr::Num(n), Expr::Var(v)) => {
@@ -526,7 +544,9 @@ fn induction_step(body: &[Stmt], iv: &str) -> Option<Fx> {
             if name != iv {
                 continue;
             }
-            let Expr::Binary(op, l, r) = expr else { return None };
+            let Expr::Binary(op, l, r) = expr else {
+                return None;
+            };
             let delta = match (&**l, &**r, op) {
                 (Expr::Var(v), Expr::Num(n), BinOp::Add) if v == iv => *n,
                 (Expr::Num(n), Expr::Var(v), BinOp::Add) if v == iv => *n,
@@ -550,9 +570,14 @@ fn stmt_writes(s: &Stmt, var: &str) -> bool {
         Stmt::DoUntil { body, .. } | Stmt::While { body, .. } => {
             body.iter().any(|s| stmt_writes(s, var))
         }
-        Stmt::If { then_body, else_body, .. } => {
-            then_body.iter().chain(else_body).any(|s| stmt_writes(s, var))
-        }
+        Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } => then_body
+            .iter()
+            .chain(else_body)
+            .any(|s| stmt_writes(s, var)),
     }
 }
 
@@ -592,10 +617,14 @@ mod tests {
     fn sqrt_structure() {
         let cdfg = compile(SQRT).unwrap();
         cdfg.validate().unwrap();
-        let Region::Seq(pieces) = cdfg.body() else { panic!("expected seq") };
+        let Region::Seq(pieces) = cdfg.body() else {
+            panic!("expected seq")
+        };
         assert_eq!(pieces.len(), 2);
         assert!(matches!(pieces[0], Region::Block(_)));
-        let Region::Loop(l) = &pieces[1] else { panic!("expected loop") };
+        let Region::Loop(l) = &pieces[1] else {
+            panic!("expected loop")
+        };
         assert_eq!(l.kind, LoopKind::DoUntil);
         assert_eq!(l.trip_hint, Some(4), "paper: 4 Newton iterations");
     }
@@ -621,8 +650,12 @@ mod tests {
     fn bare_constant_assign_becomes_copy() {
         let cdfg = compile("program t; var a; begin a := 0; end").unwrap();
         let b = cdfg.block_order()[0];
-        let kinds: Vec<OpKind> =
-            cdfg.block(b).dfg.op_ids().map(|id| cdfg.block(b).dfg.op(id).kind).collect();
+        let kinds: Vec<OpKind> = cdfg
+            .block(b)
+            .dfg
+            .op_ids()
+            .map(|id| cdfg.block(b).dfg.op(id).kind)
+            .collect();
         assert_eq!(kinds, vec![OpKind::Const, OpKind::Copy]);
     }
 
@@ -638,10 +671,9 @@ mod tests {
     fn sequential_assignments_chain_through_env() {
         // a := x + 1; b := a * 2 — the read of `a` uses the add's value, no
         // block input for a.
-        let cdfg = compile(
-            "program t; input x; output b; var a; begin a := x + 1; b := a * 2; end",
-        )
-        .unwrap();
+        let cdfg =
+            compile("program t; input x; output b; var a; begin a := x + 1; b := a * 2; end")
+                .unwrap();
         let b = cdfg.block_order()[0];
         let names: Vec<&str> = cdfg
             .block(b)
@@ -702,8 +734,12 @@ mod tests {
              end",
         )
         .unwrap();
-        let Region::Seq(pieces) = cdfg.body() else { panic!() };
-        let Region::Loop(l) = &pieces[1] else { panic!("{:?}", pieces[1]) };
+        let Region::Seq(pieces) = cdfg.body() else {
+            panic!()
+        };
+        let Region::Loop(l) = &pieces[1] else {
+            panic!("{:?}", pieces[1])
+        };
         assert_eq!(l.kind, LoopKind::While);
         assert_eq!(l.trip_hint, Some(10));
         assert!(l.cond_block.is_some());
@@ -721,8 +757,12 @@ mod tests {
              end",
         )
         .unwrap();
-        let Region::Seq(pieces) = cdfg.body() else { panic!() };
-        let Region::Loop(l) = &pieces[1] else { panic!() };
+        let Region::Seq(pieces) = cdfg.body() else {
+            panic!()
+        };
+        let Region::Loop(l) = &pieces[1] else {
+            panic!()
+        };
         assert_eq!(l.trip_hint, None);
     }
 
@@ -741,8 +781,14 @@ mod tests {
         let blocks = cdfg.block_order();
         assert_eq!(cdfg.block(blocks[0]).name, "mem_init");
         let dfg = &cdfg.block(blocks[1]).dfg;
-        let stores = dfg.op_ids().filter(|&i| dfg.op(i).kind == OpKind::Store).count();
-        let loads = dfg.op_ids().filter(|&i| dfg.op(i).kind == OpKind::Load).count();
+        let stores = dfg
+            .op_ids()
+            .filter(|&i| dfg.op(i).kind == OpKind::Store)
+            .count();
+        let loads = dfg
+            .op_ids()
+            .filter(|&i| dfg.op(i).kind == OpKind::Load)
+            .count();
         assert_eq!(stores, 2);
         assert_eq!(loads, 2);
         // The second store's token is the first store's result: any valid
@@ -782,7 +828,9 @@ mod tests {
              end",
         )
         .unwrap();
-        let Region::If(i) = cdfg.body() else { panic!("{:?}", cdfg.body()) };
+        let Region::If(i) = cdfg.body() else {
+            panic!("{:?}", cdfg.body())
+        };
         assert!(i.else_region.is_some());
         let cb = &cdfg.block(i.cond_block).dfg;
         assert!(cb.outputs().iter().any(|(n, _)| n == &i.cond_var));

@@ -127,9 +127,7 @@ impl Parser {
                         let name = self.ident()?;
                         self.eat(&Token::LBracket)?;
                         let size = match self.bump() {
-                            Token::Num(n) if n.is_integer() && n.to_i64() >= 1 => {
-                                n.to_i64() as u32
-                            }
+                            Token::Num(n) if n.is_integer() && n.to_i64() >= 1 => n.to_i64() as u32,
                             _ => {
                                 return Err(ParseError::new(
                                     "array size must be a positive integer",
@@ -209,7 +207,10 @@ impl Parser {
                     Ok(Type::Int(32))
                 }
             }
-            other => Err(ParseError::new(format!("expected type, found {other}"), self.pos())),
+            other => Err(ParseError::new(
+                format!("expected type, found {other}"),
+                self.pos(),
+            )),
         }
     }
 
@@ -286,7 +287,11 @@ impl Parser {
                     if self.peek() == &Token::Semi {
                         self.bump();
                     }
-                    out.push(Stmt::If { cond, then_body, else_body });
+                    out.push(Stmt::If {
+                        cond,
+                        then_body,
+                        else_body,
+                    });
                 }
                 _ => break,
             }
@@ -476,7 +481,10 @@ mod tests {
     fn precedence_mul_over_add() {
         let p = parse("program t; output y; begin y := 1 + 2 * 3; end").unwrap();
         match &p.body[0] {
-            Stmt::Assign { expr: Expr::Binary(BinOp::Add, l, r), .. } => {
+            Stmt::Assign {
+                expr: Expr::Binary(BinOp::Add, l, r),
+                ..
+            } => {
                 assert_eq!(**l, Expr::Num(Fx::from_i64(1)));
                 assert!(matches!(**r, Expr::Binary(BinOp::Mul, _, _)));
             }
@@ -488,7 +496,10 @@ mod tests {
     fn parens_override_precedence() {
         let p = parse("program t; output y; begin y := (1 + 2) * 3; end").unwrap();
         match &p.body[0] {
-            Stmt::Assign { expr: Expr::Binary(BinOp::Mul, l, _), .. } => {
+            Stmt::Assign {
+                expr: Expr::Binary(BinOp::Mul, l, _),
+                ..
+            } => {
                 assert!(matches!(**l, Expr::Binary(BinOp::Add, _, _)));
             }
             other => panic!("{other:?}"),
@@ -499,7 +510,10 @@ mod tests {
     fn comparison_binds_loosest() {
         let p = parse("program t; output y; begin y := a + 1 > b * 2; end").unwrap();
         match &p.body[0] {
-            Stmt::Assign { expr: Expr::Binary(BinOp::Gt, _, _), .. } => {}
+            Stmt::Assign {
+                expr: Expr::Binary(BinOp::Gt, _, _),
+                ..
+            } => {}
             other => panic!("{other:?}"),
         }
     }
@@ -515,7 +529,11 @@ mod tests {
         .unwrap();
         assert!(matches!(p.body[0], Stmt::While { .. }));
         match &p.body[1] {
-            Stmt::If { then_body, else_body, .. } => {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 assert_eq!(then_body.len(), 1);
                 assert_eq!(else_body.len(), 1);
             }
@@ -534,7 +552,10 @@ mod tests {
         assert_eq!(p.functions.len(), 1);
         assert_eq!(p.functions[0].params, vec!["a"]);
         match &p.body[0] {
-            Stmt::Assign { expr: Expr::Binary(BinOp::Add, l, _), .. } => {
+            Stmt::Assign {
+                expr: Expr::Binary(BinOp::Add, l, _),
+                ..
+            } => {
                 assert!(matches!(**l, Expr::Call(_, _)));
             }
             other => panic!("{other:?}"),
@@ -566,7 +587,10 @@ mod tests {
         // convenient for the scaling idiom.
         let p = parse("program t; output y; begin y := a + b >> 1; end").unwrap();
         match &p.body[0] {
-            Stmt::Assign { expr: Expr::Binary(BinOp::Shr, l, _), .. } => {
+            Stmt::Assign {
+                expr: Expr::Binary(BinOp::Shr, l, _),
+                ..
+            } => {
                 assert!(matches!(**l, Expr::Binary(BinOp::Add, _, _)));
             }
             other => panic!("{other:?}"),

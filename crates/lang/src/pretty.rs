@@ -51,7 +51,11 @@ fn stmts(s: &mut String, body: &[Stmt], level: usize) {
             Stmt::Assign { name, expr: e } => {
                 let _ = writeln!(s, "{name} := {};", expr(e));
             }
-            Stmt::ArrayAssign { name, index, expr: e } => {
+            Stmt::ArrayAssign {
+                name,
+                index,
+                expr: e,
+            } => {
                 let _ = writeln!(s, "{name}[{}] := {};", expr(index), expr(e));
             }
             Stmt::DoUntil { body, cond } => {
@@ -66,7 +70,11 @@ fn stmts(s: &mut String, body: &[Stmt], level: usize) {
                 indent(s, level);
                 let _ = writeln!(s, "end;");
             }
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 let _ = writeln!(s, "if {} then", expr(cond));
                 stmts(s, then_body, level + 1);
                 if !else_body.is_empty() {

@@ -94,7 +94,10 @@ mod tests {
         let y = dfg.add_input("y", 32);
         let a1 = dfg.add_op(OpKind::Add, vec![x, y]);
         let a2 = dfg.add_op(OpKind::Add, vec![x, y]);
-        let m = dfg.add_op(OpKind::Mul, vec![dfg.result(a1).unwrap(), dfg.result(a2).unwrap()]);
+        let m = dfg.add_op(
+            OpKind::Mul,
+            vec![dfg.result(a1).unwrap(), dfg.result(a2).unwrap()],
+        );
         dfg.set_output("z", dfg.result(m).unwrap());
         let (mut cdfg, b) = wrap(dfg);
         assert_eq!(eliminate_common_subexpressions(&mut cdfg), 1);

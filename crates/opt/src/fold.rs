@@ -82,7 +82,10 @@ fn fold_block(dfg: &mut DataFlowGraph) -> usize {
             continue;
         }
         let kind = dfg.op(id).kind;
-        if matches!(kind, OpKind::Const | OpKind::Copy | OpKind::Load | OpKind::Store) {
+        if matches!(
+            kind,
+            OpKind::Const | OpKind::Copy | OpKind::Load | OpKind::Store
+        ) {
             continue;
         }
         let operands = dfg.op(id).operands.clone();
@@ -248,8 +251,14 @@ mod tests {
 
     #[test]
     fn eval_const_comparisons() {
-        assert_eq!(eval_const(OpKind::Gt, &[Fx::from_i64(4), Fx::from_i64(3)]), Some(Fx::ONE));
-        assert_eq!(eval_const(OpKind::Gt, &[Fx::from_i64(3), Fx::from_i64(3)]), Some(Fx::ZERO));
+        assert_eq!(
+            eval_const(OpKind::Gt, &[Fx::from_i64(4), Fx::from_i64(3)]),
+            Some(Fx::ONE)
+        );
+        assert_eq!(
+            eval_const(OpKind::Gt, &[Fx::from_i64(3), Fx::from_i64(3)]),
+            Some(Fx::ZERO)
+        );
         assert_eq!(eval_const(OpKind::Eq, &[Fx::ZERO, Fx::ZERO]), Some(Fx::ONE));
     }
 

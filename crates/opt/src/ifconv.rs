@@ -29,9 +29,7 @@ pub fn convert_ifs(cdfg: &mut Cdfg) -> usize {
 fn walk(cdfg: &mut Cdfg, region: Region, count: &mut usize) -> Region {
     match region {
         Region::Block(b) => Region::Block(b),
-        Region::Seq(rs) => {
-            Region::Seq(rs.into_iter().map(|r| walk(cdfg, r, count)).collect())
-        }
+        Region::Seq(rs) => Region::Seq(rs.into_iter().map(|r| walk(cdfg, r, count)).collect()),
         Region::Loop(mut l) => {
             l.body = Box::new(walk(cdfg, *l.body, count));
             Region::Loop(l)
@@ -73,7 +71,10 @@ fn walk(cdfg: &mut Cdfg, region: Region, count: &mut usize) -> Region {
 /// `true` when every op in the block may execute speculatively.
 fn speculation_safe(dfg: &DataFlowGraph) -> bool {
     dfg.op_ids().all(|op| {
-        !matches!(dfg.op(op).kind, OpKind::Load | OpKind::Store | OpKind::Div | OpKind::Mod)
+        !matches!(
+            dfg.op(op).kind,
+            OpKind::Load | OpKind::Store | OpKind::Div | OpKind::Mod
+        )
     })
 }
 
@@ -105,7 +106,10 @@ fn splice(
             vmap.insert(old, new);
         }
     }
-    src.outputs().iter().map(|(n, v)| (n.clone(), vmap[v])).collect()
+    src.outputs()
+        .iter()
+        .map(|(n, v)| (n.clone(), vmap[v]))
+        .collect()
 }
 
 fn fuse(
@@ -131,7 +135,8 @@ fn fuse(
     vars.dedup();
     for var in vars {
         let base = |out: &mut DataFlowGraph, env: &mut HashMap<String, ValueId>| {
-            *env.entry(var.clone()).or_insert_with(|| out.add_input(var, 32))
+            *env.entry(var.clone())
+                .or_insert_with(|| out.add_input(var, 32))
         };
         let t = match then_outs.get(var) {
             Some(&v) => v,
@@ -172,7 +177,12 @@ mod tests {
         assert!(matches!(cdfg.body(), Region::Block(_)));
         let b = cdfg.block_order()[0];
         let dfg = &cdfg.block(b).dfg;
-        assert_eq!(dfg.op_ids().filter(|&i| dfg.op(i).kind == OpKind::Mux).count(), 1);
+        assert_eq!(
+            dfg.op_ids()
+                .filter(|&i| dfg.op(i).kind == OpKind::Mux)
+                .count(),
+            1
+        );
     }
 
     #[test]

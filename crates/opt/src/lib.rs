@@ -114,8 +114,13 @@ pub const STANDARD_PASSES: [PassKind; 6] = [
 /// Runs the given passes repeatedly until no pass makes a change (bounded
 /// at 16 rounds), returning per-pass rewrite totals.
 pub fn optimize_with(cdfg: &mut Cdfg, passes: &[PassKind]) -> Vec<PassStats> {
-    let mut stats: Vec<PassStats> =
-        passes.iter().map(|&p| PassStats { pass: p, rewrites: 0 }).collect();
+    let mut stats: Vec<PassStats> = passes
+        .iter()
+        .map(|&p| PassStats {
+            pass: p,
+            rewrites: 0,
+        })
+        .collect();
     for _round in 0..16 {
         let mut round_changes = 0;
         for (i, &p) in passes.iter().enumerate() {
@@ -169,7 +174,13 @@ mod tests {
             .filter(|k| *k != OpKind::Const)
             .collect();
         kinds.sort();
-        let mut expected = vec![OpKind::Div, OpKind::Add, OpKind::Shr, OpKind::Inc, OpKind::Eq];
+        let mut expected = vec![
+            OpKind::Div,
+            OpKind::Add,
+            OpKind::Shr,
+            OpKind::Inc,
+            OpKind::Eq,
+        ];
         expected.sort();
         assert_eq!(kinds, expected);
         let (_, iv) = dfg.outputs().iter().find(|(n, _)| n == "I").unwrap();
@@ -208,8 +219,18 @@ mod tests {
         // Entire loop flattened into the second block; exit tests folded away.
         let body = cdfg.block_order()[1];
         let dfg = &cdfg.block(body).dfg;
-        assert_eq!(dfg.op_ids().filter(|&i| dfg.op(i).kind == OpKind::Div).count(), 4);
-        assert_eq!(dfg.op_ids().filter(|&i| dfg.op(i).kind.is_comparison()).count(), 0);
+        assert_eq!(
+            dfg.op_ids()
+                .filter(|&i| dfg.op(i).kind == OpKind::Div)
+                .count(),
+            4
+        );
+        assert_eq!(
+            dfg.op_ids()
+                .filter(|&i| dfg.op(i).kind.is_comparison())
+                .count(),
+            0
+        );
     }
 
     #[test]

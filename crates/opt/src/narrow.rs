@@ -6,9 +6,7 @@
 //! when the original `I > n-1` test would have fired, so the wide magnitude
 //! comparator becomes a narrow zero-equality test.
 
-use hls_cdfg::{
-    Cdfg, DataFlowGraph, Fx, LoopKind, OpKind, Region, ValueDef,
-};
+use hls_cdfg::{Cdfg, DataFlowGraph, Fx, LoopKind, OpKind, Region, ValueDef};
 
 /// Applies the counter-narrowing rewrite to every eligible `do..until`
 /// loop. Returns the number of loops rewritten.
@@ -68,15 +66,12 @@ fn collect(cdfg: &Cdfg, region: &Region, out: &mut Vec<Rewrite>) {
 
 /// Checks whether `block` computes `exit_var := iv > n-1` with `iv` an
 /// incremented counter variable.
-fn eligible(
-    cdfg: &Cdfg,
-    block: hls_cdfg::BlockId,
-    exit_var: &str,
-    n: u64,
-) -> Option<Rewrite> {
+fn eligible(cdfg: &Cdfg, block: hls_cdfg::BlockId, exit_var: &str, n: u64) -> Option<Rewrite> {
     let dfg = &cdfg.block(block).dfg;
     let (_, exit_val) = dfg.outputs().iter().find(|(name, _)| name == exit_var)?;
-    let ValueDef::Op(test) = dfg.value(*exit_val).def else { return None };
+    let ValueDef::Op(test) = dfg.value(*exit_val).def else {
+        return None;
+    };
     let test_op = dfg.op(test);
     if test_op.kind != OpKind::Gt {
         return None;
@@ -86,11 +81,16 @@ fn eligible(
         return None;
     }
     let iv_val = test_op.operands[0];
-    let ValueDef::Op(upd) = dfg.value(iv_val).def else { return None };
+    let ValueDef::Op(upd) = dfg.value(iv_val).def else {
+        return None;
+    };
     let upd_op = dfg.op(upd);
     let is_increment = upd_op.kind == OpKind::Inc
         || (upd_op.kind == OpKind::Add
-            && upd_op.operands.iter().any(|&o| const_of(dfg, o) == Some(Fx::ONE)));
+            && upd_op
+                .operands
+                .iter()
+                .any(|&o| const_of(dfg, o) == Some(Fx::ONE)));
     if !is_increment {
         return None;
     }
@@ -101,7 +101,12 @@ fn eligible(
         .find(|(_, v)| *v == iv_val)
         .map(|(name, _)| name.clone())?;
     let width = (64 - (n - 1).leading_zeros()) as u8; // log2(n) for powers of two
-    Some(Rewrite { block, exit_var: exit_var.to_string(), iv_name, width })
+    Some(Rewrite {
+        block,
+        exit_var: exit_var.to_string(),
+        iv_name,
+        width,
+    })
 }
 
 fn const_of(dfg: &DataFlowGraph, v: hls_cdfg::ValueId) -> Option<Fx> {
@@ -121,7 +126,9 @@ fn apply(cdfg: &mut Cdfg, rw: &Rewrite) {
             .find(|(name, _)| *name == rw.exit_var)
             .map(|(_, v)| *v)
             .expect("exit output exists");
-        let ValueDef::Op(test) = dfg.value(exit_val).def else { unreachable!() };
+        let ValueDef::Op(test) = dfg.value(exit_val).def else {
+            unreachable!()
+        };
         let iv_val = dfg.op(test).operands[0];
         let zero = dfg.add_const_value(Fx::ZERO);
         let eq = dfg.add_op(OpKind::Eq, vec![iv_val, zero]);
@@ -183,7 +190,11 @@ mod tests {
         // The counter is 2 bits wide everywhere it crosses a block boundary.
         let (_, iv) = dfg.outputs().iter().find(|(n, _)| n == "I").unwrap();
         assert_eq!(dfg.value(*iv).width, 2);
-        let iv_in = dfg.inputs().iter().find(|&&v| dfg.value(v).name == "I").unwrap();
+        let iv_in = dfg
+            .inputs()
+            .iter()
+            .find(|&&v| dfg.value(v).name == "I")
+            .unwrap();
         assert_eq!(dfg.value(*iv_in).width, 2);
     }
 

@@ -56,7 +56,9 @@ fn reduce_block(dfg: &mut DataFlowGraph) -> usize {
                 .map(|_| (OpKind::Dec, operands[0], 0)),
             _ => None,
         };
-        let Some((new_kind, x, amount)) = rewrite else { continue };
+        let Some((new_kind, x, amount)) = rewrite else {
+            continue;
+        };
         let new_id = match new_kind {
             OpKind::Shl | OpKind::Shr => {
                 let amt = dfg.add_const_value(Fx::from_i64(amount as i64));

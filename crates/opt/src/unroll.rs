@@ -27,19 +27,27 @@ pub fn unroll_counted_loops(cdfg: &mut Cdfg) -> usize {
 fn unroll_region(cdfg: &mut Cdfg, region: Region, count: &mut usize) -> Region {
     match region {
         Region::Block(b) => Region::Block(b),
-        Region::Seq(rs) => {
-            Region::Seq(rs.into_iter().map(|r| unroll_region(cdfg, r, count)).collect())
-        }
+        Region::Seq(rs) => Region::Seq(
+            rs.into_iter()
+                .map(|r| unroll_region(cdfg, r, count))
+                .collect(),
+        ),
         Region::If(mut i) => {
             i.then_region = Box::new(unroll_region(cdfg, *i.then_region, count));
-            i.else_region = i.else_region.map(|e| Box::new(unroll_region(cdfg, *e, count)));
+            i.else_region = i
+                .else_region
+                .map(|e| Box::new(unroll_region(cdfg, *e, count)));
             Region::If(i)
         }
         Region::Loop(mut l) => {
             let inner = unroll_region(cdfg, *l.body, count);
             l.body = Box::new(inner);
-            let Some(n) = l.trip_hint else { return Region::Loop(l) };
-            let Region::Block(b) = *l.body else { return Region::Loop(l) };
+            let Some(n) = l.trip_hint else {
+                return Region::Loop(l);
+            };
+            let Region::Block(b) = *l.body else {
+                return Region::Loop(l);
+            };
             let body_ops = cdfg.block(b).dfg.live_op_count();
             if n == 0 || body_ops.saturating_mul(n as usize) > UNROLL_OP_BUDGET {
                 return Region::Loop(l);
@@ -124,12 +132,18 @@ mod tests {
         let merged = &cdfg.block(blocks[1]).dfg;
         // 4 iterations x (div, add, mul, add(I+1)) step ops, plus 4 copies
         // of consts and 4 exit-test Gt ops (dead until DCE).
-        let divs = merged.op_ids().filter(|&i| merged.op(i).kind == OpKind::Div).count();
+        let divs = merged
+            .op_ids()
+            .filter(|&i| merged.op(i).kind == OpKind::Div)
+            .count();
         assert_eq!(divs, 4);
         // Iterations chain: Y of iter k feeds iter k+1, so only one X and
         // one Y input exist.
-        let names: Vec<&str> =
-            merged.inputs().iter().map(|&v| merged.value(v).name.as_str()).collect();
+        let names: Vec<&str> = merged
+            .inputs()
+            .iter()
+            .map(|&v| merged.value(v).name.as_str())
+            .collect();
         assert!(names.contains(&"X") && names.contains(&"Y"));
         assert_eq!(names.len(), 3, "X, Y, I");
     }
@@ -167,8 +181,8 @@ mod tests {
         unroll_counted_loops(&mut cdfg);
         crate::dce::eliminate_dead_code(&mut cdfg);
         let merged = cdfg.block_order()[1];
-        let (_, cp) = analysis::asap_levels(&cdfg.block(merged).dfg, &analysis::no_free_ops)
-            .unwrap();
+        let (_, cp) =
+            analysis::asap_levels(&cdfg.block(merged).dfg, &analysis::no_free_ops).unwrap();
         // Serial loop: 4 iterations x 5 steps = 20. Unrolled critical path
         // (div+add+mul chained through Y, consts add one level) is shorter —
         // the I-increments run in parallel with the Y chain.

@@ -33,8 +33,13 @@ impl AreaReport {
 
 impl std::fmt::Display for AreaReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "area: {:.0} GE (cells {:.0} + wiring {:.0})",
-            self.total(), self.cell_area, self.wiring_area)?;
+        writeln!(
+            f,
+            "area: {:.0} GE (cells {:.0} + wiring {:.0})",
+            self.total(),
+            self.cell_area,
+            self.wiring_area
+        )?;
         for (class, a) in &self.by_class {
             writeln!(f, "  {class:<12} {a:>8.0}")?;
         }
@@ -54,10 +59,14 @@ pub fn estimate(netlist: &Netlist, library: &Library) -> AreaReport {
     let mut reg_delay: f64 = 0.0;
     let mut mux_delay: f64 = 0.0;
     for (_, inst) in netlist.instances() {
-        let Some(cell) = library.cell(&inst.cell) else { continue };
+        let Some(cell) = library.cell(&inst.cell) else {
+            continue;
+        };
         let a = cell.area(inst.width);
         cell_area += a;
-        *by_class.entry(format!("{:?}", cell.class).to_lowercase()).or_insert(0.0) += a;
+        *by_class
+            .entry(format!("{:?}", cell.class).to_lowercase())
+            .or_insert(0.0) += a;
         let d = cell.delay(inst.width);
         match cell.class {
             CellClass::Register => reg_delay = reg_delay.max(d),
@@ -85,8 +94,18 @@ mod tests {
         let m = n.add_net("m", 32);
         let r = n.add_net("r", 32);
         n.add_instance("mux0", "mux2", 32, vec![("a".into(), a), ("y".into(), m)]);
-        n.add_instance("alu0", "add_ripple", 32, vec![("a".into(), m), ("y".into(), r)]);
-        n.add_instance("reg0", "reg_dff", 32, vec![("d".into(), r), ("q".into(), y)]);
+        n.add_instance(
+            "alu0",
+            "add_ripple",
+            32,
+            vec![("a".into(), m), ("y".into(), r)],
+        );
+        n.add_instance(
+            "reg0",
+            "reg_dff",
+            32,
+            vec![("d".into(), r), ("q".into(), y)],
+        );
         n
     }
 

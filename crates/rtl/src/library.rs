@@ -96,18 +96,102 @@ impl Library {
     pub fn standard() -> Self {
         Library {
             cells: vec![
-                CellSpec { name: "add_ripple", class: CellClass::Alu, area_base: 4.0, area_per_bit: 9.0, delay_base: 2.0, delay_per_bit: 0.9 },
-                CellSpec { name: "add_cla", class: CellClass::Alu, area_base: 20.0, area_per_bit: 16.0, delay_base: 6.0, delay_per_bit: 0.12 },
-                CellSpec { name: "mul_array", class: CellClass::Multiplier, area_base: 40.0, area_per_bit: 110.0, delay_base: 14.0, delay_per_bit: 2.1 },
-                CellSpec { name: "div_iter", class: CellClass::Divider, area_base: 60.0, area_per_bit: 130.0, delay_base: 30.0, delay_per_bit: 4.0 },
-                CellSpec { name: "shift_barrel", class: CellClass::Shifter, area_base: 8.0, area_per_bit: 12.0, delay_base: 3.0, delay_per_bit: 0.1 },
-                CellSpec { name: "cmp_mag", class: CellClass::Comparator, area_base: 3.0, area_per_bit: 4.5, delay_base: 2.0, delay_per_bit: 0.4 },
-                CellSpec { name: "logic_unit", class: CellClass::Logic, area_base: 2.0, area_per_bit: 3.0, delay_base: 1.0, delay_per_bit: 0.0 },
-                CellSpec { name: "fu_universal", class: CellClass::Universal, area_base: 120.0, area_per_bit: 160.0, delay_base: 30.0, delay_per_bit: 3.0 },
-                CellSpec { name: "reg_dff", class: CellClass::Register, area_base: 1.0, area_per_bit: 6.0, delay_base: 1.2, delay_per_bit: 0.0 },
-                CellSpec { name: "mux2", class: CellClass::Mux, area_base: 0.5, area_per_bit: 2.5, delay_base: 0.8, delay_per_bit: 0.0 },
-                CellSpec { name: "bus_driver", class: CellClass::BusDriver, area_base: 0.5, area_per_bit: 1.5, delay_base: 1.0, delay_per_bit: 0.0 },
-                CellSpec { name: "mem_1rw", class: CellClass::Memory, area_base: 200.0, area_per_bit: 40.0, delay_base: 25.0, delay_per_bit: 0.2 },
+                CellSpec {
+                    name: "add_ripple",
+                    class: CellClass::Alu,
+                    area_base: 4.0,
+                    area_per_bit: 9.0,
+                    delay_base: 2.0,
+                    delay_per_bit: 0.9,
+                },
+                CellSpec {
+                    name: "add_cla",
+                    class: CellClass::Alu,
+                    area_base: 20.0,
+                    area_per_bit: 16.0,
+                    delay_base: 6.0,
+                    delay_per_bit: 0.12,
+                },
+                CellSpec {
+                    name: "mul_array",
+                    class: CellClass::Multiplier,
+                    area_base: 40.0,
+                    area_per_bit: 110.0,
+                    delay_base: 14.0,
+                    delay_per_bit: 2.1,
+                },
+                CellSpec {
+                    name: "div_iter",
+                    class: CellClass::Divider,
+                    area_base: 60.0,
+                    area_per_bit: 130.0,
+                    delay_base: 30.0,
+                    delay_per_bit: 4.0,
+                },
+                CellSpec {
+                    name: "shift_barrel",
+                    class: CellClass::Shifter,
+                    area_base: 8.0,
+                    area_per_bit: 12.0,
+                    delay_base: 3.0,
+                    delay_per_bit: 0.1,
+                },
+                CellSpec {
+                    name: "cmp_mag",
+                    class: CellClass::Comparator,
+                    area_base: 3.0,
+                    area_per_bit: 4.5,
+                    delay_base: 2.0,
+                    delay_per_bit: 0.4,
+                },
+                CellSpec {
+                    name: "logic_unit",
+                    class: CellClass::Logic,
+                    area_base: 2.0,
+                    area_per_bit: 3.0,
+                    delay_base: 1.0,
+                    delay_per_bit: 0.0,
+                },
+                CellSpec {
+                    name: "fu_universal",
+                    class: CellClass::Universal,
+                    area_base: 120.0,
+                    area_per_bit: 160.0,
+                    delay_base: 30.0,
+                    delay_per_bit: 3.0,
+                },
+                CellSpec {
+                    name: "reg_dff",
+                    class: CellClass::Register,
+                    area_base: 1.0,
+                    area_per_bit: 6.0,
+                    delay_base: 1.2,
+                    delay_per_bit: 0.0,
+                },
+                CellSpec {
+                    name: "mux2",
+                    class: CellClass::Mux,
+                    area_base: 0.5,
+                    area_per_bit: 2.5,
+                    delay_base: 0.8,
+                    delay_per_bit: 0.0,
+                },
+                CellSpec {
+                    name: "bus_driver",
+                    class: CellClass::BusDriver,
+                    area_base: 0.5,
+                    area_per_bit: 1.5,
+                    delay_base: 1.0,
+                    delay_per_bit: 0.0,
+                },
+                CellSpec {
+                    name: "mem_1rw",
+                    class: CellClass::Memory,
+                    area_base: 200.0,
+                    area_per_bit: 40.0,
+                    delay_base: 25.0,
+                    delay_per_bit: 0.2,
+                },
             ],
         }
     }
@@ -125,7 +209,12 @@ impl Library {
     /// Module binding: the *cheapest* cell of `class` whose `width`-bit
     /// delay does not exceed `max_delay_ns` (if given). Falls back to the
     /// fastest cell when nothing meets the budget.
-    pub fn bind(&self, class: CellClass, width: u8, max_delay_ns: Option<f64>) -> Option<&CellSpec> {
+    pub fn bind(
+        &self,
+        class: CellClass,
+        width: u8,
+        max_delay_ns: Option<f64>,
+    ) -> Option<&CellSpec> {
         let mut feasible: Vec<&CellSpec> = self
             .cells_of(class)
             .filter(|c| max_delay_ns.is_none_or(|d| c.delay(width) <= d))
@@ -206,7 +295,10 @@ mod tests {
         let m2 = mux_area(&lib, 2, 32);
         let m4 = mux_area(&lib, 4, 32);
         assert!(m2 > 0.0);
-        assert!((m4 - 3.0 * m2).abs() < 1e-9, "n-way mux = (n-1) two-way muxes");
+        assert!(
+            (m4 - 3.0 * m2).abs() < 1e-9,
+            "n-way mux = (n-1) two-way muxes"
+        );
     }
 
     #[test]

@@ -113,7 +113,10 @@ impl std::error::Error for NetlistError {}
 impl Netlist {
     /// Creates an empty netlist named `name`.
     pub fn new(name: &str) -> Self {
-        Netlist { name: name.to_string(), ..Default::default() }
+        Netlist {
+            name: name.to_string(),
+            ..Default::default()
+        }
     }
 
     /// The module name.
@@ -123,13 +126,21 @@ impl Netlist {
 
     /// Adds a net and returns its id.
     pub fn add_net(&mut self, name: &str, width: u8) -> NetId {
-        self.nets.alloc(Net { name: name.to_string(), width })
+        self.nets.alloc(Net {
+            name: name.to_string(),
+            width,
+        })
     }
 
     /// Adds a top-level port (and its net), returning the net id.
     pub fn add_port(&mut self, name: &str, dir: PortDir, width: u8) -> NetId {
         let net = self.add_net(name, width);
-        self.ports.push(Port { name: name.to_string(), dir, width, net });
+        self.ports.push(Port {
+            name: name.to_string(),
+            dir,
+            width,
+            net,
+        });
         net
     }
 
@@ -192,18 +203,24 @@ impl Netlist {
         let mut names = HashSet::new();
         for (_, inst) in self.instances.iter() {
             if !names.insert(inst.name.clone()) {
-                return Err(NetlistError::DuplicateName { name: inst.name.clone() });
+                return Err(NetlistError::DuplicateName {
+                    name: inst.name.clone(),
+                });
             }
             for (_, net) in &inst.pins {
                 if net.index() >= self.nets.len() {
-                    return Err(NetlistError::DanglingPin { instance: inst.name.clone() });
+                    return Err(NetlistError::DanglingPin {
+                        instance: inst.name.clone(),
+                    });
                 }
             }
         }
         let mut net_names = HashSet::new();
         for (_, net) in self.nets.iter() {
             if !net_names.insert(net.name.clone()) {
-                return Err(NetlistError::DuplicateName { name: net.name.clone() });
+                return Err(NetlistError::DuplicateName {
+                    name: net.name.clone(),
+                });
             }
         }
         Ok(())
@@ -219,7 +236,12 @@ mod tests {
         let a = n.add_port("a", PortDir::In, 8);
         let y = n.add_port("y", PortDir::Out, 8);
         let mid = n.add_net("mid", 8);
-        n.add_instance("u0", "add_ripple", 8, vec![("a".into(), a), ("y".into(), mid)]);
+        n.add_instance(
+            "u0",
+            "add_ripple",
+            8,
+            vec![("a".into(), a), ("y".into(), mid)],
+        );
         n.add_instance("u1", "reg_dff", 8, vec![("d".into(), mid), ("q".into(), y)]);
         n
     }
@@ -238,13 +260,19 @@ mod tests {
         let mut n = tiny();
         let a = n.add_net("x", 8);
         n.add_instance("u0", "mux2", 8, vec![("a".into(), a)]);
-        assert!(matches!(n.validate(), Err(NetlistError::DuplicateName { .. })));
+        assert!(matches!(
+            n.validate(),
+            Err(NetlistError::DuplicateName { .. })
+        ));
     }
 
     #[test]
     fn duplicate_net_name_rejected() {
         let mut n = tiny();
         n.add_net("mid", 8);
-        assert!(matches!(n.validate(), Err(NetlistError::DuplicateName { .. })));
+        assert!(matches!(
+            n.validate(),
+            Err(NetlistError::DuplicateName { .. })
+        ));
     }
 }

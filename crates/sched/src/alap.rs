@@ -33,7 +33,10 @@ pub fn alap_schedule(
 ) -> Result<Schedule, ScheduleError> {
     let (_, cp) = unconstrained_asap(dfg, classifier)?;
     if deadline < cp {
-        return Err(ScheduleError::DeadlineTooShort { deadline, critical_path: cp });
+        return Err(ScheduleError::DeadlineTooShort {
+            deadline,
+            critical_path: cp,
+        });
     }
     let unconstrained = unconstrained_alap(dfg, classifier, deadline)?;
     // Reverse topological order; each op takes the latest feasible step.
@@ -54,7 +57,11 @@ pub fn alap_schedule(
                 continue;
             }
             let ss = steps[&succ];
-            let bound = if classifier.is_free(dfg, succ) { ss } else { ss.saturating_sub(1) };
+            let bound = if classifier.is_free(dfg, succ) {
+                ss
+            } else {
+                ss.saturating_sub(1)
+            };
             latest = latest.min(bound);
         }
         let step = match classifier.classify(dfg, op) {

@@ -102,7 +102,9 @@ mod tests {
         let limits = ResourceLimits::universal(0);
         assert_eq!(
             asap_schedule(&g, &cls, &limits),
-            Err(ScheduleError::ZeroResource { class: FuClass::Universal })
+            Err(ScheduleError::ZeroResource {
+                class: FuClass::Universal
+            })
         );
     }
 
@@ -113,7 +115,10 @@ mod tests {
         let y = g.add_input("y", 32);
         let m1 = g.add_op(OpKind::Mul, vec![x, y]);
         let m2 = g.add_op(OpKind::Mul, vec![x, x]);
-        let a = g.add_op(OpKind::Add, vec![g.result(m1).unwrap(), g.result(m2).unwrap()]);
+        let a = g.add_op(
+            OpKind::Add,
+            vec![g.result(m1).unwrap(), g.result(m2).unwrap()],
+        );
         g.set_output("z", g.result(a).unwrap());
         let cls = OpClassifier::typed();
         let limits = ResourceLimits::unlimited().with(FuClass::Multiplier, 1);

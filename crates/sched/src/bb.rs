@@ -130,7 +130,9 @@ fn dfs(
         return false;
     }
     let op = order[idx];
-    let class = classifier.classify(dfg, op).expect("order holds step-taking ops");
+    let class = classifier
+        .classify(dfg, op)
+        .expect("order holds step-taking ops");
     let ready = {
         // earliest_start needs *all* non-wired preds scheduled; chained-free
         // preds are not in `steps`, so resolve them on the fly.
@@ -154,8 +156,19 @@ fn dfs(
             steps.insert(op, t);
             let new_makespan = makespan.max(t + 1);
             let stop = dfs(
-                dfg, classifier, limits, order, idx + 1, tail, steps, usage,
-                new_makespan, best_len, best, nodes, budget,
+                dfg,
+                classifier,
+                limits,
+                order,
+                idx + 1,
+                tail,
+                steps,
+                usage,
+                new_makespan,
+                best_len,
+                best,
+                nodes,
+                budget,
             );
             if stop {
                 return true;
@@ -181,7 +194,10 @@ fn transitive_unscheduled_preds(
         if is_wired(dfg, p) || steps.contains_key(&p) || out.contains(&p) {
             continue;
         }
-        debug_assert!(classifier.is_free(dfg, p), "step-taking preds are scheduled first");
+        debug_assert!(
+            classifier.is_free(dfg, p),
+            "step-taking preds are scheduled first"
+        );
         work.extend(dfg.preds(p));
         out.push(p);
     }

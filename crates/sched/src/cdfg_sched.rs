@@ -86,9 +86,7 @@ pub fn schedule_cdfg(
             Algorithm::BranchAndBound { node_budget } => {
                 branch_and_bound_schedule(dfg, classifier, limits, node_budget)?
             }
-            Algorithm::Transformational => {
-                transformational_schedule(dfg, classifier, limits)?.0
-            }
+            Algorithm::Transformational => transformational_schedule(dfg, classifier, limits)?.0,
         };
         out.insert(block, schedule);
     }
@@ -110,8 +108,7 @@ mod tests {
         let cdfg = sqrt_cdfg();
         let cls = OpClassifier::universal();
         let limits = ResourceLimits::single_universal();
-        let s = schedule_cdfg(&cdfg, &cls, &limits, Algorithm::List(Priority::PathLength))
-            .unwrap();
+        let s = schedule_cdfg(&cdfg, &cls, &limits, Algorithm::List(Priority::PathLength)).unwrap();
         assert_eq!(s.total_latency(&cdfg), 23);
     }
 
@@ -124,8 +121,7 @@ mod tests {
         hls_opt::optimize(&mut cdfg);
         let cls = OpClassifier::universal_free_shifts();
         let limits = ResourceLimits::universal(2);
-        let s = schedule_cdfg(&cdfg, &cls, &limits, Algorithm::List(Priority::PathLength))
-            .unwrap();
+        let s = schedule_cdfg(&cdfg, &cls, &limits, Algorithm::List(Priority::PathLength)).unwrap();
         assert_eq!(s.total_latency(&cdfg), 10);
     }
 
@@ -137,8 +133,7 @@ mod tests {
         hls_opt::optimize(&mut cdfg);
         let cls = OpClassifier::universal_free_shifts();
         let limits = ResourceLimits::single_universal();
-        let s = schedule_cdfg(&cdfg, &cls, &limits, Algorithm::List(Priority::PathLength))
-            .unwrap();
+        let s = schedule_cdfg(&cdfg, &cls, &limits, Algorithm::List(Priority::PathLength)).unwrap();
         assert_eq!(s.total_latency(&cdfg), 19);
     }
 
@@ -154,7 +149,9 @@ mod tests {
             Algorithm::List(Priority::Urgency),
             Algorithm::ForceDirected { slack: 0 },
             Algorithm::FreedomBased { slack: 0 },
-            Algorithm::BranchAndBound { node_budget: 1_000_000 },
+            Algorithm::BranchAndBound {
+                node_budget: 1_000_000,
+            },
             Algorithm::Transformational,
         ] {
             let s = schedule_cdfg(&cdfg, &cls, &limits, alg)
@@ -170,8 +167,7 @@ mod tests {
         let cdfg = hls_lang::compile(hls_workloads::sources::GCD).unwrap();
         let cls = OpClassifier::universal();
         let limits = ResourceLimits::universal(1);
-        let s = schedule_cdfg(&cdfg, &cls, &limits, Algorithm::List(Priority::PathLength))
-            .unwrap();
+        let s = schedule_cdfg(&cdfg, &cls, &limits, Algorithm::List(Priority::PathLength)).unwrap();
         // Latency with default single-trip loops is positive and counts the
         // while-condition block twice (entry + exit test).
         assert!(s.total_latency(&cdfg) > 0);

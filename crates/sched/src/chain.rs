@@ -57,7 +57,10 @@ impl DelayModel {
         ] {
             delays.insert(k, d);
         }
-        DelayModel { delays, default_ns: 20.0 }
+        DelayModel {
+            delays,
+            default_ns: 20.0,
+        }
     }
 
     /// Delay of `kind` in nanoseconds.
@@ -113,7 +116,9 @@ impl ChainedSchedule {
             let step = self
                 .schedule
                 .step(op)
-                .ok_or_else(|| ScheduleError::Unscheduled { op: format!("{op:?}") })?;
+                .ok_or_else(|| ScheduleError::Unscheduled {
+                    op: format!("{op:?}"),
+                })?;
             if is_wired(dfg, op) {
                 continue;
             }
@@ -232,7 +237,11 @@ pub fn chained_schedule(
             break;
         }
     }
-    Ok(ChainedSchedule { schedule, start_ns, critical_ns: critical.max(cycle_ns.min(critical)) })
+    Ok(ChainedSchedule {
+        schedule,
+        start_ns,
+        critical_ns: critical.max(cycle_ns.min(critical)),
+    })
 }
 
 #[cfg(test)]
@@ -257,8 +266,14 @@ mod tests {
     fn three_adds_chain_into_one_step_with_generous_clock() {
         let (g, ops) = chain_graph();
         let cls = OpClassifier::typed();
-        let cs = chained_schedule(&g, &cls, &ResourceLimits::unlimited(),
-            &DelayModel::standard(), 100.0).unwrap();
+        let cs = chained_schedule(
+            &g,
+            &cls,
+            &ResourceLimits::unlimited(),
+            &DelayModel::standard(),
+            100.0,
+        )
+        .unwrap();
         assert_eq!(cs.schedule.step(ops[0]), Some(0));
         assert_eq!(cs.schedule.step(ops[1]), Some(0));
         assert_eq!(cs.schedule.step(ops[2]), Some(0));
@@ -272,8 +287,14 @@ mod tests {
         let cls = OpClassifier::typed();
         // 25 ns: one 20 ns add per step; the 80 ns mul overhangs (clock
         // stretch reported via critical_ns).
-        let cs = chained_schedule(&g, &cls, &ResourceLimits::unlimited(),
-            &DelayModel::standard(), 25.0).unwrap();
+        let cs = chained_schedule(
+            &g,
+            &cls,
+            &ResourceLimits::unlimited(),
+            &DelayModel::standard(),
+            25.0,
+        )
+        .unwrap();
         assert_eq!(cs.schedule.step(ops[0]), Some(0));
         assert_eq!(cs.schedule.step(ops[1]), Some(1));
         assert_eq!(cs.schedule.step(ops[2]), Some(2));
@@ -284,10 +305,22 @@ mod tests {
     fn chaining_shortens_schedules() {
         let (g, _) = chain_graph();
         let cls = OpClassifier::typed();
-        let fast = chained_schedule(&g, &cls, &ResourceLimits::unlimited(),
-            &DelayModel::standard(), 60.0).unwrap();
-        let slow = chained_schedule(&g, &cls, &ResourceLimits::unlimited(),
-            &DelayModel::standard(), 20.0).unwrap();
+        let fast = chained_schedule(
+            &g,
+            &cls,
+            &ResourceLimits::unlimited(),
+            &DelayModel::standard(),
+            60.0,
+        )
+        .unwrap();
+        let slow = chained_schedule(
+            &g,
+            &cls,
+            &ResourceLimits::unlimited(),
+            &DelayModel::standard(),
+            20.0,
+        )
+        .unwrap();
         assert!(fast.schedule.num_steps() < slow.schedule.num_steps());
     }
 
@@ -297,7 +330,8 @@ mod tests {
         let cls = OpClassifier::typed();
         let limits = ResourceLimits::unlimited().with(crate::FuClass::Alu, 1);
         let cs = chained_schedule(&g, &cls, &limits, &DelayModel::standard(), 100.0).unwrap();
-        cs.verify(&g, &cls, &limits, &DelayModel::standard()).unwrap();
+        cs.verify(&g, &cls, &limits, &DelayModel::standard())
+            .unwrap();
         // With one ALU the adds cannot chain: three separate steps.
         assert!(cs.schedule.num_steps() >= 3);
     }

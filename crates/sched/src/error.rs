@@ -59,13 +59,24 @@ impl fmt::Display for ScheduleError {
             ScheduleError::Cycle => write!(f, "data-flow graph contains a cycle"),
             ScheduleError::Unscheduled { op } => write!(f, "operation {op} left unscheduled"),
             ScheduleError::PrecedenceViolated { pred, succ } => {
-                write!(f, "operation {succ} scheduled no later than its producer {pred}")
+                write!(
+                    f,
+                    "operation {succ} scheduled no later than its producer {pred}"
+                )
             }
-            ScheduleError::ResourceExceeded { class, step, used, limit } => write!(
+            ScheduleError::ResourceExceeded {
+                class,
+                step,
+                used,
+                limit,
+            } => write!(
                 f,
                 "step {step} uses {used} `{class}` units but only {limit} available"
             ),
-            ScheduleError::DeadlineTooShort { deadline, critical_path } => write!(
+            ScheduleError::DeadlineTooShort {
+                deadline,
+                critical_path,
+            } => write!(
                 f,
                 "deadline of {deadline} steps is shorter than the critical path ({critical_path})"
             ),
@@ -88,7 +99,9 @@ impl From<hls_cdfg::CdfgError> for ScheduleError {
     fn from(e: hls_cdfg::CdfgError) -> Self {
         match e {
             hls_cdfg::CdfgError::Cycle => ScheduleError::Cycle,
-            other => ScheduleError::Unscheduled { op: other.to_string() },
+            other => ScheduleError::Unscheduled {
+                op: other.to_string(),
+            },
         }
     }
 }
@@ -99,7 +112,10 @@ mod tests {
 
     #[test]
     fn messages_are_lowercase() {
-        let e = ScheduleError::DeadlineTooShort { deadline: 2, critical_path: 4 };
+        let e = ScheduleError::DeadlineTooShort {
+            deadline: 2,
+            critical_path: 4,
+        };
         assert!(e.to_string().starts_with("deadline"));
         let e = ScheduleError::ResourceExceeded {
             class: FuClass::Alu,

@@ -45,7 +45,13 @@ pub fn distribution_graphs(
     deadline: u32,
 ) -> Result<DistributionGraphs, ScheduleError> {
     let ranges = initial_ranges(dfg, classifier, deadline)?;
-    Ok(graphs_from_ranges(dfg, classifier, &ranges, deadline, &HashMap::new()))
+    Ok(graphs_from_ranges(
+        dfg,
+        classifier,
+        &ranges,
+        deadline,
+        &HashMap::new(),
+    ))
 }
 
 fn initial_ranges(
@@ -55,7 +61,10 @@ fn initial_ranges(
 ) -> Result<Ranges, ScheduleError> {
     let (asap, cp) = unconstrained_asap(dfg, classifier)?;
     if deadline < cp {
-        return Err(ScheduleError::DeadlineTooShort { deadline, critical_path: cp });
+        return Err(ScheduleError::DeadlineTooShort {
+            deadline,
+            critical_path: cp,
+        });
     }
     let alap = unconstrained_alap(dfg, classifier, deadline)?;
     let lo = asap;
@@ -75,8 +84,12 @@ fn graphs_from_ranges(
 ) -> DistributionGraphs {
     let mut dg: DistributionGraphs = BTreeMap::new();
     for op in dfg.op_ids() {
-        let Some(class) = classifier.classify(dfg, op) else { continue };
-        let entry = dg.entry(class).or_insert_with(|| vec![0.0; deadline as usize]);
+        let Some(class) = classifier.classify(dfg, op) else {
+            continue;
+        };
+        let entry = dg
+            .entry(class)
+            .or_insert_with(|| vec![0.0; deadline as usize]);
         if let Some(&s) = placed.get(&op) {
             entry[s as usize] += 1.0;
         } else {
@@ -130,7 +143,9 @@ pub fn force_directed_schedule(
         let dg = graphs_from_ranges(dfg, classifier, &ranges, deadline, &placed);
         let mut best: Option<(f64, OpId, u32)> = None;
         for &op in &pending {
-            let class = classifier.classify(dfg, op).expect("pending ops have a class");
+            let class = classifier
+                .classify(dfg, op)
+                .expect("pending ops have a class");
             let (lo, hi) = ranges.range(op);
             for t in lo..=hi {
                 let force = total_force(dfg, classifier, &ranges, &dg, op, class, t);
@@ -138,8 +153,7 @@ pub fn force_directed_schedule(
                 let better = match &best {
                     None => true,
                     Some((bf, bo, bt)) => {
-                        force < bf - 1e-12
-                            || ((force - bf).abs() <= 1e-12 && (t, op) < (*bt, *bo))
+                        force < bf - 1e-12 || ((force - bf).abs() <= 1e-12 && (t, op) < (*bt, *bo))
                     }
                 };
                 if better {
@@ -260,7 +274,11 @@ fn propagate(
             if is_wired(dfg, pred) {
                 continue;
             }
-            let max_end = if classifier.is_free(dfg, o) { ohi } else { ohi.saturating_sub(1) };
+            let max_end = if classifier.is_free(dfg, o) {
+                ohi
+            } else {
+                ohi.saturating_sub(1)
+            };
             if ranges.hi[&pred] > max_end {
                 ranges.hi.insert(pred, max_end);
                 let lo = ranges.lo[&pred].min(max_end);
@@ -346,7 +364,13 @@ mod tests {
             s.validate(&g, &cls, &ResourceLimits::unlimited()).unwrap();
             let total: usize = s.fu_usage(&g, &cls).values().sum();
             if let Some(p) = prev {
-                assert!(total <= p + 1, "deadline {} jumped {} -> {}", cp + extra, p, total);
+                assert!(
+                    total <= p + 1,
+                    "deadline {} jumped {} -> {}",
+                    cp + extra,
+                    p,
+                    total
+                );
             }
             prev = Some(total);
         }

@@ -32,7 +32,10 @@ pub fn freedom_based_schedule(
 ) -> Result<Schedule, ScheduleError> {
     let (asap, cp) = unconstrained_asap(dfg, classifier)?;
     if deadline < cp {
-        return Err(ScheduleError::DeadlineTooShort { deadline, critical_path: cp });
+        return Err(ScheduleError::DeadlineTooShort {
+            deadline,
+            critical_path: cp,
+        });
     }
     let alap = unconstrained_alap(dfg, classifier, deadline)?;
     let mut lo = asap;
@@ -56,7 +59,16 @@ pub fn freedom_based_schedule(
     critical.sort_by_key(|op| (lo[op], *op));
     for op in critical {
         let t = lo[&op];
-        place(dfg, classifier, op, t, &mut placed, &mut schedule, &mut usage, &mut unit_count);
+        place(
+            dfg,
+            classifier,
+            op,
+            t,
+            &mut placed,
+            &mut schedule,
+            &mut usage,
+            &mut unit_count,
+        );
         propagate(dfg, classifier, &mut lo, &mut hi, op, t);
     }
     // Wired constants: step 0.
@@ -78,7 +90,9 @@ pub fn freedom_based_schedule(
         }
         pending.sort_by_key(|op| (hi[op] - lo[op], *op));
         let op = pending[0];
-        let class = classifier.classify(dfg, op).expect("pending op has a class");
+        let class = classifier
+            .classify(dfg, op)
+            .expect("pending op has a class");
         // Least added cost: a step where current usage is below the unit
         // count; otherwise the least-used step (adding a unit).
         let current_units = unit_count.get(&class).copied().unwrap_or(0);
@@ -92,7 +106,16 @@ pub fn freedom_based_schedule(
             }
         }
         let (_, _, t) = best.expect("range is nonempty");
-        place(dfg, classifier, op, t, &mut placed, &mut schedule, &mut usage, &mut unit_count);
+        place(
+            dfg,
+            classifier,
+            op,
+            t,
+            &mut placed,
+            &mut schedule,
+            &mut usage,
+            &mut unit_count,
+        );
         propagate(dfg, classifier, &mut lo, &mut hi, op, t);
     }
 
@@ -158,7 +181,11 @@ fn propagate(
             if is_wired(dfg, pred) {
                 continue;
             }
-            let max_end = if classifier.is_free(dfg, o) { ohi } else { ohi.saturating_sub(1) };
+            let max_end = if classifier.is_free(dfg, o) {
+                ohi
+            } else {
+                ohi.saturating_sub(1)
+            };
             if hi[&pred] > max_end {
                 hi.insert(pred, max_end);
                 let l = lo[&pred].min(max_end);

@@ -81,9 +81,7 @@ pub fn list_schedule(
             let free_ready: Vec<OpId> = unscheduled
                 .iter()
                 .copied()
-                .filter(|&op| {
-                    classifier.is_free(dfg, op) && preds_scheduled(dfg, &steps, op)
-                })
+                .filter(|&op| classifier.is_free(dfg, op) && preds_scheduled(dfg, &steps, op))
                 .collect();
             if free_ready.is_empty() {
                 break;
@@ -109,7 +107,9 @@ pub fn list_schedule(
             .collect();
         ready.sort_by_key(|&op| (std::cmp::Reverse(rank[&op]), op));
         for op in ready {
-            let class = classifier.classify(dfg, op).expect("free ops handled above");
+            let class = classifier
+                .classify(dfg, op)
+                .expect("free ops handled above");
             if limits.limit(class) == 0 {
                 return Err(ScheduleError::ZeroResource { class });
             }

@@ -129,7 +129,8 @@ fn rec_mii(dfg: &DataFlowGraph, classifier: &OpClassifier, schedule: &Schedule) 
             }
             ValueDef::BlockInput(_) => 0,
         };
-        let first_use = dfg.value(in_val)
+        let first_use = dfg
+            .value(in_val)
             .uses
             .iter()
             .filter_map(|&u| schedule.step(u))
@@ -179,7 +180,8 @@ fn recurrences_close(dfg: &DataFlowGraph, schedule: &Schedule, ii: u32) -> bool 
             ValueDef::Op(p) => schedule.step(p).map(|s| s + 1).unwrap_or(0),
             ValueDef::BlockInput(_) => 0,
         };
-        let first_use = dfg.value(in_val)
+        let first_use = dfg
+            .value(in_val)
             .uses
             .iter()
             .filter_map(|&u| schedule.step(u))

@@ -48,11 +48,7 @@ pub fn earliest_start(
 }
 
 /// `true` when every non-wired predecessor of `op` is in `steps`.
-pub fn preds_scheduled(
-    dfg: &DataFlowGraph,
-    steps: &HashMap<OpId, u32>,
-    op: OpId,
-) -> bool {
+pub fn preds_scheduled(dfg: &DataFlowGraph, steps: &HashMap<OpId, u32>, op: OpId) -> bool {
     dfg.preds(op)
         .into_iter()
         .all(|p| is_wired(dfg, p) || steps.contains_key(&p))
@@ -159,7 +155,7 @@ mod tests {
     }
 
     #[test]
-    fn alap_mirrors_asap_on_critical_path(){
+    fn alap_mirrors_asap_on_critical_path() {
         let (g, div, add, shr, inc) = fig2_body();
         let cls = OpClassifier::universal_free_shifts();
         let alap = unconstrained_alap(&g, &cls, 2).unwrap();

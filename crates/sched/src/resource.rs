@@ -85,18 +85,27 @@ impl OpClassifier {
     /// Universal-FU classifier without free shifts (the paper's unoptimized
     /// 23-step model).
     pub fn universal() -> Self {
-        OpClassifier { style: ClassifierStyle::Universal, free_const_shifts: false }
+        OpClassifier {
+            style: ClassifierStyle::Universal,
+            free_const_shifts: false,
+        }
     }
 
     /// Universal-FU classifier with free constant shifts (the paper's
     /// optimized 10-step model).
     pub fn universal_free_shifts() -> Self {
-        OpClassifier { style: ClassifierStyle::Universal, free_const_shifts: true }
+        OpClassifier {
+            style: ClassifierStyle::Universal,
+            free_const_shifts: true,
+        }
     }
 
     /// Typed-FU classifier with free constant shifts.
     pub fn typed() -> Self {
-        OpClassifier { style: ClassifierStyle::Typed, free_const_shifts: true }
+        OpClassifier {
+            style: ClassifierStyle::Typed,
+            free_const_shifts: true,
+        }
     }
 
     /// The FU class executing `op`, or `None` when the op is free.
@@ -114,7 +123,11 @@ impl OpClassifier {
         Some(match self.style {
             ClassifierStyle::Universal => FuClass::Universal,
             ClassifierStyle::Typed => match o.kind {
-                OpKind::Add | OpKind::Sub | OpKind::Inc | OpKind::Dec | OpKind::Neg
+                OpKind::Add
+                | OpKind::Sub
+                | OpKind::Inc
+                | OpKind::Dec
+                | OpKind::Neg
                 | OpKind::Copy => FuClass::Alu,
                 OpKind::Mul => FuClass::Multiplier,
                 OpKind::Div | OpKind::Mod => FuClass::Divider,
@@ -138,10 +151,7 @@ impl OpClassifier {
     /// `&Operation` without graph context. Constant shifts are resolved
     /// pessimistically (not free) by that adapter; use the id-based
     /// [`OpClassifier::is_free`] wherever possible.
-    pub fn free_fn<'a>(
-        &'a self,
-        dfg: &'a DataFlowGraph,
-    ) -> impl Fn(OpId) -> bool + 'a {
+    pub fn free_fn<'a>(&'a self, dfg: &'a DataFlowGraph) -> impl Fn(OpId) -> bool + 'a {
         move |op| self.is_free(dfg, op)
     }
 }
@@ -227,7 +237,11 @@ mod tests {
         let (g, shr, _, vshift) = graph();
         let c = OpClassifier::universal_free_shifts();
         assert_eq!(c.classify(&g, shr), None, "shift by const is wiring");
-        assert_eq!(c.classify(&g, vshift), Some(FuClass::Universal), "variable shift needs hw");
+        assert_eq!(
+            c.classify(&g, vshift),
+            Some(FuClass::Universal),
+            "variable shift needs hw"
+        );
     }
 
     #[test]

@@ -59,8 +59,12 @@ impl Schedule {
 
     /// Ops in `step`, sorted by id for determinism.
     pub fn ops_in_step(&self, step: u32) -> Vec<OpId> {
-        let mut v: Vec<OpId> =
-            self.steps.iter().filter(|(_, &s)| s == step).map(|(&o, _)| o).collect();
+        let mut v: Vec<OpId> = self
+            .steps
+            .iter()
+            .filter(|(_, &s)| s == step)
+            .map(|(&o, _)| o)
+            .collect();
         v.sort();
         v
     }
@@ -103,7 +107,9 @@ impl Schedule {
     ) -> Result<(), ScheduleError> {
         for op in dfg.op_ids() {
             let Some(step) = self.step(op) else {
-                return Err(ScheduleError::Unscheduled { op: format!("{op:?}") });
+                return Err(ScheduleError::Unscheduled {
+                    op: format!("{op:?}"),
+                });
             };
             if crate::precedence::is_wired(dfg, op) {
                 continue; // constants have no timing constraints
@@ -113,9 +119,9 @@ impl Schedule {
                 if crate::precedence::is_wired(dfg, pred) {
                     continue;
                 }
-                let ps = self
-                    .step(pred)
-                    .ok_or_else(|| ScheduleError::Unscheduled { op: format!("{pred:?}") })?;
+                let ps = self.step(pred).ok_or_else(|| ScheduleError::Unscheduled {
+                    op: format!("{pred:?}"),
+                })?;
                 // A chained free consumer (e.g. the Fig. 2 free shift) may
                 // share its producer's step; a step-taking consumer must
                 // start after the producer's value registers.
@@ -212,18 +218,23 @@ impl CdfgSchedule {
 
     fn region_latency(&self, cdfg: &Cdfg, region: &Region, default_trip: u64) -> u64 {
         match region {
-            Region::Block(b) => {
-                self.per_block.get(b).map(|s| s.num_steps() as u64).unwrap_or(0)
-            }
-            Region::Seq(rs) => {
-                rs.iter().map(|r| self.region_latency(cdfg, r, default_trip)).sum()
-            }
+            Region::Block(b) => self
+                .per_block
+                .get(b)
+                .map(|s| s.num_steps() as u64)
+                .unwrap_or(0),
+            Region::Seq(rs) => rs
+                .iter()
+                .map(|r| self.region_latency(cdfg, r, default_trip))
+                .sum(),
             Region::Loop(l) => {
                 let body = self.region_latency(cdfg, &l.body, default_trip);
                 let cond = match (l.kind, l.cond_block) {
-                    (LoopKind::While, Some(c)) => {
-                        self.per_block.get(&c).map(|s| s.num_steps() as u64).unwrap_or(0)
-                    }
+                    (LoopKind::While, Some(c)) => self
+                        .per_block
+                        .get(&c)
+                        .map(|s| s.num_steps() as u64)
+                        .unwrap_or(0),
                     _ => 0,
                 };
                 let trips = l.trip_hint.unwrap_or(default_trip);
@@ -302,11 +313,19 @@ mod tests {
         s.assign(a, 0);
         s.assign(b, 0);
         let err = s
-            .validate(&g, &OpClassifier::universal(), &ResourceLimits::single_universal())
+            .validate(
+                &g,
+                &OpClassifier::universal(),
+                &ResourceLimits::single_universal(),
+            )
             .unwrap_err();
         assert!(matches!(err, ScheduleError::ResourceExceeded { .. }));
-        s.validate(&g, &OpClassifier::universal(), &ResourceLimits::universal(2))
-            .unwrap();
+        s.validate(
+            &g,
+            &OpClassifier::universal(),
+            &ResourceLimits::universal(2),
+        )
+        .unwrap();
     }
 
     #[test]
@@ -324,7 +343,8 @@ mod tests {
         s.assign(const_op, 0);
         s.assign(a, 0);
         s.assign(sh, 0);
-        s.validate(&g, &cls, &ResourceLimits::single_universal()).unwrap();
+        s.validate(&g, &cls, &ResourceLimits::single_universal())
+            .unwrap();
         assert_eq!(s.fu_usage(&g, &cls).get(&FuClass::Universal), Some(&1));
     }
 

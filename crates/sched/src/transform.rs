@@ -58,15 +58,17 @@ pub fn transformational_schedule(
                 // defer the one with the least downstream weight.
                 let mut candidates: Vec<OpId> = steps
                     .iter()
-                    .filter(|(&op, &s)| {
-                        s == step && classifier.classify(dfg, op) == Some(class)
-                    })
+                    .filter(|(&op, &s)| s == step && classifier.classify(dfg, op) == Some(class))
                     .map(|(&op, _)| op)
                     .collect();
                 candidates.sort_by_key(|op| (priority[op], std::cmp::Reverse(*op)));
                 let victim = candidates[0];
                 let to = step + 1;
-                moves.push(Move { op: victim, from: step, to });
+                moves.push(Move {
+                    op: victim,
+                    from: step,
+                    to,
+                });
                 steps.insert(victim, to);
                 ripple_forward(dfg, classifier, &mut steps, victim);
                 if moves.len() as u64 > max_moves {
@@ -146,8 +148,7 @@ mod tests {
     fn no_moves_when_unconstrained() {
         let (g, _) = fig3_graph();
         let cls = OpClassifier::universal();
-        let (s, moves) = transformational_schedule(&g, &cls, &ResourceLimits::unlimited())
-            .unwrap();
+        let (s, moves) = transformational_schedule(&g, &cls, &ResourceLimits::unlimited()).unwrap();
         assert!(moves.is_empty());
         assert_eq!(s.num_steps(), 3, "stays maximally parallel");
     }
@@ -172,7 +173,8 @@ mod tests {
                 .with(FuClass::Comparator, 1);
             let (s, _) = transformational_schedule(&g, &cls, &limits)
                 .unwrap_or_else(|e| panic!("{name}: {e}"));
-            s.validate(&g, &cls, &limits).unwrap_or_else(|e| panic!("{name}: {e}"));
+            s.validate(&g, &cls, &limits)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
         }
     }
 }

@@ -69,7 +69,11 @@ pub fn eval_op(kind: OpKind, args: &[Fx]) -> Result<Fx, SimError> {
             }
         }
         (Copy, [a]) => *a,
-        _ => return Err(SimError::UnsupportedOp { op: kind.to_string() }),
+        _ => {
+            return Err(SimError::UnsupportedOp {
+                op: kind.to_string(),
+            })
+        }
     })
 }
 
@@ -109,7 +113,13 @@ pub fn interpret(cdfg: &Cdfg, inputs: &BTreeMap<String, Fx>) -> Result<BehavResu
     }
     let mut memories: HashMap<String, HashMap<i64, Fx>> = HashMap::new();
     let mut ops_executed = 0u64;
-    run_region(cdfg, cdfg.body(), &mut env, &mut memories, &mut ops_executed)?;
+    run_region(
+        cdfg,
+        cdfg.body(),
+        &mut env,
+        &mut memories,
+        &mut ops_executed,
+    )?;
     let mut outputs = BTreeMap::new();
     for name in cdfg.outputs() {
         let v = env
@@ -118,7 +128,10 @@ pub fn interpret(cdfg: &Cdfg, inputs: &BTreeMap<String, Fx>) -> Result<BehavResu
             .ok_or_else(|| SimError::UnsetOutput { name: name.clone() })?;
         outputs.insert(name.clone(), v);
     }
-    Ok(BehavResult { outputs, ops_executed })
+    Ok(BehavResult {
+        outputs,
+        ops_executed,
+    })
 }
 
 fn run_region(
@@ -193,9 +206,9 @@ fn run_block(
             .ok_or_else(|| SimError::MissingInput { name: name.clone() })?;
         values.insert(iv, v);
     }
-    let order = dfg
-        .topological_order()
-        .map_err(|e| SimError::BadGraph { detail: e.to_string() })?;
+    let order = dfg.topological_order().map_err(|e| SimError::BadGraph {
+        detail: e.to_string(),
+    })?;
     for id in order {
         let op = dfg.op(id);
         *ops += 1;
@@ -317,8 +330,8 @@ mod tests {
     fn sumsq_uses_memory_correctly() {
         let cdfg = hls_lang::compile(hls_workloads::sources::SUMSQ).unwrap();
         for n in [0i64, 1, 3, 5, 15] {
-            let r = interpret(&cdfg, &BTreeMap::from([("N".to_string(), Fx::from_i64(n))]))
-                .unwrap();
+            let r =
+                interpret(&cdfg, &BTreeMap::from([("N".to_string(), Fx::from_i64(n))])).unwrap();
             let expected: i64 = (0..n).map(|i| i * i).sum();
             assert_eq!(r.outputs["S"], Fx::from_i64(expected), "N = {n}");
         }
@@ -360,8 +373,14 @@ mod tests {
 
     #[test]
     fn eval_op_covers_logic_and_mux() {
-        assert_eq!(eval_op(OpKind::Mux, &[Fx::ONE, fx(2.0), fx(3.0)]).unwrap(), fx(2.0));
-        assert_eq!(eval_op(OpKind::Mux, &[Fx::ZERO, fx(2.0), fx(3.0)]).unwrap(), fx(3.0));
+        assert_eq!(
+            eval_op(OpKind::Mux, &[Fx::ONE, fx(2.0), fx(3.0)]).unwrap(),
+            fx(2.0)
+        );
+        assert_eq!(
+            eval_op(OpKind::Mux, &[Fx::ZERO, fx(2.0), fx(3.0)]).unwrap(),
+            fx(3.0)
+        );
         assert_eq!(
             eval_op(OpKind::Xor, &[Fx::from_raw(0b1100), Fx::from_raw(0b1010)]).unwrap(),
             Fx::from_raw(0b0110)

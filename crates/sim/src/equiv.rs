@@ -52,7 +52,12 @@ pub fn check_vector(
             });
         }
     }
-    Ok(Equivalence { equivalent: true, vectors: 1, mismatch: None, total_cycles: rtl.cycles })
+    Ok(Equivalence {
+        equivalent: true,
+        vectors: 1,
+        mismatch: None,
+        total_cycles: rtl.cycles,
+    })
 }
 
 /// Checks `n` seeded pseudo-random vectors (inputs drawn from
@@ -103,10 +108,19 @@ pub fn check_random_vectors(
         cycles += eq.total_cycles;
         checked += 1;
         if !eq.equivalent {
-            return Ok(Equivalence { vectors: checked, total_cycles: cycles, ..eq });
+            return Ok(Equivalence {
+                vectors: checked,
+                total_cycles: cycles,
+                ..eq
+            });
         }
     }
-    Ok(Equivalence { equivalent: true, vectors: checked, mismatch: None, total_cycles: cycles })
+    Ok(Equivalence {
+        equivalent: true,
+        vectors: checked,
+        mismatch: None,
+        total_cycles: cycles,
+    })
 }
 
 #[cfg(test)]
@@ -145,10 +159,8 @@ mod tests {
             ] {
                 let (cdfg, sched, dp, cls) =
                     full_flow(hls_workloads::sources::SQRT, strategy, alg, 2);
-                let eq = check_random_vectors(
-                    &cdfg, &sched, &dp, &cls, 10, (0.1, 1.0), 42,
-                )
-                .unwrap();
+                let eq =
+                    check_random_vectors(&cdfg, &sched, &dp, &cls, 10, (0.1, 1.0), 42).unwrap();
                 assert!(eq.equivalent, "{strategy:?}/{alg:?}: {:?}", eq.mismatch);
                 assert_eq!(eq.vectors, 10);
             }
@@ -163,8 +175,14 @@ mod tests {
         let limits = ResourceLimits::universal(1);
         let sched =
             schedule_cdfg(&cdfg, &cls, &limits, Algorithm::List(Priority::PathLength)).unwrap();
-        let dp = build_datapath(&cdfg, &sched, &cls, &Library::standard(),
-            FuStrategy::GreedyAware).unwrap();
+        let dp = build_datapath(
+            &cdfg,
+            &sched,
+            &cls,
+            &Library::standard(),
+            FuStrategy::GreedyAware,
+        )
+        .unwrap();
         for (a, b) in [(48, 36), (7, 13), (100, 75), (5, 5)] {
             let inputs = BTreeMap::from([
                 ("A".to_string(), Fx::from_i64(a)),
@@ -183,8 +201,7 @@ mod tests {
             Algorithm::List(Priority::PathLength),
             2,
         );
-        let eq =
-            check_random_vectors(&cdfg, &sched, &dp, &cls, 16, (-2.0, 2.0), 7).unwrap();
+        let eq = check_random_vectors(&cdfg, &sched, &dp, &cls, 16, (-2.0, 2.0), 7).unwrap();
         assert!(eq.equivalent, "{:?}", eq.mismatch);
     }
 
@@ -201,8 +218,14 @@ mod tests {
             .with(FuClass::Comparator, 1);
         let sched =
             schedule_cdfg(&cdfg, &cls, &limits, Algorithm::List(Priority::PathLength)).unwrap();
-        let dp = build_datapath(&cdfg, &sched, &cls, &Library::standard(),
-            FuStrategy::GreedyAware).unwrap();
+        let dp = build_datapath(
+            &cdfg,
+            &sched,
+            &cls,
+            &Library::standard(),
+            FuStrategy::GreedyAware,
+        )
+        .unwrap();
         assert!(dp.memories.contains(&"A".to_string()));
         for n in [0i64, 2, 7, 15] {
             let inputs = BTreeMap::from([("N".to_string(), Fx::from_i64(n))]);
@@ -219,8 +242,14 @@ mod tests {
         let limits = ResourceLimits::universal(3);
         let sched =
             schedule_cdfg(&cdfg, &cls, &limits, Algorithm::List(Priority::PathLength)).unwrap();
-        let dp = build_datapath(&cdfg, &sched, &cls, &Library::standard(),
-            FuStrategy::GreedyAware).unwrap();
+        let dp = build_datapath(
+            &cdfg,
+            &sched,
+            &cls,
+            &Library::standard(),
+            FuStrategy::GreedyAware,
+        )
+        .unwrap();
         let inputs = BTreeMap::from([
             ("X0".to_string(), Fx::from_f64(0.0)),
             ("Y0".to_string(), Fx::from_f64(1.0)),

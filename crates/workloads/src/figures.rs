@@ -82,7 +82,10 @@ pub fn fig6_graph() -> (DataFlowGraph, (OpId, OpId, OpId, OpId, OpId, OpId)) {
     let m1 = g.add_op(OpKind::Mul, vec![g.result(a1).unwrap(), ins[4]]);
     let m2 = g.add_op(OpKind::Mul, vec![g.result(a2).unwrap(), ins[5]]);
     let a3 = g.add_op(OpKind::Add, vec![g.result(a1).unwrap(), ins[6]]);
-    let a4 = g.add_op(OpKind::Add, vec![g.result(m1).unwrap(), g.result(m2).unwrap()]);
+    let a4 = g.add_op(
+        OpKind::Add,
+        vec![g.result(m1).unwrap(), g.result(m2).unwrap()],
+    );
     g.label(a1, "a1");
     g.label(a2, "a2");
     g.label(a3, "a3");

@@ -122,8 +122,12 @@ mod tests {
     #[test]
     fn sqrt_trip_count_inferred() {
         let cdfg = hls_lang::compile(SQRT).unwrap();
-        let hls_cdfg::Region::Seq(pieces) = cdfg.body() else { panic!() };
-        let hls_cdfg::Region::Loop(l) = &pieces[1] else { panic!() };
+        let hls_cdfg::Region::Seq(pieces) = cdfg.body() else {
+            panic!()
+        };
+        let hls_cdfg::Region::Loop(l) = &pieces[1] else {
+            panic!()
+        };
         assert_eq!(l.trip_hint, Some(4));
     }
 

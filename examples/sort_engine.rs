@@ -55,10 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .synthesize_source(SORT)?;
 
     println!("{}", design.report());
-    println!(
-        "memories: {:?}\n",
-        design.datapath.memories
-    );
+    println!("memories: {:?}\n", design.datapath.memories);
 
     let vectors = [
         [5.0, 1.0, 4.0, 2.0, 3.0],
@@ -90,7 +87,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // And the behavioral/RTL equivalence check, as always.
     let eq = design.verify(12, (-8.0, 8.0))?;
-    println!("\nverified on {} random vectors: {}", eq.vectors, eq.equivalent);
+    println!(
+        "\nverified on {} random vectors: {}",
+        eq.vectors, eq.equivalent
+    );
     assert!(eq.equivalent);
     Ok(())
 }

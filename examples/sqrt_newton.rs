@@ -23,7 +23,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // After the Fig. 2 optimizations (×0.5 → free shift, +1 → increment,
     // `I > 3` → 2-bit `I = 0`) on two FUs → 2 + 4·2 = 10 steps.
-    let fast = Synthesizer::new().universal_fus(2).synthesize_source(SQRT)?;
+    let fast = Synthesizer::new()
+        .universal_fus(2)
+        .synthesize_source(SQRT)?;
     println!("optimized design: {} steps (paper: 10)\n", fast.latency);
     assert_eq!(fast.latency, 10);
 
@@ -50,18 +52,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The §4 "design verification" step: RTL vs golden model.
     for (name, design) in [("serial", &serial), ("optimized", &fast)] {
         let eq = design.verify(25, (0.05, 1.0))?;
-        println!("{name}: verified on {} random vectors -> {}", eq.vectors, eq.equivalent);
+        println!(
+            "{name}: verified on {} random vectors -> {}",
+            eq.vectors, eq.equivalent
+        );
         assert!(eq.equivalent);
     }
 
     // Export the control/data-flow graphs as DOT (the Fig. 1 artifacts).
     let cdfg = hls::lang::compile(SQRT)?;
     let entry = cdfg.block_order()[0];
-    println!("\nDOT of the entry block's data-flow graph:\n{}",
-        hls::cdfg::dot::dfg_to_dot(&cdfg.block(entry).dfg, "sqrt_entry"));
+    println!(
+        "\nDOT of the entry block's data-flow graph:\n{}",
+        hls::cdfg::dot::dfg_to_dot(&cdfg.block(entry).dfg, "sqrt_entry")
+    );
 
     // And the synthesized datapath structure itself.
-    println!("DOT of the 2-FU datapath:\n{}",
-        fast.datapath.to_dot(&fast.cdfg, &fast.schedule, &fast.classifier));
+    println!(
+        "DOT of the 2-FU datapath:\n{}",
+        fast.datapath
+            .to_dot(&fast.cdfg, &fast.schedule, &fast.classifier)
+    );
     Ok(())
 }

@@ -56,7 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bus = bus_allocation(&g, &cls, &s, &regs, &fus);
     println!("\ninterconnect (2 ALUs + 2 multipliers):");
     println!("  registers           : {}", regs.count);
-    println!("  mux-based           : {} wires, {} mux inputs", conn.wire_count(), conn.mux_inputs());
+    println!(
+        "  mux-based           : {} wires, {} mux inputs",
+        conn.wire_count(),
+        conn.mux_inputs()
+    );
     println!(
         "  bus-based           : {} buses, {} drivers, {} taps",
         bus.buses, bus.drivers, bus.taps

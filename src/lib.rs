@@ -48,5 +48,8 @@ pub use hls_sched as sched;
 pub use hls_sim as sim;
 pub use hls_workloads as workloads;
 
-pub use hls_core::{ControlStyle, SynthesisError, SynthesisResult, Synthesizer};
 pub use hls_cdfg::Fx;
+pub use hls_core::{
+    pareto_front, sweep_fus, sweep_grid, CacheStats, ControlStyle, DesignPoint, Explorer, GridSpec,
+    SynthesisError, SynthesisResult, Synthesizer,
+};

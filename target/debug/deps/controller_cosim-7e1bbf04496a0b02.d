@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/controller_cosim-7e1bbf04496a0b02.d: tests/controller_cosim.rs
+
+/root/repo/target/debug/deps/controller_cosim-7e1bbf04496a0b02: tests/controller_cosim.rs
+
+tests/controller_cosim.rs:

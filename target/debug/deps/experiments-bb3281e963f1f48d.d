@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-bb3281e963f1f48d.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-bb3281e963f1f48d: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/explore_par-835e5f6034ced142.d: crates/core/tests/explore_par.rs
+
+/root/repo/target/debug/deps/explore_par-835e5f6034ced142: crates/core/tests/explore_par.rs
+
+crates/core/tests/explore_par.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-f003470c81ecb67d.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-f003470c81ecb67d: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_flow-cc4a2b94ab25f4d6.d: tests/full_flow.rs
+
+/root/repo/target/debug/deps/full_flow-cc4a2b94ab25f4d6: tests/full_flow.rs
+
+tests/full_flow.rs:

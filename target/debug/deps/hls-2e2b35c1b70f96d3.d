@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hls-2e2b35c1b70f96d3.d: src/lib.rs
+
+/root/repo/target/debug/deps/hls-2e2b35c1b70f96d3: src/lib.rs
+
+src/lib.rs:

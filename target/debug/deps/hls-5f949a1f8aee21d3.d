@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hls-5f949a1f8aee21d3.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhls-5f949a1f8aee21d3.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhls-5f949a1f8aee21d3.rmeta: src/lib.rs
+
+src/lib.rs:

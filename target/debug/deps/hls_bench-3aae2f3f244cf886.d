@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/hls_bench-3aae2f3f244cf886.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/hls_bench-3aae2f3f244cf886: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

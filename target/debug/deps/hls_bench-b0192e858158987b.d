@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hls_bench-b0192e858158987b.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libhls_bench-b0192e858158987b.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libhls_bench-b0192e858158987b.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

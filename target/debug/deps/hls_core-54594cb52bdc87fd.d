@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hls_core-54594cb52bdc87fd.d: crates/core/src/lib.rs crates/core/src/explore.rs crates/core/src/par.rs crates/core/src/pipeline.rs crates/core/src/report.rs
+
+/root/repo/target/debug/deps/hls_core-54594cb52bdc87fd: crates/core/src/lib.rs crates/core/src/explore.rs crates/core/src/par.rs crates/core/src/pipeline.rs crates/core/src/report.rs
+
+crates/core/src/lib.rs:
+crates/core/src/explore.rs:
+crates/core/src/par.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/report.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hls_ctrl-d69687383a7a15ce.d: crates/ctrl/src/lib.rs crates/ctrl/src/encode.rs crates/ctrl/src/fsm.rs crates/ctrl/src/logic.rs crates/ctrl/src/microcode.rs crates/ctrl/src/minimize.rs
+
+/root/repo/target/debug/deps/hls_ctrl-d69687383a7a15ce: crates/ctrl/src/lib.rs crates/ctrl/src/encode.rs crates/ctrl/src/fsm.rs crates/ctrl/src/logic.rs crates/ctrl/src/microcode.rs crates/ctrl/src/minimize.rs
+
+crates/ctrl/src/lib.rs:
+crates/ctrl/src/encode.rs:
+crates/ctrl/src/fsm.rs:
+crates/ctrl/src/logic.rs:
+crates/ctrl/src/microcode.rs:
+crates/ctrl/src/minimize.rs:

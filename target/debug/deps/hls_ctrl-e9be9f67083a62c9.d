@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hls_ctrl-e9be9f67083a62c9.d: crates/ctrl/src/lib.rs crates/ctrl/src/encode.rs crates/ctrl/src/fsm.rs crates/ctrl/src/logic.rs crates/ctrl/src/microcode.rs crates/ctrl/src/minimize.rs
+
+/root/repo/target/debug/deps/libhls_ctrl-e9be9f67083a62c9.rlib: crates/ctrl/src/lib.rs crates/ctrl/src/encode.rs crates/ctrl/src/fsm.rs crates/ctrl/src/logic.rs crates/ctrl/src/microcode.rs crates/ctrl/src/minimize.rs
+
+/root/repo/target/debug/deps/libhls_ctrl-e9be9f67083a62c9.rmeta: crates/ctrl/src/lib.rs crates/ctrl/src/encode.rs crates/ctrl/src/fsm.rs crates/ctrl/src/logic.rs crates/ctrl/src/microcode.rs crates/ctrl/src/minimize.rs
+
+crates/ctrl/src/lib.rs:
+crates/ctrl/src/encode.rs:
+crates/ctrl/src/fsm.rs:
+crates/ctrl/src/logic.rs:
+crates/ctrl/src/microcode.rs:
+crates/ctrl/src/minimize.rs:

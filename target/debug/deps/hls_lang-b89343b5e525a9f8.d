@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hls_lang-b89343b5e525a9f8.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/error.rs crates/lang/src/lexer.rs crates/lang/src/lower.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs
+
+/root/repo/target/debug/deps/libhls_lang-b89343b5e525a9f8.rlib: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/error.rs crates/lang/src/lexer.rs crates/lang/src/lower.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs
+
+/root/repo/target/debug/deps/libhls_lang-b89343b5e525a9f8.rmeta: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/error.rs crates/lang/src/lexer.rs crates/lang/src/lower.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/error.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/lower.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/pretty.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hls_rtl-4bd61752224b5d6d.d: crates/rtl/src/lib.rs crates/rtl/src/area.rs crates/rtl/src/library.rs crates/rtl/src/netlist.rs crates/rtl/src/verilog.rs
+
+/root/repo/target/debug/deps/libhls_rtl-4bd61752224b5d6d.rlib: crates/rtl/src/lib.rs crates/rtl/src/area.rs crates/rtl/src/library.rs crates/rtl/src/netlist.rs crates/rtl/src/verilog.rs
+
+/root/repo/target/debug/deps/libhls_rtl-4bd61752224b5d6d.rmeta: crates/rtl/src/lib.rs crates/rtl/src/area.rs crates/rtl/src/library.rs crates/rtl/src/netlist.rs crates/rtl/src/verilog.rs
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/area.rs:
+crates/rtl/src/library.rs:
+crates/rtl/src/netlist.rs:
+crates/rtl/src/verilog.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hls_rtl-bc1a7eacf421f0d3.d: crates/rtl/src/lib.rs crates/rtl/src/area.rs crates/rtl/src/library.rs crates/rtl/src/netlist.rs crates/rtl/src/verilog.rs
+
+/root/repo/target/debug/deps/hls_rtl-bc1a7eacf421f0d3: crates/rtl/src/lib.rs crates/rtl/src/area.rs crates/rtl/src/library.rs crates/rtl/src/netlist.rs crates/rtl/src/verilog.rs
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/area.rs:
+crates/rtl/src/library.rs:
+crates/rtl/src/netlist.rs:
+crates/rtl/src/verilog.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hls_testkit-848a22a8f952e15d.d: crates/testkit/src/lib.rs
+
+/root/repo/target/debug/deps/hls_testkit-848a22a8f952e15d: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hls_testkit-dc850a3d8bf30efc.d: crates/testkit/src/lib.rs
+
+/root/repo/target/debug/deps/libhls_testkit-dc850a3d8bf30efc.rlib: crates/testkit/src/lib.rs
+
+/root/repo/target/debug/deps/libhls_testkit-dc850a3d8bf30efc.rmeta: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

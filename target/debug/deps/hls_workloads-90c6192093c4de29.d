@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hls_workloads-90c6192093c4de29.d: crates/workloads/src/lib.rs crates/workloads/src/benchmarks.rs crates/workloads/src/figures.rs crates/workloads/src/random.rs crates/workloads/src/sources.rs
+
+/root/repo/target/debug/deps/libhls_workloads-90c6192093c4de29.rlib: crates/workloads/src/lib.rs crates/workloads/src/benchmarks.rs crates/workloads/src/figures.rs crates/workloads/src/random.rs crates/workloads/src/sources.rs
+
+/root/repo/target/debug/deps/libhls_workloads-90c6192093c4de29.rmeta: crates/workloads/src/lib.rs crates/workloads/src/benchmarks.rs crates/workloads/src/figures.rs crates/workloads/src/random.rs crates/workloads/src/sources.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/benchmarks.rs:
+crates/workloads/src/figures.rs:
+crates/workloads/src/random.rs:
+crates/workloads/src/sources.rs:

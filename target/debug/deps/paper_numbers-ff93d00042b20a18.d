@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_numbers-ff93d00042b20a18.d: tests/paper_numbers.rs
+
+/root/repo/target/debug/deps/paper_numbers-ff93d00042b20a18: tests/paper_numbers.rs
+
+tests/paper_numbers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-16ac40d34e1992ec.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-16ac40d34e1992ec: tests/properties.rs
+
+tests/properties.rs:

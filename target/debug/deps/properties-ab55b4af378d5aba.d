@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-ab55b4af378d5aba.d: crates/cdfg/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-ab55b4af378d5aba: crates/cdfg/tests/properties.rs
+
+crates/cdfg/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roundtrip-49ec991cfa71b584.d: tests/roundtrip.rs
+
+/root/repo/target/debug/deps/roundtrip-49ec991cfa71b584: tests/roundtrip.rs
+
+tests/roundtrip.rs:

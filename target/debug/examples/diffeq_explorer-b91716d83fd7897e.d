@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/diffeq_explorer-b91716d83fd7897e.d: examples/diffeq_explorer.rs
+
+/root/repo/target/debug/examples/diffeq_explorer-b91716d83fd7897e: examples/diffeq_explorer.rs
+
+examples/diffeq_explorer.rs:

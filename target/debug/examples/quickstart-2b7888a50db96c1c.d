@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2b7888a50db96c1c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-2b7888a50db96c1c: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sort_engine-6b84f3f60c64e62f.d: examples/sort_engine.rs
+
+/root/repo/target/debug/examples/sort_engine-6b84f3f60c64e62f: examples/sort_engine.rs
+
+examples/sort_engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sqrt_newton-6f520993511e7d53.d: examples/sqrt_newton.rs
+
+/root/repo/target/debug/examples/sqrt_newton-6f520993511e7d53: examples/sqrt_newton.rs
+
+examples/sqrt_newton.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wave_filter-e242d9f119959698.d: examples/wave_filter.rs
+
+/root/repo/target/debug/examples/wave_filter-e242d9f119959698: examples/wave_filter.rs
+
+examples/wave_filter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/allocation-7b98abc1ff1711bf.d: crates/bench/benches/allocation.rs
+
+/root/repo/target/release/deps/allocation-7b98abc1ff1711bf: crates/bench/benches/allocation.rs
+
+crates/bench/benches/allocation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/clique-1e4590e368d5ceaa.d: crates/bench/benches/clique.rs
+
+/root/repo/target/release/deps/clique-1e4590e368d5ceaa: crates/bench/benches/clique.rs
+
+crates/bench/benches/clique.rs:

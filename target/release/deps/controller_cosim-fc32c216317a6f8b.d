@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/controller_cosim-fc32c216317a6f8b.d: tests/controller_cosim.rs
+
+/root/repo/target/release/deps/controller_cosim-fc32c216317a6f8b: tests/controller_cosim.rs
+
+tests/controller_cosim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e2e-fae7e295ff7d67b4.d: crates/bench/benches/e2e.rs
+
+/root/repo/target/release/deps/e2e-fae7e295ff7d67b4: crates/bench/benches/e2e.rs
+
+crates/bench/benches/e2e.rs:

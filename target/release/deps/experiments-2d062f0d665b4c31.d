@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-2d062f0d665b4c31.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-2d062f0d665b4c31: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-4d92c71f8f446870.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-4d92c71f8f446870: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

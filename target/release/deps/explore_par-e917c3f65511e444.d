@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/explore_par-e917c3f65511e444.d: crates/core/tests/explore_par.rs
+
+/root/repo/target/release/deps/explore_par-e917c3f65511e444: crates/core/tests/explore_par.rs
+
+crates/core/tests/explore_par.rs:

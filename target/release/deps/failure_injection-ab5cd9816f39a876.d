@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/failure_injection-ab5cd9816f39a876.d: tests/failure_injection.rs
+
+/root/repo/target/release/deps/failure_injection-ab5cd9816f39a876: tests/failure_injection.rs
+
+tests/failure_injection.rs:

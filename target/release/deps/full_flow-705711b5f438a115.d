@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/full_flow-705711b5f438a115.d: tests/full_flow.rs
+
+/root/repo/target/release/deps/full_flow-705711b5f438a115: tests/full_flow.rs
+
+tests/full_flow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hls-281ee0e5aaf6ca32.d: src/lib.rs
+
+/root/repo/target/release/deps/hls-281ee0e5aaf6ca32: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hls-46b7a2e583ebf52a.d: src/lib.rs
+
+/root/repo/target/release/deps/libhls-46b7a2e583ebf52a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhls-46b7a2e583ebf52a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/hls_bench-7d859d4d280bbb21.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libhls_bench-7d859d4d280bbb21.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libhls_bench-7d859d4d280bbb21.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

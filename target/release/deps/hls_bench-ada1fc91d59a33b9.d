@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/hls_bench-ada1fc91d59a33b9.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/hls_bench-ada1fc91d59a33b9: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

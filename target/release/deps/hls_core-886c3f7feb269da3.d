@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/hls_core-886c3f7feb269da3.d: crates/core/src/lib.rs crates/core/src/explore.rs crates/core/src/par.rs crates/core/src/pipeline.rs crates/core/src/report.rs
+
+/root/repo/target/release/deps/hls_core-886c3f7feb269da3: crates/core/src/lib.rs crates/core/src/explore.rs crates/core/src/par.rs crates/core/src/pipeline.rs crates/core/src/report.rs
+
+crates/core/src/lib.rs:
+crates/core/src/explore.rs:
+crates/core/src/par.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/report.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/hls_lang-bf83314e887b97b4.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/error.rs crates/lang/src/lexer.rs crates/lang/src/lower.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs
+
+/root/repo/target/release/deps/libhls_lang-bf83314e887b97b4.rlib: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/error.rs crates/lang/src/lexer.rs crates/lang/src/lower.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs
+
+/root/repo/target/release/deps/libhls_lang-bf83314e887b97b4.rmeta: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/error.rs crates/lang/src/lexer.rs crates/lang/src/lower.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/error.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/lower.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/pretty.rs:

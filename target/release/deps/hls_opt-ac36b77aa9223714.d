@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/hls_opt-ac36b77aa9223714.d: crates/opt/src/lib.rs crates/opt/src/copyprop.rs crates/opt/src/cse.rs crates/opt/src/dce.rs crates/opt/src/fold.rs crates/opt/src/ifconv.rs crates/opt/src/narrow.rs crates/opt/src/strength.rs crates/opt/src/unroll.rs
+
+/root/repo/target/release/deps/libhls_opt-ac36b77aa9223714.rlib: crates/opt/src/lib.rs crates/opt/src/copyprop.rs crates/opt/src/cse.rs crates/opt/src/dce.rs crates/opt/src/fold.rs crates/opt/src/ifconv.rs crates/opt/src/narrow.rs crates/opt/src/strength.rs crates/opt/src/unroll.rs
+
+/root/repo/target/release/deps/libhls_opt-ac36b77aa9223714.rmeta: crates/opt/src/lib.rs crates/opt/src/copyprop.rs crates/opt/src/cse.rs crates/opt/src/dce.rs crates/opt/src/fold.rs crates/opt/src/ifconv.rs crates/opt/src/narrow.rs crates/opt/src/strength.rs crates/opt/src/unroll.rs
+
+crates/opt/src/lib.rs:
+crates/opt/src/copyprop.rs:
+crates/opt/src/cse.rs:
+crates/opt/src/dce.rs:
+crates/opt/src/fold.rs:
+crates/opt/src/ifconv.rs:
+crates/opt/src/narrow.rs:
+crates/opt/src/strength.rs:
+crates/opt/src/unroll.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/hls_rtl-494e269006246e4a.d: crates/rtl/src/lib.rs crates/rtl/src/area.rs crates/rtl/src/library.rs crates/rtl/src/netlist.rs crates/rtl/src/verilog.rs
+
+/root/repo/target/release/deps/libhls_rtl-494e269006246e4a.rlib: crates/rtl/src/lib.rs crates/rtl/src/area.rs crates/rtl/src/library.rs crates/rtl/src/netlist.rs crates/rtl/src/verilog.rs
+
+/root/repo/target/release/deps/libhls_rtl-494e269006246e4a.rmeta: crates/rtl/src/lib.rs crates/rtl/src/area.rs crates/rtl/src/library.rs crates/rtl/src/netlist.rs crates/rtl/src/verilog.rs
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/area.rs:
+crates/rtl/src/library.rs:
+crates/rtl/src/netlist.rs:
+crates/rtl/src/verilog.rs:

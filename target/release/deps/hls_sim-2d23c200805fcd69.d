@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/hls_sim-2d23c200805fcd69.d: crates/sim/src/lib.rs crates/sim/src/behav.rs crates/sim/src/equiv.rs crates/sim/src/rtl.rs crates/sim/src/vcd.rs
+
+/root/repo/target/release/deps/hls_sim-2d23c200805fcd69: crates/sim/src/lib.rs crates/sim/src/behav.rs crates/sim/src/equiv.rs crates/sim/src/rtl.rs crates/sim/src/vcd.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/behav.rs:
+crates/sim/src/equiv.rs:
+crates/sim/src/rtl.rs:
+crates/sim/src/vcd.rs:

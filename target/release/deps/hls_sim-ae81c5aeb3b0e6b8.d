@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/hls_sim-ae81c5aeb3b0e6b8.d: crates/sim/src/lib.rs crates/sim/src/behav.rs crates/sim/src/equiv.rs crates/sim/src/rtl.rs crates/sim/src/vcd.rs
+
+/root/repo/target/release/deps/libhls_sim-ae81c5aeb3b0e6b8.rlib: crates/sim/src/lib.rs crates/sim/src/behav.rs crates/sim/src/equiv.rs crates/sim/src/rtl.rs crates/sim/src/vcd.rs
+
+/root/repo/target/release/deps/libhls_sim-ae81c5aeb3b0e6b8.rmeta: crates/sim/src/lib.rs crates/sim/src/behav.rs crates/sim/src/equiv.rs crates/sim/src/rtl.rs crates/sim/src/vcd.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/behav.rs:
+crates/sim/src/equiv.rs:
+crates/sim/src/rtl.rs:
+crates/sim/src/vcd.rs:

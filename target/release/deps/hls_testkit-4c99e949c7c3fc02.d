@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hls_testkit-4c99e949c7c3fc02.d: crates/testkit/src/lib.rs
+
+/root/repo/target/release/deps/libhls_testkit-4c99e949c7c3fc02.rlib: crates/testkit/src/lib.rs
+
+/root/repo/target/release/deps/libhls_testkit-4c99e949c7c3fc02.rmeta: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hls_testkit-8296b689ac4a6706.d: crates/testkit/src/lib.rs
+
+/root/repo/target/release/deps/hls_testkit-8296b689ac4a6706: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/hls_workloads-28e9a69b35a33d74.d: crates/workloads/src/lib.rs crates/workloads/src/benchmarks.rs crates/workloads/src/figures.rs crates/workloads/src/random.rs crates/workloads/src/sources.rs
+
+/root/repo/target/release/deps/hls_workloads-28e9a69b35a33d74: crates/workloads/src/lib.rs crates/workloads/src/benchmarks.rs crates/workloads/src/figures.rs crates/workloads/src/random.rs crates/workloads/src/sources.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/benchmarks.rs:
+crates/workloads/src/figures.rs:
+crates/workloads/src/random.rs:
+crates/workloads/src/sources.rs:

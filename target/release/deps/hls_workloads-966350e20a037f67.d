@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/hls_workloads-966350e20a037f67.d: crates/workloads/src/lib.rs crates/workloads/src/benchmarks.rs crates/workloads/src/figures.rs crates/workloads/src/random.rs crates/workloads/src/sources.rs
+
+/root/repo/target/release/deps/libhls_workloads-966350e20a037f67.rlib: crates/workloads/src/lib.rs crates/workloads/src/benchmarks.rs crates/workloads/src/figures.rs crates/workloads/src/random.rs crates/workloads/src/sources.rs
+
+/root/repo/target/release/deps/libhls_workloads-966350e20a037f67.rmeta: crates/workloads/src/lib.rs crates/workloads/src/benchmarks.rs crates/workloads/src/figures.rs crates/workloads/src/random.rs crates/workloads/src/sources.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/benchmarks.rs:
+crates/workloads/src/figures.rs:
+crates/workloads/src/random.rs:
+crates/workloads/src/sources.rs:

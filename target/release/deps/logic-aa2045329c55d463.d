@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/logic-aa2045329c55d463.d: crates/bench/benches/logic.rs
+
+/root/repo/target/release/deps/logic-aa2045329c55d463: crates/bench/benches/logic.rs
+
+crates/bench/benches/logic.rs:

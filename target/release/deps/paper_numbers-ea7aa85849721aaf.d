@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_numbers-ea7aa85849721aaf.d: tests/paper_numbers.rs
+
+/root/repo/target/release/deps/paper_numbers-ea7aa85849721aaf: tests/paper_numbers.rs
+
+tests/paper_numbers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-7c63c280670389db.d: crates/cdfg/tests/properties.rs
+
+/root/repo/target/release/deps/properties-7c63c280670389db: crates/cdfg/tests/properties.rs
+
+crates/cdfg/tests/properties.rs:

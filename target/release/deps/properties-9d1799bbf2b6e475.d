@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-9d1799bbf2b6e475.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-9d1799bbf2b6e475: tests/properties.rs
+
+tests/properties.rs:

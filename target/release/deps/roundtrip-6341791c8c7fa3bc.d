@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/roundtrip-6341791c8c7fa3bc.d: tests/roundtrip.rs
+
+/root/repo/target/release/deps/roundtrip-6341791c8c7fa3bc: tests/roundtrip.rs
+
+tests/roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scheduling-ef089e546e56f20f.d: crates/bench/benches/scheduling.rs
+
+/root/repo/target/release/deps/scheduling-ef089e546e56f20f: crates/bench/benches/scheduling.rs
+
+crates/bench/benches/scheduling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/diffeq_explorer-8f1501c0bda50540.d: examples/diffeq_explorer.rs
+
+/root/repo/target/release/examples/diffeq_explorer-8f1501c0bda50540: examples/diffeq_explorer.rs
+
+examples/diffeq_explorer.rs:

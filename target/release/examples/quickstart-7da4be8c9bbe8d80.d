@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-7da4be8c9bbe8d80.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-7da4be8c9bbe8d80: examples/quickstart.rs
+
+examples/quickstart.rs:

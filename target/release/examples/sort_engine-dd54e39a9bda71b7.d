@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sort_engine-dd54e39a9bda71b7.d: examples/sort_engine.rs
+
+/root/repo/target/release/examples/sort_engine-dd54e39a9bda71b7: examples/sort_engine.rs
+
+examples/sort_engine.rs:

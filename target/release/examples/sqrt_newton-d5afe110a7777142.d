@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sqrt_newton-d5afe110a7777142.d: examples/sqrt_newton.rs
+
+/root/repo/target/release/examples/sqrt_newton-d5afe110a7777142: examples/sqrt_newton.rs
+
+examples/sqrt_newton.rs:

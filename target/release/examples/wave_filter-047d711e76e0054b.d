@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/wave_filter-047d711e76e0054b.d: examples/wave_filter.rs
+
+/root/repo/target/release/examples/wave_filter-047d711e76e0054b: examples/wave_filter.rs
+
+examples/wave_filter.rs:

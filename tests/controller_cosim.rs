@@ -46,7 +46,10 @@ fn replay(fsm: &Fsm, datapath: &Datapath, run: &RtlResult) -> Result<u64, String
             }
         }
         state = next.ok_or_else(|| {
-            format!("state `{}` has no matching transition", fsm.states[state].name)
+            format!(
+                "state `{}` has no matching transition",
+                fsm.states[state].name
+            )
         })?;
     }
     if state != fsm.done {
@@ -72,7 +75,8 @@ fn cosim(src: &str, inputs: BTreeMap<String, Fx>) {
     let visited = replay(&design.fsm, &design.datapath, &run)
         .unwrap_or_else(|e| panic!("{}: {e}", design.cdfg.name()));
     assert_eq!(
-        visited, run.cycles,
+        visited,
+        run.cycles,
         "{}: one FSM state per datapath cycle",
         design.cdfg.name()
     );

@@ -9,8 +9,7 @@ use std::collections::BTreeMap;
 use hls::alloc::{left_edge, value_intervals, Interval, RegKind};
 use hls::cdfg::{Fx, OpKind};
 use hls::sched::{
-    asap_schedule, list_schedule, OpClassifier, Priority, ResourceLimits, Schedule,
-    ScheduleError,
+    asap_schedule, list_schedule, OpClassifier, Priority, ResourceLimits, Schedule, ScheduleError,
 };
 use hls::Synthesizer;
 use hls_workloads::figures::fig3_graph;
@@ -81,8 +80,13 @@ fn missing_op_is_caught() {
 fn corrupted_register_sharing_is_caught_structurally() {
     let (g, _) = fig3_graph();
     let cls = OpClassifier::universal();
-    let s = list_schedule(&g, &cls, &ResourceLimits::universal(2), Priority::PathLength)
-        .unwrap();
+    let s = list_schedule(
+        &g,
+        &cls,
+        &ResourceLimits::universal(2),
+        Priority::PathLength,
+    )
+    .unwrap();
     let ivs = value_intervals(&g, &s);
     let mut alloc = left_edge(&ivs);
     assert!(alloc.is_valid(&ivs));
@@ -90,7 +94,10 @@ fn corrupted_register_sharing_is_caught_structurally() {
     let (a, b) = find_overlapping(&ivs).expect("fig3 has concurrent values");
     let shared = alloc.assignment[&a];
     alloc.assignment.insert(b, shared);
-    assert!(!alloc.is_valid(&ivs), "aliased overlapping lifetimes must be invalid");
+    assert!(
+        !alloc.is_valid(&ivs),
+        "aliased overlapping lifetimes must be invalid"
+    );
 }
 
 fn find_overlapping(ivs: &[Interval]) -> Option<(hls::cdfg::ValueId, hls::cdfg::ValueId)> {
@@ -145,7 +152,10 @@ fn clobbered_datapath_fails_equivalence() {
         99,
     ) {
         Ok(eq) => {
-            assert!(!eq.equivalent, "merging live temp registers must corrupt results");
+            assert!(
+                !eq.equivalent,
+                "merging live temp registers must corrupt results"
+            );
             assert!(eq.mismatch.is_some());
         }
         Err(hls::sim::SimError::Nonterminating) => { /* also caught */ }

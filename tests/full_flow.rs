@@ -22,7 +22,9 @@ fn every_source_flows_under_defaults() {
         assert!(design.latency > 0, "{name}");
         assert!(design.datapath.reg_count() > 0, "{name}");
         assert!(design.fsm.len() > 1, "{name}");
-        let eq = design.verify(10, range).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let eq = design
+            .verify(10, range)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(eq.equivalent, "{name}: {:?}", eq.mismatch);
     }
 }
@@ -56,7 +58,9 @@ fn schedulers_preserve_behavior() {
         Algorithm::ForceDirected { slack: 1 },
         Algorithm::FreedomBased { slack: 1 },
         Algorithm::Transformational,
-        Algorithm::BranchAndBound { node_budget: 2_000_000 },
+        Algorithm::BranchAndBound {
+            node_budget: 2_000_000,
+        },
     ] {
         for (name, src, range) in SOURCES {
             let design = Synthesizer::new()
@@ -138,7 +142,10 @@ fn vcd_export_of_a_full_run() {
 fn netlists_validate_and_have_area() {
     for (name, src, _) in SOURCES {
         let design = Synthesizer::new().synthesize_source(src).unwrap();
-        design.netlist.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        design
+            .netlist
+            .validate()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(design.area.total() > 0.0, "{name}");
         assert!(design.area.clock_ns > 0.0, "{name}");
     }
@@ -154,6 +161,7 @@ fn benchmark_dfgs_schedule_under_all_algorithms() {
             .with(FuClass::Alu, 2);
         let s = list_schedule(&g, &cls, &limits, Priority::PathLength)
             .unwrap_or_else(|e| panic!("{name}: {e}"));
-        s.validate(&g, &cls, &limits).unwrap_or_else(|e| panic!("{name}: {e}"));
+        s.validate(&g, &cls, &limits)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
     }
 }

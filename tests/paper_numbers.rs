@@ -29,7 +29,10 @@ fn e2_serial_sqrt_takes_23_steps() {
 /// reduction; `I > 3` becomes a 2-bit `I = 0`).
 #[test]
 fn e2_optimized_sqrt_takes_10_steps() {
-    let design = Synthesizer::new().universal_fus(2).synthesize_source(SQRT).unwrap();
+    let design = Synthesizer::new()
+        .universal_fus(2)
+        .synthesize_source(SQRT)
+        .unwrap();
     assert_eq!(design.latency, 10);
     // The narrowed counter really is a 2-bit register.
     let i_reg = &design.datapath.regs[design.datapath.var_reg["I"]];
@@ -129,7 +132,10 @@ fn e14_designs_execute_and_verify() {
         }
         let design = s.synthesize_source(SQRT).unwrap();
         let run = design
-            .run(&BTreeMap::from([("X".to_string(), hls::Fx::from_f64(0.64))]))
+            .run(&BTreeMap::from([(
+                "X".to_string(),
+                hls::Fx::from_f64(0.64),
+            )]))
             .unwrap();
         assert_eq!(run.cycles, cycles);
         assert!((run.outputs["Y"].to_f64() - 0.8).abs() < 2e-3);
