@@ -13,6 +13,9 @@ cargo build --release --offline --workspace --all-targets
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace
 
+echo "==> cargo clippy -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -4,7 +4,7 @@
 //!
 //! IDs: fig1 fig2 fig3 fig4 fig5 fig6 fig7 table-sched table-reg
 //!      table-alloc table-interconnect table-ctrl table-dse table-explore
-//!      table-pipe verify
+//!      table-pipe table-serve verify
 
 use std::collections::BTreeMap;
 
@@ -44,6 +44,7 @@ fn main() {
         ("table-pipe", table_pipe),
         ("table-chain", table_chain),
         ("table-ifconv", table_ifconv),
+        ("table-serve", table_serve),
         ("verify", verify),
     ];
     match arg.as_str() {
@@ -629,6 +630,110 @@ fn table_ifconv() {
     }
     println!("\n(the tutorial's open issue: \"trading off complexity between the control");
     println!(" and the data paths\" — branch states become datapath muxes)");
+}
+
+/// E19 (systems): synthesis-service throughput scaling.
+///
+/// Starts an in-process `hls-serve` at several worker-pool sizes and
+/// drives it with closed-loop TCP clients (the `hls-loadgen` model). The
+/// cache is disabled so every request pays for real synthesis — the
+/// table shows how the bounded-queue worker pool scales with threads.
+fn table_serve() {
+    use hls_serve::{Server, ServerConfig};
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex};
+    use std::time::{Duration, Instant};
+
+    println!("Table — hls-serve throughput vs worker threads (cache off)\n");
+    let requests = hls_bench::harness::samples() * 8; // scales with HLS_BENCH_SAMPLES
+    let clients = 8usize;
+    let bodies: Vec<String> = [
+        (SQRT, 1u32),
+        (SQRT, 2),
+        (hls_workloads::sources::DIFFEQ, 2),
+        (hls_workloads::sources::GCD, 2),
+    ]
+    .iter()
+    .map(|(src, fus)| {
+        format!(r#"{{"source":{src:?},"config":{{"fus":{fus},"algorithm":"list/path"}}}}"#)
+    })
+    .collect();
+
+    println!(
+        "{:<8} {:>9} {:>11} {:>11} {:>11} {:>9}",
+        "threads", "req/s", "p50", "p95", "p99", "speedup"
+    );
+    let mut baseline = None;
+    for threads in [1usize, 2, 4, 8] {
+        let server = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads,
+            queue: requests + clients, // no shedding: measure the pool
+            cache_capacity: 0,
+            ..ServerConfig::default()
+        })
+        .expect("bind");
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let runner = std::thread::spawn(move || server.run());
+
+        let next = Arc::new(AtomicUsize::new(0));
+        let lats: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let started = Instant::now();
+        let workers: Vec<_> = (0..clients)
+            .map(|_| {
+                let next = Arc::clone(&next);
+                let lats = Arc::clone(&lats);
+                let bodies = bodies.clone();
+                std::thread::spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= requests {
+                        return;
+                    }
+                    let body = &bodies[i % bodies.len()];
+                    let t = Instant::now();
+                    let mut s = TcpStream::connect(addr).expect("connect");
+                    s.set_read_timeout(Some(Duration::from_secs(30))).ok();
+                    write!(
+                        s,
+                        "POST /synthesize HTTP/1.1\r\nHost: b\r\nContent-Length: {}\r\n\
+                         Connection: close\r\n\r\n{body}",
+                        body.len()
+                    )
+                    .expect("write");
+                    let mut raw = String::new();
+                    s.read_to_string(&mut raw).expect("read");
+                    assert!(raw.starts_with("HTTP/1.1 200"), "bad reply: {raw}");
+                    lats.lock().unwrap().push(t.elapsed().as_nanos() as u64);
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("client");
+        }
+        let elapsed = started.elapsed();
+        handle.shutdown();
+        runner.join().expect("server thread").expect("server run");
+
+        let mut lat = lats.lock().unwrap().clone();
+        lat.sort_unstable();
+        let pct =
+            |p: f64| Duration::from_nanos(lat[((lat.len() as f64 - 1.0) * p).round() as usize]);
+        let rps = requests as f64 / elapsed.as_secs_f64();
+        let speedup = rps / *baseline.get_or_insert(rps);
+        println!(
+            "{threads:<8} {rps:>9.0} {:>11?} {:>11?} {:>11?} {speedup:>8.2}x",
+            pct(0.50),
+            pct(0.95),
+            pct(0.99)
+        );
+    }
+    println!(
+        "\n({requests} requests per row, {clients} closed-loop clients; each request is a\n\
+         full BSL -> RTL synthesis — throughput tracks the worker-pool size)"
+    );
 }
 
 /// E14: verification of every synthesized design.

@@ -13,21 +13,34 @@
 
 use std::time::{Duration, Instant};
 
+/// Reads a numeric knob from the environment; an unset variable silently
+/// uses the fallback, but a set-and-invalid one (non-numeric, or below
+/// `min`) earns a one-line warning naming the variable, so a typo'd
+/// configuration never goes unnoticed.
+fn env_knob(name: &str, fallback: usize, min: usize) -> usize {
+    match std::env::var(name) {
+        Err(_) => fallback,
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n >= min => n,
+            _ => {
+                eprintln!(
+                    "warning: ignoring {name}={raw:?} (expected an integer >= {min}); \
+                     falling back to {fallback}"
+                );
+                fallback
+            }
+        },
+    }
+}
+
 /// Number of timed samples (`HLS_BENCH_SAMPLES`, default 15).
 pub fn samples() -> usize {
-    std::env::var("HLS_BENCH_SAMPLES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(15)
-        .max(1)
+    env_knob("HLS_BENCH_SAMPLES", 15, 1)
 }
 
 /// Number of warm-up runs (`HLS_BENCH_WARMUP`, default 2).
 pub fn warmup() -> usize {
-    std::env::var("HLS_BENCH_WARMUP")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(2)
+    env_knob("HLS_BENCH_WARMUP", 2, 0)
 }
 
 /// One measured benchmark result.
@@ -116,11 +129,36 @@ impl Group {
 mod tests {
     use super::*;
 
+    /// Serializes tests that read or write the process-global env knobs.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn bench_reports_sorted_times() {
+        let _env = ENV_LOCK.lock().unwrap();
         let m = bench("harness_selftest", || (0..1000u64).sum::<u64>());
         assert_eq!(m.times.len(), samples());
         assert!(m.times.windows(2).all(|w| w[0] <= w[1]));
         assert!(m.min() <= m.median());
+    }
+
+    #[test]
+    fn invalid_bench_env_values_warn_and_fall_back() {
+        // Env vars are process-global: hold the lock for the whole test.
+        let _env = ENV_LOCK.lock().unwrap();
+        std::env::set_var("HLS_BENCH_SAMPLES", "many");
+        assert_eq!(samples(), 15);
+        std::env::set_var("HLS_BENCH_SAMPLES", "0");
+        assert_eq!(samples(), 15, "zero samples would measure nothing");
+        std::env::set_var("HLS_BENCH_SAMPLES", " 7 ");
+        assert_eq!(samples(), 7, "whitespace-padded numbers are fine");
+        std::env::remove_var("HLS_BENCH_SAMPLES");
+        assert_eq!(samples(), 15);
+
+        std::env::set_var("HLS_BENCH_WARMUP", "-3");
+        assert_eq!(warmup(), 2);
+        std::env::set_var("HLS_BENCH_WARMUP", "0");
+        assert_eq!(warmup(), 0, "zero warm-up runs is a valid choice");
+        std::env::remove_var("HLS_BENCH_WARMUP");
+        assert_eq!(warmup(), 2);
     }
 }

@@ -415,11 +415,39 @@ impl Explorer {
         cdfg: &Cdfg,
         spec: &GridSpec,
     ) -> Result<Vec<DesignPoint>, SynthesisError> {
+        self.sweep_grid_cdfg_cancellable(base, cdfg, spec, &crate::CancelToken::new())
+    }
+
+    /// Parallel, cached grid sweep under a cancellation token, checked
+    /// before each grid point. A point that has started synthesizing
+    /// runs to completion (so the memo cache is never poisoned with a
+    /// cancellation); once the token fires, every unstarted point
+    /// reports [`SynthesisError::Cancelled`] instead of synthesizing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first synthesis failure or cancellation (in grid
+    /// order).
+    ///
+    /// [`SynthesisError::Cancelled`]: crate::SynthesisError::Cancelled
+    pub fn sweep_grid_cdfg_cancellable(
+        &self,
+        base: &Synthesizer,
+        cdfg: &Cdfg,
+        spec: &GridSpec,
+        cancel: &crate::CancelToken,
+    ) -> Result<Vec<DesignPoint>, SynthesisError> {
         let behavior_fp = cdfg_fingerprint(cdfg);
         let base = Arc::new(base.clone());
         let cdfg = Arc::new(cdfg.clone());
         let cache = Arc::clone(&self.cache);
+        let cancel = cancel.clone();
         let results = self.pool.map(spec.points(), move |_, cfg| {
+            if cancel.is_cancelled() {
+                return Err(SynthesisError::Cancelled {
+                    completed: "explore-point",
+                });
+            }
             let syn = configure(&base, &cfg);
             let key = memo_key(behavior_fp, syn.fingerprint());
             cache

@@ -28,7 +28,9 @@ pub use explore::{
     pareto_front, sweep_fus, sweep_grid, sweep_grid_cdfg, CacheStats, DesignPoint, Explorer,
     GridSpec,
 };
-pub use pipeline::{cdfg_fingerprint, ControlReport, ControlStyle, SynthesisResult, Synthesizer};
+pub use pipeline::{
+    cdfg_fingerprint, CancelToken, ControlReport, ControlStyle, SynthesisResult, Synthesizer,
+};
 
 use std::error::Error;
 use std::fmt;
@@ -51,6 +53,14 @@ pub enum SynthesisError {
     /// message is the original error's rendering (the typed error went
     /// to whichever sweep computed the point first).
     Explore(String),
+    /// Synthesis was cancelled (deadline or explicit token) between
+    /// stages; `completed` names the last pipeline stage that finished,
+    /// so callers can report how far the flow got.
+    Cancelled {
+        /// The last stage that ran to completion before the cancel
+        /// check fired (`"none"` when nothing finished).
+        completed: &'static str,
+    },
 }
 
 impl fmt::Display for SynthesisError {
@@ -62,6 +72,9 @@ impl fmt::Display for SynthesisError {
             SynthesisError::Ctrl(e) => write!(f, "control: {e}"),
             SynthesisError::Sim(e) => write!(f, "simulate: {e}"),
             SynthesisError::Explore(msg) => write!(f, "explore (cached failure): {msg}"),
+            SynthesisError::Cancelled { completed } => {
+                write!(f, "cancelled (last completed stage: {completed})")
+            }
         }
     }
 }
@@ -75,6 +88,7 @@ impl Error for SynthesisError {
             SynthesisError::Ctrl(e) => Some(e),
             SynthesisError::Sim(e) => Some(e),
             SynthesisError::Explore(_) => None,
+            SynthesisError::Cancelled { .. } => None,
         }
     }
 }

@@ -58,16 +58,40 @@ impl std::fmt::Debug for ThreadPool {
 
 /// Default worker count: the `HLS_EXPLORE_THREADS` environment variable
 /// when set, otherwise the machine's available parallelism.
+///
+/// An invalid value (unparsable or zero) is not silently swallowed: a
+/// one-line warning naming the variable and the fallback goes to stderr
+/// and the fallback is used.
 pub fn default_threads() -> usize {
-    std::env::var("HLS_EXPLORE_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
+    let fallback = || {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    match std::env::var("HLS_EXPLORE_THREADS") {
+        Err(_) => fallback(),
+        Ok(raw) => match parse_positive(&raw) {
+            Ok(n) => n,
+            Err(why) => {
+                let fb = fallback();
+                eprintln!(
+                    "warning: ignoring HLS_EXPLORE_THREADS={raw:?} ({why}); \
+                     falling back to {fb}"
+                );
+                fb
+            }
+        },
+    }
+}
+
+/// Parses a strictly positive integer, explaining rejections so env-var
+/// handlers can surface them instead of silently defaulting.
+pub(crate) fn parse_positive(raw: &str) -> Result<usize, &'static str> {
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err("must be at least 1"),
+        Ok(n) => Ok(n),
+        Err(_) => Err("not a positive integer"),
+    }
 }
 
 impl ThreadPool {
@@ -149,7 +173,7 @@ impl ThreadPool {
                 Ok(r) => slots[idx] = Some(r),
                 Err(p) => {
                     // Keep the lowest panicking index for determinism.
-                    if panic.as_ref().map_or(true, |(i, _)| idx < *i) {
+                    if panic.as_ref().is_none_or(|(i, _)| idx < *i) {
                         panic = Some((idx, p));
                     }
                 }
@@ -293,5 +317,26 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn invalid_explore_threads_env_warns_and_falls_back() {
+        // `set_var` is safe in the 2021 edition; the only other reader of
+        // this variable in the test binary asserts the same `>= 1` bound.
+        std::env::set_var("HLS_EXPLORE_THREADS", "zero please");
+        assert!(default_threads() >= 1, "fallback still applies");
+        std::env::set_var("HLS_EXPLORE_THREADS", "3");
+        assert_eq!(default_threads(), 3);
+        std::env::remove_var("HLS_EXPLORE_THREADS");
+    }
+
+    #[test]
+    fn parse_positive_accepts_only_positive_integers() {
+        assert_eq!(parse_positive("4"), Ok(4));
+        assert_eq!(parse_positive(" 7 "), Ok(7));
+        assert_eq!(parse_positive("0"), Err("must be at least 1"));
+        assert_eq!(parse_positive("banana"), Err("not a positive integer"));
+        assert_eq!(parse_positive("-3"), Err("not a positive integer"));
+        assert_eq!(parse_positive(""), Err("not a positive integer"));
     }
 }

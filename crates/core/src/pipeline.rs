@@ -4,6 +4,9 @@
 //! allocate → generate control → emit structure.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use hls_alloc::{build_datapath, Datapath, FuStrategy};
 use hls_cdfg::{Cdfg, Fx};
@@ -21,6 +24,60 @@ pub enum ControlStyle {
     Hardwired(EncodingStyle),
     /// Microprogrammed control.
     Microcode,
+}
+
+/// A cooperative cancellation token checked between pipeline stages.
+///
+/// Clones share the same cancellation flag, so a server can hand a clone
+/// to a worker and cancel it from the accept loop. A token may also carry
+/// a deadline; [`CancelToken::is_cancelled`] fires once the deadline has
+/// passed, which gives per-request timeouts without a watchdog thread.
+///
+/// Cancellation is *between stages*: a stage that has started runs to
+/// completion, and [`SynthesisError::Cancelled`] names the last stage
+/// that finished (the partial result the caller can still report).
+///
+/// [`SynthesisError::Cancelled`]: crate::SynthesisError::Cancelled
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that only cancels when [`CancelToken::cancel`] is called.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that auto-cancels `timeout` from now (and can still be
+    /// cancelled explicitly before that).
+    pub fn with_timeout(timeout: Duration) -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Instant::now().checked_add(timeout),
+        }
+    }
+
+    /// Requests cancellation; every clone of this token observes it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once [`CancelToken::cancel`] ran or the deadline passed.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst) || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Returns `Err(SynthesisError::Cancelled { completed })` when the
+    /// token has fired; `completed` should name the stage that just ran.
+    fn check(&self, completed: &'static str) -> Result<(), SynthesisError> {
+        if self.is_cancelled() {
+            Err(SynthesisError::Cancelled { completed })
+        } else {
+            Ok(())
+        }
+    }
 }
 
 /// The configurable synthesis front end (builder).
@@ -130,6 +187,57 @@ impl Synthesizer {
         self
     }
 
+    // ---- borrowed setters ------------------------------------------------
+    //
+    // The consuming `self` builders above read well in a literal chain,
+    // but a server assembling a configuration field-by-field from a
+    // parsed request holds the synthesizer in a variable — these `&mut`
+    // twins avoid the move-reassign dance there.
+
+    /// Enables or disables the high-level transformation passes
+    /// (borrowed twin of [`Synthesizer::without_optimization`]).
+    pub fn set_optimize(&mut self, optimize: bool) -> &mut Self {
+        self.optimize = optimize;
+        self.classifier = if optimize {
+            OpClassifier::universal_free_shifts()
+        } else {
+            OpClassifier::universal()
+        };
+        self
+    }
+
+    /// Enables or disables full loop unrolling.
+    pub fn set_unrolling(&mut self, unroll: bool) -> &mut Self {
+        self.unroll = unroll;
+        self
+    }
+
+    /// Enables or disables if-conversion.
+    pub fn set_if_conversion(&mut self, if_convert: bool) -> &mut Self {
+        self.if_convert = if_convert;
+        self
+    }
+
+    /// Sets `n` universal functional units (borrowed twin of
+    /// [`Synthesizer::universal_fus`]).
+    pub fn set_universal_fus(&mut self, n: usize) -> &mut Self {
+        self.limits = ResourceLimits::universal(n);
+        self
+    }
+
+    /// Sets the scheduling algorithm (borrowed twin of
+    /// [`Synthesizer::algorithm`]).
+    pub fn set_algorithm(&mut self, algorithm: Algorithm) -> &mut Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the control style (borrowed twin of [`Synthesizer::control`]).
+    pub fn set_control(&mut self, control: ControlStyle) -> &mut Self {
+        self.control = control;
+        self
+    }
+
     /// The currently configured scheduling algorithm.
     pub fn configured_algorithm(&self) -> Algorithm {
         self.algorithm
@@ -163,7 +271,45 @@ impl Synthesizer {
     /// # Errors
     ///
     /// Propagates scheduling, allocation, and control errors.
-    pub fn synthesize(&self, mut cdfg: Cdfg) -> Result<SynthesisResult, SynthesisError> {
+    pub fn synthesize(&self, cdfg: Cdfg) -> Result<SynthesisResult, SynthesisError> {
+        self.synthesize_cancellable(cdfg, &CancelToken::new())
+    }
+
+    /// Synthesizes BSL source text under a cancellation token.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse, scheduling, allocation, and control errors, and
+    /// [`SynthesisError::Cancelled`] when `cancel` fires between stages.
+    ///
+    /// [`SynthesisError::Cancelled`]: crate::SynthesisError::Cancelled
+    pub fn synthesize_source_cancellable(
+        &self,
+        src: &str,
+        cancel: &CancelToken,
+    ) -> Result<SynthesisResult, SynthesisError> {
+        cancel.check("none")?;
+        let cdfg = hls_lang::compile(src)?;
+        cancel.check("compile")?;
+        self.synthesize_cancellable(cdfg, cancel)
+    }
+
+    /// Synthesizes an already-compiled behavior, checking `cancel`
+    /// between pipeline stages (optimize → schedule → allocate →
+    /// control → netlist). A fired token aborts before the next stage
+    /// and reports the last stage that completed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling, allocation, and control errors, and
+    /// [`SynthesisError::Cancelled`] when `cancel` fires between stages.
+    ///
+    /// [`SynthesisError::Cancelled`]: crate::SynthesisError::Cancelled
+    pub fn synthesize_cancellable(
+        &self,
+        mut cdfg: Cdfg,
+        cancel: &CancelToken,
+    ) -> Result<SynthesisResult, SynthesisError> {
         let mut pass_stats = Vec::new();
         if self.if_convert {
             hls_opt::run_pass(&mut cdfg, hls_opt::PassKind::IfConvert);
@@ -174,8 +320,10 @@ impl Synthesizer {
         if self.optimize {
             pass_stats = hls_opt::optimize(&mut cdfg);
         }
+        cancel.check("optimize")?;
         let schedule = schedule_cdfg(&cdfg, &self.classifier, &self.limits, self.algorithm)?;
         let latency = schedule.total_latency(&cdfg);
+        cancel.check("schedule")?;
         let datapath = build_datapath(
             &cdfg,
             &schedule,
@@ -183,6 +331,7 @@ impl Synthesizer {
             &self.library,
             self.fu_strategy,
         )?;
+        cancel.check("allocate")?;
         let fsm = build_fsm(&cdfg, &schedule, &datapath, &self.classifier)?;
         let control_report = match self.control {
             ControlStyle::Hardwired(style) => {
@@ -197,6 +346,7 @@ impl Synthesizer {
                 }
             }
         };
+        cancel.check("control")?;
         let netlist = datapath.to_netlist(&cdfg, &self.library)?;
         let area = estimate(&netlist, &self.library);
         Ok(SynthesisResult {
@@ -418,6 +568,67 @@ mod tests {
             .unwrap();
         assert!(r.area.total() > 0.0);
         assert!(r.to_verilog().contains("module sqrt"));
+    }
+
+    #[test]
+    fn cancelled_token_stops_between_stages() {
+        let tok = CancelToken::new();
+        tok.cancel();
+        let err = Synthesizer::new()
+            .synthesize_source_cancellable(hls_workloads::sources::SQRT, &tok)
+            .unwrap_err();
+        match err {
+            crate::SynthesisError::Cancelled { completed } => assert_eq!(completed, "none"),
+            other => panic!("expected Cancelled, got {other}"),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_reports_last_completed_stage() {
+        let tok = CancelToken::with_timeout(Duration::ZERO);
+        assert!(tok.is_cancelled());
+        let err = Synthesizer::new()
+            .synthesize_source_cancellable(hls_workloads::sources::SQRT, &tok)
+            .unwrap_err();
+        assert!(err.to_string().contains("cancelled"), "{err}");
+    }
+
+    #[test]
+    fn unfired_token_changes_nothing() {
+        let tok = CancelToken::with_timeout(Duration::from_secs(3600));
+        let r = Synthesizer::new()
+            .synthesize_source_cancellable(hls_workloads::sources::SQRT, &tok)
+            .unwrap();
+        assert_eq!(r.latency, 10);
+    }
+
+    #[test]
+    fn token_clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn borrowed_setters_match_consuming_builders() {
+        let chained = Synthesizer::new()
+            .universal_fus(1)
+            .algorithm(Algorithm::Asap)
+            .control(ControlStyle::Microcode)
+            .without_optimization();
+        let mut stepped = Synthesizer::default();
+        stepped
+            .set_universal_fus(1)
+            .set_algorithm(Algorithm::Asap)
+            .set_control(ControlStyle::Microcode)
+            .set_optimize(false);
+        assert_eq!(chained.fingerprint(), stepped.fingerprint());
+        let r = stepped
+            .synthesize_source(hls_workloads::sources::SQRT)
+            .unwrap();
+        assert_eq!(r.latency, 23);
     }
 
     #[test]

@@ -257,7 +257,7 @@ impl Builder<'_> {
                         None => exits.push((state, Cond::IsFalse(i.cond_var.clone()))),
                     }
                 }
-                exits.extend(texits.drain(..));
+                exits.append(&mut texits);
                 exits.extend(eexits);
                 Ok((Some(centry), exits))
             }

@@ -147,10 +147,8 @@ fn identity_rewrite(
                 return Some(ReplaceWith::Value(rhs));
             }
         }
-        Sub | Shl | Shr => {
-            if rc == Some(Fx::ZERO) {
-                return Some(ReplaceWith::Value(lhs));
-            }
+        Sub | Shl | Shr if rc == Some(Fx::ZERO) => {
+            return Some(ReplaceWith::Value(lhs));
         }
         Mul => {
             if rc == Some(Fx::ONE) {
@@ -163,15 +161,11 @@ fn identity_rewrite(
                 return Some(ReplaceWith::Const(Fx::ZERO));
             }
         }
-        Div => {
-            if rc == Some(Fx::ONE) {
-                return Some(ReplaceWith::Value(lhs));
-            }
+        Div if rc == Some(Fx::ONE) => {
+            return Some(ReplaceWith::Value(lhs));
         }
-        And => {
-            if rc == Some(Fx::ZERO) || lc == Some(Fx::ZERO) {
-                return Some(ReplaceWith::Const(Fx::ZERO));
-            }
+        And if (rc == Some(Fx::ZERO) || lc == Some(Fx::ZERO)) => {
+            return Some(ReplaceWith::Const(Fx::ZERO));
         }
         _ => {}
     }

@@ -101,7 +101,7 @@ pub fn freedom_based_schedule(
             let u = usage.get(&(class, t)).copied().unwrap_or(0);
             let adds_unit = usize::from(u + 1 > current_units);
             let key = (adds_unit, u, t);
-            if best.map_or(true, |b| key < b) {
+            if best.is_none_or(|b| key < b) {
                 best = Some(key);
             }
         }

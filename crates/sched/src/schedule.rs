@@ -213,10 +213,10 @@ impl CdfgSchedule {
     /// Total latency, assuming `default_trip` iterations for loops without
     /// a static trip count.
     pub fn latency_with_default_trip(&self, cdfg: &Cdfg, default_trip: u64) -> u64 {
-        self.region_latency(cdfg, cdfg.body(), default_trip)
+        self.region_latency(cdfg.body(), default_trip)
     }
 
-    fn region_latency(&self, cdfg: &Cdfg, region: &Region, default_trip: u64) -> u64 {
+    fn region_latency(&self, region: &Region, default_trip: u64) -> u64 {
         match region {
             Region::Block(b) => self
                 .per_block
@@ -225,10 +225,10 @@ impl CdfgSchedule {
                 .unwrap_or(0),
             Region::Seq(rs) => rs
                 .iter()
-                .map(|r| self.region_latency(cdfg, r, default_trip))
+                .map(|r| self.region_latency(r, default_trip))
                 .sum(),
             Region::Loop(l) => {
-                let body = self.region_latency(cdfg, &l.body, default_trip);
+                let body = self.region_latency(&l.body, default_trip);
                 let cond = match (l.kind, l.cond_block) {
                     (LoopKind::While, Some(c)) => self
                         .per_block
@@ -250,11 +250,11 @@ impl CdfgSchedule {
                     .get(&i.cond_block)
                     .map(|s| s.num_steps() as u64)
                     .unwrap_or(0);
-                let t = self.region_latency(cdfg, &i.then_region, default_trip);
+                let t = self.region_latency(&i.then_region, default_trip);
                 let e = i
                     .else_region
                     .as_ref()
-                    .map(|r| self.region_latency(cdfg, r, default_trip))
+                    .map(|r| self.region_latency(r, default_trip))
                     .unwrap_or(0);
                 cond + t.max(e)
             }

@@ -1,0 +1,523 @@
+//! Request/response schema of the synthesis service.
+//!
+//! Both endpoints take a JSON body naming a BSL `source` plus
+//! configuration and return a JSON summary of the synthesized design.
+//! Everything in a response body is a deterministic function of the
+//! request — cache state, timing, and thread interleaving never leak
+//! into it — which is what lets the response cache serve byte-identical
+//! bodies and the load generator assert on digests.
+
+use hls_core::{
+    cdfg_fingerprint, pareto_front, CancelToken, ControlReport, ControlStyle, DesignPoint,
+    Explorer, GridSpec, SynthesisError, SynthesisResult, Synthesizer,
+};
+use hls_ctrl::EncodingStyle;
+use hls_sched::{Algorithm, Priority};
+
+use crate::json::Json;
+
+/// A semantic request error (maps to HTTP 422).
+#[derive(Clone, Debug)]
+pub struct ApiError(pub String);
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+fn err(msg: impl Into<String>) -> ApiError {
+    ApiError(msg.into())
+}
+
+/// Parses an algorithm name (`asap`, `list/path`, `list/urgency`,
+/// `list/mobility`, `force`, `force/N`, `freedom`, `freedom/N`, `bb`,
+/// `transform`).
+pub fn parse_algorithm(name: &str) -> Result<Algorithm, ApiError> {
+    let (head, arg) = match name.split_once('/') {
+        Some((h, a)) => (h, Some(a)),
+        None => (name, None),
+    };
+    let slack = || -> Result<u32, ApiError> {
+        match arg {
+            None => Ok(0),
+            Some(a) => a
+                .parse()
+                .map_err(|_| err(format!("invalid slack in algorithm {name:?}"))),
+        }
+    };
+    match (head, arg) {
+        ("asap", None) => Ok(Algorithm::Asap),
+        ("list", None | Some("path")) => Ok(Algorithm::List(Priority::PathLength)),
+        ("list", Some("urgency")) => Ok(Algorithm::List(Priority::Urgency)),
+        ("list", Some("mobility")) => Ok(Algorithm::List(Priority::Mobility)),
+        ("force", _) => Ok(Algorithm::ForceDirected { slack: slack()? }),
+        ("freedom", _) => Ok(Algorithm::FreedomBased { slack: slack()? }),
+        ("bb", None) => Ok(Algorithm::BranchAndBound {
+            node_budget: 4_000_000,
+        }),
+        ("transform", None) => Ok(Algorithm::Transformational),
+        _ => Err(err(format!("unknown algorithm {name:?}"))),
+    }
+}
+
+/// Renders an algorithm in the same notation [`parse_algorithm`] accepts.
+pub fn algorithm_str(a: Algorithm) -> String {
+    match a {
+        Algorithm::Asap => "asap".into(),
+        Algorithm::List(Priority::PathLength) => "list/path".into(),
+        Algorithm::List(Priority::Urgency) => "list/urgency".into(),
+        Algorithm::List(Priority::Mobility) => "list/mobility".into(),
+        Algorithm::ForceDirected { slack } => format!("force/{slack}"),
+        Algorithm::FreedomBased { slack } => format!("freedom/{slack}"),
+        Algorithm::BranchAndBound { .. } => "bb".into(),
+        Algorithm::Transformational => "transform".into(),
+    }
+}
+
+/// Parses a control style (`hardwired/binary`, `hardwired/onehot`,
+/// `hardwired/gray`, `microcode`).
+pub fn parse_control(name: &str) -> Result<ControlStyle, ApiError> {
+    match name {
+        "hardwired" | "hardwired/binary" => Ok(ControlStyle::Hardwired(EncodingStyle::Binary)),
+        "hardwired/onehot" => Ok(ControlStyle::Hardwired(EncodingStyle::OneHot)),
+        "hardwired/gray" => Ok(ControlStyle::Hardwired(EncodingStyle::Gray)),
+        "microcode" => Ok(ControlStyle::Microcode),
+        _ => Err(err(format!("unknown control style {name:?}"))),
+    }
+}
+
+/// Renders a control style in the notation [`parse_control`] accepts.
+pub fn control_str(c: ControlStyle) -> String {
+    match c {
+        ControlStyle::Hardwired(EncodingStyle::Binary) => "hardwired/binary".into(),
+        ControlStyle::Hardwired(EncodingStyle::OneHot) => "hardwired/onehot".into(),
+        ControlStyle::Hardwired(EncodingStyle::Gray) => "hardwired/gray".into(),
+        ControlStyle::Microcode => "microcode".into(),
+    }
+}
+
+/// A fully parsed `/synthesize` request.
+#[derive(Clone, Debug)]
+pub struct SynthesizeRequest {
+    /// BSL source text.
+    pub source: String,
+    /// The synthesizer the `config` object resolves to.
+    pub synthesizer: Synthesizer,
+    /// Include Verilog in the response.
+    pub verilog: bool,
+    /// Optional per-request deadline override, milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Test-only artificial delay (honored only when the server enables
+    /// it); lets integration tests saturate the queue deterministically.
+    pub test_delay_ms: u64,
+}
+
+/// Resolves a `config` JSON object into a [`Synthesizer`], using the
+/// borrowed setters so the base stays shared.
+fn build_synthesizer(config: Option<&Json>) -> Result<Synthesizer, ApiError> {
+    let mut syn = Synthesizer::default();
+    let Some(config) = config else {
+        return Ok(syn);
+    };
+    let Json::Obj(members) = config else {
+        return Err(err("config must be an object"));
+    };
+    for (key, value) in members {
+        match key.as_str() {
+            "fus" => {
+                let n = value
+                    .as_u64()
+                    .filter(|&n| (1..=64).contains(&n))
+                    .ok_or_else(|| err("config.fus must be an integer in 1..=64"))?;
+                syn.set_universal_fus(n as usize);
+            }
+            "algorithm" => {
+                let name = value
+                    .as_str()
+                    .ok_or_else(|| err("config.algorithm must be a string"))?;
+                syn.set_algorithm(parse_algorithm(name)?);
+            }
+            "control" => {
+                let name = value
+                    .as_str()
+                    .ok_or_else(|| err("config.control must be a string"))?;
+                syn.set_control(parse_control(name)?);
+            }
+            "optimize" => {
+                let b = value
+                    .as_bool()
+                    .ok_or_else(|| err("config.optimize must be a boolean"))?;
+                syn.set_optimize(b);
+            }
+            "unroll" => {
+                let b = value
+                    .as_bool()
+                    .ok_or_else(|| err("config.unroll must be a boolean"))?;
+                syn.set_unrolling(b);
+            }
+            "if_convert" => {
+                let b = value
+                    .as_bool()
+                    .ok_or_else(|| err("config.if_convert must be a boolean"))?;
+                syn.set_if_conversion(b);
+            }
+            other => return Err(err(format!("unknown config key {other:?}"))),
+        }
+    }
+    Ok(syn)
+}
+
+impl SynthesizeRequest {
+    /// Parses and validates a request body.
+    pub fn from_json(body: &Json) -> Result<Self, ApiError> {
+        let source = body
+            .get("source")
+            .and_then(Json::as_str)
+            .ok_or_else(|| err("missing required string field \"source\""))?
+            .to_string();
+        let synthesizer = build_synthesizer(body.get("config"))?;
+        let verilog = match body.get("verilog") {
+            None => false,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| err("verilog must be a boolean"))?,
+        };
+        let deadline_ms = match body.get("deadline_ms") {
+            None => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .filter(|&ms| ms > 0)
+                    .ok_or_else(|| err("deadline_ms must be a positive integer"))?,
+            ),
+        };
+        let test_delay_ms = match body.get("test_delay_ms") {
+            None => 0,
+            Some(v) => v
+                .as_u64()
+                .ok_or_else(|| err("test_delay_ms must be a non-negative integer"))?,
+        };
+        Ok(SynthesizeRequest {
+            source,
+            synthesizer,
+            verilog,
+            deadline_ms,
+            test_delay_ms,
+        })
+    }
+}
+
+/// A fully parsed `/explore` request.
+#[derive(Clone, Debug)]
+pub struct ExploreRequest {
+    /// BSL source text.
+    pub source: String,
+    /// Base synthesizer the grid perturbs.
+    pub synthesizer: Synthesizer,
+    /// The sweep grid.
+    pub spec: GridSpec,
+    /// Optional per-request deadline override, milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
+impl ExploreRequest {
+    /// Parses and validates a request body.
+    pub fn from_json(body: &Json) -> Result<Self, ApiError> {
+        let source = body
+            .get("source")
+            .and_then(Json::as_str)
+            .ok_or_else(|| err("missing required string field \"source\""))?
+            .to_string();
+        let synthesizer = build_synthesizer(body.get("config"))?;
+        let grid = body.get("grid").ok_or_else(|| err("missing \"grid\""))?;
+        let fus = match grid.get("fus") {
+            None => vec![1, 2, 3],
+            Some(v) => v
+                .as_arr()
+                .ok_or_else(|| err("grid.fus must be an array"))?
+                .iter()
+                .map(|n| {
+                    n.as_u64()
+                        .filter(|&n| (1..=64).contains(&n))
+                        .map(|n| n as usize)
+                        .ok_or_else(|| err("grid.fus entries must be integers in 1..=64"))
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        let algorithms = match grid.get("algorithms") {
+            None => vec![synthesizer.configured_algorithm()],
+            Some(v) => v
+                .as_arr()
+                .ok_or_else(|| err("grid.algorithms must be an array"))?
+                .iter()
+                .map(|a| {
+                    a.as_str()
+                        .ok_or_else(|| err("grid.algorithms entries must be strings"))
+                        .and_then(parse_algorithm)
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        let controls = match grid.get("controls") {
+            None => vec![synthesizer.configured_control()],
+            Some(v) => v
+                .as_arr()
+                .ok_or_else(|| err("grid.controls must be an array"))?
+                .iter()
+                .map(|c| {
+                    c.as_str()
+                        .ok_or_else(|| err("grid.controls entries must be strings"))
+                        .and_then(parse_control)
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        let spec = GridSpec {
+            fus,
+            algorithms,
+            controls,
+        };
+        if spec.is_empty() {
+            return Err(err("grid has an empty axis"));
+        }
+        if spec.len() > 4096 {
+            return Err(err("grid too large (more than 4096 points)"));
+        }
+        let deadline_ms = match body.get("deadline_ms") {
+            None => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .filter(|&ms| ms > 0)
+                    .ok_or_else(|| err("deadline_ms must be a positive integer"))?,
+            ),
+        };
+        Ok(ExploreRequest {
+            source,
+            synthesizer,
+            spec,
+            deadline_ms,
+        })
+    }
+}
+
+/// 16-hex-digit rendering of a fingerprint.
+fn hex_fp(fp: u64) -> Json {
+    Json::Str(format!("{fp:016x}"))
+}
+
+/// Builds the deterministic response body for one synthesis result.
+pub fn synthesize_response(
+    req: &SynthesizeRequest,
+    behavior_fp: u64,
+    result: &SynthesisResult,
+) -> Json {
+    let control = match &result.control_report {
+        ControlReport::Hardwired(h) => Json::Obj(vec![
+            (
+                "style".into(),
+                Json::Str(control_str(ControlStyle::Hardwired(h.style))),
+            ),
+            ("state_bits".into(), Json::Num(h.state_bits as f64)),
+            ("outputs".into(), Json::Num(h.outputs as f64)),
+            ("terms".into(), Json::Num(h.terms as f64)),
+            ("literals".into(), Json::Num(h.literals as f64)),
+        ]),
+        ControlReport::Microcode {
+            words,
+            horizontal_bits,
+            encoded_bits,
+        } => Json::Obj(vec![
+            ("style".into(), Json::Str("microcode".into())),
+            ("words".into(), Json::Num(*words as f64)),
+            ("horizontal_bits".into(), Json::Num(*horizontal_bits as f64)),
+            ("encoded_bits".into(), Json::Num(*encoded_bits as f64)),
+        ]),
+    };
+    let mut members = vec![
+        ("latency".into(), Json::Num(result.latency as f64)),
+        ("fus".into(), Json::Num(result.datapath.fu_count() as f64)),
+        (
+            "registers".into(),
+            Json::Num(result.datapath.reg_count() as f64),
+        ),
+        (
+            "mux_inputs".into(),
+            Json::Num(result.datapath.mux_inputs as f64),
+        ),
+        ("area".into(), Json::Num(result.area.total())),
+        ("clock_ns".into(), Json::Num(result.area.clock_ns)),
+        ("fsm_states".into(), Json::Num(result.fsm.len() as f64)),
+        ("control".into(), control),
+        (
+            "fingerprints".into(),
+            Json::Obj(vec![
+                ("cdfg".into(), hex_fp(behavior_fp)),
+                ("config".into(), hex_fp(req.synthesizer.fingerprint())),
+            ]),
+        ),
+    ];
+    if req.verilog {
+        members.push(("verilog".into(), Json::Str(result.to_verilog())));
+    }
+    Json::Obj(members)
+}
+
+/// Builds the deterministic response body for one exploration sweep.
+pub fn explore_response(points: &[DesignPoint], behavior_fp: u64, config_fp: u64) -> Json {
+    let point_json = |p: &DesignPoint| {
+        Json::Obj(vec![
+            ("fus".into(), Json::Num(p.fus as f64)),
+            ("algorithm".into(), Json::Str(algorithm_str(p.algorithm))),
+            ("control".into(), Json::Str(control_str(p.control))),
+            ("latency".into(), Json::Num(p.latency as f64)),
+            ("area".into(), Json::Num(p.area)),
+            ("registers".into(), Json::Num(p.registers as f64)),
+            ("mux_inputs".into(), Json::Num(p.mux_inputs as f64)),
+        ])
+    };
+    Json::Obj(vec![
+        (
+            "points".into(),
+            Json::Arr(points.iter().map(point_json).collect()),
+        ),
+        (
+            "pareto".into(),
+            Json::Arr(pareto_front(points).iter().map(point_json).collect()),
+        ),
+        (
+            "fingerprints".into(),
+            Json::Obj(vec![
+                ("cdfg".into(), hex_fp(behavior_fp)),
+                ("config".into(), hex_fp(config_fp)),
+            ]),
+        ),
+    ])
+}
+
+/// Runs a parsed `/synthesize` request to completion.
+///
+/// # Errors
+///
+/// Propagates synthesis errors (including cancellation) for the caller
+/// to map onto HTTP statuses.
+pub fn run_synthesize(
+    req: &SynthesizeRequest,
+    cancel: &CancelToken,
+) -> Result<(u64, SynthesisResult), SynthesisError> {
+    let cdfg = hls_lang::compile(&req.source)?;
+    let behavior_fp = cdfg_fingerprint(&cdfg);
+    let result = req.synthesizer.synthesize_cancellable(cdfg, cancel)?;
+    Ok((behavior_fp, result))
+}
+
+/// Runs a parsed `/explore` request on the shared explorer.
+///
+/// # Errors
+///
+/// Propagates synthesis errors (including cancellation) for the caller
+/// to map onto HTTP statuses.
+pub fn run_explore(
+    req: &ExploreRequest,
+    explorer: &Explorer,
+    cancel: &CancelToken,
+) -> Result<(u64, Vec<DesignPoint>), SynthesisError> {
+    let cdfg = hls_lang::compile(&req.source)?;
+    let behavior_fp = cdfg_fingerprint(&cdfg);
+    let points =
+        explorer.sweep_grid_cdfg_cancellable(&req.synthesizer, &cdfg, &req.spec, cancel)?;
+    Ok((behavior_fp, points))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn algorithm_names_roundtrip() {
+        for name in [
+            "asap",
+            "list/path",
+            "list/urgency",
+            "list/mobility",
+            "force/0",
+            "force/2",
+            "freedom/1",
+            "bb",
+            "transform",
+        ] {
+            let a = parse_algorithm(name).unwrap();
+            assert_eq!(algorithm_str(a), name, "{name}");
+        }
+        assert!(parse_algorithm("quantum").is_err());
+        assert!(parse_algorithm("force/x").is_err());
+    }
+
+    #[test]
+    fn control_names_roundtrip() {
+        for name in [
+            "hardwired/binary",
+            "hardwired/onehot",
+            "hardwired/gray",
+            "microcode",
+        ] {
+            let c = parse_control(name).unwrap();
+            assert_eq!(control_str(c), name, "{name}");
+        }
+        assert!(parse_control("telepathy").is_err());
+    }
+
+    #[test]
+    fn synthesize_request_parses_and_configures() {
+        let body = parse(
+            r#"{"source":"x","config":{"fus":3,"algorithm":"asap","control":"microcode","optimize":false},"verilog":true}"#,
+        )
+        .unwrap();
+        let req = SynthesizeRequest::from_json(&body).unwrap();
+        assert!(req.verilog);
+        let expected = Synthesizer::new()
+            .universal_fus(3)
+            .algorithm(Algorithm::Asap)
+            .control(ControlStyle::Microcode)
+            .without_optimization();
+        assert_eq!(req.synthesizer.fingerprint(), expected.fingerprint());
+    }
+
+    #[test]
+    fn synthesize_request_rejects_unknown_keys() {
+        let body = parse(r#"{"source":"x","config":{"fuss":3}}"#).unwrap();
+        let e = SynthesizeRequest::from_json(&body).unwrap_err();
+        assert!(e.0.contains("unknown config key"), "{e}");
+    }
+
+    #[test]
+    fn explore_request_defaults_and_bounds() {
+        let body = parse(r#"{"source":"x","grid":{}}"#).unwrap();
+        let req = ExploreRequest::from_json(&body).unwrap();
+        assert_eq!(req.spec.fus, vec![1, 2, 3]);
+        assert_eq!(req.spec.algorithms.len(), 1);
+        assert_eq!(req.spec.controls.len(), 1);
+
+        let body = parse(r#"{"source":"x","grid":{"fus":[]}}"#).unwrap();
+        assert!(ExploreRequest::from_json(&body).is_err());
+    }
+
+    #[test]
+    fn responses_are_deterministic() {
+        let body = parse(
+            format!(
+                r#"{{"source":{:?},"config":{{"fus":2}}}}"#,
+                hls_workloads::sources::SQRT
+            )
+            .as_str(),
+        )
+        .unwrap();
+        let req = SynthesizeRequest::from_json(&body).unwrap();
+        let tok = CancelToken::new();
+        let (fp1, r1) = run_synthesize(&req, &tok).unwrap();
+        let (fp2, r2) = run_synthesize(&req, &tok).unwrap();
+        assert_eq!(fp1, fp2);
+        assert_eq!(r1.latency, 10);
+        let b1 = synthesize_response(&req, fp1, &r1).render();
+        let b2 = synthesize_response(&req, fp2, &r2).render();
+        assert_eq!(b1, b2, "identical requests must render identical bytes");
+    }
+}

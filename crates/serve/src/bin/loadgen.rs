@@ -1,0 +1,277 @@
+//! The `hls-loadgen` binary: a concurrent closed-loop client for
+//! `hls-serve`.
+//!
+//! ```text
+//! hls-loadgen ADDR [REQUESTS] [CLIENTS]
+//! ```
+//!
+//! `CLIENTS` workers each run a closed loop: take the next request index
+//! from a shared counter, fire it, wait for the full response, repeat.
+//! Requests rotate deterministically through a fixed template mix
+//! (synthesize on three workloads × several configurations, plus
+//! exploration grids), so every template repeats many times across the
+//! run — and because the service contract says responses are pure
+//! functions of requests, the tool fingerprints every response body per
+//! template and fails loudly when two repeats ever disagree (whether
+//! they were served from cache or freshly synthesized).
+//!
+//! A `503` answer is back-off-and-retry (honoring `Retry-After`), and is
+//! reported separately from hard errors. Exit status is nonzero when any
+//! hard error or byte mismatch occurred.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One request template: an endpoint path and a fixed JSON body.
+struct Template {
+    path: &'static str,
+    body: String,
+    label: String,
+}
+
+fn templates() -> Vec<Template> {
+    let sqrt = hls_workloads::sources::SQRT;
+    let diffeq = hls_workloads::sources::DIFFEQ;
+    let gcd = hls_workloads::sources::GCD;
+    let mut out = Vec::new();
+    for (name, source, fus, algorithm) in [
+        ("sqrt/1fu", sqrt, 1, "list/path"),
+        ("sqrt/2fu", sqrt, 2, "list/path"),
+        ("sqrt/asap", sqrt, 2, "asap"),
+        ("diffeq/2fu", diffeq, 2, "list/path"),
+        ("diffeq/3fu", diffeq, 3, "list/urgency"),
+        ("gcd/2fu", gcd, 2, "list/path"),
+    ] {
+        out.push(Template {
+            path: "/synthesize",
+            body: format!(
+                r#"{{"source":{source:?},"config":{{"fus":{fus},"algorithm":{algorithm:?}}}}}"#
+            ),
+            label: format!("synthesize:{name}"),
+        });
+    }
+    for (name, source, max_fus) in [("sqrt", sqrt, 3), ("diffeq", diffeq, 2)] {
+        let fus: Vec<String> = (1..=max_fus).map(|n| n.to_string()).collect();
+        out.push(Template {
+            path: "/explore",
+            body: format!(
+                r#"{{"source":{source:?},"grid":{{"fus":[{}],"algorithms":["asap","list/path"]}}}}"#,
+                fus.join(",")
+            ),
+            label: format!("explore:{name}"),
+        });
+    }
+    out
+}
+
+/// A parsed response: status, cache header, body.
+struct Reply {
+    status: u16,
+    cache: Option<String>,
+    retry_after: Option<u64>,
+    body: Vec<u8>,
+}
+
+/// Fires one request and reads the whole close-delimited response.
+fn fire(addr: &str, path: &str, body: &str) -> Result<Reply, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).ok();
+    let request = format!(
+        "POST {path} HTTP/1.1\r\nHost: hls\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("write: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("read: {e}"))?;
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or("no header terminator")?;
+    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| "non-utf8 head")?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or("empty head")?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or("bad status line")?;
+    let mut cache = None;
+    let mut retry_after = None;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            match name.trim().to_ascii_lowercase().as_str() {
+                "x-hls-cache" => cache = Some(value.trim().to_string()),
+                "retry-after" => retry_after = value.trim().parse().ok(),
+                _ => {}
+            }
+        }
+    }
+    Ok(Reply {
+        status,
+        cache,
+        retry_after,
+        body: raw[head_end + 4..].to_vec(),
+    })
+}
+
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut w = hls_testkit::FnvWriter::new();
+    w.update(bytes);
+    w.finish()
+}
+
+/// Shared run statistics.
+#[derive(Default)]
+struct Stats {
+    ok: AtomicU64,
+    hard_errors: AtomicU64,
+    sheds: AtomicU64,
+    cache_hits: AtomicU64,
+    mismatches: AtomicU64,
+    /// Per-template digest of the first 200 response; later repeats must
+    /// match it byte-for-byte.
+    digests: Mutex<Vec<Option<u64>>>,
+    /// Latencies in nanoseconds (collected per completed request).
+    latencies: Mutex<Vec<u64>>,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    Duration::from_nanos(sorted[idx])
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let addr = match args.next() {
+        Some(a) if a != "-h" && a != "--help" => a,
+        _ => {
+            eprintln!("usage: hls-loadgen ADDR [REQUESTS] [CLIENTS]");
+            std::process::exit(2);
+        }
+    };
+    let total: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(1000);
+    let clients: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(8);
+
+    let templates = Arc::new(templates());
+    let stats = Arc::new(Stats {
+        digests: Mutex::new(vec![None; templates.len()]),
+        ..Stats::default()
+    });
+    let next = Arc::new(AtomicUsize::new(0));
+
+    eprintln!(
+        "hls-loadgen: {total} requests, {clients} clients, {} templates, target {addr}",
+        templates.len()
+    );
+    let started = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|_| {
+            let templates = Arc::clone(&templates);
+            let stats = Arc::clone(&stats);
+            let next = Arc::clone(&next);
+            let addr = addr.clone();
+            std::thread::spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                if i >= total {
+                    return;
+                }
+                let t = &templates[i % templates.len()];
+                let req_started = Instant::now();
+                let mut attempts = 0;
+                let reply = loop {
+                    match fire(&addr, t.path, &t.body) {
+                        Ok(r) if r.status == 503 && attempts < 10 => {
+                            attempts += 1;
+                            stats.sheds.fetch_add(1, Ordering::Relaxed);
+                            let secs = r.retry_after.unwrap_or(1);
+                            std::thread::sleep(Duration::from_millis(50 * secs.max(1)));
+                        }
+                        other => break other,
+                    }
+                };
+                match reply {
+                    Ok(r) if r.status == 200 => {
+                        stats.ok.fetch_add(1, Ordering::Relaxed);
+                        if r.cache.as_deref() == Some("hit") {
+                            stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let digest = fnv(&r.body);
+                        let mut digests = stats.digests.lock().unwrap();
+                        match digests[i % templates.len()] {
+                            None => digests[i % templates.len()] = Some(digest),
+                            Some(expect) if expect != digest => {
+                                drop(digests);
+                                stats.mismatches.fetch_add(1, Ordering::Relaxed);
+                                eprintln!("BYTE MISMATCH on template {}", t.label);
+                            }
+                            Some(_) => {}
+                        }
+                        stats
+                            .latencies
+                            .lock()
+                            .unwrap()
+                            .push(req_started.elapsed().as_nanos() as u64);
+                    }
+                    Ok(r) => {
+                        stats.hard_errors.fetch_add(1, Ordering::Relaxed);
+                        eprintln!(
+                            "ERROR: {} -> HTTP {} ({})",
+                            t.label,
+                            r.status,
+                            String::from_utf8_lossy(&r.body)
+                        );
+                    }
+                    Err(e) => {
+                        stats.hard_errors.fetch_add(1, Ordering::Relaxed);
+                        eprintln!("ERROR: {} -> {e}", t.label);
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("client thread");
+    }
+    let elapsed = started.elapsed();
+
+    let ok = stats.ok.load(Ordering::Relaxed);
+    let errors = stats.hard_errors.load(Ordering::Relaxed);
+    let sheds = stats.sheds.load(Ordering::Relaxed);
+    let hits = stats.cache_hits.load(Ordering::Relaxed);
+    let mismatches = stats.mismatches.load(Ordering::Relaxed);
+    let mut lat = stats.latencies.lock().unwrap().clone();
+    lat.sort_unstable();
+    println!("requests    {ok} ok, {errors} errors, {sheds} 503-retries, {hits} cache hits");
+    println!(
+        "throughput  {:.0} req/s ({} in {:.2?})",
+        ok as f64 / elapsed.as_secs_f64(),
+        ok,
+        elapsed
+    );
+    println!(
+        "latency     p50 {:?}  p95 {:?}  p99 {:?}  max {:?}",
+        percentile(&lat, 0.50),
+        percentile(&lat, 0.95),
+        percentile(&lat, 0.99),
+        percentile(&lat, 1.0),
+    );
+    println!(
+        "byte-identity  {} templates, {mismatches} mismatches",
+        templates.len()
+    );
+    if errors > 0 || mismatches > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,63 @@
+//! The `hls-serve` binary: synthesis as a service.
+//!
+//! ```text
+//! hls-serve [ADDR]
+//! ```
+//!
+//! Configuration comes from environment variables (see
+//! [`hls_serve::ServerConfig::from_env`]): `HLS_SERVE_ADDR`,
+//! `HLS_SERVE_THREADS`, `HLS_SERVE_QUEUE`, `HLS_SERVE_DEADLINE_MS`,
+//! `HLS_SERVE_CACHE`. A positional `ADDR` argument overrides
+//! `HLS_SERVE_ADDR`.
+//!
+//! Shutdown paths, all of them draining in-flight requests first:
+//! SIGTERM or SIGINT (via the self-pipe in `hls_serve::signal`), or
+//! end-of-file on stdin (portable fallback, also handy under a
+//! supervisor that closes the child's stdin to stop it).
+
+use std::io::Read;
+
+use hls_serve::{signal, Server, ServerConfig};
+
+fn main() -> std::io::Result<()> {
+    let mut config = ServerConfig::from_env();
+    if let Some(addr) = std::env::args().nth(1) {
+        if addr == "-h" || addr == "--help" {
+            eprintln!("usage: hls-serve [ADDR]");
+            eprintln!("env: HLS_SERVE_ADDR HLS_SERVE_THREADS HLS_SERVE_QUEUE");
+            eprintln!("     HLS_SERVE_DEADLINE_MS HLS_SERVE_CACHE");
+            return Ok(());
+        }
+        config.addr = addr;
+    }
+    let server = Server::bind(config.clone())?;
+    eprintln!(
+        "hls-serve listening on {} ({} workers, queue {}, deadline {:?}, cache {})",
+        server.local_addr(),
+        config.threads,
+        config.queue,
+        config.deadline,
+        config.cache_capacity,
+    );
+
+    let handle = server.handle();
+    if signal::drain_on_termination(handle.clone()) {
+        eprintln!("hls-serve: SIGTERM/SIGINT will drain and exit");
+    }
+    // Portable fallback: EOF on stdin also drains. Run the watcher on a
+    // detached thread so the acceptor owns the main one.
+    let stdin_handle = handle.clone();
+    std::thread::Builder::new()
+        .name("hls-serve-stdin".into())
+        .spawn(move || {
+            let mut sink = [0u8; 256];
+            let mut stdin = std::io::stdin();
+            while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+            stdin_handle.shutdown();
+        })
+        .expect("spawn stdin watcher");
+
+    server.run()?;
+    eprintln!("hls-serve: drained, bye");
+    Ok(())
+}

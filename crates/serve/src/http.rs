@@ -1,0 +1,308 @@
+//! A minimal HTTP/1.1 request reader and response writer.
+//!
+//! Just enough of RFC 9112 for the service API: one request per
+//! connection (every response carries `Connection: close`), requests are
+//! a start line + headers + optional `Content-Length` body, and both the
+//! header block and the body are size-capped so a hostile client cannot
+//! balloon a worker. Chunked transfer encoding is deliberately not
+//! supported — the API's request bodies are small JSON documents with a
+//! known length.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request head (start line + headers).
+const MAX_HEAD: usize = 16 * 1024;
+/// Upper bound on a request body.
+pub const MAX_BODY: usize = 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Request method, uppercased (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target (path only; any `?query` is kept verbatim).
+    pub path: String,
+    /// Header name/value pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with the given (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed the connection before sending a full request.
+    Closed,
+    /// Malformed request head.
+    Malformed(&'static str),
+    /// The head or body exceeded its size cap.
+    TooLarge,
+    /// Socket-level failure (including read timeouts).
+    Io(io::Error),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Closed => write!(f, "connection closed"),
+            ReadError::Malformed(why) => write!(f, "malformed request: {why}"),
+            ReadError::TooLarge => write!(f, "request too large"),
+            ReadError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+/// Index one past the blank line terminating the head, if present.
+fn head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| p + 4)
+        .or_else(|| buf.windows(2).position(|w| w == b"\n\n").map(|p| p + 2))
+}
+
+/// Reads one full request from the stream.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, ReadError> {
+    // Read chunks until the blank line ending the head shows up; any
+    // bytes past it already belong to the body.
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_len = loop {
+        if let Some(end) = head_end(&buf) {
+            break end;
+        }
+        if buf.len() > MAX_HEAD {
+            return Err(ReadError::TooLarge);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if buf.is_empty() {
+                    Err(ReadError::Closed)
+                } else {
+                    Err(ReadError::Malformed("eof inside head"))
+                }
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+    };
+    let leftover = buf.split_off(head_len);
+    let head = buf;
+    let head_text = std::str::from_utf8(&head).map_err(|_| ReadError::Malformed("non-utf8"))?;
+    let mut lines = head_text.split("\r\n").flat_map(|l| l.split('\n'));
+    let start = lines.next().ok_or(ReadError::Malformed("empty head"))?;
+    let mut parts = start.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(ReadError::Malformed("missing method"))?
+        .to_ascii_uppercase();
+    let path = parts
+        .next()
+        .ok_or(ReadError::Malformed("missing path"))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or(ReadError::Malformed("missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Malformed("unsupported version"));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(ReadError::Malformed("header without colon"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| ReadError::Malformed("bad content-length"))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY {
+        return Err(ReadError::TooLarge);
+    }
+    let mut body = leftover;
+    if body.len() > content_length {
+        return Err(ReadError::Malformed("body longer than content-length"));
+    }
+    let already = body.len();
+    body.resize(content_length, 0);
+    stream
+        .read_exact(&mut body[already..])
+        .map_err(ReadError::Io)?;
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+/// An HTTP response under construction.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers beyond the defaults.
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A response with a JSON body.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            headers: vec![("Content-Type".into(), "application/json".into())],
+            body: body.into(),
+        }
+    }
+
+    /// A response with a plain-text body.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            headers: vec![("Content-Type".into(), "text/plain; charset=utf-8".into())],
+            body: body.into(),
+        }
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: String) -> Self {
+        self.headers.push((name.into(), value));
+        self
+    }
+
+    /// Serializes and writes the response; always closes the exchange
+    /// with `Connection: close`.
+    pub fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
+        let reason = reason_phrase(self.status);
+        let mut head = format!("HTTP/1.1 {} {}\r\n", self.status, reason);
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
+        head.push_str("Connection: close\r\n\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// Standard reason phrases for the statuses this server emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Round-trips a raw byte request through a real socket pair.
+    fn roundtrip(raw: &[u8]) -> Result<Request, ReadError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+        });
+        let (mut server_side, _) = listener.accept().unwrap();
+        let req = read_request(&mut server_side);
+        client.join().unwrap();
+        req
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req =
+            roundtrip(b"POST /synthesize HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello")
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/synthesize");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = roundtrip(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_start_line() {
+        assert!(matches!(
+            roundtrip(b"NONSENSE\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_content_length() {
+        let raw = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(matches!(
+            roundtrip(raw.as_bytes()),
+            Err(ReadError::TooLarge)
+        ));
+    }
+
+    #[test]
+    fn response_renders_with_length_and_close() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            Response::json(200, r#"{"ok":true}"#.as_bytes().to_vec())
+                .write_to(&mut s)
+                .unwrap();
+        });
+        let mut c = TcpStream::connect(addr).unwrap();
+        let mut out = String::new();
+        c.read_to_string(&mut out).unwrap();
+        t.join().unwrap();
+        assert!(out.starts_with("HTTP/1.1 200 OK\r\n"), "{out}");
+        assert!(out.contains("Content-Length: 11\r\n"));
+        assert!(out.contains("Connection: close\r\n"));
+        assert!(out.ends_with(r#"{"ok":true}"#));
+    }
+}

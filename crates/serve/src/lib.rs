@@ -1,0 +1,48 @@
+//! # hls-serve — synthesis as a service
+//!
+//! The first system layer of the reproduction: an HTTP/1.1 server,
+//! built entirely on `std::net`, that puts the whole DAC'88 flow
+//! (BSL → CDFG → schedule → allocate → control → RTL) behind a
+//! programmatic request interface.
+//!
+//! | Endpoint            | Meaning                                          |
+//! |---------------------|--------------------------------------------------|
+//! | `POST /synthesize`  | BSL source + config → design summary (+ Verilog) |
+//! | `POST /explore`     | grid sweep over FU count × algorithm × control   |
+//! | `GET /healthz`      | liveness probe                                   |
+//! | `GET /metrics`      | Prometheus text metrics                          |
+//!
+//! The serving model is deliberately boring: a bounded admission count
+//! in front of a work-stealing pool (reused from [`hls_core::par`]),
+//! load shedding with `503` + `Retry-After` once the bound is hit,
+//! per-request deadlines enforced by [`hls_core::CancelToken`] between
+//! pipeline stages, and a graceful drain on shutdown. Responses are
+//! deterministic functions of requests, so a content-addressed cache
+//! (keyed on behavior × configuration fingerprints) serves byte-exact
+//! repeats.
+//!
+//! ```no_run
+//! use hls_serve::{Server, ServerConfig};
+//!
+//! let server = Server::bind(ServerConfig {
+//!     addr: "127.0.0.1:0".into(),
+//!     ..ServerConfig::default()
+//! })?;
+//! println!("listening on {}", server.local_addr());
+//! let handle = server.handle(); // call handle.shutdown() to drain
+//! server.run()?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)] // one exception: the SIGTERM self-pipe in `signal`
+
+pub mod api;
+pub mod cache;
+pub mod http;
+pub mod json;
+pub mod metrics;
+mod server;
+pub mod signal;
+
+pub use server::{Server, ServerConfig, ServerHandle};

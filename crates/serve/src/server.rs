@@ -1,0 +1,525 @@
+//! The HTTP server: admission control, routing, and graceful drain.
+//!
+//! ## Queueing model
+//!
+//! One acceptor thread owns the listener. Each accepted connection is
+//! admitted against a single bound — `queue` — counting every request
+//! that has been accepted but not yet finished (queued *and* executing).
+//! Admitted connections are handed to a work-stealing pool reused from
+//! [`hls_core::par`]; over the bound, the acceptor sheds the connection
+//! with `503 Service Unavailable` + `Retry-After` from a short-lived
+//! helper thread so the accept loop itself never blocks on a slow peer.
+//!
+//! ## Deadlines
+//!
+//! Every request gets a [`CancelToken`] carrying the server deadline
+//! (or the request's own `deadline_ms`, whichever is sooner). The token
+//! is checked between pipeline stages; an expired request answers
+//! `504 Gateway Timeout` naming the last completed stage.
+//!
+//! ## Shutdown
+//!
+//! [`ServerHandle::shutdown`] flips the shutdown flag and pokes the
+//! listener with a loopback connection so the blocking `accept` wakes
+//! immediately. The acceptor stops admitting, waits until the in-flight
+//! count drains to zero, joins the pool, and returns. The `hls-serve`
+//! binary wires this handle to a SIGTERM/SIGINT self-pipe (see
+//! [`crate::signal`]), so a terminating service finishes every admitted
+//! request before exiting.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use hls_core::par::{default_threads, ThreadPool};
+use hls_core::{cdfg_fingerprint, CancelToken, Explorer, SynthesisError};
+
+use crate::api;
+use crate::cache::{response_key, ResponseCache};
+use crate::http::{read_request, ReadError, Request, Response};
+use crate::json::{self, Json};
+use crate::metrics::Metrics;
+
+/// Server configuration; every knob has an environment variable.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address (`HLS_SERVE_ADDR`, default `127.0.0.1:7878`;
+    /// use port 0 for an ephemeral port).
+    pub addr: String,
+    /// Worker threads (`HLS_SERVE_THREADS`, default: available cores).
+    pub threads: usize,
+    /// Max accepted-but-unfinished requests before load shedding
+    /// (`HLS_SERVE_QUEUE`, default 64).
+    pub queue: usize,
+    /// Per-request deadline (`HLS_SERVE_DEADLINE_MS`, default 10000).
+    pub deadline: Duration,
+    /// Response-cache capacity in entries (`HLS_SERVE_CACHE`, default
+    /// 1024; 0 disables the cache).
+    pub cache_capacity: usize,
+    /// Seconds suggested in the `Retry-After` header of a 503.
+    pub retry_after_secs: u64,
+    /// Honor the `test_delay_ms` request field (integration tests only).
+    pub allow_test_delay: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7878".into(),
+            threads: default_threads(),
+            queue: 64,
+            deadline: Duration::from_millis(10_000),
+            cache_capacity: 1024,
+            retry_after_secs: 1,
+            allow_test_delay: false,
+        }
+    }
+}
+
+/// Reads a non-negative integer environment variable, warning (not
+/// silently ignoring) invalid values.
+fn env_number(name: &str, fallback: u64, min: u64) -> u64 {
+    match std::env::var(name) {
+        Err(_) => fallback,
+        Ok(raw) => match raw.trim().parse::<u64>() {
+            Ok(n) if n >= min => n,
+            _ => {
+                eprintln!(
+                    "warning: ignoring {name}={raw:?} (expected an integer >= {min}); \
+                     falling back to {fallback}"
+                );
+                fallback
+            }
+        },
+    }
+}
+
+impl ServerConfig {
+    /// Configuration from the `HLS_SERVE_*` environment variables.
+    pub fn from_env() -> Self {
+        let defaults = ServerConfig::default();
+        ServerConfig {
+            addr: std::env::var("HLS_SERVE_ADDR").unwrap_or(defaults.addr),
+            threads: env_number("HLS_SERVE_THREADS", defaults.threads as u64, 1) as usize,
+            queue: env_number("HLS_SERVE_QUEUE", defaults.queue as u64, 1) as usize,
+            deadline: Duration::from_millis(env_number(
+                "HLS_SERVE_DEADLINE_MS",
+                defaults.deadline.as_millis() as u64,
+                1,
+            )),
+            cache_capacity: env_number("HLS_SERVE_CACHE", defaults.cache_capacity as u64, 0)
+                as usize,
+            ..defaults
+        }
+    }
+}
+
+/// Shared server state, visible to the acceptor and every worker.
+struct Ctx {
+    config: ServerConfig,
+    metrics: Arc<Metrics>,
+    cache: ResponseCache,
+    /// The shared exploration engine; its memo cache persists across
+    /// requests, so repeated or overlapping grids are answered from it.
+    explorer: Explorer,
+    /// Accepted-but-unfinished requests (queued + executing).
+    inflight: AtomicUsize,
+    shutdown: AtomicBool,
+    /// Parking spot for the drain wait.
+    idle: Mutex<()>,
+    idle_cv: Condvar,
+}
+
+impl Ctx {
+    fn request_done(&self) {
+        let before = self.inflight.fetch_sub(1, Ordering::SeqCst);
+        self.metrics.queue_left(before.saturating_sub(1));
+        if before == 1 {
+            let _guard = self.idle.lock().expect("idle lock");
+            self.idle_cv.notify_all();
+        }
+    }
+
+    fn wait_idle(&self) {
+        let mut guard = self.idle.lock().expect("idle lock");
+        while self.inflight.load(Ordering::SeqCst) > 0 {
+            guard = self.idle_cv.wait(guard).expect("idle wait");
+        }
+    }
+}
+
+/// A running server bound to its listener.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    ctx: Arc<Ctx>,
+    pool: ThreadPool,
+}
+
+/// A cloneable handle for shutting the server down and reading metrics.
+#[derive(Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    ctx: Arc<Ctx>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's metrics registry.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.ctx.metrics)
+    }
+
+    /// Requests a graceful shutdown: stop accepting, drain in-flight
+    /// requests, then return from [`Server::run`]. Idempotent.
+    pub fn shutdown(&self) {
+        if !self.ctx.shutdown.swap(true, Ordering::SeqCst) {
+            // Poke the blocking accept() so it observes the flag now.
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+}
+
+impl Server {
+    /// Binds the listener and spins up the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the address cannot be bound.
+    pub fn bind(config: ServerConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let pool = ThreadPool::new(config.threads);
+        let explorer = Explorer::with_threads(config.threads);
+        let ctx = Arc::new(Ctx {
+            metrics: Arc::new(Metrics::new()),
+            cache: ResponseCache::new(config.cache_capacity),
+            explorer,
+            inflight: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            idle: Mutex::new(()),
+            idle_cv: Condvar::new(),
+            config,
+        });
+        Ok(Server {
+            listener,
+            addr,
+            ctx,
+            pool,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle for shutdown and metrics.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            addr: self.addr,
+            ctx: Arc::clone(&self.ctx),
+        }
+    }
+
+    /// Runs the accept loop until [`ServerHandle::shutdown`], then
+    /// drains every admitted request and joins the workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal listener errors.
+    pub fn run(self) -> io::Result<()> {
+        loop {
+            let (stream, _) = match self.listener.accept() {
+                Ok(pair) => pair,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            if self.ctx.shutdown.load(Ordering::SeqCst) {
+                drop(stream);
+                break;
+            }
+            let depth = self.ctx.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+            self.ctx.metrics.queue_entered(depth);
+            if depth > self.ctx.config.queue {
+                self.ctx.metrics.shed();
+                let ctx = Arc::clone(&self.ctx);
+                // A helper thread absorbs a slow peer; shed responses are
+                // bounded by the accept rate, not by synthesis time.
+                std::thread::spawn(move || {
+                    shed(stream, &ctx);
+                    ctx.request_done();
+                });
+                continue;
+            }
+            let ctx = Arc::clone(&self.ctx);
+            self.pool.execute(move || {
+                handle_connection(stream, &ctx);
+                ctx.request_done();
+            });
+        }
+        self.ctx.wait_idle();
+        // Dropping the pool joins every (now idle) worker.
+        drop(self.pool);
+        Ok(())
+    }
+}
+
+/// Answers one over-capacity connection with 503 + `Retry-After`.
+fn shed(mut stream: TcpStream, ctx: &Ctx) {
+    let started = Instant::now();
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(1000)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(1000)));
+    // Read (and discard) the request so the client reliably sees the
+    // response instead of a reset; ignore unreadable requests.
+    let endpoint = match read_request(&mut stream) {
+        Ok(req) => endpoint_label(&req),
+        Err(_) => "unknown",
+    };
+    let body = Json::Obj(vec![
+        ("error".into(), Json::Str("server overloaded".into())),
+        (
+            "retry_after_secs".into(),
+            Json::Num(ctx.config.retry_after_secs as f64),
+        ),
+    ]);
+    let resp = Response::json(503, body.render().into_bytes())
+        .with_header("Retry-After", ctx.config.retry_after_secs.to_string());
+    let _ = resp.write_to(&mut stream);
+    ctx.metrics
+        .observe_request(endpoint, 503, started.elapsed());
+}
+
+/// The metrics label for a request path.
+fn endpoint_label(req: &Request) -> &'static str {
+    match req.path.split('?').next().unwrap_or("") {
+        "/healthz" => "healthz",
+        "/metrics" => "metrics",
+        "/synthesize" => "synthesize",
+        "/explore" => "explore",
+        _ => "unknown",
+    }
+}
+
+/// Reads, routes, answers, and records one connection.
+fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
+    let started = Instant::now();
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(5000)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(5000)));
+    let req = match read_request(&mut stream) {
+        Ok(req) => req,
+        Err(ReadError::Closed) => return,
+        Err(ReadError::Io(_)) => return,
+        Err(ReadError::TooLarge) => {
+            let resp = error_response(413, "request too large");
+            let _ = resp.write_to(&mut stream);
+            ctx.metrics
+                .observe_request("unknown", 413, started.elapsed());
+            return;
+        }
+        Err(ReadError::Malformed(why)) => {
+            let resp = error_response(400, why);
+            let _ = resp.write_to(&mut stream);
+            ctx.metrics
+                .observe_request("unknown", 400, started.elapsed());
+            return;
+        }
+    };
+    let endpoint = endpoint_label(&req);
+    let resp = route(&req, endpoint, ctx);
+    let status = resp.status;
+    let _ = resp.write_to(&mut stream);
+    ctx.metrics
+        .observe_request(endpoint, status, started.elapsed());
+}
+
+/// A JSON error body.
+fn error_response(status: u16, msg: &str) -> Response {
+    let body = Json::Obj(vec![("error".into(), Json::Str(msg.into()))]);
+    Response::json(status, body.render().into_bytes())
+}
+
+/// Dispatches one parsed request.
+fn route(req: &Request, endpoint: &str, ctx: &Ctx) -> Response {
+    match (endpoint, req.method.as_str()) {
+        ("healthz", "GET") => Response::json(200, br#"{"status":"ok"}"#.to_vec()),
+        ("metrics", "GET") => Response::text(200, ctx.metrics.render().into_bytes()),
+        ("synthesize", "POST") => synthesize(req, ctx),
+        ("explore", "POST") => explore(req, ctx),
+        ("healthz" | "metrics" | "synthesize" | "explore", _) => {
+            error_response(405, "method not allowed")
+        }
+        _ => error_response(404, "no such endpoint"),
+    }
+}
+
+/// The request's effective deadline token.
+fn deadline_token(ctx: &Ctx, requested_ms: Option<u64>) -> CancelToken {
+    let server = ctx.config.deadline;
+    let effective = match requested_ms {
+        Some(ms) => server.min(Duration::from_millis(ms)),
+        None => server,
+    };
+    CancelToken::with_timeout(effective)
+}
+
+/// Maps a synthesis failure onto an HTTP response.
+fn synthesis_error_response(e: &SynthesisError, ctx: &Ctx) -> Response {
+    match e {
+        SynthesisError::Parse(_) => error_response(422, &e.to_string()),
+        SynthesisError::Cancelled { completed } => {
+            ctx.metrics.deadline_cancelled();
+            let body = Json::Obj(vec![
+                ("error".into(), Json::Str("deadline exceeded".into())),
+                ("completed_stage".into(), Json::Str((*completed).into())),
+            ]);
+            Response::json(504, body.render().into_bytes())
+        }
+        other => error_response(500, &other.to_string()),
+    }
+}
+
+/// `POST /synthesize`.
+fn synthesize(req: &Request, ctx: &Ctx) -> Response {
+    let body = match std::str::from_utf8(&req.body)
+        .map_err(|_| "body is not utf-8".to_string())
+        .and_then(|text| json::parse(text).map_err(|e| e.to_string()))
+    {
+        Ok(v) => v,
+        Err(msg) => return error_response(400, &msg),
+    };
+    let parsed = match api::SynthesizeRequest::from_json(&body) {
+        Ok(p) => p,
+        Err(e) => return error_response(422, &e.0),
+    };
+    let cancel = deadline_token(ctx, parsed.deadline_ms);
+    // Test-only hold: occupies this worker (for saturation tests) while
+    // the deadline clock, already started above, keeps running (for
+    // deterministic 504 tests).
+    if ctx.config.allow_test_delay && parsed.test_delay_ms > 0 {
+        std::thread::sleep(Duration::from_millis(parsed.test_delay_ms));
+    }
+    let cdfg = match hls_lang::compile(&parsed.source) {
+        Ok(c) => c,
+        Err(e) => return error_response(422, &format!("parse: {e}")),
+    };
+    let behavior_fp = cdfg_fingerprint(&cdfg);
+    let key = response_key(
+        "synthesize",
+        behavior_fp,
+        parsed.synthesizer.fingerprint(),
+        u64::from(parsed.verilog),
+    );
+    if ctx.config.cache_capacity > 0 {
+        if let Some(cached) = ctx.cache.get(key) {
+            ctx.metrics.cache_hit();
+            return Response::json(200, cached.as_ref().clone())
+                .with_header("X-HLS-Cache", "hit".into());
+        }
+        ctx.metrics.cache_miss();
+    }
+    let result = match parsed.synthesizer.synthesize_cancellable(cdfg, &cancel) {
+        Ok(r) => r,
+        Err(e) => return synthesis_error_response(&e, ctx),
+    };
+    let rendered = api::synthesize_response(&parsed, behavior_fp, &result)
+        .render()
+        .into_bytes();
+    let rendered = Arc::new(rendered);
+    if ctx.config.cache_capacity > 0 {
+        ctx.cache.insert(key, Arc::clone(&rendered));
+    }
+    Response::json(200, rendered.as_ref().clone()).with_header("X-HLS-Cache", "miss".into())
+}
+
+/// `POST /explore`.
+fn explore(req: &Request, ctx: &Ctx) -> Response {
+    let body = match std::str::from_utf8(&req.body)
+        .map_err(|_| "body is not utf-8".to_string())
+        .and_then(|text| json::parse(text).map_err(|e| e.to_string()))
+    {
+        Ok(v) => v,
+        Err(msg) => return error_response(400, &msg),
+    };
+    let parsed = match api::ExploreRequest::from_json(&body) {
+        Ok(p) => p,
+        Err(e) => return error_response(422, &e.0),
+    };
+    let cancel = deadline_token(ctx, parsed.deadline_ms);
+    let cdfg = match hls_lang::compile(&parsed.source) {
+        Ok(c) => c,
+        Err(e) => return error_response(422, &format!("parse: {e}")),
+    };
+    let behavior_fp = cdfg_fingerprint(&cdfg);
+    let config_fp = parsed.synthesizer.fingerprint();
+    let spec_fp = {
+        use std::fmt::Write as _;
+        let mut w = hls_testkit::FnvWriter::new();
+        let _ = write!(w, "{:?}", parsed.spec);
+        w.finish()
+    };
+    let key = response_key("explore", behavior_fp, config_fp, spec_fp);
+    if ctx.config.cache_capacity > 0 {
+        if let Some(cached) = ctx.cache.get(key) {
+            ctx.metrics.cache_hit();
+            return Response::json(200, cached.as_ref().clone())
+                .with_header("X-HLS-Cache", "hit".into());
+        }
+        ctx.metrics.cache_miss();
+    }
+    let points = match ctx.explorer.sweep_grid_cdfg_cancellable(
+        &parsed.synthesizer,
+        &cdfg,
+        &parsed.spec,
+        &cancel,
+    ) {
+        Ok(p) => p,
+        Err(e) => return synthesis_error_response(&e, ctx),
+    };
+    let rendered = api::explore_response(&points, behavior_fp, config_fp)
+        .render()
+        .into_bytes();
+    let rendered = Arc::new(rendered);
+    if ctx.config.cache_capacity > 0 {
+        ctx.cache.insert(key, Arc::clone(&rendered));
+    }
+    Response::json(200, rendered.as_ref().clone()).with_header("X-HLS-Cache", "miss".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_from_env_warns_and_falls_back() {
+        // Invalid values fall back to defaults (with a stderr warning).
+        std::env::set_var("HLS_SERVE_QUEUE", "not-a-number");
+        std::env::set_var("HLS_SERVE_THREADS", "0");
+        let cfg = ServerConfig::from_env();
+        assert_eq!(cfg.queue, ServerConfig::default().queue);
+        assert_eq!(cfg.threads, ServerConfig::default().threads);
+        std::env::remove_var("HLS_SERVE_QUEUE");
+        std::env::remove_var("HLS_SERVE_THREADS");
+    }
+
+    #[test]
+    fn deadline_token_takes_the_sooner() {
+        let ctx_cfg = ServerConfig {
+            deadline: Duration::from_millis(50),
+            ..ServerConfig::default()
+        };
+        // A request asking for longer than the server allows is clamped:
+        // both tokens expire within the server deadline.
+        let server = CancelToken::with_timeout(ctx_cfg.deadline);
+        assert!(!server.is_cancelled());
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(server.is_cancelled());
+    }
+}

@@ -1,0 +1,360 @@
+//! End-to-end tests for `hls-serve`: a real listener on an ephemeral
+//! port, real TCP clients, and the full synthesis pipeline behind it.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use hls_serve::{Server, ServerConfig, ServerHandle};
+
+/// A running test server plus the thread driving its accept loop.
+struct TestServer {
+    addr: SocketAddr,
+    handle: ServerHandle,
+    runner: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl TestServer {
+    fn start(mut config: ServerConfig) -> Self {
+        config.addr = "127.0.0.1:0".into();
+        let server = Server::bind(config).expect("bind ephemeral port");
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let runner = std::thread::spawn(move || server.run());
+        TestServer {
+            addr,
+            handle,
+            runner: Some(runner),
+        }
+    }
+
+    /// Shuts down and asserts the accept loop exited cleanly.
+    fn stop(mut self) {
+        self.handle.shutdown();
+        self.runner
+            .take()
+            .expect("runner present")
+            .join()
+            .expect("server thread")
+            .expect("server run");
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        if let Some(runner) = self.runner.take() {
+            self.handle.shutdown();
+            let _ = runner.join();
+        }
+    }
+}
+
+struct Reply {
+    status: u16,
+    headers: BTreeMap<String, String>,
+    body: String,
+}
+
+fn roundtrip(addr: SocketAddr, raw_request: &str) -> Reply {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .expect("read timeout");
+    stream
+        .write_all(raw_request.as_bytes())
+        .expect("write request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header terminator");
+    let mut lines = head.split("\r\n");
+    let status = lines
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Reply {
+        status,
+        headers,
+        body: body.to_string(),
+    }
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> Reply {
+    roundtrip(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn get(addr: SocketAddr, path: &str) -> Reply {
+    roundtrip(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+/// Repeats a request while the server sheds it (503), as a client
+/// honoring `Retry-After` would; gives up after a few seconds.
+fn retry_until_ok(mut req: impl FnMut() -> Reply) -> Reply {
+    for _ in 0..50 {
+        let reply = req();
+        if reply.status != 503 {
+            return reply;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    panic!("server kept shedding for 5 seconds");
+}
+
+fn synthesize_body(source: &str, fus: u32) -> String {
+    format!(r#"{{"source":{source:?},"config":{{"fus":{fus},"algorithm":"list/path"}}}}"#)
+}
+
+#[test]
+fn golden_synthesize_with_cache_roundtrip() {
+    let server = TestServer::start(ServerConfig {
+        threads: 2,
+        ..ServerConfig::default()
+    });
+    let body = synthesize_body(hls_workloads::sources::SQRT, 2);
+
+    let first = post(server.addr, "/synthesize", &body);
+    assert_eq!(first.status, 200, "body: {}", first.body);
+    assert_eq!(
+        first.headers.get("x-hls-cache").map(String::as_str),
+        Some("miss")
+    );
+    // The paper's optimized SQRT schedule: 10 control steps on 2 FUs.
+    assert!(
+        first.body.contains("\"latency\":10"),
+        "expected 10 control steps, got: {}",
+        first.body
+    );
+    assert!(first.body.contains("\"fingerprints\":"), "{}", first.body);
+
+    let second = post(server.addr, "/synthesize", &body);
+    assert_eq!(second.status, 200);
+    assert_eq!(
+        second.headers.get("x-hls-cache").map(String::as_str),
+        Some("hit")
+    );
+    assert_eq!(
+        first.body, second.body,
+        "cache must serve byte-exact repeats"
+    );
+    server.stop();
+}
+
+#[test]
+fn concurrent_clients_get_byte_identical_responses() {
+    // Cache off: every response is freshly synthesized, so identical
+    // bytes here prove pipeline determinism, not cache behavior.
+    let server = TestServer::start(ServerConfig {
+        threads: 4,
+        cache_capacity: 0,
+        ..ServerConfig::default()
+    });
+    let body = synthesize_body(hls_workloads::sources::DIFFEQ, 2);
+    let clients: Vec<_> = (0..8)
+        .map(|_| {
+            let addr = server.addr;
+            let body = body.clone();
+            std::thread::spawn(move || post(addr, "/synthesize", &body))
+        })
+        .collect();
+    let replies: Vec<Reply> = clients
+        .into_iter()
+        .map(|c| c.join().expect("client"))
+        .collect();
+    for reply in &replies {
+        assert_eq!(reply.status, 200, "body: {}", reply.body);
+        assert_eq!(
+            reply.headers.get("x-hls-cache").map(String::as_str),
+            Some("miss")
+        );
+        assert_eq!(
+            reply.body, replies[0].body,
+            "all clients must agree byte-for-byte"
+        );
+    }
+    server.stop();
+}
+
+#[test]
+fn explore_sweeps_the_grid_and_caches() {
+    let server = TestServer::start(ServerConfig {
+        threads: 2,
+        ..ServerConfig::default()
+    });
+    let body = format!(
+        r#"{{"source":{:?},"grid":{{"fus":[1,2],"algorithms":["asap","list/path"]}}}}"#,
+        hls_workloads::sources::SQRT
+    );
+    let first = post(server.addr, "/explore", &body);
+    assert_eq!(first.status, 200, "body: {}", first.body);
+    assert!(first.body.contains("\"points\":"), "{}", first.body);
+    assert!(first.body.contains("\"pareto\":"), "{}", first.body);
+    let second = post(server.addr, "/explore", &body);
+    assert_eq!(
+        second.headers.get("x-hls-cache").map(String::as_str),
+        Some("hit")
+    );
+    assert_eq!(first.body, second.body);
+    server.stop();
+}
+
+#[test]
+fn saturated_queue_sheds_with_503_and_retry_after() {
+    // One worker, admission bound 1: while the slow request executes,
+    // every further connection must be shed, not queued.
+    let server = TestServer::start(ServerConfig {
+        threads: 1,
+        queue: 1,
+        allow_test_delay: true,
+        ..ServerConfig::default()
+    });
+    let slow_body = format!(
+        r#"{{"source":{:?},"config":{{"fus":2}},"test_delay_ms":600}}"#,
+        hls_workloads::sources::SQRT
+    );
+    let addr = server.addr;
+    let slow = std::thread::spawn(move || post(addr, "/synthesize", &slow_body));
+    // Give the slow request time to be admitted.
+    std::thread::sleep(Duration::from_millis(150));
+
+    let shed = post(
+        server.addr,
+        "/synthesize",
+        &synthesize_body(hls_workloads::sources::GCD, 2),
+    );
+    assert_eq!(
+        shed.status, 503,
+        "expected load shedding, got: {}",
+        shed.body
+    );
+    assert_eq!(
+        shed.headers.get("retry-after").map(String::as_str),
+        Some("1")
+    );
+    assert!(shed.body.contains("overloaded"), "{}", shed.body);
+
+    let slow_reply = slow.join().expect("slow client");
+    assert_eq!(slow_reply.status, 200, "admitted request must still finish");
+
+    // Capacity returns once the slow request's slot is released; the
+    // release happens shortly *after* its client sees the response, so
+    // honor Retry-After like a well-behaved client would.
+    let retry = retry_until_ok(|| {
+        post(
+            server.addr,
+            "/synthesize",
+            &synthesize_body(hls_workloads::sources::GCD, 2),
+        )
+    });
+    assert_eq!(retry.status, 200, "body: {}", retry.body);
+
+    let metrics = retry_until_ok(|| get(server.addr, "/metrics"));
+    let shed_count: u64 = metrics
+        .body
+        .lines()
+        .find_map(|l| l.strip_prefix("hls_requests_shed_total "))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("shed counter present");
+    assert!(shed_count >= 1, "metrics: {}", metrics.body);
+    server.stop();
+}
+
+#[test]
+fn shutdown_drains_inflight_requests() {
+    let server = TestServer::start(ServerConfig {
+        threads: 1,
+        allow_test_delay: true,
+        ..ServerConfig::default()
+    });
+    let body = format!(
+        r#"{{"source":{:?},"config":{{"fus":2}},"test_delay_ms":400}}"#,
+        hls_workloads::sources::DIFFEQ
+    );
+    let addr = server.addr;
+    let inflight = std::thread::spawn(move || post(addr, "/synthesize", &body));
+    std::thread::sleep(Duration::from_millis(100));
+
+    // stop() returns only after run() does, and run() returns only after
+    // the drain; the in-flight request must have completed with 200.
+    server.stop();
+    let reply = inflight.join().expect("inflight client");
+    assert_eq!(
+        reply.status, 200,
+        "drain must finish admitted work: {}",
+        reply.body
+    );
+}
+
+#[test]
+fn request_deadline_yields_504_with_partial_progress() {
+    // The test hold runs after the deadline clock starts, so a 1 ms
+    // deadline is deterministically blown before the pipeline begins.
+    let server = TestServer::start(ServerConfig {
+        threads: 1,
+        cache_capacity: 0,
+        allow_test_delay: true,
+        ..ServerConfig::default()
+    });
+    let body = format!(
+        r#"{{"source":{:?},"config":{{"fus":2}},"deadline_ms":1,"test_delay_ms":50}}"#,
+        hls_workloads::sources::SQRT
+    );
+    let reply = post(server.addr, "/synthesize", &body);
+    assert_eq!(reply.status, 504, "body: {}", reply.body);
+    assert!(reply.body.contains("deadline exceeded"), "{}", reply.body);
+    assert!(reply.body.contains("completed_stage"), "{}", reply.body);
+    server.stop();
+}
+
+#[test]
+fn error_paths_have_correct_statuses() {
+    let server = TestServer::start(ServerConfig::default());
+    assert_eq!(get(server.addr, "/healthz").status, 200);
+    assert_eq!(get(server.addr, "/no-such-endpoint").status, 404);
+    assert_eq!(get(server.addr, "/synthesize").status, 405);
+    assert_eq!(post(server.addr, "/synthesize", "{not json").status, 400);
+    assert_eq!(
+        post(server.addr, "/synthesize", r#"{"config":{}}"#).status,
+        422,
+        "missing source must be a semantic error"
+    );
+    assert_eq!(
+        post(
+            server.addr,
+            "/synthesize",
+            r#"{"source":"x = 1;","config":{"fus":2,"wat":true}}"#
+        )
+        .status,
+        422,
+        "unknown config keys must be rejected"
+    );
+
+    let metrics = get(server.addr, "/metrics");
+    assert_eq!(metrics.status, 200);
+    for needle in [
+        "hls_requests_total{endpoint=\"healthz\",status=\"200\"}",
+        "hls_requests_total{endpoint=\"unknown\",status=\"404\"}",
+        "hls_request_duration_seconds_bucket",
+        "hls_queue_depth_high_water",
+    ] {
+        assert!(
+            metrics.body.contains(needle),
+            "missing {needle} in: {}",
+            metrics.body
+        );
+    }
+    server.stop();
+}

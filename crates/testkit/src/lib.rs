@@ -140,7 +140,7 @@ impl Config {
             .unwrap_or(n);
         Config {
             cases,
-            seed: 0xDAC1_988,
+            seed: 0x0DAC_1988,
         }
     }
 }

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/clique-17b24f4a3376531a.d: crates/bench/benches/clique.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclique-17b24f4a3376531a.rmeta: crates/bench/benches/clique.rs Cargo.toml
+
+crates/bench/benches/clique.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/controller_cosim-37e51f40cd280897.d: tests/controller_cosim.rs
+
+/root/repo/target/debug/deps/controller_cosim-37e51f40cd280897: tests/controller_cosim.rs
+
+tests/controller_cosim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/controller_cosim-e8a7308590a8174a.d: tests/controller_cosim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcontroller_cosim-e8a7308590a8174a.rmeta: tests/controller_cosim.rs Cargo.toml
+
+tests/controller_cosim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2e-1086d77f3312be13.d: crates/bench/benches/e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2e-1086d77f3312be13.rmeta: crates/bench/benches/e2e.rs Cargo.toml
+
+crates/bench/benches/e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

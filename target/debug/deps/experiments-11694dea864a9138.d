@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-11694dea864a9138.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-11694dea864a9138: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-34d87a0789637e22.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-34d87a0789637e22: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

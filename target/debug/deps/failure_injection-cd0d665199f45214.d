@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-cd0d665199f45214.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-cd0d665199f45214: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_flow-6426024b75aabd1e.d: tests/full_flow.rs
+
+/root/repo/target/debug/deps/full_flow-6426024b75aabd1e: tests/full_flow.rs
+
+tests/full_flow.rs:

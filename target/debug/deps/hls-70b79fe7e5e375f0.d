@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hls-70b79fe7e5e375f0.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhls-70b79fe7e5e375f0.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhls-70b79fe7e5e375f0.rmeta: src/lib.rs
+
+src/lib.rs:

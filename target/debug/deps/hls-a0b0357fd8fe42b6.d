@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hls-a0b0357fd8fe42b6.d: src/lib.rs
+
+/root/repo/target/debug/deps/hls-a0b0357fd8fe42b6: src/lib.rs
+
+src/lib.rs:

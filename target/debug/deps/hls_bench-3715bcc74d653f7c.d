@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/hls_bench-3715bcc74d653f7c.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/hls_bench-3715bcc74d653f7c: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

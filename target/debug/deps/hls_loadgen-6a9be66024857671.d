@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hls_loadgen-6a9be66024857671.d: crates/serve/src/bin/loadgen.rs
+
+/root/repo/target/debug/deps/hls_loadgen-6a9be66024857671: crates/serve/src/bin/loadgen.rs
+
+crates/serve/src/bin/loadgen.rs:

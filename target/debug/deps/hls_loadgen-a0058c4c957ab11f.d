@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hls_loadgen-a0058c4c957ab11f.d: crates/serve/src/bin/loadgen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhls_loadgen-a0058c4c957ab11f.rmeta: crates/serve/src/bin/loadgen.rs Cargo.toml
+
+crates/serve/src/bin/loadgen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hls_loadgen-c5b05961122bfa60.d: crates/serve/src/bin/loadgen.rs
+
+/root/repo/target/debug/deps/hls_loadgen-c5b05961122bfa60: crates/serve/src/bin/loadgen.rs
+
+crates/serve/src/bin/loadgen.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hls_rtl-cdc31bb70f7f188a.d: crates/rtl/src/lib.rs crates/rtl/src/area.rs crates/rtl/src/library.rs crates/rtl/src/netlist.rs crates/rtl/src/verilog.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhls_rtl-cdc31bb70f7f188a.rmeta: crates/rtl/src/lib.rs crates/rtl/src/area.rs crates/rtl/src/library.rs crates/rtl/src/netlist.rs crates/rtl/src/verilog.rs Cargo.toml
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/area.rs:
+crates/rtl/src/library.rs:
+crates/rtl/src/netlist.rs:
+crates/rtl/src/verilog.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

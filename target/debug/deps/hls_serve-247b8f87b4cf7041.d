@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hls_serve-247b8f87b4cf7041.d: crates/serve/src/bin/serve.rs
+
+/root/repo/target/debug/deps/hls_serve-247b8f87b4cf7041: crates/serve/src/bin/serve.rs
+
+crates/serve/src/bin/serve.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hls_serve-4ee524d4091ed387.d: crates/serve/src/lib.rs crates/serve/src/api.rs crates/serve/src/cache.rs crates/serve/src/http.rs crates/serve/src/json.rs crates/serve/src/metrics.rs crates/serve/src/server.rs crates/serve/src/signal.rs
+
+/root/repo/target/debug/deps/libhls_serve-4ee524d4091ed387.rlib: crates/serve/src/lib.rs crates/serve/src/api.rs crates/serve/src/cache.rs crates/serve/src/http.rs crates/serve/src/json.rs crates/serve/src/metrics.rs crates/serve/src/server.rs crates/serve/src/signal.rs
+
+/root/repo/target/debug/deps/libhls_serve-4ee524d4091ed387.rmeta: crates/serve/src/lib.rs crates/serve/src/api.rs crates/serve/src/cache.rs crates/serve/src/http.rs crates/serve/src/json.rs crates/serve/src/metrics.rs crates/serve/src/server.rs crates/serve/src/signal.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/api.rs:
+crates/serve/src/cache.rs:
+crates/serve/src/http.rs:
+crates/serve/src/json.rs:
+crates/serve/src/metrics.rs:
+crates/serve/src/server.rs:
+crates/serve/src/signal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hls_serve-b9baa124741beede.d: crates/serve/src/bin/serve.rs
+
+/root/repo/target/debug/deps/hls_serve-b9baa124741beede: crates/serve/src/bin/serve.rs
+
+crates/serve/src/bin/serve.rs:

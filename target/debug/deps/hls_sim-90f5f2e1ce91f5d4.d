@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hls_sim-90f5f2e1ce91f5d4.d: crates/sim/src/lib.rs crates/sim/src/behav.rs crates/sim/src/equiv.rs crates/sim/src/rtl.rs crates/sim/src/vcd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhls_sim-90f5f2e1ce91f5d4.rmeta: crates/sim/src/lib.rs crates/sim/src/behav.rs crates/sim/src/equiv.rs crates/sim/src/rtl.rs crates/sim/src/vcd.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/behav.rs:
+crates/sim/src/equiv.rs:
+crates/sim/src/rtl.rs:
+crates/sim/src/vcd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

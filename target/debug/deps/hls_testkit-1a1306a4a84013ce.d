@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hls_testkit-1a1306a4a84013ce.d: crates/testkit/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhls_testkit-1a1306a4a84013ce.rmeta: crates/testkit/src/lib.rs Cargo.toml
+
+crates/testkit/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

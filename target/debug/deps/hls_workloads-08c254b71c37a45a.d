@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hls_workloads-08c254b71c37a45a.d: crates/workloads/src/lib.rs crates/workloads/src/benchmarks.rs crates/workloads/src/figures.rs crates/workloads/src/random.rs crates/workloads/src/sources.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhls_workloads-08c254b71c37a45a.rmeta: crates/workloads/src/lib.rs crates/workloads/src/benchmarks.rs crates/workloads/src/figures.rs crates/workloads/src/random.rs crates/workloads/src/sources.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/benchmarks.rs:
+crates/workloads/src/figures.rs:
+crates/workloads/src/random.rs:
+crates/workloads/src/sources.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/logic-377dc33bc0dcb2b9.d: crates/bench/benches/logic.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblogic-377dc33bc0dcb2b9.rmeta: crates/bench/benches/logic.rs Cargo.toml
+
+crates/bench/benches/logic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

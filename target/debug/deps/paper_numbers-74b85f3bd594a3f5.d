@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_numbers-74b85f3bd594a3f5.d: tests/paper_numbers.rs
+
+/root/repo/target/debug/deps/paper_numbers-74b85f3bd594a3f5: tests/paper_numbers.rs
+
+tests/paper_numbers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-9c9ec515bb3a1dc0.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-9c9ec515bb3a1dc0: tests/properties.rs
+
+tests/properties.rs:

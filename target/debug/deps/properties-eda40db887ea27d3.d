@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-eda40db887ea27d3.d: crates/cdfg/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-eda40db887ea27d3.rmeta: crates/cdfg/tests/properties.rs Cargo.toml
+
+crates/cdfg/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roundtrip-1bcf326b6387da70.d: tests/roundtrip.rs
+
+/root/repo/target/debug/deps/roundtrip-1bcf326b6387da70: tests/roundtrip.rs
+
+tests/roundtrip.rs:

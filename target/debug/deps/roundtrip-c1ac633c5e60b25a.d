@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/roundtrip-c1ac633c5e60b25a.d: tests/roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libroundtrip-c1ac633c5e60b25a.rmeta: tests/roundtrip.rs Cargo.toml
+
+tests/roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/roundtrip-f2216d2b9883f178.d: tests/roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libroundtrip-f2216d2b9883f178.rmeta: tests/roundtrip.rs Cargo.toml
+
+tests/roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheduling-57eaec304a0466da.d: crates/bench/benches/scheduling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheduling-57eaec304a0466da.rmeta: crates/bench/benches/scheduling.rs Cargo.toml
+
+crates/bench/benches/scheduling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

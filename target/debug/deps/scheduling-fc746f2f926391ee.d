@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheduling-fc746f2f926391ee.d: crates/bench/benches/scheduling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheduling-fc746f2f926391ee.rmeta: crates/bench/benches/scheduling.rs Cargo.toml
+
+crates/bench/benches/scheduling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

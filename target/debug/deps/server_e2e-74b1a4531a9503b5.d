@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/server_e2e-74b1a4531a9503b5.d: crates/serve/tests/server_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserver_e2e-74b1a4531a9503b5.rmeta: crates/serve/tests/server_e2e.rs Cargo.toml
+
+crates/serve/tests/server_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

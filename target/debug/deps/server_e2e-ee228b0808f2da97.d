@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/server_e2e-ee228b0808f2da97.d: crates/serve/tests/server_e2e.rs
+
+/root/repo/target/debug/deps/server_e2e-ee228b0808f2da97: crates/serve/tests/server_e2e.rs
+
+crates/serve/tests/server_e2e.rs:

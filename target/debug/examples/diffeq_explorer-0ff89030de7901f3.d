@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/diffeq_explorer-0ff89030de7901f3.d: examples/diffeq_explorer.rs
+
+/root/repo/target/debug/examples/diffeq_explorer-0ff89030de7901f3: examples/diffeq_explorer.rs
+
+examples/diffeq_explorer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-757f952ab64808ea.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-757f952ab64808ea: examples/quickstart.rs
+
+examples/quickstart.rs:

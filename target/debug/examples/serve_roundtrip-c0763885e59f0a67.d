@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/serve_roundtrip-c0763885e59f0a67.d: examples/serve_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/examples/libserve_roundtrip-c0763885e59f0a67.rmeta: examples/serve_roundtrip.rs Cargo.toml
+
+examples/serve_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/serve_roundtrip-fc988a27faf4d42a.d: examples/serve_roundtrip.rs
+
+/root/repo/target/debug/examples/serve_roundtrip-fc988a27faf4d42a: examples/serve_roundtrip.rs
+
+examples/serve_roundtrip.rs:

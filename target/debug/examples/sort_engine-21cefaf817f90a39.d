@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sort_engine-21cefaf817f90a39.d: examples/sort_engine.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsort_engine-21cefaf817f90a39.rmeta: examples/sort_engine.rs Cargo.toml
+
+examples/sort_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

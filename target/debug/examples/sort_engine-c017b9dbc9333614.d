@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sort_engine-c017b9dbc9333614.d: examples/sort_engine.rs
+
+/root/repo/target/debug/examples/sort_engine-c017b9dbc9333614: examples/sort_engine.rs
+
+examples/sort_engine.rs:

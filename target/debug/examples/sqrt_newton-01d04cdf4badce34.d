@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sqrt_newton-01d04cdf4badce34.d: examples/sqrt_newton.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsqrt_newton-01d04cdf4badce34.rmeta: examples/sqrt_newton.rs Cargo.toml
+
+examples/sqrt_newton.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sqrt_newton-3283953da7b8e52e.d: examples/sqrt_newton.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsqrt_newton-3283953da7b8e52e.rmeta: examples/sqrt_newton.rs Cargo.toml
+
+examples/sqrt_newton.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

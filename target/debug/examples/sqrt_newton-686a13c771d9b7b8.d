@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sqrt_newton-686a13c771d9b7b8.d: examples/sqrt_newton.rs
+
+/root/repo/target/debug/examples/sqrt_newton-686a13c771d9b7b8: examples/sqrt_newton.rs
+
+examples/sqrt_newton.rs:

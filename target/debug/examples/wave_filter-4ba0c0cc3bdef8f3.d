@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wave_filter-4ba0c0cc3bdef8f3.d: examples/wave_filter.rs
+
+/root/repo/target/debug/examples/wave_filter-4ba0c0cc3bdef8f3: examples/wave_filter.rs
+
+examples/wave_filter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/allocation-13da7feb46df5c38.d: crates/bench/benches/allocation.rs
+
+/root/repo/target/release/deps/allocation-13da7feb46df5c38: crates/bench/benches/allocation.rs
+
+crates/bench/benches/allocation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/clique-a9a18edcac85e1b5.d: crates/bench/benches/clique.rs
+
+/root/repo/target/release/deps/clique-a9a18edcac85e1b5: crates/bench/benches/clique.rs
+
+crates/bench/benches/clique.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/controller_cosim-13a0a270652eb297.d: tests/controller_cosim.rs
+
+/root/repo/target/release/deps/controller_cosim-13a0a270652eb297: tests/controller_cosim.rs
+
+tests/controller_cosim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e2e-2acafa3ec1544964.d: crates/bench/benches/e2e.rs
+
+/root/repo/target/release/deps/e2e-2acafa3ec1544964: crates/bench/benches/e2e.rs
+
+crates/bench/benches/e2e.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-66375d35f07bd965.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-66375d35f07bd965: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

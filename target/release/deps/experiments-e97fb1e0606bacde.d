@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-e97fb1e0606bacde.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-e97fb1e0606bacde: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

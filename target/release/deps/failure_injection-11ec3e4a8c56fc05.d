@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/failure_injection-11ec3e4a8c56fc05.d: tests/failure_injection.rs
+
+/root/repo/target/release/deps/failure_injection-11ec3e4a8c56fc05: tests/failure_injection.rs
+
+tests/failure_injection.rs:

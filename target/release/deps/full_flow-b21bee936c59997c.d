@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/full_flow-b21bee936c59997c.d: tests/full_flow.rs
+
+/root/repo/target/release/deps/full_flow-b21bee936c59997c: tests/full_flow.rs
+
+tests/full_flow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hls-72a9cdb1084f0239.d: src/lib.rs
+
+/root/repo/target/release/deps/hls-72a9cdb1084f0239: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hls-b7ab49048c199392.d: src/lib.rs
+
+/root/repo/target/release/deps/libhls-b7ab49048c199392.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhls-b7ab49048c199392.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hls_loadgen-9b2f4df16ca3b42b.d: crates/serve/src/bin/loadgen.rs
+
+/root/repo/target/release/deps/hls_loadgen-9b2f4df16ca3b42b: crates/serve/src/bin/loadgen.rs
+
+crates/serve/src/bin/loadgen.rs:

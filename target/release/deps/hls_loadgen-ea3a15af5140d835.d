@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hls_loadgen-ea3a15af5140d835.d: crates/serve/src/bin/loadgen.rs
+
+/root/repo/target/release/deps/hls_loadgen-ea3a15af5140d835: crates/serve/src/bin/loadgen.rs
+
+crates/serve/src/bin/loadgen.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hls_serve-166586b7ae121525.d: crates/serve/src/bin/serve.rs
+
+/root/repo/target/release/deps/hls_serve-166586b7ae121525: crates/serve/src/bin/serve.rs
+
+crates/serve/src/bin/serve.rs:

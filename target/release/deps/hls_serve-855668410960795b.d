@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hls_serve-855668410960795b.d: crates/serve/src/bin/serve.rs
+
+/root/repo/target/release/deps/hls_serve-855668410960795b: crates/serve/src/bin/serve.rs
+
+crates/serve/src/bin/serve.rs:

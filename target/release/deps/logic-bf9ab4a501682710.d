@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/logic-bf9ab4a501682710.d: crates/bench/benches/logic.rs
+
+/root/repo/target/release/deps/logic-bf9ab4a501682710: crates/bench/benches/logic.rs
+
+crates/bench/benches/logic.rs:

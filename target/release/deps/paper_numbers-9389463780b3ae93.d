@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_numbers-9389463780b3ae93.d: tests/paper_numbers.rs
+
+/root/repo/target/release/deps/paper_numbers-9389463780b3ae93: tests/paper_numbers.rs
+
+tests/paper_numbers.rs:

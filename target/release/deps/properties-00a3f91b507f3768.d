@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-00a3f91b507f3768.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-00a3f91b507f3768: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/roundtrip-43be26d0cdd0dc53.d: tests/roundtrip.rs
+
+/root/repo/target/release/deps/roundtrip-43be26d0cdd0dc53: tests/roundtrip.rs
+
+tests/roundtrip.rs:

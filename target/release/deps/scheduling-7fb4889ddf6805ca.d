@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scheduling-7fb4889ddf6805ca.d: crates/bench/benches/scheduling.rs
+
+/root/repo/target/release/deps/scheduling-7fb4889ddf6805ca: crates/bench/benches/scheduling.rs
+
+crates/bench/benches/scheduling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/server_e2e-a351dcd346a93899.d: crates/serve/tests/server_e2e.rs
+
+/root/repo/target/release/deps/server_e2e-a351dcd346a93899: crates/serve/tests/server_e2e.rs
+
+crates/serve/tests/server_e2e.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/diffeq_explorer-247e38711a6b94f7.d: examples/diffeq_explorer.rs
+
+/root/repo/target/release/examples/diffeq_explorer-247e38711a6b94f7: examples/diffeq_explorer.rs
+
+examples/diffeq_explorer.rs:

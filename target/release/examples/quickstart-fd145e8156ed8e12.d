@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-fd145e8156ed8e12.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-fd145e8156ed8e12: examples/quickstart.rs
+
+examples/quickstart.rs:

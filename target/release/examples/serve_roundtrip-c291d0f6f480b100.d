@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/serve_roundtrip-c291d0f6f480b100.d: examples/serve_roundtrip.rs
+
+/root/repo/target/release/examples/serve_roundtrip-c291d0f6f480b100: examples/serve_roundtrip.rs
+
+examples/serve_roundtrip.rs:

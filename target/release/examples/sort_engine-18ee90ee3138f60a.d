@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sort_engine-18ee90ee3138f60a.d: examples/sort_engine.rs
+
+/root/repo/target/release/examples/sort_engine-18ee90ee3138f60a: examples/sort_engine.rs
+
+examples/sort_engine.rs:

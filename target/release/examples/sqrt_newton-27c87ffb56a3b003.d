@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sqrt_newton-27c87ffb56a3b003.d: examples/sqrt_newton.rs
+
+/root/repo/target/release/examples/sqrt_newton-27c87ffb56a3b003: examples/sqrt_newton.rs
+
+examples/sqrt_newton.rs:

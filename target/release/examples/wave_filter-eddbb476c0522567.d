@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/wave_filter-eddbb476c0522567.d: examples/wave_filter.rs
+
+/root/repo/target/release/examples/wave_filter-eddbb476c0522567: examples/wave_filter.rs
+
+examples/wave_filter.rs:
