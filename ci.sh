@@ -19,4 +19,26 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> panic-free library check (crates/sched, crates/alloc)"
+# Library code on the synthesis path must report errors, never panic
+# (DESIGN.md §6). Strip line comments, keep only the text above any
+# #[cfg(test)] marker, and fail on panicking constructs.
+panic_check_failed=0
+for f in crates/sched/src/*.rs crates/alloc/src/*.rs; do
+    hits=$(awk '/#\[cfg\(test\)\]/ { exit } { sub(/\/\/.*/, ""); print }' "$f" \
+        | grep -nE 'panic!|\.unwrap\(\)|unreachable!' || true)
+    if [ -n "$hits" ]; then
+        echo "panic-prone construct in library code: $f"
+        echo "$hits"
+        panic_check_failed=1
+    fi
+done
+[ "$panic_check_failed" -eq 0 ] || exit 1
+
+echo "==> fuzz corpus replay"
+cargo run --release --offline -q -p hls-fuzz -- --replay tests/corpus
+
+echo "==> fuzz smoke (500 iterations, fixed seed)"
+cargo run --release --offline -q -p hls-fuzz -- --iters 500 --seed 0
+
 echo "CI OK"

@@ -99,12 +99,16 @@ fn bk(
         return; // cannot improve
     }
     // Pivot on the vertex with most neighbors in P.
-    let pivot = p
+    // P ∪ X is nonempty here (the empty case returned above), so a pivot
+    // always exists; bail out rather than panic if that ever changes.
+    let Some(pivot) = p
         .iter()
         .chain(x.iter())
         .copied()
         .max_by_key(|&u| g.adj[u].intersection(&p).count())
-        .expect("p or x nonempty");
+    else {
+        return;
+    };
     let candidates: Vec<usize> = p
         .iter()
         .copied()

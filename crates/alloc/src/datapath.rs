@@ -379,8 +379,17 @@ pub fn build_datapath(
             continue;
         }
         let dfg = &cdfg.block(block).dfg;
-        let sched = schedule.block(block).expect("checked in pass 2");
-        let (fu_alloc, local_regs) = per_block_local.remove(&block).expect("built in pass 2");
+        let sched = schedule
+            .block(block)
+            .ok_or_else(|| AllocError::MissingSchedule {
+                block: cdfg.block(block).name.clone(),
+            })?;
+        let (fu_alloc, local_regs) =
+            per_block_local
+                .remove(&block)
+                .ok_or_else(|| AllocError::MissingSchedule {
+                    block: cdfg.block(block).name.clone(),
+                })?;
         // Local unit -> global: i-th unit of class c maps to base(c) + rank.
         let mut class_rank: BTreeMap<FuClass, usize> = BTreeMap::new();
         let mut local_to_global: Vec<usize> = Vec::with_capacity(fu_alloc.fus.len());

@@ -101,9 +101,18 @@ pub fn exhaustive_binding(
         nodes_used += search.nodes;
         optimal &= search.nodes < search.budget;
         total_cost += search.best_cost;
-        let best = search
-            .best
-            .expect("at least the all-new-units assignment exists");
+        // The budget floor above guarantees one full descent, so `best`
+        // is populated; fall back to one-unit-per-op rather than rely on
+        // that invariant with a panic.
+        let best = search.best.unwrap_or_else(|| {
+            ops.iter()
+                .map(|&op| Unit {
+                    ops: vec![op],
+                    steps: schedule.step(op).into_iter().collect(),
+                    ports: Vec::new(),
+                })
+                .collect()
+        });
         let base = alloc.fus.len();
         for (i, unit) in best.iter().enumerate() {
             for &op in &unit.ops {

@@ -95,16 +95,18 @@ pub fn color_registers(intervals: &[Interval]) -> RegisterAllocation {
                 }
             }
         }
-        let c = (0..)
-            .find(|&c| c >= used.len() || !used[c])
-            .expect("always a free color");
+        // There is always a free color in 0..=used.len(): either a gap in
+        // the used set or the fresh color past its end.
+        let c = (0..used.len()).find(|&c| !used[c]).unwrap_or(used.len());
         color[i] = Some(c);
         count = count.max(c + 1);
     }
+    // The loop above colored every index; filter_map keeps this total
+    // without a panicking path.
     let assignment = intervals
         .iter()
         .enumerate()
-        .map(|(i, iv)| (iv.value, color[i].expect("all colored")))
+        .filter_map(|(i, iv)| color[i].map(|c| (iv.value, c)))
         .collect();
     RegisterAllocation { assignment, count }
 }

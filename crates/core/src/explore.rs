@@ -482,13 +482,12 @@ fn memo_key(behavior_fp: u64, config_fp: u64) -> u64 {
 /// seen so far. Duplicate (latency, area) pairs collapse to one point.
 pub fn pareto_front(points: &[DesignPoint]) -> Vec<DesignPoint> {
     let mut sorted: Vec<&DesignPoint> = points.iter().collect();
-    sorted.sort_by(|a, b| {
-        a.latency.cmp(&b.latency).then(
-            a.area
-                .partial_cmp(&b.area)
-                .unwrap_or(std::cmp::Ordering::Equal),
-        )
-    });
+    // total_cmp keeps the sort a strict weak ordering even if an area
+    // comes back NaN (partial_cmp would collapse NaN pairs to Equal,
+    // which is not transitive and can panic sort_by in debug builds);
+    // NaN orders after +inf, so such points also lose the `<` sweep
+    // below and never pollute the front.
+    sorted.sort_by(|a, b| a.latency.cmp(&b.latency).then(a.area.total_cmp(&b.area)));
     let mut front = Vec::new();
     let mut best_area = f64::INFINITY;
     for p in sorted {
@@ -557,6 +556,18 @@ mod tests {
         let f = point(14, 90.0);
         let front = pareto_front(&[a.clone(), b, c.clone(), d, e, f.clone()]);
         assert_eq!(front, vec![c, a, f]);
+    }
+
+    #[test]
+    fn pareto_front_survives_nan_area() {
+        // A NaN area must neither panic the sort (total_cmp keeps the
+        // comparator a total order) nor land on the front (NaN sorts
+        // after +inf and fails the strict `<` sweep).
+        let good = point(10, 100.0);
+        let bad = point(8, f64::NAN);
+        let also_bad = point(12, f64::NAN);
+        let front = pareto_front(&[bad.clone(), good.clone(), also_bad, bad]);
+        assert_eq!(front, vec![good]);
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! Replayable fuzz cases: a `Case` fully determines one fuzz iteration
+//! (generator configuration plus an optionally pinned pipeline combo),
+//! and serializes to a `key = value` text file so failures committed
+//! under `tests/corpus/` replay bit-for-bit forever.
+
+use std::fmt;
+use std::path::Path;
+
+/// Which generator produced the program under test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Random single-block data-flow graph built directly on the CDFG API.
+    Dfg,
+    /// Random straight-line BSL source routed through the language front
+    /// end (lexer/parser/inliner) first.
+    Bsl,
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Mode::Dfg => "dfg",
+            Mode::Bsl => "bsl",
+        })
+    }
+}
+
+/// One deterministic fuzz iteration.
+///
+/// The generator fields (`seed`, `ops`, `inputs`, `window`, `mul_pct`,
+/// `shift_pct`) drive program generation; the optional `scheduler`,
+/// `fus`, and `strategy` fields pin the pipeline matrix down to a single
+/// combination — the minimizer sets them when shrinking a failure so the
+/// replayed case runs exactly the configuration that failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Case {
+    /// Generator flavor.
+    pub mode: Mode,
+    /// PRNG seed; everything else being equal, the same seed regenerates
+    /// the same program.
+    pub seed: u64,
+    /// Operation count (BSL mode: statement count).
+    pub ops: usize,
+    /// Primary-input count.
+    pub inputs: usize,
+    /// Operand back-reach window (smaller ⇒ deeper graphs).
+    pub window: usize,
+    /// Percent of ops that are multiplies.
+    pub mul_pct: u32,
+    /// Percent of ops that are constant-amount shifts (free ops under the
+    /// default classifier — these exercise chaining).
+    pub shift_pct: u32,
+    /// Pinned scheduler (e.g. `force/0`), or `None` to sweep the matrix.
+    pub scheduler: Option<String>,
+    /// Pinned universal-FU count, or `None` to sweep.
+    pub fus: Option<usize>,
+    /// Pinned FU-binding strategy (`aware`/`blind`/`clique-exact`/
+    /// `clique-tseng`), or `None` to sweep.
+    pub strategy: Option<String>,
+}
+
+impl Case {
+    /// A sweep-everything case for the given generator inputs.
+    pub fn new(mode: Mode, seed: u64, ops: usize, inputs: usize, window: usize) -> Self {
+        Case {
+            mode,
+            seed,
+            ops,
+            inputs,
+            window,
+            mul_pct: 30,
+            shift_pct: 20,
+            scheduler: None,
+            fus: None,
+            strategy: None,
+        }
+    }
+
+    /// Renders the case in its on-disk `key = value` form.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str("# hls-fuzz case (replay: cargo run -p hls-fuzz -- --replay <this file>)\n");
+        s.push_str(&format!("mode = {}\n", self.mode));
+        s.push_str(&format!("seed = {}\n", self.seed));
+        s.push_str(&format!("ops = {}\n", self.ops));
+        s.push_str(&format!("inputs = {}\n", self.inputs));
+        s.push_str(&format!("window = {}\n", self.window));
+        s.push_str(&format!("mul_pct = {}\n", self.mul_pct));
+        s.push_str(&format!("shift_pct = {}\n", self.shift_pct));
+        if let Some(sched) = &self.scheduler {
+            s.push_str(&format!("scheduler = {sched}\n"));
+        }
+        if let Some(fus) = self.fus {
+            s.push_str(&format!("fus = {fus}\n"));
+        }
+        if let Some(strategy) = &self.strategy {
+            s.push_str(&format!("strategy = {strategy}\n"));
+        }
+        s
+    }
+
+    /// Parses the on-disk form; unknown keys are rejected so corpus files
+    /// cannot silently rot.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn parse(text: &str) -> Result<Case, String> {
+        let mut case = Case::new(Mode::Dfg, 0, 1, 1, 1);
+        let mut saw_mode = false;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", lineno + 1))?;
+            let (key, value) = (key.trim(), value.trim());
+            let bad = |what: &str| format!("line {}: bad {what}: {value:?}", lineno + 1);
+            match key {
+                "mode" => {
+                    case.mode = match value {
+                        "dfg" => Mode::Dfg,
+                        "bsl" => Mode::Bsl,
+                        _ => return Err(bad("mode")),
+                    };
+                    saw_mode = true;
+                }
+                "seed" => case.seed = value.parse().map_err(|_| bad("seed"))?,
+                "ops" => case.ops = value.parse().map_err(|_| bad("ops"))?,
+                "inputs" => case.inputs = value.parse().map_err(|_| bad("inputs"))?,
+                "window" => case.window = value.parse().map_err(|_| bad("window"))?,
+                "mul_pct" => case.mul_pct = value.parse().map_err(|_| bad("mul_pct"))?,
+                "shift_pct" => case.shift_pct = value.parse().map_err(|_| bad("shift_pct"))?,
+                "scheduler" => case.scheduler = Some(value.to_string()),
+                "fus" => case.fus = Some(value.parse().map_err(|_| bad("fus"))?),
+                "strategy" => case.strategy = Some(value.to_string()),
+                _ => return Err(format!("line {}: unknown key {key:?}", lineno + 1)),
+            }
+        }
+        if !saw_mode {
+            return Err("missing `mode`".to_string());
+        }
+        if case.ops == 0 || case.inputs == 0 || case.window == 0 {
+            return Err("ops, inputs, and window must be positive".to_string());
+        }
+        Ok(case)
+    }
+
+    /// Loads a case from disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns IO and parse failures as a description.
+    pub fn load(path: &Path) -> Result<Case, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Case::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Saves the case to disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns IO failures as a description.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        std::fs::write(path, self.render()).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_sweeping_case() {
+        let c = Case::new(Mode::Dfg, 42, 17, 3, 5);
+        assert_eq!(Case::parse(&c.render()).unwrap(), c);
+    }
+
+    #[test]
+    fn roundtrip_pinned_case() {
+        let mut c = Case::new(Mode::Bsl, 7, 9, 2, 4);
+        c.scheduler = Some("force/0".to_string());
+        c.fus = Some(1);
+        c.strategy = Some("clique-tseng".to_string());
+        assert_eq!(Case::parse(&c.render()).unwrap(), c);
+    }
+
+    #[test]
+    fn unknown_keys_rejected() {
+        assert!(Case::parse("mode = dfg\nbogus = 1\n").is_err());
+    }
+
+    #[test]
+    fn zero_sizes_rejected() {
+        assert!(Case::parse("mode = dfg\nops = 0\n").is_err());
+    }
+}

@@ -1,0 +1,405 @@
+//! hls-fuzz: differential fuzzing for the whole synthesis flow.
+//!
+//! Each iteration generates a random program (see [`gen`]), pushes it
+//! through the full pipeline under a matrix of scheduler × FU-count ×
+//! binding-strategy combinations, and checks cross-cutting oracles that
+//! must hold for *any* correct implementation:
+//!
+//! 1. **No panics** — the pipeline returns `Result`, it never unwinds.
+//! 2. **Co-simulation equivalence** — the RTL model matches the
+//!    behavioral interpreter on random input vectors.
+//! 3. **Schedule bounds** — every scheduled op sits between its
+//!    unconstrained ASAP level and its ALAP level for the schedule's own
+//!    length.
+//! 4. **Schedule validity** — precedence and resource feasibility via
+//!    [`hls_sched::Schedule::validate`].
+//! 5. **Verilog well-formedness** — emission produces a balanced
+//!    module/endmodule skeleton mentioning the design.
+//!
+//! Failures carry the exact combo that failed, so the minimizer
+//! ([`minimize`]) can pin it and shrink the generator configuration.
+
+pub mod corpus;
+pub mod gen;
+pub mod minimize;
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use hls_alloc::{CliqueMethod, FuStrategy};
+use hls_core::Synthesizer;
+use hls_sched::{precedence, Algorithm, Priority, ResourceLimits, ScheduleError};
+
+use corpus::Case;
+
+/// One point of the pipeline matrix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Combo {
+    /// Scheduler spec, e.g. `list/path` or `force/2`.
+    pub scheduler: String,
+    /// Universal-FU count.
+    pub fus: usize,
+    /// Binding-strategy spec, e.g. `aware` or `clique-tseng`.
+    pub strategy: String,
+}
+
+impl std::fmt::Display for Combo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} × {} fu × {}",
+            self.scheduler, self.fus, self.strategy
+        )
+    }
+}
+
+/// Which oracle a violation tripped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Oracle {
+    /// The pipeline panicked.
+    Panic,
+    /// The pipeline returned an unexpected error.
+    PipelineError,
+    /// Behavioral and RTL simulation disagreed.
+    CosimMismatch,
+    /// An op was scheduled outside its `[asap, alap]` window.
+    BoundsViolated,
+    /// `Schedule::validate` rejected the produced schedule.
+    InvalidSchedule,
+    /// Emitted Verilog failed the well-formedness checks.
+    BadVerilog,
+}
+
+impl std::fmt::Display for Oracle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Oracle::Panic => "panic",
+            Oracle::PipelineError => "pipeline-error",
+            Oracle::CosimMismatch => "cosim-mismatch",
+            Oracle::BoundsViolated => "bounds-violated",
+            Oracle::InvalidSchedule => "invalid-schedule",
+            Oracle::BadVerilog => "bad-verilog",
+        })
+    }
+}
+
+/// One oracle violation, tagged with the combo that produced it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Which oracle fired.
+    pub oracle: Oracle,
+    /// The pipeline configuration that failed.
+    pub combo: Combo,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] under {}: {}", self.oracle, self.combo, self.detail)
+    }
+}
+
+/// Parses a scheduler spec (`asap`, `alap/N`, `list/path`,
+/// `list/urgency`, `list/mobility`, `force/N`, `freedom/N`).
+pub fn parse_scheduler(spec: &str) -> Option<Algorithm> {
+    // (kept in sync with hls-serve's parser; fuzz stays self-contained)
+    let (head, arg) = match spec.split_once('/') {
+        Some((h, a)) => (h, Some(a)),
+        None => (spec, None),
+    };
+    let slack = || arg.unwrap_or("0").parse::<u32>().ok();
+    match head {
+        "asap" => Some(Algorithm::Asap),
+        "alap" => Some(Algorithm::Alap { slack: slack()? }),
+        "list" => Some(Algorithm::List(match arg.unwrap_or("path") {
+            "path" => Priority::PathLength,
+            "urgency" => Priority::Urgency,
+            "mobility" => Priority::Mobility,
+            _ => return None,
+        })),
+        "force" => Some(Algorithm::ForceDirected { slack: slack()? }),
+        "freedom" => Some(Algorithm::FreedomBased { slack: slack()? }),
+        _ => None,
+    }
+}
+
+/// Parses a binding-strategy spec.
+pub fn parse_strategy(spec: &str) -> Option<FuStrategy> {
+    match spec {
+        "aware" => Some(FuStrategy::GreedyAware),
+        "blind" => Some(FuStrategy::GreedyBlind),
+        "clique-exact" => Some(FuStrategy::Clique(CliqueMethod::ExactMaxClique)),
+        "clique-tseng" => Some(FuStrategy::Clique(CliqueMethod::Tseng)),
+        _ => None,
+    }
+}
+
+/// The scheduler sweep when a case does not pin one. ASAP, ALAP, list,
+/// and both time-constrained schedulers; force-directed twice because
+/// zero slack (deadline = critical path) and positive slack stress
+/// different window arithmetic.
+pub const SCHEDULERS: &[&str] = &[
+    "asap",
+    "alap/0",
+    "list/path",
+    "list/urgency",
+    "force/0",
+    "force/2",
+    "freedom/1",
+];
+
+/// The FU-count sweep when a case does not pin one.
+pub const FU_COUNTS: &[usize] = &[1, 2];
+
+/// All binding strategies; the sweep rotates through them per combo so
+/// every iteration still covers each strategy without quadrupling runs.
+pub const STRATEGIES: &[&str] = &["aware", "blind", "clique-exact", "clique-tseng"];
+
+/// The combos a case runs: the pinned singleton, or the sweep.
+pub fn combos_for(case: &Case) -> Vec<Combo> {
+    if let (Some(s), Some(f), Some(st)) = (&case.scheduler, case.fus, &case.strategy) {
+        return vec![Combo {
+            scheduler: s.clone(),
+            fus: f,
+            strategy: st.clone(),
+        }];
+    }
+    let scheds: Vec<String> = match &case.scheduler {
+        Some(s) => vec![s.clone()],
+        None => SCHEDULERS.iter().map(|s| s.to_string()).collect(),
+    };
+    let fus: Vec<usize> = match case.fus {
+        Some(f) => vec![f],
+        None => FU_COUNTS.to_vec(),
+    };
+    let mut out = Vec::new();
+    for (i, sched) in scheds.iter().enumerate() {
+        for (j, &f) in fus.iter().enumerate() {
+            let strategy = match &case.strategy {
+                Some(st) => st.clone(),
+                // Deterministic rotation keyed on seed and combo index.
+                None => STRATEGIES[(case.seed as usize + i * fus.len() + j) % STRATEGIES.len()]
+                    .to_string(),
+            };
+            out.push(Combo {
+                scheduler: sched.clone(),
+                fus: f,
+                strategy,
+            });
+        }
+    }
+    out
+}
+
+/// Input vectors per co-simulation check. Small: the matrix already
+/// multiplies work per iteration.
+const COSIM_VECTORS: usize = 3;
+
+/// Runs every oracle for `case` and returns all violations found.
+///
+/// Generation failures are reported as a single pseudo-violation rather
+/// than an `Err`, so the fuzz loop treats them uniformly.
+pub fn run_case(case: &Case) -> Vec<Violation> {
+    let cdfg = match gen::generate(case) {
+        Ok(c) => c,
+        Err(e) => {
+            return vec![Violation {
+                oracle: Oracle::PipelineError,
+                combo: Combo {
+                    scheduler: "-".to_string(),
+                    fus: 0,
+                    strategy: "-".to_string(),
+                },
+                detail: format!("generator: {e}"),
+            }]
+        }
+    };
+    let mut violations = Vec::new();
+    for combo in combos_for(case) {
+        if let Some(v) = run_combo(&cdfg, &combo) {
+            violations.push(v);
+        }
+    }
+    violations
+}
+
+/// Runs one pipeline combo and checks every oracle; returns the first
+/// violation for this combo, if any.
+fn run_combo(cdfg: &hls_cdfg::Cdfg, combo: &Combo) -> Option<Violation> {
+    let fail = |oracle, detail| {
+        Some(Violation {
+            oracle,
+            combo: combo.clone(),
+            detail,
+        })
+    };
+    let Some(algorithm) = parse_scheduler(&combo.scheduler) else {
+        return fail(
+            Oracle::PipelineError,
+            format!("unknown scheduler spec {:?}", combo.scheduler),
+        );
+    };
+    let Some(strategy) = parse_strategy(&combo.strategy) else {
+        return fail(
+            Oracle::PipelineError,
+            format!("unknown strategy spec {:?}", combo.strategy),
+        );
+    };
+    let synth = Synthesizer::new()
+        .universal_fus(combo.fus)
+        .algorithm(algorithm)
+        .fu_strategy(strategy);
+    // Oracle 1: the pipeline must not unwind. The fuzz driver installs a
+    // silent panic hook; here we only convert the unwind into evidence.
+    let outcome = catch_unwind(AssertUnwindSafe(|| synth.synthesize(cdfg.clone())));
+    let result = match outcome {
+        Err(payload) => return fail(Oracle::Panic, panic_message(&payload)),
+        Ok(Err(e)) if acceptable_error(&e) => return None,
+        Ok(Err(e)) => return fail(Oracle::PipelineError, e.to_string()),
+        Ok(Ok(r)) => r,
+    };
+
+    // Oracle 2: behavioral vs RTL equivalence on random vectors.
+    match result.verify(COSIM_VECTORS, (1.0, 8.0)) {
+        Err(e) => return fail(Oracle::CosimMismatch, format!("co-sim failed to run: {e}")),
+        Ok(eq) if !eq.equivalent => {
+            return fail(Oracle::CosimMismatch, format!("{:?}", eq.mismatch));
+        }
+        Ok(_) => {}
+    }
+
+    // Oracles 3 + 4, per block: bounds and validity.
+    let time_constrained = matches!(
+        algorithm,
+        Algorithm::ForceDirected { .. } | Algorithm::FreedomBased { .. }
+    );
+    let limits = if time_constrained {
+        ResourceLimits::unlimited()
+    } else {
+        ResourceLimits::universal(combo.fus)
+    };
+    for block in result.cdfg.block_order() {
+        let dfg = &result.cdfg.block(block).dfg;
+        let Some(sched) = result.schedule.block(block) else {
+            return fail(Oracle::InvalidSchedule, format!("{block:?} unscheduled"));
+        };
+        if let Err(e) = sched.validate(dfg, &result.classifier, &limits) {
+            return fail(Oracle::InvalidSchedule, format!("{block:?}: {e}"));
+        }
+        let asap = match precedence::unconstrained_asap(dfg, &result.classifier) {
+            Ok((map, _)) => map,
+            Err(e) => return fail(Oracle::BoundsViolated, format!("asap bound: {e}")),
+        };
+        let alap = match precedence::unconstrained_alap(dfg, &result.classifier, sched.num_steps())
+        {
+            Ok(map) => map,
+            Err(e) => return fail(Oracle::BoundsViolated, format!("alap bound: {e}")),
+        };
+        for (op, step) in sched.iter() {
+            if let Some(&lo) = asap.get(&op) {
+                if step < lo {
+                    return fail(
+                        Oracle::BoundsViolated,
+                        format!("{block:?} {op:?}: step {step} < asap {lo}"),
+                    );
+                }
+            }
+            if let Some(&hi) = alap.get(&op) {
+                if step > hi {
+                    return fail(
+                        Oracle::BoundsViolated,
+                        format!("{block:?} {op:?}: step {step} > alap {hi}"),
+                    );
+                }
+            }
+        }
+    }
+
+    // Oracle 5: Verilog emission skeleton.
+    let verilog = result.to_verilog();
+    let modules = verilog.matches("module ").count() - verilog.matches("endmodule").count();
+    if !verilog.contains("module fuzz") || modules != 0 {
+        return fail(
+            Oracle::BadVerilog,
+            format!(
+                "module fuzz: {}, module/endmodule delta: {modules}",
+                verilog.contains("module fuzz")
+            ),
+        );
+    }
+    None
+}
+
+/// Errors that are legitimate outcomes rather than bugs: a
+/// resource-infeasible instance exhausting a bounded search is the
+/// scheduler *reporting* a limit, not violating one.
+fn acceptable_error(e: &hls_core::SynthesisError) -> bool {
+    matches!(
+        e,
+        hls_core::SynthesisError::Schedule(ScheduleError::SearchBudgetExhausted)
+    )
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Installs a no-op panic hook for the duration of a fuzz run so caught
+/// panics do not spam stderr; returns a guard restoring the previous
+/// hook on drop.
+pub fn quiet_panics() -> impl Drop {
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let _ = std::panic::take_hook();
+        }
+    }
+    std::panic::set_hook(Box::new(|_| {}));
+    Restore
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corpus::Mode;
+
+    #[test]
+    fn scheduler_specs_parse() {
+        for spec in SCHEDULERS {
+            assert!(parse_scheduler(spec).is_some(), "{spec}");
+        }
+        assert!(parse_scheduler("bogus").is_none());
+        assert!(parse_scheduler("list/bogus").is_none());
+    }
+
+    #[test]
+    fn strategy_specs_parse() {
+        for spec in STRATEGIES {
+            assert!(parse_strategy(spec).is_some(), "{spec}");
+        }
+        assert!(parse_strategy("bogus").is_none());
+    }
+
+    #[test]
+    fn pinned_case_runs_one_combo() {
+        let mut case = Case::new(Mode::Dfg, 1, 4, 2, 3);
+        case.scheduler = Some("asap".to_string());
+        case.fus = Some(1);
+        case.strategy = Some("aware".to_string());
+        assert_eq!(combos_for(&case).len(), 1);
+    }
+
+    #[test]
+    fn sweep_covers_the_matrix() {
+        let case = Case::new(Mode::Dfg, 1, 4, 2, 3);
+        let combos = combos_for(&case);
+        assert_eq!(combos.len(), SCHEDULERS.len() * FU_COUNTS.len());
+    }
+}

@@ -1,0 +1,168 @@
+//! The `hls-fuzz` CLI.
+//!
+//! ```text
+//! hls-fuzz --iters 500 --seed 0          # fuzz: random cases, exit 1 on any violation
+//! hls-fuzz --replay tests/corpus         # replay every *.case file (or one file)
+//! hls-fuzz --iters 500 --save out/       # also write minimized failures to out/
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use hls_fuzz::corpus::{Case, Mode};
+use hls_fuzz::minimize::minimize;
+use hls_fuzz::{quiet_panics, run_case, Violation};
+use hls_testkit::SplitMix64;
+
+struct Args {
+    iters: u64,
+    seed: u64,
+    replay: Vec<PathBuf>,
+    save: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        iters: 100,
+        seed: 0,
+        replay: Vec::new(),
+        save: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--iters" => {
+                args.iters = value("--iters")?
+                    .parse()
+                    .map_err(|e| format!("--iters: {e}"))?
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--replay" => args.replay.push(PathBuf::from(value("--replay")?)),
+            "--save" => args.save = Some(PathBuf::from(value("--save")?)),
+            "--help" | "-h" => {
+                println!(
+                    "usage: hls-fuzz [--iters N] [--seed S] [--replay FILE-OR-DIR]... [--save DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Expands a replay path: a directory yields its `*.case` files sorted
+/// by name, a file yields itself.
+fn expand(path: &Path) -> Result<Vec<PathBuf>, String> {
+    if !path.is_dir() {
+        return Ok(vec![path.to_path_buf()]);
+    }
+    let mut files: Vec<PathBuf> = std::fs::read_dir(path)
+        .map_err(|e| format!("{}: {e}", path.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "case"))
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+fn report(case: &Case, violations: &[Violation], origin: &str) {
+    eprintln!("FAIL {origin}:");
+    for v in violations {
+        eprintln!("  {v}");
+    }
+    eprintln!("--- case ---\n{}------------", case.render());
+}
+
+fn replay(paths: &[PathBuf]) -> Result<usize, String> {
+    let mut failures = 0;
+    let mut total = 0;
+    for root in paths {
+        for file in expand(root)? {
+            let case = Case::load(&file)?;
+            total += 1;
+            let violations = run_case(&case);
+            if violations.is_empty() {
+                println!("ok   {}", file.display());
+            } else {
+                failures += 1;
+                report(&case, &violations, &file.display().to_string());
+            }
+        }
+    }
+    println!("replayed {total} case(s), {failures} failure(s)");
+    Ok(failures)
+}
+
+fn fuzz(args: &Args) -> Result<usize, String> {
+    let mut rng = SplitMix64::new(args.seed ^ 0xF0_5EED);
+    let mut failures = 0;
+    for i in 0..args.iters {
+        let mode = if rng.bool_with(0.5) {
+            Mode::Dfg
+        } else {
+            Mode::Bsl
+        };
+        let mut case = Case::new(
+            mode,
+            rng.next_u64(),
+            rng.usize_in(1, 21),
+            rng.usize_in(1, 5),
+            rng.usize_in(1, 9),
+        );
+        case.mul_pct = rng.u32_in(0, 51);
+        case.shift_pct = rng.u32_in(0, 41);
+        let violations = run_case(&case);
+        if violations.is_empty() {
+            continue;
+        }
+        failures += 1;
+        report(&case, &violations, &format!("iteration {i}"));
+        let minimized = minimize(&case, &violations[0]);
+        if minimized != case {
+            eprintln!("--- minimized ---\n{}-----------------", minimized.render());
+        }
+        if let Some(dir) = &args.save {
+            std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+            let name = format!(
+                "{}-{}.case",
+                violations[0].oracle,
+                hls_testkit::fnv1a(minimized.render().as_bytes())
+            );
+            let path = dir.join(name);
+            minimized.save(&path)?;
+            eprintln!("saved {}", path.display());
+        }
+    }
+    println!("fuzzed {} iteration(s), {failures} failure(s)", args.iters);
+    Ok(failures)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let _quiet = quiet_panics();
+    let outcome = if args.replay.is_empty() {
+        fuzz(&args)
+    } else {
+        replay(&args.replay)
+    };
+    match outcome {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

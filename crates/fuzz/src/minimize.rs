@@ -1,0 +1,150 @@
+//! Test-case minimization: shrink a failing [`Case`] while it keeps
+//! tripping the same oracle.
+//!
+//! Shrinking happens at the generator-configuration level (ops, inputs,
+//! window, op-mix percentages) rather than by graph surgery — the case
+//! file stays the single source of truth and the replayed failure is
+//! regenerated, not stored. The minimizer also pins the failing combo so
+//! the minimized case runs exactly one pipeline configuration.
+
+use crate::corpus::Case;
+use crate::{run_case, Oracle, Violation};
+
+/// Upper bound on pipeline-matrix evaluations during one minimization.
+const BUDGET: usize = 200;
+
+/// Shrinks `case` while it still produces a violation of the same
+/// oracle as `original`. Returns the minimized case (possibly `case`
+/// unchanged when nothing smaller still fails).
+pub fn minimize(case: &Case, original: &Violation) -> Case {
+    let target = original.oracle;
+    let mut best = case.clone();
+    let spent = std::cell::Cell::new(0usize);
+    let still_fails = |c: &Case| -> bool {
+        spent.set(spent.get() + 1);
+        spent.get() <= BUDGET && fails_with(c, target).is_some()
+    };
+
+    // Pin the failing combo first: it collapses the matrix to one run,
+    // making every later shrink probe ~14× cheaper.
+    if original.combo.fus > 0 {
+        let mut pinned = best.clone();
+        pinned.scheduler = Some(original.combo.scheduler.clone());
+        pinned.fus = Some(original.combo.fus);
+        pinned.strategy = Some(original.combo.strategy.clone());
+        if still_fails(&pinned) {
+            best = pinned;
+        }
+    }
+
+    // Greedy fixpoint over the numeric fields.
+    loop {
+        let mut shrunk = false;
+        for field in [Field::Ops, Field::Inputs, Field::Window] {
+            // Halve while it still fails, then step down by one.
+            loop {
+                let cur = field.get(&best);
+                let next = (cur / 2).max(1);
+                if next == cur {
+                    break;
+                }
+                let candidate = field.with(&best, next);
+                if still_fails(&candidate) {
+                    best = candidate;
+                    shrunk = true;
+                } else {
+                    break;
+                }
+            }
+            loop {
+                let cur = field.get(&best);
+                if cur <= 1 {
+                    break;
+                }
+                let candidate = field.with(&best, cur - 1);
+                if still_fails(&candidate) {
+                    best = candidate;
+                    shrunk = true;
+                } else {
+                    break;
+                }
+            }
+        }
+        // Simplify the op mix: drop multiplies, then shifts.
+        for zeroed in [
+            Case {
+                mul_pct: 0,
+                ..best.clone()
+            },
+            Case {
+                shift_pct: 0,
+                ..best.clone()
+            },
+        ] {
+            if zeroed != best && still_fails(&zeroed) {
+                best = zeroed;
+                shrunk = true;
+            }
+        }
+        if !shrunk || spent.get() > BUDGET {
+            return best;
+        }
+    }
+}
+
+/// The first violation of `oracle` that `case` produces, if any.
+pub fn fails_with(case: &Case, oracle: Oracle) -> Option<Violation> {
+    run_case(case).into_iter().find(|v| v.oracle == oracle)
+}
+
+/// Numeric generator fields the minimizer shrinks.
+#[derive(Clone, Copy)]
+enum Field {
+    Ops,
+    Inputs,
+    Window,
+}
+
+impl Field {
+    fn get(self, c: &Case) -> usize {
+        match self {
+            Field::Ops => c.ops,
+            Field::Inputs => c.inputs,
+            Field::Window => c.window,
+        }
+    }
+
+    fn with(self, c: &Case, v: usize) -> Case {
+        let mut out = c.clone();
+        match self {
+            Field::Ops => out.ops = v,
+            Field::Inputs => out.inputs = v,
+            Field::Window => out.window = v,
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Mode;
+    use crate::Combo;
+
+    /// A passing case minimizes to itself (no shrink step can "fail
+    /// better" when nothing fails at all).
+    #[test]
+    fn passing_case_is_left_alone() {
+        let case = Case::new(Mode::Dfg, 3, 6, 2, 3);
+        let fake = Violation {
+            oracle: Oracle::Panic,
+            combo: Combo {
+                scheduler: "asap".to_string(),
+                fus: 1,
+                strategy: "aware".to_string(),
+            },
+            detail: String::new(),
+        };
+        assert_eq!(minimize(&case, &fake), case);
+    }
+}

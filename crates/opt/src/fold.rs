@@ -92,8 +92,8 @@ fn fold_block(dfg: &mut DataFlowGraph) -> usize {
         let consts: Vec<Option<Fx>> = operands.iter().map(|&v| const_of(dfg, v)).collect();
 
         // Full fold when every operand is constant.
-        if consts.iter().all(|c| c.is_some()) {
-            let args: Vec<Fx> = consts.iter().map(|c| c.unwrap()).collect();
+        let args: Vec<Fx> = consts.iter().copied().flatten().collect();
+        if args.len() == operands.len() {
             if let Some(v) = eval_const(kind, &args) {
                 replace_with_value(dfg, id, ReplaceWith::Const(v));
                 changed += 1;

@@ -39,7 +39,7 @@ fn walk(cdfg: &mut Cdfg, region: Region, count: &mut usize) -> Region {
             i.else_region = i.else_region.map(|e| Box::new(walk(cdfg, *e, count)));
             // Eligible shape: both arms single blocks (or absent).
             let then_block = match &*i.then_region {
-                Region::Block(b) => Some(*b),
+                Region::Block(b) => *b,
                 _ => return Region::If(i),
             };
             let else_block = match i.else_region.as_deref() {
@@ -47,19 +47,14 @@ fn walk(cdfg: &mut Cdfg, region: Region, count: &mut usize) -> Region {
                 Some(Region::Block(b)) => Some(*b),
                 Some(_) => return Region::If(i),
             };
-            let mut blocks = vec![i.cond_block];
-            blocks.extend(then_block);
+            let mut blocks = vec![i.cond_block, then_block];
             blocks.extend(else_block);
             if !blocks.iter().all(|&b| speculation_safe(&cdfg.block(b).dfg)) {
                 return Region::If(i);
             }
-            let merged = fuse(
-                cdfg,
-                i.cond_block,
-                &i.cond_var,
-                then_block.expect("checked above"),
-                else_block,
-            );
+            let Some(merged) = fuse(cdfg, i.cond_block, &i.cond_var, then_block, else_block) else {
+                return Region::If(i);
+            };
             let name = format!("{}_ifconv", cdfg.block(i.cond_block).name);
             let nb = cdfg.add_block(&name, merged);
             *count += 1;
@@ -79,12 +74,14 @@ fn speculation_safe(dfg: &DataFlowGraph) -> bool {
 }
 
 /// Splices `src`'s ops into `out`, resolving block inputs through `env`
-/// (creating fresh inputs on first use). Returns the live-out map.
+/// (creating fresh inputs on first use). Returns the live-out map, or
+/// `None` when the block is malformed (cyclic, dangling operand) and the
+/// conversion must be abandoned.
 fn splice(
     src: &DataFlowGraph,
     out: &mut DataFlowGraph,
     env: &mut HashMap<String, ValueId>,
-) -> HashMap<String, ValueId> {
+) -> Option<HashMap<String, ValueId>> {
     let mut vmap: HashMap<ValueId, ValueId> = HashMap::new();
     for &iv in src.inputs() {
         let v = src.value(iv);
@@ -93,9 +90,13 @@ fn splice(
             .or_insert_with(|| out.add_input(&v.name, v.width));
         vmap.insert(iv, merged);
     }
-    for id in src.topological_order().expect("acyclic block") {
+    for id in src.topological_order().ok()? {
         let op = src.op(id);
-        let operands: Vec<ValueId> = op.operands.iter().map(|v| vmap[v]).collect();
+        let operands: Vec<ValueId> = op
+            .operands
+            .iter()
+            .map(|v| vmap.get(v).copied())
+            .collect::<Option<_>>()?;
         let nid: OpId = out.add_op(op.kind, operands);
         out.op_mut(nid).constant = op.constant;
         out.op_mut(nid).memory = op.memory.clone();
@@ -108,7 +109,7 @@ fn splice(
     }
     src.outputs()
         .iter()
-        .map(|(n, v)| (n.clone(), vmap[v]))
+        .map(|(n, v)| vmap.get(v).map(|&m| (n.clone(), m)))
         .collect()
 }
 
@@ -118,16 +119,16 @@ fn fuse(
     cond_var: &str,
     then_block: hls_cdfg::BlockId,
     else_block: Option<hls_cdfg::BlockId>,
-) -> DataFlowGraph {
+) -> Option<DataFlowGraph> {
     let mut out = DataFlowGraph::new();
     let mut env: HashMap<String, ValueId> = HashMap::new();
-    let cond_outs = splice(&cdfg.block(cond_block).dfg, &mut out, &mut env);
-    let cv = cond_outs[cond_var];
+    let cond_outs = splice(&cdfg.block(cond_block).dfg, &mut out, &mut env)?;
+    let cv = *cond_outs.get(cond_var)?;
     // Both arms read the post-condition environment; their writes stay
     // local until muxed.
-    let then_outs = splice(&cdfg.block(then_block).dfg, &mut out, &mut env.clone());
+    let then_outs = splice(&cdfg.block(then_block).dfg, &mut out, &mut env.clone())?;
     let else_outs = match else_block {
-        Some(b) => splice(&cdfg.block(b).dfg, &mut out, &mut env.clone()),
+        Some(b) => splice(&cdfg.block(b).dfg, &mut out, &mut env.clone())?,
         None => HashMap::new(),
     };
     let mut vars: Vec<&String> = then_outs.keys().chain(else_outs.keys()).collect();
@@ -147,13 +148,13 @@ fn fuse(
             None => base(&mut out, &mut env),
         };
         let mux = out.add_op(OpKind::Mux, vec![cv, t, e]);
-        let mv = out.result(mux).expect("mux has a result");
+        let mv = out.result(mux)?;
         let width = out.value(t).width.max(out.value(e).width);
         out.value_mut(mv).width = width;
         out.value_mut(mv).name = var.clone();
         out.set_output(var, mv);
     }
-    out
+    Some(out)
 }
 
 #[cfg(test)]

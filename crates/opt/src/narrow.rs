@@ -118,21 +118,30 @@ fn const_of(dfg: &DataFlowGraph, v: hls_cdfg::ValueId) -> Option<Fx> {
 
 fn apply(cdfg: &mut Cdfg, rw: &Rewrite) {
     // 1. Replace the `iv > n-1` test with `iv = 0` in the exit block.
+    // The eligibility check already located the exit output and its
+    // defining comparison; if either has vanished the rewrite is stale,
+    // so leave the loop untouched rather than panic.
     {
         let dfg = &mut cdfg.block_mut(rw.block).dfg;
-        let exit_val = dfg
+        let Some(exit_val) = dfg
             .outputs()
             .iter()
             .find(|(name, _)| *name == rw.exit_var)
             .map(|(_, v)| *v)
-            .expect("exit output exists");
-        let ValueDef::Op(test) = dfg.value(exit_val).def else {
-            unreachable!()
+        else {
+            return;
         };
-        let iv_val = dfg.op(test).operands[0];
+        let ValueDef::Op(test) = dfg.value(exit_val).def else {
+            return;
+        };
+        let Some(&iv_val) = dfg.op(test).operands.first() else {
+            return;
+        };
         let zero = dfg.add_const_value(Fx::ZERO);
         let eq = dfg.add_op(OpKind::Eq, vec![iv_val, zero]);
-        let new_exit = dfg.result(eq).expect("eq has a result");
+        let Some(new_exit) = dfg.result(eq) else {
+            return;
+        };
         dfg.replace_value_uses(exit_val, new_exit);
         dfg.kill_op(test);
     }

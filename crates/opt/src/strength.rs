@@ -69,8 +69,12 @@ fn reduce_block(dfg: &mut DataFlowGraph) -> usize {
         if !label.is_empty() {
             dfg.op_mut(new_id).label = label;
         }
-        let old_res = dfg.result(id).expect("arith op has a result");
-        let new_res = dfg.result(new_id).expect("new op has a result");
+        // Arithmetic ops always carry a result; if that ever fails, drop
+        // the speculative replacement instead of panicking mid-pass.
+        let (Some(old_res), Some(new_res)) = (dfg.result(id), dfg.result(new_id)) else {
+            dfg.kill_op(new_id);
+            continue;
+        };
         let width = dfg.value(old_res).width;
         let name = dfg.value(old_res).name.clone();
         dfg.value_mut(new_res).width = width;

@@ -52,7 +52,9 @@ fn unroll_region(cdfg: &mut Cdfg, region: Region, count: &mut usize) -> Region {
             if n == 0 || body_ops.saturating_mul(n as usize) > UNROLL_OP_BUDGET {
                 return Region::Loop(l);
             }
-            let merged = merge_iterations(&cdfg.block(b).dfg, n as usize, &l.exit_var);
+            let Some(merged) = merge_iterations(&cdfg.block(b).dfg, n as usize, &l.exit_var) else {
+                return Region::Loop(l);
+            };
             let name = format!("{}_x{}", cdfg.block(b).name, n);
             let nb = cdfg.add_block(&name, merged);
             *count += 1;
@@ -61,11 +63,13 @@ fn unroll_region(cdfg: &mut Cdfg, region: Region, count: &mut usize) -> Region {
     }
 }
 
-/// Builds one DFG equivalent to `n` sequential executions of `body`.
+/// Builds one DFG equivalent to `n` sequential executions of `body`, or
+/// `None` when the body is not schedulable (cyclic) and must stay rolled.
 ///
 /// Live-outs of iteration *k* feed the matching live-ins of iteration
 /// *k+1*; the loop-exit computation is dropped (the trip count is static).
-fn merge_iterations(body: &DataFlowGraph, n: usize, exit_var: &str) -> DataFlowGraph {
+fn merge_iterations(body: &DataFlowGraph, n: usize, exit_var: &str) -> Option<DataFlowGraph> {
+    let order = body.topological_order().ok()?;
     let mut out = DataFlowGraph::new();
     // Current value of each variable in the merged block.
     let mut env: HashMap<String, ValueId> = HashMap::new();
@@ -78,8 +82,7 @@ fn merge_iterations(body: &DataFlowGraph, n: usize, exit_var: &str) -> DataFlowG
                 .or_insert_with(|| out.add_input(&v.name, v.width));
             vmap.insert(iv, merged_v);
         }
-        let order = body.topological_order().expect("acyclic body");
-        for id in order {
+        for &id in &order {
             let op = body.op(id);
             let operands: Vec<ValueId> = op.operands.iter().map(|v| vmap[v]).collect();
             let nid: OpId = out.add_op(op.kind, operands);
@@ -101,7 +104,7 @@ fn merge_iterations(body: &DataFlowGraph, n: usize, exit_var: &str) -> DataFlowG
     for (name, v) in env {
         out.set_output(&name, v);
     }
-    out
+    Some(out)
 }
 
 #[cfg(test)]

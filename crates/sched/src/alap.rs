@@ -50,7 +50,11 @@ pub fn alap_schedule(
             schedule.assign(op, 0);
             continue;
         }
-        // Latest step permitted by already-placed successors.
+        // Latest step permitted by already-placed successors. A
+        // step-taking successor that resource pressure spilled all the
+        // way to step 0 leaves no room for its producers: the deadline
+        // is infeasible under these limits, and saying so (rather than
+        // clamping to step 0) is what keeps the output precedence-clean.
         let mut latest = unconstrained[&op];
         for succ in dfg.succs(op) {
             if is_wired(dfg, succ) {
@@ -59,8 +63,10 @@ pub fn alap_schedule(
             let ss = steps[&succ];
             let bound = if classifier.is_free(dfg, succ) {
                 ss
+            } else if ss == 0 {
+                return Err(ScheduleError::SearchBudgetExhausted);
             } else {
-                ss.saturating_sub(1)
+                ss - 1
             };
             latest = latest.min(bound);
         }

@@ -46,13 +46,13 @@ pub fn branch_and_bound_schedule(
     }
 
     // Order step-taking ops topologically; free/wired ops are placed after.
-    let order: Vec<OpId> = dfg
-        .topological_order()?
-        .into_iter()
-        .filter(|&op| classifier.classify(dfg, op).is_some())
+    let full_order = dfg.topological_order()?;
+    let order: Vec<(OpId, FuClass)> = full_order
+        .iter()
+        .filter_map(|&op| classifier.classify(dfg, op).map(|class| (op, class)))
         .collect();
     // Remaining path length below each op (in step-taking ops, inclusive).
-    let tail = tail_lengths(dfg, classifier);
+    let tail = tail_lengths(dfg, classifier, &full_order);
 
     let mut steps: HashMap<OpId, u32> = HashMap::new();
     let mut usage: HashMap<(FuClass, u32), usize> = HashMap::new();
@@ -62,6 +62,7 @@ pub fn branch_and_bound_schedule(
         classifier,
         limits,
         &order,
+        &full_order,
         0,
         &tail,
         &mut steps,
@@ -79,8 +80,11 @@ pub fn branch_and_bound_schedule(
 }
 
 /// Longest chain of step-taking ops from each op to a sink, inclusive.
-fn tail_lengths(dfg: &DataFlowGraph, classifier: &OpClassifier) -> HashMap<OpId, u32> {
-    let order = dfg.topological_order().expect("checked by caller");
+fn tail_lengths(
+    dfg: &DataFlowGraph,
+    classifier: &OpClassifier,
+    order: &[OpId],
+) -> HashMap<OpId, u32> {
     let mut tail: HashMap<OpId, u32> = HashMap::new();
     for &op in order.iter().rev() {
         let below = dfg.succs(op).iter().map(|s| tail[s]).max().unwrap_or(0);
@@ -95,7 +99,8 @@ fn dfs(
     dfg: &DataFlowGraph,
     classifier: &OpClassifier,
     limits: &ResourceLimits,
-    order: &[OpId],
+    order: &[(OpId, FuClass)],
+    full_order: &[OpId],
     idx: usize,
     tail: &HashMap<OpId, u32>,
     steps: &mut HashMap<OpId, u32>,
@@ -115,9 +120,8 @@ fn dfs(
             *best_len = makespan;
             let mut s = Schedule::new();
             // Free/wired ops at their earliest start given the assignment.
-            let full = dfg.topological_order().expect("acyclic");
             let mut all = steps.clone();
-            for op in full {
+            for &op in full_order {
                 if !all.contains_key(&op) {
                     let e = earliest_start(dfg, classifier, &all, op);
                     all.insert(op, e);
@@ -129,10 +133,7 @@ fn dfs(
         }
         return false;
     }
-    let op = order[idx];
-    let class = classifier
-        .classify(dfg, op)
-        .expect("order holds step-taking ops");
+    let (op, class) = order[idx];
     let ready = {
         // earliest_start needs *all* non-wired preds scheduled; chained-free
         // preds are not in `steps`, so resolve them on the fly.
@@ -160,6 +161,7 @@ fn dfs(
                 classifier,
                 limits,
                 order,
+                full_order,
                 idx + 1,
                 tail,
                 steps,
@@ -174,7 +176,9 @@ fn dfs(
                 return true;
             }
             steps.remove(&op);
-            *usage.get_mut(&(class, t)).expect("just inserted") -= 1;
+            if let Some(u) = usage.get_mut(&(class, t)) {
+                *u -= 1;
+            }
         }
         t += 1;
     }

@@ -19,6 +19,13 @@ use crate::{asap::asap_schedule, ScheduleError};
 pub enum Algorithm {
     /// Resource-constrained ASAP (Fig. 3).
     Asap,
+    /// Resource-constrained ALAP: per-block deadline = the ASAP schedule
+    /// length + `slack`, retried with a longer horizon when backward
+    /// packing runs out of room.
+    Alap {
+        /// Extra steps beyond each block's ASAP schedule length.
+        slack: u32,
+    },
     /// List scheduling with the given priority (Fig. 4).
     List(Priority),
     /// Force-directed (HAL): per-block deadline = critical path + `slack`.
@@ -45,6 +52,7 @@ impl Algorithm {
     pub fn name(self) -> &'static str {
         match self {
             Algorithm::Asap => "asap",
+            Algorithm::Alap { .. } => "alap",
             Algorithm::List(_) => "list",
             Algorithm::ForceDirected { .. } => "force-directed",
             Algorithm::FreedomBased { .. } => "freedom-based",
@@ -74,6 +82,7 @@ pub fn schedule_cdfg(
         let dfg = &cdfg.block(block).dfg;
         let schedule = match algorithm {
             Algorithm::Asap => asap_schedule(dfg, classifier, limits)?,
+            Algorithm::Alap { slack } => alap_with_retry(dfg, classifier, limits, slack)?,
             Algorithm::List(p) => list_schedule(dfg, classifier, limits, p)?,
             Algorithm::ForceDirected { slack } => {
                 let (_, cp) = unconstrained_asap(dfg, classifier)?;
@@ -91,6 +100,30 @@ pub fn schedule_cdfg(
         out.insert(block, schedule);
     }
     Ok(out)
+}
+
+/// Resource-constrained ALAP against a deadline derived from the ASAP
+/// schedule length. Backward greedy packing can need a slightly longer
+/// horizon than forward packing on the same instance, so an infeasible
+/// deadline (`SearchBudgetExhausted`) is retried with a doubled horizon
+/// a few times before giving up.
+fn alap_with_retry(
+    dfg: &hls_cdfg::DataFlowGraph,
+    classifier: &OpClassifier,
+    limits: &ResourceLimits,
+    slack: u32,
+) -> Result<crate::schedule::Schedule, ScheduleError> {
+    let asap = asap_schedule(dfg, classifier, limits)?;
+    let base = asap.num_steps().max(1).saturating_add(slack);
+    let mut last = None;
+    for attempt in 1..=4u32 {
+        match crate::alap::alap_schedule(dfg, classifier, limits, base.saturating_mul(attempt)) {
+            Ok(s) => return Ok(s),
+            Err(e @ ScheduleError::SearchBudgetExhausted) => last = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.unwrap_or(ScheduleError::SearchBudgetExhausted))
 }
 
 #[cfg(test)]
@@ -145,6 +178,7 @@ mod tests {
         let limits = ResourceLimits::universal(2);
         for alg in [
             Algorithm::Asap,
+            Algorithm::Alap { slack: 0 },
             Algorithm::List(Priority::PathLength),
             Algorithm::List(Priority::Urgency),
             Algorithm::ForceDirected { slack: 0 },

@@ -47,6 +47,21 @@ pub enum ScheduleError {
         /// The class with zero units.
         class: FuClass,
     },
+    /// A scheduler's feasible-step window for an op became empty or
+    /// escaped the deadline. Always a scheduler invariant breach (the
+    /// initial windows are consistent and tightening preserves that), so
+    /// it surfaces as an error instead of an out-of-range step or an
+    /// out-of-bounds distribution-graph access.
+    InfeasibleWindow {
+        /// Debug rendering of the op id.
+        op: String,
+        /// Window low bound (inclusive).
+        lo: u32,
+        /// Window high bound (inclusive).
+        hi: u32,
+        /// Deadline in steps.
+        deadline: u32,
+    },
     /// Branch-and-bound exceeded its node budget.
     SearchBudgetExhausted,
     /// Pipelining could not find a feasible initiation interval.
@@ -83,6 +98,15 @@ impl fmt::Display for ScheduleError {
             ScheduleError::ZeroResource { class } => {
                 write!(f, "resource class `{class}` has zero units but is required")
             }
+            ScheduleError::InfeasibleWindow {
+                op,
+                lo,
+                hi,
+                deadline,
+            } => write!(
+                f,
+                "operation {op} has infeasible step window [{lo}, {hi}] against deadline {deadline}"
+            ),
             ScheduleError::SearchBudgetExhausted => {
                 write!(f, "branch-and-bound search budget exhausted")
             }

@@ -45,13 +45,7 @@ pub fn distribution_graphs(
     deadline: u32,
 ) -> Result<DistributionGraphs, ScheduleError> {
     let ranges = initial_ranges(dfg, classifier, deadline)?;
-    Ok(graphs_from_ranges(
-        dfg,
-        classifier,
-        &ranges,
-        deadline,
-        &HashMap::new(),
-    ))
+    graphs_from_ranges(dfg, classifier, &ranges, deadline, &HashMap::new())
 }
 
 fn initial_ranges(
@@ -70,7 +64,18 @@ fn initial_ranges(
     let lo = asap;
     let mut hi = HashMap::new();
     for (op, a) in alap {
-        hi.insert(op, a.max(lo[&op]));
+        // ASAP beyond ALAP would mean no feasible step at all; raising
+        // `hi` to mask it would instead smuggle an op past the deadline
+        // and into out-of-bounds distribution-graph slots.
+        if a < lo[&op] {
+            return Err(ScheduleError::InfeasibleWindow {
+                op: format!("{op:?}"),
+                lo: lo[&op],
+                hi: a,
+                deadline,
+            });
+        }
+        hi.insert(op, a);
     }
     Ok(Ranges { lo, hi })
 }
@@ -81,7 +86,7 @@ fn graphs_from_ranges(
     ranges: &Ranges,
     deadline: u32,
     placed: &HashMap<OpId, u32>,
-) -> DistributionGraphs {
+) -> Result<DistributionGraphs, ScheduleError> {
     let mut dg: DistributionGraphs = BTreeMap::new();
     for op in dfg.op_ids() {
         let Some(class) = classifier.classify(dfg, op) else {
@@ -90,17 +95,24 @@ fn graphs_from_ranges(
         let entry = dg
             .entry(class)
             .or_insert_with(|| vec![0.0; deadline as usize]);
-        if let Some(&s) = placed.get(&op) {
-            entry[s as usize] += 1.0;
-        } else {
-            let (lo, hi) = ranges.range(op);
-            let p = 1.0 / (hi - lo + 1) as f64;
-            for s in lo..=hi {
-                entry[s as usize] += p;
-            }
+        let (lo, hi) = match placed.get(&op) {
+            Some(&s) => (s, s),
+            None => ranges.range(op),
+        };
+        if lo > hi || hi >= deadline {
+            return Err(ScheduleError::InfeasibleWindow {
+                op: format!("{op:?}"),
+                lo,
+                hi,
+                deadline,
+            });
+        }
+        let p = 1.0 / (hi - lo + 1) as f64;
+        for s in lo..=hi {
+            entry[s as usize] += p;
         }
     }
-    dg
+    Ok(dg)
 }
 
 /// Schedules `dfg` against `deadline` steps by force-directed scheduling.
@@ -133,20 +145,26 @@ pub fn force_directed_schedule(
     }
 
     loop {
-        let pending: Vec<OpId> = dfg
+        let pending: Vec<(OpId, FuClass)> = dfg
             .op_ids()
-            .filter(|op| !placed.contains_key(op) && classifier.classify(dfg, *op).is_some())
+            .filter(|op| !placed.contains_key(op))
+            .filter_map(|op| classifier.classify(dfg, op).map(|class| (op, class)))
             .collect();
         if pending.is_empty() {
             break;
         }
-        let dg = graphs_from_ranges(dfg, classifier, &ranges, deadline, &placed);
+        let dg = graphs_from_ranges(dfg, classifier, &ranges, deadline, &placed)?;
         let mut best: Option<(f64, OpId, u32)> = None;
-        for &op in &pending {
-            let class = classifier
-                .classify(dfg, op)
-                .expect("pending ops have a class");
+        for &(op, class) in &pending {
             let (lo, hi) = ranges.range(op);
+            if lo > hi {
+                return Err(ScheduleError::InfeasibleWindow {
+                    op: format!("{op:?}"),
+                    lo,
+                    hi,
+                    deadline,
+                });
+            }
             for t in lo..=hi {
                 let force = total_force(dfg, classifier, &ranges, &dg, op, class, t);
                 let cand = (force, op, t);
@@ -161,10 +179,21 @@ pub fn force_directed_schedule(
                 }
             }
         }
-        let (_, op, t) = best.expect("pending is nonempty");
+        // Every pending op passed the window check above, so a candidate
+        // exists; the guard keeps this provable locally.
+        let Some((_, op, t)) = best else {
+            let (op, _) = pending[0];
+            let (lo, hi) = ranges.range(op);
+            return Err(ScheduleError::InfeasibleWindow {
+                op: format!("{op:?}"),
+                lo,
+                hi,
+                deadline,
+            });
+        };
         placed.insert(op, t);
         schedule.assign(op, t);
-        propagate(dfg, classifier, &mut ranges, op, t);
+        propagate(dfg, classifier, &mut ranges, op, t, deadline)?;
     }
 
     // Chained-free ops last: earliest start from final placement.
@@ -194,25 +223,26 @@ fn total_force(
     let mut force = self_force(&dg[&class], ranges.range(op), t);
     // Implicit forces: placing op at t shrinks neighbors' ranges.
     for pred in dfg.preds(op) {
-        if is_wired(dfg, pred) || classifier.classify(dfg, pred).is_none() {
+        if is_wired(dfg, pred) {
             continue;
         }
+        let Some(pc) = classifier.classify(dfg, pred) else {
+            continue;
+        };
         let (lo, hi) = ranges.range(pred);
         let new_hi = latest_pred_step(classifier, dfg, pred, op, t).min(hi);
         if new_hi < hi {
-            let pc = classifier.classify(dfg, pred).expect("checked above");
             force += range_avg(&dg[&pc], (lo, new_hi.max(lo))) - range_avg(&dg[&pc], (lo, hi));
         }
     }
     for succ in dfg.succs(op) {
-        if classifier.classify(dfg, succ).is_none() {
+        let Some(sc) = classifier.classify(dfg, succ) else {
             continue;
-        }
+        };
         let (lo, hi) = ranges.range(succ);
         let min_start = t + if classifier.is_free(dfg, succ) { 0 } else { 1 };
         let new_lo = min_start.max(lo);
         if new_lo > lo {
-            let sc = classifier.classify(dfg, succ).expect("checked above");
             force += range_avg(&dg[&sc], (new_lo.min(hi), hi)) - range_avg(&dg[&sc], (lo, hi));
         }
     }
@@ -222,12 +252,22 @@ fn total_force(
 /// The classic self force: DG at the candidate step minus the average over
 /// the feasible range.
 fn self_force(dg: &[f64], range: (u32, u32), t: u32) -> f64 {
-    dg[t as usize] - range_avg(dg, range)
+    dg_at(dg, t) - range_avg(dg, range)
 }
 
 fn range_avg(dg: &[f64], (lo, hi): (u32, u32)) -> f64 {
+    if lo > hi {
+        return 0.0;
+    }
     let n = (hi - lo + 1) as f64;
-    (lo..=hi).map(|s| dg[s as usize]).sum::<f64>() / n
+    (lo..=hi).map(|s| dg_at(dg, s)).sum::<f64>() / n
+}
+
+/// Distribution-graph lookup. Steps are range-checked against the
+/// deadline before scoring, so out-of-range reads cannot occur; reading
+/// zero (no expected usage) keeps scoring total even if they did.
+fn dg_at(dg: &[f64], s: u32) -> f64 {
+    dg.get(s as usize).copied().unwrap_or(0.0)
 }
 
 /// Latest step `pred` may take once its consumer `op` sits at `t`.
@@ -246,15 +286,27 @@ fn latest_pred_step(
 }
 
 /// Pins `op` at `t` and tightens ranges transitively.
+///
+/// A tightening that would empty a neighbor's window (or push it past
+/// the deadline) is an infeasibility the initial arc-consistent windows
+/// rule out; if it happens anyway, report it instead of clamping the
+/// window into a lie the distribution graphs then index out of bounds.
 fn propagate(
     dfg: &DataFlowGraph,
     classifier: &OpClassifier,
     ranges: &mut Ranges,
     op: OpId,
     t: u32,
-) {
+    deadline: u32,
+) -> Result<(), ScheduleError> {
     ranges.lo.insert(op, t);
     ranges.hi.insert(op, t);
+    let infeasible = |op: OpId, lo: u32, hi: u32| ScheduleError::InfeasibleWindow {
+        op: format!("{op:?}"),
+        lo,
+        hi,
+        deadline,
+    };
     let mut work = vec![op];
     while let Some(o) = work.pop() {
         let (olo, ohi) = ranges.range(o);
@@ -264,9 +316,10 @@ fn propagate(
             }
             let min_start = olo + if classifier.is_free(dfg, succ) { 0 } else { 1 };
             if ranges.lo[&succ] < min_start {
+                if min_start > ranges.hi[&succ] || min_start >= deadline {
+                    return Err(infeasible(succ, min_start, ranges.hi[&succ]));
+                }
                 ranges.lo.insert(succ, min_start);
-                let hi = ranges.hi[&succ].max(min_start);
-                ranges.hi.insert(succ, hi);
                 work.push(succ);
             }
         }
@@ -276,17 +329,23 @@ fn propagate(
             }
             let max_end = if classifier.is_free(dfg, o) {
                 ohi
+            } else if ohi == 0 {
+                // A step-taking op at step 0 leaves no step for a
+                // non-wired producer.
+                return Err(infeasible(pred, ranges.lo[&pred], 0));
             } else {
-                ohi.saturating_sub(1)
+                ohi - 1
             };
             if ranges.hi[&pred] > max_end {
+                if max_end < ranges.lo[&pred] {
+                    return Err(infeasible(pred, ranges.lo[&pred], max_end));
+                }
                 ranges.hi.insert(pred, max_end);
-                let lo = ranges.lo[&pred].min(max_end);
-                ranges.lo.insert(pred, lo);
                 work.push(pred);
             }
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]

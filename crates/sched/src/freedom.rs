@@ -41,7 +41,19 @@ pub fn freedom_based_schedule(
     let mut lo = asap;
     let mut hi: HashMap<OpId, u32> = HashMap::new();
     for op in dfg.op_ids() {
-        hi.insert(op, alap[&op].max(lo[&op]));
+        // An inverted window (ASAP past ALAP) has no feasible step;
+        // clamping it shut would hide the infeasibility until the
+        // schedule fails validation (or worse, passes with a precedence
+        // violation).
+        if alap[&op] < lo[&op] {
+            return Err(ScheduleError::InfeasibleWindow {
+                op: format!("{op:?}"),
+                lo: lo[&op],
+                hi: alap[&op],
+                deadline,
+            });
+        }
+        hi.insert(op, alap[&op]);
     }
 
     let mut schedule = Schedule::new();
@@ -69,7 +81,7 @@ pub fn freedom_based_schedule(
             &mut usage,
             &mut unit_count,
         );
-        propagate(dfg, classifier, &mut lo, &mut hi, op, t);
+        propagate(dfg, classifier, &mut lo, &mut hi, op, t, deadline)?;
     }
     // Wired constants: step 0.
     for op in dfg.op_ids() {
@@ -81,18 +93,24 @@ pub fn freedom_based_schedule(
 
     // Phase 2: least freedom first.
     loop {
-        let mut pending: Vec<OpId> = dfg
+        let mut pending: Vec<(OpId, crate::FuClass)> = dfg
             .op_ids()
-            .filter(|op| !placed.contains_key(op) && classifier.classify(dfg, *op).is_some())
+            .filter(|op| !placed.contains_key(op))
+            .filter_map(|op| classifier.classify(dfg, op).map(|class| (op, class)))
             .collect();
         if pending.is_empty() {
             break;
         }
-        pending.sort_by_key(|op| (hi[op] - lo[op], *op));
-        let op = pending[0];
-        let class = classifier
-            .classify(dfg, op)
-            .expect("pending op has a class");
+        pending.sort_by_key(|(op, _)| (hi[op].saturating_sub(lo[op]), *op));
+        let (op, class) = pending[0];
+        if hi[&op] < lo[&op] {
+            return Err(ScheduleError::InfeasibleWindow {
+                op: format!("{op:?}"),
+                lo: lo[&op],
+                hi: hi[&op],
+                deadline,
+            });
+        }
         // Least added cost: a step where current usage is below the unit
         // count; otherwise the least-used step (adding a unit).
         let current_units = unit_count.get(&class).copied().unwrap_or(0);
@@ -105,7 +123,15 @@ pub fn freedom_based_schedule(
                 best = Some(key);
             }
         }
-        let (_, _, t) = best.expect("range is nonempty");
+        // The window check above guarantees at least one candidate step.
+        let Some((_, _, t)) = best else {
+            return Err(ScheduleError::InfeasibleWindow {
+                op: format!("{op:?}"),
+                lo: lo[&op],
+                hi: hi[&op],
+                deadline,
+            });
+        };
         place(
             dfg,
             classifier,
@@ -116,7 +142,7 @@ pub fn freedom_based_schedule(
             &mut usage,
             &mut unit_count,
         );
-        propagate(dfg, classifier, &mut lo, &mut hi, op, t);
+        propagate(dfg, classifier, &mut lo, &mut hi, op, t, deadline)?;
     }
 
     // Chained-free ops at their earliest start.
@@ -152,6 +178,9 @@ fn place(
     }
 }
 
+/// Pins `op` at `t` and tightens neighbor windows transitively; an
+/// emptied window is reported (not clamped), mirroring the
+/// force-directed propagation.
 fn propagate(
     dfg: &DataFlowGraph,
     classifier: &OpClassifier,
@@ -159,9 +188,16 @@ fn propagate(
     hi: &mut HashMap<OpId, u32>,
     op: OpId,
     t: u32,
-) {
+    deadline: u32,
+) -> Result<(), ScheduleError> {
     lo.insert(op, t);
     hi.insert(op, t);
+    let infeasible = |op: OpId, lo: u32, hi: u32| ScheduleError::InfeasibleWindow {
+        op: format!("{op:?}"),
+        lo,
+        hi,
+        deadline,
+    };
     let mut work = vec![op];
     while let Some(o) = work.pop() {
         let (olo, ohi) = (lo[&o], hi[&o]);
@@ -171,9 +207,10 @@ fn propagate(
             }
             let min_start = olo + if classifier.is_free(dfg, succ) { 0 } else { 1 };
             if lo[&succ] < min_start {
+                if min_start > hi[&succ] || min_start >= deadline {
+                    return Err(infeasible(succ, min_start, hi[&succ]));
+                }
                 lo.insert(succ, min_start);
-                let h = hi[&succ].max(min_start);
-                hi.insert(succ, h);
                 work.push(succ);
             }
         }
@@ -183,17 +220,21 @@ fn propagate(
             }
             let max_end = if classifier.is_free(dfg, o) {
                 ohi
+            } else if ohi == 0 {
+                return Err(infeasible(pred, lo[&pred], 0));
             } else {
-                ohi.saturating_sub(1)
+                ohi - 1
             };
             if hi[&pred] > max_end {
+                if max_end < lo[&pred] {
+                    return Err(infeasible(pred, lo[&pred], max_end));
+                }
                 hi.insert(pred, max_end);
-                let l = lo[&pred].min(max_end);
-                lo.insert(pred, l);
                 work.push(pred);
             }
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -107,9 +107,12 @@ pub fn list_schedule(
             .collect();
         ready.sort_by_key(|&op| (std::cmp::Reverse(rank[&op]), op));
         for op in ready {
-            let class = classifier
-                .classify(dfg, op)
-                .expect("free ops handled above");
+            // Free ops were chained into producer steps above; a ready
+            // op without a class would already be scheduled, so skip
+            // rather than assume.
+            let Some(class) = classifier.classify(dfg, op) else {
+                continue;
+            };
             if limits.limit(class) == 0 {
                 return Err(ScheduleError::ZeroResource { class });
             }

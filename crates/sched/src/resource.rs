@@ -116,7 +116,7 @@ impl OpClassifier {
         }
         if self.free_const_shifts
             && matches!(o.kind, OpKind::Shl | OpKind::Shr)
-            && is_const(dfg, o.operands[1])
+            && o.operands.get(1).is_some_and(|&amt| is_const(dfg, amt))
         {
             return None;
         }
@@ -137,7 +137,10 @@ impl OpClassifier {
                 }
                 OpKind::And | OpKind::Or | OpKind::Xor | OpKind::Not => FuClass::Logic,
                 OpKind::Load | OpKind::Store => FuClass::MemPort,
-                OpKind::Const | OpKind::Mux => unreachable!("handled above"),
+                // Const and Mux returned `None` at the top of the
+                // function; mapping them here keeps the match total
+                // without a panicking arm.
+                OpKind::Const | OpKind::Mux => return None,
             },
         })
     }

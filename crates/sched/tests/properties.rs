@@ -1,0 +1,175 @@
+//! Property tests for the scheduler invariants, driven by seeded random
+//! DAGs (`hls_testkit::forall` + `hls_workloads::random_dag`).
+//!
+//! Invariants checked across schedulers:
+//!
+//! * **ASAP lower bound** — no schedule places an op before its
+//!   dependence-only ASAP step.
+//! * **ALAP upper bound** — within a schedule of length `L`, no op sits
+//!   after its dependence-only ALAP step against deadline `L`.
+//! * **Precedence + resource feasibility** — `Schedule::validate` holds
+//!   under the limits each scheduler was given (unlimited for the
+//!   time-constrained ones, whose FU count is an output).
+
+use hls_sched::precedence::{unconstrained_alap, unconstrained_asap};
+use hls_sched::{
+    alap_schedule, asap_schedule, force_directed_schedule, freedom_based_schedule, list_schedule,
+    OpClassifier, Priority, ResourceLimits, Schedule, ScheduleError,
+};
+use hls_testkit::{forall, Config, SplitMix64};
+use hls_workloads::random::{random_dag, RandomDagConfig};
+
+/// A generated instance: the DAG config (replayable) plus FU count.
+#[derive(Debug)]
+struct Instance {
+    dag: RandomDagConfig,
+    fus: usize,
+}
+
+fn gen_instance(rng: &mut SplitMix64) -> Instance {
+    Instance {
+        dag: RandomDagConfig {
+            ops: rng.usize_in(1, 25),
+            inputs: rng.usize_in(1, 6),
+            window: rng.usize_in(1, 10),
+            mul_ratio: (rng.u32_in(0, 60) as f64) / 100.0,
+            seed: rng.next_u64(),
+        },
+        fus: rng.usize_in(1, 4),
+    }
+}
+
+/// Asserts the two step-bound invariants for one schedule.
+fn assert_bounds(
+    s: &Schedule,
+    dfg: &hls_cdfg::DataFlowGraph,
+    classifier: &OpClassifier,
+    label: &str,
+) {
+    let (asap, _) = unconstrained_asap(dfg, classifier).expect("acyclic");
+    let deadline = s.num_steps().max(1);
+    let alap = unconstrained_alap(dfg, classifier, deadline).expect("acyclic");
+    for (op, step) in s.iter() {
+        if let Some(&lo) = asap.get(&op) {
+            assert!(
+                step >= lo,
+                "{label}: op {op:?} at step {step} before its ASAP bound {lo}"
+            );
+        }
+        if classifier.classify(dfg, op).is_some() {
+            if let Some(&hi) = alap.get(&op) {
+                assert!(
+                    step <= hi,
+                    "{label}: op {op:?} at step {step} past its ALAP bound {hi} \
+                     (schedule length {deadline})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn resource_constrained_schedulers_respect_bounds_and_limits() {
+    forall(&Config::cases(64), gen_instance, |inst| {
+        let dfg = random_dag(&inst.dag);
+        let classifier = OpClassifier::universal();
+        let limits = ResourceLimits::universal(inst.fus);
+
+        let asap = asap_schedule(&dfg, &classifier, &limits).expect("asap");
+        asap.validate(&dfg, &classifier, &limits).expect("asap");
+        assert_bounds(&asap, &dfg, &classifier, "asap");
+
+        for p in [Priority::PathLength, Priority::Urgency, Priority::Mobility] {
+            let s = list_schedule(&dfg, &classifier, &limits, p).expect("list");
+            s.validate(&dfg, &classifier, &limits)
+                .unwrap_or_else(|e| panic!("list/{}: {e}", p.name()));
+            assert_bounds(&s, &dfg, &classifier, p.name());
+            // List scheduling never beats the dependence-only critical
+            // path and never loses to fully serial execution.
+            let (_, cp) = unconstrained_asap(&dfg, &classifier).expect("acyclic");
+            assert!(s.num_steps() >= cp);
+            assert!(s.num_steps() <= inst.dag.ops as u32);
+        }
+    });
+}
+
+#[test]
+fn alap_packs_backward_without_breaking_precedence() {
+    forall(&Config::cases(64), gen_instance, |inst| {
+        let dfg = random_dag(&inst.dag);
+        let classifier = OpClassifier::universal();
+        let limits = ResourceLimits::universal(inst.fus);
+        // A deadline the resource-constrained ASAP provably meets.
+        let deadline = asap_schedule(&dfg, &classifier, &limits)
+            .expect("asap")
+            .num_steps()
+            .max(1);
+        match alap_schedule(&dfg, &classifier, &limits, deadline) {
+            Ok(s) => {
+                s.validate(&dfg, &classifier, &limits).expect("alap valid");
+                assert!(s.num_steps() <= deadline, "alap overran its deadline");
+                assert_bounds(&s, &dfg, &classifier, "alap");
+            }
+            // Backward packing may wedge on a feasible-but-tight deadline
+            // (an op spilled to step 0); the typed error is the contract,
+            // a panic or silent precedence violation is the bug.
+            Err(ScheduleError::SearchBudgetExhausted) => {}
+            Err(e) => panic!("alap: unexpected error {e}"),
+        }
+    });
+}
+
+#[test]
+fn time_constrained_schedulers_meet_the_deadline() {
+    forall(&Config::cases(48), gen_instance, |inst| {
+        let dfg = random_dag(&inst.dag);
+        for classifier in [OpClassifier::universal(), OpClassifier::typed()] {
+            let (_, cp) = unconstrained_asap(&dfg, &classifier).expect("acyclic");
+            let slack = (inst.fus as u32) % 3; // deterministic 0..=2
+            let deadline = (cp + slack).max(1);
+            let unlimited = ResourceLimits::unlimited();
+
+            let fd = force_directed_schedule(&dfg, &classifier, deadline).expect("force");
+            fd.validate(&dfg, &classifier, &unlimited).expect("force");
+            assert!(fd.num_steps() <= deadline);
+            assert_bounds(&fd, &dfg, &classifier, "force");
+
+            let fb = freedom_based_schedule(&dfg, &classifier, deadline).expect("freedom");
+            fb.validate(&dfg, &classifier, &unlimited).expect("freedom");
+            assert!(fb.num_steps() <= deadline);
+            assert_bounds(&fb, &dfg, &classifier, "freedom");
+        }
+    });
+}
+
+#[test]
+fn too_short_deadlines_error_instead_of_clamping() {
+    forall(&Config::cases(32), gen_instance, |inst| {
+        let dfg = random_dag(&inst.dag);
+        let classifier = OpClassifier::universal();
+        let (_, cp) = unconstrained_asap(&dfg, &classifier).expect("acyclic");
+        if cp < 2 {
+            return; // no deadline strictly below the critical path exists
+        }
+        let short = cp - 1;
+        for (name, result) in [
+            (
+                "force",
+                force_directed_schedule(&dfg, &classifier, short).map(|_| ()),
+            ),
+            (
+                "freedom",
+                freedom_based_schedule(&dfg, &classifier, short).map(|_| ()),
+            ),
+            (
+                "alap",
+                alap_schedule(&dfg, &classifier, &ResourceLimits::unlimited(), short).map(|_| ()),
+            ),
+        ] {
+            assert!(
+                matches!(result, Err(ScheduleError::DeadlineTooShort { .. })),
+                "{name}: expected DeadlineTooShort below the critical path, got {result:?}"
+            );
+        }
+    });
+}

@@ -48,6 +48,7 @@ pub fn parse_algorithm(name: &str) -> Result<Algorithm, ApiError> {
     };
     match (head, arg) {
         ("asap", None) => Ok(Algorithm::Asap),
+        ("alap", _) => Ok(Algorithm::Alap { slack: slack()? }),
         ("list", None | Some("path")) => Ok(Algorithm::List(Priority::PathLength)),
         ("list", Some("urgency")) => Ok(Algorithm::List(Priority::Urgency)),
         ("list", Some("mobility")) => Ok(Algorithm::List(Priority::Mobility)),
@@ -65,6 +66,7 @@ pub fn parse_algorithm(name: &str) -> Result<Algorithm, ApiError> {
 pub fn algorithm_str(a: Algorithm) -> String {
     match a {
         Algorithm::Asap => "asap".into(),
+        Algorithm::Alap { slack } => format!("alap/{slack}"),
         Algorithm::List(Priority::PathLength) => "list/path".into(),
         Algorithm::List(Priority::Urgency) => "list/urgency".into(),
         Algorithm::List(Priority::Mobility) => "list/mobility".into(),
@@ -111,6 +113,9 @@ pub struct SynthesizeRequest {
     /// Test-only artificial delay (honored only when the server enables
     /// it); lets integration tests saturate the queue deterministically.
     pub test_delay_ms: u64,
+    /// Test-only injected panic (honored only when the server enables
+    /// it); lets integration tests exercise the panic firewall.
+    pub test_panic: bool,
 }
 
 /// Resolves a `config` JSON object into a [`Synthesizer`], using the
@@ -197,12 +202,19 @@ impl SynthesizeRequest {
                 .as_u64()
                 .ok_or_else(|| err("test_delay_ms must be a non-negative integer"))?,
         };
+        let test_panic = match body.get("test_panic") {
+            None => false,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| err("test_panic must be a boolean"))?,
+        };
         Ok(SynthesizeRequest {
             source,
             synthesizer,
             verilog,
             deadline_ms,
             test_delay_ms,
+            test_panic,
         })
     }
 }
@@ -435,6 +447,8 @@ mod tests {
     fn algorithm_names_roundtrip() {
         for name in [
             "asap",
+            "alap/0",
+            "alap/2",
             "list/path",
             "list/urgency",
             "list/mobility",

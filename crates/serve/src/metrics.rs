@@ -53,6 +53,8 @@ pub struct Metrics {
     cache_misses: AtomicU64,
     /// Requests shed with 503 at the accept queue.
     shed: AtomicU64,
+    /// Panics caught by the request firewall (answered with 500).
+    panics: AtomicU64,
     /// Requests cancelled by their deadline (504).
     deadline_cancelled: AtomicU64,
     /// Current queued + in-flight requests, and its high-water mark.
@@ -99,6 +101,16 @@ impl Metrics {
     /// Records a deadline cancellation (504).
     pub fn deadline_cancelled(&self) {
         self.deadline_cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a panic caught by the request firewall.
+    pub fn panic(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of caught panics so far (used by tests).
+    pub fn panics_total(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
     }
 
     /// Tracks the accept-queue depth after a request entered the queue,
@@ -190,6 +202,13 @@ impl Metrics {
         );
         let _ = writeln!(
             out,
+            "# HELP hls_serve_panics_total Panics caught by the request firewall.\n\
+             # TYPE hls_serve_panics_total counter\n\
+             hls_serve_panics_total {}",
+            self.panics_total()
+        );
+        let _ = writeln!(
+            out,
             "# HELP hls_requests_deadline_cancelled_total Requests cancelled by their deadline.\n\
              # TYPE hls_requests_deadline_cancelled_total counter\n\
              hls_requests_deadline_cancelled_total {}",
@@ -256,11 +275,14 @@ mod tests {
         m.cache_miss();
         m.shed();
         m.deadline_cancelled();
+        m.panic();
         let text = m.render();
         assert!(text.contains(r#"hls_response_cache_total{outcome="hit"} 2"#));
         assert!(text.contains(r#"hls_response_cache_total{outcome="miss"} 1"#));
         assert!(text.contains("hls_requests_shed_total 1"));
         assert!(text.contains("hls_requests_deadline_cancelled_total 1"));
+        assert!(text.contains("hls_serve_panics_total 1"));
+        assert_eq!(m.panics_total(), 1);
     }
 
     #[test]

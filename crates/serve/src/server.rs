@@ -260,7 +260,15 @@ impl Server {
             }
             let ctx = Arc::clone(&self.ctx);
             self.pool.execute(move || {
-                handle_connection(stream, &ctx);
+                // Outer firewall: even a panic outside route() (request
+                // parsing, response writing) must not leak the in-flight
+                // slot, or shutdown would wait on it forever.
+                let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    handle_connection(stream, &ctx);
+                }));
+                if caught.is_err() {
+                    ctx.metrics.panic();
+                }
                 ctx.request_done();
             });
         }
@@ -333,11 +341,35 @@ fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
         }
     };
     let endpoint = endpoint_label(&req);
-    let resp = route(&req, endpoint, ctx);
+    // Panic firewall: a bug anywhere in the synthesis pipeline must cost
+    // one 500, not a worker thread. AssertUnwindSafe is sound here
+    // because `ctx` only holds lock-guarded or atomic state that stays
+    // consistent if a request dies mid-flight (a poisoned metrics lock
+    // would itself panic on the *next* request, so route() never leaves
+    // one behind: the registry methods do not panic while holding it).
+    let resp =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(&req, endpoint, ctx)))
+            .unwrap_or_else(|payload| {
+                ctx.metrics.panic();
+                let msg = panic_message(payload.as_ref());
+                eprintln!("panic in /{endpoint} handler: {msg}");
+                error_response(500, &format!("internal error: {msg}"))
+            });
     let status = resp.status;
     let _ = resp.write_to(&mut stream);
     ctx.metrics
         .observe_request(endpoint, status, started.elapsed());
+}
+
+/// A printable panic payload (panics carry `&str` or `String` in practice).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "unknown panic"
+    }
 }
 
 /// A JSON error body.
@@ -405,6 +437,12 @@ fn synthesize(req: &Request, ctx: &Ctx) -> Response {
     // deterministic 504 tests).
     if ctx.config.allow_test_delay && parsed.test_delay_ms > 0 {
         std::thread::sleep(Duration::from_millis(parsed.test_delay_ms));
+    }
+    // Test-only injected panic: stands in for an unexpected bug deep in
+    // the pipeline so tests can prove the firewall answers 500 and the
+    // worker survives.
+    if ctx.config.allow_test_delay && parsed.test_panic {
+        panic!("test-injected panic in synthesize stage");
     }
     let cdfg = match hls_lang::compile(&parsed.source) {
         Ok(c) => c,

@@ -320,6 +320,64 @@ fn request_deadline_yields_504_with_partial_progress() {
 }
 
 #[test]
+fn injected_panic_yields_500_and_server_survives() {
+    // One worker so the panicking request and the follow-up request run
+    // on the *same* thread: if the panic killed the worker, the second
+    // request would hang or be reset rather than answer 200.
+    let server = TestServer::start(ServerConfig {
+        threads: 1,
+        cache_capacity: 0,
+        allow_test_delay: true,
+        ..ServerConfig::default()
+    });
+    let body = format!(
+        r#"{{"source":{:?},"config":{{"fus":2}},"test_panic":true}}"#,
+        hls_workloads::sources::SQRT
+    );
+    let reply = post(server.addr, "/synthesize", &body);
+    assert_eq!(reply.status, 500, "body: {}", reply.body);
+    assert!(reply.body.contains("internal error"), "{}", reply.body);
+    assert!(reply.body.contains("test-injected"), "{}", reply.body);
+
+    // The worker is alive and the in-flight slot was released.
+    let after = post(
+        server.addr,
+        "/synthesize",
+        &synthesize_body(hls_workloads::sources::GCD, 2),
+    );
+    assert_eq!(
+        after.status, 200,
+        "server must keep serving after a panic: {}",
+        after.body
+    );
+
+    let metrics = get(server.addr, "/metrics");
+    let panics: u64 = metrics
+        .body
+        .lines()
+        .find_map(|l| l.strip_prefix("hls_serve_panics_total "))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("panic counter present");
+    assert_eq!(panics, 1, "metrics: {}", metrics.body);
+    assert_eq!(server.handle.metrics().panics_total(), 1);
+
+    // Without allow_test_delay the field is parsed but ignored.
+    server.stop();
+    let hardened = TestServer::start(ServerConfig {
+        threads: 1,
+        cache_capacity: 0,
+        ..ServerConfig::default()
+    });
+    let reply = post(hardened.addr, "/synthesize", &body);
+    assert_eq!(
+        reply.status, 200,
+        "test_panic must be inert in production config: {}",
+        reply.body
+    );
+    hardened.stop();
+}
+
+#[test]
 fn error_paths_have_correct_statuses() {
     let server = TestServer::start(ServerConfig::default());
     assert_eq!(get(server.addr, "/healthz").status, 200);

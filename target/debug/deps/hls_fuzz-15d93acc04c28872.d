@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hls_fuzz-15d93acc04c28872.d: crates/fuzz/src/main.rs
+
+/root/repo/target/debug/deps/hls_fuzz-15d93acc04c28872: crates/fuzz/src/main.rs
+
+crates/fuzz/src/main.rs:

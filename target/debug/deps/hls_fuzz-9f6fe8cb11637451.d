@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hls_fuzz-9f6fe8cb11637451.d: crates/fuzz/src/lib.rs crates/fuzz/src/corpus.rs crates/fuzz/src/gen.rs crates/fuzz/src/minimize.rs
+
+/root/repo/target/debug/deps/hls_fuzz-9f6fe8cb11637451: crates/fuzz/src/lib.rs crates/fuzz/src/corpus.rs crates/fuzz/src/gen.rs crates/fuzz/src/minimize.rs
+
+crates/fuzz/src/lib.rs:
+crates/fuzz/src/corpus.rs:
+crates/fuzz/src/gen.rs:
+crates/fuzz/src/minimize.rs:

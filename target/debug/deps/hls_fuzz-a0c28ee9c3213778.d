@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hls_fuzz-a0c28ee9c3213778.d: crates/fuzz/src/main.rs
+
+/root/repo/target/debug/deps/hls_fuzz-a0c28ee9c3213778: crates/fuzz/src/main.rs
+
+crates/fuzz/src/main.rs:

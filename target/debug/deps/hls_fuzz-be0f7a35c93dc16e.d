@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hls_fuzz-be0f7a35c93dc16e.d: crates/fuzz/src/lib.rs crates/fuzz/src/corpus.rs crates/fuzz/src/gen.rs crates/fuzz/src/minimize.rs
+
+/root/repo/target/debug/deps/libhls_fuzz-be0f7a35c93dc16e.rlib: crates/fuzz/src/lib.rs crates/fuzz/src/corpus.rs crates/fuzz/src/gen.rs crates/fuzz/src/minimize.rs
+
+/root/repo/target/debug/deps/libhls_fuzz-be0f7a35c93dc16e.rmeta: crates/fuzz/src/lib.rs crates/fuzz/src/corpus.rs crates/fuzz/src/gen.rs crates/fuzz/src/minimize.rs
+
+crates/fuzz/src/lib.rs:
+crates/fuzz/src/corpus.rs:
+crates/fuzz/src/gen.rs:
+crates/fuzz/src/minimize.rs:

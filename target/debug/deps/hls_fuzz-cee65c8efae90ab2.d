@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hls_fuzz-cee65c8efae90ab2.d: crates/fuzz/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhls_fuzz-cee65c8efae90ab2.rmeta: crates/fuzz/src/main.rs Cargo.toml
+
+crates/fuzz/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

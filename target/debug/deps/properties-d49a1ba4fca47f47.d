@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d49a1ba4fca47f47.d: crates/sched/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d49a1ba4fca47f47: crates/sched/tests/properties.rs
+
+crates/sched/tests/properties.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/regressions-2f6dbb2d455306c3.d: crates/fuzz/tests/regressions.rs
+
+/root/repo/target/debug/deps/regressions-2f6dbb2d455306c3: crates/fuzz/tests/regressions.rs
+
+crates/fuzz/tests/regressions.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/fuzz

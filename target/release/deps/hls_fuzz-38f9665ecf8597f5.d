@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hls_fuzz-38f9665ecf8597f5.d: crates/fuzz/src/main.rs
+
+/root/repo/target/release/deps/hls_fuzz-38f9665ecf8597f5: crates/fuzz/src/main.rs
+
+crates/fuzz/src/main.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hls_fuzz-9e78c4351f263166.d: crates/fuzz/src/lib.rs crates/fuzz/src/corpus.rs crates/fuzz/src/gen.rs crates/fuzz/src/minimize.rs
+
+/root/repo/target/release/deps/libhls_fuzz-9e78c4351f263166.rlib: crates/fuzz/src/lib.rs crates/fuzz/src/corpus.rs crates/fuzz/src/gen.rs crates/fuzz/src/minimize.rs
+
+/root/repo/target/release/deps/libhls_fuzz-9e78c4351f263166.rmeta: crates/fuzz/src/lib.rs crates/fuzz/src/corpus.rs crates/fuzz/src/gen.rs crates/fuzz/src/minimize.rs
+
+crates/fuzz/src/lib.rs:
+crates/fuzz/src/corpus.rs:
+crates/fuzz/src/gen.rs:
+crates/fuzz/src/minimize.rs:

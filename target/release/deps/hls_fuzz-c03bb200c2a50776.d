@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hls_fuzz-c03bb200c2a50776.d: crates/fuzz/src/main.rs
+
+/root/repo/target/release/deps/hls_fuzz-c03bb200c2a50776: crates/fuzz/src/main.rs
+
+crates/fuzz/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-bd1a689eedba1df1.d: crates/sched/tests/properties.rs
+
+/root/repo/target/release/deps/properties-bd1a689eedba1df1: crates/sched/tests/properties.rs
+
+crates/sched/tests/properties.rs:

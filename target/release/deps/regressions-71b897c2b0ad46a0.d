@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/regressions-71b897c2b0ad46a0.d: crates/fuzz/tests/regressions.rs
+
+/root/repo/target/release/deps/regressions-71b897c2b0ad46a0: crates/fuzz/tests/regressions.rs
+
+crates/fuzz/tests/regressions.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/fuzz
