@@ -35,6 +35,13 @@ for f in crates/sched/src/*.rs crates/alloc/src/*.rs; do
 done
 [ "$panic_check_failed" -eq 0 ] || exit 1
 
+echo "==> benchmark regression gate (BENCH_5.json)"
+# Short sample count for CI; the gate rescales by the calibration
+# workload, so the committed baseline transfers across machines, and an
+# absolute noise floor keeps microsecond-scale benchmarks from flaking.
+HLS_BENCH_SAMPLES=3 HLS_BENCH_WARMUP=1 \
+    cargo run --release --offline -q -p hls-bench --bin perf_gate -- --check BENCH_5.json
+
 echo "==> fuzz corpus replay"
 cargo run --release --offline -q -p hls-fuzz -- --replay tests/corpus
 

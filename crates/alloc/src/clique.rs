@@ -7,14 +7,20 @@
 //! conflict ... Unfortunately, finding the maximal cliques in a graph is
 //! an NP-hard problem, so in practice greedy heuristics are employed"
 //! (§3.2.2).
+//!
+//! Adjacency is stored as [`BitSet`] rows, so the inner loops — candidate
+//! intersection in Bron–Kerbosch, pairwise compatibility and
+//! common-neighbor counting in the Tseng heuristic — run word-parallel
+//! (64 nodes per machine word) instead of element-by-element over ordered
+//! sets.
 
-use std::collections::BTreeSet;
+use hls_cdfg::BitSet;
 
 /// An undirected compatibility graph over `n` elements.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CompatGraph {
     n: usize,
-    adj: Vec<BTreeSet<usize>>,
+    adj: Vec<BitSet>,
 }
 
 impl CompatGraph {
@@ -22,7 +28,7 @@ impl CompatGraph {
     pub fn new(n: usize) -> Self {
         CompatGraph {
             n,
-            adj: vec![BTreeSet::new(); n],
+            adj: vec![BitSet::new(n); n],
         }
     }
 
@@ -49,12 +55,17 @@ impl CompatGraph {
 
     /// `true` when `a` and `b` are compatible.
     pub fn has_edge(&self, a: usize, b: usize) -> bool {
-        self.adj[a].contains(&b)
+        self.adj[a].contains(b)
     }
 
     /// Number of edges.
     pub fn edge_count(&self) -> usize {
-        self.adj.iter().map(BTreeSet::len).sum::<usize>() / 2
+        self.adj.iter().map(BitSet::count).sum::<usize>() / 2
+    }
+
+    /// The neighbor row of `a` as a bitset.
+    pub fn neighbors(&self, a: usize) -> &BitSet {
+        &self.adj[a]
     }
 
     /// `true` when `nodes` forms a clique.
@@ -75,27 +86,25 @@ impl CompatGraph {
 pub fn max_clique(g: &CompatGraph) -> Vec<usize> {
     let mut best: Vec<usize> = Vec::new();
     let mut r: Vec<usize> = Vec::new();
-    let p: BTreeSet<usize> = (0..g.len()).collect();
-    let x: BTreeSet<usize> = BTreeSet::new();
-    bk(g, &mut r, p, x, &mut best);
+    bk(
+        g,
+        &mut r,
+        BitSet::full(g.len()),
+        BitSet::new(g.len()),
+        &mut best,
+    );
     best.sort_unstable();
     best
 }
 
-fn bk(
-    g: &CompatGraph,
-    r: &mut Vec<usize>,
-    mut p: BTreeSet<usize>,
-    mut x: BTreeSet<usize>,
-    best: &mut Vec<usize>,
-) {
+fn bk(g: &CompatGraph, r: &mut Vec<usize>, mut p: BitSet, mut x: BitSet, best: &mut Vec<usize>) {
     if p.is_empty() && x.is_empty() {
         if r.len() > best.len() {
             *best = r.clone();
         }
         return;
     }
-    if r.len() + p.len() <= best.len() {
+    if r.len() + p.count() <= best.len() {
         return; // cannot improve
     }
     // Pivot on the vertex with most neighbors in P.
@@ -104,23 +113,20 @@ fn bk(
     let Some(pivot) = p
         .iter()
         .chain(x.iter())
-        .copied()
-        .max_by_key(|&u| g.adj[u].intersection(&p).count())
+        .max_by_key(|&u| g.adj[u].intersection_count(&p))
     else {
         return;
     };
-    let candidates: Vec<usize> = p
-        .iter()
-        .copied()
-        .filter(|v| !g.adj[pivot].contains(v))
-        .collect();
+    let candidates: Vec<usize> = p.iter().filter(|&v| !g.adj[pivot].contains(v)).collect();
     for v in candidates {
         r.push(v);
-        let np: BTreeSet<usize> = p.intersection(&g.adj[v]).copied().collect();
-        let nx: BTreeSet<usize> = x.intersection(&g.adj[v]).copied().collect();
+        let mut np = p.clone();
+        np.intersect_with(&g.adj[v]);
+        let mut nx = x.clone();
+        nx.intersect_with(&g.adj[v]);
         bk(g, r, np, nx, best);
         r.pop();
-        p.remove(&v);
+        p.remove(v);
         x.insert(v);
     }
 }
@@ -128,56 +134,75 @@ fn bk(
 /// Clique cover by repeatedly extracting an exact maximum clique.
 ///
 /// Still a heuristic for the (NP-hard) minimum cover, but a strong one on
-/// allocation-sized graphs.
+/// allocation-sized graphs. Each round runs Bron–Kerbosch with `P`
+/// restricted to the uncovered nodes — equivalent to rebuilding the
+/// induced subgraph (candidate sets only ever shrink within `P`) without
+/// the rebuild.
 pub fn partition_max_clique(g: &CompatGraph) -> Vec<Vec<usize>> {
-    let mut remaining: BTreeSet<usize> = (0..g.len()).collect();
+    let mut remaining = BitSet::full(g.len());
     let mut out = Vec::new();
     while !remaining.is_empty() {
-        // Build the induced subgraph.
-        let nodes: Vec<usize> = remaining.iter().copied().collect();
-        let index: std::collections::HashMap<usize, usize> =
-            nodes.iter().enumerate().map(|(i, &v)| (v, i)).collect();
-        let mut sub = CompatGraph::new(nodes.len());
-        for (i, &a) in nodes.iter().enumerate() {
-            for &b in g.adj[a].iter().filter(|b| remaining.contains(b)) {
-                let j = index[&b];
-                if i < j {
-                    sub.add_edge(i, j);
-                }
-            }
+        let mut best: Vec<usize> = Vec::new();
+        let mut r: Vec<usize> = Vec::new();
+        bk(
+            g,
+            &mut r,
+            remaining.clone(),
+            BitSet::new(g.len()),
+            &mut best,
+        );
+        best.sort_unstable();
+        for &v in &best {
+            remaining.remove(v);
         }
-        let clique: Vec<usize> = max_clique(&sub).into_iter().map(|i| nodes[i]).collect();
-        for &v in &clique {
-            remaining.remove(&v);
-        }
-        out.push(clique);
+        out.push(best);
     }
     out
 }
 
 /// Tseng/Siewiorek-style greedy partitioning: repeatedly merge the
 /// compatible pair with the most common compatible neighbors.
+///
+/// Groups live in fixed slots (one per original node; merged-away slots
+/// are tombstoned in `alive`), each tracking its member set, the nodes
+/// compatible with *all* members (the intersection of their adjacency
+/// rows), and the set of other live groups it is compatible with. A merge
+/// touches one row plus the columns naming the dead slot, so each round
+/// is O(groups²) word-parallel set operations rather than O(groups² ·
+/// members²) edge probes. Slot order equals the historical vector order,
+/// preserving the deterministic lowest-(i, j) tie-break.
 pub fn partition_tseng(g: &CompatGraph) -> Vec<Vec<usize>> {
-    // Super-nodes: groups that remain mutually compatible.
-    let mut groups: Vec<Vec<usize>> = (0..g.len()).map(|v| vec![v]).collect();
-    let compatible = |a: &[usize], b: &[usize]| -> bool {
-        a.iter().all(|&x| b.iter().all(|&y| g.has_edge(x, y)))
-    };
+    let n = g.len();
+    let mut alive = BitSet::full(n);
+    // Per slot: member nodes, and nodes compatible with every member.
+    let mut mask: Vec<BitSet> = (0..n)
+        .map(|v| {
+            let mut m = BitSet::new(n);
+            m.insert(v);
+            m
+        })
+        .collect();
+    let mut compat: Vec<BitSet> = (0..n).map(|v| g.adj[v].clone()).collect();
+    // Per slot: the other live slots it is mutually compatible with.
+    let mut compat_groups: Vec<BitSet> = (0..n)
+        .map(|v| {
+            let mut c = g.adj[v].clone();
+            c.remove(v);
+            c
+        })
+        .collect();
+
     loop {
+        // The compatible pair with the most common compatible neighbors;
+        // ties to the lowest (i, j). A slot's compat row never contains
+        // itself, so the intersection below excludes i and j for free.
         let mut best: Option<(usize, usize, usize)> = None; // (common, i, j)
-        for i in 0..groups.len() {
-            for j in i + 1..groups.len() {
-                if !compatible(&groups[i], &groups[j]) {
+        for i in alive.iter() {
+            for j in compat_groups[i].iter() {
+                if j <= i {
                     continue;
                 }
-                // Common compatible neighbors among other groups.
-                let common = groups
-                    .iter()
-                    .enumerate()
-                    .filter(|&(k, gk)| {
-                        k != i && k != j && compatible(&groups[i], gk) && compatible(&groups[j], gk)
-                    })
-                    .count();
+                let common = compat_groups[i].intersection_count(&compat_groups[j]);
                 let better = match best {
                     None => true,
                     Some((bc, bi, bj)) => common > bc || (common == bc && (i, j) < (bi, bj)),
@@ -188,11 +213,28 @@ pub fn partition_tseng(g: &CompatGraph) -> Vec<Vec<usize>> {
             }
         }
         let Some((_, i, j)) = best else { break };
-        let merged = groups.remove(j);
-        groups[i].extend(merged);
-        groups[i].sort_unstable();
+        // Merge slot j into slot i.
+        alive.remove(j);
+        let (mj, cj) = (mask[j].clone(), compat[j].clone());
+        mask[i].union_with(&mj);
+        compat[i].intersect_with(&cj);
+        for k in alive.iter() {
+            compat_groups[k].remove(j);
+            if k == i {
+                continue;
+            }
+            // Compatibility with the merged group: every member of k must
+            // be compatible with every member of i (symmetric check).
+            if mask[k].is_subset_of(&compat[i]) {
+                compat_groups[i].insert(k);
+                compat_groups[k].insert(i);
+            } else {
+                compat_groups[i].remove(k);
+                compat_groups[k].remove(i);
+            }
+        }
     }
-    groups
+    alive.iter().map(|i| mask[i].iter().collect()).collect()
 }
 
 #[cfg(test)]

@@ -130,19 +130,27 @@ pub fn render_gantt(dfg: &DataFlowGraph, intervals: &[Interval]) -> String {
 
 /// The maximum number of simultaneously live values — the lower bound on
 /// register count that left-edge allocation provably achieves.
+///
+/// Sorted-endpoint sweep: O(n log n) in the number of intervals,
+/// independent of the schedule length.
 pub fn max_live(intervals: &[Interval]) -> usize {
-    let Some(max_step) = intervals.iter().map(|i| i.end).max() else {
-        return 0;
-    };
-    (0..=max_step)
-        .map(|s| {
-            intervals
-                .iter()
-                .filter(|i| i.start <= s && s <= i.end)
-                .count()
-        })
-        .max()
-        .unwrap_or(0)
+    // +1 at each interval start, -1 one past each (inclusive) end. At the
+    // same step the -1 sorts first: an interval ending at `s` is disjoint
+    // from one starting at `s + 1`, so the release applies before the
+    // acquire.
+    let mut events: Vec<(u32, i32)> = Vec::with_capacity(2 * intervals.len());
+    for iv in intervals {
+        events.push((iv.start, 1));
+        events.push((iv.end + 1, -1));
+    }
+    events.sort_unstable_by_key(|&(step, delta)| (step, delta));
+    let mut live = 0i32;
+    let mut peak = 0i32;
+    for (_, delta) in events {
+        live += delta;
+        peak = peak.max(live);
+    }
+    peak as usize
 }
 
 #[cfg(test)]

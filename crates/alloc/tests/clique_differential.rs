@@ -1,0 +1,206 @@
+//! Differential tests for the bitset clique engines: the word-parallel
+//! Bron–Kerbosch and Tseng partitioner in `hls_alloc::clique` are checked
+//! against straightforward `BTreeSet`-based reference implementations of
+//! the same algorithms on seeded random graphs. The references spell out
+//! the intended set semantics one element at a time, so any bit-twiddling
+//! slip in the production code (a missed tail word, an off-by-one in the
+//! universe size, a stale tombstone) diverges here.
+
+use std::collections::BTreeSet;
+
+use hls_alloc::{max_clique, partition_max_clique, partition_tseng, CompatGraph};
+use hls_testkit::{forall, Config, SplitMix64};
+
+/// A random graph instance, replayable from its config.
+#[derive(Debug)]
+struct Instance {
+    n: usize,
+    /// Candidate edges, reduced mod `n` when applied.
+    edges: Vec<(usize, usize)>,
+}
+
+fn gen_instance(rng: &mut SplitMix64) -> Instance {
+    let n = rng.usize_in(1, 28);
+    let max_edges = n * (n - 1) / 2;
+    Instance {
+        n,
+        edges: rng.vec(0, max_edges, |r| (r.usize_in(0, 27), r.usize_in(0, 27))),
+    }
+}
+
+/// Builds the production graph and the reference adjacency side by side.
+fn build(inst: &Instance) -> (CompatGraph, Vec<BTreeSet<usize>>) {
+    let n = inst.n;
+    let mut g = CompatGraph::new(n);
+    let mut adj = vec![BTreeSet::new(); n];
+    for &(a, b) in &inst.edges {
+        let (a, b) = (a % n, b % n);
+        if a != b && !g.has_edge(a, b) {
+            g.add_edge(a, b);
+            adj[a].insert(b);
+            adj[b].insert(a);
+        }
+    }
+    (g, adj)
+}
+
+/// Reference Bron–Kerbosch with pivoting over `BTreeSet`s, restricted to
+/// the candidate set `p` — the element-at-a-time mirror of the bitset
+/// recursion (same pivot rule, same ascending candidate order).
+fn ref_bk(
+    adj: &[BTreeSet<usize>],
+    r: &mut Vec<usize>,
+    p: BTreeSet<usize>,
+    x: BTreeSet<usize>,
+    best: &mut Vec<usize>,
+) {
+    if p.is_empty() && x.is_empty() {
+        if r.len() > best.len() {
+            *best = r.clone();
+        }
+        return;
+    }
+    if r.len() + p.len() <= best.len() {
+        return;
+    }
+    let Some(pivot) = p
+        .iter()
+        .chain(x.iter())
+        .copied()
+        .max_by_key(|&u| adj[u].intersection(&p).count())
+    else {
+        return;
+    };
+    let candidates: Vec<usize> = p
+        .iter()
+        .copied()
+        .filter(|v| !adj[pivot].contains(v))
+        .collect();
+    let mut p = p;
+    let mut x = x;
+    for v in candidates {
+        r.push(v);
+        let np: BTreeSet<usize> = p.intersection(&adj[v]).copied().collect();
+        let nx: BTreeSet<usize> = x.intersection(&adj[v]).copied().collect();
+        ref_bk(adj, r, np, nx, best);
+        r.pop();
+        p.remove(&v);
+        x.insert(v);
+    }
+}
+
+fn ref_max_clique(adj: &[BTreeSet<usize>], p: BTreeSet<usize>) -> Vec<usize> {
+    let mut best = Vec::new();
+    ref_bk(adj, &mut Vec::new(), p, BTreeSet::new(), &mut best);
+    best.sort_unstable();
+    best
+}
+
+/// Reference max-clique cover: extract a maximum clique of the remaining
+/// nodes until none are left.
+fn ref_partition_max_clique(adj: &[BTreeSet<usize>]) -> Vec<Vec<usize>> {
+    let mut remaining: BTreeSet<usize> = (0..adj.len()).collect();
+    let mut out = Vec::new();
+    while !remaining.is_empty() {
+        let best = ref_max_clique(adj, remaining.clone());
+        for v in &best {
+            remaining.remove(v);
+        }
+        out.push(best);
+    }
+    out
+}
+
+/// Reference Tseng partitioner over plain vectors and sets: groups merge
+/// greedily by most common compatible neighbor groups, ties to the
+/// lowest (i, j) in current vector order.
+fn ref_partition_tseng(adj: &[BTreeSet<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    let mut groups: Vec<Vec<usize>> = (0..n).map(|v| vec![v]).collect();
+    let compatible =
+        |a: &[usize], b: &[usize]| a.iter().all(|&x| b.iter().all(|&y| adj[x].contains(&y)));
+    loop {
+        let mut best: Option<(usize, usize, usize)> = None; // (common, i, j)
+        for i in 0..groups.len() {
+            for j in i + 1..groups.len() {
+                if !compatible(&groups[i], &groups[j]) {
+                    continue;
+                }
+                let common = (0..groups.len())
+                    .filter(|&k| {
+                        k != i
+                            && k != j
+                            && compatible(&groups[k], &groups[i])
+                            && compatible(&groups[k], &groups[j])
+                    })
+                    .count();
+                let better = match best {
+                    None => true,
+                    Some((bc, bi, bj)) => common > bc || (common == bc && (i, j) < (bi, bj)),
+                };
+                if better {
+                    best = Some((common, i, j));
+                }
+            }
+        }
+        let Some((_, i, j)) = best else { break };
+        let merged = groups.remove(j);
+        groups[i].extend(merged);
+        groups[i].sort_unstable();
+    }
+    groups
+}
+
+/// Sorted group sizes — the partition shape the two implementations must
+/// agree on.
+fn sizes(part: &[Vec<usize>]) -> Vec<usize> {
+    let mut s: Vec<usize> = part.iter().map(Vec::len).collect();
+    s.sort_unstable();
+    s
+}
+
+fn assert_valid_cover(g: &CompatGraph, part: &[Vec<usize>], label: &str) {
+    let mut seen = BTreeSet::new();
+    for group in part {
+        assert!(g.is_clique(group), "{label}: invalid clique {group:?}");
+        for &v in group {
+            assert!(seen.insert(v), "{label}: node {v} covered twice");
+        }
+    }
+    assert_eq!(seen.len(), g.len(), "{label}: cover misses nodes");
+}
+
+#[test]
+fn bitset_max_clique_matches_set_reference() {
+    forall(&Config::cases(128), gen_instance, |inst| {
+        let (g, adj) = build(inst);
+        let got = max_clique(&g);
+        let reference = ref_max_clique(&adj, (0..inst.n).collect());
+        assert!(g.is_clique(&got));
+        assert_eq!(
+            got.len(),
+            reference.len(),
+            "clique size diverged: bitset {got:?} vs reference {reference:?}"
+        );
+        // Same pivot and candidate order ⇒ the very same clique.
+        assert_eq!(got, reference);
+    });
+}
+
+#[test]
+fn bitset_partitions_match_set_reference() {
+    forall(&Config::cases(128), gen_instance, |inst| {
+        let (g, adj) = build(inst);
+
+        let got = partition_max_clique(&g);
+        let reference = ref_partition_max_clique(&adj);
+        assert_valid_cover(&g, &got, "partition_max_clique");
+        assert_eq!(sizes(&got), sizes(&reference), "max-clique cover shape");
+        assert_eq!(got, reference, "max-clique cover contents");
+
+        let got = partition_tseng(&g);
+        let reference = ref_partition_tseng(&adj);
+        assert_valid_cover(&g, &got, "partition_tseng");
+        assert_eq!(sizes(&got), sizes(&reference), "tseng partition shape");
+    });
+}

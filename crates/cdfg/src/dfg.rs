@@ -168,6 +168,13 @@ impl DataFlowGraph {
         self.op_ids().count()
     }
 
+    /// Number of op slots ever allocated, dead ones included — the size a
+    /// dense per-op table needs so that every [`OpId`] of this graph is a
+    /// valid index (see [`crate::dense`]).
+    pub fn op_capacity(&self) -> usize {
+        self.ops.len()
+    }
+
     /// Number of data arcs between live operations.
     pub fn edge_count(&self) -> usize {
         self.op_ids()

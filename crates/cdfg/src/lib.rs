@@ -34,6 +34,7 @@
 
 pub mod analysis;
 mod cdfg;
+pub mod dense;
 mod dfg;
 pub mod dot;
 mod error;
@@ -42,6 +43,7 @@ pub mod ids;
 mod op;
 
 pub use cdfg::{Block, BlockId, Cdfg, IfRegion, LoopKind, LoopRegion, Region};
+pub use dense::{BitSet, DenseOpMap, DepGraph, OpSet};
 pub use dfg::DataFlowGraph;
 pub use error::CdfgError;
 pub use fixed::{Fx, FRAC_BITS};

@@ -25,7 +25,9 @@ use hls_cdfg::Cdfg;
 use hls_sched::Algorithm;
 
 use crate::par::{default_threads, ThreadPool};
-use crate::pipeline::{cdfg_fingerprint, ControlStyle, SynthesisResult, Synthesizer};
+use crate::pipeline::{
+    cdfg_fingerprint, ControlStyle, PreparedBehavior, SynthesisResult, Synthesizer,
+};
 use crate::SynthesisError;
 
 /// One explored design point.
@@ -260,9 +262,18 @@ fn configure(base: &Synthesizer, cfg: &PointConfig) -> Synthesizer {
         .control(cfg.control)
 }
 
-/// Synthesizes one point and summarizes it.
-fn run_point(syn: &Synthesizer, cdfg: &Cdfg) -> Result<PointSummary, SynthesisError> {
-    syn.synthesize(cdfg.clone()).map(|r| PointSummary::of(&r))
+/// Synthesizes one point from a prepared behavior and summarizes it.
+///
+/// The grid only perturbs FU count, algorithm, and control style — none
+/// of which affect the transformation passes or the dependence/bound
+/// analysis — so every point of a sweep shares one [`PreparedBehavior`]
+/// instead of re-optimizing and re-analyzing the behavior per point.
+fn run_point(
+    syn: &Synthesizer,
+    prepared: &PreparedBehavior,
+) -> Result<PointSummary, SynthesisError> {
+    syn.synthesize_prepared(prepared)
+        .map(|r| PointSummary::of(&r))
 }
 
 /// Sweeps universal-FU counts `1..=max_fus` over `source`, returning all
@@ -306,9 +317,10 @@ pub fn sweep_grid_cdfg(
     cdfg: &Cdfg,
     spec: &GridSpec,
 ) -> Result<Vec<DesignPoint>, SynthesisError> {
+    let prepared = base.prepare(cdfg.clone())?;
     spec.points()
         .iter()
-        .map(|cfg| run_point(&configure(base, cfg), cdfg).map(|s| DesignPoint::new(cfg, s)))
+        .map(|cfg| run_point(&configure(base, cfg), &prepared).map(|s| DesignPoint::new(cfg, s)))
         .collect()
 }
 
@@ -439,7 +451,9 @@ impl Explorer {
     ) -> Result<Vec<DesignPoint>, SynthesisError> {
         let behavior_fp = cdfg_fingerprint(cdfg);
         let base = Arc::new(base.clone());
-        let cdfg = Arc::new(cdfg.clone());
+        // Passes and bound analyses run once per sweep; every grid point
+        // (and worker) shares the prepared behavior.
+        let prepared = Arc::new(base.prepare(cdfg.clone())?);
         let cache = Arc::clone(&self.cache);
         let cancel = cancel.clone();
         let results = self.pool.map(spec.points(), move |_, cfg| {
@@ -451,7 +465,7 @@ impl Explorer {
             let syn = configure(&base, &cfg);
             let key = memo_key(behavior_fp, syn.fingerprint());
             cache
-                .get_or_compute(key, || run_point(&syn, &cdfg))
+                .get_or_compute(key, || run_point(&syn, &prepared))
                 .map(|s| DesignPoint::new(&cfg, s))
         });
         // First error in grid order, independent of completion order.

@@ -29,7 +29,8 @@ pub use explore::{
     GridSpec,
 };
 pub use pipeline::{
-    cdfg_fingerprint, CancelToken, ControlReport, ControlStyle, SynthesisResult, Synthesizer,
+    cdfg_fingerprint, CancelToken, ControlReport, ControlStyle, PreparedBehavior, StageNanos,
+    SynthesisResult, Synthesizer,
 };
 
 use std::error::Error;

@@ -13,7 +13,10 @@ use hls_cdfg::{Cdfg, Fx};
 use hls_ctrl::{build_fsm, hardwired_logic, microcode, EncodingStyle, Fsm, HardwiredReport};
 use hls_opt::PassStats;
 use hls_rtl::{estimate, AreaReport, Library, Netlist};
-use hls_sched::{schedule_cdfg, Algorithm, CdfgSchedule, OpClassifier, Priority, ResourceLimits};
+use hls_sched::{
+    schedule_cdfg_cached, Algorithm, CdfgBoundsCache, CdfgSchedule, OpClassifier, Priority,
+    ResourceLimits,
+};
 
 use crate::SynthesisError;
 
@@ -307,9 +310,29 @@ impl Synthesizer {
     /// [`SynthesisError::Cancelled`]: crate::SynthesisError::Cancelled
     pub fn synthesize_cancellable(
         &self,
-        mut cdfg: Cdfg,
+        cdfg: Cdfg,
         cancel: &CancelToken,
     ) -> Result<SynthesisResult, SynthesisError> {
+        let prepared = self.prepare(cdfg)?;
+        cancel.check("optimize")?;
+        self.synthesize_prepared_cancellable(&prepared, cancel)
+    }
+
+    /// Runs the front-of-pipeline transformations (if-conversion,
+    /// unrolling, optimization) and the per-block dependence/bound
+    /// analysis once, producing a [`PreparedBehavior`] that
+    /// [`Synthesizer::synthesize_prepared`] can consume repeatedly.
+    ///
+    /// A design-space sweep prepares a behavior once and then synthesizes
+    /// it at many (FU, algorithm, control) grid points: the passes and
+    /// the topological/ASAP/ALAP analyses depend only on the behavior and
+    /// the classifier, not on the per-point overrides, so they drop out
+    /// of the per-point cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns a scheduling error if any block's dataflow graph is cyclic.
+    pub fn prepare(&self, mut cdfg: Cdfg) -> Result<PreparedBehavior, SynthesisError> {
         let mut pass_stats = Vec::new();
         if self.if_convert {
             hls_opt::run_pass(&mut cdfg, hls_opt::PassKind::IfConvert);
@@ -320,19 +343,67 @@ impl Synthesizer {
         if self.optimize {
             pass_stats = hls_opt::optimize(&mut cdfg);
         }
-        cancel.check("optimize")?;
-        let schedule = schedule_cdfg(&cdfg, &self.classifier, &self.limits, self.algorithm)?;
-        let latency = schedule.total_latency(&cdfg);
-        cancel.check("schedule")?;
-        let datapath = build_datapath(
-            &cdfg,
-            &schedule,
-            &self.classifier,
-            &self.library,
-            self.fu_strategy,
+        let bounds = CdfgBoundsCache::build(&cdfg, &self.classifier)?;
+        Ok(PreparedBehavior {
+            cdfg,
+            pass_stats,
+            classifier: self.classifier,
+            bounds,
+        })
+    }
+
+    /// Synthesizes a [`PreparedBehavior`] (back half of the pipeline:
+    /// schedule → allocate → control → netlist).
+    ///
+    /// `prepared` must come from a synthesizer with the same pass and
+    /// classifier configuration — its recorded classifier is used
+    /// throughout, so the two cannot disagree silently.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling, allocation, and control errors.
+    pub fn synthesize_prepared(
+        &self,
+        prepared: &PreparedBehavior,
+    ) -> Result<SynthesisResult, SynthesisError> {
+        self.synthesize_prepared_cancellable(prepared, &CancelToken::new())
+    }
+
+    /// [`Synthesizer::synthesize_prepared`] under a cancellation token,
+    /// checked between stages.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling, allocation, and control errors, and
+    /// [`SynthesisError::Cancelled`] when `cancel` fires between stages.
+    ///
+    /// [`SynthesisError::Cancelled`]: crate::SynthesisError::Cancelled
+    pub fn synthesize_prepared_cancellable(
+        &self,
+        prepared: &PreparedBehavior,
+        cancel: &CancelToken,
+    ) -> Result<SynthesisResult, SynthesisError> {
+        let cdfg = &prepared.cdfg;
+        let classifier = &prepared.classifier;
+        let mut stage_nanos = StageNanos::default();
+        let t0 = Instant::now();
+        let schedule = schedule_cdfg_cached(
+            cdfg,
+            classifier,
+            &self.limits,
+            self.algorithm,
+            &prepared.bounds,
         )?;
+        let latency = schedule.total_latency(cdfg);
+        stage_nanos.schedule = elapsed_nanos(t0);
+        cancel.check("schedule")?;
+        let t0 = Instant::now();
+        let datapath =
+            build_datapath(cdfg, &schedule, classifier, &self.library, self.fu_strategy)?;
+        stage_nanos.allocate = elapsed_nanos(t0);
         cancel.check("allocate")?;
-        let fsm = build_fsm(&cdfg, &schedule, &datapath, &self.classifier)?;
+        let t0 = Instant::now();
+        let fsm = build_fsm(cdfg, &schedule, &datapath, classifier)?;
         let control_report = match self.control {
             ControlStyle::Hardwired(style) => {
                 ControlReport::Hardwired(hardwired_logic(&fsm, style)?)
@@ -347,10 +418,11 @@ impl Synthesizer {
             }
         };
         cancel.check("control")?;
-        let netlist = datapath.to_netlist(&cdfg, &self.library)?;
+        let netlist = datapath.to_netlist(cdfg, &self.library)?;
         let area = estimate(&netlist, &self.library);
+        stage_nanos.rtl = elapsed_nanos(t0);
         Ok(SynthesisResult {
-            cdfg,
+            cdfg: cdfg.clone(),
             schedule,
             datapath,
             fsm,
@@ -358,10 +430,54 @@ impl Synthesizer {
             netlist,
             area,
             latency,
-            pass_stats,
-            classifier: self.classifier,
+            pass_stats: prepared.pass_stats.clone(),
+            classifier: prepared.classifier,
+            stage_nanos,
         })
     }
+}
+
+fn elapsed_nanos(since: Instant) -> u64 {
+    since.elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
+/// A behavior with the configuration-independent front half of the
+/// pipeline already run: transformation passes applied and per-block
+/// dependence/bound analyses built. Produced by [`Synthesizer::prepare`],
+/// consumed by [`Synthesizer::synthesize_prepared`].
+#[derive(Clone, Debug)]
+pub struct PreparedBehavior {
+    cdfg: Cdfg,
+    pass_stats: Vec<PassStats>,
+    classifier: OpClassifier,
+    bounds: CdfgBoundsCache,
+}
+
+impl PreparedBehavior {
+    /// The transformed behavior.
+    pub fn cdfg(&self) -> &Cdfg {
+        &self.cdfg
+    }
+
+    /// Statistics of the optimization passes that ran during preparation.
+    pub fn pass_stats(&self) -> &[PassStats] {
+        &self.pass_stats
+    }
+}
+
+/// Wall-clock time spent in each back-half pipeline stage, in
+/// nanoseconds. `rtl` covers controller synthesis plus netlist emission
+/// and area estimation. Timings ride along on [`SynthesisResult`] for
+/// observability (e.g. the server's per-stage counters); they are never
+/// part of response bodies or fingerprints, which stay deterministic.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageNanos {
+    /// Scheduling (including latency accounting).
+    pub schedule: u64,
+    /// Data-path allocation and binding.
+    pub allocate: u64,
+    /// Controller synthesis, netlist emission, area estimation.
+    pub rtl: u64,
 }
 
 impl Default for Synthesizer {
@@ -426,6 +542,9 @@ pub struct SynthesisResult {
     pub pass_stats: Vec<PassStats>,
     /// The classifier the flow used (needed for verification).
     pub classifier: OpClassifier,
+    /// Wall-clock time spent per pipeline stage (observability only —
+    /// never rendered into response bodies or fingerprints).
+    pub stage_nanos: StageNanos,
 }
 
 impl SynthesisResult {

@@ -1,0 +1,347 @@
+//! Dense dependence/bound analysis shared by every scheduler.
+//!
+//! [`SchedGraph`] snapshots a block once — CSR predecessor/successor
+//! lists, a cached topological order, and the per-op wired/free/class
+//! facts — so the scheduling inner loops run on flat `Vec`s indexed by
+//! *dense* op indices instead of hashing [`OpId`]s, and so ASAP/ALAP
+//! bounds are computed once per (block, classifier) instead of once per
+//! scheduler invocation. Dense index order equals id (allocation) order,
+//! which is the deterministic tie-break documented across the schedulers.
+
+use hls_cdfg::dense::DepGraph;
+use hls_cdfg::{DataFlowGraph, OpId, OpKind};
+
+use crate::resource::{FuClass, OpClassifier};
+use crate::ScheduleError;
+
+/// A block's dependence graph plus the classifier facts every scheduler
+/// asks for per op.
+#[derive(Clone, Debug)]
+pub struct SchedGraph {
+    graph: DepGraph,
+    wired: Vec<bool>,
+    free: Vec<bool>,
+    class: Vec<Option<FuClass>>,
+}
+
+impl SchedGraph {
+    /// Snapshots `dfg` under `classifier`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::Cycle`] on cyclic graphs.
+    pub fn build(dfg: &DataFlowGraph, classifier: &OpClassifier) -> Result<Self, ScheduleError> {
+        let graph = DepGraph::build(dfg)?;
+        let n = graph.len();
+        let mut wired = Vec::with_capacity(n);
+        let mut free = Vec::with_capacity(n);
+        let mut class = Vec::with_capacity(n);
+        for i in 0..n {
+            let op = graph.op(i);
+            wired.push(dfg.op(op).kind == OpKind::Const);
+            free.push(classifier.is_free(dfg, op));
+            class.push(classifier.classify(dfg, op));
+        }
+        Ok(SchedGraph {
+            graph,
+            wired,
+            free,
+            class,
+        })
+    }
+
+    /// The underlying CSR dependence graph.
+    pub fn graph(&self) -> &DepGraph {
+        &self.graph
+    }
+
+    /// Number of live ops.
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// `true` when the block has no live ops.
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// The op at `dense` index.
+    pub fn op(&self, dense: usize) -> OpId {
+        self.graph.op(dense)
+    }
+
+    /// `true` for constants (no hardware, no step constraint).
+    pub fn is_wired(&self, dense: usize) -> bool {
+        self.wired[dense]
+    }
+
+    /// `true` for chained-free ops (share their producers' step).
+    pub fn is_free(&self, dense: usize) -> bool {
+        self.free[dense]
+    }
+
+    /// The FU class of the op, `None` for wired/chained ops.
+    pub fn class(&self, dense: usize) -> Option<FuClass> {
+        self.class[dense]
+    }
+
+    /// Dependence-only ASAP steps and the critical path, as dense vectors
+    /// (the single implementation behind
+    /// [`crate::precedence::unconstrained_asap`]).
+    pub fn asap(&self) -> (Vec<u32>, u32) {
+        let mut steps = vec![0u32; self.len()];
+        let mut total = 0;
+        for &i in self.graph.topo() {
+            let i = i as usize;
+            let free = self.free[i];
+            let mut lo = 0;
+            for &p in self.graph.preds(i) {
+                let p = p as usize;
+                if self.wired[p] {
+                    continue;
+                }
+                lo = lo.max(if free { steps[p] } else { steps[p] + 1 });
+            }
+            steps[i] = lo;
+            if !self.wired[i] {
+                total = total.max(lo + 1);
+            }
+        }
+        (steps, total)
+    }
+
+    /// Dependence-only ALAP steps against `deadline`, as a dense vector
+    /// (the single implementation behind
+    /// [`crate::precedence::unconstrained_alap`]).
+    pub fn alap(&self, deadline: u32) -> Vec<u32> {
+        let mut steps = vec![0u32; self.len()];
+        for &i in self.graph.topo().iter().rev() {
+            let i = i as usize;
+            if self.wired[i] {
+                steps[i] = 0;
+                continue;
+            }
+            let mut latest = deadline.saturating_sub(1);
+            for &s in self.graph.succs(i) {
+                let s = s as usize;
+                if self.wired[s] {
+                    continue;
+                }
+                let max_for_succ = if self.free[s] {
+                    steps[s]
+                } else {
+                    steps[s].saturating_sub(1)
+                };
+                latest = latest.min(max_for_succ);
+            }
+            steps[i] = latest;
+        }
+        steps
+    }
+
+    /// Arc-consistent feasible windows (`asap..=alap`) against `deadline`.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::DeadlineTooShort`] when the deadline is below the
+    /// critical path, and [`ScheduleError::InfeasibleWindow`] when an op's
+    /// window comes out inverted (ASAP past ALAP) — raising the bound to
+    /// mask it would smuggle the op past the deadline.
+    pub fn windows(&self, deadline: u32) -> Result<Windows, ScheduleError> {
+        let (lo, critical_path) = self.asap();
+        if deadline < critical_path {
+            return Err(ScheduleError::DeadlineTooShort {
+                deadline,
+                critical_path,
+            });
+        }
+        let hi = self.alap(deadline);
+        for i in 0..self.len() {
+            if hi[i] < lo[i] {
+                return Err(self.infeasible(i, lo[i], hi[i], deadline));
+            }
+        }
+        Ok(Windows {
+            lo,
+            hi,
+            critical_path,
+        })
+    }
+
+    /// The standard infeasible-window error for the op at `dense`.
+    pub(crate) fn infeasible(
+        &self,
+        dense: usize,
+        lo: u32,
+        hi: u32,
+        deadline: u32,
+    ) -> ScheduleError {
+        ScheduleError::InfeasibleWindow {
+            op: format!("{:?}", self.op(dense)),
+            lo,
+            hi,
+            deadline,
+        }
+    }
+
+    /// The FU classes present (sorted) and, per dense op index, the op's
+    /// position in that list (`None` for wired/chained-free ops). The
+    /// shared dense class-index space of the time-constrained schedulers.
+    pub fn dense_classes(&self) -> (Vec<FuClass>, Vec<Option<usize>>) {
+        let mut classes: Vec<FuClass> = self.class.iter().flatten().copied().collect();
+        classes.sort_unstable();
+        classes.dedup();
+        let idx = self
+            .class
+            .iter()
+            .map(|c| c.and_then(|c| classes.binary_search(&c).ok()))
+            .collect();
+        (classes, idx)
+    }
+
+    /// Pins the op at dense index `start` to `step` and tightens neighbor
+    /// windows transitively (the propagation shared by the force-directed
+    /// and freedom-based schedulers). `on_change(i, old_lo, old_hi,
+    /// new_lo, new_hi)` fires before each window update so callers can
+    /// maintain derived state (e.g. distribution graphs) incrementally.
+    ///
+    /// # Errors
+    ///
+    /// A tightening that would empty a window (or push it past the
+    /// deadline) is an infeasibility the initial arc-consistent windows
+    /// rule out; if it happens anyway, it is reported as
+    /// [`ScheduleError::InfeasibleWindow`] instead of clamping the window
+    /// into a lie that downstream step math then trips over.
+    pub fn pin_and_propagate(
+        &self,
+        lo: &mut [u32],
+        hi: &mut [u32],
+        start: usize,
+        step: u32,
+        deadline: u32,
+        mut on_change: impl FnMut(usize, u32, u32, u32, u32),
+    ) -> Result<(), ScheduleError> {
+        on_change(start, lo[start], hi[start], step, step);
+        lo[start] = step;
+        hi[start] = step;
+        let mut work = vec![start];
+        while let Some(o) = work.pop() {
+            let (olo, ohi) = (lo[o], hi[o]);
+            for &s in self.graph.succs(o) {
+                let s = s as usize;
+                if self.wired[s] {
+                    continue;
+                }
+                let min_start = olo + if self.free[s] { 0 } else { 1 };
+                if lo[s] < min_start {
+                    if min_start > hi[s] || min_start >= deadline {
+                        return Err(self.infeasible(s, min_start, hi[s], deadline));
+                    }
+                    on_change(s, lo[s], hi[s], min_start, hi[s]);
+                    lo[s] = min_start;
+                    work.push(s);
+                }
+            }
+            for &p in self.graph.preds(o) {
+                let p = p as usize;
+                if self.wired[p] {
+                    continue;
+                }
+                let max_end = if self.free[o] {
+                    ohi
+                } else if ohi == 0 {
+                    // A step-taking op at step 0 leaves no step for a
+                    // non-wired producer.
+                    return Err(self.infeasible(p, lo[p], 0, deadline));
+                } else {
+                    ohi - 1
+                };
+                if hi[p] > max_end {
+                    if max_end < lo[p] {
+                        return Err(self.infeasible(p, lo[p], max_end, deadline));
+                    }
+                    on_change(p, lo[p], hi[p], lo[p], max_end);
+                    hi[p] = max_end;
+                    work.push(p);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Feasible step windows for every op, indexed densely.
+#[derive(Clone, Debug)]
+pub struct Windows {
+    /// Earliest feasible step (ASAP) per dense op index.
+    pub lo: Vec<u32>,
+    /// Latest feasible step (ALAP) per dense op index.
+    pub hi: Vec<u32>,
+    /// The dependence-only critical path of the block.
+    pub critical_path: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precedence::{unconstrained_alap, unconstrained_asap};
+    use hls_workloads::random::{random_dag, RandomDagConfig};
+
+    #[test]
+    fn dense_asap_alap_match_hashmap_versions() {
+        for (policy, cls) in [
+            ("typed", OpClassifier::typed()),
+            ("free-shift", OpClassifier::universal_free_shifts()),
+        ] {
+            for (name, g) in hls_workloads::all_benchmarks() {
+                let sg = SchedGraph::build(&g, &cls).unwrap();
+                let (asap_map, cp_map) = unconstrained_asap(&g, &cls).unwrap();
+                let (asap, cp) = sg.asap();
+                assert_eq!(cp, cp_map, "{policy}/{name}");
+                let alap_map = unconstrained_alap(&g, &cls, cp + 3).unwrap();
+                let alap = sg.alap(cp + 3);
+                for i in 0..sg.len() {
+                    let op = sg.op(i);
+                    assert_eq!(asap[i], asap_map[&op], "{policy}/{name} asap {op:?}");
+                    assert_eq!(alap[i], alap_map[&op], "{policy}/{name} alap {op:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn windows_reject_short_deadlines() {
+        let g = hls_workloads::benchmarks::diffeq();
+        let cls = OpClassifier::typed();
+        let sg = SchedGraph::build(&g, &cls).unwrap();
+        let (_, cp) = sg.asap();
+        assert!(matches!(
+            sg.windows(cp - 1),
+            Err(ScheduleError::DeadlineTooShort { .. })
+        ));
+        let w = sg.windows(cp).unwrap();
+        assert_eq!(w.critical_path, cp);
+        assert!((0..sg.len()).all(|i| w.lo[i] <= w.hi[i]));
+    }
+
+    #[test]
+    fn windows_hold_on_random_dags() {
+        for seed in 0..20 {
+            let g = random_dag(&RandomDagConfig {
+                ops: 60,
+                seed,
+                ..Default::default()
+            });
+            let cls = OpClassifier::typed();
+            let sg = SchedGraph::build(&g, &cls).unwrap();
+            let (_, cp) = sg.asap();
+            let w = sg.windows(cp + 4).unwrap();
+            for i in 0..sg.len() {
+                assert!(w.lo[i] <= w.hi[i]);
+                if !sg.is_wired(i) {
+                    assert!(w.hi[i] < cp + 4);
+                }
+            }
+        }
+    }
+}

@@ -2,13 +2,13 @@
 //! total latency — the machinery behind the paper's 23-step and 10-step
 //! square-root schedules.
 
-use hls_cdfg::Cdfg;
+use hls_cdfg::{BlockId, Cdfg};
 
 use crate::bb::branch_and_bound_schedule;
-use crate::force::force_directed_schedule;
-use crate::freedom::freedom_based_schedule;
-use crate::list::{list_schedule, Priority};
-use crate::precedence::unconstrained_asap;
+use crate::bounds::SchedGraph;
+use crate::force::ForceScheduler;
+use crate::freedom::freedom_based_schedule_graph;
+use crate::list::{list_schedule_graph, Priority};
 use crate::resource::{OpClassifier, ResourceLimits};
 use crate::schedule::CdfgSchedule;
 use crate::transform::transformational_schedule;
@@ -62,6 +62,41 @@ impl Algorithm {
     }
 }
 
+/// Per-block dense dependence/bound analyses of a CDFG under one
+/// classifier, built once and reused across [`schedule_cdfg_cached`]
+/// calls — e.g. by a design-space sweep that schedules the same behavior
+/// at many (algorithm, limits, slack) grid points.
+#[derive(Clone, Debug)]
+pub struct CdfgBoundsCache {
+    blocks: Vec<(BlockId, SchedGraph)>,
+}
+
+impl CdfgBoundsCache {
+    /// Analyzes every block of `cdfg` under `classifier`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::Cycle`] if any block's DFG is cyclic.
+    pub fn build(cdfg: &Cdfg, classifier: &OpClassifier) -> Result<Self, ScheduleError> {
+        let mut blocks = Vec::new();
+        for block in cdfg.block_order() {
+            blocks.push((
+                block,
+                SchedGraph::build(&cdfg.block(block).dfg, classifier)?,
+            ));
+        }
+        Ok(CdfgBoundsCache { blocks })
+    }
+
+    /// The cached analysis of `block`, if it exists in this CDFG.
+    pub fn graph(&self, block: BlockId) -> Option<&SchedGraph> {
+        self.blocks
+            .iter()
+            .find(|(b, _)| *b == block)
+            .map(|(_, sg)| sg)
+    }
+}
+
 /// Schedules every block of `cdfg` with `algorithm`.
 ///
 /// Time-constrained algorithms (force-directed, freedom-based) derive each
@@ -77,27 +112,46 @@ pub fn schedule_cdfg(
     limits: &ResourceLimits,
     algorithm: Algorithm,
 ) -> Result<CdfgSchedule, ScheduleError> {
+    let cache = CdfgBoundsCache::build(cdfg, classifier)?;
+    schedule_cdfg_cached(cdfg, classifier, limits, algorithm, &cache)
+}
+
+/// [`schedule_cdfg`] against a prebuilt [`CdfgBoundsCache`] (which must
+/// have been built from the same `cdfg` and `classifier`): topological
+/// orders and ASAP/ALAP bounds are read from the cache instead of being
+/// recomputed per call.
+///
+/// # Errors
+///
+/// Propagates the first per-block scheduling error.
+pub fn schedule_cdfg_cached(
+    cdfg: &Cdfg,
+    classifier: &OpClassifier,
+    limits: &ResourceLimits,
+    algorithm: Algorithm,
+    cache: &CdfgBoundsCache,
+) -> Result<CdfgSchedule, ScheduleError> {
     let mut out = CdfgSchedule::new();
-    for block in cdfg.block_order() {
-        let dfg = &cdfg.block(block).dfg;
+    for (block, sg) in &cache.blocks {
+        let dfg = &cdfg.block(*block).dfg;
         let schedule = match algorithm {
             Algorithm::Asap => asap_schedule(dfg, classifier, limits)?,
             Algorithm::Alap { slack } => alap_with_retry(dfg, classifier, limits, slack)?,
-            Algorithm::List(p) => list_schedule(dfg, classifier, limits, p)?,
+            Algorithm::List(p) => list_schedule_graph(dfg, sg, limits, p)?,
             Algorithm::ForceDirected { slack } => {
-                let (_, cp) = unconstrained_asap(dfg, classifier)?;
-                force_directed_schedule(dfg, classifier, cp.max(1) + slack)?
+                let (_, cp) = sg.asap();
+                ForceScheduler::with_graph(sg.clone(), cp.max(1) + slack)?.finish()?
             }
             Algorithm::FreedomBased { slack } => {
-                let (_, cp) = unconstrained_asap(dfg, classifier)?;
-                freedom_based_schedule(dfg, classifier, cp.max(1) + slack)?
+                let (_, cp) = sg.asap();
+                freedom_based_schedule_graph(sg, cp.max(1) + slack)?
             }
             Algorithm::BranchAndBound { node_budget } => {
                 branch_and_bound_schedule(dfg, classifier, limits, node_budget)?
             }
             Algorithm::Transformational => transformational_schedule(dfg, classifier, limits)?.0,
         };
-        out.insert(block, schedule);
+        out.insert(*block, schedule);
     }
     Ok(out)
 }

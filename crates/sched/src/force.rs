@@ -5,28 +5,29 @@
 //! concurrent operations of each FU class across control steps, so that
 //! the per-step maximum — and hence the number of functional units — is
 //! minimized.
+//!
+//! The inner loops run over dense op indices ([`SchedGraph`]) and the
+//! distribution graphs are maintained *incrementally*: placing an op
+//! subtracts its spread-out probability mass and adds a unit spike, and a
+//! range tightening touches only the slots that left the window —
+//! O(range) per update instead of a full O(ops · steps) rebuild per
+//! placement. Range averages come from per-iteration prefix sums, making
+//! each force evaluation O(degree) instead of O(degree · range).
+//!
+//! Determinism: candidates are evaluated in ascending `(op, step)` order
+//! (dense index order equals op-id order) and ties within `1e-12` resolve
+//! to the smallest `(step, op)`. Because prefix-summed averages round
+//! differently than per-element sums, forces may differ from a from-scratch
+//! evaluation by a few ULPs; the tie epsilon absorbs this.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use hls_cdfg::{DataFlowGraph, OpId};
 
-use crate::precedence::{earliest_start, is_wired, unconstrained_alap, unconstrained_asap};
+use crate::bounds::SchedGraph;
 use crate::resource::{FuClass, OpClassifier};
 use crate::schedule::Schedule;
 use crate::ScheduleError;
-
-/// Feasible step ranges for every op, maintained under placement.
-#[derive(Clone, Debug)]
-struct Ranges {
-    lo: HashMap<OpId, u32>,
-    hi: HashMap<OpId, u32>,
-}
-
-impl Ranges {
-    fn range(&self, op: OpId) -> (u32, u32) {
-        (self.lo[&op], self.hi[&op])
-    }
-}
 
 /// A per-class distribution graph: expected FU usage per control step,
 /// assuming each unplaced op is equally likely anywhere in its range.
@@ -44,75 +45,7 @@ pub fn distribution_graphs(
     classifier: &OpClassifier,
     deadline: u32,
 ) -> Result<DistributionGraphs, ScheduleError> {
-    let ranges = initial_ranges(dfg, classifier, deadline)?;
-    graphs_from_ranges(dfg, classifier, &ranges, deadline, &HashMap::new())
-}
-
-fn initial_ranges(
-    dfg: &DataFlowGraph,
-    classifier: &OpClassifier,
-    deadline: u32,
-) -> Result<Ranges, ScheduleError> {
-    let (asap, cp) = unconstrained_asap(dfg, classifier)?;
-    if deadline < cp {
-        return Err(ScheduleError::DeadlineTooShort {
-            deadline,
-            critical_path: cp,
-        });
-    }
-    let alap = unconstrained_alap(dfg, classifier, deadline)?;
-    let lo = asap;
-    let mut hi = HashMap::new();
-    for (op, a) in alap {
-        // ASAP beyond ALAP would mean no feasible step at all; raising
-        // `hi` to mask it would instead smuggle an op past the deadline
-        // and into out-of-bounds distribution-graph slots.
-        if a < lo[&op] {
-            return Err(ScheduleError::InfeasibleWindow {
-                op: format!("{op:?}"),
-                lo: lo[&op],
-                hi: a,
-                deadline,
-            });
-        }
-        hi.insert(op, a);
-    }
-    Ok(Ranges { lo, hi })
-}
-
-fn graphs_from_ranges(
-    dfg: &DataFlowGraph,
-    classifier: &OpClassifier,
-    ranges: &Ranges,
-    deadline: u32,
-    placed: &HashMap<OpId, u32>,
-) -> Result<DistributionGraphs, ScheduleError> {
-    let mut dg: DistributionGraphs = BTreeMap::new();
-    for op in dfg.op_ids() {
-        let Some(class) = classifier.classify(dfg, op) else {
-            continue;
-        };
-        let entry = dg
-            .entry(class)
-            .or_insert_with(|| vec![0.0; deadline as usize]);
-        let (lo, hi) = match placed.get(&op) {
-            Some(&s) => (s, s),
-            None => ranges.range(op),
-        };
-        if lo > hi || hi >= deadline {
-            return Err(ScheduleError::InfeasibleWindow {
-                op: format!("{op:?}"),
-                lo,
-                hi,
-                deadline,
-            });
-        }
-        let p = 1.0 / (hi - lo + 1) as f64;
-        for s in lo..=hi {
-            entry[s as usize] += p;
-        }
-    }
-    Ok(dg)
+    Ok(ForceScheduler::new(dfg, classifier, deadline)?.graphs())
 }
 
 /// Schedules `dfg` against `deadline` steps by force-directed scheduling.
@@ -130,227 +63,290 @@ pub fn force_directed_schedule(
     classifier: &OpClassifier,
     deadline: u32,
 ) -> Result<Schedule, ScheduleError> {
-    let mut ranges = initial_ranges(dfg, classifier, deadline)?;
-    let mut placed: HashMap<OpId, u32> = HashMap::new();
-    let mut schedule = Schedule::new();
+    ForceScheduler::new(dfg, classifier, deadline)?.finish()
+}
 
-    // Wired constants carry no force: pin them at step 0 immediately.
-    for op in dfg.op_ids() {
-        if is_wired(dfg, op) {
-            placed.insert(op, 0);
-            schedule.assign(op, 0);
-            ranges.lo.insert(op, 0);
-            ranges.hi.insert(op, 0);
-        }
+/// The force-directed scheduling engine, stepped one placement at a time.
+///
+/// [`force_directed_schedule`] drives it to completion; it is public so
+/// differential tests can compare the incrementally-maintained
+/// distribution graphs ([`ForceScheduler::graphs`]) against a from-scratch
+/// computation after every single placement.
+#[derive(Clone, Debug)]
+pub struct ForceScheduler {
+    sg: SchedGraph,
+    deadline: u32,
+    /// Current feasible window per dense op index (wired ops pinned 0..=0).
+    lo: Vec<u32>,
+    hi: Vec<u32>,
+    /// FU classes present, sorted — the dense class index space.
+    classes: Vec<FuClass>,
+    /// Dense class index per op (`None` for wired/chained-free ops).
+    class_idx: Vec<Option<usize>>,
+    /// Distribution graph per class, maintained incrementally.
+    dg: Vec<Vec<f64>>,
+    /// Per-class prefix sums of `dg`, refreshed once per placement round.
+    prefix: Vec<Vec<f64>>,
+    placed: Vec<bool>,
+    unplaced_classified: usize,
+    schedule: Schedule,
+}
+
+impl ForceScheduler {
+    /// Builds the engine: arc-consistent windows, wired ops pinned at
+    /// step 0, and initial distribution graphs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::DeadlineTooShort`], [`ScheduleError::Cycle`],
+    /// or [`ScheduleError::InfeasibleWindow`].
+    pub fn new(
+        dfg: &DataFlowGraph,
+        classifier: &OpClassifier,
+        deadline: u32,
+    ) -> Result<Self, ScheduleError> {
+        Self::with_graph(SchedGraph::build(dfg, classifier)?, deadline)
     }
 
-    loop {
-        let pending: Vec<(OpId, FuClass)> = dfg
-            .op_ids()
-            .filter(|op| !placed.contains_key(op))
-            .filter_map(|op| classifier.classify(dfg, op).map(|class| (op, class)))
-            .collect();
-        if pending.is_empty() {
-            break;
+    /// Like [`new`](Self::new) from an already-built (possibly cached)
+    /// [`SchedGraph`].
+    ///
+    /// # Errors
+    ///
+    /// As [`new`](Self::new), minus [`ScheduleError::Cycle`].
+    pub fn with_graph(sg: SchedGraph, deadline: u32) -> Result<Self, ScheduleError> {
+        let windows = sg.windows(deadline)?;
+        let (mut lo, mut hi) = (windows.lo, windows.hi);
+        let n = sg.len();
+
+        let mut schedule = Schedule::new();
+        let mut placed = vec![false; n];
+        // Wired constants carry no force: pin them at step 0 immediately.
+        for i in 0..n {
+            if sg.is_wired(i) {
+                lo[i] = 0;
+                hi[i] = 0;
+                placed[i] = true;
+                schedule.assign(sg.op(i), 0);
+            }
         }
-        let dg = graphs_from_ranges(dfg, classifier, &ranges, deadline, &placed)?;
-        let mut best: Option<(f64, OpId, u32)> = None;
-        for &(op, class) in &pending {
-            let (lo, hi) = ranges.range(op);
+
+        let (classes, class_idx) = sg.dense_classes();
+
+        let mut dg = vec![vec![0.0; deadline as usize]; classes.len()];
+        let mut unplaced_classified = 0;
+        for i in 0..n {
+            let Some(ci) = class_idx[i] else { continue };
+            unplaced_classified += 1;
+            let p = 1.0 / (hi[i] - lo[i] + 1) as f64;
+            for s in lo[i]..=hi[i] {
+                dg[ci][s as usize] += p;
+            }
+        }
+        let prefix = vec![vec![0.0; deadline as usize + 1]; classes.len()];
+
+        Ok(ForceScheduler {
+            sg,
+            deadline,
+            lo,
+            hi,
+            classes,
+            class_idx,
+            dg,
+            prefix,
+            placed,
+            unplaced_classified,
+            schedule,
+        })
+    }
+
+    /// A snapshot of the current distribution graphs (placed ops appear as
+    /// unit spikes at their step).
+    pub fn graphs(&self) -> DistributionGraphs {
+        self.classes
+            .iter()
+            .zip(&self.dg)
+            .map(|(&c, g)| (c, g.clone()))
+            .collect()
+    }
+
+    /// The current feasible window of `op`, or `None` for dead ids.
+    pub fn window(&self, op: OpId) -> Option<(u32, u32)> {
+        let i = self.sg.graph().index_of(op)?;
+        Some((self.lo[i], self.hi[i]))
+    }
+
+    /// Places the lowest-force `(op, step)` candidate among the remaining
+    /// classified ops and tightens neighbor windows transitively. Returns
+    /// the placement, or `None` once every classified op is placed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::InfeasibleWindow`] when a tightening
+    /// empties a window (a scheduler invariant breach — the initial
+    /// windows are arc-consistent and tightening preserves that).
+    pub fn place_next(&mut self) -> Result<Option<(OpId, u32)>, ScheduleError> {
+        if self.unplaced_classified == 0 {
+            return Ok(None);
+        }
+        self.refresh_prefix();
+
+        let mut best: Option<(f64, usize, u32)> = None;
+        for i in 0..self.sg.len() {
+            if self.placed[i] {
+                continue;
+            }
+            let Some(ci) = self.class_idx[i] else {
+                continue;
+            };
+            let (lo, hi) = (self.lo[i], self.hi[i]);
             if lo > hi {
-                return Err(ScheduleError::InfeasibleWindow {
-                    op: format!("{op:?}"),
-                    lo,
-                    hi,
-                    deadline,
-                });
+                return Err(self.sg.infeasible(i, lo, hi, self.deadline));
             }
             for t in lo..=hi {
-                let force = total_force(dfg, classifier, &ranges, &dg, op, class, t);
-                let cand = (force, op, t);
+                let force = self.total_force(i, ci, t);
                 let better = match &best {
                     None => true,
-                    Some((bf, bo, bt)) => {
-                        force < bf - 1e-12 || ((force - bf).abs() <= 1e-12 && (t, op) < (*bt, *bo))
+                    Some((bf, bi, bt)) => {
+                        force < bf - 1e-12 || ((force - bf).abs() <= 1e-12 && (t, i) < (*bt, *bi))
                     }
                 };
                 if better {
-                    best = Some(cand);
+                    best = Some((force, i, t));
                 }
             }
         }
         // Every pending op passed the window check above, so a candidate
         // exists; the guard keeps this provable locally.
-        let Some((_, op, t)) = best else {
-            let (op, _) = pending[0];
-            let (lo, hi) = ranges.range(op);
-            return Err(ScheduleError::InfeasibleWindow {
-                op: format!("{op:?}"),
-                lo,
-                hi,
-                deadline,
-            });
+        let Some((_, i, t)) = best else {
+            let i = (0..self.sg.len())
+                .find(|&i| !self.placed[i] && self.class_idx[i].is_some())
+                .unwrap_or(0);
+            return Err(self.sg.infeasible(i, self.lo[i], self.hi[i], self.deadline));
         };
-        placed.insert(op, t);
-        schedule.assign(op, t);
-        propagate(dfg, classifier, &mut ranges, op, t, deadline)?;
-    }
-
-    // Chained-free ops last: earliest start from final placement.
-    let order = dfg.topological_order()?;
-    for op in order {
-        if placed.contains_key(&op) {
-            continue;
-        }
-        let s = earliest_start(dfg, classifier, &placed, op);
-        placed.insert(op, s);
-        schedule.assign(op, s);
-    }
-    schedule.set_num_steps(deadline);
-    Ok(schedule)
-}
-
-/// Self force plus predecessor/successor forces of placing `op` at `t`.
-fn total_force(
-    dfg: &DataFlowGraph,
-    classifier: &OpClassifier,
-    ranges: &Ranges,
-    dg: &DistributionGraphs,
-    op: OpId,
-    class: FuClass,
-    t: u32,
-) -> f64 {
-    let mut force = self_force(&dg[&class], ranges.range(op), t);
-    // Implicit forces: placing op at t shrinks neighbors' ranges.
-    for pred in dfg.preds(op) {
-        if is_wired(dfg, pred) {
-            continue;
-        }
-        let Some(pc) = classifier.classify(dfg, pred) else {
-            continue;
-        };
-        let (lo, hi) = ranges.range(pred);
-        let new_hi = latest_pred_step(classifier, dfg, pred, op, t).min(hi);
-        if new_hi < hi {
-            force += range_avg(&dg[&pc], (lo, new_hi.max(lo))) - range_avg(&dg[&pc], (lo, hi));
-        }
-    }
-    for succ in dfg.succs(op) {
-        let Some(sc) = classifier.classify(dfg, succ) else {
-            continue;
-        };
-        let (lo, hi) = ranges.range(succ);
-        let min_start = t + if classifier.is_free(dfg, succ) { 0 } else { 1 };
-        let new_lo = min_start.max(lo);
-        if new_lo > lo {
-            force += range_avg(&dg[&sc], (new_lo.min(hi), hi)) - range_avg(&dg[&sc], (lo, hi));
-        }
-    }
-    force
-}
-
-/// The classic self force: DG at the candidate step minus the average over
-/// the feasible range.
-fn self_force(dg: &[f64], range: (u32, u32), t: u32) -> f64 {
-    dg_at(dg, t) - range_avg(dg, range)
-}
-
-fn range_avg(dg: &[f64], (lo, hi): (u32, u32)) -> f64 {
-    if lo > hi {
-        return 0.0;
-    }
-    let n = (hi - lo + 1) as f64;
-    (lo..=hi).map(|s| dg_at(dg, s)).sum::<f64>() / n
-}
-
-/// Distribution-graph lookup. Steps are range-checked against the
-/// deadline before scoring, so out-of-range reads cannot occur; reading
-/// zero (no expected usage) keeps scoring total even if they did.
-fn dg_at(dg: &[f64], s: u32) -> f64 {
-    dg.get(s as usize).copied().unwrap_or(0.0)
-}
-
-/// Latest step `pred` may take once its consumer `op` sits at `t`.
-fn latest_pred_step(
-    classifier: &OpClassifier,
-    dfg: &DataFlowGraph,
-    _pred: OpId,
-    op: OpId,
-    t: u32,
-) -> u32 {
-    if classifier.is_free(dfg, op) {
-        t
-    } else {
-        t.saturating_sub(1)
-    }
-}
-
-/// Pins `op` at `t` and tightens ranges transitively.
-///
-/// A tightening that would empty a neighbor's window (or push it past
-/// the deadline) is an infeasibility the initial arc-consistent windows
-/// rule out; if it happens anyway, report it instead of clamping the
-/// window into a lie the distribution graphs then index out of bounds.
-fn propagate(
-    dfg: &DataFlowGraph,
-    classifier: &OpClassifier,
-    ranges: &mut Ranges,
-    op: OpId,
-    t: u32,
-    deadline: u32,
-) -> Result<(), ScheduleError> {
-    ranges.lo.insert(op, t);
-    ranges.hi.insert(op, t);
-    let infeasible = |op: OpId, lo: u32, hi: u32| ScheduleError::InfeasibleWindow {
-        op: format!("{op:?}"),
-        lo,
-        hi,
-        deadline,
-    };
-    let mut work = vec![op];
-    while let Some(o) = work.pop() {
-        let (olo, ohi) = ranges.range(o);
-        for succ in dfg.succs(o) {
-            if is_wired(dfg, succ) {
-                continue;
-            }
-            let min_start = olo + if classifier.is_free(dfg, succ) { 0 } else { 1 };
-            if ranges.lo[&succ] < min_start {
-                if min_start > ranges.hi[&succ] || min_start >= deadline {
-                    return Err(infeasible(succ, min_start, ranges.hi[&succ]));
+        self.placed[i] = true;
+        self.unplaced_classified -= 1;
+        self.schedule.assign(self.sg.op(i), t);
+        // Pin + transitive tightening, re-shaping distribution graphs
+        // incrementally as each window shrinks.
+        let ForceScheduler {
+            sg,
+            deadline,
+            lo,
+            hi,
+            class_idx,
+            dg,
+            ..
+        } = self;
+        sg.pin_and_propagate(lo, hi, i, t, *deadline, |j, ol, oh, nl, nh| {
+            if let Some(ci) = class_idx[j] {
+                let g = &mut dg[ci];
+                let old_p = 1.0 / (oh - ol + 1) as f64;
+                for s in ol..=oh {
+                    g[s as usize] -= old_p;
                 }
-                ranges.lo.insert(succ, min_start);
-                work.push(succ);
+                let new_p = 1.0 / (nh - nl + 1) as f64;
+                for s in nl..=nh {
+                    g[s as usize] += new_p;
+                }
             }
-        }
-        for pred in dfg.preds(o) {
-            if is_wired(dfg, pred) {
+        })?;
+        Ok(Some((self.sg.op(i), t)))
+    }
+
+    /// Runs the engine to completion: all classified ops force-placed,
+    /// then chained-free ops at their earliest start from the final
+    /// placement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`place_next`](Self::place_next) error.
+    pub fn finish(mut self) -> Result<Schedule, ScheduleError> {
+        while self.place_next()?.is_some() {}
+        // Chained-free ops last: earliest start from final placement.
+        let mut steps: Vec<u32> = self.lo.clone();
+        for &i in self.sg.graph().topo() {
+            let i = i as usize;
+            if self.placed[i] {
                 continue;
             }
-            let max_end = if classifier.is_free(dfg, o) {
-                ohi
-            } else if ohi == 0 {
-                // A step-taking op at step 0 leaves no step for a
-                // non-wired producer.
-                return Err(infeasible(pred, ranges.lo[&pred], 0));
-            } else {
-                ohi - 1
+            let free = self.sg.is_free(i);
+            let mut s = 0;
+            for &p in self.sg.graph().preds(i) {
+                let p = p as usize;
+                if self.sg.is_wired(p) {
+                    continue;
+                }
+                s = s.max(if free { steps[p] } else { steps[p] + 1 });
+            }
+            steps[i] = s;
+            self.schedule.assign(self.sg.op(i), s);
+        }
+        self.schedule.set_num_steps(self.deadline);
+        Ok(self.schedule)
+    }
+
+    /// Recomputes per-class prefix sums so `range_avg` is O(1) for the
+    /// duration of one selection round.
+    fn refresh_prefix(&mut self) {
+        for (ci, g) in self.dg.iter().enumerate() {
+            let p = &mut self.prefix[ci];
+            let mut acc = 0.0;
+            p[0] = 0.0;
+            for (s, &v) in g.iter().enumerate() {
+                acc += v;
+                p[s + 1] = acc;
+            }
+        }
+    }
+
+    /// Average distribution-graph height over `lo..=hi` (0 on an empty
+    /// range, matching the classic formulation).
+    fn range_avg(&self, ci: usize, lo: u32, hi: u32) -> f64 {
+        if lo > hi {
+            return 0.0;
+        }
+        let p = &self.prefix[ci];
+        (p[hi as usize + 1] - p[lo as usize]) / (hi - lo + 1) as f64
+    }
+
+    /// Self force plus predecessor/successor forces of placing the op at
+    /// dense index `i` (class index `ci`) at step `t`. Classified ops are
+    /// never chained-free, so a neighbor constraint is always one full
+    /// step (`t - 1` for producers, `t + 1` for consumers).
+    fn total_force(&self, i: usize, ci: usize, t: u32) -> f64 {
+        let mut force = self.dg[ci][t as usize] - self.range_avg(ci, self.lo[i], self.hi[i]);
+        // Implicit forces: placing the op at t shrinks neighbors' ranges.
+        for &p in self.sg.graph().preds(i) {
+            let p = p as usize;
+            let Some(pc) = self.class_idx[p] else {
+                continue;
             };
-            if ranges.hi[&pred] > max_end {
-                if max_end < ranges.lo[&pred] {
-                    return Err(infeasible(pred, ranges.lo[&pred], max_end));
-                }
-                ranges.hi.insert(pred, max_end);
-                work.push(pred);
+            let (lo, hi) = (self.lo[p], self.hi[p]);
+            let new_hi = t.saturating_sub(1).min(hi);
+            if new_hi < hi {
+                force += self.range_avg(pc, lo, new_hi.max(lo)) - self.range_avg(pc, lo, hi);
             }
         }
+        for &s in self.sg.graph().succs(i) {
+            let s = s as usize;
+            let Some(sc) = self.class_idx[s] else {
+                continue;
+            };
+            let (lo, hi) = (self.lo[s], self.hi[s]);
+            let new_lo = (t + 1).max(lo);
+            if new_lo > lo {
+                force += self.range_avg(sc, new_lo.min(hi), hi) - self.range_avg(sc, lo, hi);
+            }
+        }
+        force
     }
-    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::precedence::unconstrained_asap;
     use crate::resource::ResourceLimits;
     use hls_workloads::figures::fig5_graph;
 
@@ -433,5 +429,22 @@ mod tests {
             }
             prev = Some(total);
         }
+    }
+
+    #[test]
+    fn stepped_engine_matches_one_shot_schedule() {
+        let g = hls_workloads::benchmarks::diffeq();
+        let cls = OpClassifier::typed();
+        let mut eng = ForceScheduler::new(&g, &cls, 5).unwrap();
+        let mut placements = Vec::new();
+        while let Some(p) = eng.place_next().unwrap() {
+            placements.push(p);
+        }
+        let stepped = eng.finish().unwrap();
+        let oneshot = force_directed_schedule(&g, &cls, 5).unwrap();
+        for (op, s) in stepped.iter() {
+            assert_eq!(oneshot.step(op), Some(s));
+        }
+        assert!(!placements.is_empty());
     }
 }

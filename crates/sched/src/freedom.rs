@@ -6,12 +6,15 @@
 //! least freedom ... is chosen, so that operations that might present more
 //! difficult scheduling problems are taken care of first, before they
 //! become blocked" (§3.1.2).
+//!
+//! Runs on the dense [`SchedGraph`] analysis: windows, per-step FU usage,
+//! and the selection scan are flat vectors indexed by dense op index, and
+//! window propagation is shared with the force-directed scheduler
+//! ([`SchedGraph::pin_and_propagate`]).
 
-use std::collections::HashMap;
+use hls_cdfg::DataFlowGraph;
 
-use hls_cdfg::{DataFlowGraph, OpId};
-
-use crate::precedence::{earliest_start, is_wired, unconstrained_alap, unconstrained_asap};
+use crate::bounds::SchedGraph;
 use crate::resource::OpClassifier;
 use crate::schedule::Schedule;
 use crate::ScheduleError;
@@ -30,93 +33,84 @@ pub fn freedom_based_schedule(
     classifier: &OpClassifier,
     deadline: u32,
 ) -> Result<Schedule, ScheduleError> {
-    let (asap, cp) = unconstrained_asap(dfg, classifier)?;
-    if deadline < cp {
-        return Err(ScheduleError::DeadlineTooShort {
-            deadline,
-            critical_path: cp,
-        });
-    }
-    let alap = unconstrained_alap(dfg, classifier, deadline)?;
-    let mut lo = asap;
-    let mut hi: HashMap<OpId, u32> = HashMap::new();
-    for op in dfg.op_ids() {
-        // An inverted window (ASAP past ALAP) has no feasible step;
-        // clamping it shut would hide the infeasibility until the
-        // schedule fails validation (or worse, passes with a precedence
-        // violation).
-        if alap[&op] < lo[&op] {
-            return Err(ScheduleError::InfeasibleWindow {
-                op: format!("{op:?}"),
-                lo: lo[&op],
-                hi: alap[&op],
-                deadline,
-            });
-        }
-        hi.insert(op, alap[&op]);
-    }
+    freedom_based_schedule_graph(&SchedGraph::build(dfg, classifier)?, deadline)
+}
+
+/// [`freedom_based_schedule`] from an already-built (possibly cached)
+/// [`SchedGraph`].
+///
+/// # Errors
+///
+/// As [`freedom_based_schedule`], minus [`ScheduleError::Cycle`].
+pub fn freedom_based_schedule_graph(
+    sg: &SchedGraph,
+    deadline: u32,
+) -> Result<Schedule, ScheduleError> {
+    let windows = sg.windows(deadline)?;
+    let (mut lo, mut hi) = (windows.lo, windows.hi);
+    let n = sg.len();
+    let (classes, class_idx) = sg.dense_classes();
 
     let mut schedule = Schedule::new();
-    let mut placed: HashMap<OpId, u32> = HashMap::new();
-    // usage[(class, step)] counts FU occupancy; the unit count per class is
-    // the running maximum, and we prefer steps that do not raise it.
-    let mut usage: HashMap<(crate::FuClass, u32), usize> = HashMap::new();
-    let mut unit_count: HashMap<crate::FuClass, usize> = HashMap::new();
+    let mut placed = vec![false; n];
+    // usage[ci * deadline + step] counts FU occupancy; the unit count per
+    // class is the running maximum, and we prefer steps that do not raise
+    // it.
+    let mut usage = vec![0usize; classes.len() * deadline as usize];
+    let mut unit_count = vec![0usize; classes.len()];
+    let mut place =
+        |i: usize, t: u32, placed: &mut [bool], usage: &mut [usize], unit_count: &mut [usize]| {
+            placed[i] = true;
+            schedule.assign(sg.op(i), t);
+            if let Some(ci) = class_idx[i] {
+                let u = &mut usage[ci * deadline as usize + t as usize];
+                *u += 1;
+                unit_count[ci] = unit_count[ci].max(*u);
+            }
+        };
 
-    // Phase 1: the critical path, in ASAP order.
-    let mut critical: Vec<OpId> = dfg
-        .op_ids()
-        .filter(|op| !is_wired(dfg, *op) && lo[op] == hi[op])
+    // Phase 1: the critical path (zero-freedom ops), in ASAP order.
+    let mut critical: Vec<usize> = (0..n)
+        .filter(|&i| !sg.is_wired(i) && lo[i] == hi[i])
         .collect();
-    critical.sort_by_key(|op| (lo[op], *op));
-    for op in critical {
-        let t = lo[&op];
-        place(
-            dfg,
-            classifier,
-            op,
-            t,
-            &mut placed,
-            &mut schedule,
-            &mut usage,
-            &mut unit_count,
-        );
-        propagate(dfg, classifier, &mut lo, &mut hi, op, t, deadline)?;
+    critical.sort_unstable_by_key(|&i| (lo[i], i));
+    for i in critical {
+        let t = lo[i];
+        place(i, t, &mut placed, &mut usage, &mut unit_count);
+        sg.pin_and_propagate(&mut lo, &mut hi, i, t, deadline, |_, _, _, _, _| {})?;
     }
     // Wired constants: step 0.
-    for op in dfg.op_ids() {
-        if is_wired(dfg, op) && !placed.contains_key(&op) {
-            placed.insert(op, 0);
-            schedule.assign(op, 0);
+    for i in 0..n {
+        if sg.is_wired(i) && !placed[i] {
+            place(i, 0, &mut placed, &mut usage, &mut unit_count);
         }
     }
 
     // Phase 2: least freedom first.
     loop {
-        let mut pending: Vec<(OpId, crate::FuClass)> = dfg
-            .op_ids()
-            .filter(|op| !placed.contains_key(op))
-            .filter_map(|op| classifier.classify(dfg, op).map(|class| (op, class)))
-            .collect();
-        if pending.is_empty() {
-            break;
+        // The unplaced classified op with the smallest window (ties to the
+        // lowest op id, which dense index order preserves).
+        let mut pick: Option<(u32, usize, usize)> = None;
+        for i in 0..n {
+            if placed[i] {
+                continue;
+            }
+            let Some(ci) = class_idx[i] else { continue };
+            let slack = hi[i].saturating_sub(lo[i]);
+            if pick.is_none_or(|(ps, pi, _)| (slack, i) < (ps, pi)) {
+                pick = Some((slack, i, ci));
+            }
         }
-        pending.sort_by_key(|(op, _)| (hi[op].saturating_sub(lo[op]), *op));
-        let (op, class) = pending[0];
-        if hi[&op] < lo[&op] {
-            return Err(ScheduleError::InfeasibleWindow {
-                op: format!("{op:?}"),
-                lo: lo[&op],
-                hi: hi[&op],
-                deadline,
-            });
+        let Some((_, i, ci)) = pick else { break };
+        if hi[i] < lo[i] {
+            return Err(sg.infeasible(i, lo[i], hi[i], deadline));
         }
         // Least added cost: a step where current usage is below the unit
         // count; otherwise the least-used step (adding a unit).
-        let current_units = unit_count.get(&class).copied().unwrap_or(0);
+        let current_units = unit_count[ci];
         let mut best: Option<(usize, usize, u32)> = None;
-        for t in lo[&op]..=hi[&op] {
-            let u = usage.get(&(class, t)).copied().unwrap_or(0);
+        for t in lo[i]..=hi[i] {
+            let u = usage[ci * deadline as usize + t as usize];
             let adds_unit = usize::from(u + 1 > current_units);
             let key = (adds_unit, u, t);
             if best.is_none_or(|b| key < b) {
@@ -125,121 +119,39 @@ pub fn freedom_based_schedule(
         }
         // The window check above guarantees at least one candidate step.
         let Some((_, _, t)) = best else {
-            return Err(ScheduleError::InfeasibleWindow {
-                op: format!("{op:?}"),
-                lo: lo[&op],
-                hi: hi[&op],
-                deadline,
-            });
+            return Err(sg.infeasible(i, lo[i], hi[i], deadline));
         };
-        place(
-            dfg,
-            classifier,
-            op,
-            t,
-            &mut placed,
-            &mut schedule,
-            &mut usage,
-            &mut unit_count,
-        );
-        propagate(dfg, classifier, &mut lo, &mut hi, op, t, deadline)?;
+        place(i, t, &mut placed, &mut usage, &mut unit_count);
+        sg.pin_and_propagate(&mut lo, &mut hi, i, t, deadline, |_, _, _, _, _| {})?;
     }
 
-    // Chained-free ops at their earliest start.
-    for op in dfg.topological_order()? {
-        if !placed.contains_key(&op) {
-            let s = earliest_start(dfg, classifier, &placed, op);
-            placed.insert(op, s);
-            schedule.assign(op, s);
+    // Chained-free ops at their earliest start (placed windows are pinned,
+    // so `lo` doubles as the final step vector).
+    for &i in sg.graph().topo() {
+        let i = i as usize;
+        if placed[i] {
+            continue;
         }
+        let free = sg.is_free(i);
+        let mut s = 0;
+        for &p in sg.graph().preds(i) {
+            let p = p as usize;
+            if sg.is_wired(p) {
+                continue;
+            }
+            s = s.max(if free { lo[p] } else { lo[p] + 1 });
+        }
+        lo[i] = s;
+        schedule.assign(sg.op(i), s);
     }
     schedule.set_num_steps(deadline);
     Ok(schedule)
 }
 
-#[allow(clippy::too_many_arguments)]
-fn place(
-    dfg: &DataFlowGraph,
-    classifier: &OpClassifier,
-    op: OpId,
-    t: u32,
-    placed: &mut HashMap<OpId, u32>,
-    schedule: &mut Schedule,
-    usage: &mut HashMap<(crate::FuClass, u32), usize>,
-    unit_count: &mut HashMap<crate::FuClass, usize>,
-) {
-    placed.insert(op, t);
-    schedule.assign(op, t);
-    if let Some(class) = classifier.classify(dfg, op) {
-        let u = usage.entry((class, t)).or_insert(0);
-        *u += 1;
-        let c = unit_count.entry(class).or_insert(0);
-        *c = (*c).max(*u);
-    }
-}
-
-/// Pins `op` at `t` and tightens neighbor windows transitively; an
-/// emptied window is reported (not clamped), mirroring the
-/// force-directed propagation.
-fn propagate(
-    dfg: &DataFlowGraph,
-    classifier: &OpClassifier,
-    lo: &mut HashMap<OpId, u32>,
-    hi: &mut HashMap<OpId, u32>,
-    op: OpId,
-    t: u32,
-    deadline: u32,
-) -> Result<(), ScheduleError> {
-    lo.insert(op, t);
-    hi.insert(op, t);
-    let infeasible = |op: OpId, lo: u32, hi: u32| ScheduleError::InfeasibleWindow {
-        op: format!("{op:?}"),
-        lo,
-        hi,
-        deadline,
-    };
-    let mut work = vec![op];
-    while let Some(o) = work.pop() {
-        let (olo, ohi) = (lo[&o], hi[&o]);
-        for succ in dfg.succs(o) {
-            if is_wired(dfg, succ) {
-                continue;
-            }
-            let min_start = olo + if classifier.is_free(dfg, succ) { 0 } else { 1 };
-            if lo[&succ] < min_start {
-                if min_start > hi[&succ] || min_start >= deadline {
-                    return Err(infeasible(succ, min_start, hi[&succ]));
-                }
-                lo.insert(succ, min_start);
-                work.push(succ);
-            }
-        }
-        for pred in dfg.preds(o) {
-            if is_wired(dfg, pred) {
-                continue;
-            }
-            let max_end = if classifier.is_free(dfg, o) {
-                ohi
-            } else if ohi == 0 {
-                return Err(infeasible(pred, lo[&pred], 0));
-            } else {
-                ohi - 1
-            };
-            if hi[&pred] > max_end {
-                if max_end < lo[&pred] {
-                    return Err(infeasible(pred, lo[&pred], max_end));
-                }
-                hi.insert(pred, max_end);
-                work.push(pred);
-            }
-        }
-    }
-    Ok(())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::precedence::unconstrained_asap;
     use crate::resource::{FuClass, ResourceLimits};
 
     #[test]

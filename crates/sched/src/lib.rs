@@ -38,6 +38,7 @@
 mod alap;
 mod asap;
 mod bb;
+pub mod bounds;
 mod cdfg_sched;
 mod chain;
 mod error;
@@ -53,12 +54,13 @@ mod transform;
 pub use alap::alap_schedule;
 pub use asap::asap_schedule;
 pub use bb::{branch_and_bound_schedule, DEFAULT_NODE_BUDGET};
-pub use cdfg_sched::{schedule_cdfg, Algorithm};
+pub use bounds::{SchedGraph, Windows};
+pub use cdfg_sched::{schedule_cdfg, schedule_cdfg_cached, Algorithm, CdfgBoundsCache};
 pub use chain::{chained_schedule, ChainedSchedule, DelayModel};
 pub use error::ScheduleError;
-pub use force::{distribution_graphs, force_directed_schedule, DistributionGraphs};
-pub use freedom::freedom_based_schedule;
-pub use list::{list_schedule, Priority};
+pub use force::{distribution_graphs, force_directed_schedule, DistributionGraphs, ForceScheduler};
+pub use freedom::{freedom_based_schedule, freedom_based_schedule_graph};
+pub use list::{list_schedule, list_schedule_graph, Priority};
 pub use pipeline::{pipeline_loop, reservation_table, PipelineResult};
 pub use resource::{ClassifierStyle, FuClass, OpClassifier, ResourceLimits};
 pub use schedule::{CdfgSchedule, Schedule};

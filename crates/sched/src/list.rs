@@ -5,12 +5,15 @@
 //! ordered by some priority function. Each operation on the list is taken
 //! in turn and is scheduled if the resources it needs are still free in
 //! that step; otherwise it is deferred to the next step" (§3.1.2).
+//!
+//! The ready set is maintained incrementally over the dense [`SchedGraph`]:
+//! each op tracks its count of unscheduled (non-wired) producers and its
+//! earliest feasible step, both updated in O(1) per dependence edge as
+//! producers land — no per-step re-derivation of readiness from hash maps.
 
-use std::collections::{HashMap, HashSet};
+use hls_cdfg::DataFlowGraph;
 
-use hls_cdfg::{DataFlowGraph, OpId};
-
-use crate::precedence::{earliest_start, preds_scheduled};
+use crate::bounds::SchedGraph;
 use crate::resource::{OpClassifier, ResourceLimits};
 use crate::schedule::Schedule;
 use crate::ScheduleError;
@@ -52,23 +55,88 @@ pub fn list_schedule(
     limits: &ResourceLimits,
     priority: Priority,
 ) -> Result<Schedule, ScheduleError> {
-    let rank = compute_rank(dfg, classifier, priority)?;
-    let mut steps: HashMap<OpId, u32> = HashMap::new();
+    list_schedule_graph(dfg, &SchedGraph::build(dfg, classifier)?, limits, priority)
+}
+
+/// [`list_schedule`] from an already-built (possibly cached)
+/// [`SchedGraph`] of `dfg`.
+///
+/// # Errors
+///
+/// As [`list_schedule`], minus [`ScheduleError::Cycle`].
+pub fn list_schedule_graph(
+    dfg: &DataFlowGraph,
+    sg: &SchedGraph,
+    limits: &ResourceLimits,
+    priority: Priority,
+) -> Result<Schedule, ScheduleError> {
+    let n = sg.len();
+    let rank = compute_rank(dfg, sg, priority);
+    let (classes, class_idx) = sg.dense_classes();
     let mut schedule = Schedule::new();
-    let mut unscheduled: HashSet<OpId> = dfg.op_ids().collect();
-    let total_ops = unscheduled.len();
-    let mut usage: HashMap<(crate::FuClass, u32), usize> = HashMap::new();
+    let mut scheduled = vec![false; n];
+    let mut remaining = n;
+    // Incremental readiness: producers left to land, and the earliest step
+    // permitted by the producers that have.
+    let mut pending_preds = vec![0u32; n];
+    let mut est = vec![0u32; n];
+    for (i, pending) in pending_preds.iter_mut().enumerate() {
+        *pending = sg
+            .graph()
+            .preds(i)
+            .iter()
+            .filter(|&&p| !sg.is_wired(p as usize))
+            .count() as u32;
+    }
+    // steps[i] is meaningful once scheduled[i]; it feeds successor `est`s.
+    let mut steps = vec![0u32; n];
+
+    // Lands op `i` at step `t` and refreshes successor readiness. Wired
+    // producers constrain nothing (their value is always available), so
+    // their landing leaves `est`/`pending_preds` untouched.
+    macro_rules! land {
+        ($i:expr, $t:expr, $free_ready:expr) => {{
+            let (i, t) = ($i, $t);
+            steps[i] = t;
+            scheduled[i] = true;
+            remaining -= 1;
+            schedule.assign(sg.op(i), t);
+            if !sg.is_wired(i) {
+                for &s in sg.graph().succs(i) {
+                    let s = s as usize;
+                    let min = if sg.is_free(s) { t } else { t + 1 };
+                    est[s] = est[s].max(min);
+                    pending_preds[s] -= 1;
+                    if pending_preds[s] == 0 && sg.is_free(s) {
+                        $free_ready.push(s);
+                    }
+                }
+            }
+        }};
+    }
+
+    // Free ops bind as soon as their predecessors are placed; seed with
+    // the source free ops (constants included — they are free with no
+    // producers).
+    let mut free_ready: Vec<usize> = (0..n)
+        .filter(|&i| sg.is_free(i) && pending_preds[i] == 0)
+        .collect();
+
     let mut cs = 0u32;
     let mut guard = 0usize;
-    while !unscheduled.is_empty() {
+    let mut ready: Vec<usize> = Vec::new();
+    // Per-class occupancy of the current step only; cheaper than a map
+    // keyed by (class, step) and equivalent because `cs` only advances.
+    let mut used_now = vec![0usize; classes.len()];
+    while remaining > 0 {
         guard += 1;
-        if guard > 4 * total_ops + 64 {
+        if guard > 4 * n + 64 {
             // Every iteration of the outer loop either schedules an op or
             // advances the step past an op's ready time, so this cannot
             // trigger on valid inputs; it guards against zero limits that
             // slipped through classification changes.
-            if let Some(&op) = unscheduled.iter().next() {
-                if let Some(class) = classifier.classify(dfg, op) {
+            if let Some(i) = (0..n).find(|&i| !scheduled[i]) {
+                if let Some(class) = sg.class(i) {
                     if limits.limit(class) == 0 {
                         return Err(ScheduleError::ZeroResource { class });
                     }
@@ -76,52 +144,33 @@ pub fn list_schedule(
             }
             return Err(ScheduleError::SearchBudgetExhausted);
         }
-        // Free ops bind as soon as their predecessors are placed.
-        loop {
-            let free_ready: Vec<OpId> = unscheduled
-                .iter()
-                .copied()
-                .filter(|&op| classifier.is_free(dfg, op) && preds_scheduled(dfg, &steps, op))
-                .collect();
-            if free_ready.is_empty() {
-                break;
+        // Drain chains of free ops (each landing may ready more).
+        while let Some(i) = free_ready.pop() {
+            if scheduled[i] {
+                continue;
             }
-            for op in free_ready {
-                let s = earliest_start(dfg, classifier, &steps, op);
-                steps.insert(op, s);
-                schedule.assign(op, s);
-                unscheduled.remove(&op);
-            }
+            land!(i, est[i], free_ready);
         }
-        if unscheduled.is_empty() {
+        if remaining == 0 {
             break;
         }
-        // Ready list for this control step, highest priority first.
-        let mut ready: Vec<OpId> = unscheduled
-            .iter()
-            .copied()
-            .filter(|&op| {
-                preds_scheduled(dfg, &steps, op)
-                    && earliest_start(dfg, classifier, &steps, op) <= cs
-            })
-            .collect();
-        ready.sort_by_key(|&op| (std::cmp::Reverse(rank[&op]), op));
-        for op in ready {
-            // Free ops were chained into producer steps above; a ready
-            // op without a class would already be scheduled, so skip
-            // rather than assume.
-            let Some(class) = classifier.classify(dfg, op) else {
+        // Ready list for this control step, highest priority first. Free
+        // ops were chained above, so everything ready here is classified.
+        ready.clear();
+        ready.extend((0..n).filter(|&i| !scheduled[i] && pending_preds[i] == 0 && est[i] <= cs));
+        ready.sort_unstable_by_key(|&i| (std::cmp::Reverse(rank[i]), i));
+        used_now.iter_mut().for_each(|u| *u = 0);
+        for &i in &ready {
+            let Some(ci) = class_idx[i] else {
                 continue;
             };
-            if limits.limit(class) == 0 {
-                return Err(ScheduleError::ZeroResource { class });
+            let limit = limits.limit(classes[ci]);
+            if limit == 0 {
+                return Err(ScheduleError::ZeroResource { class: classes[ci] });
             }
-            let used = usage.entry((class, cs)).or_insert(0);
-            if *used < limits.limit(class) {
-                *used += 1;
-                steps.insert(op, cs);
-                schedule.assign(op, cs);
-                unscheduled.remove(&op);
+            if used_now[ci] < limit {
+                used_now[ci] += 1;
+                land!(i, cs, free_ready);
             } // else deferred to the next step
         }
         cs += 1;
@@ -129,30 +178,27 @@ pub fn list_schedule(
     Ok(schedule)
 }
 
-/// Higher rank = scheduled earlier.
-fn compute_rank(
-    dfg: &DataFlowGraph,
-    classifier: &OpClassifier,
-    priority: Priority,
-) -> Result<HashMap<OpId, i64>, ScheduleError> {
-    Ok(match priority {
-        Priority::PathLength => hls_cdfg::analysis::path_length_to_sink(dfg)
-            .into_iter()
-            .map(|(op, l)| (op, l as i64))
-            .collect(),
-        Priority::Urgency => {
-            let (_, cp) = crate::precedence::unconstrained_asap(dfg, classifier)?;
-            let alap = crate::precedence::unconstrained_alap(dfg, classifier, cp)?;
-            alap.into_iter().map(|(op, a)| (op, -(a as i64))).collect()
-        }
-        Priority::Mobility => {
-            let (asap, cp) = crate::precedence::unconstrained_asap(dfg, classifier)?;
-            let alap = crate::precedence::unconstrained_alap(dfg, classifier, cp)?;
-            asap.into_iter()
-                .map(|(op, a)| (op, -((alap[&op] - a.min(alap[&op])) as i64)))
+/// Higher rank = scheduled earlier, as a dense vector.
+fn compute_rank(dfg: &DataFlowGraph, sg: &SchedGraph, priority: Priority) -> Vec<i64> {
+    match priority {
+        Priority::PathLength => {
+            let lengths = hls_cdfg::analysis::path_length_to_sink(dfg);
+            (0..sg.len())
+                .map(|i| lengths.get(&sg.op(i)).copied().unwrap_or(0) as i64)
                 .collect()
         }
-    })
+        Priority::Urgency => {
+            let (_, cp) = sg.asap();
+            sg.alap(cp).iter().map(|&a| -(a as i64)).collect()
+        }
+        Priority::Mobility => {
+            let (asap, cp) = sg.asap();
+            let alap = sg.alap(cp);
+            (0..sg.len())
+                .map(|i| -((alap[i] - asap[i].min(alap[i])) as i64))
+                .collect()
+        }
+    }
 }
 
 #[cfg(test)]

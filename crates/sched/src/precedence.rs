@@ -56,59 +56,31 @@ pub fn preds_scheduled(dfg: &DataFlowGraph, steps: &HashMap<OpId, u32>, op: OpId
 
 /// Dependence-only ASAP steps under the chaining rules above (no resource
 /// limits). Returns `(steps, total)`.
+///
+/// Thin `HashMap` facade over [`crate::bounds::SchedGraph::asap`]; callers
+/// that schedule the same block repeatedly should build a
+/// [`crate::bounds::SchedGraph`] once instead.
 pub fn unconstrained_asap(
     dfg: &DataFlowGraph,
     classifier: &OpClassifier,
 ) -> Result<(HashMap<OpId, u32>, u32), crate::ScheduleError> {
-    let order = dfg.topological_order()?;
-    let mut steps: HashMap<OpId, u32> = HashMap::new();
-    let mut total = 0;
-    for op in order {
-        let s = earliest_start(dfg, classifier, &steps, op);
-        steps.insert(op, s);
-        // Wired ops never extend the schedule; chained and step-taking ops
-        // both register their result at the end of step `s`.
-        if !is_wired(dfg, op) {
-            total = total.max(s + 1);
-        }
-    }
+    let sg = crate::bounds::SchedGraph::build(dfg, classifier)?;
+    let (dense, total) = sg.asap();
+    let steps = (0..sg.len()).map(|i| (sg.op(i), dense[i])).collect();
     Ok((steps, total))
 }
 
 /// Dependence-only ALAP steps against a `deadline`, mirroring
-/// [`unconstrained_asap`].
+/// [`unconstrained_asap`] (facade over
+/// [`crate::bounds::SchedGraph::alap`]).
 pub fn unconstrained_alap(
     dfg: &DataFlowGraph,
     classifier: &OpClassifier,
     deadline: u32,
 ) -> Result<HashMap<OpId, u32>, crate::ScheduleError> {
-    let order = dfg.topological_order()?;
-    let mut steps: HashMap<OpId, u32> = HashMap::new();
-    for &op in order.iter().rev() {
-        if is_wired(dfg, op) {
-            steps.insert(op, 0);
-            continue;
-        }
-        let mut latest = deadline.saturating_sub(1);
-        for succ in dfg.succs(op) {
-            if is_wired(dfg, succ) {
-                continue;
-            }
-            let ss = steps[&succ];
-            // Invert earliest_start: succ free ⇒ op ≤ ss; succ step-taking
-            // ⇒ op ≤ ss-1 when op is visible from step ss... op's result is
-            // ready at op_step+1 (both chained and step ops register at end
-            // of their step), except succ may chain onto a step op.
-            let max_for_succ = if classifier.is_free(dfg, succ) {
-                ss
-            } else {
-                ss.saturating_sub(1)
-            };
-            latest = latest.min(max_for_succ);
-        }
-        steps.insert(op, latest);
-    }
-    Ok(steps)
+    let sg = crate::bounds::SchedGraph::build(dfg, classifier)?;
+    let dense = sg.alap(deadline);
+    Ok((0..sg.len()).map(|i| (sg.op(i), dense[i])).collect())
 }
 
 #[cfg(test)]

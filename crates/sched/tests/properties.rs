@@ -14,7 +14,7 @@
 use hls_sched::precedence::{unconstrained_alap, unconstrained_asap};
 use hls_sched::{
     alap_schedule, asap_schedule, force_directed_schedule, freedom_based_schedule, list_schedule,
-    OpClassifier, Priority, ResourceLimits, Schedule, ScheduleError,
+    ForceScheduler, OpClassifier, Priority, ResourceLimits, SchedGraph, Schedule, ScheduleError,
 };
 use hls_testkit::{forall, Config, SplitMix64};
 use hls_workloads::random::{random_dag, RandomDagConfig};
@@ -138,6 +138,60 @@ fn time_constrained_schedulers_meet_the_deadline() {
             fb.validate(&dfg, &classifier, &unlimited).expect("freedom");
             assert!(fb.num_steps() <= deadline);
             assert_bounds(&fb, &dfg, &classifier, "freedom");
+        }
+    });
+}
+
+/// The distribution graphs the force-directed engine maintains
+/// incrementally (window-delta updates on every placement) must agree
+/// with a from-scratch recomputation — uniform `1/(hi-lo+1)` mass over
+/// every classified op's current window — after *each* placement, not
+/// just at the end. A stale or double-applied delta shows up here long
+/// before it changes a schedule.
+#[test]
+fn incremental_distribution_graphs_match_from_scratch() {
+    forall(&Config::cases(128), gen_instance, |inst| {
+        let dfg = random_dag(&inst.dag);
+        for classifier in [
+            OpClassifier::universal(),
+            OpClassifier::typed(),
+            OpClassifier::universal_free_shifts(),
+        ] {
+            let sg = SchedGraph::build(&dfg, &classifier).expect("acyclic");
+            let (_, cp) = sg.asap();
+            let deadline = cp.max(1) + (inst.fus as u32) % 3;
+            let mut eng = ForceScheduler::new(&dfg, &classifier, deadline).expect("engine");
+            loop {
+                let dg = eng.graphs();
+                // From-scratch reference off the engine's current windows.
+                let mut reference = dg.clone();
+                for v in reference.values_mut() {
+                    v.iter_mut().for_each(|x| *x = 0.0);
+                }
+                for i in 0..sg.len() {
+                    let Some(class) = sg.class(i) else { continue };
+                    let (lo, hi) = eng.window(sg.op(i)).expect("classified op has a window");
+                    let mass = 1.0 / f64::from(hi - lo + 1);
+                    let row = reference.get_mut(&class).expect("class present in DG");
+                    for t in lo..=hi {
+                        row[t as usize] += mass;
+                    }
+                }
+                for (class, row) in &reference {
+                    let got = &dg[class];
+                    assert_eq!(got.len(), row.len());
+                    for (t, (g, r)) in got.iter().zip(row).enumerate() {
+                        assert!(
+                            (g - r).abs() <= 1e-9,
+                            "DG({class:?})[{t}]: incremental {g} vs from-scratch {r}"
+                        );
+                    }
+                }
+                match eng.place_next().expect("feasible placement") {
+                    Some(_) => {}
+                    None => break,
+                }
+            }
         }
     });
 }

@@ -60,6 +60,11 @@ pub struct Metrics {
     /// Current queued + in-flight requests, and its high-water mark.
     queue_depth: AtomicUsize,
     queue_high_water: AtomicUsize,
+    /// Cumulative wall-clock time inside each synthesis pipeline stage,
+    /// in nanoseconds (schedule, allocate, rtl).
+    stage_schedule_nanos: AtomicU64,
+    stage_alloc_nanos: AtomicU64,
+    stage_rtl_nanos: AtomicU64,
 }
 
 impl Metrics {
@@ -106,6 +111,25 @@ impl Metrics {
     /// Records a panic caught by the request firewall.
     pub fn panic(&self) {
         self.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accumulates the per-stage pipeline timings of one synthesis run.
+    pub fn observe_stages(&self, stages: hls_core::StageNanos) {
+        self.stage_schedule_nanos
+            .fetch_add(stages.schedule, Ordering::Relaxed);
+        self.stage_alloc_nanos
+            .fetch_add(stages.allocate, Ordering::Relaxed);
+        self.stage_rtl_nanos
+            .fetch_add(stages.rtl, Ordering::Relaxed);
+    }
+
+    /// Cumulative (schedule, alloc, rtl) stage time in seconds.
+    pub fn stage_seconds(&self) -> (f64, f64, f64) {
+        (
+            self.stage_schedule_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+            self.stage_alloc_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+            self.stage_rtl_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+        )
     }
 
     /// Number of caught panics so far (used by tests).
@@ -214,6 +238,15 @@ impl Metrics {
              hls_requests_deadline_cancelled_total {}",
             self.deadline_cancelled.load(Ordering::Relaxed)
         );
+        let (sched_s, alloc_s, rtl_s) = self.stage_seconds();
+        let _ = writeln!(
+            out,
+            "# HELP hls_serve_stage_seconds_total Wall-clock time inside each synthesis pipeline stage.\n\
+             # TYPE hls_serve_stage_seconds_total counter\n\
+             hls_serve_stage_seconds_total{{stage=\"schedule\"}} {sched_s}\n\
+             hls_serve_stage_seconds_total{{stage=\"alloc\"}} {alloc_s}\n\
+             hls_serve_stage_seconds_total{{stage=\"rtl\"}} {rtl_s}"
+        );
         let _ = writeln!(
             out,
             "# HELP hls_queue_depth Queued plus in-flight requests.\n\
@@ -283,6 +316,27 @@ mod tests {
         assert!(text.contains("hls_requests_deadline_cancelled_total 1"));
         assert!(text.contains("hls_serve_panics_total 1"));
         assert_eq!(m.panics_total(), 1);
+    }
+
+    #[test]
+    fn stage_counters_accumulate_and_render() {
+        let m = Metrics::new();
+        m.observe_stages(hls_core::StageNanos {
+            schedule: 2_000_000_000,
+            allocate: 500_000_000,
+            rtl: 250_000_000,
+        });
+        m.observe_stages(hls_core::StageNanos {
+            schedule: 1_000_000_000,
+            allocate: 0,
+            rtl: 250_000_000,
+        });
+        let (s, a, r) = m.stage_seconds();
+        assert_eq!((s, a, r), (3.0, 0.5, 0.5));
+        let text = m.render();
+        assert!(text.contains(r#"hls_serve_stage_seconds_total{stage="schedule"} 3"#));
+        assert!(text.contains(r#"hls_serve_stage_seconds_total{stage="alloc"} 0.5"#));
+        assert!(text.contains(r#"hls_serve_stage_seconds_total{stage="rtl"} 0.5"#));
     }
 
     #[test]

@@ -467,6 +467,7 @@ fn synthesize(req: &Request, ctx: &Ctx) -> Response {
         Ok(r) => r,
         Err(e) => return synthesis_error_response(&e, ctx),
     };
+    ctx.metrics.observe_stages(result.stage_nanos);
     let rendered = api::synthesize_response(&parsed, behavior_fp, &result)
         .render()
         .into_bytes();

@@ -150,6 +150,23 @@ fn golden_synthesize_with_cache_roundtrip() {
         first.body, second.body,
         "cache must serve byte-exact repeats"
     );
+
+    // The miss ran the real pipeline, so every stage counter is nonzero;
+    // timings live only in /metrics, never in response bodies.
+    let metrics = get(server.addr, "/metrics");
+    for stage in ["schedule", "alloc", "rtl"] {
+        let needle = format!("hls_serve_stage_seconds_total{{stage=\"{stage}\"}} ");
+        let seconds: f64 = metrics
+            .body
+            .lines()
+            .find_map(|l| l.strip_prefix(&needle))
+            .unwrap_or_else(|| panic!("missing {needle} in: {}", metrics.body))
+            .trim()
+            .parse()
+            .expect("stage counter value");
+        assert!(seconds > 0.0, "stage {stage} counter stayed zero");
+    }
+    assert!(!first.body.contains("stage"), "timings leaked into body");
     server.stop();
 }
 

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/clique_differential-0c2fd1b9dc550169.d: crates/alloc/tests/clique_differential.rs
+
+/root/repo/target/debug/deps/clique_differential-0c2fd1b9dc550169: crates/alloc/tests/clique_differential.rs
+
+crates/alloc/tests/clique_differential.rs:

@@ -1,6 +1,7 @@
-/root/repo/target/debug/deps/hls_bench-3715bcc74d653f7c.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+/root/repo/target/debug/deps/hls_bench-3715bcc74d653f7c.d: crates/bench/src/lib.rs crates/bench/src/gate.rs crates/bench/src/harness.rs
 
-/root/repo/target/debug/deps/hls_bench-3715bcc74d653f7c: crates/bench/src/lib.rs crates/bench/src/harness.rs
+/root/repo/target/debug/deps/hls_bench-3715bcc74d653f7c: crates/bench/src/lib.rs crates/bench/src/gate.rs crates/bench/src/harness.rs
 
 crates/bench/src/lib.rs:
+crates/bench/src/gate.rs:
 crates/bench/src/harness.rs:

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/hls_bench-3a38489a19ad2cfa.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+/root/repo/target/debug/deps/hls_bench-3a38489a19ad2cfa.d: crates/bench/src/lib.rs crates/bench/src/gate.rs crates/bench/src/harness.rs
 
-/root/repo/target/debug/deps/libhls_bench-3a38489a19ad2cfa.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+/root/repo/target/debug/deps/libhls_bench-3a38489a19ad2cfa.rlib: crates/bench/src/lib.rs crates/bench/src/gate.rs crates/bench/src/harness.rs
 
-/root/repo/target/debug/deps/libhls_bench-3a38489a19ad2cfa.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+/root/repo/target/debug/deps/libhls_bench-3a38489a19ad2cfa.rmeta: crates/bench/src/lib.rs crates/bench/src/gate.rs crates/bench/src/harness.rs
 
 crates/bench/src/lib.rs:
+crates/bench/src/gate.rs:
 crates/bench/src/harness.rs:

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/hls_bench-f544d5aafbcb8b61.d: crates/bench/src/lib.rs crates/bench/src/harness.rs Cargo.toml
+/root/repo/target/debug/deps/hls_bench-f544d5aafbcb8b61.d: crates/bench/src/lib.rs crates/bench/src/gate.rs crates/bench/src/harness.rs Cargo.toml
 
-/root/repo/target/debug/deps/libhls_bench-f544d5aafbcb8b61.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs Cargo.toml
+/root/repo/target/debug/deps/libhls_bench-f544d5aafbcb8b61.rmeta: crates/bench/src/lib.rs crates/bench/src/gate.rs crates/bench/src/harness.rs Cargo.toml
 
 crates/bench/src/lib.rs:
+crates/bench/src/gate.rs:
 crates/bench/src/harness.rs:
 Cargo.toml:
 

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/hls_cdfg-0b1dd584e56caae8.d: crates/cdfg/src/lib.rs crates/cdfg/src/analysis.rs crates/cdfg/src/cdfg.rs crates/cdfg/src/dfg.rs crates/cdfg/src/dot.rs crates/cdfg/src/error.rs crates/cdfg/src/fixed.rs crates/cdfg/src/ids.rs crates/cdfg/src/op.rs Cargo.toml
+/root/repo/target/debug/deps/hls_cdfg-0b1dd584e56caae8.d: crates/cdfg/src/lib.rs crates/cdfg/src/analysis.rs crates/cdfg/src/cdfg.rs crates/cdfg/src/dense.rs crates/cdfg/src/dfg.rs crates/cdfg/src/dot.rs crates/cdfg/src/error.rs crates/cdfg/src/fixed.rs crates/cdfg/src/ids.rs crates/cdfg/src/op.rs Cargo.toml
 
-/root/repo/target/debug/deps/libhls_cdfg-0b1dd584e56caae8.rmeta: crates/cdfg/src/lib.rs crates/cdfg/src/analysis.rs crates/cdfg/src/cdfg.rs crates/cdfg/src/dfg.rs crates/cdfg/src/dot.rs crates/cdfg/src/error.rs crates/cdfg/src/fixed.rs crates/cdfg/src/ids.rs crates/cdfg/src/op.rs Cargo.toml
+/root/repo/target/debug/deps/libhls_cdfg-0b1dd584e56caae8.rmeta: crates/cdfg/src/lib.rs crates/cdfg/src/analysis.rs crates/cdfg/src/cdfg.rs crates/cdfg/src/dense.rs crates/cdfg/src/dfg.rs crates/cdfg/src/dot.rs crates/cdfg/src/error.rs crates/cdfg/src/fixed.rs crates/cdfg/src/ids.rs crates/cdfg/src/op.rs Cargo.toml
 
 crates/cdfg/src/lib.rs:
 crates/cdfg/src/analysis.rs:
 crates/cdfg/src/cdfg.rs:
+crates/cdfg/src/dense.rs:
 crates/cdfg/src/dfg.rs:
 crates/cdfg/src/dot.rs:
 crates/cdfg/src/error.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/hls_sched-7fe41169c39f3af4.d: crates/sched/src/lib.rs crates/sched/src/alap.rs crates/sched/src/asap.rs crates/sched/src/bb.rs crates/sched/src/cdfg_sched.rs crates/sched/src/chain.rs crates/sched/src/error.rs crates/sched/src/force.rs crates/sched/src/freedom.rs crates/sched/src/list.rs crates/sched/src/pipeline.rs crates/sched/src/precedence.rs crates/sched/src/resource.rs crates/sched/src/schedule.rs crates/sched/src/transform.rs Cargo.toml
+/root/repo/target/debug/deps/hls_sched-7fe41169c39f3af4.d: crates/sched/src/lib.rs crates/sched/src/alap.rs crates/sched/src/asap.rs crates/sched/src/bb.rs crates/sched/src/bounds.rs crates/sched/src/cdfg_sched.rs crates/sched/src/chain.rs crates/sched/src/error.rs crates/sched/src/force.rs crates/sched/src/freedom.rs crates/sched/src/list.rs crates/sched/src/pipeline.rs crates/sched/src/precedence.rs crates/sched/src/resource.rs crates/sched/src/schedule.rs crates/sched/src/transform.rs Cargo.toml
 
-/root/repo/target/debug/deps/libhls_sched-7fe41169c39f3af4.rmeta: crates/sched/src/lib.rs crates/sched/src/alap.rs crates/sched/src/asap.rs crates/sched/src/bb.rs crates/sched/src/cdfg_sched.rs crates/sched/src/chain.rs crates/sched/src/error.rs crates/sched/src/force.rs crates/sched/src/freedom.rs crates/sched/src/list.rs crates/sched/src/pipeline.rs crates/sched/src/precedence.rs crates/sched/src/resource.rs crates/sched/src/schedule.rs crates/sched/src/transform.rs Cargo.toml
+/root/repo/target/debug/deps/libhls_sched-7fe41169c39f3af4.rmeta: crates/sched/src/lib.rs crates/sched/src/alap.rs crates/sched/src/asap.rs crates/sched/src/bb.rs crates/sched/src/bounds.rs crates/sched/src/cdfg_sched.rs crates/sched/src/chain.rs crates/sched/src/error.rs crates/sched/src/force.rs crates/sched/src/freedom.rs crates/sched/src/list.rs crates/sched/src/pipeline.rs crates/sched/src/precedence.rs crates/sched/src/resource.rs crates/sched/src/schedule.rs crates/sched/src/transform.rs Cargo.toml
 
 crates/sched/src/lib.rs:
 crates/sched/src/alap.rs:
 crates/sched/src/asap.rs:
 crates/sched/src/bb.rs:
+crates/sched/src/bounds.rs:
 crates/sched/src/cdfg_sched.rs:
 crates/sched/src/chain.rs:
 crates/sched/src/error.rs:

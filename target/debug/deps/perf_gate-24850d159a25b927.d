@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perf_gate-24850d159a25b927.d: crates/bench/src/bin/perf_gate.rs
+
+/root/repo/target/debug/deps/perf_gate-24850d159a25b927: crates/bench/src/bin/perf_gate.rs
+
+crates/bench/src/bin/perf_gate.rs:

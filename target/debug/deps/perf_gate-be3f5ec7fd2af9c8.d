@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perf_gate-be3f5ec7fd2af9c8.d: crates/bench/src/bin/perf_gate.rs
+
+/root/repo/target/debug/deps/perf_gate-be3f5ec7fd2af9c8: crates/bench/src/bin/perf_gate.rs
+
+crates/bench/src/bin/perf_gate.rs:

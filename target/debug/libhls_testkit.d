@@ -1,0 +1,1 @@
+/root/repo/target/debug/libhls_testkit.rlib: /root/repo/crates/testkit/src/lib.rs

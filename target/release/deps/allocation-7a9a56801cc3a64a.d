@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/allocation-7a9a56801cc3a64a.d: crates/bench/benches/allocation.rs
+
+/root/repo/target/release/deps/allocation-7a9a56801cc3a64a: crates/bench/benches/allocation.rs
+
+crates/bench/benches/allocation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/clique-b4f9b54980892068.d: crates/bench/benches/clique.rs
+
+/root/repo/target/release/deps/clique-b4f9b54980892068: crates/bench/benches/clique.rs
+
+crates/bench/benches/clique.rs:

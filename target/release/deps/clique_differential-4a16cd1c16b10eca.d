@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/clique_differential-4a16cd1c16b10eca.d: crates/alloc/tests/clique_differential.rs
+
+/root/repo/target/release/deps/clique_differential-4a16cd1c16b10eca: crates/alloc/tests/clique_differential.rs
+
+crates/alloc/tests/clique_differential.rs:

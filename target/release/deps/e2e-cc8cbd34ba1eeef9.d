@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e2e-cc8cbd34ba1eeef9.d: crates/bench/benches/e2e.rs
+
+/root/repo/target/release/deps/e2e-cc8cbd34ba1eeef9: crates/bench/benches/e2e.rs
+
+crates/bench/benches/e2e.rs:

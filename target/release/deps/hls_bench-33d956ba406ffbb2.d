@@ -1,6 +1,7 @@
-/root/repo/target/release/deps/hls_bench-33d956ba406ffbb2.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+/root/repo/target/release/deps/hls_bench-33d956ba406ffbb2.d: crates/bench/src/lib.rs crates/bench/src/gate.rs crates/bench/src/harness.rs
 
-/root/repo/target/release/deps/hls_bench-33d956ba406ffbb2: crates/bench/src/lib.rs crates/bench/src/harness.rs
+/root/repo/target/release/deps/hls_bench-33d956ba406ffbb2: crates/bench/src/lib.rs crates/bench/src/gate.rs crates/bench/src/harness.rs
 
 crates/bench/src/lib.rs:
+crates/bench/src/gate.rs:
 crates/bench/src/harness.rs:

@@ -1,8 +1,9 @@
-/root/repo/target/release/deps/hls_bench-86180c97791e5ec3.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+/root/repo/target/release/deps/hls_bench-86180c97791e5ec3.d: crates/bench/src/lib.rs crates/bench/src/gate.rs crates/bench/src/harness.rs
 
-/root/repo/target/release/deps/libhls_bench-86180c97791e5ec3.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+/root/repo/target/release/deps/libhls_bench-86180c97791e5ec3.rlib: crates/bench/src/lib.rs crates/bench/src/gate.rs crates/bench/src/harness.rs
 
-/root/repo/target/release/deps/libhls_bench-86180c97791e5ec3.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+/root/repo/target/release/deps/libhls_bench-86180c97791e5ec3.rmeta: crates/bench/src/lib.rs crates/bench/src/gate.rs crates/bench/src/harness.rs
 
 crates/bench/src/lib.rs:
+crates/bench/src/gate.rs:
 crates/bench/src/harness.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/hls_cdfg-1c0c9d439d3d6533.d: crates/cdfg/src/lib.rs crates/cdfg/src/analysis.rs crates/cdfg/src/cdfg.rs crates/cdfg/src/dfg.rs crates/cdfg/src/dot.rs crates/cdfg/src/error.rs crates/cdfg/src/fixed.rs crates/cdfg/src/ids.rs crates/cdfg/src/op.rs
+/root/repo/target/release/deps/hls_cdfg-1c0c9d439d3d6533.d: crates/cdfg/src/lib.rs crates/cdfg/src/analysis.rs crates/cdfg/src/cdfg.rs crates/cdfg/src/dense.rs crates/cdfg/src/dfg.rs crates/cdfg/src/dot.rs crates/cdfg/src/error.rs crates/cdfg/src/fixed.rs crates/cdfg/src/ids.rs crates/cdfg/src/op.rs
 
-/root/repo/target/release/deps/hls_cdfg-1c0c9d439d3d6533: crates/cdfg/src/lib.rs crates/cdfg/src/analysis.rs crates/cdfg/src/cdfg.rs crates/cdfg/src/dfg.rs crates/cdfg/src/dot.rs crates/cdfg/src/error.rs crates/cdfg/src/fixed.rs crates/cdfg/src/ids.rs crates/cdfg/src/op.rs
+/root/repo/target/release/deps/hls_cdfg-1c0c9d439d3d6533: crates/cdfg/src/lib.rs crates/cdfg/src/analysis.rs crates/cdfg/src/cdfg.rs crates/cdfg/src/dense.rs crates/cdfg/src/dfg.rs crates/cdfg/src/dot.rs crates/cdfg/src/error.rs crates/cdfg/src/fixed.rs crates/cdfg/src/ids.rs crates/cdfg/src/op.rs
 
 crates/cdfg/src/lib.rs:
 crates/cdfg/src/analysis.rs:
 crates/cdfg/src/cdfg.rs:
+crates/cdfg/src/dense.rs:
 crates/cdfg/src/dfg.rs:
 crates/cdfg/src/dot.rs:
 crates/cdfg/src/error.rs:

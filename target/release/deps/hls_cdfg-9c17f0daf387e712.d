@@ -1,12 +1,13 @@
-/root/repo/target/release/deps/hls_cdfg-9c17f0daf387e712.d: crates/cdfg/src/lib.rs crates/cdfg/src/analysis.rs crates/cdfg/src/cdfg.rs crates/cdfg/src/dfg.rs crates/cdfg/src/dot.rs crates/cdfg/src/error.rs crates/cdfg/src/fixed.rs crates/cdfg/src/ids.rs crates/cdfg/src/op.rs
+/root/repo/target/release/deps/hls_cdfg-9c17f0daf387e712.d: crates/cdfg/src/lib.rs crates/cdfg/src/analysis.rs crates/cdfg/src/cdfg.rs crates/cdfg/src/dense.rs crates/cdfg/src/dfg.rs crates/cdfg/src/dot.rs crates/cdfg/src/error.rs crates/cdfg/src/fixed.rs crates/cdfg/src/ids.rs crates/cdfg/src/op.rs
 
-/root/repo/target/release/deps/libhls_cdfg-9c17f0daf387e712.rlib: crates/cdfg/src/lib.rs crates/cdfg/src/analysis.rs crates/cdfg/src/cdfg.rs crates/cdfg/src/dfg.rs crates/cdfg/src/dot.rs crates/cdfg/src/error.rs crates/cdfg/src/fixed.rs crates/cdfg/src/ids.rs crates/cdfg/src/op.rs
+/root/repo/target/release/deps/libhls_cdfg-9c17f0daf387e712.rlib: crates/cdfg/src/lib.rs crates/cdfg/src/analysis.rs crates/cdfg/src/cdfg.rs crates/cdfg/src/dense.rs crates/cdfg/src/dfg.rs crates/cdfg/src/dot.rs crates/cdfg/src/error.rs crates/cdfg/src/fixed.rs crates/cdfg/src/ids.rs crates/cdfg/src/op.rs
 
-/root/repo/target/release/deps/libhls_cdfg-9c17f0daf387e712.rmeta: crates/cdfg/src/lib.rs crates/cdfg/src/analysis.rs crates/cdfg/src/cdfg.rs crates/cdfg/src/dfg.rs crates/cdfg/src/dot.rs crates/cdfg/src/error.rs crates/cdfg/src/fixed.rs crates/cdfg/src/ids.rs crates/cdfg/src/op.rs
+/root/repo/target/release/deps/libhls_cdfg-9c17f0daf387e712.rmeta: crates/cdfg/src/lib.rs crates/cdfg/src/analysis.rs crates/cdfg/src/cdfg.rs crates/cdfg/src/dense.rs crates/cdfg/src/dfg.rs crates/cdfg/src/dot.rs crates/cdfg/src/error.rs crates/cdfg/src/fixed.rs crates/cdfg/src/ids.rs crates/cdfg/src/op.rs
 
 crates/cdfg/src/lib.rs:
 crates/cdfg/src/analysis.rs:
 crates/cdfg/src/cdfg.rs:
+crates/cdfg/src/dense.rs:
 crates/cdfg/src/dfg.rs:
 crates/cdfg/src/dot.rs:
 crates/cdfg/src/error.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/logic-c19136a6f7f5b580.d: crates/bench/benches/logic.rs
+
+/root/repo/target/release/deps/logic-c19136a6f7f5b580: crates/bench/benches/logic.rs
+
+crates/bench/benches/logic.rs:

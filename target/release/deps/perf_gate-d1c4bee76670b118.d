@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/perf_gate-d1c4bee76670b118.d: crates/bench/src/bin/perf_gate.rs
+
+/root/repo/target/release/deps/perf_gate-d1c4bee76670b118: crates/bench/src/bin/perf_gate.rs
+
+crates/bench/src/bin/perf_gate.rs:

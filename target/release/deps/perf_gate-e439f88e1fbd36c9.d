@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/perf_gate-e439f88e1fbd36c9.d: crates/bench/src/bin/perf_gate.rs
+
+/root/repo/target/release/deps/perf_gate-e439f88e1fbd36c9: crates/bench/src/bin/perf_gate.rs
+
+crates/bench/src/bin/perf_gate.rs:

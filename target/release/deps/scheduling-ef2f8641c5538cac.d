@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scheduling-ef2f8641c5538cac.d: crates/bench/benches/scheduling.rs
+
+/root/repo/target/release/deps/scheduling-ef2f8641c5538cac: crates/bench/benches/scheduling.rs
+
+crates/bench/benches/scheduling.rs:
