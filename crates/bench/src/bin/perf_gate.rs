@@ -1,205 +1,26 @@
-//! The benchmark-regression gate: runs a fixed suite of scheduler,
-//! allocator, and end-to-end benchmarks and records or checks a
-//! machine-readable baseline (`BENCH_5.json` at the repository root).
+//! The benchmark-regression gate: runs the fixed suite from
+//! [`hls_bench::suite`] and records or checks a machine-readable
+//! baseline (`BENCH_5.json` at the repository root).
 //!
 //! * `perf_gate --write <path>` — run the suite and (re)write the baseline.
 //!   An existing file's `reference` entries are carried over, so recorded
 //!   historical numbers survive regeneration.
 //! * `perf_gate --check <path>` — run the suite, print a before/after
 //!   table, and exit non-zero when any benchmark regressed more than the
-//!   baseline's threshold (calibration-rescaled; see `hls_bench::gate`).
+//!   baseline's threshold (calibration-rescaled; see `hls_bench::gate`),
+//!   or when the hierarchical-scheduler tier lost its sub-quadratic
+//!   scaling (`hls_bench::suite::check_hforce_scaling` — enforced in
+//!   both modes, so a baseline can never launder a quadratic regression).
 //!
 //! Sample counts come from the usual harness knobs (`HLS_BENCH_SAMPLES`,
 //! `HLS_BENCH_WARMUP`), so CI can run a short gate while local tuning
 //! runs use more samples.
 
-use std::collections::BTreeMap;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use hls_alloc::{
-    clique_allocation, max_live, partition_max_clique, partition_tseng, value_intervals,
-    CliqueMethod, CompatGraph,
-};
-use hls_bench::gate::{compare, format_nanos, GateReport, DEFAULT_THRESHOLD_PCT};
-use hls_bench::harness::bench;
-use hls_core::Synthesizer;
-use hls_sched::{
-    force_directed_schedule, freedom_based_schedule, list_schedule, precedence, FuClass,
-    OpClassifier, Priority, ResourceLimits,
-};
-use hls_workloads::random::{random_dag, RandomDagConfig};
-
-/// Fixed spin count for the calibration workload: long enough to dominate
-/// timer noise, short enough to be irrelevant to total runtime.
-const CALIBRATION_SPINS: u64 = 4_000_000;
-
-/// The pure-CPU calibration workload (a SplitMix64-style mixing loop);
-/// its wall time tracks single-core speed of the machine running the gate.
-fn calibration_spin() -> u64 {
-    let mut x = 0x9E37_79B9_7F4A_7C15u64;
-    for _ in 0..CALIBRATION_SPINS {
-        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = x;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        x ^= z >> 31;
-    }
-    x
-}
-
-/// Deterministic pseudo-random compatibility graph (same construction as
-/// the `clique` bench target).
-fn random_compat_graph(n: usize, density_pct: u64, seed: u64) -> CompatGraph {
-    let mut g = CompatGraph::new(n);
-    let mut state = seed | 1;
-    let mut next = move || {
-        state ^= state >> 12;
-        state ^= state << 25;
-        state ^= state >> 27;
-        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
-    };
-    for i in 0..n {
-        for j in i + 1..n {
-            if next() % 100 < density_pct {
-                g.add_edge(i, j);
-            }
-        }
-    }
-    g
-}
-
-/// Synthetic scheduling workload with a bit more width than the default
-/// config, so time-constrained schedulers see non-trivial mobility.
-fn synth_dag(ops: usize) -> hls_cdfg::DataFlowGraph {
-    random_dag(&RandomDagConfig {
-        ops,
-        inputs: 16,
-        window: 24,
-        ..Default::default()
-    })
-}
-
-/// Runs the full gate suite and returns the recorded minima.
-///
-/// The gate records each benchmark's *minimum* sample, not its median:
-/// co-tenant interference and frequency scaling only ever add time, so
-/// the min is the least-noise estimate of the code's true cost, while a
-/// genuine regression shifts the entire distribution — min included.
-/// Medians at CI's short sample counts were observed to swing ±50% on
-/// shared machines while the pure-ALU calibration moved only a few
-/// percent.
-fn run_suite() -> GateReport {
-    let mut benchmarks: BTreeMap<String, u64> = BTreeMap::new();
-    let mut record = |name: &str, m: hls_bench::harness::Measurement| {
-        benchmarks.insert(name.to_string(), m.min().as_nanos() as u64);
-    };
-
-    let calibration = bench("gate/calibration", calibration_spin).min().as_nanos() as u64;
-
-    let typed = OpClassifier::typed();
-
-    // Paper workloads.
-    let diffeq = hls_workloads::benchmarks::diffeq();
-    record(
-        "sched/force/diffeq",
-        bench("sched/force/diffeq", || {
-            force_directed_schedule(&diffeq, &typed, 4).expect("schedules")
-        }),
-    );
-    let ewf = hls_workloads::benchmarks::ewf();
-    let (_, ewf_cp) = precedence::unconstrained_asap(&ewf, &typed).expect("acyclic");
-    record(
-        "sched/force/ewf",
-        bench("sched/force/ewf", || {
-            force_directed_schedule(&ewf, &typed, ewf_cp + 2).expect("schedules")
-        }),
-    );
-
-    // Synthetic DAGs.
-    let synth512 = synth_dag(512);
-    let (_, cp512) = precedence::unconstrained_asap(&synth512, &typed).expect("acyclic");
-    let synth2048 = synth_dag(2048);
-    let (_, cp2048) = precedence::unconstrained_asap(&synth2048, &typed).expect("acyclic");
-
-    record(
-        "sched/force/synth-512",
-        bench("sched/force/synth-512", || {
-            force_directed_schedule(&synth512, &typed, cp512 + 8).expect("schedules")
-        }),
-    );
-    record(
-        "sched/force/synth-2048",
-        bench("sched/force/synth-2048", || {
-            force_directed_schedule(&synth2048, &typed, cp2048 + 8).expect("schedules");
-            force_directed_schedule(&synth2048, &typed, cp2048 + 8).expect("schedules")
-        }),
-    );
-    record(
-        "sched/freedom/synth-512",
-        bench("sched/freedom/synth-512", || {
-            freedom_based_schedule(&synth512, &typed, cp512 + 8).expect("schedules")
-        }),
-    );
-    let list_limits = ResourceLimits::unlimited()
-        .with(FuClass::Alu, 8)
-        .with(FuClass::Multiplier, 4);
-    record(
-        "sched/list/synth-2048",
-        bench("sched/list/synth-2048", || {
-            list_schedule(&synth2048, &typed, &list_limits, Priority::PathLength)
-                .expect("schedules")
-        }),
-    );
-
-    // Allocation.
-    let compat = random_compat_graph(64, 50, 0xC11D);
-    record(
-        "alloc/clique-exact/rand-64",
-        bench("alloc/clique-exact/rand-64", || {
-            partition_max_clique(&compat)
-        }),
-    );
-    record(
-        "alloc/clique-tseng/rand-64",
-        bench("alloc/clique-tseng/rand-64", || partition_tseng(&compat)),
-    );
-    let sched2048 =
-        list_schedule(&synth2048, &typed, &list_limits, Priority::PathLength).expect("schedules");
-    record(
-        "alloc/lifetime/synth-2048",
-        bench("alloc/lifetime/synth-2048", || {
-            max_live(&value_intervals(&synth2048, &sched2048))
-        }),
-    );
-    let sched192 = list_schedule(&synth_dag(192), &typed, &list_limits, Priority::PathLength)
-        .expect("schedules");
-    let synth192 = synth_dag(192);
-    record(
-        "alloc/clique-fu/synth-192",
-        bench("alloc/clique-fu/synth-192", || {
-            clique_allocation(&synth192, &typed, &sched192, CliqueMethod::Tseng)
-        }),
-    );
-
-    // End to end on the paper's worked example.
-    let synth = Synthesizer::new();
-    record(
-        "e2e/sqrt",
-        bench("e2e/sqrt", || {
-            synth
-                .synthesize_source(hls_workloads::sources::SQRT)
-                .expect("synthesizes")
-        }),
-    );
-
-    GateReport {
-        threshold_pct: DEFAULT_THRESHOLD_PCT,
-        calibration_nanos: calibration,
-        benchmarks,
-        reference: BTreeMap::new(),
-    }
-}
+use hls_bench::gate::{compare, format_nanos, GateReport};
+use hls_bench::suite::{check_hforce_scaling, gate_sizes, run_suite, MAX_HFORCE_SCALING_RATIO};
 
 fn usage() -> ExitCode {
     eprintln!("usage: perf_gate --write <path> | --check <path>");
@@ -212,13 +33,25 @@ fn main() -> ExitCode {
         (Some(mode @ ("--write" | "--check")), Some(path)) if args.len() == 3 => (mode, path),
         _ => return usage(),
     };
+    let sizes = gate_sizes();
     let started = Instant::now();
-    let mut report = run_suite();
+    let mut report = run_suite(&sizes);
     println!(
         "\nsuite finished in {} ({} benchmarks)",
         format_nanos(started.elapsed().as_nanos() as u64),
         report.benchmarks.len()
     );
+    // The asymptotic claim is absolute, not baseline-relative: check it
+    // before either mode publishes anything.
+    match check_hforce_scaling(&report, &sizes) {
+        Ok(ratio) => println!(
+            "hforce scaling {ratio:.2}x across a 4x op step (limit {MAX_HFORCE_SCALING_RATIO}x)"
+        ),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
     match mode {
         "--write" => {
             // Keep recorded historical numbers across regenerations.

@@ -14,6 +14,7 @@
 
 pub mod gate;
 pub mod harness;
+pub mod suite;
 
 use hls_sched::{Algorithm, Priority};
 

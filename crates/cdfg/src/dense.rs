@@ -385,6 +385,49 @@ impl DepGraph {
     pub fn topo(&self) -> &[u32] {
         &self.topo
     }
+
+    /// Weakly-connected components of the subgraph induced on the dense
+    /// indices where `include` is true (edges through excluded ops do
+    /// not connect — e.g. constants, whose consumers share no timing
+    /// constraint). Components are returned with members ascending,
+    /// ordered by smallest member, so the grouping is deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `include.len()` differs from [`len`](Self::len).
+    pub fn components_where(&self, include: &[bool]) -> Vec<Vec<u32>> {
+        assert_eq!(include.len(), self.len(), "mask length mismatch");
+        let mut seen = vec![false; self.len()];
+        let mut out = Vec::new();
+        let mut frontier = Vec::new();
+        for start in 0..self.len() {
+            if seen[start] || !include[start] {
+                continue;
+            }
+            seen[start] = true;
+            frontier.push(start as u32);
+            let mut members = Vec::new();
+            while let Some(i) = frontier.pop() {
+                members.push(i);
+                let i = i as usize;
+                for &n in self.preds(i).iter().chain(self.succs(i)) {
+                    let ni = n as usize;
+                    if include[ni] && !seen[ni] {
+                        seen[ni] = true;
+                        frontier.push(n);
+                    }
+                }
+            }
+            members.sort_unstable();
+            out.push(members);
+        }
+        out
+    }
+
+    /// [`components_where`](Self::components_where) over every live op.
+    pub fn components(&self) -> Vec<Vec<u32>> {
+        self.components_where(&vec![true; self.len()])
+    }
 }
 
 #[cfg(test)]
@@ -509,6 +552,90 @@ mod tests {
         assert_eq!(dg.index_of(ops[2]), None);
         let b = dg.index_of(ops[1]).unwrap();
         assert!(dg.succs(b).is_empty(), "edge to dead op dropped");
+    }
+
+    #[test]
+    fn depgraph_empty_graph() {
+        let g = DataFlowGraph::new();
+        let dg = DepGraph::build(&g).unwrap();
+        assert_eq!(dg.len(), 0);
+        assert!(dg.topo().is_empty());
+        assert!(dg.components().is_empty());
+        assert!(dg.components_where(&[]).is_empty());
+    }
+
+    #[test]
+    fn depgraph_single_op() {
+        let mut g = DataFlowGraph::new();
+        let x = g.add_input("x", 32);
+        let a = g.add_op(OpKind::Inc, vec![x]);
+        g.set_output("y", g.result(a).unwrap());
+        let dg = DepGraph::build(&g).unwrap();
+        assert_eq!(dg.len(), 1);
+        assert!(dg.preds(0).is_empty() && dg.succs(0).is_empty());
+        assert_eq!(dg.topo(), &[0]);
+        assert_eq!(dg.components(), vec![vec![0]]);
+        assert!(dg.components_where(&[false]).is_empty(), "masked out");
+    }
+
+    /// Two independent chains: two components; masking a middle op splits
+    /// its chain in two.
+    #[test]
+    fn components_of_disconnected_chains() {
+        let mut g = DataFlowGraph::new();
+        let x = g.add_input("x", 32);
+        let w = g.add_input("w", 32);
+        let a = g.add_op(OpKind::Inc, vec![x]);
+        let b = g.add_op(OpKind::Neg, vec![g.result(a).unwrap()]);
+        let c = g.add_op(OpKind::Inc, vec![g.result(b).unwrap()]);
+        let d = g.add_op(OpKind::Neg, vec![w]);
+        g.set_output("y", g.result(c).unwrap());
+        g.set_output("z", g.result(d).unwrap());
+        let dg = DepGraph::build(&g).unwrap();
+        let ia = dg.index_of(a).unwrap() as u32;
+        let ib = dg.index_of(b).unwrap() as u32;
+        let ic = dg.index_of(c).unwrap() as u32;
+        let id = dg.index_of(d).unwrap() as u32;
+        assert_eq!(dg.components(), vec![vec![ia, ib, ic], vec![id]]);
+        // Excluding b cuts a–b–c into {a} and {c}.
+        let mut include = vec![true; dg.len()];
+        include[ib as usize] = false;
+        assert_eq!(
+            dg.components_where(&include),
+            vec![vec![ia], vec![ic], vec![id]]
+        );
+    }
+
+    /// A diamond (a → b, a → c, b+c → d) is one component and every topo
+    /// order keeps a first and d last.
+    #[test]
+    fn diamond_is_one_component_with_valid_topo() {
+        let mut g = DataFlowGraph::new();
+        let x = g.add_input("x", 32);
+        let a = g.add_op(OpKind::Inc, vec![x]);
+        let ra = g.result(a).unwrap();
+        let b = g.add_op(OpKind::Neg, vec![ra]);
+        let c = g.add_op(OpKind::Inc, vec![ra]);
+        let d = g.add_op(
+            OpKind::Add,
+            vec![g.result(b).unwrap(), g.result(c).unwrap()],
+        );
+        g.set_output("y", g.result(d).unwrap());
+        let dg = DepGraph::build(&g).unwrap();
+        let (ia, id) = (dg.index_of(a).unwrap(), dg.index_of(d).unwrap());
+        assert_eq!(dg.preds(id).len(), 2, "join sees both arms");
+        assert_eq!(dg.succs(ia).len(), 2, "fork feeds both arms");
+        assert_eq!(dg.components().len(), 1);
+        let topo = dg.topo();
+        assert_eq!(topo.first(), Some(&(ia as u32)));
+        assert_eq!(topo.last(), Some(&(id as u32)));
+    }
+
+    #[test]
+    #[should_panic(expected = "mask length mismatch")]
+    fn components_where_rejects_wrong_mask_length() {
+        let (g, _) = chain();
+        DepGraph::build(&g).unwrap().components_where(&[true]);
     }
 
     #[test]

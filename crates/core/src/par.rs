@@ -1,342 +1,10 @@
-//! A small std-only work-stealing thread pool.
+//! Re-export of the shared work-stealing pool.
 //!
-//! Design-space exploration fans hundreds of independent synthesis runs
-//! across cores (§1.2: "several designs for the same specification in a
-//! reasonable amount of time"). External executors (rayon, tokio) are
-//! off-limits in the hermetic build, so this module implements the
-//! minimum that exploration needs with `std::thread` + channels:
-//!
-//! * one deque per worker, submissions distributed round-robin;
-//! * workers pop their own deque LIFO (cache-warm) and steal FIFO from
-//!   the other deques when empty (oldest work first, the classic
-//!   Chase–Lev discipline, here under short critical sections instead of
-//!   lock-free buffers);
-//! * a condvar parks idle workers; a pending-job counter closes the
-//!   check-then-sleep race so no submission is ever missed;
-//! * [`ThreadPool::map`] preserves input order regardless of which
-//!   worker finishes first, so parallel results are byte-identical to a
-//!   serial run.
-//!
-//! Job panics are caught per-job and re-raised on the caller of
-//! [`ThreadPool::map`], never on a worker (a poisoned worker would hang
-//! every later sweep).
+//! The pool originally lived here; it moved to the `hls-par` crate when
+//! the hierarchical force-directed scheduler (`hls-sched`, which
+//! `hls-core` depends on) needed to fan independent dependence
+//! components across the same workers. This module keeps the historical
+//! `hls_core::par` path working for existing callers (`hls-serve`, the
+//! explorer, examples).
 
-use std::collections::VecDeque;
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
-
-type Job = Box<dyn FnOnce() + Send + 'static>;
-
-struct Shared {
-    /// One deque per worker. Owner pops the back; thieves pop the front.
-    queues: Vec<Mutex<VecDeque<Job>>>,
-    /// Jobs submitted but not yet started; guards the sleep race.
-    pending: AtomicUsize,
-    /// Pool shutdown flag, checked by parked workers.
-    shutdown: AtomicBool,
-    /// Parking lot for idle workers.
-    lot: Mutex<()>,
-    wake: Condvar,
-}
-
-/// A fixed-size work-stealing pool. Dropping it joins every worker.
-pub struct ThreadPool {
-    shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
-    next: AtomicUsize,
-}
-
-impl std::fmt::Debug for ThreadPool {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ThreadPool")
-            .field("threads", &self.workers.len())
-            .finish()
-    }
-}
-
-/// Default worker count: the `HLS_EXPLORE_THREADS` environment variable
-/// when set, otherwise the machine's available parallelism.
-///
-/// An invalid value (unparsable or zero) is not silently swallowed: a
-/// one-line warning naming the variable and the fallback goes to stderr
-/// and the fallback is used.
-pub fn default_threads() -> usize {
-    let fallback = || {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    };
-    match std::env::var("HLS_EXPLORE_THREADS") {
-        Err(_) => fallback(),
-        Ok(raw) => match parse_positive(&raw) {
-            Ok(n) => n,
-            Err(why) => {
-                let fb = fallback();
-                eprintln!(
-                    "warning: ignoring HLS_EXPLORE_THREADS={raw:?} ({why}); \
-                     falling back to {fb}"
-                );
-                fb
-            }
-        },
-    }
-}
-
-/// Parses a strictly positive integer, explaining rejections so env-var
-/// handlers can surface them instead of silently defaulting.
-pub(crate) fn parse_positive(raw: &str) -> Result<usize, &'static str> {
-    match raw.trim().parse::<usize>() {
-        Ok(0) => Err("must be at least 1"),
-        Ok(n) => Ok(n),
-        Err(_) => Err("not a positive integer"),
-    }
-}
-
-impl ThreadPool {
-    /// Spawns a pool with `threads` workers (clamped to at least 1).
-    pub fn new(threads: usize) -> Self {
-        let threads = threads.max(1);
-        let shared = Arc::new(Shared {
-            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
-            pending: AtomicUsize::new(0),
-            shutdown: AtomicBool::new(false),
-            lot: Mutex::new(()),
-            wake: Condvar::new(),
-        });
-        let workers = (0..threads)
-            .map(|id| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("hls-explore-{id}"))
-                    .spawn(move || worker_loop(id, &shared))
-                    .expect("spawn worker")
-            })
-            .collect();
-        ThreadPool {
-            shared,
-            workers,
-            next: AtomicUsize::new(0),
-        }
-    }
-
-    /// Number of workers.
-    pub fn threads(&self) -> usize {
-        self.workers.len()
-    }
-
-    /// Submits a job. Jobs may run in any order on any worker.
-    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
-        // Round-robin across worker deques; stealing rebalances skew.
-        let slot = self.next.fetch_add(1, Ordering::Relaxed) % self.shared.queues.len();
-        self.shared.pending.fetch_add(1, Ordering::SeqCst);
-        self.shared.queues[slot]
-            .lock()
-            .expect("queue lock")
-            .push_back(Box::new(job));
-        // Hold the lot lock while notifying so a worker between its
-        // pending-check and wait() cannot miss this wakeup.
-        let _lot = self.shared.lot.lock().expect("lot lock");
-        self.shared.wake.notify_one();
-    }
-
-    /// Applies `f` to every item, in parallel, returning results in input
-    /// order. Panics in `f` are re-raised here (first panicking index).
-    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
-    where
-        T: Send + 'static,
-        R: Send + 'static,
-        F: Fn(usize, T) -> R + Send + Sync + 'static,
-    {
-        let n = items.len();
-        if n == 0 {
-            return Vec::new();
-        }
-        let f = Arc::new(f);
-        let (tx, rx) = mpsc::channel::<(usize, Result<R, Box<dyn std::any::Any + Send>>)>();
-        for (idx, item) in items.into_iter().enumerate() {
-            let f = Arc::clone(&f);
-            let tx = tx.clone();
-            self.execute(move || {
-                let out = catch_unwind(AssertUnwindSafe(|| f(idx, item)));
-                // A dropped receiver means the caller already panicked;
-                // nothing useful to do with the result then.
-                let _ = tx.send((idx, out));
-            });
-        }
-        drop(tx);
-        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        let mut panic: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
-        for (idx, out) in rx.iter().take(n) {
-            match out {
-                Ok(r) => slots[idx] = Some(r),
-                Err(p) => {
-                    // Keep the lowest panicking index for determinism.
-                    if panic.as_ref().is_none_or(|(i, _)| idx < *i) {
-                        panic = Some((idx, p));
-                    }
-                }
-            }
-        }
-        if let Some((_, payload)) = panic {
-            resume_unwind(payload);
-        }
-        slots
-            .into_iter()
-            .map(|s| s.expect("every index resolved"))
-            .collect()
-    }
-}
-
-impl Drop for ThreadPool {
-    fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        {
-            let _lot = self.shared.lot.lock().expect("lot lock");
-            self.shared.wake.notify_all();
-        }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
-    }
-}
-
-fn worker_loop(id: usize, shared: &Shared) {
-    loop {
-        if let Some(job) = find_job(id, shared) {
-            shared.pending.fetch_sub(1, Ordering::SeqCst);
-            // A panicking job must not kill the worker; ThreadPool::map
-            // re-raises the payload on the caller instead.
-            let _ = catch_unwind(AssertUnwindSafe(job));
-            continue;
-        }
-        let guard = shared.lot.lock().expect("lot lock");
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        // Re-check under the lot lock: execute() bumps `pending` before
-        // taking the lock, so either we see the job or the notify waits
-        // for our wait().
-        if shared.pending.load(Ordering::SeqCst) > 0 {
-            continue;
-        }
-        let _unused = shared.wake.wait(guard).expect("condvar wait");
-    }
-}
-
-fn find_job(id: usize, shared: &Shared) -> Option<Job> {
-    // Own deque first, newest job (LIFO): it is the cache-warm one.
-    if let Some(job) = shared.queues[id].lock().expect("queue lock").pop_back() {
-        return Some(job);
-    }
-    // Steal oldest-first from the other deques.
-    let n = shared.queues.len();
-    for off in 1..n {
-        let victim = (id + off) % n;
-        if let Some(job) = shared.queues[victim]
-            .lock()
-            .expect("queue lock")
-            .pop_front()
-        {
-            return Some(job);
-        }
-    }
-    None
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::sync::atomic::AtomicU64;
-
-    #[test]
-    fn map_preserves_order() {
-        let pool = ThreadPool::new(4);
-        let out = pool.map((0..100u64).collect(), |_, x| x * x);
-        assert_eq!(out, (0..100u64).map(|x| x * x).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn map_runs_on_multiple_workers() {
-        let pool = ThreadPool::new(3);
-        assert_eq!(pool.threads(), 3);
-        let out = pool.map((0..32).collect::<Vec<u32>>(), |i, x| {
-            assert_eq!(i as u32, x);
-            std::thread::current().name().map(str::to_owned)
-        });
-        assert!(out
-            .iter()
-            .all(|n| n.as_deref().unwrap_or("").starts_with("hls-explore-")));
-    }
-
-    #[test]
-    fn empty_map_and_zero_threads() {
-        let pool = ThreadPool::new(0);
-        assert_eq!(pool.threads(), 1, "clamped to one worker");
-        let out: Vec<u8> = pool.map(Vec::<u8>::new(), |_, x| x);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn execute_drains_all_jobs() {
-        let pool = ThreadPool::new(2);
-        let hits = Arc::new(AtomicU64::new(0));
-        let (tx, rx) = mpsc::channel();
-        for _ in 0..500 {
-            let hits = Arc::clone(&hits);
-            let tx = tx.clone();
-            pool.execute(move || {
-                hits.fetch_add(1, Ordering::SeqCst);
-                tx.send(()).unwrap();
-            });
-        }
-        for _ in 0..500 {
-            rx.recv_timeout(std::time::Duration::from_secs(30)).unwrap();
-        }
-        assert_eq!(hits.load(Ordering::SeqCst), 500);
-    }
-
-    #[test]
-    fn panicking_job_propagates_to_map_caller_and_pool_survives() {
-        let pool = ThreadPool::new(2);
-        let r = catch_unwind(AssertUnwindSafe(|| {
-            pool.map((0..8).collect::<Vec<u32>>(), |_, x| {
-                if x == 3 {
-                    panic!("boom {x}");
-                }
-                x
-            })
-        }));
-        assert!(r.is_err());
-        // Workers survived the panic; the pool still maps.
-        let out = pool.map(vec![1u32, 2, 3], |_, x| x + 1);
-        assert_eq!(out, vec![2, 3, 4]);
-    }
-
-    #[test]
-    fn default_threads_is_positive() {
-        assert!(default_threads() >= 1);
-    }
-
-    #[test]
-    fn invalid_explore_threads_env_warns_and_falls_back() {
-        // `set_var` is safe in the 2021 edition; the only other reader of
-        // this variable in the test binary asserts the same `>= 1` bound.
-        std::env::set_var("HLS_EXPLORE_THREADS", "zero please");
-        assert!(default_threads() >= 1, "fallback still applies");
-        std::env::set_var("HLS_EXPLORE_THREADS", "3");
-        assert_eq!(default_threads(), 3);
-        std::env::remove_var("HLS_EXPLORE_THREADS");
-    }
-
-    #[test]
-    fn parse_positive_accepts_only_positive_integers() {
-        assert_eq!(parse_positive("4"), Ok(4));
-        assert_eq!(parse_positive(" 7 "), Ok(7));
-        assert_eq!(parse_positive("0"), Err("must be at least 1"));
-        assert_eq!(parse_positive("banana"), Err("not a positive integer"));
-        assert_eq!(parse_positive("-3"), Err("not a positive integer"));
-        assert_eq!(parse_positive(""), Err("not a positive integer"));
-    }
-}
+pub use hls_par::{default_threads, shared, ThreadPool};

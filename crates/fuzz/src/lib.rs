@@ -100,7 +100,8 @@ impl std::fmt::Display for Violation {
 }
 
 /// Parses a scheduler spec (`asap`, `alap/N`, `list/path`,
-/// `list/urgency`, `list/mobility`, `force/N`, `freedom/N`).
+/// `list/urgency`, `list/mobility`, `force/N`, `hforce/N/W`,
+/// `freedom/N`).
 pub fn parse_scheduler(spec: &str) -> Option<Algorithm> {
     // (kept in sync with hls-serve's parser; fuzz stays self-contained)
     let (head, arg) = match spec.split_once('/') {
@@ -118,6 +119,16 @@ pub fn parse_scheduler(spec: &str) -> Option<Algorithm> {
             _ => return None,
         })),
         "force" => Some(Algorithm::ForceDirected { slack: slack()? }),
+        "hforce" => {
+            let (s, w) = match arg.unwrap_or("0").split_once('/') {
+                None => (arg.unwrap_or("0"), hls_sched::DEFAULT_WINDOW as u32),
+                Some((s, w)) => (s, w.parse::<u32>().ok().filter(|&w| w > 0)?),
+            };
+            Some(Algorithm::HierForce {
+                slack: s.parse().ok()?,
+                window: w,
+            })
+        }
         "freedom" => Some(Algorithm::FreedomBased { slack: slack()? }),
         _ => None,
     }
@@ -135,9 +146,10 @@ pub fn parse_strategy(spec: &str) -> Option<FuStrategy> {
 }
 
 /// The scheduler sweep when a case does not pin one. ASAP, ALAP, list,
-/// and both time-constrained schedulers; force-directed twice because
+/// and every time-constrained scheduler; force-directed twice because
 /// zero slack (deadline = critical path) and positive slack stress
-/// different window arithmetic.
+/// different window arithmetic. Hierarchical force runs with a tiny
+/// window so random graphs exercise multiple seams per block.
 pub const SCHEDULERS: &[&str] = &[
     "asap",
     "alap/0",
@@ -145,6 +157,7 @@ pub const SCHEDULERS: &[&str] = &[
     "list/urgency",
     "force/0",
     "force/2",
+    "hforce/2/4",
     "freedom/1",
 ];
 
@@ -271,7 +284,9 @@ fn run_combo(cdfg: &hls_cdfg::Cdfg, combo: &Combo) -> Option<Violation> {
     // Oracles 3 + 4, per block: bounds and validity.
     let time_constrained = matches!(
         algorithm,
-        Algorithm::ForceDirected { .. } | Algorithm::FreedomBased { .. }
+        Algorithm::ForceDirected { .. }
+            | Algorithm::HierForce { .. }
+            | Algorithm::FreedomBased { .. }
     );
     let limits = if time_constrained {
         ResourceLimits::unlimited()
@@ -377,6 +392,15 @@ mod tests {
         }
         assert!(parse_scheduler("bogus").is_none());
         assert!(parse_scheduler("list/bogus").is_none());
+        assert!(parse_scheduler("hforce/1/0").is_none(), "zero window");
+        assert!(parse_scheduler("hforce/1/x").is_none());
+        assert_eq!(
+            parse_scheduler("hforce/3"),
+            Some(Algorithm::HierForce {
+                slack: 3,
+                window: hls_sched::DEFAULT_WINDOW as u32,
+            })
+        );
     }
 
     #[test]

@@ -324,6 +324,90 @@ mod tests {
         assert!((0..sg.len()).all(|i| w.lo[i] <= w.hi[i]));
     }
 
+    /// Diamond a → {b, c} → d, hand-computed against deadline 4:
+    /// ASAP = a:0, b:1, c:1, d:2; ALAP = a:1, b:2, c:2, d:3.
+    #[test]
+    fn diamond_bounds_by_hand() {
+        use hls_cdfg::{DataFlowGraph, OpKind};
+        let mut g = DataFlowGraph::new();
+        let x = g.add_input("x", 32);
+        let a = g.add_op(OpKind::Inc, vec![x]);
+        let ra = g.result(a).unwrap();
+        let b = g.add_op(OpKind::Neg, vec![ra]);
+        let c = g.add_op(OpKind::Inc, vec![ra]);
+        let d = g.add_op(
+            OpKind::Add,
+            vec![g.result(b).unwrap(), g.result(c).unwrap()],
+        );
+        g.set_output("y", g.result(d).unwrap());
+        let cls = OpClassifier::universal();
+        let sg = SchedGraph::build(&g, &cls).unwrap();
+        let (asap, cp) = sg.asap();
+        assert_eq!(cp, 3, "a, the arms, d");
+        let w = sg.windows(4).unwrap();
+        let dense = |op| sg.graph().index_of(op).unwrap();
+        for (op, lo, hi) in [(a, 0, 1), (b, 1, 2), (c, 1, 2), (d, 2, 3)] {
+            let i = dense(op);
+            assert_eq!(asap[i], lo, "{op:?} asap");
+            assert_eq!((w.lo[i], w.hi[i]), (lo, hi), "{op:?} window");
+        }
+    }
+
+    /// Two disconnected chains of different depths, hand-computed: the
+    /// critical path comes from the longer chain, and the shorter chain's
+    /// ops absorb all the slack.
+    #[test]
+    fn disconnected_chains_bounds_by_hand() {
+        use hls_cdfg::{DataFlowGraph, OpKind};
+        let mut g = DataFlowGraph::new();
+        let x = g.add_input("x", 32);
+        let w0 = g.add_input("w", 32);
+        let a = g.add_op(OpKind::Inc, vec![x]);
+        let b = g.add_op(OpKind::Neg, vec![g.result(a).unwrap()]);
+        let c = g.add_op(OpKind::Inc, vec![g.result(b).unwrap()]);
+        let d = g.add_op(OpKind::Neg, vec![w0]);
+        g.set_output("y", g.result(c).unwrap());
+        g.set_output("z", g.result(d).unwrap());
+        let cls = OpClassifier::universal();
+        let sg = SchedGraph::build(&g, &cls).unwrap();
+        let (asap, cp) = sg.asap();
+        assert_eq!(cp, 3, "the a-b-c chain");
+        let w = sg.windows(3).unwrap();
+        let dense = |op| sg.graph().index_of(op).unwrap();
+        for (op, lo, hi) in [(a, 0, 0), (b, 1, 1), (c, 2, 2), (d, 0, 2)] {
+            let i = dense(op);
+            assert_eq!(asap[i], lo, "{op:?} asap");
+            assert_eq!((w.lo[i], w.hi[i]), (lo, hi), "{op:?} window");
+        }
+    }
+
+    /// Empty and single-op blocks go through the dense analyses without
+    /// special-casing.
+    #[test]
+    fn degenerate_blocks_have_sane_bounds() {
+        use hls_cdfg::{DataFlowGraph, OpKind};
+        let cls = OpClassifier::universal();
+
+        let empty = DataFlowGraph::new();
+        let sg = SchedGraph::build(&empty, &cls).unwrap();
+        assert!(sg.is_empty());
+        let (asap, cp) = sg.asap();
+        assert!(asap.is_empty());
+        assert_eq!(cp, 0);
+        let w = sg.windows(0).unwrap();
+        assert!(w.lo.is_empty() && w.hi.is_empty());
+
+        let mut single = DataFlowGraph::new();
+        let x = single.add_input("x", 32);
+        let a = single.add_op(OpKind::Inc, vec![x]);
+        single.set_output("y", single.result(a).unwrap());
+        let sg = SchedGraph::build(&single, &cls).unwrap();
+        let (asap, cp) = sg.asap();
+        assert_eq!((asap, cp), (vec![0], 1));
+        let w = sg.windows(3).unwrap();
+        assert_eq!((w.lo[0], w.hi[0]), (0, 2), "all the slack is its own");
+    }
+
     #[test]
     fn windows_hold_on_random_dags() {
         for seed in 0..20 {

@@ -33,6 +33,17 @@ pub enum Algorithm {
         /// Extra steps beyond each block's critical path.
         slack: u32,
     },
+    /// Hierarchical windowed force-directed: per-block deadline =
+    /// critical path + `slack`, placements restricted to mobility-band
+    /// windows of `window` ops, independent components scheduled in
+    /// parallel on the shared pool. With `window` at least the block's
+    /// op count this degenerates to [`Algorithm::ForceDirected`].
+    HierForce {
+        /// Extra steps beyond each block's critical path.
+        slack: u32,
+        /// Window size in ops (clamped to at least 1).
+        window: u32,
+    },
     /// Freedom-based (MAHA): per-block deadline = critical path + `slack`.
     FreedomBased {
         /// Extra steps beyond each block's critical path.
@@ -55,6 +66,7 @@ impl Algorithm {
             Algorithm::Alap { .. } => "alap",
             Algorithm::List(_) => "list",
             Algorithm::ForceDirected { .. } => "force-directed",
+            Algorithm::HierForce { .. } => "hier-force",
             Algorithm::FreedomBased { .. } => "freedom-based",
             Algorithm::BranchAndBound { .. } => "branch-and-bound",
             Algorithm::Transformational => "transformational",
@@ -141,6 +153,15 @@ pub fn schedule_cdfg_cached(
             Algorithm::ForceDirected { slack } => {
                 let (_, cp) = sg.asap();
                 ForceScheduler::with_graph(sg.clone(), cp.max(1) + slack)?.finish()?
+            }
+            Algorithm::HierForce { slack, window } => {
+                let (_, cp) = sg.asap();
+                crate::hforce::HierForceScheduler::with_graph(
+                    sg.clone(),
+                    cp.max(1) + slack,
+                    window as usize,
+                )?
+                .finish_on(hls_par::shared())?
             }
             Algorithm::FreedomBased { slack } => {
                 let (_, cp) = sg.asap();
@@ -236,6 +257,14 @@ mod tests {
             Algorithm::List(Priority::PathLength),
             Algorithm::List(Priority::Urgency),
             Algorithm::ForceDirected { slack: 0 },
+            Algorithm::HierForce {
+                slack: 0,
+                window: 4,
+            },
+            Algorithm::HierForce {
+                slack: 1,
+                window: 1024,
+            },
             Algorithm::FreedomBased { slack: 0 },
             Algorithm::BranchAndBound {
                 node_budget: 1_000_000,

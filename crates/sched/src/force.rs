@@ -74,22 +74,22 @@ pub fn force_directed_schedule(
 /// computation after every single placement.
 #[derive(Clone, Debug)]
 pub struct ForceScheduler {
-    sg: SchedGraph,
-    deadline: u32,
+    pub(crate) sg: SchedGraph,
+    pub(crate) deadline: u32,
     /// Current feasible window per dense op index (wired ops pinned 0..=0).
-    lo: Vec<u32>,
-    hi: Vec<u32>,
+    pub(crate) lo: Vec<u32>,
+    pub(crate) hi: Vec<u32>,
     /// FU classes present, sorted — the dense class index space.
     classes: Vec<FuClass>,
     /// Dense class index per op (`None` for wired/chained-free ops).
-    class_idx: Vec<Option<usize>>,
+    pub(crate) class_idx: Vec<Option<usize>>,
     /// Distribution graph per class, maintained incrementally.
     dg: Vec<Vec<f64>>,
     /// Per-class prefix sums of `dg`, refreshed once per placement round.
     prefix: Vec<Vec<f64>>,
-    placed: Vec<bool>,
-    unplaced_classified: usize,
-    schedule: Schedule,
+    pub(crate) placed: Vec<bool>,
+    pub(crate) unplaced_classified: usize,
+    pub(crate) schedule: Schedule,
 }
 
 impl ForceScheduler {
@@ -189,10 +189,131 @@ impl ForceScheduler {
         if self.unplaced_classified == 0 {
             return Ok(None);
         }
-        self.refresh_prefix();
+        self.refresh_prefix_band(0, self.deadline as usize - 1);
+        let n = self.sg.len();
+        self.select_and_commit(0..n, u32::MAX)
+    }
 
+    /// [`place_next`](Self::place_next) restricted to the candidate set
+    /// `members` (dense indices; already-placed and unclassified entries
+    /// are skipped), with candidate *steps* capped at `step_cap`: a
+    /// member is only evaluated at `lo..=min(hi, max(step_cap, lo))`, so
+    /// its current earliest step always stays a candidate and the window
+    /// never empties. Returns `Ok(None)` once no member is pending, even
+    /// if ops outside the set remain — the hierarchical scheduler drains
+    /// one (op-set × step-band) window at a time this way.
+    ///
+    /// The distribution graphs still span *all* classified ops, and the
+    /// prefix sums are refreshed only over the step band the members and
+    /// their direct neighbors can touch, so one placement's scan costs
+    /// O(band + |members| · capped-range · degree) — the cap is what
+    /// keeps a wide-window op (e.g. a sink with the whole axis of slack)
+    /// from costing O(deadline) per evaluation.
+    ///
+    /// # Errors
+    ///
+    /// As [`place_next`](Self::place_next).
+    pub(crate) fn place_next_among(
+        &mut self,
+        members: &[usize],
+        step_cap: u32,
+    ) -> Result<Option<(OpId, u32)>, ScheduleError> {
+        if self.unplaced_classified == 0 {
+            return Ok(None);
+        }
+        // The step band every force evaluation this round can read: the
+        // members' own windows plus their classified neighbors' windows
+        // (`total_force` averages over exactly those ranges).
+        let (mut a, mut b) = (u32::MAX, 0u32);
+        for &i in members {
+            if self.placed[i] || self.class_idx[i].is_none() {
+                continue;
+            }
+            a = a.min(self.lo[i]);
+            b = b.max(self.hi[i]);
+            for &nb in self
+                .sg
+                .graph()
+                .preds(i)
+                .iter()
+                .chain(self.sg.graph().succs(i))
+            {
+                let nb = nb as usize;
+                if self.class_idx[nb].is_some() {
+                    a = a.min(self.lo[nb]);
+                    b = b.max(self.hi[nb]);
+                }
+            }
+        }
+        if a == u32::MAX {
+            // No pending classified member left in this set.
+            return Ok(None);
+        }
+        self.refresh_prefix_band(a as usize, b as usize);
+        self.select_and_commit(members.iter().copied(), step_cap)
+    }
+
+    /// Clamps every unplaced op's mobility to at most `cap` steps
+    /// (`hi <= lo + cap`) and restores backward arc-consistency with one
+    /// reverse-topological pass, re-shaping the distribution graphs as
+    /// windows shrink. The forward (`lo`) side is untouched, so the
+    /// windows stay arc-consistent and every pin inside a clamped window
+    /// still extends to a full schedule.
+    ///
+    /// The hierarchical scheduler calls this once before windowed
+    /// placement: without it a wide-slack op (a sink whose ALAP sits at
+    /// the deadline) keeps an O(deadline) window, and every prefix
+    /// refresh or propagation delta that touches it costs O(deadline) —
+    /// quadratic overall on large graphs.
+    pub(crate) fn clamp_mobility(&mut self, cap: u32) {
+        let order: Vec<u32> = self.sg.graph().topo().to_vec();
+        for &i in order.iter().rev() {
+            let i = i as usize;
+            if self.placed[i] || self.sg.is_wired(i) {
+                continue;
+            }
+            let mut nh = self.hi[i].min(self.lo[i].saturating_add(cap));
+            for &s in self.sg.graph().succs(i) {
+                let s = s as usize;
+                if self.sg.is_wired(s) {
+                    continue;
+                }
+                let gap = if self.sg.is_free(s) { 0 } else { 1 };
+                nh = nh.min(self.hi[s].saturating_sub(gap));
+            }
+            // Backward consistency keeps `hi[s] - gap >= lo[i]` for every
+            // succ, so the clamp can never invert a feasible window; the
+            // max is belt and braces against that invariant breaking.
+            nh = nh.max(self.lo[i]);
+            if nh < self.hi[i] {
+                if let Some(ci) = self.class_idx[i] {
+                    let g = &mut self.dg[ci];
+                    let old_p = 1.0 / (self.hi[i] - self.lo[i] + 1) as f64;
+                    for s in self.lo[i]..=self.hi[i] {
+                        g[s as usize] -= old_p;
+                    }
+                    let new_p = 1.0 / (nh - self.lo[i] + 1) as f64;
+                    for s in self.lo[i]..=nh {
+                        g[s as usize] += new_p;
+                    }
+                }
+                self.hi[i] = nh;
+            }
+        }
+    }
+
+    /// Shared selection/commit core: scans `cands` (must be ascending for
+    /// the documented tie-break order), picks the lowest-force `(op, step)`
+    /// with candidate steps clipped to `max(step_cap, lo)`, commits it.
+    /// The caller has refreshed the prefix sums over a band covering
+    /// every range the scan will average.
+    fn select_and_commit(
+        &mut self,
+        cands: impl Iterator<Item = usize>,
+        step_cap: u32,
+    ) -> Result<Option<(OpId, u32)>, ScheduleError> {
         let mut best: Option<(f64, usize, u32)> = None;
-        for i in 0..self.sg.len() {
+        for i in cands {
             if self.placed[i] {
                 continue;
             }
@@ -203,7 +324,7 @@ impl ForceScheduler {
             if lo > hi {
                 return Err(self.sg.infeasible(i, lo, hi, self.deadline));
             }
-            for t in lo..=hi {
+            for t in lo..=hi.min(step_cap.max(lo)) {
                 let force = self.total_force(i, ci, t);
                 let better = match &best {
                     None => true,
@@ -216,14 +337,18 @@ impl ForceScheduler {
                 }
             }
         }
-        // Every pending op passed the window check above, so a candidate
-        // exists; the guard keeps this provable locally.
+        // No pending candidate in the scanned set: done with this set.
         let Some((_, i, t)) = best else {
-            let i = (0..self.sg.len())
-                .find(|&i| !self.placed[i] && self.class_idx[i].is_some())
-                .unwrap_or(0);
-            return Err(self.sg.infeasible(i, self.lo[i], self.hi[i], self.deadline));
+            return Ok(None);
         };
+        self.commit(i, t)?;
+        Ok(Some((self.sg.op(i), t)))
+    }
+
+    /// Commits the placement of dense index `i` at step `t`: records the
+    /// assignment, pins the window, and propagates the tightening while
+    /// re-shaping the distribution graphs incrementally.
+    fn commit(&mut self, i: usize, t: u32) -> Result<(), ScheduleError> {
         self.placed[i] = true;
         self.unplaced_classified -= 1;
         self.schedule.assign(self.sg.op(i), t);
@@ -250,8 +375,22 @@ impl ForceScheduler {
                     g[s as usize] += new_p;
                 }
             }
-        })?;
-        Ok(Some((self.sg.op(i), t)))
+        })
+    }
+
+    /// Adopts a placement decided on another engine clone (the
+    /// hierarchical scheduler merges per-component results this way):
+    /// records the assignment and pins the window, without propagation or
+    /// distribution-graph maintenance — [`finish`](Self::finish) reads
+    /// only `lo`/`placed` once every classified op is placed.
+    pub(crate) fn adopt(&mut self, i: usize, t: u32) {
+        if !self.placed[i] {
+            self.placed[i] = true;
+            self.unplaced_classified -= 1;
+        }
+        self.lo[i] = t;
+        self.hi[i] = t;
+        self.schedule.assign(self.sg.op(i), t);
     }
 
     /// Runs the engine to completion: all classified ops force-placed,
@@ -286,15 +425,19 @@ impl ForceScheduler {
         Ok(self.schedule)
     }
 
-    /// Recomputes per-class prefix sums so `range_avg` is O(1) for the
-    /// duration of one selection round.
-    fn refresh_prefix(&mut self) {
+    /// Recomputes per-class prefix sums over the step band `a..=b`, with a
+    /// zero baseline at `a`, so `range_avg` is O(1) for ranges inside the
+    /// band for the duration of one selection round. `range_avg` takes
+    /// differences only, so the baseline shift is invisible; the full-axis
+    /// call (`a = 0`) reproduces the historical whole-graph refresh
+    /// bit-for-bit.
+    fn refresh_prefix_band(&mut self, a: usize, b: usize) {
         for (ci, g) in self.dg.iter().enumerate() {
             let p = &mut self.prefix[ci];
             let mut acc = 0.0;
-            p[0] = 0.0;
-            for (s, &v) in g.iter().enumerate() {
-                acc += v;
+            p[a] = 0.0;
+            for s in a..=b {
+                acc += g[s];
                 p[s + 1] = acc;
             }
         }

@@ -1,0 +1,340 @@
+//! Hierarchical windowed force-directed scheduling.
+//!
+//! Plain force-directed scheduling ([`crate::force`]) evaluates every
+//! pending `(op, step)` candidate before each placement — O(ops² ·
+//! range) overall, which walls out around a few thousand ops. This
+//! module restores the classic quality on graphs two orders of
+//! magnitude larger by bounding how far each selection round looks:
+//!
+//! 1. **Partition** the pending classified ops into *windows* of at most
+//!    `window` ops, cut along the ASAP-ALAP mobility bands (primary key:
+//!    the current window start `lo`) refined by the cached topological
+//!    order, so each window holds ops that genuinely compete for the
+//!    same control steps.
+//! 2. **Schedule exactly inside each window**: a window is an
+//!    (op-set × step-band) tile — the same incremental-distribution-graph
+//!    engine places window members one force evaluation at a time, with
+//!    candidate steps clipped to the window's step band (every member
+//!    keeps at least its current earliest step, so the clip never
+//!    empties a feasible window). The distribution graphs still span the
+//!    whole graph, so global pressure is visible, but only
+//!    O(window · band · degree) candidates are scanned per placement
+//!    (plus a prefix refresh over the steps the scans can average).
+//! 3. **Stitch the seams**: every placement pins the op and propagates
+//!    the tightening transitively ([`SchedGraph::pin_and_propagate`]),
+//!    so later windows inherit hard bounds from earlier ones — the same
+//!    list-scheduling-flavored commitment discipline at window
+//!    boundaries that keeps the result a valid schedule by
+//!    construction.
+//! 4. **Fan out independent regions**: weakly-connected components of
+//!    the dependence graph (wired constants don't connect — they carry
+//!    no timing constraint) share no windows and no propagation, so each
+//!    is scheduled on its own clone of the engine, in parallel on the
+//!    shared work-stealing pool ([`hls_par::shared`]) when one is
+//!    offered. Results merge back in component order, which makes the
+//!    output independent of worker count — the serial path runs the
+//!    identical per-component clones.
+//!
+//! With `window >= ops` the partition is one window over everything and
+//! the run *is* [`ForceScheduler`], placement for placement — the
+//! differential battery in `tests/properties.rs` holds this degenerate
+//! path to step-identity, and holds small windows to schedule validity
+//! plus latency no worse than list scheduling.
+
+use hls_cdfg::DataFlowGraph;
+use hls_par::ThreadPool;
+use std::sync::Arc;
+
+use crate::force::ForceScheduler;
+use crate::resource::OpClassifier;
+use crate::schedule::Schedule;
+use crate::ScheduleError;
+
+/// Default window size: large enough that the per-window force
+/// balancing sees a full mobility band on typical graphs, small enough
+/// that a selection round stays cheap.
+pub const DEFAULT_WINDOW: usize = 64;
+
+/// Schedules `dfg` against `deadline` steps with hierarchical windowed
+/// force-directed scheduling, fanning independent components across the
+/// process-wide pool. `window` is clamped to at least 1;
+/// [`DEFAULT_WINDOW`] is a good general-purpose value.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::DeadlineTooShort`] or [`ScheduleError::Cycle`].
+pub fn hier_force_schedule(
+    dfg: &DataFlowGraph,
+    classifier: &OpClassifier,
+    deadline: u32,
+    window: usize,
+) -> Result<Schedule, ScheduleError> {
+    HierForceScheduler::new(dfg, classifier, deadline, window)?.finish_on(hls_par::shared())
+}
+
+/// The hierarchical windowed force-directed scheduling engine.
+///
+/// Wraps a [`ForceScheduler`] and drives it window by window; see the
+/// module docs for the partitioning rule, seam handling and parallelism
+/// model.
+#[derive(Clone, Debug)]
+pub struct HierForceScheduler {
+    eng: ForceScheduler,
+    window: usize,
+}
+
+impl HierForceScheduler {
+    /// Builds the engine; see [`ForceScheduler::new`]. `window` is
+    /// clamped to at least 1.
+    ///
+    /// # Errors
+    ///
+    /// As [`ForceScheduler::new`].
+    pub fn new(
+        dfg: &DataFlowGraph,
+        classifier: &OpClassifier,
+        deadline: u32,
+        window: usize,
+    ) -> Result<Self, ScheduleError> {
+        Ok(HierForceScheduler {
+            eng: ForceScheduler::new(dfg, classifier, deadline)?,
+            window: window.max(1),
+        })
+    }
+
+    /// Like [`new`](Self::new) from an already-built (possibly cached)
+    /// [`crate::SchedGraph`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ForceScheduler::with_graph`].
+    pub fn with_graph(
+        sg: crate::SchedGraph,
+        deadline: u32,
+        window: usize,
+    ) -> Result<Self, ScheduleError> {
+        Ok(HierForceScheduler {
+            eng: ForceScheduler::with_graph(sg, deadline)?,
+            window: window.max(1),
+        })
+    }
+
+    /// The window size in ops.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Runs to completion serially (components still go through the same
+    /// per-component engine clones as the parallel path, so the schedule
+    /// is identical to [`finish_on`](Self::finish_on)).
+    ///
+    /// # Errors
+    ///
+    /// As [`ForceScheduler::finish`].
+    pub fn finish(self) -> Result<Schedule, ScheduleError> {
+        self.run(None)
+    }
+
+    /// Runs to completion, scheduling independent dependence components
+    /// in parallel on `pool`. The schedule does not depend on the worker
+    /// count: components are merged in discovery order.
+    ///
+    /// # Errors
+    ///
+    /// As [`ForceScheduler::finish`].
+    pub fn finish_on(self, pool: &ThreadPool) -> Result<Schedule, ScheduleError> {
+        self.run(Some(pool))
+    }
+
+    fn run(mut self, pool: Option<&ThreadPool>) -> Result<Schedule, ScheduleError> {
+        let n = self.eng.sg.len();
+        let pending = (0..n)
+            .filter(|&i| !self.eng.placed[i] && self.eng.class_idx[i].is_some())
+            .count();
+        if pending <= self.window {
+            // One window covers everything: run the flat engine verbatim,
+            // so this path is step-identical to ForceScheduler by
+            // construction (shared code, not merely shared results).
+            while self.eng.place_next()?.is_some() {}
+            return self.eng.finish();
+        }
+
+        // Bound every window's width before partitioning: a handful of
+        // wide-slack ops (sinks with ALAP at the deadline) would otherwise
+        // keep O(deadline) windows, and every prefix refresh or
+        // propagation delta touching them would cost O(deadline) — the
+        // exact quadratic behavior this scheduler exists to avoid. The
+        // clamp keeps arc-consistency (see `clamp_mobility`), and 4x the
+        // window size leaves the in-window balancing plenty of slack to
+        // spread load.
+        let cap = u32::try_from(self.window.saturating_mul(4)).unwrap_or(u32::MAX);
+        self.eng.clamp_mobility(cap);
+
+        // Inverse of the cached topological order: the secondary window
+        // sort key.
+        let mut pos = vec![0u32; n];
+        for (k, &i) in self.eng.sg.graph().topo().iter().enumerate() {
+            pos[i as usize] = k as u32;
+        }
+
+        // Independent regions: weakly-connected components over non-wired
+        // ops. Wired constants are pinned at step 0 and propagate nothing,
+        // so two consumers of the same constant share no timing
+        // constraint.
+        let include: Vec<bool> = (0..n).map(|i| !self.eng.sg.is_wired(i)).collect();
+        let jobs: Vec<Vec<usize>> = self
+            .eng
+            .sg
+            .graph()
+            .components_where(&include)
+            .into_iter()
+            .map(|comp| {
+                comp.into_iter()
+                    .map(|i| i as usize)
+                    .filter(|&i| !self.eng.placed[i] && self.eng.class_idx[i].is_some())
+                    .collect::<Vec<_>>()
+            })
+            .filter(|members: &Vec<usize>| !members.is_empty())
+            .collect();
+
+        let window = self.window;
+        let results: Vec<Result<Vec<(usize, u32)>, ScheduleError>> = match pool {
+            Some(pool) if jobs.len() > 1 => {
+                let master = Arc::new(self.eng);
+                let pos = Arc::new(pos);
+                let (m, p) = (Arc::clone(&master), Arc::clone(&pos));
+                let out = pool.map(jobs, move |_, members| {
+                    schedule_component((*m).clone(), &members, &p, window)
+                });
+                // The last worker may still be dropping its closure; fall
+                // back to a clone rather than waiting on it.
+                self.eng = Arc::try_unwrap(master).unwrap_or_else(|a| (*a).clone());
+                out
+            }
+            _ => jobs
+                .iter()
+                .map(|members| schedule_component(self.eng.clone(), members, &pos, window))
+                .collect(),
+        };
+
+        for res in results {
+            for (i, t) in res? {
+                self.eng.adopt(i, t);
+            }
+        }
+        self.eng.finish()
+    }
+}
+
+/// Schedules one dependence component on its own engine clone: cut the
+/// members into mobility-band/topo-ordered windows of at most `window`
+/// ops, drain each window with exact force-directed placement, and
+/// return the decided steps. The clone's distribution graphs cover the
+/// whole graph, so cross-component pressure is identical in every
+/// clone — which is what makes the merge order-independent work.
+fn schedule_component(
+    mut eng: ForceScheduler,
+    members: &[usize],
+    pos: &[u32],
+    window: usize,
+) -> Result<Vec<(usize, u32)>, ScheduleError> {
+    let mut order: Vec<usize> = members.to_vec();
+    // Primary: current window start (the ASAP/mobility band). Secondary:
+    // topological position, so producers precede consumers within a
+    // band. Tertiary: dense index, for full determinism.
+    order.sort_by_key(|&i| (eng.lo[i], pos[i], i));
+    let mut chunk: Vec<usize> = Vec::with_capacity(window);
+    for cut in order.chunks(window) {
+        chunk.clear();
+        chunk.extend_from_slice(cut);
+        // Ascending dense order inside the window: the tie-break in
+        // `select_and_commit` is scan-order-sensitive within its epsilon,
+        // and ascending order is the documented contract.
+        chunk.sort_unstable();
+        // A window is an (op-set × step-band) tile: candidate steps are
+        // clipped to the band [chunk's earliest step, chunk's latest
+        // start + window]. Wide-slack members (e.g. pure sinks, whose
+        // ALAP sits at the deadline) would otherwise cost O(deadline)
+        // per force evaluation and make large graphs quadratic. The
+        // clip is safe — windows are arc-consistent and every member
+        // keeps at least its current earliest step as a candidate.
+        let band_hi = chunk
+            .iter()
+            .map(|&i| eng.lo[i])
+            .max()
+            .unwrap_or(0)
+            .saturating_add(u32::try_from(window).unwrap_or(u32::MAX));
+        while eng.place_next_among(&chunk, band_hi)?.is_some() {}
+    }
+    // Placement pinned each member's window to its step.
+    Ok(members.iter().map(|&i| (i, eng.lo[i])).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::force::force_directed_schedule;
+    use crate::resource::{FuClass, ResourceLimits};
+
+    #[test]
+    fn diffeq_small_window_is_valid_and_balanced() {
+        let g = hls_workloads::benchmarks::diffeq();
+        let cls = OpClassifier::typed();
+        for window in [1, 2, 3, 64] {
+            let s = hier_force_schedule(&g, &cls, 4, window).unwrap();
+            s.validate(&g, &cls, &ResourceLimits::unlimited()).unwrap();
+            assert_eq!(s.num_steps(), 4);
+            let mults = s.fu_usage(&g, &cls)[&FuClass::Multiplier];
+            assert!(mults <= 4, "window {window}: got {mults} multipliers");
+        }
+    }
+
+    #[test]
+    fn huge_window_matches_flat_force_schedule_exactly() {
+        let g = hls_workloads::benchmarks::ewf();
+        let cls = OpClassifier::typed();
+        let flat = force_directed_schedule(&g, &cls, 20).unwrap();
+        let hier = hier_force_schedule(&g, &cls, 20, usize::MAX).unwrap();
+        for (op, s) in flat.iter() {
+            assert_eq!(hier.step(op), Some(s), "{op:?}");
+        }
+        assert_eq!(flat.num_steps(), hier.num_steps());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let g = hls_workloads::benchmarks::ewf();
+        let cls = OpClassifier::typed();
+        let serial = HierForceScheduler::new(&g, &cls, 19, 4)
+            .unwrap()
+            .finish()
+            .unwrap();
+        let parallel = HierForceScheduler::new(&g, &cls, 19, 4)
+            .unwrap()
+            .finish_on(hls_par::shared())
+            .unwrap();
+        for (op, s) in serial.iter() {
+            assert_eq!(parallel.step(op), Some(s), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn window_zero_is_clamped() {
+        let g = hls_workloads::benchmarks::diffeq();
+        let cls = OpClassifier::typed();
+        let eng = HierForceScheduler::new(&g, &cls, 4, 0).unwrap();
+        assert_eq!(eng.window(), 1);
+        let s = eng.finish().unwrap();
+        s.validate(&g, &cls, &ResourceLimits::unlimited()).unwrap();
+    }
+
+    #[test]
+    fn deadline_too_short_is_an_error() {
+        let g = hls_workloads::benchmarks::diffeq();
+        let cls = OpClassifier::typed();
+        assert!(matches!(
+            hier_force_schedule(&g, &cls, 1, 8),
+            Err(ScheduleError::DeadlineTooShort { .. })
+        ));
+    }
+}

@@ -8,6 +8,9 @@
 //!   (Elf/ISYN) or mobility priorities (Fig. 4).
 //! * [`force_directed_schedule`] — HAL's time-constrained force-directed
 //!   scheduling with [`distribution_graphs`] (Fig. 5).
+//! * [`hier_force_schedule`] — hierarchical windowed FDS: mobility-band
+//!   windows, seam propagation, independent components in parallel;
+//!   scales the Fig. 5 technique to 100k-op graphs.
 //! * [`freedom_based_schedule`] — MAHA's least-freedom-first scheduling.
 //! * [`branch_and_bound_schedule`] — EXPL-style optimal search.
 //! * [`transformational_schedule`] — YSC-style serialize-from-parallel.
@@ -44,6 +47,7 @@ mod chain;
 mod error;
 mod force;
 mod freedom;
+mod hforce;
 mod list;
 mod pipeline;
 pub mod precedence;
@@ -60,6 +64,7 @@ pub use chain::{chained_schedule, ChainedSchedule, DelayModel};
 pub use error::ScheduleError;
 pub use force::{distribution_graphs, force_directed_schedule, DistributionGraphs, ForceScheduler};
 pub use freedom::{freedom_based_schedule, freedom_based_schedule_graph};
+pub use hforce::{hier_force_schedule, HierForceScheduler, DEFAULT_WINDOW};
 pub use list::{list_schedule, list_schedule_graph, Priority};
 pub use pipeline::{pipeline_loop, reservation_table, PipelineResult};
 pub use resource::{ClassifierStyle, FuClass, OpClassifier, ResourceLimits};

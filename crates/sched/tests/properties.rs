@@ -13,8 +13,9 @@
 
 use hls_sched::precedence::{unconstrained_alap, unconstrained_asap};
 use hls_sched::{
-    alap_schedule, asap_schedule, force_directed_schedule, freedom_based_schedule, list_schedule,
-    ForceScheduler, OpClassifier, Priority, ResourceLimits, SchedGraph, Schedule, ScheduleError,
+    alap_schedule, asap_schedule, force_directed_schedule, freedom_based_schedule,
+    hier_force_schedule, list_schedule, ForceScheduler, HierForceScheduler, OpClassifier, Priority,
+    ResourceLimits, SchedGraph, Schedule, ScheduleError,
 };
 use hls_testkit::{forall, Config, SplitMix64};
 use hls_workloads::random::{random_dag, RandomDagConfig};
@@ -194,6 +195,108 @@ fn incremental_distribution_graphs_match_from_scratch() {
             }
         }
     });
+}
+
+/// The degenerate-hierarchy differential: with a window at least as
+/// large as the op count there is exactly one window, and the
+/// hierarchical scheduler must be *step-identical* to the flat
+/// force-directed scheduler — same ops, same steps, same length — not
+/// merely equivalent in quality. 128 seeded DAGs across two classifier
+/// policies hold the shared-code claim honest.
+#[test]
+fn hier_force_with_covering_window_is_step_identical_to_force() {
+    forall(&Config::cases(128), gen_instance, |inst| {
+        let dfg = random_dag(&inst.dag);
+        for classifier in [OpClassifier::universal(), OpClassifier::typed()] {
+            let (_, cp) = unconstrained_asap(&dfg, &classifier).expect("acyclic");
+            let slack = (inst.fus as u32) % 3; // deterministic 0..=2
+            let deadline = (cp + slack).max(1);
+            let flat = force_directed_schedule(&dfg, &classifier, deadline).expect("force");
+            let hier = hier_force_schedule(&dfg, &classifier, deadline, inst.dag.ops.max(1))
+                .expect("hforce");
+            assert_eq!(flat.num_steps(), hier.num_steps());
+            for (op, step) in flat.iter() {
+                assert_eq!(
+                    hier.step(op),
+                    Some(step),
+                    "op {op:?}: flat placed it at {step}"
+                );
+            }
+        }
+    });
+}
+
+/// Small windows force many seams; the result must still be a valid
+/// schedule that meets the deadline, and at zero slack (deadline =
+/// critical path) it is never longer than a single-FU list schedule.
+/// The serial and pool paths must also agree exactly: the schedule is a
+/// function of the input, never of the worker count.
+#[test]
+fn hier_force_small_windows_stay_valid_and_deterministic() {
+    forall(&Config::cases(128), gen_instance, |inst| {
+        let dfg = random_dag(&inst.dag);
+        let classifier = OpClassifier::universal();
+        let (_, cp) = unconstrained_asap(&dfg, &classifier).expect("acyclic");
+        let deadline = cp.max(1); // zero slack: latency is the critical path
+        let window = 1 + inst.fus % 3; // deterministic 1..=3
+        let s = hier_force_schedule(&dfg, &classifier, deadline, window).expect("hforce");
+        s.validate(&dfg, &classifier, &ResourceLimits::unlimited())
+            .expect("hforce schedule valid");
+        assert!(s.num_steps() <= deadline);
+        assert_bounds(&s, &dfg, &classifier, "hforce");
+        let list = list_schedule(
+            &dfg,
+            &classifier,
+            &ResourceLimits::universal(1),
+            Priority::PathLength,
+        )
+        .expect("list");
+        assert!(
+            s.num_steps() <= list.num_steps(),
+            "hforce {} steps vs serial list {} steps",
+            s.num_steps(),
+            list.num_steps()
+        );
+        let serial = HierForceScheduler::new(&dfg, &classifier, deadline, window)
+            .expect("engine")
+            .finish()
+            .expect("serial hforce");
+        for (op, step) in s.iter() {
+            assert_eq!(serial.step(op), Some(step), "serial/pool divergence");
+        }
+    });
+}
+
+/// On medium graphs with real window pressure (hundreds of ops, window
+/// 32), the hierarchical schedule must match the flat scheduler's
+/// latency exactly (both are deadline-pinned) and stay within 2× of its
+/// total FU allocation — windowing trades a bounded amount of balancing
+/// quality for asymptotic speed, not correctness.
+#[test]
+fn hier_force_matches_flat_quality_on_medium_graphs() {
+    for seed in 0..3 {
+        let dfg = random_dag(&RandomDagConfig {
+            ops: 384,
+            inputs: 8,
+            window: 12,
+            mul_ratio: 0.4,
+            seed,
+        });
+        let cls = OpClassifier::typed();
+        let (_, cp) = unconstrained_asap(&dfg, &cls).expect("acyclic");
+        let deadline = cp + 4;
+        let flat = force_directed_schedule(&dfg, &cls, deadline).expect("force");
+        let hier = hier_force_schedule(&dfg, &cls, deadline, 32).expect("hforce");
+        hier.validate(&dfg, &cls, &ResourceLimits::unlimited())
+            .expect("valid");
+        assert_eq!(hier.num_steps(), flat.num_steps(), "seed {seed}: latency");
+        let flat_fus: usize = flat.fu_usage(&dfg, &cls).values().sum();
+        let hier_fus: usize = hier.fu_usage(&dfg, &cls).values().sum();
+        assert!(
+            hier_fus <= flat_fus.max(1) * 2,
+            "seed {seed}: hforce needs {hier_fus} FUs, flat needs {flat_fus}"
+        );
+    }
 }
 
 #[test]

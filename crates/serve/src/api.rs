@@ -31,8 +31,8 @@ fn err(msg: impl Into<String>) -> ApiError {
 }
 
 /// Parses an algorithm name (`asap`, `list/path`, `list/urgency`,
-/// `list/mobility`, `force`, `force/N`, `freedom`, `freedom/N`, `bb`,
-/// `transform`).
+/// `list/mobility`, `force`, `force/N`, `hforce`, `hforce/N`,
+/// `hforce/N/W`, `freedom`, `freedom/N`, `bb`, `transform`).
 pub fn parse_algorithm(name: &str) -> Result<Algorithm, ApiError> {
     let (head, arg) = match name.split_once('/') {
         Some((h, a)) => (h, Some(a)),
@@ -53,6 +53,31 @@ pub fn parse_algorithm(name: &str) -> Result<Algorithm, ApiError> {
         ("list", Some("urgency")) => Ok(Algorithm::List(Priority::Urgency)),
         ("list", Some("mobility")) => Ok(Algorithm::List(Priority::Mobility)),
         ("force", _) => Ok(Algorithm::ForceDirected { slack: slack()? }),
+        ("hforce", _) => {
+            // `hforce`, `hforce/S`, or `hforce/S/W`.
+            let (slack, window) = match arg {
+                None => (0, hls_sched::DEFAULT_WINDOW as u32),
+                Some(a) => {
+                    let (s, w) = match a.split_once('/') {
+                        None => (a, None),
+                        Some((s, w)) => (s, Some(w)),
+                    };
+                    let slack = s
+                        .parse()
+                        .map_err(|_| err(format!("invalid slack in algorithm {name:?}")))?;
+                    let window = match w {
+                        None => hls_sched::DEFAULT_WINDOW as u32,
+                        Some(w) => {
+                            w.parse::<u32>().ok().filter(|&w| w > 0).ok_or_else(|| {
+                                err(format!("invalid window in algorithm {name:?}"))
+                            })?
+                        }
+                    };
+                    (slack, window)
+                }
+            };
+            Ok(Algorithm::HierForce { slack, window })
+        }
         ("freedom", _) => Ok(Algorithm::FreedomBased { slack: slack()? }),
         ("bb", None) => Ok(Algorithm::BranchAndBound {
             node_budget: 4_000_000,
@@ -71,6 +96,7 @@ pub fn algorithm_str(a: Algorithm) -> String {
         Algorithm::List(Priority::Urgency) => "list/urgency".into(),
         Algorithm::List(Priority::Mobility) => "list/mobility".into(),
         Algorithm::ForceDirected { slack } => format!("force/{slack}"),
+        Algorithm::HierForce { slack, window } => format!("hforce/{slack}/{window}"),
         Algorithm::FreedomBased { slack } => format!("freedom/{slack}"),
         Algorithm::BranchAndBound { .. } => "bb".into(),
         Algorithm::Transformational => "transform".into(),
@@ -454,6 +480,8 @@ mod tests {
             "list/mobility",
             "force/0",
             "force/2",
+            "hforce/0/64",
+            "hforce/2/8",
             "freedom/1",
             "bb",
             "transform",
@@ -463,6 +491,18 @@ mod tests {
         }
         assert!(parse_algorithm("quantum").is_err());
         assert!(parse_algorithm("force/x").is_err());
+        // Shorthand forms normalize to the canonical slack/window string.
+        assert_eq!(
+            algorithm_str(parse_algorithm("hforce").unwrap()),
+            format!("hforce/0/{}", hls_sched::DEFAULT_WINDOW)
+        );
+        assert_eq!(
+            algorithm_str(parse_algorithm("hforce/3").unwrap()),
+            format!("hforce/3/{}", hls_sched::DEFAULT_WINDOW)
+        );
+        assert!(parse_algorithm("hforce/1/0").is_err(), "window 0 rejected");
+        assert!(parse_algorithm("hforce/x/4").is_err());
+        assert!(parse_algorithm("hforce/1/y").is_err());
     }
 
     #[test]

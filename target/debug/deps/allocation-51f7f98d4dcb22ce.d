@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/allocation-51f7f98d4dcb22ce.d: crates/bench/benches/allocation.rs Cargo.toml
+
+/root/repo/target/debug/deps/liballocation-51f7f98d4dcb22ce.rmeta: crates/bench/benches/allocation.rs Cargo.toml
+
+crates/bench/benches/allocation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/clique-3a92746a5650f9eb.d: crates/bench/benches/clique.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclique-3a92746a5650f9eb.rmeta: crates/bench/benches/clique.rs Cargo.toml
+
+crates/bench/benches/clique.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/clique_differential-282fa1c0a3f65a47.d: crates/alloc/tests/clique_differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclique_differential-282fa1c0a3f65a47.rmeta: crates/alloc/tests/clique_differential.rs Cargo.toml
+
+crates/alloc/tests/clique_differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/clique_differential-5e92462a4e02de1a.d: crates/alloc/tests/clique_differential.rs
+
+/root/repo/target/debug/deps/clique_differential-5e92462a4e02de1a: crates/alloc/tests/clique_differential.rs
+
+crates/alloc/tests/clique_differential.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/controller_cosim-16eb0c6e01b8fc2a.d: tests/controller_cosim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcontroller_cosim-16eb0c6e01b8fc2a.rmeta: tests/controller_cosim.rs Cargo.toml
+
+tests/controller_cosim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/controller_cosim-6b7ea3b6497b5b57.d: tests/controller_cosim.rs
+
+/root/repo/target/debug/deps/controller_cosim-6b7ea3b6497b5b57: tests/controller_cosim.rs
+
+tests/controller_cosim.rs:

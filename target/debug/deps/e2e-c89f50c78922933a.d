@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2e-c89f50c78922933a.d: crates/bench/benches/e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2e-c89f50c78922933a.rmeta: crates/bench/benches/e2e.rs Cargo.toml
+
+crates/bench/benches/e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

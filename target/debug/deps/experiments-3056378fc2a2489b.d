@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-3056378fc2a2489b.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-3056378fc2a2489b: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

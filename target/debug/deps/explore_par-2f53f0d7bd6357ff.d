@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/explore_par-2f53f0d7bd6357ff.d: crates/core/tests/explore_par.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexplore_par-2f53f0d7bd6357ff.rmeta: crates/core/tests/explore_par.rs Cargo.toml
+
+crates/core/tests/explore_par.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

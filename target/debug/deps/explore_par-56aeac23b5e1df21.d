@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/explore_par-56aeac23b5e1df21.d: crates/core/tests/explore_par.rs
+
+/root/repo/target/debug/deps/explore_par-56aeac23b5e1df21: crates/core/tests/explore_par.rs
+
+crates/core/tests/explore_par.rs:

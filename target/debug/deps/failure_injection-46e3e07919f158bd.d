@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-46e3e07919f158bd.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-46e3e07919f158bd: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/full_flow-420e069a22177d94.d: tests/full_flow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfull_flow-420e069a22177d94.rmeta: tests/full_flow.rs Cargo.toml
+
+tests/full_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_flow-e82c34b792b07e15.d: tests/full_flow.rs
+
+/root/repo/target/debug/deps/full_flow-e82c34b792b07e15: tests/full_flow.rs
+
+tests/full_flow.rs:

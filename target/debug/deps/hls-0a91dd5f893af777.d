@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hls-0a91dd5f893af777.d: src/lib.rs
+
+/root/repo/target/debug/deps/hls-0a91dd5f893af777: src/lib.rs
+
+src/lib.rs:

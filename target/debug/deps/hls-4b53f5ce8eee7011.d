@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hls-4b53f5ce8eee7011.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhls-4b53f5ce8eee7011.rmeta: src/lib.rs
+
+src/lib.rs:

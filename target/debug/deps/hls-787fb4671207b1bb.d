@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hls-787fb4671207b1bb.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhls-787fb4671207b1bb.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhls-787fb4671207b1bb.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hls-d86544c6bc1c6d04.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhls-d86544c6bc1c6d04.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

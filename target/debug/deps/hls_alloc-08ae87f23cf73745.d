@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hls_alloc-08ae87f23cf73745.d: crates/alloc/src/lib.rs crates/alloc/src/clique.rs crates/alloc/src/datapath.rs crates/alloc/src/error.rs crates/alloc/src/fu.rs crates/alloc/src/ilp.rs crates/alloc/src/interconnect.rs crates/alloc/src/lifetime.rs crates/alloc/src/registers.rs
+
+/root/repo/target/debug/deps/libhls_alloc-08ae87f23cf73745.rlib: crates/alloc/src/lib.rs crates/alloc/src/clique.rs crates/alloc/src/datapath.rs crates/alloc/src/error.rs crates/alloc/src/fu.rs crates/alloc/src/ilp.rs crates/alloc/src/interconnect.rs crates/alloc/src/lifetime.rs crates/alloc/src/registers.rs
+
+/root/repo/target/debug/deps/libhls_alloc-08ae87f23cf73745.rmeta: crates/alloc/src/lib.rs crates/alloc/src/clique.rs crates/alloc/src/datapath.rs crates/alloc/src/error.rs crates/alloc/src/fu.rs crates/alloc/src/ilp.rs crates/alloc/src/interconnect.rs crates/alloc/src/lifetime.rs crates/alloc/src/registers.rs
+
+crates/alloc/src/lib.rs:
+crates/alloc/src/clique.rs:
+crates/alloc/src/datapath.rs:
+crates/alloc/src/error.rs:
+crates/alloc/src/fu.rs:
+crates/alloc/src/ilp.rs:
+crates/alloc/src/interconnect.rs:
+crates/alloc/src/lifetime.rs:
+crates/alloc/src/registers.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/hls_alloc-235d756f1a97ef6d.d: crates/alloc/src/lib.rs crates/alloc/src/clique.rs crates/alloc/src/datapath.rs crates/alloc/src/error.rs crates/alloc/src/fu.rs crates/alloc/src/ilp.rs crates/alloc/src/interconnect.rs crates/alloc/src/lifetime.rs crates/alloc/src/registers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhls_alloc-235d756f1a97ef6d.rmeta: crates/alloc/src/lib.rs crates/alloc/src/clique.rs crates/alloc/src/datapath.rs crates/alloc/src/error.rs crates/alloc/src/fu.rs crates/alloc/src/ilp.rs crates/alloc/src/interconnect.rs crates/alloc/src/lifetime.rs crates/alloc/src/registers.rs Cargo.toml
+
+crates/alloc/src/lib.rs:
+crates/alloc/src/clique.rs:
+crates/alloc/src/datapath.rs:
+crates/alloc/src/error.rs:
+crates/alloc/src/fu.rs:
+crates/alloc/src/ilp.rs:
+crates/alloc/src/interconnect.rs:
+crates/alloc/src/lifetime.rs:
+crates/alloc/src/registers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

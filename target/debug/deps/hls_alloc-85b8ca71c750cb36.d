@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hls_alloc-85b8ca71c750cb36.d: crates/alloc/src/lib.rs crates/alloc/src/clique.rs crates/alloc/src/datapath.rs crates/alloc/src/error.rs crates/alloc/src/fu.rs crates/alloc/src/ilp.rs crates/alloc/src/interconnect.rs crates/alloc/src/lifetime.rs crates/alloc/src/registers.rs
+
+/root/repo/target/debug/deps/libhls_alloc-85b8ca71c750cb36.rmeta: crates/alloc/src/lib.rs crates/alloc/src/clique.rs crates/alloc/src/datapath.rs crates/alloc/src/error.rs crates/alloc/src/fu.rs crates/alloc/src/ilp.rs crates/alloc/src/interconnect.rs crates/alloc/src/lifetime.rs crates/alloc/src/registers.rs
+
+crates/alloc/src/lib.rs:
+crates/alloc/src/clique.rs:
+crates/alloc/src/datapath.rs:
+crates/alloc/src/error.rs:
+crates/alloc/src/fu.rs:
+crates/alloc/src/ilp.rs:
+crates/alloc/src/interconnect.rs:
+crates/alloc/src/lifetime.rs:
+crates/alloc/src/registers.rs:

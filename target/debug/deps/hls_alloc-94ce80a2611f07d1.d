@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hls_alloc-94ce80a2611f07d1.d: crates/alloc/src/lib.rs crates/alloc/src/clique.rs crates/alloc/src/datapath.rs crates/alloc/src/error.rs crates/alloc/src/fu.rs crates/alloc/src/ilp.rs crates/alloc/src/interconnect.rs crates/alloc/src/lifetime.rs crates/alloc/src/registers.rs
+
+/root/repo/target/debug/deps/hls_alloc-94ce80a2611f07d1: crates/alloc/src/lib.rs crates/alloc/src/clique.rs crates/alloc/src/datapath.rs crates/alloc/src/error.rs crates/alloc/src/fu.rs crates/alloc/src/ilp.rs crates/alloc/src/interconnect.rs crates/alloc/src/lifetime.rs crates/alloc/src/registers.rs
+
+crates/alloc/src/lib.rs:
+crates/alloc/src/clique.rs:
+crates/alloc/src/datapath.rs:
+crates/alloc/src/error.rs:
+crates/alloc/src/fu.rs:
+crates/alloc/src/ilp.rs:
+crates/alloc/src/interconnect.rs:
+crates/alloc/src/lifetime.rs:
+crates/alloc/src/registers.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hls_bench-5ecb637a2155b6e8.d: crates/bench/src/lib.rs crates/bench/src/gate.rs crates/bench/src/harness.rs crates/bench/src/suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhls_bench-5ecb637a2155b6e8.rmeta: crates/bench/src/lib.rs crates/bench/src/gate.rs crates/bench/src/harness.rs crates/bench/src/suite.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/gate.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

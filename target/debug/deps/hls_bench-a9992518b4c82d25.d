@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hls_bench-a9992518b4c82d25.d: crates/bench/src/lib.rs crates/bench/src/gate.rs crates/bench/src/harness.rs crates/bench/src/suite.rs
+
+/root/repo/target/debug/deps/libhls_bench-a9992518b4c82d25.rlib: crates/bench/src/lib.rs crates/bench/src/gate.rs crates/bench/src/harness.rs crates/bench/src/suite.rs
+
+/root/repo/target/debug/deps/libhls_bench-a9992518b4c82d25.rmeta: crates/bench/src/lib.rs crates/bench/src/gate.rs crates/bench/src/harness.rs crates/bench/src/suite.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/gate.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/suite.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hls_bench-b0cfc7fffcb4e991.d: crates/bench/src/lib.rs crates/bench/src/gate.rs crates/bench/src/harness.rs crates/bench/src/suite.rs
+
+/root/repo/target/debug/deps/hls_bench-b0cfc7fffcb4e991: crates/bench/src/lib.rs crates/bench/src/gate.rs crates/bench/src/harness.rs crates/bench/src/suite.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/gate.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/suite.rs:

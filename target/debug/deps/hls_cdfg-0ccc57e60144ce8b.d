@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hls_cdfg-0ccc57e60144ce8b.d: crates/cdfg/src/lib.rs crates/cdfg/src/analysis.rs crates/cdfg/src/cdfg.rs crates/cdfg/src/dense.rs crates/cdfg/src/dfg.rs crates/cdfg/src/dot.rs crates/cdfg/src/error.rs crates/cdfg/src/fixed.rs crates/cdfg/src/ids.rs crates/cdfg/src/op.rs
+
+/root/repo/target/debug/deps/libhls_cdfg-0ccc57e60144ce8b.rmeta: crates/cdfg/src/lib.rs crates/cdfg/src/analysis.rs crates/cdfg/src/cdfg.rs crates/cdfg/src/dense.rs crates/cdfg/src/dfg.rs crates/cdfg/src/dot.rs crates/cdfg/src/error.rs crates/cdfg/src/fixed.rs crates/cdfg/src/ids.rs crates/cdfg/src/op.rs
+
+crates/cdfg/src/lib.rs:
+crates/cdfg/src/analysis.rs:
+crates/cdfg/src/cdfg.rs:
+crates/cdfg/src/dense.rs:
+crates/cdfg/src/dfg.rs:
+crates/cdfg/src/dot.rs:
+crates/cdfg/src/error.rs:
+crates/cdfg/src/fixed.rs:
+crates/cdfg/src/ids.rs:
+crates/cdfg/src/op.rs:

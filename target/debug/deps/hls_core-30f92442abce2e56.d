@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hls_core-30f92442abce2e56.d: crates/core/src/lib.rs crates/core/src/explore.rs crates/core/src/par.rs crates/core/src/pipeline.rs crates/core/src/report.rs
+
+/root/repo/target/debug/deps/libhls_core-30f92442abce2e56.rmeta: crates/core/src/lib.rs crates/core/src/explore.rs crates/core/src/par.rs crates/core/src/pipeline.rs crates/core/src/report.rs
+
+crates/core/src/lib.rs:
+crates/core/src/explore.rs:
+crates/core/src/par.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/report.rs:

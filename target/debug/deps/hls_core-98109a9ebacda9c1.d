@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hls_core-98109a9ebacda9c1.d: crates/core/src/lib.rs crates/core/src/explore.rs crates/core/src/par.rs crates/core/src/pipeline.rs crates/core/src/report.rs
+
+/root/repo/target/debug/deps/libhls_core-98109a9ebacda9c1.rlib: crates/core/src/lib.rs crates/core/src/explore.rs crates/core/src/par.rs crates/core/src/pipeline.rs crates/core/src/report.rs
+
+/root/repo/target/debug/deps/libhls_core-98109a9ebacda9c1.rmeta: crates/core/src/lib.rs crates/core/src/explore.rs crates/core/src/par.rs crates/core/src/pipeline.rs crates/core/src/report.rs
+
+crates/core/src/lib.rs:
+crates/core/src/explore.rs:
+crates/core/src/par.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/report.rs:

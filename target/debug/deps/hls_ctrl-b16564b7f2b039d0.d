@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hls_ctrl-b16564b7f2b039d0.d: crates/ctrl/src/lib.rs crates/ctrl/src/encode.rs crates/ctrl/src/fsm.rs crates/ctrl/src/logic.rs crates/ctrl/src/microcode.rs crates/ctrl/src/minimize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhls_ctrl-b16564b7f2b039d0.rmeta: crates/ctrl/src/lib.rs crates/ctrl/src/encode.rs crates/ctrl/src/fsm.rs crates/ctrl/src/logic.rs crates/ctrl/src/microcode.rs crates/ctrl/src/minimize.rs Cargo.toml
+
+crates/ctrl/src/lib.rs:
+crates/ctrl/src/encode.rs:
+crates/ctrl/src/fsm.rs:
+crates/ctrl/src/logic.rs:
+crates/ctrl/src/microcode.rs:
+crates/ctrl/src/minimize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hls_ctrl-edd728acbf64bcda.d: crates/ctrl/src/lib.rs crates/ctrl/src/encode.rs crates/ctrl/src/fsm.rs crates/ctrl/src/logic.rs crates/ctrl/src/microcode.rs crates/ctrl/src/minimize.rs
+
+/root/repo/target/debug/deps/libhls_ctrl-edd728acbf64bcda.rlib: crates/ctrl/src/lib.rs crates/ctrl/src/encode.rs crates/ctrl/src/fsm.rs crates/ctrl/src/logic.rs crates/ctrl/src/microcode.rs crates/ctrl/src/minimize.rs
+
+/root/repo/target/debug/deps/libhls_ctrl-edd728acbf64bcda.rmeta: crates/ctrl/src/lib.rs crates/ctrl/src/encode.rs crates/ctrl/src/fsm.rs crates/ctrl/src/logic.rs crates/ctrl/src/microcode.rs crates/ctrl/src/minimize.rs
+
+crates/ctrl/src/lib.rs:
+crates/ctrl/src/encode.rs:
+crates/ctrl/src/fsm.rs:
+crates/ctrl/src/logic.rs:
+crates/ctrl/src/microcode.rs:
+crates/ctrl/src/minimize.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hls_fuzz-01fd6b9f56b085cb.d: crates/fuzz/src/lib.rs crates/fuzz/src/corpus.rs crates/fuzz/src/gen.rs crates/fuzz/src/minimize.rs
+
+/root/repo/target/debug/deps/libhls_fuzz-01fd6b9f56b085cb.rlib: crates/fuzz/src/lib.rs crates/fuzz/src/corpus.rs crates/fuzz/src/gen.rs crates/fuzz/src/minimize.rs
+
+/root/repo/target/debug/deps/libhls_fuzz-01fd6b9f56b085cb.rmeta: crates/fuzz/src/lib.rs crates/fuzz/src/corpus.rs crates/fuzz/src/gen.rs crates/fuzz/src/minimize.rs
+
+crates/fuzz/src/lib.rs:
+crates/fuzz/src/corpus.rs:
+crates/fuzz/src/gen.rs:
+crates/fuzz/src/minimize.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hls_fuzz-33ad32ac2c4f8632.d: crates/fuzz/src/main.rs
+
+/root/repo/target/debug/deps/hls_fuzz-33ad32ac2c4f8632: crates/fuzz/src/main.rs
+
+crates/fuzz/src/main.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hls_fuzz-460d1ce1b703337a.d: crates/fuzz/src/lib.rs crates/fuzz/src/corpus.rs crates/fuzz/src/gen.rs crates/fuzz/src/minimize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhls_fuzz-460d1ce1b703337a.rmeta: crates/fuzz/src/lib.rs crates/fuzz/src/corpus.rs crates/fuzz/src/gen.rs crates/fuzz/src/minimize.rs Cargo.toml
+
+crates/fuzz/src/lib.rs:
+crates/fuzz/src/corpus.rs:
+crates/fuzz/src/gen.rs:
+crates/fuzz/src/minimize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

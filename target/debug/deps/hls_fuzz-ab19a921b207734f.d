@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hls_fuzz-ab19a921b207734f.d: crates/fuzz/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhls_fuzz-ab19a921b207734f.rmeta: crates/fuzz/src/main.rs Cargo.toml
+
+crates/fuzz/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

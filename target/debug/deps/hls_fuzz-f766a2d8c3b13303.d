@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hls_fuzz-f766a2d8c3b13303.d: crates/fuzz/src/main.rs
+
+/root/repo/target/debug/deps/hls_fuzz-f766a2d8c3b13303: crates/fuzz/src/main.rs
+
+crates/fuzz/src/main.rs:

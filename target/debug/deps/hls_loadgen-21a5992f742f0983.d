@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hls_loadgen-21a5992f742f0983.d: crates/serve/src/bin/loadgen.rs
+
+/root/repo/target/debug/deps/hls_loadgen-21a5992f742f0983: crates/serve/src/bin/loadgen.rs
+
+crates/serve/src/bin/loadgen.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hls_loadgen-9333e71b705f9a0f.d: crates/serve/src/bin/loadgen.rs
+
+/root/repo/target/debug/deps/hls_loadgen-9333e71b705f9a0f: crates/serve/src/bin/loadgen.rs
+
+crates/serve/src/bin/loadgen.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hls_loadgen-cd84c615f074c0fb.d: crates/serve/src/bin/loadgen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhls_loadgen-cd84c615f074c0fb.rmeta: crates/serve/src/bin/loadgen.rs Cargo.toml
+
+crates/serve/src/bin/loadgen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

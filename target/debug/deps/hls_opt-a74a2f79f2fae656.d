@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hls_opt-a74a2f79f2fae656.d: crates/opt/src/lib.rs crates/opt/src/copyprop.rs crates/opt/src/cse.rs crates/opt/src/dce.rs crates/opt/src/fold.rs crates/opt/src/ifconv.rs crates/opt/src/narrow.rs crates/opt/src/strength.rs crates/opt/src/unroll.rs
+
+/root/repo/target/debug/deps/hls_opt-a74a2f79f2fae656: crates/opt/src/lib.rs crates/opt/src/copyprop.rs crates/opt/src/cse.rs crates/opt/src/dce.rs crates/opt/src/fold.rs crates/opt/src/ifconv.rs crates/opt/src/narrow.rs crates/opt/src/strength.rs crates/opt/src/unroll.rs
+
+crates/opt/src/lib.rs:
+crates/opt/src/copyprop.rs:
+crates/opt/src/cse.rs:
+crates/opt/src/dce.rs:
+crates/opt/src/fold.rs:
+crates/opt/src/ifconv.rs:
+crates/opt/src/narrow.rs:
+crates/opt/src/strength.rs:
+crates/opt/src/unroll.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/hls_opt-f3322a5b989c76fb.d: crates/opt/src/lib.rs crates/opt/src/copyprop.rs crates/opt/src/cse.rs crates/opt/src/dce.rs crates/opt/src/fold.rs crates/opt/src/ifconv.rs crates/opt/src/narrow.rs crates/opt/src/strength.rs crates/opt/src/unroll.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhls_opt-f3322a5b989c76fb.rmeta: crates/opt/src/lib.rs crates/opt/src/copyprop.rs crates/opt/src/cse.rs crates/opt/src/dce.rs crates/opt/src/fold.rs crates/opt/src/ifconv.rs crates/opt/src/narrow.rs crates/opt/src/strength.rs crates/opt/src/unroll.rs Cargo.toml
+
+crates/opt/src/lib.rs:
+crates/opt/src/copyprop.rs:
+crates/opt/src/cse.rs:
+crates/opt/src/dce.rs:
+crates/opt/src/fold.rs:
+crates/opt/src/ifconv.rs:
+crates/opt/src/narrow.rs:
+crates/opt/src/strength.rs:
+crates/opt/src/unroll.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hls_par-3bd24e7a45e37f41.d: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/libhls_par-3bd24e7a45e37f41.rmeta: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

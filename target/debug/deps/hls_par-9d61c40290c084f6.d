@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hls_par-9d61c40290c084f6.d: crates/par/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhls_par-9d61c40290c084f6.rmeta: crates/par/src/lib.rs Cargo.toml
+
+crates/par/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

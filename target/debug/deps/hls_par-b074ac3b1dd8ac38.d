@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hls_par-b074ac3b1dd8ac38.d: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/libhls_par-b074ac3b1dd8ac38.rlib: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/libhls_par-b074ac3b1dd8ac38.rmeta: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

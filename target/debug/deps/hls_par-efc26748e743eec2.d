@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hls_par-efc26748e743eec2.d: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/hls_par-efc26748e743eec2: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hls_rtl-07ad4609778890c8.d: crates/rtl/src/lib.rs crates/rtl/src/area.rs crates/rtl/src/library.rs crates/rtl/src/netlist.rs crates/rtl/src/verilog.rs
+
+/root/repo/target/debug/deps/libhls_rtl-07ad4609778890c8.rmeta: crates/rtl/src/lib.rs crates/rtl/src/area.rs crates/rtl/src/library.rs crates/rtl/src/netlist.rs crates/rtl/src/verilog.rs
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/area.rs:
+crates/rtl/src/library.rs:
+crates/rtl/src/netlist.rs:
+crates/rtl/src/verilog.rs:

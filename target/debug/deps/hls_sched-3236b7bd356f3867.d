@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/hls_sched-3236b7bd356f3867.d: crates/sched/src/lib.rs crates/sched/src/alap.rs crates/sched/src/asap.rs crates/sched/src/bb.rs crates/sched/src/bounds.rs crates/sched/src/cdfg_sched.rs crates/sched/src/chain.rs crates/sched/src/error.rs crates/sched/src/force.rs crates/sched/src/freedom.rs crates/sched/src/hforce.rs crates/sched/src/list.rs crates/sched/src/pipeline.rs crates/sched/src/precedence.rs crates/sched/src/resource.rs crates/sched/src/schedule.rs crates/sched/src/transform.rs
+
+/root/repo/target/debug/deps/hls_sched-3236b7bd356f3867: crates/sched/src/lib.rs crates/sched/src/alap.rs crates/sched/src/asap.rs crates/sched/src/bb.rs crates/sched/src/bounds.rs crates/sched/src/cdfg_sched.rs crates/sched/src/chain.rs crates/sched/src/error.rs crates/sched/src/force.rs crates/sched/src/freedom.rs crates/sched/src/hforce.rs crates/sched/src/list.rs crates/sched/src/pipeline.rs crates/sched/src/precedence.rs crates/sched/src/resource.rs crates/sched/src/schedule.rs crates/sched/src/transform.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/alap.rs:
+crates/sched/src/asap.rs:
+crates/sched/src/bb.rs:
+crates/sched/src/bounds.rs:
+crates/sched/src/cdfg_sched.rs:
+crates/sched/src/chain.rs:
+crates/sched/src/error.rs:
+crates/sched/src/force.rs:
+crates/sched/src/freedom.rs:
+crates/sched/src/hforce.rs:
+crates/sched/src/list.rs:
+crates/sched/src/pipeline.rs:
+crates/sched/src/precedence.rs:
+crates/sched/src/resource.rs:
+crates/sched/src/schedule.rs:
+crates/sched/src/transform.rs:

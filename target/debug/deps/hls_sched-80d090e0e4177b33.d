@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/hls_sched-80d090e0e4177b33.d: crates/sched/src/lib.rs crates/sched/src/alap.rs crates/sched/src/asap.rs crates/sched/src/bb.rs crates/sched/src/bounds.rs crates/sched/src/cdfg_sched.rs crates/sched/src/chain.rs crates/sched/src/error.rs crates/sched/src/force.rs crates/sched/src/freedom.rs crates/sched/src/hforce.rs crates/sched/src/list.rs crates/sched/src/pipeline.rs crates/sched/src/precedence.rs crates/sched/src/resource.rs crates/sched/src/schedule.rs crates/sched/src/transform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhls_sched-80d090e0e4177b33.rmeta: crates/sched/src/lib.rs crates/sched/src/alap.rs crates/sched/src/asap.rs crates/sched/src/bb.rs crates/sched/src/bounds.rs crates/sched/src/cdfg_sched.rs crates/sched/src/chain.rs crates/sched/src/error.rs crates/sched/src/force.rs crates/sched/src/freedom.rs crates/sched/src/hforce.rs crates/sched/src/list.rs crates/sched/src/pipeline.rs crates/sched/src/precedence.rs crates/sched/src/resource.rs crates/sched/src/schedule.rs crates/sched/src/transform.rs Cargo.toml
+
+crates/sched/src/lib.rs:
+crates/sched/src/alap.rs:
+crates/sched/src/asap.rs:
+crates/sched/src/bb.rs:
+crates/sched/src/bounds.rs:
+crates/sched/src/cdfg_sched.rs:
+crates/sched/src/chain.rs:
+crates/sched/src/error.rs:
+crates/sched/src/force.rs:
+crates/sched/src/freedom.rs:
+crates/sched/src/hforce.rs:
+crates/sched/src/list.rs:
+crates/sched/src/pipeline.rs:
+crates/sched/src/precedence.rs:
+crates/sched/src/resource.rs:
+crates/sched/src/schedule.rs:
+crates/sched/src/transform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

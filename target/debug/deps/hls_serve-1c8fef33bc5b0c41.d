@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hls_serve-1c8fef33bc5b0c41.d: crates/serve/src/bin/serve.rs
+
+/root/repo/target/debug/deps/hls_serve-1c8fef33bc5b0c41: crates/serve/src/bin/serve.rs
+
+crates/serve/src/bin/serve.rs:

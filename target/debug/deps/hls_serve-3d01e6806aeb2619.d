@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hls_serve-3d01e6806aeb2619.d: crates/serve/src/lib.rs crates/serve/src/api.rs crates/serve/src/cache.rs crates/serve/src/http.rs crates/serve/src/json.rs crates/serve/src/metrics.rs crates/serve/src/server.rs crates/serve/src/signal.rs
+
+/root/repo/target/debug/deps/hls_serve-3d01e6806aeb2619: crates/serve/src/lib.rs crates/serve/src/api.rs crates/serve/src/cache.rs crates/serve/src/http.rs crates/serve/src/json.rs crates/serve/src/metrics.rs crates/serve/src/server.rs crates/serve/src/signal.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/api.rs:
+crates/serve/src/cache.rs:
+crates/serve/src/http.rs:
+crates/serve/src/json.rs:
+crates/serve/src/metrics.rs:
+crates/serve/src/server.rs:
+crates/serve/src/signal.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/hls_serve-4d786f69a36d8a87.d: crates/serve/src/lib.rs crates/serve/src/api.rs crates/serve/src/cache.rs crates/serve/src/http.rs crates/serve/src/json.rs crates/serve/src/metrics.rs crates/serve/src/server.rs crates/serve/src/signal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhls_serve-4d786f69a36d8a87.rmeta: crates/serve/src/lib.rs crates/serve/src/api.rs crates/serve/src/cache.rs crates/serve/src/http.rs crates/serve/src/json.rs crates/serve/src/metrics.rs crates/serve/src/server.rs crates/serve/src/signal.rs Cargo.toml
+
+crates/serve/src/lib.rs:
+crates/serve/src/api.rs:
+crates/serve/src/cache.rs:
+crates/serve/src/http.rs:
+crates/serve/src/json.rs:
+crates/serve/src/metrics.rs:
+crates/serve/src/server.rs:
+crates/serve/src/signal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hls_serve-e35b11196c7f1676.d: crates/serve/src/bin/serve.rs
+
+/root/repo/target/debug/deps/hls_serve-e35b11196c7f1676: crates/serve/src/bin/serve.rs
+
+crates/serve/src/bin/serve.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hls_sim-9402dcf3b3671188.d: crates/sim/src/lib.rs crates/sim/src/behav.rs crates/sim/src/equiv.rs crates/sim/src/rtl.rs crates/sim/src/vcd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhls_sim-9402dcf3b3671188.rmeta: crates/sim/src/lib.rs crates/sim/src/behav.rs crates/sim/src/equiv.rs crates/sim/src/rtl.rs crates/sim/src/vcd.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/behav.rs:
+crates/sim/src/equiv.rs:
+crates/sim/src/rtl.rs:
+crates/sim/src/vcd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

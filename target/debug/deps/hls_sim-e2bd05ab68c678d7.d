@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hls_sim-e2bd05ab68c678d7.d: crates/sim/src/lib.rs crates/sim/src/behav.rs crates/sim/src/equiv.rs crates/sim/src/rtl.rs crates/sim/src/vcd.rs
+
+/root/repo/target/debug/deps/libhls_sim-e2bd05ab68c678d7.rlib: crates/sim/src/lib.rs crates/sim/src/behav.rs crates/sim/src/equiv.rs crates/sim/src/rtl.rs crates/sim/src/vcd.rs
+
+/root/repo/target/debug/deps/libhls_sim-e2bd05ab68c678d7.rmeta: crates/sim/src/lib.rs crates/sim/src/behav.rs crates/sim/src/equiv.rs crates/sim/src/rtl.rs crates/sim/src/vcd.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/behav.rs:
+crates/sim/src/equiv.rs:
+crates/sim/src/rtl.rs:
+crates/sim/src/vcd.rs:

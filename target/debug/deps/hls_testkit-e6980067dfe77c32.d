@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hls_testkit-e6980067dfe77c32.d: crates/testkit/src/lib.rs
+
+/root/repo/target/debug/deps/libhls_testkit-e6980067dfe77c32.rmeta: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hls_workloads-5d8c86330caf62ae.d: crates/workloads/src/lib.rs crates/workloads/src/benchmarks.rs crates/workloads/src/figures.rs crates/workloads/src/random.rs crates/workloads/src/sources.rs
+
+/root/repo/target/debug/deps/libhls_workloads-5d8c86330caf62ae.rmeta: crates/workloads/src/lib.rs crates/workloads/src/benchmarks.rs crates/workloads/src/figures.rs crates/workloads/src/random.rs crates/workloads/src/sources.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/benchmarks.rs:
+crates/workloads/src/figures.rs:
+crates/workloads/src/random.rs:
+crates/workloads/src/sources.rs:

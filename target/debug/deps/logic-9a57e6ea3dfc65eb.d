@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/logic-9a57e6ea3dfc65eb.d: crates/bench/benches/logic.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblogic-9a57e6ea3dfc65eb.rmeta: crates/bench/benches/logic.rs Cargo.toml
+
+crates/bench/benches/logic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

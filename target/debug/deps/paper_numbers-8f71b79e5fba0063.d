@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_numbers-8f71b79e5fba0063.d: tests/paper_numbers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_numbers-8f71b79e5fba0063.rmeta: tests/paper_numbers.rs Cargo.toml
+
+tests/paper_numbers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_numbers-efe42a72f4f416ba.d: tests/paper_numbers.rs
+
+/root/repo/target/debug/deps/paper_numbers-efe42a72f4f416ba: tests/paper_numbers.rs
+
+tests/paper_numbers.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/perf_gate-e904d2fcfa828764.d: crates/bench/src/bin/perf_gate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperf_gate-e904d2fcfa828764.rmeta: crates/bench/src/bin/perf_gate.rs Cargo.toml
+
+crates/bench/src/bin/perf_gate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

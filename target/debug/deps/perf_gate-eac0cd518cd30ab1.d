@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perf_gate-eac0cd518cd30ab1.d: crates/bench/src/bin/perf_gate.rs
+
+/root/repo/target/debug/deps/perf_gate-eac0cd518cd30ab1: crates/bench/src/bin/perf_gate.rs
+
+crates/bench/src/bin/perf_gate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-775cb2af39b1a989.d: crates/sched/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-775cb2af39b1a989: crates/sched/tests/properties.rs
+
+crates/sched/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-81c72bb298ff1969.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-81c72bb298ff1969: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/regressions-8824b2a673daa971.d: crates/fuzz/tests/regressions.rs
+
+/root/repo/target/debug/deps/regressions-8824b2a673daa971: crates/fuzz/tests/regressions.rs
+
+crates/fuzz/tests/regressions.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/fuzz

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/regressions-efc8c5b06d3ff6b6.d: crates/fuzz/tests/regressions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libregressions-efc8c5b06d3ff6b6.rmeta: crates/fuzz/tests/regressions.rs Cargo.toml
+
+crates/fuzz/tests/regressions.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/fuzz
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roundtrip-2f051f8b078c47e6.d: tests/roundtrip.rs
+
+/root/repo/target/debug/deps/roundtrip-2f051f8b078c47e6: tests/roundtrip.rs
+
+tests/roundtrip.rs:

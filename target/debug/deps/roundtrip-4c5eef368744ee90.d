@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/roundtrip-4c5eef368744ee90.d: tests/roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libroundtrip-4c5eef368744ee90.rmeta: tests/roundtrip.rs Cargo.toml
+
+tests/roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheduling-007eeb995cab7a3d.d: crates/bench/benches/scheduling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheduling-007eeb995cab7a3d.rmeta: crates/bench/benches/scheduling.rs Cargo.toml
+
+crates/bench/benches/scheduling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

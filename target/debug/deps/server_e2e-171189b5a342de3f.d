@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/server_e2e-171189b5a342de3f.d: crates/serve/tests/server_e2e.rs
+
+/root/repo/target/debug/deps/server_e2e-171189b5a342de3f: crates/serve/tests/server_e2e.rs
+
+crates/serve/tests/server_e2e.rs:

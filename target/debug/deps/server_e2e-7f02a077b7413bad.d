@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/server_e2e-7f02a077b7413bad.d: crates/serve/tests/server_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserver_e2e-7f02a077b7413bad.rmeta: crates/serve/tests/server_e2e.rs Cargo.toml
+
+crates/serve/tests/server_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/diffeq_explorer-737b05ef81a81e1f.d: examples/diffeq_explorer.rs
+
+/root/repo/target/debug/examples/diffeq_explorer-737b05ef81a81e1f: examples/diffeq_explorer.rs
+
+examples/diffeq_explorer.rs:

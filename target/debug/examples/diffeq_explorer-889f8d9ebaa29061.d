@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/diffeq_explorer-889f8d9ebaa29061.d: examples/diffeq_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdiffeq_explorer-889f8d9ebaa29061.rmeta: examples/diffeq_explorer.rs Cargo.toml
+
+examples/diffeq_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

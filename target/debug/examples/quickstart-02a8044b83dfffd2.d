@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-02a8044b83dfffd2.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-02a8044b83dfffd2: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/serve_roundtrip-84ddb6f4386ae1bb.d: examples/serve_roundtrip.rs
+
+/root/repo/target/debug/examples/serve_roundtrip-84ddb6f4386ae1bb: examples/serve_roundtrip.rs
+
+examples/serve_roundtrip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/serve_roundtrip-c23106c54d163e6c.d: examples/serve_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/examples/libserve_roundtrip-c23106c54d163e6c.rmeta: examples/serve_roundtrip.rs Cargo.toml
+
+examples/serve_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sort_engine-7514d719b0ec7e6b.d: examples/sort_engine.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsort_engine-7514d719b0ec7e6b.rmeta: examples/sort_engine.rs Cargo.toml
+
+examples/sort_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

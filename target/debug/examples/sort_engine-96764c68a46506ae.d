@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sort_engine-96764c68a46506ae.d: examples/sort_engine.rs
+
+/root/repo/target/debug/examples/sort_engine-96764c68a46506ae: examples/sort_engine.rs
+
+examples/sort_engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sqrt_newton-616c91696d120cc5.d: examples/sqrt_newton.rs
+
+/root/repo/target/debug/examples/sqrt_newton-616c91696d120cc5: examples/sqrt_newton.rs
+
+examples/sqrt_newton.rs:

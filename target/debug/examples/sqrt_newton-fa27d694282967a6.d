@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sqrt_newton-fa27d694282967a6.d: examples/sqrt_newton.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsqrt_newton-fa27d694282967a6.rmeta: examples/sqrt_newton.rs Cargo.toml
+
+examples/sqrt_newton.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/wave_filter-7658d4cf8dbb7e60.d: examples/wave_filter.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwave_filter-7658d4cf8dbb7e60.rmeta: examples/wave_filter.rs Cargo.toml
+
+examples/wave_filter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wave_filter-b38172b13fe5fe65.d: examples/wave_filter.rs
+
+/root/repo/target/debug/examples/wave_filter-b38172b13fe5fe65: examples/wave_filter.rs
+
+examples/wave_filter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/allocation-ee5853b6e7a0c1de.d: crates/bench/benches/allocation.rs
+
+/root/repo/target/release/deps/allocation-ee5853b6e7a0c1de: crates/bench/benches/allocation.rs
+
+crates/bench/benches/allocation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/clique-d72f0ba7cd149f5d.d: crates/bench/benches/clique.rs
+
+/root/repo/target/release/deps/clique-d72f0ba7cd149f5d: crates/bench/benches/clique.rs
+
+crates/bench/benches/clique.rs:

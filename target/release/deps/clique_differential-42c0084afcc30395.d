@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/clique_differential-42c0084afcc30395.d: crates/alloc/tests/clique_differential.rs
+
+/root/repo/target/release/deps/clique_differential-42c0084afcc30395: crates/alloc/tests/clique_differential.rs
+
+crates/alloc/tests/clique_differential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/controller_cosim-1943a258b26658dd.d: tests/controller_cosim.rs
+
+/root/repo/target/release/deps/controller_cosim-1943a258b26658dd: tests/controller_cosim.rs
+
+tests/controller_cosim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e2e-9f4c80f88b59add7.d: crates/bench/benches/e2e.rs
+
+/root/repo/target/release/deps/e2e-9f4c80f88b59add7: crates/bench/benches/e2e.rs
+
+crates/bench/benches/e2e.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-6c69480afdaf4aa7.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-6c69480afdaf4aa7: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

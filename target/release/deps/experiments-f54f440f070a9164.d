@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-f54f440f070a9164.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-f54f440f070a9164: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/explore_par-99e5ce3cdd7ebcee.d: crates/core/tests/explore_par.rs
+
+/root/repo/target/release/deps/explore_par-99e5ce3cdd7ebcee: crates/core/tests/explore_par.rs
+
+crates/core/tests/explore_par.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/failure_injection-1e3963039d148118.d: tests/failure_injection.rs
+
+/root/repo/target/release/deps/failure_injection-1e3963039d148118: tests/failure_injection.rs
+
+tests/failure_injection.rs:

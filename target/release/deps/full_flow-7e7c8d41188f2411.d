@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/full_flow-7e7c8d41188f2411.d: tests/full_flow.rs
+
+/root/repo/target/release/deps/full_flow-7e7c8d41188f2411: tests/full_flow.rs
+
+tests/full_flow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hls-7be0c0125db7e9af.d: src/lib.rs
+
+/root/repo/target/release/deps/hls-7be0c0125db7e9af: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hls-b1563d6220bcca0f.d: src/lib.rs
+
+/root/repo/target/release/deps/libhls-b1563d6220bcca0f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhls-b1563d6220bcca0f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/hls_alloc-a536432f2afa9c2d.d: crates/alloc/src/lib.rs crates/alloc/src/clique.rs crates/alloc/src/datapath.rs crates/alloc/src/error.rs crates/alloc/src/fu.rs crates/alloc/src/ilp.rs crates/alloc/src/interconnect.rs crates/alloc/src/lifetime.rs crates/alloc/src/registers.rs
+
+/root/repo/target/release/deps/hls_alloc-a536432f2afa9c2d: crates/alloc/src/lib.rs crates/alloc/src/clique.rs crates/alloc/src/datapath.rs crates/alloc/src/error.rs crates/alloc/src/fu.rs crates/alloc/src/ilp.rs crates/alloc/src/interconnect.rs crates/alloc/src/lifetime.rs crates/alloc/src/registers.rs
+
+crates/alloc/src/lib.rs:
+crates/alloc/src/clique.rs:
+crates/alloc/src/datapath.rs:
+crates/alloc/src/error.rs:
+crates/alloc/src/fu.rs:
+crates/alloc/src/ilp.rs:
+crates/alloc/src/interconnect.rs:
+crates/alloc/src/lifetime.rs:
+crates/alloc/src/registers.rs:

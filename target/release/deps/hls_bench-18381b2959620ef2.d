@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hls_bench-18381b2959620ef2.d: crates/bench/src/lib.rs crates/bench/src/gate.rs crates/bench/src/harness.rs crates/bench/src/suite.rs
+
+/root/repo/target/release/deps/libhls_bench-18381b2959620ef2.rlib: crates/bench/src/lib.rs crates/bench/src/gate.rs crates/bench/src/harness.rs crates/bench/src/suite.rs
+
+/root/repo/target/release/deps/libhls_bench-18381b2959620ef2.rmeta: crates/bench/src/lib.rs crates/bench/src/gate.rs crates/bench/src/harness.rs crates/bench/src/suite.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/gate.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/suite.rs:

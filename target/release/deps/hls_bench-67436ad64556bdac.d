@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/hls_bench-67436ad64556bdac.d: crates/bench/src/lib.rs crates/bench/src/gate.rs crates/bench/src/harness.rs crates/bench/src/suite.rs
+
+/root/repo/target/release/deps/hls_bench-67436ad64556bdac: crates/bench/src/lib.rs crates/bench/src/gate.rs crates/bench/src/harness.rs crates/bench/src/suite.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/gate.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/suite.rs:

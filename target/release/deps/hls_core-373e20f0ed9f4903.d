@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/hls_core-373e20f0ed9f4903.d: crates/core/src/lib.rs crates/core/src/explore.rs crates/core/src/par.rs crates/core/src/pipeline.rs crates/core/src/report.rs
+
+/root/repo/target/release/deps/hls_core-373e20f0ed9f4903: crates/core/src/lib.rs crates/core/src/explore.rs crates/core/src/par.rs crates/core/src/pipeline.rs crates/core/src/report.rs
+
+crates/core/src/lib.rs:
+crates/core/src/explore.rs:
+crates/core/src/par.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/report.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hls_ctrl-16557f5da2b56714.d: crates/ctrl/src/lib.rs crates/ctrl/src/encode.rs crates/ctrl/src/fsm.rs crates/ctrl/src/logic.rs crates/ctrl/src/microcode.rs crates/ctrl/src/minimize.rs
+
+/root/repo/target/release/deps/hls_ctrl-16557f5da2b56714: crates/ctrl/src/lib.rs crates/ctrl/src/encode.rs crates/ctrl/src/fsm.rs crates/ctrl/src/logic.rs crates/ctrl/src/microcode.rs crates/ctrl/src/minimize.rs
+
+crates/ctrl/src/lib.rs:
+crates/ctrl/src/encode.rs:
+crates/ctrl/src/fsm.rs:
+crates/ctrl/src/logic.rs:
+crates/ctrl/src/microcode.rs:
+crates/ctrl/src/minimize.rs:

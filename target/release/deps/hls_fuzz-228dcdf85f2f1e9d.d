@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/hls_fuzz-228dcdf85f2f1e9d.d: crates/fuzz/src/lib.rs crates/fuzz/src/corpus.rs crates/fuzz/src/gen.rs crates/fuzz/src/minimize.rs
+
+/root/repo/target/release/deps/hls_fuzz-228dcdf85f2f1e9d: crates/fuzz/src/lib.rs crates/fuzz/src/corpus.rs crates/fuzz/src/gen.rs crates/fuzz/src/minimize.rs
+
+crates/fuzz/src/lib.rs:
+crates/fuzz/src/corpus.rs:
+crates/fuzz/src/gen.rs:
+crates/fuzz/src/minimize.rs:

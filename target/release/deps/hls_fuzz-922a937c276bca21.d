@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hls_fuzz-922a937c276bca21.d: crates/fuzz/src/main.rs
+
+/root/repo/target/release/deps/hls_fuzz-922a937c276bca21: crates/fuzz/src/main.rs
+
+crates/fuzz/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hls_fuzz-d9704debdb7dce05.d: crates/fuzz/src/main.rs
+
+/root/repo/target/release/deps/hls_fuzz-d9704debdb7dce05: crates/fuzz/src/main.rs
+
+crates/fuzz/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hls_loadgen-0cb54e51b369fceb.d: crates/serve/src/bin/loadgen.rs
+
+/root/repo/target/release/deps/hls_loadgen-0cb54e51b369fceb: crates/serve/src/bin/loadgen.rs
+
+crates/serve/src/bin/loadgen.rs:

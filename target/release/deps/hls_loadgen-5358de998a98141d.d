@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hls_loadgen-5358de998a98141d.d: crates/serve/src/bin/loadgen.rs
+
+/root/repo/target/release/deps/hls_loadgen-5358de998a98141d: crates/serve/src/bin/loadgen.rs
+
+crates/serve/src/bin/loadgen.rs:

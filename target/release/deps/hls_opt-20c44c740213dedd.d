@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/hls_opt-20c44c740213dedd.d: crates/opt/src/lib.rs crates/opt/src/copyprop.rs crates/opt/src/cse.rs crates/opt/src/dce.rs crates/opt/src/fold.rs crates/opt/src/ifconv.rs crates/opt/src/narrow.rs crates/opt/src/strength.rs crates/opt/src/unroll.rs
+
+/root/repo/target/release/deps/hls_opt-20c44c740213dedd: crates/opt/src/lib.rs crates/opt/src/copyprop.rs crates/opt/src/cse.rs crates/opt/src/dce.rs crates/opt/src/fold.rs crates/opt/src/ifconv.rs crates/opt/src/narrow.rs crates/opt/src/strength.rs crates/opt/src/unroll.rs
+
+crates/opt/src/lib.rs:
+crates/opt/src/copyprop.rs:
+crates/opt/src/cse.rs:
+crates/opt/src/dce.rs:
+crates/opt/src/fold.rs:
+crates/opt/src/ifconv.rs:
+crates/opt/src/narrow.rs:
+crates/opt/src/strength.rs:
+crates/opt/src/unroll.rs:

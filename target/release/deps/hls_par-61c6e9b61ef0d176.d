@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hls_par-61c6e9b61ef0d176.d: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/hls_par-61c6e9b61ef0d176: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

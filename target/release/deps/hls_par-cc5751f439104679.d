@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hls_par-cc5751f439104679.d: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/libhls_par-cc5751f439104679.rlib: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/libhls_par-cc5751f439104679.rmeta: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

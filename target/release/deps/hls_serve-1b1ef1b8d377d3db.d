@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hls_serve-1b1ef1b8d377d3db.d: crates/serve/src/bin/serve.rs
+
+/root/repo/target/release/deps/hls_serve-1b1ef1b8d377d3db: crates/serve/src/bin/serve.rs
+
+crates/serve/src/bin/serve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hls_serve-cd73984f45921c68.d: crates/serve/src/bin/serve.rs
+
+/root/repo/target/release/deps/hls_serve-cd73984f45921c68: crates/serve/src/bin/serve.rs
+
+crates/serve/src/bin/serve.rs:

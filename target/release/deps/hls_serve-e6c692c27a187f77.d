@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/hls_serve-e6c692c27a187f77.d: crates/serve/src/lib.rs crates/serve/src/api.rs crates/serve/src/cache.rs crates/serve/src/http.rs crates/serve/src/json.rs crates/serve/src/metrics.rs crates/serve/src/server.rs crates/serve/src/signal.rs
+
+/root/repo/target/release/deps/libhls_serve-e6c692c27a187f77.rlib: crates/serve/src/lib.rs crates/serve/src/api.rs crates/serve/src/cache.rs crates/serve/src/http.rs crates/serve/src/json.rs crates/serve/src/metrics.rs crates/serve/src/server.rs crates/serve/src/signal.rs
+
+/root/repo/target/release/deps/libhls_serve-e6c692c27a187f77.rmeta: crates/serve/src/lib.rs crates/serve/src/api.rs crates/serve/src/cache.rs crates/serve/src/http.rs crates/serve/src/json.rs crates/serve/src/metrics.rs crates/serve/src/server.rs crates/serve/src/signal.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/api.rs:
+crates/serve/src/cache.rs:
+crates/serve/src/http.rs:
+crates/serve/src/json.rs:
+crates/serve/src/metrics.rs:
+crates/serve/src/server.rs:
+crates/serve/src/signal.rs:

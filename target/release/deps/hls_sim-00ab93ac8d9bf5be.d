@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/hls_sim-00ab93ac8d9bf5be.d: crates/sim/src/lib.rs crates/sim/src/behav.rs crates/sim/src/equiv.rs crates/sim/src/rtl.rs crates/sim/src/vcd.rs
+
+/root/repo/target/release/deps/libhls_sim-00ab93ac8d9bf5be.rlib: crates/sim/src/lib.rs crates/sim/src/behav.rs crates/sim/src/equiv.rs crates/sim/src/rtl.rs crates/sim/src/vcd.rs
+
+/root/repo/target/release/deps/libhls_sim-00ab93ac8d9bf5be.rmeta: crates/sim/src/lib.rs crates/sim/src/behav.rs crates/sim/src/equiv.rs crates/sim/src/rtl.rs crates/sim/src/vcd.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/behav.rs:
+crates/sim/src/equiv.rs:
+crates/sim/src/rtl.rs:
+crates/sim/src/vcd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/logic-30390db2a474741d.d: crates/bench/benches/logic.rs
+
+/root/repo/target/release/deps/logic-30390db2a474741d: crates/bench/benches/logic.rs
+
+crates/bench/benches/logic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_numbers-12af2f26ad0d1963.d: tests/paper_numbers.rs
+
+/root/repo/target/release/deps/paper_numbers-12af2f26ad0d1963: tests/paper_numbers.rs
+
+tests/paper_numbers.rs:

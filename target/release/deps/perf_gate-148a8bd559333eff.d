@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/perf_gate-148a8bd559333eff.d: crates/bench/src/bin/perf_gate.rs
+
+/root/repo/target/release/deps/perf_gate-148a8bd559333eff: crates/bench/src/bin/perf_gate.rs
+
+crates/bench/src/bin/perf_gate.rs:

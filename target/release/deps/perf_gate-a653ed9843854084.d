@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/perf_gate-a653ed9843854084.d: crates/bench/src/bin/perf_gate.rs
+
+/root/repo/target/release/deps/perf_gate-a653ed9843854084: crates/bench/src/bin/perf_gate.rs
+
+crates/bench/src/bin/perf_gate.rs:

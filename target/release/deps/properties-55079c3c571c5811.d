@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-55079c3c571c5811.d: crates/sched/tests/properties.rs
+
+/root/repo/target/release/deps/properties-55079c3c571c5811: crates/sched/tests/properties.rs
+
+crates/sched/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-f7c866bf18e776dc.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-f7c866bf18e776dc: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/regressions-70766ae1ca9a8400.d: crates/fuzz/tests/regressions.rs
+
+/root/repo/target/release/deps/regressions-70766ae1ca9a8400: crates/fuzz/tests/regressions.rs
+
+crates/fuzz/tests/regressions.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/fuzz

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/roundtrip-96784a086379bf90.d: tests/roundtrip.rs
+
+/root/repo/target/release/deps/roundtrip-96784a086379bf90: tests/roundtrip.rs
+
+tests/roundtrip.rs:

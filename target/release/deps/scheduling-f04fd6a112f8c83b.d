@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scheduling-f04fd6a112f8c83b.d: crates/bench/benches/scheduling.rs
+
+/root/repo/target/release/deps/scheduling-f04fd6a112f8c83b: crates/bench/benches/scheduling.rs
+
+crates/bench/benches/scheduling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/server_e2e-87600fc0e365d119.d: crates/serve/tests/server_e2e.rs
+
+/root/repo/target/release/deps/server_e2e-87600fc0e365d119: crates/serve/tests/server_e2e.rs
+
+crates/serve/tests/server_e2e.rs:

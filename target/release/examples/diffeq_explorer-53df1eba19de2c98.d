@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/diffeq_explorer-53df1eba19de2c98.d: examples/diffeq_explorer.rs
+
+/root/repo/target/release/examples/diffeq_explorer-53df1eba19de2c98: examples/diffeq_explorer.rs
+
+examples/diffeq_explorer.rs:

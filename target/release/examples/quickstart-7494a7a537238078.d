@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-7494a7a537238078.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-7494a7a537238078: examples/quickstart.rs
+
+examples/quickstart.rs:

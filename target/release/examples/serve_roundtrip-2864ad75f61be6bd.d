@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/serve_roundtrip-2864ad75f61be6bd.d: examples/serve_roundtrip.rs
+
+/root/repo/target/release/examples/serve_roundtrip-2864ad75f61be6bd: examples/serve_roundtrip.rs
+
+examples/serve_roundtrip.rs:

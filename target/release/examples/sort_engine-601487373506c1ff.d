@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sort_engine-601487373506c1ff.d: examples/sort_engine.rs
+
+/root/repo/target/release/examples/sort_engine-601487373506c1ff: examples/sort_engine.rs
+
+examples/sort_engine.rs:

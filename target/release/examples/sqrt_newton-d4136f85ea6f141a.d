@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sqrt_newton-d4136f85ea6f141a.d: examples/sqrt_newton.rs
+
+/root/repo/target/release/examples/sqrt_newton-d4136f85ea6f141a: examples/sqrt_newton.rs
+
+examples/sqrt_newton.rs:

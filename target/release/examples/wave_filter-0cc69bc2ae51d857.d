@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/wave_filter-0cc69bc2ae51d857.d: examples/wave_filter.rs
+
+/root/repo/target/release/examples/wave_filter-0cc69bc2ae51d857: examples/wave_filter.rs
+
+examples/wave_filter.rs:

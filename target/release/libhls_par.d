@@ -1,0 +1,1 @@
+/root/repo/target/release/libhls_par.rlib: /root/repo/crates/par/src/lib.rs
