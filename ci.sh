@@ -48,4 +48,7 @@ cargo run --release --offline -q -p hls-fuzz -- --replay tests/corpus
 echo "==> fuzz smoke (500 iterations, fixed seed)"
 cargo run --release --offline -q -p hls-fuzz -- --iters 500 --seed 0
 
+echo "==> fuzz smoke, multi-process systems (100 iterations, fixed seed)"
+cargo run --release --offline -q -p hls-fuzz -- --iters 100 --seed 1 --mode proc
+
 echo "CI OK"

@@ -21,6 +21,46 @@ pub struct Block {
     pub name: String,
     /// The block's data-flow graph.
     pub dfg: DataFlowGraph,
+    /// Synchronization performed at this block's boundary, if any.
+    ///
+    /// Sync blocks carry the channel / shared-variable operations of
+    /// concurrent processes: the block's dataflow moves the data (a copy
+    /// from or to the channel port variable), while the *blocking* is a
+    /// property of the block itself — the process FSM holds in this
+    /// block's first state until the handshake partner is ready.
+    /// Optimization passes may simplify the ops inside a sync block, but
+    /// the block (and therefore the synchronization point) persists.
+    pub sync: Option<SyncOp>,
+}
+
+/// A blocking synchronization operation attached to a [`Block`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SyncOp {
+    /// Blocking send on a named channel: the block computes the channel's
+    /// `tx` port variable; the FSM holds until the receiver is ready
+    /// (two-phase ready/valid rendezvous).
+    Send {
+        /// Channel name.
+        chan: String,
+    },
+    /// Blocking receive from a named channel: the block copies the
+    /// channel's `rx` port variable into a process variable once the
+    /// sender's data is valid.
+    Recv {
+        /// Channel name.
+        chan: String,
+    },
+    /// An atomic access to a mutex-guarded shared variable: the whole
+    /// block executes under the variable's mutex (load via the `ld` port,
+    /// store via the `st` port).
+    Shared {
+        /// Shared variable name.
+        var: String,
+        /// The block reads the shared variable.
+        read: bool,
+        /// The block writes the shared variable.
+        write: bool,
+    },
 }
 
 /// Whether a loop tests its exit condition before or after the body.
@@ -184,6 +224,17 @@ impl Cdfg {
         self.blocks.alloc(Block {
             name: name.to_string(),
             dfg,
+            sync: None,
+        })
+    }
+
+    /// Adds a synchronization block (channel send/recv or shared-variable
+    /// access) and returns its id.
+    pub fn add_sync_block(&mut self, name: &str, dfg: DataFlowGraph, sync: SyncOp) -> BlockId {
+        self.blocks.alloc(Block {
+            name: name.to_string(),
+            dfg,
+            sync: Some(sync),
         })
     }
 

@@ -36,6 +36,12 @@ pub enum CdfgError {
         /// The exit variable name.
         name: String,
     },
+    /// A system-level invariant is violated (channel topology, output
+    /// ownership, sync-block references).
+    Malformed {
+        /// Human-readable description.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CdfgError {
@@ -60,6 +66,7 @@ impl fmt::Display for CdfgError {
                     "loop exit variable `{name}` is not produced by the loop body"
                 )
             }
+            CdfgError::Malformed { detail } => write!(f, "malformed system: {detail}"),
         }
     }
 }

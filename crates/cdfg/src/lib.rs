@@ -41,11 +41,13 @@ mod error;
 mod fixed;
 pub mod ids;
 mod op;
+pub mod system;
 
-pub use cdfg::{Block, BlockId, Cdfg, IfRegion, LoopKind, LoopRegion, Region};
+pub use cdfg::{Block, BlockId, Cdfg, IfRegion, LoopKind, LoopRegion, Region, SyncOp};
 pub use dense::{BitSet, DenseOpMap, DepGraph, OpSet};
 pub use dfg::DataFlowGraph;
 pub use error::CdfgError;
 pub use fixed::{Fx, FRAC_BITS};
 pub use ids::{Arena, Id};
 pub use op::{OpId, OpKind, Operation, Value, ValueDef, ValueId};
+pub use system::{ChannelSpec, ProcessCdfg, SharedSpec, SystemCdfg};

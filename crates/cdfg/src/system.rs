@@ -1,0 +1,243 @@
+//! System-level IR: concurrent communicating sequential processes.
+//!
+//! A [`SystemCdfg`] is a set of per-process [`Cdfg`]s (one FSMD each after
+//! synthesis) connected by point-to-point blocking channels and
+//! mutex-guarded shared variables — the ConPro model of computation on top
+//! of the tutorial's single-behavior flow. Channel operations appear inside
+//! each process as sync blocks (see [`crate::SyncOp`]); the system records
+//! the topology: which process drives which end of each channel, and which
+//! process owns each system output.
+//!
+//! Channel data crosses process boundaries through *port variables* with
+//! reserved names: the sender computes `<chan>__tx` (a process output) and
+//! the receiver reads `<chan>__rx` (a process input). Shared variables use
+//! `<var>__ld` / `<var>__st` the same way. The simulator and the generated
+//! interconnect move values between these ports at each rendezvous.
+
+use crate::cdfg::{Cdfg, SyncOp};
+use crate::error::CdfgError;
+
+/// The sender-side data port variable of channel `chan`.
+pub fn chan_tx_port(chan: &str) -> String {
+    format!("{chan}__tx")
+}
+
+/// The receiver-side data port variable of channel `chan`.
+pub fn chan_rx_port(chan: &str) -> String {
+    format!("{chan}__rx")
+}
+
+/// The load (read) port variable of shared variable `var`.
+pub fn shared_ld_port(var: &str) -> String {
+    format!("{var}__ld")
+}
+
+/// The store (write) port variable of shared variable `var`.
+pub fn shared_st_port(var: &str) -> String {
+    format!("{var}__st")
+}
+
+/// A point-to-point blocking channel between two processes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChannelSpec {
+    /// Channel name.
+    pub name: String,
+    /// Transferred data width in bits (values wrap on transfer).
+    pub width: u8,
+    /// Index of the sending process, if any process sends on this channel.
+    pub sender: Option<usize>,
+    /// Index of the receiving process, if any process receives.
+    pub receiver: Option<usize>,
+}
+
+/// A mutex-guarded shared variable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SharedSpec {
+    /// Variable name.
+    pub name: String,
+    /// Stored width in bits.
+    pub width: u8,
+}
+
+/// One process of the system: a name and its behavior.
+#[derive(Clone, Debug)]
+pub struct ProcessCdfg {
+    /// Process name (the behavior is named `<system>_<process>`).
+    pub name: String,
+    /// The process behavior, including its channel/shared sync blocks.
+    pub cdfg: Cdfg,
+}
+
+/// A whole concurrent system: processes + channels + shared variables.
+#[derive(Clone, Debug)]
+pub struct SystemCdfg {
+    /// System name (becomes the top-level module name).
+    pub name: String,
+    /// System inputs as `(name, width)`; readable by every process.
+    pub inputs: Vec<(String, u8)>,
+    /// System outputs as `(name, owning process index)`.
+    pub outputs: Vec<(String, usize)>,
+    /// Channels.
+    pub channels: Vec<ChannelSpec>,
+    /// Shared variables.
+    pub shared: Vec<SharedSpec>,
+    /// Processes, in declaration order (also the round-robin order of the
+    /// lockstep simulators and the arbiter priority order).
+    pub processes: Vec<ProcessCdfg>,
+}
+
+impl SystemCdfg {
+    /// Looks up a channel by name.
+    pub fn channel(&self, name: &str) -> Option<&ChannelSpec> {
+        self.channels.iter().find(|c| c.name == name)
+    }
+
+    /// Total number of sync blocks across all processes.
+    pub fn sync_block_count(&self) -> usize {
+        self.processes
+            .iter()
+            .map(|p| p.cdfg.blocks().filter(|(_, b)| b.sync.is_some()).count())
+            .sum()
+    }
+
+    /// Validates system-level invariants on top of each process's own
+    /// [`Cdfg::validate`]: channel endpoints in range and point-to-point
+    /// (a process never drives both ends of one channel), sync blocks only
+    /// referencing declared channels / shared variables, and output owners
+    /// in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdfgError::Malformed`] describing the first violation.
+    pub fn validate(&self) -> Result<(), CdfgError> {
+        let bad = |detail: String| Err(CdfgError::Malformed { detail });
+        if self.processes.is_empty() {
+            return bad("system has no processes".to_string());
+        }
+        for (p, proc_) in self.processes.iter().enumerate() {
+            proc_.cdfg.validate()?;
+            for (_, b) in proc_.cdfg.blocks() {
+                match &b.sync {
+                    None => {}
+                    Some(SyncOp::Send { chan }) => {
+                        let c = self.channel(chan).ok_or(CdfgError::Malformed {
+                            detail: format!(
+                                "process `{}` sends on unknown channel `{chan}`",
+                                proc_.name
+                            ),
+                        })?;
+                        if c.sender != Some(p) {
+                            return bad(format!(
+                                "channel `{chan}`: sender mismatch for process `{}`",
+                                proc_.name
+                            ));
+                        }
+                    }
+                    Some(SyncOp::Recv { chan }) => {
+                        let c = self.channel(chan).ok_or(CdfgError::Malformed {
+                            detail: format!(
+                                "process `{}` receives on unknown channel `{chan}`",
+                                proc_.name
+                            ),
+                        })?;
+                        if c.receiver != Some(p) {
+                            return bad(format!(
+                                "channel `{chan}`: receiver mismatch for process `{}`",
+                                proc_.name
+                            ));
+                        }
+                    }
+                    Some(SyncOp::Shared { var, .. })
+                        if !self.shared.iter().any(|s| &s.name == var) =>
+                    {
+                        return bad(format!(
+                            "process `{}` accesses unknown shared variable `{var}`",
+                            proc_.name
+                        ));
+                    }
+                    Some(SyncOp::Shared { .. }) => {}
+                }
+            }
+        }
+        for c in &self.channels {
+            for end in [c.sender, c.receiver].into_iter().flatten() {
+                if end >= self.processes.len() {
+                    return bad(format!("channel `{}` endpoint out of range", c.name));
+                }
+            }
+            if let (Some(s), Some(r)) = (c.sender, c.receiver) {
+                if s == r {
+                    return bad(format!(
+                        "channel `{}` connects process `{}` to itself",
+                        c.name, self.processes[s].name
+                    ));
+                }
+            }
+        }
+        for (name, owner) in &self.outputs {
+            if *owner >= self.processes.len() {
+                return bad(format!("output `{name}` owner out of range"));
+            }
+            if !self.processes[*owner]
+                .cdfg
+                .outputs()
+                .iter()
+                .any(|o| o == name)
+            {
+                return bad(format!(
+                    "output `{name}` not produced by process `{}`",
+                    self.processes[*owner].name
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_names_are_stable() {
+        assert_eq!(chan_tx_port("C1"), "C1__tx");
+        assert_eq!(chan_rx_port("C1"), "C1__rx");
+        assert_eq!(shared_ld_port("S"), "S__ld");
+        assert_eq!(shared_st_port("S"), "S__st");
+    }
+
+    #[test]
+    fn empty_system_rejected() {
+        let sys = SystemCdfg {
+            name: "t".into(),
+            inputs: vec![],
+            outputs: vec![],
+            channels: vec![],
+            shared: vec![],
+            processes: vec![],
+        };
+        assert!(sys.validate().is_err());
+    }
+
+    #[test]
+    fn self_channel_rejected() {
+        let sys = SystemCdfg {
+            name: "t".into(),
+            inputs: vec![],
+            outputs: vec![],
+            channels: vec![ChannelSpec {
+                name: "c".into(),
+                width: 32,
+                sender: Some(0),
+                receiver: Some(0),
+            }],
+            shared: vec![],
+            processes: vec![ProcessCdfg {
+                name: "p".into(),
+                cdfg: Cdfg::new("t_p"),
+            }],
+        };
+        let err = sys.validate().unwrap_err().to_string();
+        assert!(err.contains("itself"), "{err}");
+    }
+}

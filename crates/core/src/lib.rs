@@ -23,6 +23,7 @@ mod explore;
 pub mod par;
 mod pipeline;
 mod report;
+mod system;
 
 pub use explore::{
     pareto_front, sweep_fus, sweep_grid, sweep_grid_cdfg, CacheStats, DesignPoint, Explorer,
@@ -32,6 +33,7 @@ pub use pipeline::{
     cdfg_fingerprint, CancelToken, ControlReport, ControlStyle, PreparedBehavior, StageNanos,
     SynthesisResult, Synthesizer,
 };
+pub use system::{ProcessSynthesis, SystemEquivalence, SystemSynthesisResult};
 
 use std::error::Error;
 use std::fmt;

@@ -1,0 +1,649 @@
+//! System synthesis: a multi-process behavior becomes one FSMD per
+//! process plus handshake interconnect.
+//!
+//! Each process runs through the ordinary single-behavior pipeline
+//! (transform → schedule → allocate → control) with loop unrolling and
+//! if-conversion forced off — those passes restructure the control tree
+//! and would break the block-boundary placement of sync blocks. The
+//! per-process results are then *elaborated* into one top-level Verilog
+//! module: process datapaths and controllers wired through `hs_channel`
+//! rendezvous cells and, for `shared` variables, `hs_arbiter` mutex
+//! arbiters (see `hls-rtl`); the controllers' `req`/`grant` ports come
+//! from their FSMs' [`sync states`](hls_ctrl::Fsm::sync_states).
+//!
+//! Verification is lockstep co-simulation: the behavioral interpreter
+//! runs the *unoptimized* system while the RTL model executes every
+//! process on its bound datapath, both under the same deterministic
+//! rendezvous scheduler (`hls-sim`).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+use hls_cdfg::{Fx, SystemCdfg};
+use hls_ctrl::controller_verilog;
+use hls_sim::{
+    interpret_system, simulate_system, ProcessRtl, SimError, SystemBehavResult, SystemRtlResult,
+};
+
+use crate::pipeline::{SynthesisResult, Synthesizer};
+use crate::SynthesisError;
+
+/// One synthesized process: the name it was declared with plus the full
+/// single-behavior synthesis result (schedule, datapath, FSM, netlist,
+/// area) for its behavior.
+#[derive(Clone, Debug)]
+pub struct ProcessSynthesis {
+    /// Process name as declared (the behavior itself is named
+    /// `<system>_<process>`).
+    pub name: String,
+    /// The per-process pipeline output.
+    pub result: SynthesisResult,
+}
+
+/// Everything system synthesis produces.
+#[derive(Clone, Debug)]
+pub struct SystemSynthesisResult {
+    /// The system as lowered, before any optimization — the behavioral
+    /// golden model for co-simulation.
+    pub golden: SystemCdfg,
+    /// The system with each process's behavior replaced by its optimized
+    /// form (what the schedules and datapaths were built against).
+    pub system: SystemCdfg,
+    /// Per-process synthesis results, in declaration order.
+    pub processes: Vec<ProcessSynthesis>,
+}
+
+/// The verdict of a system-level co-simulation run.
+#[derive(Clone, Debug)]
+pub struct SystemEquivalence {
+    /// `true` when every output matched on every checked vector.
+    pub equivalent: bool,
+    /// Vectors checked (after skipping arithmetic-error vectors).
+    pub vectors: usize,
+    /// Human-readable description of the first mismatch, if any.
+    pub mismatch: Option<String>,
+    /// Total RTL makespan cycles across all vectors.
+    pub total_cycles: u64,
+    /// Total channel rendezvous granted across all RTL runs.
+    pub rendezvous: u64,
+}
+
+impl Synthesizer {
+    /// Parses and synthesizes a multi-process `system` source.
+    ///
+    /// # Errors
+    ///
+    /// Propagates front-end and per-process pipeline errors.
+    ///
+    /// ```
+    /// use hls_core::Synthesizer;
+    ///
+    /// let sys = Synthesizer::new()
+    ///     .synthesize_system_source(hls_workloads::sources::PIPE3)?;
+    /// assert_eq!(sys.processes.len(), 3);
+    /// # Ok::<(), hls_core::SynthesisError>(())
+    /// ```
+    pub fn synthesize_system_source(
+        &self,
+        src: &str,
+    ) -> Result<SystemSynthesisResult, SynthesisError> {
+        let sys = hls_lang::compile_system(src)?;
+        self.synthesize_system(sys)
+    }
+
+    /// Synthesizes every process of `sys` through the single-behavior
+    /// pipeline (with unrolling and if-conversion disabled — they
+    /// restructure regions and would move sync blocks).
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-process pipeline errors.
+    pub fn synthesize_system(
+        &self,
+        sys: SystemCdfg,
+    ) -> Result<SystemSynthesisResult, SynthesisError> {
+        let golden = sys.clone();
+        let mut per_process = self.clone();
+        per_process.set_unrolling(false);
+        per_process.set_if_conversion(false);
+        let mut system = sys;
+        let mut processes = Vec::with_capacity(system.processes.len());
+        for p in &mut system.processes {
+            let result = per_process.synthesize(p.cdfg.clone())?;
+            p.cdfg = result.cdfg.clone();
+            processes.push(ProcessSynthesis {
+                name: p.name.clone(),
+                result,
+            });
+        }
+        Ok(SystemSynthesisResult {
+            golden,
+            system,
+            processes,
+        })
+    }
+}
+
+impl SystemSynthesisResult {
+    fn process_rtl(&self) -> Vec<ProcessRtl<'_>> {
+        self.processes
+            .iter()
+            .map(|p| ProcessRtl {
+                schedule: &p.result.schedule,
+                datapath: &p.result.datapath,
+                classifier: &p.result.classifier,
+            })
+            .collect()
+    }
+
+    /// Runs the behavioral golden model on one input vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors (including structured deadlocks).
+    pub fn interpret(
+        &self,
+        inputs: &BTreeMap<String, Fx>,
+    ) -> Result<SystemBehavResult, SynthesisError> {
+        Ok(interpret_system(&self.golden, inputs)?)
+    }
+
+    /// Runs the lockstep RTL co-simulation on one input vector: every
+    /// process executes on its bound datapath under the shared
+    /// rendezvous scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors (including structured deadlocks).
+    pub fn run(&self, inputs: &BTreeMap<String, Fx>) -> Result<SystemRtlResult, SynthesisError> {
+        Ok(simulate_system(&self.system, &self.process_rtl(), inputs)?)
+    }
+
+    /// Co-simulates `n` seeded pseudo-random input vectors drawn from
+    /// `range` and compares every system output. Vectors where the golden
+    /// model hits an arithmetic error are skipped; a deadlock counts as
+    /// equivalent only when *both* models deadlock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates RTL-side errors other than deadlock; mismatches are
+    /// reported in the returned [`SystemEquivalence`], not as errors.
+    pub fn verify(
+        &self,
+        n: usize,
+        range: (f64, f64),
+        seed: u64,
+    ) -> Result<SystemEquivalence, SynthesisError> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let u = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            (u >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut eq = SystemEquivalence {
+            equivalent: true,
+            vectors: 0,
+            mismatch: None,
+            total_cycles: 0,
+            rendezvous: 0,
+        };
+        for _ in 0..n {
+            let inputs: BTreeMap<String, Fx> = self
+                .golden
+                .inputs
+                .iter()
+                .map(|(name, _)| {
+                    let x = range.0 + (range.1 - range.0) * next();
+                    (name.clone(), Fx::from_f64(x))
+                })
+                .collect();
+            let golden = match interpret_system(&self.golden, &inputs) {
+                Err(SimError::DivideByZero) | Err(SimError::Nonterminating) => continue,
+                other => other,
+            };
+            let rtl = simulate_system(&self.system, &self.process_rtl(), &inputs);
+            match (golden, rtl) {
+                (Err(SimError::Deadlock { .. }), Err(SimError::Deadlock { .. })) => {
+                    eq.vectors += 1;
+                }
+                (Err(SimError::Deadlock { blocked }), Ok(_)) => {
+                    eq.equivalent = false;
+                    eq.vectors += 1;
+                    eq.mismatch = Some(format!(
+                        "behavioral model deadlocks ({blocked:?}) but RTL completes on {inputs:?}"
+                    ));
+                    return Ok(eq);
+                }
+                (Ok(_), Err(SimError::Deadlock { blocked })) => {
+                    eq.equivalent = false;
+                    eq.vectors += 1;
+                    eq.mismatch = Some(format!(
+                        "RTL deadlocks ({blocked:?}) but behavioral model completes on {inputs:?}"
+                    ));
+                    return Ok(eq);
+                }
+                (Err(e), _) | (_, Err(e)) => return Err(SynthesisError::Sim(e)),
+                (Ok(b), Ok(r)) => {
+                    eq.vectors += 1;
+                    eq.total_cycles += r.cycles;
+                    eq.rendezvous += r.rendezvous;
+                    for (name, &expected) in &b.outputs {
+                        let got = r.outputs.get(name).copied().unwrap_or(Fx::ZERO);
+                        if got != expected {
+                            eq.equivalent = false;
+                            eq.mismatch = Some(format!(
+                                "output `{name}`: behavioral {expected:?} vs rtl {got:?} on {inputs:?}"
+                            ));
+                            return Ok(eq);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(eq)
+    }
+
+    /// Elaborates the whole system as self-contained Verilog: a top-level
+    /// module instantiating every process datapath and controller, one
+    /// `hs_channel` rendezvous cell per channel, one `hs_arbiter` per
+    /// shared variable, followed by all referenced module definitions
+    /// (deduplicated).
+    pub fn to_verilog(&self) -> String {
+        let sys = &self.system;
+        let mut s = String::new();
+        let _ = writeln!(s, "// Generated by hls-core — system elaboration");
+        let _ = writeln!(s, "module {} (", sanitize(&sys.name));
+        let mut ports = vec!["  input clk".to_string(), "  input rst".to_string()];
+        for (name, width) in &sys.inputs {
+            let w = (*width).max(1) as usize;
+            ports.push(format!("  input [{}:0] {}", w - 1, sanitize(name)));
+        }
+        for (name, _) in &sys.outputs {
+            ports.push(format!("  output [31:0] {}", sanitize(name)));
+        }
+        ports.push("  output done".to_string());
+        let _ = writeln!(s, "{}\n);", ports.join(",\n"));
+
+        // Per-channel handshake wires.
+        for c in &sys.channels {
+            let cn = sanitize(&c.name);
+            let _ = writeln!(s, "  wire [31:0] ch_{cn}_data;");
+            let _ = writeln!(
+                s,
+                "  wire ch_{cn}_tx_valid, ch_{cn}_tx_ready, ch_{cn}_rx_valid, ch_{cn}_rx_ready;"
+            );
+        }
+        // Shared-variable registers.
+        for v in &sys.shared {
+            let _ = writeln!(s, "  reg [31:0] shared_{}_q;", sanitize(&v.name));
+        }
+        // Per-process wires: done, flags (driven by the datapath's
+        // comparison registers; left symbolic here), req/grant.
+        let syncs: Vec<Vec<(usize, SyncKind)>> = self
+            .processes
+            .iter()
+            .map(|p| {
+                p.result
+                    .fsm
+                    .sync_states
+                    .iter()
+                    .map(|(&sid, label)| (sid, SyncKind::parse(label)))
+                    .collect()
+            })
+            .collect();
+        for (pi, p) in self.processes.iter().enumerate() {
+            let pn = sanitize(&p.name);
+            let _ = writeln!(s, "  wire done_{pn};");
+            for f in &p.result.fsm.flags {
+                let _ = writeln!(s, "  wire flag_{pn}_{};", sanitize(f));
+            }
+            for (sid, _) in &syncs[pi] {
+                let _ = writeln!(s, "  wire req_{pn}_{sid}, grant_{pn}_{sid};");
+            }
+        }
+        let _ = writeln!(s);
+
+        // Channel valid/ready aggregation and grant fan-out.
+        for c in &sys.channels {
+            let cn = sanitize(&c.name);
+            for (end, valid_sig, ready_sig, want) in [
+                (c.sender, "tx_valid", "tx_ready", SyncDir::Send),
+                (c.receiver, "rx_valid", "rx_ready", SyncDir::Recv),
+            ] {
+                // The sender drives valid and listens on ready; the
+                // receiver drives ready and listens on valid.
+                let (drive, listen) = match want {
+                    SyncDir::Send => (valid_sig, ready_sig),
+                    SyncDir::Recv => (ready_sig, valid_sig),
+                };
+                match end {
+                    None => {
+                        let _ = writeln!(s, "  assign ch_{cn}_{drive} = 1'b0; // unconnected");
+                    }
+                    Some(pi) => {
+                        let pn = sanitize(&self.processes[pi].name);
+                        let reqs: Vec<String> = syncs[pi]
+                            .iter()
+                            .filter(|(_, k)| k.matches(want, &c.name))
+                            .map(|(sid, _)| format!("req_{pn}_{sid}"))
+                            .collect();
+                        if reqs.is_empty() {
+                            let _ = writeln!(s, "  assign ch_{cn}_{drive} = 1'b0;");
+                        } else {
+                            let _ = writeln!(s, "  assign ch_{cn}_{drive} = {};", reqs.join(" | "));
+                            for (sid, k) in &syncs[pi] {
+                                if k.matches(want, &c.name) {
+                                    let _ = writeln!(
+                                        s,
+                                        "  assign grant_{pn}_{sid} = ch_{cn}_{listen} & req_{pn}_{sid};"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            let _ = writeln!(
+                s,
+                "  hs_channel #(.WIDTH(32)) chan_{cn} (.clk(clk), .rst(rst), \
+                 .tx_data(ch_{cn}_data), .tx_valid(ch_{cn}_tx_valid), .tx_ready(ch_{cn}_tx_ready), \
+                 .rx_data(), .rx_valid(ch_{cn}_rx_valid), .rx_ready(ch_{cn}_rx_ready));"
+            );
+        }
+
+        // Mutex arbiters: one per shared variable, fixed priority in
+        // process-declaration order (matching the simulator).
+        for v in &sys.shared {
+            let vn = sanitize(&v.name);
+            let mut accessors: Vec<(usize, usize)> = Vec::new(); // (process, state)
+            for (pi, states) in syncs.iter().enumerate() {
+                for (sid, k) in states {
+                    if matches!(k, SyncKind::Mutex(name) if *name == v.name) {
+                        accessors.push((pi, *sid));
+                    }
+                }
+            }
+            if accessors.is_empty() {
+                continue;
+            }
+            let k = accessors.len();
+            let concat: Vec<String> = accessors
+                .iter()
+                .rev() // MSB first so bit 0 = first accessor
+                .map(|(pi, sid)| format!("req_{}_{sid}", sanitize(&self.processes[*pi].name)))
+                .collect();
+            let _ = writeln!(s, "  wire [{}:0] arb_{vn}_grant;", k - 1);
+            let _ = writeln!(
+                s,
+                "  hs_arbiter #(.N({k})) arb_{vn} (.clk(clk), .rst(rst), \
+                 .req({{{}}}), .grant(arb_{vn}_grant));",
+                concat.join(", ")
+            );
+            for (i, (pi, sid)) in accessors.iter().enumerate() {
+                let pn = sanitize(&self.processes[*pi].name);
+                let _ = writeln!(s, "  assign grant_{pn}_{sid} = arb_{vn}_grant[{i}];");
+            }
+            // Commit the store port of whichever accessor holds the grant.
+            let _ = writeln!(s, "  always @(posedge clk) begin");
+            for (i, (pi, sid)) in accessors.iter().enumerate() {
+                let pn = sanitize(&self.processes[*pi].name);
+                let st = format!("{}__st", v.name);
+                let has_st = self.processes[*pi]
+                    .result
+                    .netlist
+                    .ports()
+                    .iter()
+                    .any(|p| p.name == format!("out_{st}"));
+                if has_st {
+                    let kw = if i == 0 { "if" } else { "else if" };
+                    let _ = writeln!(
+                        s,
+                        "    {kw} (grant_{pn}_{sid}) shared_{vn}_q <= {pn}_{};",
+                        sanitize(&st)
+                    );
+                }
+            }
+            let _ = writeln!(s, "  end");
+        }
+        let _ = writeln!(s);
+
+        // Process instances: datapath + controller.
+        for (pi, p) in self.processes.iter().enumerate() {
+            let pn = sanitize(&p.name);
+            let module = sanitize(p.result.netlist.name());
+            // Store-port wires feeding the shared registers.
+            for port in p.result.netlist.ports() {
+                if let Some(base) = port.name.strip_prefix("out_") {
+                    if base.ends_with("__st") {
+                        let _ = writeln!(s, "  wire [31:0] {pn}_{};", sanitize(base));
+                    }
+                }
+            }
+            let mut pins: Vec<String> = Vec::new();
+            for port in p.result.netlist.ports() {
+                let pin = sanitize(&port.name);
+                if let Some(base) = port.name.strip_prefix("in_") {
+                    let conn = if let Some(chan) = base.strip_suffix("__rx") {
+                        format!("ch_{}_data", sanitize(chan))
+                    } else if let Some(var) = base.strip_suffix("__ld") {
+                        format!("shared_{}_q", sanitize(var))
+                    } else {
+                        sanitize(base)
+                    };
+                    pins.push(format!(".{pin}({conn})"));
+                } else if let Some(base) = port.name.strip_prefix("out_") {
+                    let conn = if let Some(chan) = base.strip_suffix("__tx") {
+                        format!("ch_{}_data", sanitize(chan))
+                    } else if base.ends_with("__st") {
+                        format!("{pn}_{}", sanitize(base))
+                    } else {
+                        sanitize(base)
+                    };
+                    pins.push(format!(".{pin}({conn})"));
+                }
+            }
+            let _ = writeln!(s, "  {module} dp_{pn} ({});", pins.join(", "));
+            let mut cpins = vec![".clk(clk)".to_string(), ".rst(rst)".to_string()];
+            for f in &p.result.fsm.flags {
+                let fn_ = sanitize(f);
+                cpins.push(format!(".flag_{fn_}(flag_{pn}_{fn_})"));
+            }
+            for (sid, _) in &syncs[pi] {
+                cpins.push(format!(".req_{sid}(req_{pn}_{sid})"));
+                cpins.push(format!(".grant_{sid}(grant_{pn}_{sid})"));
+            }
+            cpins.push(format!(".done(done_{pn})"));
+            let _ = writeln!(s, "  {module}_ctrl ctl_{pn} ({});", cpins.join(", "));
+        }
+        let dones: Vec<String> = self
+            .processes
+            .iter()
+            .map(|p| format!("done_{}", sanitize(&p.name)))
+            .collect();
+        let _ = writeln!(s, "  assign done = {};", dones.join(" & "));
+        let _ = writeln!(s, "endmodule\n");
+
+        // Controller modules.
+        for p in &self.processes {
+            let name = format!("{}_ctrl", sanitize(p.result.netlist.name()));
+            s.push_str(&controller_verilog(&name, &p.result.fsm));
+            s.push('\n');
+        }
+        // Interconnect cells.
+        if !sys.channels.is_empty() {
+            s.push_str(hls_rtl::channel_cell_verilog());
+            s.push('\n');
+        }
+        if !sys.shared.is_empty() {
+            s.push_str(hls_rtl::arbiter_verilog());
+            s.push('\n');
+        }
+        // Process datapath netlists (cell definitions deduplicated).
+        for p in &self.processes {
+            s.push_str(&p.result.to_verilog());
+        }
+        dedupe_modules(&s)
+    }
+}
+
+/// The kind of handshake a sync state performs, parsed from its FSM
+/// label (`send c` / `recv c` / `mutex v`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum SyncKind {
+    Send(String),
+    Recv(String),
+    Mutex(String),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SyncDir {
+    Send,
+    Recv,
+}
+
+impl SyncKind {
+    fn parse(label: &str) -> SyncKind {
+        match label.split_once(' ') {
+            Some(("send", c)) => SyncKind::Send(c.to_string()),
+            Some(("recv", c)) => SyncKind::Recv(c.to_string()),
+            Some(("mutex", v)) => SyncKind::Mutex(v.to_string()),
+            _ => SyncKind::Mutex(label.to_string()),
+        }
+    }
+
+    fn matches(&self, dir: SyncDir, chan: &str) -> bool {
+        match (self, dir) {
+            (SyncKind::Send(c), SyncDir::Send) => c == chan,
+            (SyncKind::Recv(c), SyncDir::Recv) => c == chan,
+            _ => false,
+        }
+    }
+}
+
+/// Makes an identifier Verilog-safe.
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        format!("n{cleaned}")
+    } else {
+        cleaned
+    }
+}
+
+/// Drops repeated definitions of the same module name, keeping the first
+/// (per-process netlists each carry behavioral cell definitions).
+fn dedupe_modules(src: &str) -> String {
+    let mut out = String::new();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut skipping = false;
+    for line in src.lines() {
+        let t = line.trim_start();
+        if !skipping {
+            if let Some(rest) = t.strip_prefix("module ") {
+                let name: String = rest
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                if !seen.insert(name) {
+                    skipping = true;
+                }
+            }
+        }
+        let ends_here = t.starts_with("endmodule");
+        if !skipping {
+            out.push_str(line);
+            out.push('\n');
+        }
+        if ends_here {
+            skipping = false;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pipe3() -> SystemSynthesisResult {
+        Synthesizer::new()
+            .synthesize_system_source(hls_workloads::sources::PIPE3)
+            .unwrap()
+    }
+
+    #[test]
+    fn pipe3_synthesizes_three_fsmds_that_cosimulate() {
+        let sys = pipe3();
+        assert_eq!(sys.processes.len(), 3);
+        // prod sends X+0, X+1, X+2; xform doubles; cons accumulates:
+        // Y = 2*(3X + 3) = 6X + 6.
+        let inputs = BTreeMap::from([("X".to_string(), Fx::from_i64(2))]);
+        let b = sys.interpret(&inputs).unwrap();
+        assert_eq!(b.outputs["Y"], Fx::from_i64(18));
+        let r = sys.run(&inputs).unwrap();
+        assert_eq!(r.outputs["Y"], Fx::from_i64(18));
+        // Two channels × three transfers each.
+        assert_eq!(r.rendezvous, 6);
+        assert!(r.cycles > 0);
+        assert_eq!(r.process_cycles.len(), 3);
+    }
+
+    #[test]
+    fn pipe3_lockstep_cosim_is_equivalent_on_random_vectors() {
+        let sys = pipe3();
+        let eq = sys.verify(16, (-4.0, 4.0), 0xD5EA_D5EA).unwrap();
+        assert!(eq.equivalent, "{:?}", eq.mismatch);
+        assert_eq!(eq.vectors, 16);
+        assert_eq!(eq.rendezvous, 16 * 6);
+    }
+
+    #[test]
+    fn pipe3_elaborates_to_balanced_verilog_with_interconnect() {
+        let v = pipe3().to_verilog();
+        assert!(v.contains("module pipe3 ("), "top module present");
+        assert!(v.contains("module hs_channel"), "channel cell emitted");
+        assert!(v.contains("hs_channel #(.WIDTH(32)) chan_c1"), "{v}");
+        assert!(v.contains("hs_channel #(.WIDTH(32)) chan_c2"));
+        for p in ["prod", "xform", "cons"] {
+            assert!(v.contains(&format!("dp_{p}")), "datapath instance {p}");
+            assert!(v.contains(&format!("ctl_{p}")), "controller instance {p}");
+        }
+        assert_eq!(
+            v.matches("module ").count(),
+            v.matches("endmodule").count(),
+            "balanced module/endmodule"
+        );
+        // Cell definitions appear exactly once despite three netlists.
+        assert_eq!(v.matches("module reg_dff").count(), 1, "deduplicated cells");
+    }
+
+    #[test]
+    fn shared_variable_system_elaborates_an_arbiter() {
+        let sys = Synthesizer::new()
+            .synthesize_system_source(
+                "system s; input X; output Y; shared acc;
+                 process a; begin acc := acc + X; end;
+                 process b; var t; begin t := acc; Y := t + 1; end;
+                 end.",
+            )
+            .unwrap();
+        let v = sys.to_verilog();
+        assert!(v.contains("module hs_arbiter"), "{v}");
+        assert!(v.contains("hs_arbiter #(.N(2)) arb_acc"), "{v}");
+        assert!(v.contains("shared_acc_q"), "{v}");
+        let eq = sys.verify(8, (0.0, 8.0), 7).unwrap();
+        assert!(eq.equivalent, "{:?}", eq.mismatch);
+    }
+}

@@ -285,6 +285,7 @@ mod tests {
             initial: 0,
             done: 3,
             flags: BTreeSet::from(["done".to_string()]),
+            sync_states: Default::default(),
         }
     }
 

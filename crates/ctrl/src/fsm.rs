@@ -6,10 +6,10 @@
 //! the FSM — the interface to the data part — have been determined as part
 //! of the allocation, the FSM can be synthesized using known methods" (§2).
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use hls_alloc::{global_source, Datapath};
-use hls_cdfg::{BlockId, Cdfg, LoopKind, OpKind, Region};
+use hls_cdfg::{BlockId, Cdfg, LoopKind, OpKind, Region, SyncOp};
 use hls_sched::{CdfgSchedule, OpClassifier};
 
 use crate::CtrlError;
@@ -63,6 +63,12 @@ pub struct Fsm {
     pub done: StateId,
     /// Condition flags read from the datapath.
     pub flags: BTreeSet<String>,
+    /// Synchronization states: the *commit* state of every sync block
+    /// (channel send/recv or mutexed shared access), keyed by state id
+    /// with a label such as `send c`, `recv c`, or `mutex acc`. The
+    /// controller must hold in such a state until its external grant
+    /// is asserted (see [`controller_verilog`](crate::controller_verilog)).
+    pub sync_states: BTreeMap<StateId, String>,
 }
 
 impl Fsm {
@@ -166,7 +172,10 @@ impl Builder<'_> {
     /// exits to patch into whatever follows.
     fn emit_region(&mut self, region: &Region) -> Result<(Option<StateId>, Exits), CtrlError> {
         match region {
-            Region::Block(b) => self.emit_block(*b, false),
+            // Sync blocks always materialize at least one state: the
+            // controller needs somewhere to park while it waits for the
+            // rendezvous or mutex grant.
+            Region::Block(b) => self.emit_block(*b, self.cdfg.block(*b).sync.is_some()),
             Region::Seq(rs) => {
                 let mut entry = None;
                 let mut exits: Exits = Vec::new();
@@ -367,6 +376,14 @@ impl Builder<'_> {
             }
         }
         let last = self.fsm.states.len() - 1;
+        if let Some(sync) = &self.cdfg.block(block).sync {
+            let label = match sync {
+                SyncOp::Send { chan } => format!("send {chan}"),
+                SyncOp::Recv { chan } => format!("recv {chan}"),
+                SyncOp::Shared { var, .. } => format!("mutex {var}"),
+            };
+            self.fsm.sync_states.insert(last, label);
+        }
         Ok((Some(first), vec![(last, Cond::Always)]))
     }
 }

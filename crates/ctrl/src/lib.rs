@@ -14,12 +14,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod emit;
 mod encode;
 mod fsm;
 pub mod logic;
 mod microcode;
 mod minimize;
 
+pub use emit::controller_verilog;
 pub use encode::{
     compare_encodings, encode_states, hardwired_logic, Encoding, EncodingStyle, HardwiredReport,
 };

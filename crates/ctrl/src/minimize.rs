@@ -19,16 +19,21 @@ pub struct MinimizedFsm {
 /// the same signals and, under every condition, transition to equivalent
 /// states (Moore-machine partition refinement).
 pub fn minimize_states(fsm: &Fsm) -> MinimizedFsm {
+    // Initial partition key: (asserted signals, transition guard
+    // structure, sync label).
+    type InitKey = (Vec<String>, Vec<String>, Option<String>);
     let n = fsm.states.len();
-    // Initial partition: by (signals, transition guard structure).
     let mut class: Vec<usize> = vec![0; n];
     {
-        let mut key_to_class: BTreeMap<(Vec<String>, Vec<String>), usize> = BTreeMap::new();
+        let mut key_to_class: BTreeMap<InitKey, usize> = BTreeMap::new();
         for (i, s) in fsm.states.iter().enumerate() {
             let sig: Vec<String> = s.signals.iter().cloned().collect();
             let guards: Vec<String> = s.transitions.iter().map(|t| cond_key(&t.cond)).collect();
+            // A sync (handshake) state may only merge with a state that
+            // waits on the same grant.
+            let sync = fsm.sync_states.get(&i).cloned();
             let next = key_to_class.len();
-            let c = *key_to_class.entry((sig, guards)).or_insert(next);
+            let c = *key_to_class.entry((sig, guards, sync)).or_insert(next);
             class[i] = c;
         }
     }
@@ -81,12 +86,18 @@ pub fn minimize_states(fsm: &Fsm) -> MinimizedFsm {
         }
     }
     let removed = n - new_states.len();
+    let sync_states = fsm
+        .sync_states
+        .iter()
+        .map(|(&s, label)| (mapping[s], label.clone()))
+        .collect();
     MinimizedFsm {
         fsm: Fsm {
             states: new_states,
             initial: mapping[fsm.initial],
             done: mapping[fsm.done],
             flags: fsm.flags.clone(),
+            sync_states,
         },
         mapping,
         removed,
@@ -161,6 +172,7 @@ mod tests {
             initial: 0,
             done: 3,
             flags: BTreeSet::from(["f".to_string()]),
+            sync_states: Default::default(),
         };
         let m = minimize_states(&fsm);
         assert_eq!(m.removed, 1);
@@ -210,6 +222,7 @@ mod tests {
             initial: 0,
             done: 3,
             flags: BTreeSet::new(),
+            sync_states: Default::default(),
         };
         let m = minimize_states(&fsm);
         assert_eq!(m.removed, 0);
@@ -239,6 +252,7 @@ mod tests {
             initial: 0,
             done: 1,
             flags: BTreeSet::new(),
+            sync_states: Default::default(),
         };
         let once = minimize_states(&fsm);
         let twice = minimize_states(&once.fsm);

@@ -14,6 +14,10 @@ pub enum Mode {
     /// Random straight-line BSL source routed through the language front
     /// end (lexer/parser/inliner) first.
     Bsl,
+    /// Random multi-process `system` source (2–3 processes chained by
+    /// channels, optionally a shared variable) through system synthesis
+    /// and lockstep co-simulation.
+    Proc,
 }
 
 impl fmt::Display for Mode {
@@ -21,6 +25,7 @@ impl fmt::Display for Mode {
         f.write_str(match self {
             Mode::Dfg => "dfg",
             Mode::Bsl => "bsl",
+            Mode::Proc => "proc",
         })
     }
 }
@@ -123,6 +128,7 @@ impl Case {
                     case.mode = match value {
                         "dfg" => Mode::Dfg,
                         "bsl" => Mode::Bsl,
+                        "proc" => Mode::Proc,
                         _ => return Err(bad("mode")),
                     };
                     saw_mode = true;
@@ -184,6 +190,12 @@ mod tests {
         c.scheduler = Some("force/0".to_string());
         c.fus = Some(1);
         c.strategy = Some("clique-tseng".to_string());
+        assert_eq!(Case::parse(&c.render()).unwrap(), c);
+    }
+
+    #[test]
+    fn roundtrip_proc_case() {
+        let c = Case::new(Mode::Proc, 12, 6, 2, 3);
         assert_eq!(Case::parse(&c.render()).unwrap(), c);
     }
 

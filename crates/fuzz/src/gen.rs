@@ -28,6 +28,7 @@ pub fn generate(case: &Case) -> Result<Cdfg, String> {
             hls_lang::compile(&src)
                 .map_err(|e| format!("generated BSL failed to compile: {e}\n{src}"))
         }
+        Mode::Proc => Err("proc cases go through generate_proc_bsl".to_string()),
     }
 }
 
@@ -79,6 +80,115 @@ pub fn generate_bsl(case: &Case) -> String {
     }
     let last = defined.last().cloned().unwrap_or_else(|| "A0".to_string());
     src.push_str(&format!("  Y := {last};\n"));
+    src.push_str("end.\n");
+    src
+}
+
+/// The random multi-process `system` source for `case`: 2–3 processes
+/// chained into a pipeline by rendezvous channels, with a fixed number
+/// of transfers per channel (so the system is deadlock-free by
+/// construction) and, on some seeds, a mutex-guarded shared variable
+/// touched by the first and last process. Statement filler reuses the
+/// straight-line expression mix of [`generate_bsl`].
+pub fn generate_proc_bsl(case: &Case) -> String {
+    let mut rng = SplitMix64::new(case.seed ^ 0x9_90C);
+    let nprocs = rng.usize_in(2, 4); // 2..=3
+    let trips = rng.usize_in(1, 4); // transfers per channel, 1..=3
+    let with_shared = rng.bool_with(0.3);
+    let input_names: Vec<String> = (0..case.inputs).map(|i| format!("A{i}")).collect();
+
+    let mut src = String::from("system fuzz;\n");
+    src.push_str(&format!("input {};\n", input_names.join(", ")));
+    src.push_str("output Y;\n");
+    for c in 0..nprocs - 1 {
+        src.push_str(&format!("chan c{c} : fix;\n"));
+    }
+    if with_shared {
+        src.push_str("shared s;\n");
+    }
+
+    // Straight-line filler: same op mix as the single-process generator.
+    let ops_per_proc = (case.ops / nprocs).max(1);
+    let rhs = |rng: &mut SplitMix64, defined: &[String]| {
+        let pick = |rng: &mut SplitMix64| {
+            let lo = defined.len().saturating_sub(case.window.max(1));
+            defined[rng.usize_in(lo, defined.len())].clone()
+        };
+        let a = pick(rng);
+        let roll = rng.u32_in(0, 100);
+        if roll < case.shift_pct {
+            let amt = rng.u32_in(1, 4);
+            match rng.u32_in(0, 3) {
+                0 => format!("{a} << {amt}"),
+                1 => format!("{a} >> {amt}"),
+                _ => format!("{a} * {}", 1u32 << amt),
+            }
+        } else {
+            let b = pick(rng);
+            let op = if roll < case.shift_pct + case.mul_pct {
+                "*"
+            } else if rng.bool_with(0.5) {
+                "+"
+            } else {
+                "-"
+            };
+            format!("{a} {op} {b}")
+        }
+    };
+
+    for p in 0..nprocs {
+        let first = p == 0;
+        let last = p == nprocs - 1;
+        let temps: Vec<String> = (0..ops_per_proc).map(|i| format!("t{p}_{i}")).collect();
+        src.push_str(&format!("process p{p};\n"));
+        let mut vars = vec!["i".to_string()];
+        if !first {
+            vars.push("v".to_string());
+        }
+        if last {
+            vars.push("acc".to_string());
+            if with_shared {
+                vars.push("w".to_string());
+            }
+        }
+        vars.extend(temps.iter().cloned());
+        src.push_str(&format!("var {};\n", vars.join(", ")));
+        src.push_str("begin\n");
+        // Every process may read the system inputs directly.
+        let mut defined = input_names.clone();
+        if first && with_shared {
+            src.push_str("  s := s + 1;\n"); // atomic mutex block
+        }
+        if last {
+            src.push_str("  acc := 0;\n");
+        }
+        src.push_str("  i := 0;\n  do\n");
+        if !first {
+            src.push_str(&format!("    recv c{}, v;\n", p - 1));
+            defined.push("v".to_string());
+        }
+        for t in &temps {
+            let e = rhs(&mut rng, &defined);
+            src.push_str(&format!("    {t} := {e};\n"));
+            defined.push(t.clone());
+        }
+        if !last {
+            let e = defined[rng.usize_in(0, defined.len())].clone();
+            src.push_str(&format!("    send c{p}, {e};\n"));
+        } else {
+            let e = defined[rng.usize_in(0, defined.len())].clone();
+            src.push_str(&format!("    acc := acc + {e};\n"));
+        }
+        src.push_str("    i := i + 1;\n");
+        src.push_str(&format!("  until i > {};\n", trips - 1));
+        if last {
+            if with_shared {
+                src.push_str("  w := s;\n  acc := acc + w;\n");
+            }
+            src.push_str("  Y := acc;\n");
+        }
+        src.push_str("end;\n");
+    }
     src.push_str("end.\n");
     src
 }
@@ -178,6 +288,24 @@ mod tests {
         let a = format!("{:?}", generate(&case).unwrap());
         let b = format!("{:?}", generate(&case).unwrap());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn proc_cases_compile_to_systems() {
+        for seed in 0..20 {
+            let case = Case::new(Mode::Proc, seed, 9, 2, 4);
+            let src = generate_proc_bsl(&case);
+            let sys = hls_lang::compile_system(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+            assert!((2..=3).contains(&sys.processes.len()), "{src}");
+            assert_eq!(sys.channels.len(), sys.processes.len() - 1);
+            sys.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn proc_text_is_deterministic() {
+        let case = Case::new(Mode::Proc, 11, 8, 2, 3);
+        assert_eq!(generate_proc_bsl(&case), generate_proc_bsl(&case));
     }
 
     #[test]

@@ -213,6 +213,9 @@ const COSIM_VECTORS: usize = 3;
 /// Generation failures are reported as a single pseudo-violation rather
 /// than an `Err`, so the fuzz loop treats them uniformly.
 pub fn run_case(case: &Case) -> Vec<Violation> {
+    if case.mode == corpus::Mode::Proc {
+        return run_proc_case(case);
+    }
     let cdfg = match gen::generate(case) {
         Ok(c) => c,
         Err(e) => {
@@ -293,45 +296,148 @@ fn run_combo(cdfg: &hls_cdfg::Cdfg, combo: &Combo) -> Option<Violation> {
     } else {
         ResourceLimits::universal(combo.fus)
     };
-    for block in result.cdfg.block_order() {
-        let dfg = &result.cdfg.block(block).dfg;
-        let Some(sched) = result.schedule.block(block) else {
-            return fail(Oracle::InvalidSchedule, format!("{block:?} unscheduled"));
-        };
-        if let Err(e) = sched.validate(dfg, &result.classifier, &limits) {
-            return fail(Oracle::InvalidSchedule, format!("{block:?}: {e}"));
-        }
-        let asap = match precedence::unconstrained_asap(dfg, &result.classifier) {
-            Ok((map, _)) => map,
-            Err(e) => return fail(Oracle::BoundsViolated, format!("asap bound: {e}")),
-        };
-        let alap = match precedence::unconstrained_alap(dfg, &result.classifier, sched.num_steps())
-        {
-            Ok(map) => map,
-            Err(e) => return fail(Oracle::BoundsViolated, format!("alap bound: {e}")),
-        };
-        for (op, step) in sched.iter() {
-            if let Some(&lo) = asap.get(&op) {
-                if step < lo {
-                    return fail(
-                        Oracle::BoundsViolated,
-                        format!("{block:?} {op:?}: step {step} < asap {lo}"),
-                    );
-                }
-            }
-            if let Some(&hi) = alap.get(&op) {
-                if step > hi {
-                    return fail(
-                        Oracle::BoundsViolated,
-                        format!("{block:?} {op:?}: step {step} > alap {hi}"),
-                    );
-                }
-            }
-        }
+    if let Some((oracle, detail)) = schedule_oracles(&result, &limits) {
+        return fail(oracle, detail);
     }
 
     // Oracle 5: Verilog emission skeleton.
     let verilog = result.to_verilog();
+    let modules = verilog.matches("module ").count() - verilog.matches("endmodule").count();
+    if !verilog.contains("module fuzz") || modules != 0 {
+        return fail(
+            Oracle::BadVerilog,
+            format!(
+                "module fuzz: {}, module/endmodule delta: {modules}",
+                verilog.contains("module fuzz")
+            ),
+        );
+    }
+    None
+}
+
+/// Oracles 3 + 4 for one synthesized behavior: every block scheduled,
+/// every schedule valid under `limits`, every op inside its
+/// unconstrained `[asap, alap]` window.
+fn schedule_oracles(
+    result: &hls_core::SynthesisResult,
+    limits: &ResourceLimits,
+) -> Option<(Oracle, String)> {
+    for block in result.cdfg.block_order() {
+        let dfg = &result.cdfg.block(block).dfg;
+        let Some(sched) = result.schedule.block(block) else {
+            return Some((Oracle::InvalidSchedule, format!("{block:?} unscheduled")));
+        };
+        if let Err(e) = sched.validate(dfg, &result.classifier, limits) {
+            return Some((Oracle::InvalidSchedule, format!("{block:?}: {e}")));
+        }
+        let asap = match precedence::unconstrained_asap(dfg, &result.classifier) {
+            Ok((map, _)) => map,
+            Err(e) => return Some((Oracle::BoundsViolated, format!("asap bound: {e}"))),
+        };
+        let alap = match precedence::unconstrained_alap(dfg, &result.classifier, sched.num_steps())
+        {
+            Ok(map) => map,
+            Err(e) => return Some((Oracle::BoundsViolated, format!("alap bound: {e}"))),
+        };
+        for (op, step) in sched.iter() {
+            if let Some(&lo) = asap.get(&op) {
+                if step < lo {
+                    return Some((
+                        Oracle::BoundsViolated,
+                        format!("{block:?} {op:?}: step {step} < asap {lo}"),
+                    ));
+                }
+            }
+            if let Some(&hi) = alap.get(&op) {
+                if step > hi {
+                    return Some((
+                        Oracle::BoundsViolated,
+                        format!("{block:?} {op:?}: step {step} > alap {hi}"),
+                    ));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Runs every oracle for a multi-process (`proc` mode) case.
+fn run_proc_case(case: &Case) -> Vec<Violation> {
+    let src = gen::generate_proc_bsl(case);
+    let mut violations = Vec::new();
+    for combo in combos_for(case) {
+        if let Some(v) = run_proc_combo(&src, &combo) {
+            violations.push(v);
+        }
+    }
+    violations
+}
+
+/// One pipeline combo over a whole system: the same five oracles, with
+/// co-simulation running the lockstep multi-process models and the
+/// schedule oracles applied to every process FSMD.
+fn run_proc_combo(src: &str, combo: &Combo) -> Option<Violation> {
+    let fail = |oracle, detail| {
+        Some(Violation {
+            oracle,
+            combo: combo.clone(),
+            detail,
+        })
+    };
+    let Some(algorithm) = parse_scheduler(&combo.scheduler) else {
+        return fail(
+            Oracle::PipelineError,
+            format!("unknown scheduler spec {:?}", combo.scheduler),
+        );
+    };
+    let Some(strategy) = parse_strategy(&combo.strategy) else {
+        return fail(
+            Oracle::PipelineError,
+            format!("unknown strategy spec {:?}", combo.strategy),
+        );
+    };
+    let synth = Synthesizer::new()
+        .universal_fus(combo.fus)
+        .algorithm(algorithm)
+        .fu_strategy(strategy);
+    // Oracle 1: no unwinding.
+    let outcome = catch_unwind(AssertUnwindSafe(|| synth.synthesize_system_source(src)));
+    let sys = match outcome {
+        Err(payload) => return fail(Oracle::Panic, panic_message(&payload)),
+        Ok(Err(e)) if acceptable_error(&e) => return None,
+        Ok(Err(e)) => return fail(Oracle::PipelineError, format!("{e}\n{src}")),
+        Ok(Ok(s)) => s,
+    };
+
+    // Oracle 2: lockstep behavioral/RTL co-simulation.
+    match sys.verify(COSIM_VECTORS, (1.0, 8.0), 0xF0_55ED) {
+        Err(e) => return fail(Oracle::CosimMismatch, format!("co-sim failed to run: {e}")),
+        Ok(eq) if !eq.equivalent => {
+            return fail(Oracle::CosimMismatch, format!("{:?}\n{src}", eq.mismatch));
+        }
+        Ok(_) => {}
+    }
+
+    // Oracles 3 + 4 per process FSMD.
+    let time_constrained = matches!(
+        algorithm,
+        Algorithm::ForceDirected { .. }
+            | Algorithm::HierForce { .. }
+            | Algorithm::FreedomBased { .. }
+    );
+    let limits = if time_constrained {
+        ResourceLimits::unlimited()
+    } else {
+        ResourceLimits::universal(combo.fus)
+    };
+    for p in &sys.processes {
+        if let Some((oracle, detail)) = schedule_oracles(&p.result, &limits) {
+            return fail(oracle, format!("process `{}`: {detail}", p.name));
+        }
+    }
+
+    // Oracle 5: elaborated system Verilog skeleton.
+    let verilog = sys.to_verilog();
     let modules = verilog.matches("module ").count() - verilog.matches("endmodule").count();
     if !verilog.contains("module fuzz") || modules != 0 {
         return fail(
@@ -409,6 +515,16 @@ mod tests {
             assert!(parse_strategy(spec).is_some(), "{spec}");
         }
         assert!(parse_strategy("bogus").is_none());
+    }
+
+    #[test]
+    fn proc_case_passes_all_oracles_when_pinned() {
+        let mut case = Case::new(Mode::Proc, 3, 6, 2, 3);
+        case.scheduler = Some("list/path".to_string());
+        case.fus = Some(2);
+        case.strategy = Some("aware".to_string());
+        let violations = run_case(&case);
+        assert!(violations.is_empty(), "{violations:?}");
     }
 
     #[test]

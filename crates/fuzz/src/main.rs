@@ -19,6 +19,7 @@ struct Args {
     seed: u64,
     replay: Vec<PathBuf>,
     save: Option<PathBuf>,
+    mode: Option<Mode>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -27,6 +28,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 0,
         replay: Vec::new(),
         save: None,
+        mode: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -44,9 +46,18 @@ fn parse_args() -> Result<Args, String> {
             }
             "--replay" => args.replay.push(PathBuf::from(value("--replay")?)),
             "--save" => args.save = Some(PathBuf::from(value("--save")?)),
+            "--mode" => {
+                args.mode = Some(match value("--mode")?.as_str() {
+                    "dfg" => Mode::Dfg,
+                    "bsl" => Mode::Bsl,
+                    "proc" => Mode::Proc,
+                    other => return Err(format!("unknown mode {other:?}")),
+                })
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: hls-fuzz [--iters N] [--seed S] [--replay FILE-OR-DIR]... [--save DIR]"
+                    "usage: hls-fuzz [--iters N] [--seed S] [--mode dfg|bsl|proc] \
+                     [--replay FILE-OR-DIR]... [--save DIR]"
                 );
                 std::process::exit(0);
             }
@@ -103,10 +114,13 @@ fn fuzz(args: &Args) -> Result<usize, String> {
     let mut rng = SplitMix64::new(args.seed ^ 0xF0_5EED);
     let mut failures = 0;
     for i in 0..args.iters {
-        let mode = if rng.bool_with(0.5) {
-            Mode::Dfg
-        } else {
-            Mode::Bsl
+        let mode = match args.mode {
+            Some(m) => m,
+            None => match rng.u32_in(0, 6) {
+                0 | 1 => Mode::Dfg,
+                2 | 3 => Mode::Bsl,
+                _ => Mode::Proc,
+            },
         };
         let mut case = Case::new(
             mode,

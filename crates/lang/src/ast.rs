@@ -155,6 +155,23 @@ pub enum Stmt {
         /// Taken when false.
         else_body: Vec<Stmt>,
     },
+    /// `send <chan>, <expr>;` — blocking send on a channel (processes
+    /// only). Blocks until the receiving process reaches a matching
+    /// `recv` (two-phase ready/valid rendezvous).
+    Send {
+        /// Channel name.
+        chan: String,
+        /// The transmitted value.
+        expr: Expr,
+    },
+    /// `recv <chan>, <var>;` — blocking receive from a channel into a
+    /// variable (processes only).
+    Recv {
+        /// Channel name.
+        chan: String,
+        /// Destination variable.
+        name: String,
+    },
 }
 
 /// A single-expression function declaration:
@@ -199,6 +216,40 @@ impl Program {
             .find(|(n, _)| n == name)
             .map(|(_, t)| *t)
     }
+}
+
+/// One `process` block of a system: a named sequential behavior with its
+/// own variables and arrays, communicating over the system's channels.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProcessDecl {
+    /// Process name.
+    pub name: String,
+    /// Local variables with types.
+    pub vars: Vec<(String, Type)>,
+    /// Local arrays with element counts.
+    pub arrays: Vec<(String, u32)>,
+    /// The process body.
+    pub body: Vec<Stmt>,
+}
+
+/// A whole BSL system: concurrent processes over channels and shared
+/// variables.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SystemDecl {
+    /// System name.
+    pub name: String,
+    /// Input ports with types (readable by every process).
+    pub inputs: Vec<(String, Type)>,
+    /// Output ports with types (each written by exactly one process).
+    pub outputs: Vec<(String, Type)>,
+    /// Point-to-point blocking channels with element types.
+    pub chans: Vec<(String, Type)>,
+    /// Mutex-guarded shared variables with types.
+    pub shareds: Vec<(String, Type)>,
+    /// Inlinable functions, visible to every process.
+    pub functions: Vec<FuncDecl>,
+    /// Processes in declaration order.
+    pub processes: Vec<ProcessDecl>,
 }
 
 #[cfg(test)]

@@ -61,6 +61,18 @@ pub enum Token {
     Bit,
     /// `not`
     Not,
+    /// `system`
+    System,
+    /// `process`
+    Process,
+    /// `chan`
+    Chan,
+    /// `shared`
+    Shared,
+    /// `send`
+    Send,
+    /// `recv`
+    Recv,
     /// `:=`
     Assign,
     /// `;`
@@ -141,6 +153,12 @@ impl std::fmt::Display for Token {
                     Token::Int => "int",
                     Token::Bit => "bit",
                     Token::Not => "not",
+                    Token::System => "system",
+                    Token::Process => "process",
+                    Token::Chan => "chan",
+                    Token::Shared => "shared",
+                    Token::Send => "send",
+                    Token::Recv => "recv",
                     Token::Assign => ":=",
                     Token::Semi => ";",
                     Token::Colon => ":",
@@ -237,6 +255,12 @@ pub fn tokenize(src: &str) -> Result<Vec<(Token, Pos)>, ParseError> {
                     "int" => Token::Int,
                     "bit" => Token::Bit,
                     "not" => Token::Not,
+                    "system" => Token::System,
+                    "process" => Token::Process,
+                    "chan" => Token::Chan,
+                    "shared" => Token::Shared,
+                    "send" => Token::Send,
+                    "recv" => Token::Recv,
                     _ => Token::Ident(word),
                 };
                 out.push((tok, pos));

@@ -32,7 +32,7 @@ mod lower;
 mod parser;
 pub mod pretty;
 
-pub use ast::{BinOp, Expr, FuncDecl, Program, Stmt, Type, UnOp};
+pub use ast::{BinOp, Expr, FuncDecl, ProcessDecl, Program, Stmt, SystemDecl, Type, UnOp};
 pub use error::ParseError;
-pub use lower::{compile, lower};
-pub use parser::parse;
+pub use lower::{compile, compile_system, lower, lower_system};
+pub use parser::{is_system_source, parse, parse_system};

@@ -16,11 +16,15 @@
 //! * Counted `do..until` loops are recognized and annotated with their trip
 //!   count (4 for the sqrt example), which whole-behavior latency uses.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
-use crate::ast::{BinOp, Expr, FuncDecl, Program, Stmt, UnOp};
+use crate::ast::{BinOp, Expr, FuncDecl, Program, Stmt, SystemDecl, Type, UnOp};
 use crate::error::ParseError;
-use hls_cdfg::{Cdfg, DataFlowGraph, Fx, IfRegion, LoopKind, LoopRegion, OpKind, Region, ValueId};
+use hls_cdfg::system::{chan_rx_port, chan_tx_port, shared_ld_port, shared_st_port};
+use hls_cdfg::{
+    Cdfg, ChannelSpec, DataFlowGraph, Fx, IfRegion, LoopKind, LoopRegion, OpKind, ProcessCdfg,
+    Region, SharedSpec, SyncOp, SystemCdfg, ValueId,
+};
 
 /// Maximum iterations explored when inferring a loop trip count.
 const TRIP_SEARCH_CAP: u64 = 1 << 20;
@@ -44,6 +48,17 @@ const TRIP_SEARCH_CAP: u64 = 1 << 20;
 /// # Ok::<(), hls_lang::ParseError>(())
 /// ```
 pub fn lower(prog: &Program) -> Result<Cdfg, ParseError> {
+    lower_with(prog, &[], &[])
+}
+
+/// Lowers `prog` in a system context: `chans` and `shareds` are the
+/// system-level channel and shared-variable declarations visible to the
+/// process body (both empty for a plain program).
+fn lower_with(
+    prog: &Program,
+    chans: &[(String, Type)],
+    shareds: &[(String, Type)],
+) -> Result<Cdfg, ParseError> {
     let mut cdfg = Cdfg::new(&prog.name);
     for (n, t) in &prog.inputs {
         cdfg.declare_input(n, t.width());
@@ -62,6 +77,8 @@ pub fn lower(prog: &Program) -> Result<Cdfg, ParseError> {
         cdfg,
         exit_counter: 0,
         block_counter: 0,
+        chans,
+        shareds,
     };
     let body = lw.lower_stmts(&prog.body, None)?;
     let body = if prog.arrays.is_empty() {
@@ -93,6 +110,445 @@ pub fn compile(src: &str) -> Result<Cdfg, ParseError> {
     lower(&crate::parser::parse(src)?)
 }
 
+/// Compiles a parsed [`SystemDecl`] into a [`SystemCdfg`]: one CDFG per
+/// process, with channel `send`/`recv` and shared-variable accesses lowered
+/// to sync blocks over reserved port variables (`{chan}__tx`, `{chan}__rx`,
+/// `{var}__ld`, `{var}__st`).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] for semantic problems: undeclared channels, a
+/// channel with two senders or two receivers, a process sending to itself,
+/// a system output written by zero or several processes, shared variables
+/// used outside simple assignments, or reserved `__` names in declarations.
+pub fn lower_system(sys: &SystemDecl) -> Result<SystemCdfg, ParseError> {
+    check_system_decls(sys)?;
+    let funcs_free = function_free_vars(sys)?;
+
+    let mut channels: Vec<ChannelSpec> = sys
+        .chans
+        .iter()
+        .map(|(n, t)| ChannelSpec {
+            name: n.clone(),
+            width: t.width(),
+            sender: None,
+            receiver: None,
+        })
+        .collect();
+    let mut output_owner: Vec<Option<usize>> = vec![None; sys.outputs.len()];
+    let mut processes = Vec::new();
+
+    for (pi, p) in sys.processes.iter().enumerate() {
+        let mut sends = BTreeSet::new();
+        let mut recvs = BTreeSet::new();
+        scan_channel_ops(&p.body, &mut sends, &mut recvs);
+        for c in sends.iter().chain(&recvs) {
+            if !sys.chans.iter().any(|(n, _)| n == c) {
+                return Err(ParseError::without_pos(format!(
+                    "process `{}` uses undeclared channel `{c}`",
+                    p.name
+                )));
+            }
+        }
+        for c in &sends {
+            let spec = channels
+                .iter_mut()
+                .find(|s| &s.name == c)
+                .expect("checked above");
+            if spec.receiver == Some(pi) || recvs.contains(c) {
+                return Err(ParseError::without_pos(format!(
+                    "process `{}` both sends and receives on channel `{c}`",
+                    p.name
+                )));
+            }
+            if let Some(prev) = spec.sender.replace(pi) {
+                return Err(ParseError::without_pos(format!(
+                    "channel `{c}` has two senders: `{}` and `{}`",
+                    sys.processes[prev].name, p.name
+                )));
+            }
+        }
+        for c in &recvs {
+            let spec = channels
+                .iter_mut()
+                .find(|s| &s.name == c)
+                .expect("checked above");
+            if let Some(prev) = spec.receiver.replace(pi) {
+                return Err(ParseError::without_pos(format!(
+                    "channel `{c}` has two receivers: `{}` and `{}`",
+                    sys.processes[prev].name, p.name
+                )));
+            }
+        }
+
+        let mut reads = BTreeSet::new();
+        scan_reads(&p.body, &funcs_free, &mut reads);
+        let mut writes = BTreeSet::new();
+        scan_writes(&p.body, &mut writes);
+
+        for (n, _) in &sys.inputs {
+            if writes.contains(n) {
+                return Err(ParseError::without_pos(format!(
+                    "process `{}` writes system input `{n}`",
+                    p.name
+                )));
+            }
+        }
+        for (oi, (o, _)) in sys.outputs.iter().enumerate() {
+            if writes.contains(o) {
+                if let Some(prev) = output_owner[oi].replace(pi) {
+                    return Err(ParseError::without_pos(format!(
+                        "output `{o}` is written by two processes: `{}` and `{}`",
+                        sys.processes[prev].name, p.name
+                    )));
+                }
+            } else if reads.contains(o) {
+                return Err(ParseError::without_pos(format!(
+                    "process `{}` reads output `{o}` it does not write; use a channel",
+                    p.name
+                )));
+            }
+        }
+
+        // The synthetic single-process program: system inputs it reads plus
+        // the reserved channel/shared ports it uses become its I/O, so the
+        // per-process netlist grows the handshake data ports for free.
+        let mut inputs: Vec<(String, Type)> = sys
+            .inputs
+            .iter()
+            .filter(|(n, _)| reads.contains(n))
+            .cloned()
+            .collect();
+        for (c, t) in &sys.chans {
+            if recvs.contains(c) {
+                inputs.push((chan_rx_port(c), *t));
+            }
+        }
+        for (s, t) in &sys.shareds {
+            if reads.contains(s) {
+                inputs.push((shared_ld_port(s), *t));
+            }
+        }
+        let mut outputs: Vec<(String, Type)> = sys
+            .outputs
+            .iter()
+            .filter(|(n, _)| writes.contains(n))
+            .cloned()
+            .collect();
+        for (c, t) in &sys.chans {
+            if sends.contains(c) {
+                outputs.push((chan_tx_port(c), *t));
+            }
+        }
+        for (s, t) in &sys.shareds {
+            if writes.contains(s) {
+                outputs.push((shared_st_port(s), *t));
+            }
+        }
+        let prog = Program {
+            name: format!("{}_{}", sys.name, p.name),
+            inputs,
+            outputs,
+            vars: p.vars.clone(),
+            arrays: p.arrays.clone(),
+            functions: sys.functions.clone(),
+            body: p.body.clone(),
+        };
+        let cdfg = lower_with(&prog, &sys.chans, &sys.shareds)?;
+        processes.push(ProcessCdfg {
+            name: p.name.clone(),
+            cdfg,
+        });
+    }
+
+    let outputs = sys
+        .outputs
+        .iter()
+        .zip(&output_owner)
+        .map(|((n, _), owner)| {
+            owner.map(|pi| (n.clone(), pi)).ok_or_else(|| {
+                ParseError::without_pos(format!("output `{n}` is not written by any process"))
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let system = SystemCdfg {
+        name: sys.name.clone(),
+        inputs: sys
+            .inputs
+            .iter()
+            .map(|(n, t)| (n.clone(), t.width()))
+            .collect(),
+        outputs,
+        channels,
+        shared: sys
+            .shareds
+            .iter()
+            .map(|(n, t)| SharedSpec {
+                name: n.clone(),
+                width: t.width(),
+            })
+            .collect(),
+        processes,
+    };
+    system
+        .validate()
+        .map_err(|e| ParseError::without_pos(format!("internal lowering error: {e}")))?;
+    Ok(system)
+}
+
+/// Parses and lowers a multi-process system source in one step.
+///
+/// # Errors
+///
+/// Propagates lexical, syntactic, and semantic errors.
+///
+/// # Examples
+///
+/// ```
+/// let sys = hls_lang::compile_system("
+///     system pipe;
+///     input X; output Y;
+///     chan c;
+///     process prod;
+///     begin send c, X + 1; end;
+///     process cons;
+///     var v;
+///     begin recv c, v; Y := v * 2; end;
+///     end.
+/// ")?;
+/// assert_eq!(sys.processes.len(), 2);
+/// assert_eq!(sys.channel("c").unwrap().sender, Some(0));
+/// # Ok::<(), hls_lang::ParseError>(())
+/// ```
+pub fn compile_system(src: &str) -> Result<SystemCdfg, ParseError> {
+    lower_system(&crate::parser::parse_system(src)?)
+}
+
+/// Declaration-level hygiene for a system: unique names, no reserved `__`
+/// substrings, no shared variables hidden inside function bodies.
+fn check_system_decls(sys: &SystemDecl) -> Result<(), ParseError> {
+    let reserved = |name: &str, what: &str| -> Result<(), ParseError> {
+        if name.contains("__") {
+            Err(ParseError::without_pos(format!(
+                "{what} `{name}`: names containing `__` are reserved for channel and \
+                 shared-variable ports"
+            )))
+        } else {
+            Ok(())
+        }
+    };
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    let system_decls = sys
+        .inputs
+        .iter()
+        .map(|(n, _)| (n.as_str(), "input"))
+        .chain(sys.outputs.iter().map(|(n, _)| (n.as_str(), "output")))
+        .chain(sys.chans.iter().map(|(n, _)| (n.as_str(), "channel")))
+        .chain(
+            sys.shareds
+                .iter()
+                .map(|(n, _)| (n.as_str(), "shared variable")),
+        );
+    for (name, what) in system_decls {
+        reserved(name, what)?;
+        if !seen.insert(name) {
+            return Err(ParseError::without_pos(format!(
+                "{what} `{name}` collides with another system declaration"
+            )));
+        }
+    }
+    let mut proc_names: BTreeSet<&str> = BTreeSet::new();
+    for p in &sys.processes {
+        reserved(&p.name, "process")?;
+        if !proc_names.insert(&p.name) {
+            return Err(ParseError::without_pos(format!(
+                "two processes named `{}`",
+                p.name
+            )));
+        }
+        let locals = p
+            .vars
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .chain(p.arrays.iter().map(|(n, _)| n.as_str()));
+        for n in locals {
+            reserved(n, "variable")?;
+            if seen.contains(n) {
+                return Err(ParseError::without_pos(format!(
+                    "process `{}` local `{n}` shadows a system declaration",
+                    p.name
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Per-function free variables (body reads minus parameters, transitively
+/// through calls), used to detect which system names a process touches via
+/// inlined functions. Rejects functions reading shared variables: inlining
+/// would smuggle an unguarded read past the mutex lowering.
+fn function_free_vars(sys: &SystemDecl) -> Result<HashMap<String, BTreeSet<String>>, ParseError> {
+    let mut free: HashMap<String, BTreeSet<String>> = sys
+        .functions
+        .iter()
+        .map(|f| (f.name.clone(), BTreeSet::new()))
+        .collect();
+    for _ in 0..=sys.functions.len() {
+        let mut changed = false;
+        for f in &sys.functions {
+            let mut vars = Vec::new();
+            expr_vars(&f.body, &mut vars);
+            let mut set: BTreeSet<String> =
+                vars.into_iter().filter(|v| !f.params.contains(v)).collect();
+            for callee in called_functions(&f.body) {
+                if let Some(cf) = free.get(&callee) {
+                    set.extend(cf.iter().filter(|v| !f.params.contains(v)).cloned());
+                }
+            }
+            let entry = free.get_mut(&f.name).expect("seeded above");
+            if &set != entry {
+                *entry = set;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for f in &sys.functions {
+        if let Some(s) = free[&f.name]
+            .iter()
+            .find(|v| sys.shareds.iter().any(|(n, _)| &n == v))
+        {
+            return Err(ParseError::without_pos(format!(
+                "function `{}` reads shared variable `{s}`; shared access must be a direct \
+                 assignment",
+                f.name
+            )));
+        }
+    }
+    Ok(free)
+}
+
+/// Function names called (recursively) within `expr`.
+fn called_functions(expr: &Expr) -> Vec<String> {
+    let mut out = Vec::new();
+    fn walk(e: &Expr, out: &mut Vec<String>) {
+        match e {
+            Expr::Num(_) | Expr::Var(_) => {}
+            Expr::Unary(_, e) => walk(e, out),
+            Expr::Binary(_, l, r) => {
+                walk(l, out);
+                walk(r, out);
+            }
+            Expr::Index(_, idx) => walk(idx, out),
+            Expr::Call(name, args) => {
+                out.push(name.clone());
+                for a in args {
+                    walk(a, out);
+                }
+            }
+        }
+    }
+    walk(expr, &mut out);
+    out
+}
+
+/// Channels sent on / received from anywhere in `stmts`.
+fn scan_channel_ops(stmts: &[Stmt], sends: &mut BTreeSet<String>, recvs: &mut BTreeSet<String>) {
+    for s in stmts {
+        match s {
+            Stmt::Send { chan, .. } => {
+                sends.insert(chan.clone());
+            }
+            Stmt::Recv { chan, .. } => {
+                recvs.insert(chan.clone());
+            }
+            Stmt::Assign { .. } | Stmt::ArrayAssign { .. } => {}
+            Stmt::DoUntil { body, .. } | Stmt::While { body, .. } => {
+                scan_channel_ops(body, sends, recvs);
+            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                scan_channel_ops(then_body, sends, recvs);
+                scan_channel_ops(else_body, sends, recvs);
+            }
+        }
+    }
+}
+
+/// Every variable name read anywhere in `stmts` (expanding function calls
+/// through their free-variable sets).
+fn scan_reads(
+    stmts: &[Stmt],
+    funcs_free: &HashMap<String, BTreeSet<String>>,
+    out: &mut BTreeSet<String>,
+) {
+    let add_expr = |e: &Expr, out: &mut BTreeSet<String>| {
+        let mut vars = Vec::new();
+        expr_vars(e, &mut vars);
+        out.extend(vars);
+        for f in called_functions(e) {
+            if let Some(fv) = funcs_free.get(&f) {
+                out.extend(fv.iter().cloned());
+            }
+        }
+    };
+    for s in stmts {
+        match s {
+            Stmt::Assign { expr, .. } | Stmt::Send { expr, .. } => add_expr(expr, out),
+            Stmt::ArrayAssign { index, expr, .. } => {
+                add_expr(index, out);
+                add_expr(expr, out);
+            }
+            Stmt::Recv { .. } => {}
+            Stmt::DoUntil { body, cond } => {
+                add_expr(cond, out);
+                scan_reads(body, funcs_free, out);
+            }
+            Stmt::While { cond, body } => {
+                add_expr(cond, out);
+                scan_reads(body, funcs_free, out);
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                add_expr(cond, out);
+                scan_reads(then_body, funcs_free, out);
+                scan_reads(else_body, funcs_free, out);
+            }
+        }
+    }
+}
+
+/// Every variable name written anywhere in `stmts`.
+fn scan_writes(stmts: &[Stmt], out: &mut BTreeSet<String>) {
+    for s in stmts {
+        match s {
+            Stmt::Assign { name, .. } | Stmt::Recv { name, .. } => {
+                out.insert(name.clone());
+            }
+            Stmt::ArrayAssign { .. } | Stmt::Send { .. } => {}
+            Stmt::DoUntil { body, .. } | Stmt::While { body, .. } => scan_writes(body, out),
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                scan_writes(then_body, out);
+                scan_writes(else_body, out);
+            }
+        }
+    }
+}
+
 /// The threaded memory-state variable of array `name`.
 fn mem_token(name: &str) -> String {
     format!("%mem_{name}")
@@ -104,6 +560,10 @@ struct Lowerer<'a> {
     cdfg: Cdfg,
     exit_counter: usize,
     block_counter: usize,
+    /// System-level channel declarations (empty for plain programs).
+    chans: &'a [(String, Type)],
+    /// System-level shared-variable declarations (empty for plain programs).
+    shareds: &'a [(String, Type)],
 }
 
 /// Per-block lowering state.
@@ -170,6 +630,143 @@ impl<'a> Lowerer<'a> {
         }
     }
 
+    fn check_chan(&self, name: &str) -> Result<(), ParseError> {
+        if self.chans.iter().any(|(n, _)| n == name) {
+            Ok(())
+        } else {
+            Err(ParseError::without_pos(format!("unknown channel `{name}`")))
+        }
+    }
+
+    fn is_shared(&self, name: &str) -> bool {
+        self.shareds.iter().any(|(n, _)| n == name)
+    }
+
+    /// The shared variables read by `expr`, in first-use order.
+    fn shared_vars_in(&self, expr: &Expr) -> Vec<String> {
+        let mut vars = Vec::new();
+        expr_vars(expr, &mut vars);
+        let mut out = Vec::new();
+        for v in vars {
+            if self.is_shared(&v) && !out.contains(&v) {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// Rejects shared-variable reads in contexts that are not a plain
+    /// assignment (where the mutex grant could not be made atomic).
+    fn check_no_shared(&self, expr: &Expr, what: &str) -> Result<(), ParseError> {
+        match self.shared_vars_in(expr).first() {
+            None => Ok(()),
+            Some(s) => Err(ParseError::without_pos(format!(
+                "shared variable `{s}` cannot appear in {what}; copy it into a local first"
+            ))),
+        }
+    }
+
+    /// Lowers one straight-line statement (`Assign`/`ArrayAssign`) into an
+    /// already-open block context. Shared by [`Self::flush_run`] and
+    /// [`Self::emit_sync_block`].
+    fn lower_straight(&mut self, ctx: &mut BlockCtx, s: &Stmt) -> Result<(), ParseError> {
+        match s {
+            Stmt::Assign { name, expr } => {
+                let width = self.width_of(name)?;
+                let mut v = self.lower_expr(ctx, expr, &mut Vec::new())?;
+                // A bare constant or variable on the RHS is a register
+                // transfer: materialize it as a Copy op (it costs a
+                // control step).
+                if matches!(expr, Expr::Num(_) | Expr::Var(_)) {
+                    let cp = ctx.dfg.add_op(OpKind::Copy, vec![v]);
+                    v = ctx.dfg.result(cp).expect("copy has a result");
+                }
+                ctx.dfg.value_mut(v).width = width;
+                ctx.dfg.value_mut(v).name = name.clone();
+                ctx.env.insert(name.clone(), v);
+                if !ctx.written.contains(name) {
+                    ctx.written.push(name.clone());
+                }
+            }
+            Stmt::ArrayAssign { name, index, expr } => {
+                self.check_array(name)?;
+                let addr = self.lower_expr(ctx, index, &mut Vec::new())?;
+                let data = self.lower_expr(ctx, expr, &mut Vec::new())?;
+                let token = self.read_token(ctx, name);
+                let st = ctx.dfg.add_op(OpKind::Store, vec![addr, data, token]);
+                ctx.dfg.op_mut(st).memory = Some(name.clone());
+                let new_token = ctx.dfg.result(st).expect("store yields a token");
+                self.write_token(ctx, name, new_token);
+            }
+            other => unreachable!("straight-line statements only: {other:?}"),
+        }
+        Ok(())
+    }
+
+    /// Emits one statement as its own sync block: the blocking channel or
+    /// mutex rendezvous happens at the block boundary; the block body is
+    /// ordinary data flow over the reserved port variables.
+    fn emit_sync_block(
+        &mut self,
+        stmt: &Stmt,
+        hint: &str,
+        sync: SyncOp,
+        pieces: &mut Vec<Region>,
+    ) -> Result<(), ParseError> {
+        let mut ctx = BlockCtx::new();
+        self.lower_straight(&mut ctx, stmt)?;
+        for w in &ctx.written {
+            ctx.dfg.set_output(w, ctx.env[w]);
+        }
+        let name = self.fresh_block(hint);
+        let id = self.cdfg.add_sync_block(&name, ctx.dfg, sync);
+        pieces.push(Region::Block(id));
+        Ok(())
+    }
+
+    /// Lowers an assignment touching a shared variable into an atomic
+    /// mutex-guarded sync block: reads of the shared variable become reads
+    /// of its load port, a write targets its store port.
+    fn emit_shared_sync(
+        &mut self,
+        name: &str,
+        expr: &Expr,
+        pieces: &mut Vec<Region>,
+    ) -> Result<(), ParseError> {
+        let reads = self.shared_vars_in(expr);
+        let writes = self.is_shared(name);
+        let mut involved = reads.clone();
+        if writes && !involved.iter().any(|v| v == name) {
+            involved.push(name.to_string());
+        }
+        if involved.len() > 1 {
+            return Err(ParseError::without_pos(format!(
+                "statement touches shared variables `{}` and `{}`; only one shared variable \
+                 per statement can be held under the mutex",
+                involved[0], involved[1]
+            )));
+        }
+        let svar = involved.first().expect("at least one shared var").clone();
+        let desugared = Stmt::Assign {
+            name: if writes {
+                shared_st_port(name)
+            } else {
+                name.to_string()
+            },
+            expr: subst_shared_reads(expr, self.shareds),
+        };
+        self.emit_sync_block(
+            &desugared,
+            &format!("mutex_{svar}_"),
+            SyncOp::Shared {
+                var: svar,
+                read: !reads.is_empty(),
+                write: writes,
+            },
+            pieces,
+        )
+    }
+
     /// Lowers a statement list (plus an optional trailing condition
     /// expression bound to `tail`'s variable name) into a region.
     fn lower_stmts(
@@ -185,6 +782,12 @@ impl<'a> Lowerer<'a> {
         for s in stmts {
             match s {
                 Stmt::Assign { name, expr } => {
+                    if self.is_shared(name) || !self.shared_vars_in(expr).is_empty() {
+                        self.flush_run(&mut run, &mut pieces, None)?;
+                        self.emit_shared_sync(name, expr, &mut pieces)?;
+                        known.remove(name);
+                        continue;
+                    }
                     match expr.as_num() {
                         Some(c) => {
                             known.insert(name.clone(), c);
@@ -195,10 +798,49 @@ impl<'a> Lowerer<'a> {
                     }
                     run.push(s);
                 }
-                Stmt::ArrayAssign { .. } => {
+                Stmt::Send { chan, expr } => {
+                    self.check_chan(chan)?;
+                    self.check_no_shared(expr, "a `send` value")?;
+                    self.flush_run(&mut run, &mut pieces, None)?;
+                    let desugared = Stmt::Assign {
+                        name: chan_tx_port(chan),
+                        expr: expr.clone(),
+                    };
+                    self.emit_sync_block(
+                        &desugared,
+                        &format!("send_{chan}_"),
+                        SyncOp::Send { chan: chan.clone() },
+                        &mut pieces,
+                    )?;
+                }
+                Stmt::Recv { chan, name } => {
+                    self.check_chan(chan)?;
+                    if self.is_shared(name) {
+                        return Err(ParseError::without_pos(format!(
+                            "cannot `recv` into shared variable `{name}`; receive into a local \
+                             and assign it"
+                        )));
+                    }
+                    self.flush_run(&mut run, &mut pieces, None)?;
+                    let desugared = Stmt::Assign {
+                        name: name.clone(),
+                        expr: Expr::Var(chan_rx_port(chan)),
+                    };
+                    self.emit_sync_block(
+                        &desugared,
+                        &format!("recv_{chan}_"),
+                        SyncOp::Recv { chan: chan.clone() },
+                        &mut pieces,
+                    )?;
+                    known.remove(name);
+                }
+                Stmt::ArrayAssign { index, expr, .. } => {
+                    self.check_no_shared(index, "an array index")?;
+                    self.check_no_shared(expr, "an array store")?;
                     run.push(s);
                 }
                 Stmt::DoUntil { body, cond } => {
+                    self.check_no_shared(cond, "a loop condition")?;
                     self.flush_run(&mut run, &mut pieces, None)?;
                     let exit = self.fresh_exit();
                     let trip = infer_do_until_trip(body, cond, &known);
@@ -213,6 +855,7 @@ impl<'a> Lowerer<'a> {
                     invalidate_written(body, &mut known);
                 }
                 Stmt::While { cond, body } => {
+                    self.check_no_shared(cond, "a loop condition")?;
                     self.flush_run(&mut run, &mut pieces, None)?;
                     let exit = self.fresh_exit();
                     let mut cb = BlockCtx::new();
@@ -236,6 +879,16 @@ impl<'a> Lowerer<'a> {
                     then_body,
                     else_body,
                 } => {
+                    self.check_no_shared(cond, "an `if` condition")?;
+                    if contains_chan_op(then_body) || contains_chan_op(else_body) {
+                        // Conditional communication would make the rendezvous
+                        // order data-dependent; the interconnect and the
+                        // deterministic (Kahn-style) semantics require
+                        // unconditional channel programs.
+                        return Err(ParseError::without_pos(
+                            "`send`/`recv` are not allowed inside `if` branches",
+                        ));
+                    }
                     self.flush_run(&mut run, &mut pieces, None)?;
                     let cv = self.fresh_exit();
                     let mut cb = BlockCtx::new();
@@ -280,36 +933,7 @@ impl<'a> Lowerer<'a> {
         }
         let mut ctx = BlockCtx::new();
         for s in run.drain(..) {
-            match s {
-                Stmt::Assign { name, expr } => {
-                    let width = self.width_of(name)?;
-                    let mut v = self.lower_expr(&mut ctx, expr, &mut Vec::new())?;
-                    // A bare constant or variable on the RHS is a register
-                    // transfer: materialize it as a Copy op (it costs a
-                    // control step).
-                    if matches!(expr, Expr::Num(_) | Expr::Var(_)) {
-                        let cp = ctx.dfg.add_op(OpKind::Copy, vec![v]);
-                        v = ctx.dfg.result(cp).expect("copy has a result");
-                    }
-                    ctx.dfg.value_mut(v).width = width;
-                    ctx.dfg.value_mut(v).name = name.clone();
-                    ctx.env.insert(name.clone(), v);
-                    if !ctx.written.contains(name) {
-                        ctx.written.push(name.clone());
-                    }
-                }
-                Stmt::ArrayAssign { name, index, expr } => {
-                    self.check_array(name)?;
-                    let addr = self.lower_expr(&mut ctx, index, &mut Vec::new())?;
-                    let data = self.lower_expr(&mut ctx, expr, &mut Vec::new())?;
-                    let token = self.read_token(&mut ctx, name);
-                    let st = ctx.dfg.add_op(OpKind::Store, vec![addr, data, token]);
-                    ctx.dfg.op_mut(st).memory = Some(name.clone());
-                    let new_token = ctx.dfg.result(st).expect("store yields a token");
-                    self.write_token(&mut ctx, name, new_token);
-                }
-                other => unreachable!("run holds straight-line statements: {other:?}"),
-            }
+            self.lower_straight(&mut ctx, s)?;
         }
         if let Some((exit_name, cond)) = tail {
             let v = self.lower_expr(&mut ctx, cond, &mut Vec::new())?;
@@ -454,14 +1078,78 @@ fn bin_kind(op: BinOp) -> OpKind {
     }
 }
 
+/// Collects every variable name read by `expr` (array names and called
+/// function names excluded; function-body free variables are handled by
+/// [`function_free_vars`] at the system level).
+fn expr_vars(expr: &Expr, out: &mut Vec<String>) {
+    match expr {
+        Expr::Num(_) => {}
+        Expr::Var(v) => out.push(v.clone()),
+        Expr::Unary(_, e) => expr_vars(e, out),
+        Expr::Binary(_, l, r) => {
+            expr_vars(l, out);
+            expr_vars(r, out);
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                expr_vars(a, out);
+            }
+        }
+        Expr::Index(_, idx) => expr_vars(idx, out),
+    }
+}
+
+/// Rewrites reads of shared variables into reads of their load ports.
+fn subst_shared_reads(expr: &Expr, shareds: &[(String, Type)]) -> Expr {
+    match expr {
+        Expr::Num(n) => Expr::Num(*n),
+        Expr::Var(v) => {
+            if shareds.iter().any(|(n, _)| n == v) {
+                Expr::Var(shared_ld_port(v))
+            } else {
+                Expr::Var(v.clone())
+            }
+        }
+        Expr::Unary(op, e) => Expr::Unary(*op, Box::new(subst_shared_reads(e, shareds))),
+        Expr::Binary(op, l, r) => Expr::Binary(
+            *op,
+            Box::new(subst_shared_reads(l, shareds)),
+            Box::new(subst_shared_reads(r, shareds)),
+        ),
+        Expr::Call(name, args) => Expr::Call(
+            name.clone(),
+            args.iter()
+                .map(|a| subst_shared_reads(a, shareds))
+                .collect(),
+        ),
+        Expr::Index(name, idx) => {
+            Expr::Index(name.clone(), Box::new(subst_shared_reads(idx, shareds)))
+        }
+    }
+}
+
+/// `true` when any statement (recursively) is a `send` or `recv`.
+fn contains_chan_op(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::Send { .. } | Stmt::Recv { .. } => true,
+        Stmt::Assign { .. } | Stmt::ArrayAssign { .. } => false,
+        Stmt::DoUntil { body, .. } | Stmt::While { body, .. } => contains_chan_op(body),
+        Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } => contains_chan_op(then_body) || contains_chan_op(else_body),
+    })
+}
+
 /// Drops constant knowledge for every variable written in `stmts`.
 fn invalidate_written(stmts: &[Stmt], known: &mut HashMap<String, Fx>) {
     for s in stmts {
         match s {
-            Stmt::Assign { name, .. } => {
+            Stmt::Assign { name, .. } | Stmt::Recv { name, .. } => {
                 known.remove(name);
             }
-            Stmt::ArrayAssign { .. } => {}
+            Stmt::ArrayAssign { .. } | Stmt::Send { .. } => {}
             Stmt::DoUntil { body, .. } | Stmt::While { body, .. } => {
                 invalidate_written(body, known);
             }
@@ -565,8 +1253,8 @@ fn induction_step(body: &[Stmt], iv: &str) -> Option<Fx> {
 
 fn stmt_writes(s: &Stmt, var: &str) -> bool {
     match s {
-        Stmt::Assign { name, .. } => name == var,
-        Stmt::ArrayAssign { .. } => false,
+        Stmt::Assign { name, .. } | Stmt::Recv { name, .. } => name == var,
+        Stmt::ArrayAssign { .. } | Stmt::Send { .. } => false,
         Stmt::DoUntil { body, .. } | Stmt::While { body, .. } => {
             body.iter().any(|s| stmt_writes(s, var))
         }
@@ -834,6 +1522,130 @@ mod tests {
         assert!(i.else_region.is_some());
         let cb = &cdfg.block(i.cond_block).dfg;
         assert!(cb.outputs().iter().any(|(n, _)| n == &i.cond_var));
+    }
+
+    const PIPE: &str = "
+        system pipe;
+        input X;
+        output Y;
+        chan c : fix;
+        process prod;
+        var i : int<4>;
+        begin
+          i := 0;
+          do
+            send c, X + i;
+            i := i + 1;
+          until i > 2;
+        end;
+        process cons;
+        var v, acc, j : int<4>;
+        begin
+          acc := 0;
+          j := 0;
+          do
+            recv c, v;
+            acc := acc + v;
+            j := j + 1;
+          until j > 2;
+          Y := acc;
+        end;
+        end.
+    ";
+
+    #[test]
+    fn system_lowering_builds_sync_blocks_and_endpoints() {
+        let sys = compile_system(PIPE).unwrap();
+        assert_eq!(sys.processes.len(), 2);
+        let c = sys.channel("c").unwrap();
+        assert_eq!((c.sender, c.receiver), (Some(0), Some(1)));
+        assert_eq!(c.width, 32);
+        // prod: one Send sync block writing the tx port.
+        let prod = &sys.processes[0].cdfg;
+        let send_blocks: Vec<_> = prod
+            .block_order()
+            .into_iter()
+            .filter(|&b| matches!(prod.block(b).sync, Some(SyncOp::Send { .. })))
+            .collect();
+        assert_eq!(send_blocks.len(), 1);
+        let sb = prod.block(send_blocks[0]);
+        assert!(sb.dfg.outputs().iter().any(|(n, _)| n == "c__tx"));
+        // cons: one Recv sync block reading the rx port.
+        let cons = &sys.processes[1].cdfg;
+        assert!(cons.inputs().iter().any(|(n, _)| n == "c__rx"));
+        assert_eq!(sys.outputs, vec![("Y".to_string(), 1)]);
+    }
+
+    #[test]
+    fn shared_assignment_becomes_atomic_mutex_block() {
+        let sys = compile_system(
+            "system s; output Y; shared acc;
+             process a; begin acc := acc + 1; end;
+             process b; var t; begin t := acc; Y := t; end;
+             end.",
+        )
+        .unwrap();
+        let a = &sys.processes[0].cdfg;
+        let blocks = a.block_order();
+        assert_eq!(blocks.len(), 1);
+        let blk = a.block(blocks[0]);
+        assert_eq!(
+            blk.sync,
+            Some(SyncOp::Shared {
+                var: "acc".into(),
+                read: true,
+                write: true
+            })
+        );
+        // Reads come from the load port, the write goes to the store port.
+        assert!(a.inputs().iter().any(|(n, _)| n == "acc__ld"));
+        assert!(blk.dfg.outputs().iter().any(|(n, _)| n == "acc__st"));
+    }
+
+    #[test]
+    fn system_semantic_errors() {
+        let two_senders = "system s; output Y; chan c;
+             process a; begin send c, 1; end;
+             process b; begin send c, 2; end;
+             process d; var v; begin recv c, v; Y := v; end;
+             end.";
+        assert!(compile_system(two_senders)
+            .unwrap_err()
+            .to_string()
+            .contains("two senders"));
+
+        let cond_send = "system s; output Y; input X; chan c;
+             process a; begin if X > 0 then send c, 1; end; end;
+             process b; var v; begin recv c, v; Y := v; end;
+             end.";
+        assert!(compile_system(cond_send)
+            .unwrap_err()
+            .to_string()
+            .contains("not allowed inside `if`"));
+
+        let shared_in_cond = "system s; output Y; shared g;
+             process a; begin g := 1; while g < 4 do g := g + 1; end; Y := 0; end;
+             end.";
+        assert!(compile_system(shared_in_cond)
+            .unwrap_err()
+            .to_string()
+            .contains("cannot appear in"));
+
+        let unowned_output = "system s; output Y;
+             process a; var t; begin t := 1; end;
+             end.";
+        assert!(compile_system(unowned_output)
+            .unwrap_err()
+            .to_string()
+            .contains("not written by any process"));
+
+        let reserved = "system s; output Y;
+             process a; var x__y; begin x__y := 1; Y := x__y; end;
+             end.";
+        assert!(compile_system(reserved)
+            .unwrap_err()
+            .to_string()
+            .contains("reserved"));
     }
 
     #[test]

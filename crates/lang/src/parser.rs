@@ -4,6 +4,10 @@
 //!
 //! ```text
 //! program   = "program" IDENT ";" { decl } "begin" stmts "end" [ "." ]
+//! system    = "system" IDENT ";" { sysdecl } { process } "end" [ "." ]
+//! sysdecl   = decl
+//!           | ("chan"|"shared") IDENT {"," IDENT} [":" type] ";"
+//! process   = "process" IDENT ";" { decl } "begin" stmts "end" [";"]
 //! decl      = ("input"|"output"|"var") IDENT {"," IDENT} [":" type] ";"
 //!           | "function" IDENT "(" [IDENT {"," IDENT}] ")" "=" expr ";"
 //! type      = "fix" | "bit" | "int" [ "<" NUM ">" ]
@@ -12,6 +16,8 @@
 //!           | "do" stmts "until" expr ";"
 //!           | "while" expr "do" stmts "end" [";"]
 //!           | "if" expr "then" stmts ["else" stmts] "end" [";"]
+//!           | "send" IDENT "," expr ";"          (processes only)
+//!           | "recv" IDENT "," IDENT ";"         (processes only)
 //! expr      = orex  [ ("="|"/="|"<"|"<="|">"|">=") orex ]
 //! orex      = andex { ("|"|"^") andex }
 //! andex     = shift { "&" shift }
@@ -23,7 +29,7 @@
 //!           | "(" expr ")"
 //! ```
 
-use crate::ast::{BinOp, Expr, FuncDecl, Program, Stmt, Type, UnOp};
+use crate::ast::{BinOp, Expr, FuncDecl, ProcessDecl, Program, Stmt, SystemDecl, Type, UnOp};
 use crate::error::ParseError;
 use crate::lexer::{tokenize, Pos, Token};
 
@@ -44,12 +50,41 @@ use crate::lexer::{tokenize, Pos, Token};
 /// ```
 pub fn parse(src: &str) -> Result<Program, ParseError> {
     let tokens = tokenize(src)?;
-    Parser { tokens, at: 0 }.program()
+    Parser {
+        tokens,
+        at: 0,
+        in_process: false,
+    }
+    .program()
+}
+
+/// Parses a BSL system (`system ... process ... end.`) into a
+/// [`SystemDecl`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the source position of the first problem.
+pub fn parse_system(src: &str) -> Result<SystemDecl, ParseError> {
+    let tokens = tokenize(src)?;
+    Parser {
+        tokens,
+        at: 0,
+        in_process: false,
+    }
+    .system()
+}
+
+/// `true` when the source's first keyword is `system` (a concurrent
+/// multi-process source rather than a single `program`).
+pub fn is_system_source(src: &str) -> bool {
+    matches!(tokenize(src).as_deref(), Ok([(Token::System, _), ..]))
 }
 
 struct Parser {
     tokens: Vec<(Token, Pos)>,
     at: usize,
+    /// Inside a `process` body: `send`/`recv` statements are legal.
+    in_process: bool,
 }
 
 impl Parser {
@@ -167,6 +202,126 @@ impl Parser {
         Ok(prog)
     }
 
+    fn system(&mut self) -> Result<SystemDecl, ParseError> {
+        self.eat(&Token::System)?;
+        let name = self.ident()?;
+        self.eat(&Token::Semi)?;
+        let mut sys = SystemDecl {
+            name,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            chans: Vec::new(),
+            shareds: Vec::new(),
+            functions: Vec::new(),
+            processes: Vec::new(),
+        };
+        loop {
+            match self.peek() {
+                Token::Input => {
+                    self.bump();
+                    let ds = self.decl_list()?;
+                    sys.inputs.extend(ds);
+                }
+                Token::Output => {
+                    self.bump();
+                    let ds = self.decl_list()?;
+                    sys.outputs.extend(ds);
+                }
+                Token::Chan => {
+                    self.bump();
+                    let ds = self.decl_list()?;
+                    sys.chans.extend(ds);
+                }
+                Token::Shared => {
+                    self.bump();
+                    let ds = self.decl_list()?;
+                    sys.shareds.extend(ds);
+                }
+                Token::Function => {
+                    self.bump();
+                    sys.functions.push(self.func_decl()?);
+                }
+                _ => break,
+            }
+        }
+        while self.peek() == &Token::Process {
+            sys.processes.push(self.process()?);
+        }
+        if sys.processes.is_empty() {
+            return Err(ParseError::new(
+                "a system needs at least one `process`",
+                self.pos(),
+            ));
+        }
+        self.eat(&Token::End)?;
+        if self.peek() == &Token::Dot {
+            self.bump();
+        }
+        if self.peek() != &Token::Eof {
+            return Err(ParseError::new(
+                format!("unexpected {} after `end`", self.peek()),
+                self.pos(),
+            ));
+        }
+        Ok(sys)
+    }
+
+    fn process(&mut self) -> Result<ProcessDecl, ParseError> {
+        self.eat(&Token::Process)?;
+        let name = self.ident()?;
+        self.eat(&Token::Semi)?;
+        let mut p = ProcessDecl {
+            name,
+            vars: Vec::new(),
+            arrays: Vec::new(),
+            body: Vec::new(),
+        };
+        loop {
+            match self.peek() {
+                Token::Var => {
+                    self.bump();
+                    let ds = self.decl_list()?;
+                    p.vars.extend(ds);
+                }
+                Token::Array => {
+                    self.bump();
+                    loop {
+                        let name = self.ident()?;
+                        self.eat(&Token::LBracket)?;
+                        let size = match self.bump() {
+                            Token::Num(n) if n.is_integer() && n.to_i64() >= 1 => n.to_i64() as u32,
+                            _ => {
+                                return Err(ParseError::new(
+                                    "array size must be a positive integer",
+                                    self.pos(),
+                                ))
+                            }
+                        };
+                        self.eat(&Token::RBracket)?;
+                        p.arrays.push((name, size));
+                        if self.peek() == &Token::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.eat(&Token::Semi)?;
+                }
+                _ => break,
+            }
+        }
+        self.eat(&Token::Begin)?;
+        self.in_process = true;
+        let body = self.stmts();
+        self.in_process = false;
+        p.body = body?;
+        self.eat(&Token::End)?;
+        if self.peek() == &Token::Semi {
+            self.bump();
+        }
+        Ok(p)
+    }
+
     fn decl_list(&mut self) -> Result<Vec<(String, Type)>, ParseError> {
         let mut names = vec![self.ident()?];
         while self.peek() == &Token::Comma {
@@ -252,6 +407,34 @@ impl Parser {
                         self.eat(&Token::Semi)?;
                         out.push(Stmt::Assign { name, expr });
                     }
+                }
+                Token::Send => {
+                    if !self.in_process {
+                        return Err(ParseError::new(
+                            "`send` is only allowed inside a process",
+                            self.pos(),
+                        ));
+                    }
+                    self.bump();
+                    let chan = self.ident()?;
+                    self.eat(&Token::Comma)?;
+                    let expr = self.expr()?;
+                    self.eat(&Token::Semi)?;
+                    out.push(Stmt::Send { chan, expr });
+                }
+                Token::Recv => {
+                    if !self.in_process {
+                        return Err(ParseError::new(
+                            "`recv` is only allowed inside a process",
+                            self.pos(),
+                        ));
+                    }
+                    self.bump();
+                    let chan = self.ident()?;
+                    self.eat(&Token::Comma)?;
+                    let name = self.ident()?;
+                    self.eat(&Token::Semi)?;
+                    out.push(Stmt::Recv { chan, name });
                 }
                 Token::Do => {
                     self.bump();

@@ -6,7 +6,7 @@
 
 use std::fmt::Write as _;
 
-use crate::ast::{BinOp, Expr, Program, Stmt, Type, UnOp};
+use crate::ast::{BinOp, Expr, Program, Stmt, SystemDecl, Type, UnOp};
 
 /// Renders a program as canonical BSL source.
 pub fn to_source(prog: &Program) -> String {
@@ -85,8 +85,51 @@ fn stmts(s: &mut String, body: &[Stmt], level: usize) {
                 indent(s, level);
                 let _ = writeln!(s, "end;");
             }
+            Stmt::Send { chan, expr: e } => {
+                let _ = writeln!(s, "send {chan}, {};", expr(e));
+            }
+            Stmt::Recv { chan, name } => {
+                let _ = writeln!(s, "recv {chan}, {name};");
+            }
         }
     }
+}
+
+/// Renders a system as canonical BSL source (round-trips through
+/// [`crate::parse_system`]).
+pub fn system_to_source(sys: &SystemDecl) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "system {};", sys.name);
+    let decl = |s: &mut String, kw: &str, items: &[(String, Type)]| {
+        for (name, ty) in items {
+            let _ = writeln!(s, "{kw} {name} : {ty};");
+        }
+    };
+    decl(&mut s, "input", &sys.inputs);
+    decl(&mut s, "output", &sys.outputs);
+    decl(&mut s, "chan", &sys.chans);
+    decl(&mut s, "shared", &sys.shareds);
+    for f in &sys.functions {
+        let _ = writeln!(
+            s,
+            "function {}({}) = {};",
+            f.name,
+            f.params.join(", "),
+            expr(&f.body)
+        );
+    }
+    for p in &sys.processes {
+        let _ = writeln!(s, "process {};", p.name);
+        decl(&mut s, "var", &p.vars);
+        for (name, size) in &p.arrays {
+            let _ = writeln!(s, "array {name}[{size}];");
+        }
+        let _ = writeln!(s, "begin");
+        stmts(&mut s, &p.body, 1);
+        let _ = writeln!(s, "end;");
+    }
+    let _ = writeln!(s, "end.");
+    s
 }
 
 /// Renders an expression, fully parenthesized (canonical and unambiguous).

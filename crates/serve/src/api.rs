@@ -7,9 +7,11 @@
 //! into it — which is what lets the response cache serve byte-identical
 //! bodies and the load generator assert on digests.
 
+use hls_cdfg::SystemCdfg;
 use hls_core::{
     cdfg_fingerprint, pareto_front, CancelToken, ControlReport, ControlStyle, DesignPoint,
-    Explorer, GridSpec, SynthesisError, SynthesisResult, Synthesizer,
+    Explorer, GridSpec, ProcessSynthesis, SynthesisError, SynthesisResult, Synthesizer,
+    SystemSynthesisResult,
 };
 use hls_ctrl::EncodingStyle;
 use hls_sched::{Algorithm, Priority};
@@ -398,6 +400,90 @@ pub fn synthesize_response(
     Json::Obj(members)
 }
 
+/// Combined behavior fingerprint for a multi-process system: folds the
+/// channel and shared-variable declarations with every process's CDFG
+/// fingerprint, so a semantic change anywhere in the system changes the
+/// cache key.
+pub fn system_fingerprint(sys: &SystemCdfg) -> u64 {
+    let mut w = hls_testkit::FnvWriter::new();
+    w.update(sys.name.as_bytes());
+    for c in &sys.channels {
+        w.update(c.name.as_bytes());
+    }
+    for s in &sys.shared {
+        w.update(s.name.as_bytes());
+    }
+    for p in &sys.processes {
+        w.update(p.name.as_bytes());
+        w.update(&cdfg_fingerprint(&p.cdfg).to_le_bytes());
+    }
+    w.finish()
+}
+
+/// Builds the deterministic response body for one system-synthesis
+/// result: per-process metrics in declaration order, the interconnect
+/// inventory, and (on request) the elaborated top-level Verilog.
+pub fn system_response(
+    req: &SynthesizeRequest,
+    behavior_fp: u64,
+    result: &SystemSynthesisResult,
+) -> Json {
+    let process_json = |p: &ProcessSynthesis| {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(p.name.clone())),
+            ("latency".into(), Json::Num(p.result.latency as f64)),
+            ("fus".into(), Json::Num(p.result.datapath.fu_count() as f64)),
+            (
+                "registers".into(),
+                Json::Num(p.result.datapath.reg_count() as f64),
+            ),
+            (
+                "mux_inputs".into(),
+                Json::Num(p.result.datapath.mux_inputs as f64),
+            ),
+            ("area".into(), Json::Num(p.result.area.total())),
+            ("fsm_states".into(), Json::Num(p.result.fsm.len() as f64)),
+        ])
+    };
+    let names = |it: &[String]| Json::Arr(it.iter().map(|n| Json::Str(n.clone())).collect());
+    let channels: Vec<String> = result
+        .system
+        .channels
+        .iter()
+        .map(|c| c.name.clone())
+        .collect();
+    let shared: Vec<String> = result
+        .system
+        .shared
+        .iter()
+        .map(|s| s.name.clone())
+        .collect();
+    let mut members = vec![
+        ("system".into(), Json::Str(result.system.name.clone())),
+        (
+            "processes".into(),
+            Json::Arr(result.processes.iter().map(process_json).collect()),
+        ),
+        ("channels".into(), names(&channels)),
+        ("shared".into(), names(&shared)),
+        (
+            "area".into(),
+            Json::Num(result.processes.iter().map(|p| p.result.area.total()).sum()),
+        ),
+        (
+            "fingerprints".into(),
+            Json::Obj(vec![
+                ("cdfg".into(), hex_fp(behavior_fp)),
+                ("config".into(), hex_fp(req.synthesizer.fingerprint())),
+            ]),
+        ),
+    ];
+    if req.verilog {
+        members.push(("verilog".into(), Json::Str(result.to_verilog())));
+    }
+    Json::Obj(members)
+}
+
 /// Builds the deterministic response body for one exploration sweep.
 pub fn explore_response(points: &[DesignPoint], behavior_fp: u64, config_fp: u64) -> Json {
     let point_json = |p: &DesignPoint| {
@@ -573,5 +659,31 @@ mod tests {
         let b1 = synthesize_response(&req, fp1, &r1).render();
         let b2 = synthesize_response(&req, fp2, &r2).render();
         assert_eq!(b1, b2, "identical requests must render identical bytes");
+    }
+
+    #[test]
+    fn system_responses_are_deterministic() {
+        let body = parse(
+            format!(
+                r#"{{"source":{:?},"verilog":true}}"#,
+                hls_workloads::sources::PIPE3
+            )
+            .as_str(),
+        )
+        .unwrap();
+        let req = SynthesizeRequest::from_json(&body).unwrap();
+        let render = || {
+            let sys = hls_lang::compile_system(&req.source).unwrap();
+            let fp = system_fingerprint(&sys);
+            let result = req.synthesizer.synthesize_system(sys).unwrap();
+            system_response(&req, fp, &result).render()
+        };
+        let b1 = render();
+        let b2 = render();
+        assert_eq!(b1, b2, "identical requests must render identical bytes");
+        assert!(b1.contains(r#""system":"pipe3""#), "{b1}");
+        assert_eq!(b1.matches(r#""fsm_states""#).count(), 3, "{b1}");
+        assert!(b1.contains(r#""channels":["c1","c2"]"#), "{b1}");
+        assert!(b1.contains("module pipe3"), "{b1}");
     }
 }

@@ -444,6 +444,9 @@ fn synthesize(req: &Request, ctx: &Ctx) -> Response {
     if ctx.config.allow_test_delay && parsed.test_panic {
         panic!("test-injected panic in synthesize stage");
     }
+    if hls_lang::is_system_source(&parsed.source) {
+        return synthesize_system(&parsed, ctx);
+    }
     let cdfg = match hls_lang::compile(&parsed.source) {
         Ok(c) => c,
         Err(e) => return error_response(422, &format!("parse: {e}")),
@@ -478,6 +481,49 @@ fn synthesize(req: &Request, ctx: &Ctx) -> Response {
     Response::json(200, rendered.as_ref().clone()).with_header("X-HLS-Cache", "miss".into())
 }
 
+/// `POST /synthesize` for a multi-process `system` source: every
+/// process runs the full per-behavior pipeline and the response carries
+/// per-process metrics plus (on request) the elaborated top-level
+/// Verilog with the handshake interconnect. System synthesis has no
+/// between-stage cancel points yet, so the deadline is not enforced
+/// mid-flight here.
+fn synthesize_system(parsed: &api::SynthesizeRequest, ctx: &Ctx) -> Response {
+    let sys = match hls_lang::compile_system(&parsed.source) {
+        Ok(s) => s,
+        Err(e) => return error_response(422, &format!("parse: {e}")),
+    };
+    let behavior_fp = api::system_fingerprint(&sys);
+    let key = response_key(
+        "synthesize-system",
+        behavior_fp,
+        parsed.synthesizer.fingerprint(),
+        u64::from(parsed.verilog),
+    );
+    if ctx.config.cache_capacity > 0 {
+        if let Some(cached) = ctx.cache.get(key) {
+            ctx.metrics.cache_hit();
+            return Response::json(200, cached.as_ref().clone())
+                .with_header("X-HLS-Cache", "hit".into());
+        }
+        ctx.metrics.cache_miss();
+    }
+    let result = match parsed.synthesizer.synthesize_system(sys) {
+        Ok(r) => r,
+        Err(e) => return synthesis_error_response(&e, ctx),
+    };
+    for p in &result.processes {
+        ctx.metrics.observe_stages(p.result.stage_nanos);
+    }
+    let rendered = api::system_response(parsed, behavior_fp, &result)
+        .render()
+        .into_bytes();
+    let rendered = Arc::new(rendered);
+    if ctx.config.cache_capacity > 0 {
+        ctx.cache.insert(key, Arc::clone(&rendered));
+    }
+    Response::json(200, rendered.as_ref().clone()).with_header("X-HLS-Cache", "miss".into())
+}
+
 /// `POST /explore`.
 fn explore(req: &Request, ctx: &Ctx) -> Response {
     let body = match std::str::from_utf8(&req.body)
@@ -492,6 +538,9 @@ fn explore(req: &Request, ctx: &Ctx) -> Response {
         Err(e) => return error_response(422, &e.0),
     };
     let cancel = deadline_token(ctx, parsed.deadline_ms);
+    if hls_lang::is_system_source(&parsed.source) {
+        return error_response(422, "explore does not accept system sources");
+    }
     let cdfg = match hls_lang::compile(&parsed.source) {
         Ok(c) => c,
         Err(e) => return error_response(422, &format!("parse: {e}")),

@@ -433,3 +433,50 @@ fn error_paths_have_correct_statuses() {
     }
     server.stop();
 }
+
+#[test]
+fn system_source_synthesizes_processes_and_interconnect() {
+    let server = TestServer::start(ServerConfig {
+        threads: 2,
+        ..ServerConfig::default()
+    });
+    let body = format!(
+        r#"{{"source":{:?},"verilog":true}}"#,
+        hls_workloads::sources::PIPE3
+    );
+
+    let first = post(server.addr, "/synthesize", &body);
+    assert_eq!(first.status, 200, "body: {}", first.body);
+    assert_eq!(
+        first.headers.get("x-hls-cache").map(String::as_str),
+        Some("miss")
+    );
+    assert!(first.body.contains(r#""system":"pipe3""#), "{}", first.body);
+    // One metrics block per process, plus the elaborated top module and
+    // its rendezvous interconnect in the returned Verilog.
+    assert_eq!(first.body.matches(r#""fsm_states""#).count(), 3);
+    assert!(first.body.contains("module pipe3"), "{}", first.body);
+    assert!(first.body.contains("hs_channel"), "{}", first.body);
+
+    let second = post(server.addr, "/synthesize", &body);
+    assert_eq!(second.status, 200);
+    assert_eq!(
+        second.headers.get("x-hls-cache").map(String::as_str),
+        Some("hit")
+    );
+    assert_eq!(
+        first.body, second.body,
+        "cached body must be byte-identical"
+    );
+
+    let explore = post(
+        server.addr,
+        "/explore",
+        &format!(
+            r#"{{"source":{:?},"grid":{{}}}}"#,
+            hls_workloads::sources::PIPE3
+        ),
+    );
+    assert_eq!(explore.status, 422, "{}", explore.body);
+    server.stop();
+}

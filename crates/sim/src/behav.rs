@@ -191,7 +191,7 @@ fn run_region(
     }
 }
 
-fn run_block(
+pub(crate) fn run_block(
     dfg: &DataFlowGraph,
     env: &mut HashMap<String, Fx>,
     memories: &mut HashMap<String, HashMap<i64, Fx>>,

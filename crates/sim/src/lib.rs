@@ -17,11 +17,15 @@
 mod behav;
 mod equiv;
 mod rtl;
+mod system;
 mod vcd;
 
 pub use behav::{apply_width, eval_op, interpret, BehavResult, MAX_ITERATIONS};
 pub use equiv::{check_random_vectors, check_vector, Equivalence};
 pub use rtl::{simulate, RtlResult};
+pub use system::{
+    interpret_system, simulate_system, ProcessRtl, SystemBehavResult, SystemRtlResult,
+};
 pub use vcd::to_vcd;
 
 use std::error::Error;
@@ -60,6 +64,13 @@ pub enum SimError {
         /// The underlying problem.
         detail: String,
     },
+    /// Every unfinished process is blocked on a channel rendezvous that
+    /// can never be granted (the system-simulation analogue of a hang,
+    /// reported structurally instead).
+    Deadlock {
+        /// `(process, operation)` pairs, e.g. `("prod", "send c")`.
+        blocked: Vec<(String, String)>,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -72,6 +83,16 @@ impl fmt::Display for SimError {
             SimError::UnsupportedOp { op } => write!(f, "operator `{op}` not simulatable here"),
             SimError::UnboundValue { detail } => f.write_str(detail),
             SimError::BadGraph { detail } => f.write_str(detail),
+            SimError::Deadlock { blocked } => {
+                write!(f, "deadlock: ")?;
+                for (i, (p, op)) in blocked.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "`{p}` blocked on {op}")?;
+                }
+                Ok(())
+            }
         }
     }
 }

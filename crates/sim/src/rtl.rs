@@ -42,40 +42,18 @@ pub fn simulate(
     inputs: &BTreeMap<String, Fx>,
     record_trace: bool,
 ) -> Result<RtlResult, SimError> {
-    let mut sim = Sim {
-        cdfg,
-        schedule,
-        datapath,
-        classifier,
-        regs: vec![Fx::ZERO; datapath.regs.len()],
-        memories: HashMap::new(),
-        cycles: 0,
-        trace: Vec::new(),
-        record_trace,
-    };
+    let mut sim = Sim::new(cdfg, schedule, datapath, classifier, record_trace);
     for (name, width) in cdfg.inputs() {
         let v = inputs
             .get(name)
             .copied()
             .ok_or_else(|| SimError::MissingInput { name: name.clone() })?;
-        let r = *datapath
-            .var_reg
-            .get(name)
-            .ok_or_else(|| SimError::UnboundValue {
-                detail: format!("no register for input `{name}`"),
-            })?;
-        sim.regs[r] = apply_width(v, *width);
+        sim.poke_var(name, apply_width(v, *width))?;
     }
     sim.run_region(cdfg.body())?;
     let mut outputs = BTreeMap::new();
     for name in cdfg.outputs() {
-        let r = *datapath
-            .var_reg
-            .get(name)
-            .ok_or_else(|| SimError::UnboundValue {
-                detail: format!("no register for output `{name}`"),
-            })?;
-        outputs.insert(name.clone(), sim.regs[r]);
+        outputs.insert(name.clone(), sim.peek_var(name)?);
     }
     Ok(RtlResult {
         outputs,
@@ -84,19 +62,61 @@ pub fn simulate(
     })
 }
 
-struct Sim<'a> {
+/// The RT-level machine for one synthesized behavior: physical registers,
+/// memories, and a cycle counter over a bound datapath. Also driven
+/// block-by-block by the multi-process system simulator.
+pub(crate) struct Sim<'a> {
     cdfg: &'a Cdfg,
     schedule: &'a CdfgSchedule,
     datapath: &'a Datapath,
+    #[allow(dead_code)]
     classifier: &'a OpClassifier,
     regs: Vec<Fx>,
     memories: HashMap<String, HashMap<i64, Fx>>,
-    cycles: u64,
+    pub(crate) cycles: u64,
     trace: Vec<(u64, Vec<Fx>)>,
     record_trace: bool,
 }
 
-impl Sim<'_> {
+impl<'a> Sim<'a> {
+    pub(crate) fn new(
+        cdfg: &'a Cdfg,
+        schedule: &'a CdfgSchedule,
+        datapath: &'a Datapath,
+        classifier: &'a OpClassifier,
+        record_trace: bool,
+    ) -> Self {
+        Sim {
+            cdfg,
+            schedule,
+            datapath,
+            classifier,
+            regs: vec![Fx::ZERO; datapath.regs.len()],
+            memories: HashMap::new(),
+            cycles: 0,
+            trace: Vec::new(),
+            record_trace,
+        }
+    }
+
+    /// Writes the register allocated to variable `name`.
+    pub(crate) fn poke_var(&mut self, name: &str, v: Fx) -> Result<(), SimError> {
+        let r = *self
+            .datapath
+            .var_reg
+            .get(name)
+            .ok_or_else(|| SimError::UnboundValue {
+                detail: format!("no register for `{name}`"),
+            })?;
+        self.regs[r] = v;
+        Ok(())
+    }
+
+    /// Reads the register allocated to variable `name`.
+    pub(crate) fn peek_var(&self, name: &str) -> Result<Fx, SimError> {
+        self.flag(name)
+    }
+
     fn run_region(&mut self, region: &Region) -> Result<(), SimError> {
         match region {
             Region::Block(b) => self.run_block(*b),
@@ -156,7 +176,7 @@ impl Sim<'_> {
         Ok(self.regs[r])
     }
 
-    fn run_block(&mut self, block: BlockId) -> Result<(), SimError> {
+    pub(crate) fn run_block(&mut self, block: BlockId) -> Result<(), SimError> {
         let dfg = &self.cdfg.block(block).dfg;
         let sched = self
             .schedule
@@ -330,11 +350,6 @@ impl Sim<'_> {
                 }
             }
         }
-    }
-
-    #[allow(dead_code)]
-    fn classifier(&self) -> &OpClassifier {
-        self.classifier
     }
 }
 

@@ -101,6 +101,52 @@ begin
 end.
 ";
 
+/// A three-stage producer → transform → consumer system over two
+/// channels: `prod` streams `X + i`, `xform` doubles each element, and
+/// `cons` accumulates — the canonical multi-process workload (three
+/// FSMDs plus handshake interconnect after synthesis).
+pub const PIPE3: &str = "
+system pipe3;
+input X;
+output Y;
+chan c1 : fix;
+chan c2 : fix;
+process prod;
+var i : int<4>;
+begin
+  i := 0;
+  do
+    send c1, X + i;
+    i := i + 1;
+  until i > 2;
+end;
+process xform;
+var j : int<4>;
+var v;
+begin
+  j := 0;
+  do
+    recv c1, v;
+    send c2, v * 2;
+    j := j + 1;
+  until j > 2;
+end;
+process cons;
+var k : int<4>;
+var v, acc;
+begin
+  acc := 0;
+  k := 0;
+  do
+    recv c2, v;
+    acc := acc + v;
+    k := k + 1;
+  until k > 2;
+  Y := acc;
+end;
+end.
+";
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,6 +163,14 @@ mod tests {
             let cdfg = hls_lang::compile(src).unwrap_or_else(|e| panic!("{name}: {e}"));
             cdfg.validate().unwrap();
         }
+    }
+
+    #[test]
+    fn pipe3_system_compiles_to_three_processes() {
+        let sys = hls_lang::compile_system(PIPE3).unwrap();
+        assert_eq!(sys.processes.len(), 3);
+        assert_eq!(sys.channels.len(), 2);
+        sys.validate().unwrap();
     }
 
     #[test]
