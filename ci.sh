@@ -51,4 +51,7 @@ cargo run --release --offline -q -p hls-fuzz -- --iters 500 --seed 0
 echo "==> fuzz smoke, multi-process systems (100 iterations, fixed seed)"
 cargo run --release --offline -q -p hls-fuzz -- --iters 100 --seed 1 --mode proc
 
+echo "==> fuzz smoke, unrestricted sync patterns + deadlock verdicts (100 iterations)"
+cargo run --release --offline -q -p hls-fuzz -- --iters 100 --seed 2 --mode proc-any
+
 echo "CI OK"

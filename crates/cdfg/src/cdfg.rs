@@ -50,6 +50,21 @@ pub enum SyncOp {
         /// Channel name.
         chan: String,
     },
+    /// Non-blocking send on a buffered channel: the block computes the
+    /// `tx` port and samples the channel's `ok` port into a flag variable.
+    /// The FSM never holds — if the FIFO is full the flag reads 0 and the
+    /// value is dropped. Only valid on channels with depth ≥ 1.
+    TrySend {
+        /// Channel name.
+        chan: String,
+    },
+    /// Non-blocking receive from a buffered channel: the block copies the
+    /// `rx` port (zero when the FIFO is empty) and the `ok` port into a
+    /// flag variable. The FSM never holds. Only valid on depth ≥ 1.
+    TryRecv {
+        /// Channel name.
+        chan: String,
+    },
     /// An atomic access to a mutex-guarded shared variable: the whole
     /// block executes under the variable's mutex (load via the `ld` port,
     /// store via the `st` port).

@@ -27,6 +27,12 @@ pub fn chan_rx_port(chan: &str) -> String {
     format!("{chan}__rx")
 }
 
+/// The success-flag port variable of channel `chan`, written by the
+/// interconnect on `try_send`/`try_recv` (1 = the transfer happened).
+pub fn chan_ok_port(chan: &str) -> String {
+    format!("{chan}__ok")
+}
+
 /// The load (read) port variable of shared variable `var`.
 pub fn shared_ld_port(var: &str) -> String {
     format!("{var}__ld")
@@ -37,13 +43,20 @@ pub fn shared_st_port(var: &str) -> String {
     format!("{var}__st")
 }
 
-/// A point-to-point blocking channel between two processes.
+/// A point-to-point channel between two processes.
+///
+/// `depth` selects the synchronization discipline: `0` is a blocking
+/// rendezvous (sender and receiver meet in the same grant), `N > 0` is a
+/// FIFO of `N` slots — the sender blocks only when the queue is full and
+/// the receiver only when it is empty.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ChannelSpec {
     /// Channel name.
     pub name: String,
     /// Transferred data width in bits (values wrap on transfer).
     pub width: u8,
+    /// FIFO depth in slots; `0` means rendezvous (unbuffered).
+    pub depth: u32,
     /// Index of the sending process, if any process sends on this channel.
     pub sender: Option<usize>,
     /// Index of the receiving process, if any process receives.
@@ -119,7 +132,7 @@ impl SystemCdfg {
             for (_, b) in proc_.cdfg.blocks() {
                 match &b.sync {
                     None => {}
-                    Some(SyncOp::Send { chan }) => {
+                    Some(SyncOp::Send { chan } | SyncOp::TrySend { chan }) => {
                         let c = self.channel(chan).ok_or(CdfgError::Malformed {
                             detail: format!(
                                 "process `{}` sends on unknown channel `{chan}`",
@@ -132,8 +145,13 @@ impl SystemCdfg {
                                 proc_.name
                             ));
                         }
+                        if matches!(b.sync, Some(SyncOp::TrySend { .. })) && c.depth == 0 {
+                            return bad(format!(
+                                "channel `{chan}`: try_send requires a buffered channel"
+                            ));
+                        }
                     }
-                    Some(SyncOp::Recv { chan }) => {
+                    Some(SyncOp::Recv { chan } | SyncOp::TryRecv { chan }) => {
                         let c = self.channel(chan).ok_or(CdfgError::Malformed {
                             detail: format!(
                                 "process `{}` receives on unknown channel `{chan}`",
@@ -144,6 +162,11 @@ impl SystemCdfg {
                             return bad(format!(
                                 "channel `{chan}`: receiver mismatch for process `{}`",
                                 proc_.name
+                            ));
+                        }
+                        if matches!(b.sync, Some(SyncOp::TryRecv { .. })) && c.depth == 0 {
+                            return bad(format!(
+                                "channel `{chan}`: try_recv requires a buffered channel"
                             ));
                         }
                     }
@@ -202,6 +225,7 @@ mod tests {
     fn port_names_are_stable() {
         assert_eq!(chan_tx_port("C1"), "C1__tx");
         assert_eq!(chan_rx_port("C1"), "C1__rx");
+        assert_eq!(chan_ok_port("C1"), "C1__ok");
         assert_eq!(shared_ld_port("S"), "S__ld");
         assert_eq!(shared_st_port("S"), "S__st");
     }
@@ -228,6 +252,7 @@ mod tests {
             channels: vec![ChannelSpec {
                 name: "c".into(),
                 width: 32,
+                depth: 0,
                 sender: Some(0),
                 receiver: Some(0),
             }],

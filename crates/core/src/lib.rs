@@ -35,6 +35,10 @@ pub use pipeline::{
 };
 pub use system::{ProcessSynthesis, SystemEquivalence, SystemSynthesisResult};
 
+// Re-exported so downstream layers (e.g. the service) can inspect the
+// static liveness verdict without depending on the simulator crate.
+pub use hls_sim::{analyze_deadlock, DeadlockVerdict};
+
 use std::error::Error;
 use std::fmt;
 

@@ -7,9 +7,10 @@
 //! and would break the block-boundary placement of sync blocks. The
 //! per-process results are then *elaborated* into one top-level Verilog
 //! module: process datapaths and controllers wired through `hs_channel`
-//! rendezvous cells and, for `shared` variables, `hs_arbiter` mutex
-//! arbiters (see `hls-rtl`); the controllers' `req`/`grant` ports come
-//! from their FSMs' [`sync states`](hls_ctrl::Fsm::sync_states).
+//! rendezvous cells (`hs_fifo` for channels declared with a depth) and,
+//! for `shared` variables, `hs_arbiter` mutex arbiters (see `hls-rtl`);
+//! the controllers' `req`/`grant` ports come from their FSMs'
+//! [`sync states`](hls_ctrl::Fsm::sync_states).
 //!
 //! Verification is lockstep co-simulation: the behavioral interpreter
 //! runs the *unoptimized* system while the RTL model executes every
@@ -22,7 +23,8 @@ use std::fmt::Write as _;
 use hls_cdfg::{Fx, SystemCdfg};
 use hls_ctrl::controller_verilog;
 use hls_sim::{
-    interpret_system, simulate_system, ProcessRtl, SimError, SystemBehavResult, SystemRtlResult,
+    analyze_deadlock, interpret_system, simulate_system, DeadlockVerdict, ProcessRtl, SimError,
+    SystemBehavResult, SystemRtlResult,
 };
 
 use crate::pipeline::{SynthesisResult, Synthesizer};
@@ -51,6 +53,10 @@ pub struct SystemSynthesisResult {
     pub system: SystemCdfg,
     /// Per-process synthesis results, in declaration order.
     pub processes: Vec<ProcessSynthesis>,
+    /// Static deadlock analysis verdict over the golden model (see
+    /// [`hls_sim::analyze_deadlock`]): proven free, proven deadlocked
+    /// with a witness, or conservatively unknown.
+    pub deadlock: DeadlockVerdict,
 }
 
 /// The verdict of a system-level co-simulation run.
@@ -116,10 +122,12 @@ impl Synthesizer {
                 result,
             });
         }
+        let deadlock = analyze_deadlock(&golden);
         Ok(SystemSynthesisResult {
             golden,
             system,
             processes,
+            deadlock,
         })
     }
 }
@@ -162,7 +170,8 @@ impl SystemSynthesisResult {
     /// Co-simulates `n` seeded pseudo-random input vectors drawn from
     /// `range` and compares every system output. Vectors where the golden
     /// model hits an arithmetic error are skipped; a deadlock counts as
-    /// equivalent only when *both* models deadlock.
+    /// equivalent only when *both* models deadlock with the *same*
+    /// blocked set — wedging in different places is a divergence.
     ///
     /// # Errors
     ///
@@ -206,8 +215,16 @@ impl SystemSynthesisResult {
             };
             let rtl = simulate_system(&self.system, &self.process_rtl(), &inputs);
             match (golden, rtl) {
-                (Err(SimError::Deadlock { .. }), Err(SimError::Deadlock { .. })) => {
+                (
+                    Err(SimError::Deadlock { blocked: gb }),
+                    Err(SimError::Deadlock { blocked: rb }),
+                ) => {
                     eq.vectors += 1;
+                    if let Some(detail) = deadlock_mismatch(&gb, &rb) {
+                        eq.equivalent = false;
+                        eq.mismatch = Some(format!("{detail} on {inputs:?}"));
+                        return Ok(eq);
+                    }
                 }
                 (Err(SimError::Deadlock { blocked }), Ok(_)) => {
                     eq.equivalent = false;
@@ -248,8 +265,9 @@ impl SystemSynthesisResult {
 
     /// Elaborates the whole system as self-contained Verilog: a top-level
     /// module instantiating every process datapath and controller, one
-    /// `hs_channel` rendezvous cell per channel, one `hs_arbiter` per
-    /// shared variable, followed by all referenced module definitions
+    /// `hs_channel` rendezvous cell per depth-0 channel (`hs_fifo` with
+    /// the declared `DEPTH` otherwise), one `hs_arbiter` per shared
+    /// variable, followed by all referenced module definitions
     /// (deduplicated).
     pub fn to_verilog(&self) -> String {
         let sys = &self.system;
@@ -267,10 +285,15 @@ impl SystemSynthesisResult {
         ports.push("  output done".to_string());
         let _ = writeln!(s, "{}\n);", ports.join(",\n"));
 
-        // Per-channel handshake wires.
+        // Per-channel handshake wires. Rendezvous channels pass data
+        // straight through, so one data wire serves both ends; FIFOs
+        // have distinct enqueue/dequeue data.
         for c in &sys.channels {
             let cn = sanitize(&c.name);
             let _ = writeln!(s, "  wire [31:0] ch_{cn}_data;");
+            if c.depth > 0 {
+                let _ = writeln!(s, "  wire [31:0] ch_{cn}_rx_data;");
+            }
             let _ = writeln!(
                 s,
                 "  wire ch_{cn}_tx_valid, ch_{cn}_tx_ready, ch_{cn}_rx_valid, ch_{cn}_rx_ready;"
@@ -346,12 +369,22 @@ impl SystemSynthesisResult {
                     }
                 }
             }
-            let _ = writeln!(
-                s,
-                "  hs_channel #(.WIDTH(32)) chan_{cn} (.clk(clk), .rst(rst), \
-                 .tx_data(ch_{cn}_data), .tx_valid(ch_{cn}_tx_valid), .tx_ready(ch_{cn}_tx_ready), \
-                 .rx_data(), .rx_valid(ch_{cn}_rx_valid), .rx_ready(ch_{cn}_rx_ready));"
-            );
+            if c.depth > 0 {
+                let _ = writeln!(
+                    s,
+                    "  hs_fifo #(.WIDTH(32), .DEPTH({})) chan_{cn} (.clk(clk), .rst(rst), \
+                     .tx_data(ch_{cn}_data), .tx_valid(ch_{cn}_tx_valid), .tx_ready(ch_{cn}_tx_ready), \
+                     .rx_data(ch_{cn}_rx_data), .rx_valid(ch_{cn}_rx_valid), .rx_ready(ch_{cn}_rx_ready));",
+                    c.depth
+                );
+            } else {
+                let _ = writeln!(
+                    s,
+                    "  hs_channel #(.WIDTH(32)) chan_{cn} (.clk(clk), .rst(rst), \
+                     .tx_data(ch_{cn}_data), .tx_valid(ch_{cn}_tx_valid), .tx_ready(ch_{cn}_tx_ready), \
+                     .rx_data(), .rx_valid(ch_{cn}_rx_valid), .rx_ready(ch_{cn}_rx_ready));"
+                );
+            }
         }
 
         // Mutex arbiters: one per shared variable, fixed priority in
@@ -427,7 +460,23 @@ impl SystemSynthesisResult {
                 let pin = sanitize(&port.name);
                 if let Some(base) = port.name.strip_prefix("in_") {
                     let conn = if let Some(chan) = base.strip_suffix("__rx") {
-                        format!("ch_{}_data", sanitize(chan))
+                        // FIFOs present dequeue data on a separate wire.
+                        match sys.channel(chan) {
+                            Some(c) if c.depth > 0 => format!("ch_{}_rx_data", sanitize(chan)),
+                            _ => format!("ch_{}_data", sanitize(chan)),
+                        }
+                    } else if let Some(chan) = base.strip_suffix("__ok") {
+                        // Try-op success flag: the channel's local
+                        // readiness as seen from this process's side.
+                        match sys.channel(chan) {
+                            Some(c) if c.sender == Some(pi) => {
+                                format!("ch_{}_tx_ready", sanitize(chan))
+                            }
+                            Some(c) if c.receiver == Some(pi) => {
+                                format!("ch_{}_rx_valid", sanitize(chan))
+                            }
+                            _ => "1'b0".to_string(),
+                        }
                     } else if let Some(var) = base.strip_suffix("__ld") {
                         format!("shared_{}_q", sanitize(var))
                     } else {
@@ -472,9 +521,13 @@ impl SystemSynthesisResult {
             s.push_str(&controller_verilog(&name, &p.result.fsm));
             s.push('\n');
         }
-        // Interconnect cells.
-        if !sys.channels.is_empty() {
+        // Interconnect cells, only the kinds actually instantiated.
+        if sys.channels.iter().any(|c| c.depth == 0) {
             s.push_str(hls_rtl::channel_cell_verilog());
+            s.push('\n');
+        }
+        if sys.channels.iter().any(|c| c.depth > 0) {
+            s.push_str(hls_rtl::fifo_cell_verilog());
             s.push('\n');
         }
         if !sys.shared.is_empty() {
@@ -489,8 +542,18 @@ impl SystemSynthesisResult {
     }
 }
 
+/// Compares the blocked sets of two deadlocked models. Both deadlocking
+/// is only equivalence when they wedge at the *same* `(process, op)`
+/// pairs — e.g. a controller bug that skips one rendezvous can leave the
+/// RTL stuck one channel further down the pipeline, which this catches.
+fn deadlock_mismatch(golden: &[(String, String)], rtl: &[(String, String)]) -> Option<String> {
+    (golden != rtl).then(|| {
+        format!("both models deadlock but with different blocked sets: behavioral {golden:?} vs rtl {rtl:?}")
+    })
+}
+
 /// The kind of handshake a sync state performs, parsed from its FSM
-/// label (`send c` / `recv c` / `mutex v`).
+/// label (`send c` / `recv c` / `try_send c` / `try_recv c` / `mutex v`).
 #[derive(Clone, Debug, PartialEq, Eq)]
 enum SyncKind {
     Send(String),
@@ -506,9 +569,13 @@ enum SyncDir {
 
 impl SyncKind {
     fn parse(label: &str) -> SyncKind {
+        // Try ops wire identically to their blocking forms — the sender
+        // side drives `tx_valid`, the receiver side `rx_ready` — the
+        // non-blocking part lives entirely in the controller, which
+        // samples the grant as the success flag instead of holding.
         match label.split_once(' ') {
-            Some(("send", c)) => SyncKind::Send(c.to_string()),
-            Some(("recv", c)) => SyncKind::Recv(c.to_string()),
+            Some(("send" | "try_send", c)) => SyncKind::Send(c.to_string()),
+            Some(("recv" | "try_recv", c)) => SyncKind::Recv(c.to_string()),
             Some(("mutex", v)) => SyncKind::Mutex(v.to_string()),
             _ => SyncKind::Mutex(label.to_string()),
         }
@@ -627,6 +694,101 @@ mod tests {
         );
         // Cell definitions appear exactly once despite three netlists.
         assert_eq!(v.matches("module reg_dff").count(), 1, "deduplicated cells");
+    }
+
+    #[test]
+    fn deadlock_equivalence_requires_matching_blocked_sets() {
+        let stuck_a = vec![("a".to_string(), "send c".to_string())];
+        let stuck_b = vec![("b".to_string(), "recv d".to_string())];
+        assert!(deadlock_mismatch(&stuck_a, &stuck_a).is_none());
+        let detail = deadlock_mismatch(&stuck_a, &stuck_b).expect("different sets must mismatch");
+        assert!(detail.contains("different blocked sets"), "{detail}");
+    }
+
+    #[test]
+    fn crossed_sends_deadlock_consistently_and_are_predicted() {
+        // Both processes send first: a guaranteed rendezvous deadlock.
+        let sys = Synthesizer::new()
+            .synthesize_system_source(
+                "system cross; output Y; chan ab; chan ba;
+                 process a; var v; begin send ab, 1; recv ba, v; Y := v; end;
+                 process b; var w; begin send ba, 2; recv ab, w; end;
+                 end.",
+            )
+            .unwrap();
+        // The static analysis calls it before any simulation runs.
+        assert!(
+            matches!(sys.deadlock, DeadlockVerdict::Deadlock { .. }),
+            "{:?}",
+            sys.deadlock
+        );
+        // Both models wedge with the same blocked set on every vector,
+        // so verification still reports equivalence.
+        let eq = sys.verify(4, (0.0, 4.0), 11).unwrap();
+        assert!(eq.equivalent, "{:?}", eq.mismatch);
+        assert_eq!(eq.vectors, 4);
+    }
+
+    #[test]
+    fn buffered_pipeline_synthesizes_fifo_and_stays_equivalent() {
+        let sys = Synthesizer::new()
+            .synthesize_system_source(
+                "system bufpipe; input X; output Y; chan c : fix[2];
+                 process prod; var i : int<4>; begin
+                   i := 0;
+                   do send c, X + i; i := i + 1; until i > 2;
+                 end;
+                 process cons; var v, acc, j : int<4>; begin
+                   acc := 0; j := 0;
+                   do recv c, v; acc := acc + v; j := j + 1; until j > 2;
+                   Y := acc;
+                 end;
+                 end.",
+            )
+            .unwrap();
+        assert_eq!(sys.deadlock, DeadlockVerdict::Free, "{:?}", sys.deadlock);
+        let eq = sys.verify(8, (-4.0, 4.0), 0xF1F0).unwrap();
+        assert!(eq.equivalent, "{:?}", eq.mismatch);
+        let v = sys.to_verilog();
+        assert!(v.contains("hs_fifo #(.WIDTH(32), .DEPTH(2)) chan_c"), "{v}");
+        assert!(v.contains("module hs_fifo"), "{v}");
+        // No rendezvous channels left, so the rendezvous cell is absent.
+        assert!(!v.contains("module hs_channel"), "{v}");
+        // The consumer reads the FIFO's dequeue side, not the tx wire.
+        assert!(v.contains("ch_c_rx_data"), "{v}");
+        assert_eq!(v.matches("module ").count(), v.matches("endmodule").count());
+    }
+
+    #[test]
+    fn try_ops_cosimulate_and_wire_the_success_flag() {
+        // The consumer polls with try_recv in a loop; success flag gates
+        // the accumulation. Spin-waiting works because the producer keeps
+        // its own clock — the scheduler never blocks a try op.
+        let sys = Synthesizer::new()
+            .synthesize_system_source(
+                "system trysys; input X; output Y; chan c : fix[1];
+                 process prod; var f : bit; begin
+                   try_send c, X + 1, f;
+                   Y := f;
+                 end;
+                 process cons; var v : int<8>; var g : bit; begin
+                   do try_recv c, v, g; until g = 1;
+                 end;
+                 end.",
+            )
+            .unwrap();
+        // Try ops make occupancy data-dependent: conservatively unknown.
+        assert!(
+            matches!(sys.deadlock, DeadlockVerdict::Unknown { .. }),
+            "{:?}",
+            sys.deadlock
+        );
+        let eq = sys.verify(8, (0.0, 8.0), 0x7A11).unwrap();
+        assert!(eq.equivalent, "{:?}", eq.mismatch);
+        let v = sys.to_verilog();
+        // The success flag input samples the FIFO's local readiness.
+        assert!(v.contains(".in_c__ok(ch_c_tx_ready)"), "{v}");
+        assert!(v.contains(".in_c__ok(ch_c_rx_valid)"), "{v}");
     }
 
     #[test]

@@ -380,6 +380,8 @@ impl Builder<'_> {
             let label = match sync {
                 SyncOp::Send { chan } => format!("send {chan}"),
                 SyncOp::Recv { chan } => format!("recv {chan}"),
+                SyncOp::TrySend { chan } => format!("try_send {chan}"),
+                SyncOp::TryRecv { chan } => format!("try_recv {chan}"),
                 SyncOp::Shared { var, .. } => format!("mutex {var}"),
             };
             self.fsm.sync_states.insert(last, label);

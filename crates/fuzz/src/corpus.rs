@@ -18,6 +18,12 @@ pub enum Mode {
     /// channels, optionally a shared variable) through system synthesis
     /// and lockstep co-simulation.
     Proc,
+    /// Unrestricted multi-process source: random channel topology with
+    /// random FIFO depths, mismatched send/recv counts, shuffled op
+    /// orders, and non-blocking try ops — nothing is deadlock-free by
+    /// construction. Adds the static-deadlock-verdict cross-check oracle
+    /// on top of the `Proc` oracles.
+    ProcAny,
 }
 
 impl fmt::Display for Mode {
@@ -26,6 +32,7 @@ impl fmt::Display for Mode {
             Mode::Dfg => "dfg",
             Mode::Bsl => "bsl",
             Mode::Proc => "proc",
+            Mode::ProcAny => "proc-any",
         })
     }
 }
@@ -129,6 +136,7 @@ impl Case {
                         "dfg" => Mode::Dfg,
                         "bsl" => Mode::Bsl,
                         "proc" => Mode::Proc,
+                        "proc-any" => Mode::ProcAny,
                         _ => return Err(bad("mode")),
                     };
                     saw_mode = true;
@@ -196,6 +204,12 @@ mod tests {
     #[test]
     fn roundtrip_proc_case() {
         let c = Case::new(Mode::Proc, 12, 6, 2, 3);
+        assert_eq!(Case::parse(&c.render()).unwrap(), c);
+    }
+
+    #[test]
+    fn roundtrip_proc_any_case() {
+        let c = Case::new(Mode::ProcAny, 99, 6, 2, 3);
         assert_eq!(Case::parse(&c.render()).unwrap(), c);
     }
 

@@ -28,7 +28,9 @@ pub fn generate(case: &Case) -> Result<Cdfg, String> {
             hls_lang::compile(&src)
                 .map_err(|e| format!("generated BSL failed to compile: {e}\n{src}"))
         }
-        Mode::Proc => Err("proc cases go through generate_proc_bsl".to_string()),
+        Mode::Proc | Mode::ProcAny => {
+            Err("proc cases go through generate_proc_bsl / generate_proc_any_bsl".to_string())
+        }
     }
 }
 
@@ -193,6 +195,197 @@ pub fn generate_proc_bsl(case: &Case) -> String {
     src
 }
 
+/// One channel endpoint operation in an unrestricted process script.
+#[derive(Clone, Copy)]
+enum ChanOp {
+    Send(usize),
+    Recv(usize),
+    TrySend(usize),
+    TryRecv(usize),
+}
+
+/// The unrestricted multi-process source for `case` (`proc-any` mode):
+/// random channel topology over 2–3 processes (not necessarily a
+/// pipeline), random FIFO depths (including rendezvous), independently
+/// chosen — so possibly mismatched — send/recv counts per endpoint,
+/// per-process operation order shuffled (crossed rendezvous and cyclic
+/// wait chains arise naturally), and non-blocking `try_send`/`try_recv`
+/// sprinkled onto buffered channels. Nothing is deadlock-free by
+/// construction: the generated system may starve, cycle, or overfill a
+/// FIFO, and the fuzzer cross-checks the static deadlock verdict against
+/// the co-simulated truth.
+pub fn generate_proc_any_bsl(case: &Case) -> String {
+    let mut rng = SplitMix64::new(case.seed ^ 0xA21C_0C4A);
+    let nprocs = rng.usize_in(2, 4); // 2..=3
+    let nchans = rng.usize_in(1, 4); // 1..=3
+    let with_shared = rng.bool_with(0.25);
+    let input_names: Vec<String> = (0..case.inputs).map(|i| format!("A{i}")).collect();
+
+    // Channel topology: each channel picks distinct endpoints freely, so
+    // back-edges (receiver index < sender index) and fan patterns occur.
+    struct Chan {
+        sender: usize,
+        receiver: usize,
+        depth: usize,
+        sends: usize,
+        recvs: usize,
+    }
+    let chans: Vec<Chan> = (0..nchans)
+        .map(|_| {
+            let sender = rng.usize_in(0, nprocs);
+            let mut receiver = rng.usize_in(0, nprocs);
+            if receiver == sender {
+                receiver = (receiver + 1) % nprocs;
+            }
+            Chan {
+                sender,
+                receiver,
+                depth: [0, 0, 1, 2, 4][rng.usize_in(0, 5)],
+                sends: rng.usize_in(0, 4),
+                recvs: rng.usize_in(0, 4),
+            }
+        })
+        .collect();
+
+    // Per-process channel-op scripts, then a Fisher–Yates shuffle so the
+    // order of operations *within* a process is arbitrary.
+    let mut scripts: Vec<Vec<ChanOp>> = vec![Vec::new(); nprocs];
+    for (ci, c) in chans.iter().enumerate() {
+        for _ in 0..c.sends {
+            let op = if c.depth > 0 && rng.bool_with(0.25) {
+                ChanOp::TrySend(ci)
+            } else {
+                ChanOp::Send(ci)
+            };
+            scripts[c.sender].push(op);
+        }
+        for _ in 0..c.recvs {
+            let op = if c.depth > 0 && rng.bool_with(0.25) {
+                ChanOp::TryRecv(ci)
+            } else {
+                ChanOp::Recv(ci)
+            };
+            scripts[c.receiver].push(op);
+        }
+    }
+    for script in &mut scripts {
+        for i in (1..script.len()).rev() {
+            let j = rng.usize_in(0, i + 1);
+            script.swap(i, j);
+        }
+    }
+
+    let mut src = String::from("system fuzz;\n");
+    src.push_str(&format!("input {};\n", input_names.join(", ")));
+    src.push_str("output Y;\n");
+    for (ci, c) in chans.iter().enumerate() {
+        if c.depth == 0 {
+            src.push_str(&format!("chan c{ci} : fix;\n"));
+        } else {
+            src.push_str(&format!("chan c{ci} : fix[{}];\n", c.depth));
+        }
+    }
+    if with_shared {
+        src.push_str("shared s;\n");
+    }
+
+    let ops_per_proc = (case.ops / nprocs).max(1);
+    let rhs = |rng: &mut SplitMix64, defined: &[String]| {
+        let pick = |rng: &mut SplitMix64| {
+            let lo = defined.len().saturating_sub(case.window.max(1));
+            defined[rng.usize_in(lo, defined.len())].clone()
+        };
+        let a = pick(rng);
+        let roll = rng.u32_in(0, 100);
+        if roll < case.shift_pct {
+            let amt = rng.u32_in(1, 4);
+            match rng.u32_in(0, 3) {
+                0 => format!("{a} << {amt}"),
+                1 => format!("{a} >> {amt}"),
+                _ => format!("{a} * {}", 1u32 << amt),
+            }
+        } else {
+            let b = pick(rng);
+            let op = if roll < case.shift_pct + case.mul_pct {
+                "*"
+            } else if rng.bool_with(0.5) {
+                "+"
+            } else {
+                "-"
+            };
+            format!("{a} {op} {b}")
+        }
+    };
+
+    for (p, script) in scripts.iter().enumerate() {
+        let last = p == nprocs - 1;
+        let mut stmts: Vec<String> = Vec::new();
+        let mut vars: Vec<String> = Vec::new();
+        let mut defined = input_names.clone();
+        let fresh = |vars: &mut Vec<String>, prefix: &str, k: usize| {
+            let name = format!("{prefix}{p}_{k}");
+            vars.push(name.clone());
+            name
+        };
+        if p == 0 && with_shared {
+            stmts.push("s := s + 1;".to_string()); // atomic mutex block
+        }
+        // Straight-line filler before the channel ops warms up `defined`.
+        for k in 0..ops_per_proc {
+            let t = fresh(&mut vars, "t", k);
+            let e = rhs(&mut rng, &defined);
+            stmts.push(format!("{t} := {e};"));
+            defined.push(t);
+        }
+        for (k, op) in script.iter().enumerate() {
+            match op {
+                ChanOp::Send(ci) => {
+                    let e = rhs(&mut rng, &defined);
+                    stmts.push(format!("send c{ci}, {e};"));
+                }
+                ChanOp::Recv(ci) => {
+                    let v = fresh(&mut vars, "v", k);
+                    stmts.push(format!("recv c{ci}, {v};"));
+                    defined.push(v);
+                }
+                ChanOp::TrySend(ci) => {
+                    let f = fresh(&mut vars, "f", k);
+                    let e = rhs(&mut rng, &defined);
+                    stmts.push(format!("try_send c{ci}, {e}, {f};"));
+                    defined.push(f); // success flag feeds later dataflow
+                }
+                ChanOp::TryRecv(ci) => {
+                    let v = fresh(&mut vars, "v", k);
+                    let f = fresh(&mut vars, "g", k);
+                    stmts.push(format!("try_recv c{ci}, {v}, {f};"));
+                    defined.push(v);
+                    defined.push(f);
+                }
+            }
+        }
+        if last {
+            if with_shared {
+                let w = fresh(&mut vars, "w", 0);
+                stmts.push(format!("{w} := s;"));
+                defined.push(w);
+            }
+            let e = rhs(&mut rng, &defined);
+            stmts.push(format!("Y := {e};"));
+        }
+        src.push_str(&format!("process p{p};\n"));
+        if !vars.is_empty() {
+            src.push_str(&format!("var {};\n", vars.join(", ")));
+        }
+        src.push_str("begin\n");
+        for st in &stmts {
+            src.push_str(&format!("  {st}\n"));
+        }
+        src.push_str("end;\n");
+    }
+    src.push_str("end.\n");
+    src
+}
+
 /// Random single-block CDFG: like `hls_workloads::random::random_dag`
 /// but with constant-amount shifts in the mix (that generator's seed-0
 /// stream is pinned by a golden-fingerprint test, so the fuzzer grows
@@ -306,6 +499,33 @@ mod tests {
     fn proc_text_is_deterministic() {
         let case = Case::new(Mode::Proc, 11, 8, 2, 3);
         assert_eq!(generate_proc_bsl(&case), generate_proc_bsl(&case));
+    }
+
+    #[test]
+    fn proc_any_cases_compile_to_systems() {
+        let mut buffered = 0;
+        let mut tried = 0;
+        for seed in 0..40 {
+            let case = Case::new(Mode::ProcAny, seed, 9, 2, 4);
+            let src = generate_proc_any_bsl(&case);
+            let sys = hls_lang::compile_system(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+            assert!((2..=3).contains(&sys.processes.len()), "{src}");
+            assert!(!sys.channels.is_empty(), "{src}");
+            sys.validate().unwrap();
+            buffered += sys.channels.iter().filter(|c| c.depth > 0).count();
+            if src.contains("try_send") || src.contains("try_recv") {
+                tried += 1;
+            }
+        }
+        // The generator must actually exercise the new surface area.
+        assert!(buffered > 0, "no buffered channels in 40 seeds");
+        assert!(tried > 0, "no try ops in 40 seeds");
+    }
+
+    #[test]
+    fn proc_any_text_is_deterministic() {
+        let case = Case::new(Mode::ProcAny, 23, 8, 2, 3);
+        assert_eq!(generate_proc_any_bsl(&case), generate_proc_any_bsl(&case));
     }
 
     #[test]

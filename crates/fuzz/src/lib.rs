@@ -15,6 +15,10 @@
 //!    [`hls_sched::Schedule::validate`].
 //! 5. **Verilog well-formedness** — emission produces a balanced
 //!    module/endmodule skeleton mentioning the design.
+//! 6. **Deadlock-verdict agreement** (`proc-any` mode) — the static
+//!    deadlock analysis must agree with the co-simulated truth: never a
+//!    false "deadlock-free", and a predicted deadlock must occur with
+//!    the predicted blocked set.
 //!
 //! Failures carry the exact combo that failed, so the minimizer
 //! ([`minimize`]) can pin it and shrink the generator configuration.
@@ -67,6 +71,11 @@ pub enum Oracle {
     InvalidSchedule,
     /// Emitted Verilog failed the well-formedness checks.
     BadVerilog,
+    /// The static deadlock analysis disagreed with the co-simulated
+    /// truth: a false "deadlock-free", a predicted deadlock that never
+    /// happens, or a wrong blocked set. (A conservative `Unknown` is not
+    /// a violation.)
+    VerdictMismatch,
 }
 
 impl std::fmt::Display for Oracle {
@@ -78,6 +87,7 @@ impl std::fmt::Display for Oracle {
             Oracle::BoundsViolated => "bounds-violated",
             Oracle::InvalidSchedule => "invalid-schedule",
             Oracle::BadVerilog => "bad-verilog",
+            Oracle::VerdictMismatch => "verdict-mismatch",
         })
     }
 }
@@ -213,8 +223,10 @@ const COSIM_VECTORS: usize = 3;
 /// Generation failures are reported as a single pseudo-violation rather
 /// than an `Err`, so the fuzz loop treats them uniformly.
 pub fn run_case(case: &Case) -> Vec<Violation> {
-    if case.mode == corpus::Mode::Proc {
-        return run_proc_case(case);
+    match case.mode {
+        corpus::Mode::Proc => return run_proc_case(case),
+        corpus::Mode::ProcAny => return run_proc_any_case(case),
+        corpus::Mode::Dfg | corpus::Mode::Bsl => {}
     }
     let cdfg = match gen::generate(case) {
         Ok(c) => c,
@@ -371,6 +383,83 @@ fn run_proc_case(case: &Case) -> Vec<Violation> {
         }
     }
     violations
+}
+
+/// Runs every oracle for an unrestricted multi-process (`proc-any` mode)
+/// case: the verdict cross-check once (the static analysis is a function
+/// of the behavior, not the pipeline configuration), then the usual five
+/// oracles per combo.
+fn run_proc_any_case(case: &Case) -> Vec<Violation> {
+    let src = gen::generate_proc_any_bsl(case);
+    let mut violations = Vec::new();
+    if let Some(v) = verdict_cross_check(&src, case.seed) {
+        violations.push(v);
+    }
+    for combo in combos_for(case) {
+        if let Some(v) = run_proc_combo(&src, &combo) {
+            violations.push(v);
+        }
+    }
+    violations
+}
+
+/// Cross-checks the static deadlock verdict against the behavioral
+/// golden model on a seeded input vector. `Free` must never co-exist
+/// with an observed deadlock (soundness); a predicted `Deadlock` must
+/// actually happen *with the predicted blocked set* (straight-line
+/// generated processes have input-independent sync traces, so the
+/// prediction is exact, not merely possible); `Unknown` is the analysis
+/// declining conservatively — counted by the battery tests, never a
+/// violation here.
+pub fn verdict_cross_check(src: &str, seed: u64) -> Option<Violation> {
+    use hls_core::DeadlockVerdict;
+    let combo = Combo {
+        scheduler: "-".to_string(),
+        fus: 0,
+        strategy: "-".to_string(),
+    };
+    let fail = |oracle, detail: String| {
+        Some(Violation {
+            oracle,
+            combo: combo.clone(),
+            detail,
+        })
+    };
+    let sys = match hls_lang::compile_system(src) {
+        Ok(s) => s,
+        Err(e) => return fail(Oracle::PipelineError, format!("front end: {e}\n{src}")),
+    };
+    let verdict = hls_core::analyze_deadlock(&sys);
+    let mut rng = hls_testkit::SplitMix64::new(seed ^ 0xD1_B0C4);
+    let inputs: std::collections::BTreeMap<String, hls_cdfg::Fx> = sys
+        .inputs
+        .iter()
+        .map(|(n, _)| {
+            (
+                n.clone(),
+                hls_cdfg::Fx::from_i64(i64::from(rng.u32_in(1, 8))),
+            )
+        })
+        .collect();
+    let behav = hls_sim::interpret_system(&sys, &inputs);
+    match (&verdict, &behav) {
+        (DeadlockVerdict::Free, Err(hls_sim::SimError::Deadlock { blocked })) => fail(
+            Oracle::VerdictMismatch,
+            format!("analysis says deadlock-free but simulation blocks on {blocked:?}\n{src}"),
+        ),
+        (DeadlockVerdict::Deadlock { blocked, .. }, Ok(_)) => fail(
+            Oracle::VerdictMismatch,
+            format!("analysis predicts deadlock on {blocked:?} but simulation completes\n{src}"),
+        ),
+        (
+            DeadlockVerdict::Deadlock { blocked, .. },
+            Err(hls_sim::SimError::Deadlock { blocked: seen }),
+        ) if blocked != seen => fail(
+            Oracle::VerdictMismatch,
+            format!("predicted blocked set {blocked:?} but simulation blocks on {seen:?}\n{src}"),
+        ),
+        _ => None,
+    }
 }
 
 /// One pipeline combo over a whole system: the same five oracles, with

@@ -51,12 +51,13 @@ fn parse_args() -> Result<Args, String> {
                     "dfg" => Mode::Dfg,
                     "bsl" => Mode::Bsl,
                     "proc" => Mode::Proc,
+                    "proc-any" => Mode::ProcAny,
                     other => return Err(format!("unknown mode {other:?}")),
                 })
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: hls-fuzz [--iters N] [--seed S] [--mode dfg|bsl|proc] \
+                    "usage: hls-fuzz [--iters N] [--seed S] [--mode dfg|bsl|proc|proc-any] \
                      [--replay FILE-OR-DIR]... [--save DIR]"
                 );
                 std::process::exit(0);
@@ -116,10 +117,11 @@ fn fuzz(args: &Args) -> Result<usize, String> {
     for i in 0..args.iters {
         let mode = match args.mode {
             Some(m) => m,
-            None => match rng.u32_in(0, 6) {
+            None => match rng.u32_in(0, 8) {
                 0 | 1 => Mode::Dfg,
                 2 | 3 => Mode::Bsl,
-                _ => Mode::Proc,
+                4 | 5 => Mode::Proc,
+                _ => Mode::ProcAny,
             },
         };
         let mut case = Case::new(

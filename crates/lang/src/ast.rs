@@ -172,6 +172,28 @@ pub enum Stmt {
         /// Destination variable.
         name: String,
     },
+    /// `try_send <chan>, <expr>, <flag>;` — non-blocking send on a
+    /// buffered channel (processes only). `flag` receives 1 if the value
+    /// was enqueued, 0 if the FIFO was full (the value is dropped).
+    TrySend {
+        /// Channel name.
+        chan: String,
+        /// The transmitted value.
+        expr: Expr,
+        /// Success-flag variable.
+        flag: String,
+    },
+    /// `try_recv <chan>, <var>, <flag>;` — non-blocking receive from a
+    /// buffered channel (processes only). On an empty FIFO `var` is
+    /// zeroed and `flag` receives 0.
+    TryRecv {
+        /// Channel name.
+        chan: String,
+        /// Destination variable.
+        name: String,
+        /// Success-flag variable.
+        flag: String,
+    },
 }
 
 /// A single-expression function declaration:
@@ -242,8 +264,9 @@ pub struct SystemDecl {
     pub inputs: Vec<(String, Type)>,
     /// Output ports with types (each written by exactly one process).
     pub outputs: Vec<(String, Type)>,
-    /// Point-to-point blocking channels with element types.
-    pub chans: Vec<(String, Type)>,
+    /// Point-to-point channels as `(name, element type, FIFO depth)`;
+    /// depth 0 is a blocking rendezvous, `fix[N]` declares depth N.
+    pub chans: Vec<(String, Type, u32)>,
     /// Mutex-guarded shared variables with types.
     pub shareds: Vec<(String, Type)>,
     /// Inlinable functions, visible to every process.

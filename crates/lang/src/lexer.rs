@@ -73,6 +73,10 @@ pub enum Token {
     Send,
     /// `recv`
     Recv,
+    /// `try_send`
+    TrySend,
+    /// `try_recv`
+    TryRecv,
     /// `:=`
     Assign,
     /// `;`
@@ -159,6 +163,8 @@ impl std::fmt::Display for Token {
                     Token::Shared => "shared",
                     Token::Send => "send",
                     Token::Recv => "recv",
+                    Token::TrySend => "try_send",
+                    Token::TryRecv => "try_recv",
                     Token::Assign => ":=",
                     Token::Semi => ";",
                     Token::Colon => ":",
@@ -261,6 +267,8 @@ pub fn tokenize(src: &str) -> Result<Vec<(Token, Pos)>, ParseError> {
                     "shared" => Token::Shared,
                     "send" => Token::Send,
                     "recv" => Token::Recv,
+                    "try_send" => Token::TrySend,
+                    "try_recv" => Token::TryRecv,
                     _ => Token::Ident(word),
                 };
                 out.push((tok, pos));

@@ -20,7 +20,7 @@ use std::collections::{BTreeSet, HashMap};
 
 use crate::ast::{BinOp, Expr, FuncDecl, Program, Stmt, SystemDecl, Type, UnOp};
 use crate::error::ParseError;
-use hls_cdfg::system::{chan_rx_port, chan_tx_port, shared_ld_port, shared_st_port};
+use hls_cdfg::system::{chan_ok_port, chan_rx_port, chan_tx_port, shared_ld_port, shared_st_port};
 use hls_cdfg::{
     Cdfg, ChannelSpec, DataFlowGraph, Fx, IfRegion, LoopKind, LoopRegion, OpKind, ProcessCdfg,
     Region, SharedSpec, SyncOp, SystemCdfg, ValueId,
@@ -56,7 +56,7 @@ pub fn lower(prog: &Program) -> Result<Cdfg, ParseError> {
 /// process body (both empty for a plain program).
 fn lower_with(
     prog: &Program,
-    chans: &[(String, Type)],
+    chans: &[(String, Type, u32)],
     shareds: &[(String, Type)],
 ) -> Result<Cdfg, ParseError> {
     let mut cdfg = Cdfg::new(&prog.name);
@@ -128,9 +128,10 @@ pub fn lower_system(sys: &SystemDecl) -> Result<SystemCdfg, ParseError> {
     let mut channels: Vec<ChannelSpec> = sys
         .chans
         .iter()
-        .map(|(n, t)| ChannelSpec {
+        .map(|(n, t, d)| ChannelSpec {
             name: n.clone(),
             width: t.width(),
+            depth: *d,
             sender: None,
             receiver: None,
         })
@@ -141,11 +142,27 @@ pub fn lower_system(sys: &SystemDecl) -> Result<SystemCdfg, ParseError> {
     for (pi, p) in sys.processes.iter().enumerate() {
         let mut sends = BTreeSet::new();
         let mut recvs = BTreeSet::new();
-        scan_channel_ops(&p.body, &mut sends, &mut recvs);
+        let mut tries = BTreeSet::new();
+        scan_channel_ops(&p.body, &mut sends, &mut recvs, &mut tries);
         for c in sends.iter().chain(&recvs) {
-            if !sys.chans.iter().any(|(n, _)| n == c) {
+            if !sys.chans.iter().any(|(n, _, _)| n == c) {
                 return Err(ParseError::without_pos(format!(
                     "process `{}` uses undeclared channel `{c}`",
+                    p.name
+                )));
+            }
+        }
+        for c in &tries {
+            let depth = sys
+                .chans
+                .iter()
+                .find(|(n, _, _)| n == c)
+                .map(|(_, _, d)| *d)
+                .unwrap_or(0);
+            if depth == 0 {
+                return Err(ParseError::without_pos(format!(
+                    "process `{}`: `try_send`/`try_recv` on channel `{c}` requires a \
+                     buffered channel (declare it `chan {c} : fix[N];` with N >= 1)",
                     p.name
                 )));
             }
@@ -219,9 +236,12 @@ pub fn lower_system(sys: &SystemDecl) -> Result<SystemCdfg, ParseError> {
             .filter(|(n, _)| reads.contains(n))
             .cloned()
             .collect();
-        for (c, t) in &sys.chans {
+        for (c, t, _) in &sys.chans {
             if recvs.contains(c) {
                 inputs.push((chan_rx_port(c), *t));
+            }
+            if tries.contains(c) {
+                inputs.push((chan_ok_port(c), Type::Bit));
             }
         }
         for (s, t) in &sys.shareds {
@@ -235,7 +255,7 @@ pub fn lower_system(sys: &SystemDecl) -> Result<SystemCdfg, ParseError> {
             .filter(|(n, _)| writes.contains(n))
             .cloned()
             .collect();
-        for (c, t) in &sys.chans {
+        for (c, t, _) in &sys.chans {
             if sends.contains(c) {
                 outputs.push((chan_tx_port(c), *t));
             }
@@ -344,7 +364,7 @@ fn check_system_decls(sys: &SystemDecl) -> Result<(), ParseError> {
         .iter()
         .map(|(n, _)| (n.as_str(), "input"))
         .chain(sys.outputs.iter().map(|(n, _)| (n.as_str(), "output")))
-        .chain(sys.chans.iter().map(|(n, _)| (n.as_str(), "channel")))
+        .chain(sys.chans.iter().map(|(n, _, _)| (n.as_str(), "channel")))
         .chain(
             sys.shareds
                 .iter()
@@ -456,8 +476,15 @@ fn called_functions(expr: &Expr) -> Vec<String> {
     out
 }
 
-/// Channels sent on / received from anywhere in `stmts`.
-fn scan_channel_ops(stmts: &[Stmt], sends: &mut BTreeSet<String>, recvs: &mut BTreeSet<String>) {
+/// Channels sent on / received from anywhere in `stmts`. `tries` collects
+/// channels touched by a non-blocking `try_send`/`try_recv` (which also
+/// count as the process's send/recv endpoint of that channel).
+fn scan_channel_ops(
+    stmts: &[Stmt],
+    sends: &mut BTreeSet<String>,
+    recvs: &mut BTreeSet<String>,
+    tries: &mut BTreeSet<String>,
+) {
     for s in stmts {
         match s {
             Stmt::Send { chan, .. } => {
@@ -466,17 +493,25 @@ fn scan_channel_ops(stmts: &[Stmt], sends: &mut BTreeSet<String>, recvs: &mut BT
             Stmt::Recv { chan, .. } => {
                 recvs.insert(chan.clone());
             }
+            Stmt::TrySend { chan, .. } => {
+                sends.insert(chan.clone());
+                tries.insert(chan.clone());
+            }
+            Stmt::TryRecv { chan, .. } => {
+                recvs.insert(chan.clone());
+                tries.insert(chan.clone());
+            }
             Stmt::Assign { .. } | Stmt::ArrayAssign { .. } => {}
             Stmt::DoUntil { body, .. } | Stmt::While { body, .. } => {
-                scan_channel_ops(body, sends, recvs);
+                scan_channel_ops(body, sends, recvs, tries);
             }
             Stmt::If {
                 then_body,
                 else_body,
                 ..
             } => {
-                scan_channel_ops(then_body, sends, recvs);
-                scan_channel_ops(else_body, sends, recvs);
+                scan_channel_ops(then_body, sends, recvs, tries);
+                scan_channel_ops(else_body, sends, recvs, tries);
             }
         }
     }
@@ -501,12 +536,14 @@ fn scan_reads(
     };
     for s in stmts {
         match s {
-            Stmt::Assign { expr, .. } | Stmt::Send { expr, .. } => add_expr(expr, out),
+            Stmt::Assign { expr, .. } | Stmt::Send { expr, .. } | Stmt::TrySend { expr, .. } => {
+                add_expr(expr, out)
+            }
             Stmt::ArrayAssign { index, expr, .. } => {
                 add_expr(index, out);
                 add_expr(expr, out);
             }
-            Stmt::Recv { .. } => {}
+            Stmt::Recv { .. } | Stmt::TryRecv { .. } => {}
             Stmt::DoUntil { body, cond } => {
                 add_expr(cond, out);
                 scan_reads(body, funcs_free, out);
@@ -535,6 +572,13 @@ fn scan_writes(stmts: &[Stmt], out: &mut BTreeSet<String>) {
             Stmt::Assign { name, .. } | Stmt::Recv { name, .. } => {
                 out.insert(name.clone());
             }
+            Stmt::TrySend { flag, .. } => {
+                out.insert(flag.clone());
+            }
+            Stmt::TryRecv { name, flag, .. } => {
+                out.insert(name.clone());
+                out.insert(flag.clone());
+            }
             Stmt::ArrayAssign { .. } | Stmt::Send { .. } => {}
             Stmt::DoUntil { body, .. } | Stmt::While { body, .. } => scan_writes(body, out),
             Stmt::If {
@@ -561,7 +605,7 @@ struct Lowerer<'a> {
     exit_counter: usize,
     block_counter: usize,
     /// System-level channel declarations (empty for plain programs).
-    chans: &'a [(String, Type)],
+    chans: &'a [(String, Type, u32)],
     /// System-level shared-variable declarations (empty for plain programs).
     shareds: &'a [(String, Type)],
 }
@@ -631,7 +675,7 @@ impl<'a> Lowerer<'a> {
     }
 
     fn check_chan(&self, name: &str) -> Result<(), ParseError> {
-        if self.chans.iter().any(|(n, _)| n == name) {
+        if self.chans.iter().any(|(n, _, _)| n == name) {
             Ok(())
         } else {
             Err(ParseError::without_pos(format!("unknown channel `{name}`")))
@@ -703,18 +747,22 @@ impl<'a> Lowerer<'a> {
         Ok(())
     }
 
-    /// Emits one statement as its own sync block: the blocking channel or
-    /// mutex rendezvous happens at the block boundary; the block body is
-    /// ordinary data flow over the reserved port variables.
+    /// Emits a short statement run as its own sync block: the channel or
+    /// mutex synchronization happens at the block boundary; the block body
+    /// is ordinary data flow over the reserved port variables. Try-ops pass
+    /// two statements (the data move plus the flag sample); everything else
+    /// passes one.
     fn emit_sync_block(
         &mut self,
-        stmt: &Stmt,
+        stmts: &[Stmt],
         hint: &str,
         sync: SyncOp,
         pieces: &mut Vec<Region>,
     ) -> Result<(), ParseError> {
         let mut ctx = BlockCtx::new();
-        self.lower_straight(&mut ctx, stmt)?;
+        for stmt in stmts {
+            self.lower_straight(&mut ctx, stmt)?;
+        }
         for w in &ctx.written {
             ctx.dfg.set_output(w, ctx.env[w]);
         }
@@ -756,7 +804,7 @@ impl<'a> Lowerer<'a> {
             expr: subst_shared_reads(expr, self.shareds),
         };
         self.emit_sync_block(
-            &desugared,
+            std::slice::from_ref(&desugared),
             &format!("mutex_{svar}_"),
             SyncOp::Shared {
                 var: svar,
@@ -807,7 +855,7 @@ impl<'a> Lowerer<'a> {
                         expr: expr.clone(),
                     };
                     self.emit_sync_block(
-                        &desugared,
+                        std::slice::from_ref(&desugared),
                         &format!("send_{chan}_"),
                         SyncOp::Send { chan: chan.clone() },
                         &mut pieces,
@@ -827,12 +875,74 @@ impl<'a> Lowerer<'a> {
                         expr: Expr::Var(chan_rx_port(chan)),
                     };
                     self.emit_sync_block(
-                        &desugared,
+                        std::slice::from_ref(&desugared),
                         &format!("recv_{chan}_"),
                         SyncOp::Recv { chan: chan.clone() },
                         &mut pieces,
                     )?;
                     known.remove(name);
+                }
+                Stmt::TrySend { chan, expr, flag } => {
+                    self.check_chan(chan)?;
+                    self.check_no_shared(expr, "a `try_send` value")?;
+                    if self.is_shared(flag) {
+                        return Err(ParseError::without_pos(format!(
+                            "cannot use shared variable `{flag}` as a `try_send` flag"
+                        )));
+                    }
+                    self.flush_run(&mut run, &mut pieces, None)?;
+                    let desugared = [
+                        Stmt::Assign {
+                            name: chan_tx_port(chan),
+                            expr: expr.clone(),
+                        },
+                        Stmt::Assign {
+                            name: flag.clone(),
+                            expr: Expr::Var(chan_ok_port(chan)),
+                        },
+                    ];
+                    self.emit_sync_block(
+                        &desugared,
+                        &format!("try_send_{chan}_"),
+                        SyncOp::TrySend { chan: chan.clone() },
+                        &mut pieces,
+                    )?;
+                    known.remove(flag);
+                }
+                Stmt::TryRecv { chan, name, flag } => {
+                    self.check_chan(chan)?;
+                    if self.is_shared(name) || self.is_shared(flag) {
+                        return Err(ParseError::without_pos(format!(
+                            "cannot `try_recv` into shared variable `{}`; receive into a \
+                             local and assign it",
+                            if self.is_shared(name) { name } else { flag }
+                        )));
+                    }
+                    if name == flag {
+                        return Err(ParseError::without_pos(format!(
+                            "`try_recv` destination and flag must be different variables \
+                             (both are `{name}`)"
+                        )));
+                    }
+                    self.flush_run(&mut run, &mut pieces, None)?;
+                    let desugared = [
+                        Stmt::Assign {
+                            name: name.clone(),
+                            expr: Expr::Var(chan_rx_port(chan)),
+                        },
+                        Stmt::Assign {
+                            name: flag.clone(),
+                            expr: Expr::Var(chan_ok_port(chan)),
+                        },
+                    ];
+                    self.emit_sync_block(
+                        &desugared,
+                        &format!("try_recv_{chan}_"),
+                        SyncOp::TryRecv { chan: chan.clone() },
+                        &mut pieces,
+                    )?;
+                    known.remove(name);
+                    known.remove(flag);
                 }
                 Stmt::ArrayAssign { index, expr, .. } => {
                     self.check_no_shared(index, "an array index")?;
@@ -1128,10 +1238,14 @@ fn subst_shared_reads(expr: &Expr, shareds: &[(String, Type)]) -> Expr {
     }
 }
 
-/// `true` when any statement (recursively) is a `send` or `recv`.
+/// `true` when any statement (recursively) is a *blocking* `send` or
+/// `recv`. Non-blocking `try_send`/`try_recv` are permitted in branches:
+/// they never hold the FSM, so conditional occurrence cannot stall a
+/// partner process.
 fn contains_chan_op(stmts: &[Stmt]) -> bool {
     stmts.iter().any(|s| match s {
         Stmt::Send { .. } | Stmt::Recv { .. } => true,
+        Stmt::TrySend { .. } | Stmt::TryRecv { .. } => false,
         Stmt::Assign { .. } | Stmt::ArrayAssign { .. } => false,
         Stmt::DoUntil { body, .. } | Stmt::While { body, .. } => contains_chan_op(body),
         Stmt::If {
@@ -1148,6 +1262,13 @@ fn invalidate_written(stmts: &[Stmt], known: &mut HashMap<String, Fx>) {
         match s {
             Stmt::Assign { name, .. } | Stmt::Recv { name, .. } => {
                 known.remove(name);
+            }
+            Stmt::TrySend { flag, .. } => {
+                known.remove(flag);
+            }
+            Stmt::TryRecv { name, flag, .. } => {
+                known.remove(name);
+                known.remove(flag);
             }
             Stmt::ArrayAssign { .. } | Stmt::Send { .. } => {}
             Stmt::DoUntil { body, .. } | Stmt::While { body, .. } => {
@@ -1254,6 +1375,8 @@ fn induction_step(body: &[Stmt], iv: &str) -> Option<Fx> {
 fn stmt_writes(s: &Stmt, var: &str) -> bool {
     match s {
         Stmt::Assign { name, .. } | Stmt::Recv { name, .. } => name == var,
+        Stmt::TrySend { flag, .. } => flag == var,
+        Stmt::TryRecv { name, flag, .. } => name == var || flag == var,
         Stmt::ArrayAssign { .. } | Stmt::Send { .. } => false,
         Stmt::DoUntil { body, .. } | Stmt::While { body, .. } => {
             body.iter().any(|s| stmt_writes(s, var))

@@ -6,7 +6,8 @@
 //! program   = "program" IDENT ";" { decl } "begin" stmts "end" [ "." ]
 //! system    = "system" IDENT ";" { sysdecl } { process } "end" [ "." ]
 //! sysdecl   = decl
-//!           | ("chan"|"shared") IDENT {"," IDENT} [":" type] ";"
+//!           | "chan" IDENT {"," IDENT} [":" type ["[" NUM "]"]] ";"
+//!           | "shared" IDENT {"," IDENT} [":" type] ";"
 //! process   = "process" IDENT ";" { decl } "begin" stmts "end" [";"]
 //! decl      = ("input"|"output"|"var") IDENT {"," IDENT} [":" type] ";"
 //!           | "function" IDENT "(" [IDENT {"," IDENT}] ")" "=" expr ";"
@@ -18,6 +19,8 @@
 //!           | "if" expr "then" stmts ["else" stmts] "end" [";"]
 //!           | "send" IDENT "," expr ";"          (processes only)
 //!           | "recv" IDENT "," IDENT ";"         (processes only)
+//!           | "try_send" IDENT "," expr "," IDENT ";"   (processes only)
+//!           | "try_recv" IDENT "," IDENT "," IDENT ";"  (processes only)
 //! expr      = orex  [ ("="|"/="|"<"|"<="|">"|">=") orex ]
 //! orex      = andex { ("|"|"^") andex }
 //! andex     = shift { "&" shift }
@@ -229,7 +232,7 @@ impl Parser {
                 }
                 Token::Chan => {
                     self.bump();
-                    let ds = self.decl_list()?;
+                    let ds = self.chan_decl_list()?;
                     sys.chans.extend(ds);
                 }
                 Token::Shared => {
@@ -320,6 +323,43 @@ impl Parser {
             self.bump();
         }
         Ok(p)
+    }
+
+    /// Channel declarations: like [`Self::decl_list`] but the type may
+    /// carry a FIFO depth suffix, e.g. `chan c : fix[4];` (depth 0, a
+    /// rendezvous, when the suffix is absent).
+    fn chan_decl_list(&mut self) -> Result<Vec<(String, Type, u32)>, ParseError> {
+        let mut names = vec![self.ident()?];
+        while self.peek() == &Token::Comma {
+            self.bump();
+            names.push(self.ident()?);
+        }
+        let ty = if self.peek() == &Token::Colon {
+            self.bump();
+            self.parse_type()?
+        } else {
+            Type::Fix
+        };
+        let depth = if self.peek() == &Token::LBracket {
+            self.bump();
+            let d = match self.bump() {
+                Token::Num(n) if n.is_integer() && n.to_i64() >= 1 && n.to_i64() <= 1024 => {
+                    n.to_i64() as u32
+                }
+                _ => {
+                    return Err(ParseError::new(
+                        "channel depth must be an integer in 1..=1024",
+                        self.pos(),
+                    ))
+                }
+            };
+            self.eat(&Token::RBracket)?;
+            d
+        } else {
+            0
+        };
+        self.eat(&Token::Semi)?;
+        Ok(names.into_iter().map(|n| (n, ty, depth)).collect())
     }
 
     fn decl_list(&mut self) -> Result<Vec<(String, Type)>, ParseError> {
@@ -435,6 +475,38 @@ impl Parser {
                     let name = self.ident()?;
                     self.eat(&Token::Semi)?;
                     out.push(Stmt::Recv { chan, name });
+                }
+                Token::TrySend => {
+                    if !self.in_process {
+                        return Err(ParseError::new(
+                            "`try_send` is only allowed inside a process",
+                            self.pos(),
+                        ));
+                    }
+                    self.bump();
+                    let chan = self.ident()?;
+                    self.eat(&Token::Comma)?;
+                    let expr = self.expr()?;
+                    self.eat(&Token::Comma)?;
+                    let flag = self.ident()?;
+                    self.eat(&Token::Semi)?;
+                    out.push(Stmt::TrySend { chan, expr, flag });
+                }
+                Token::TryRecv => {
+                    if !self.in_process {
+                        return Err(ParseError::new(
+                            "`try_recv` is only allowed inside a process",
+                            self.pos(),
+                        ));
+                    }
+                    self.bump();
+                    let chan = self.ident()?;
+                    self.eat(&Token::Comma)?;
+                    let name = self.ident()?;
+                    self.eat(&Token::Comma)?;
+                    let flag = self.ident()?;
+                    self.eat(&Token::Semi)?;
+                    out.push(Stmt::TryRecv { chan, name, flag });
                 }
                 Token::Do => {
                     self.bump();

@@ -91,6 +91,16 @@ fn stmts(s: &mut String, body: &[Stmt], level: usize) {
             Stmt::Recv { chan, name } => {
                 let _ = writeln!(s, "recv {chan}, {name};");
             }
+            Stmt::TrySend {
+                chan,
+                expr: e,
+                flag,
+            } => {
+                let _ = writeln!(s, "try_send {chan}, {}, {flag};", expr(e));
+            }
+            Stmt::TryRecv { chan, name, flag } => {
+                let _ = writeln!(s, "try_recv {chan}, {name}, {flag};");
+            }
         }
     }
 }
@@ -107,7 +117,13 @@ pub fn system_to_source(sys: &SystemDecl) -> String {
     };
     decl(&mut s, "input", &sys.inputs);
     decl(&mut s, "output", &sys.outputs);
-    decl(&mut s, "chan", &sys.chans);
+    for (name, ty, depth) in &sys.chans {
+        if *depth == 0 {
+            let _ = writeln!(s, "chan {name} : {ty};");
+        } else {
+            let _ = writeln!(s, "chan {name} : {ty}[{depth}];");
+        }
+    }
     decl(&mut s, "shared", &sys.shareds);
     for f in &sys.functions {
         let _ = writeln!(

@@ -7,6 +7,11 @@
 //!   transfer fires on the cycle where sender (`tx_valid`) and receiver
 //!   (`rx_ready`) are both waiting, which is exactly the blocking
 //!   send/recv semantics the simulator implements.
+//! * [`fifo_cell_verilog`] — a depth-parameterized FIFO channel
+//!   (`chan c : fix[N]`). Sender and receiver decouple: `tx_ready`
+//!   tracks "not full" and `rx_valid` tracks "not empty", so the two
+//!   FSMDs block independently and simultaneous push/pop is legal at
+//!   every fill level.
 //! * [`arbiter_verilog`] — a fixed-priority mutex arbiter for `shared`
 //!   variables. Lowest index wins, matching the simulator's
 //!   process-declaration-order grant rule, and a grant is held until the
@@ -33,6 +38,60 @@ module hs_channel #(parameter WIDTH = 32) (
   assign tx_ready = rx_ready & tx_valid;
   assign rx_valid = tx_valid & rx_ready;
   assign rx_data  = tx_data;
+endmodule
+"
+}
+
+/// Verilog definition of the buffered channel cell `hs_fifo`.
+///
+/// One instance per channel declared with depth ≥ 1 (`chan c : fix[N]`).
+/// A circular buffer of `DEPTH` slots: a push commits on any cycle with
+/// `tx_valid & tx_ready` (not full), a pop on `rx_valid & rx_ready` (not
+/// empty), and both may commit in the same cycle — including a
+/// pop-alongside-push when full, which frees the slot the push consumes.
+/// Depth 1 degenerates to a single skid register, which still decouples
+/// the endpoints by one transfer (unlike the rendezvous `hs_channel`).
+pub fn fifo_cell_verilog() -> &'static str {
+    "\
+module hs_fifo #(parameter WIDTH = 32, parameter DEPTH = 1) (
+  input clk,
+  input rst,
+  input [WIDTH-1:0] tx_data,
+  input tx_valid,
+  output tx_ready,
+  output [WIDTH-1:0] rx_data,
+  output rx_valid,
+  input rx_ready
+);
+  // log2-ish pointer width; DEPTH+1 fill states need one extra count bit.
+  localparam PW = (DEPTH <= 2) ? 1 : (DEPTH <= 4) ? 2 : (DEPTH <= 8) ? 3 :
+                  (DEPTH <= 16) ? 4 : (DEPTH <= 64) ? 6 : (DEPTH <= 256) ? 8 : 10;
+  reg [WIDTH-1:0] mem [0:DEPTH-1];
+  reg [PW-1:0] rd_ptr, wr_ptr;
+  reg [PW:0] count;
+  wire full = (count == DEPTH);
+  wire empty = (count == 0);
+  wire push = tx_valid & ~full;
+  wire pop = rx_ready & ~empty;
+  assign tx_ready = ~full;
+  assign rx_valid = ~empty;
+  assign rx_data = mem[rd_ptr];
+  always @(posedge clk) begin
+    if (rst) begin
+      rd_ptr <= 0; wr_ptr <= 0; count <= 0;
+    end else begin
+      if (push) begin
+        mem[wr_ptr] <= tx_data;
+        wr_ptr <= (wr_ptr == DEPTH-1) ? 0 : wr_ptr + 1'b1;
+      end
+      if (pop) rd_ptr <= (rd_ptr == DEPTH-1) ? 0 : rd_ptr + 1'b1;
+      case ({push, pop})
+        2'b10: count <= count + 1'b1;
+        2'b01: count <= count - 1'b1;
+        default: ; // simultaneous push+pop or neither: count unchanged
+      endcase
+    end
+  end
 endmodule
 "
 }
@@ -69,14 +128,91 @@ mod tests {
 
     #[test]
     fn cells_are_balanced_modules() {
-        for src in [channel_cell_verilog(), arbiter_verilog()] {
+        for src in [
+            channel_cell_verilog(),
+            fifo_cell_verilog(),
+            arbiter_verilog(),
+        ] {
             assert_eq!(
                 src.matches("module ").count(),
                 src.matches("endmodule").count(),
             );
         }
         assert!(channel_cell_verilog().contains("module hs_channel"));
+        assert!(fifo_cell_verilog().contains("module hs_fifo"));
         assert!(arbiter_verilog().contains("module hs_arbiter"));
+    }
+
+    #[test]
+    fn fifo_decouples_ready_from_partner_and_allows_push_pop() {
+        let v = fifo_cell_verilog();
+        // Unlike hs_channel, readiness depends only on local fill state.
+        assert!(v.contains("assign tx_ready = ~full"), "{v}");
+        assert!(v.contains("assign rx_valid = ~empty"), "{v}");
+        // Simultaneous push+pop keeps the count unchanged (no underflow
+        // or overflow at the empty/full boundaries).
+        assert!(v.contains("{push, pop}"), "{v}");
+    }
+
+    #[test]
+    fn fifo_guards_overflow_and_underflow() {
+        let v = fifo_cell_verilog();
+        // A push can only commit with room and a pop only with data, so
+        // the count can never leave [0, DEPTH] even if a stuck partner
+        // holds tx_valid or rx_ready high across the boundary.
+        assert!(v.contains("wire push = tx_valid & ~full"), "{v}");
+        assert!(v.contains("wire pop = rx_ready & ~empty"), "{v}");
+        assert!(v.contains("wire full = (count == DEPTH)"), "{v}");
+        assert!(v.contains("wire empty = (count == 0)"), "{v}");
+    }
+
+    #[test]
+    fn fifo_pointers_wrap_at_depth() {
+        let v = fifo_cell_verilog();
+        // Circular addressing: both pointers reset to slot 0 after the
+        // last slot, so depths that are not powers of two stay in range.
+        assert!(
+            v.contains("wr_ptr <= (wr_ptr == DEPTH-1) ? 0 : wr_ptr + 1'b1"),
+            "{v}"
+        );
+        assert!(
+            v.contains("rd_ptr <= (rd_ptr == DEPTH-1) ? 0 : rd_ptr + 1'b1"),
+            "{v}"
+        );
+    }
+
+    #[test]
+    fn fifo_pointer_width_ladder_covers_every_depth() {
+        // Mirror of the PW localparam ladder in `fifo_cell_verilog`; keep
+        // the two in sync when extending the ladder.
+        let pw = |depth: u32| -> u32 {
+            if depth <= 2 {
+                1
+            } else if depth <= 4 {
+                2
+            } else if depth <= 8 {
+                3
+            } else if depth <= 16 {
+                4
+            } else if depth <= 64 {
+                6
+            } else if depth <= 256 {
+                8
+            } else {
+                10
+            }
+        };
+        for depth in 1..=1024u32 {
+            let pw = pw(depth);
+            // rd/wr pointers index mem[0..DEPTH-1]…
+            assert!(1u32 << pw >= depth, "PW {pw} cannot index depth {depth}");
+            // …and the PW+1-bit count must represent DEPTH itself.
+            assert!(
+                1u32 << (pw + 1) > depth,
+                "count width {} too small for {depth}",
+                pw + 1
+            );
+        }
     }
 
     #[test]

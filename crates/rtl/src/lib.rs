@@ -24,7 +24,7 @@ mod netlist;
 mod verilog;
 
 pub use area::{estimate, AreaReport, WIRING_FACTOR};
-pub use handshake::{arbiter_verilog, channel_cell_verilog};
+pub use handshake::{arbiter_verilog, channel_cell_verilog, fifo_cell_verilog};
 pub use library::{mux_area, CellClass, CellSpec, Library};
 pub use netlist::{Instance, InstanceId, Net, NetId, Netlist, NetlistError, Port, PortDir};
 pub use verilog::to_verilog;

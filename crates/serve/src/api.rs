@@ -9,9 +9,9 @@
 
 use hls_cdfg::SystemCdfg;
 use hls_core::{
-    cdfg_fingerprint, pareto_front, CancelToken, ControlReport, ControlStyle, DesignPoint,
-    Explorer, GridSpec, ProcessSynthesis, SynthesisError, SynthesisResult, Synthesizer,
-    SystemSynthesisResult,
+    cdfg_fingerprint, pareto_front, CancelToken, ControlReport, ControlStyle, DeadlockVerdict,
+    DesignPoint, Explorer, GridSpec, ProcessSynthesis, SynthesisError, SynthesisResult,
+    Synthesizer, SystemSynthesisResult,
 };
 use hls_ctrl::EncodingStyle;
 use hls_sched::{Algorithm, Priority};
@@ -401,28 +401,90 @@ pub fn synthesize_response(
 }
 
 /// Combined behavior fingerprint for a multi-process system: folds the
-/// channel and shared-variable declarations with every process's CDFG
+/// full channel declarations (name, width, **depth**, endpoint
+/// topology), shared-variable declarations, and every process's CDFG
 /// fingerprint, so a semantic change anywhere in the system changes the
-/// cache key.
+/// cache key. Every variable-length field is NUL-terminated so adjacent
+/// declarations cannot alias (`chan ab; chan c` vs `chan a; chan bc`),
+/// and each section is tagged so reordering declarations *between*
+/// sections cannot collide either.
 pub fn system_fingerprint(sys: &SystemCdfg) -> u64 {
     let mut w = hls_testkit::FnvWriter::new();
-    w.update(sys.name.as_bytes());
+    let str_field = |w: &mut hls_testkit::FnvWriter, s: &str| {
+        w.update(s.as_bytes());
+        w.update(&[0]);
+    };
+    // Option<usize> endpoint as a 1-based u64 (0 = unconnected).
+    let endpoint = |e: Option<usize>| (e.map_or(0, |i| i as u64 + 1)).to_le_bytes();
+    str_field(&mut w, &sys.name);
+    w.update(b"io\0");
+    for (name, width) in &sys.inputs {
+        str_field(&mut w, name);
+        w.update(&[*width]);
+    }
+    for (name, owner) in &sys.outputs {
+        str_field(&mut w, name);
+        w.update(&(*owner as u64).to_le_bytes());
+    }
+    w.update(b"chan\0");
     for c in &sys.channels {
-        w.update(c.name.as_bytes());
+        str_field(&mut w, &c.name);
+        w.update(&[c.width]);
+        w.update(&c.depth.to_le_bytes());
+        w.update(&endpoint(c.sender));
+        w.update(&endpoint(c.receiver));
     }
+    w.update(b"shared\0");
     for s in &sys.shared {
-        w.update(s.name.as_bytes());
+        str_field(&mut w, &s.name);
+        w.update(&[s.width]);
     }
+    w.update(b"proc\0");
     for p in &sys.processes {
-        w.update(p.name.as_bytes());
+        str_field(&mut w, &p.name);
         w.update(&cdfg_fingerprint(&p.cdfg).to_le_bytes());
     }
     w.finish()
 }
 
+/// Renders a static deadlock-analysis verdict as a JSON object with a
+/// discriminating `"verdict"` member (`"free"` / `"deadlock"` /
+/// `"unknown"`).
+fn deadlock_json(v: &DeadlockVerdict) -> Json {
+    match v {
+        DeadlockVerdict::Free => Json::Obj(vec![("verdict".into(), Json::Str("free".into()))]),
+        DeadlockVerdict::Deadlock { blocked, cycle } => Json::Obj(vec![
+            ("verdict".into(), Json::Str("deadlock".into())),
+            (
+                "blocked".into(),
+                Json::Arr(
+                    blocked
+                        .iter()
+                        .map(|(p, op)| {
+                            Json::Obj(vec![
+                                ("process".into(), Json::Str(p.clone())),
+                                ("op".into(), Json::Str(op.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "cycle".into(),
+                Json::Arr(cycle.iter().map(|p| Json::Str(p.clone())).collect()),
+            ),
+        ]),
+        DeadlockVerdict::Unknown { reason } => Json::Obj(vec![
+            ("verdict".into(), Json::Str("unknown".into())),
+            ("reason".into(), Json::Str(reason.clone())),
+        ]),
+    }
+}
+
 /// Builds the deterministic response body for one system-synthesis
 /// result: per-process metrics in declaration order, the interconnect
-/// inventory, and (on request) the elaborated top-level Verilog.
+/// inventory, the static deadlock verdict, and (on request) the
+/// elaborated top-level Verilog.
 pub fn system_response(
     req: &SynthesizeRequest,
     behavior_fp: u64,
@@ -466,6 +528,7 @@ pub fn system_response(
         ),
         ("channels".into(), names(&channels)),
         ("shared".into(), names(&shared)),
+        ("deadlock".into(), deadlock_json(&result.deadlock)),
         (
             "area".into(),
             Json::Num(result.processes.iter().map(|p| p.result.area.total()).sum()),
@@ -685,5 +748,37 @@ mod tests {
         assert_eq!(b1.matches(r#""fsm_states""#).count(), 3, "{b1}");
         assert!(b1.contains(r#""channels":["c1","c2"]"#), "{b1}");
         assert!(b1.contains("module pipe3"), "{b1}");
+        // PIPE3 is an acyclic pipeline: the static analysis proves it.
+        assert!(b1.contains(r#""deadlock":{"verdict":"free"}"#), "{b1}");
+    }
+
+    #[test]
+    fn system_fingerprint_sees_channel_depth_and_declarations() {
+        let fp = |src: &str| system_fingerprint(&hls_lang::compile_system(src).unwrap());
+        let base = "system s; input X; output Y; chan c;
+             process a; begin send c, X; end;
+             process b; var v; begin recv c, v; Y := v; end;
+             end.";
+        // Same processes, but the channel gains a buffer: different
+        // semantics (never deadlocks on crossed patterns), so it must be
+        // a different cache key.
+        let buffered = base.replace("chan c;", "chan c : fix[2];");
+        assert_ne!(fp(base), fp(&buffered), "depth must change the key");
+        assert_ne!(
+            fp(&buffered),
+            fp(&base.replace("chan c;", "chan c : fix[3];")),
+            "distinct depths must differ"
+        );
+        // Adjacent declarations must not alias through concatenation:
+        // the channel names fold as "ab"+"c" vs "a"+"bc" here.
+        let two_a = fp("system s; output Y; chan ab; chan c;
+             process p; begin send ab, 1; send c, 2; Y := 0; end;
+             process q; var v; begin recv ab, v; recv c, v; end;
+             end.");
+        let two_b = fp("system s; output Y; chan a; chan bc;
+             process p; begin send a, 1; send bc, 2; Y := 0; end;
+             process q; var v; begin recv a, v; recv bc, v; end;
+             end.");
+        assert_ne!(two_a, two_b, "declaration splits must differ");
     }
 }

@@ -480,3 +480,52 @@ fn system_source_synthesizes_processes_and_interconnect() {
     assert_eq!(explore.status, 422, "{}", explore.body);
     server.stop();
 }
+
+#[test]
+fn system_cache_distinguishes_channel_depth_and_reports_deadlock_verdict() {
+    let server = TestServer::start(ServerConfig {
+        threads: 2,
+        ..ServerConfig::default()
+    });
+    let src = |chan_decl: &str| {
+        format!(
+            "system s; input X; output Y; {chan_decl}
+             process a; begin send c, X + 1; end;
+             process b; var v; begin recv c, v; Y := v; end;
+             end."
+        )
+    };
+    let body = |chan_decl: &str| format!(r#"{{"source":{:?}}}"#, src(chan_decl));
+
+    let rendezvous = post(server.addr, "/synthesize", &body("chan c;"));
+    assert_eq!(rendezvous.status, 200, "body: {}", rendezvous.body);
+    assert_eq!(
+        rendezvous.headers.get("x-hls-cache").map(String::as_str),
+        Some("miss")
+    );
+    // The acyclic two-stage pipeline is statically proven live.
+    assert!(
+        rendezvous.body.contains(r#""deadlock":{"verdict":"free"}"#),
+        "{}",
+        rendezvous.body
+    );
+
+    // Same system, but the channel is now a depth-2 FIFO. The response
+    // must be freshly synthesized, not served from the rendezvous entry.
+    let buffered = post(server.addr, "/synthesize", &body("chan c : fix[2];"));
+    assert_eq!(buffered.status, 200, "body: {}", buffered.body);
+    assert_eq!(
+        buffered.headers.get("x-hls-cache").map(String::as_str),
+        Some("miss"),
+        "depth-2 FIFO system must not hit the rendezvous cache entry"
+    );
+
+    // And the original still hits its own entry afterwards.
+    let again = post(server.addr, "/synthesize", &body("chan c;"));
+    assert_eq!(
+        again.headers.get("x-hls-cache").map(String::as_str),
+        Some("hit")
+    );
+    assert_eq!(rendezvous.body, again.body);
+    server.stop();
+}

@@ -10,17 +10,21 @@
 //! * [`check_vector`] / [`check_random_vectors`] — co-simulation
 //!   equivalence checking.
 //! * [`to_vcd`] — waveform export of RTL traces.
+//! * [`analyze_deadlock`] — static liveness verdict over the per-process
+//!   channel-operation traces of a multi-process system.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod behav;
+mod deadlock;
 mod equiv;
 mod rtl;
 mod system;
 mod vcd;
 
 pub use behav::{apply_width, eval_op, interpret, BehavResult, MAX_ITERATIONS};
+pub use deadlock::{analyze_deadlock, DeadlockVerdict};
 pub use equiv::{check_random_vectors, check_vector, Equivalence};
 pub use rtl::{simulate, RtlResult};
 pub use system::{

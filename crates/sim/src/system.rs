@@ -13,15 +13,27 @@
 //!   makespan (the slowest process's clock), not the sum.
 //!
 //! Processes pause only at *sync blocks* (see [`hls_cdfg::SyncOp`]); the
-//! scheduler grants mutex blocks in process order and channel rendezvous
+//! scheduler grants mutex blocks in process order and channel operations
 //! in channel-declaration order, which makes every run deterministic. A
 //! state where no unfinished process can be granted anything is reported
 //! as [`SimError::Deadlock`] rather than hanging.
+//!
+//! Channels come in two flavors. Depth-0 channels are rendezvous: a
+//! transfer needs sender and receiver blocked simultaneously. Buffered
+//! channels (`depth ≥ 1`) hold a FIFO of in-flight values inside the
+//! driver; the sender is granted whenever the queue has room (at its own
+//! local clock — this is what lets a buffered pipeline overlap stages)
+//! and the receiver whenever the queue is nonempty, observing each value
+//! no earlier than the virtual time it was enqueued. Crucially, every
+//! grant decision depends only on queue occupancy and the pending sync
+//! ops — never on process clocks — so the behavioral model (all clocks
+//! pinned at 0) and the RT-level model take identical grant sequences
+//! and remain lockstep-comparable.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use hls_alloc::Datapath;
-use hls_cdfg::system::{chan_rx_port, chan_tx_port, shared_ld_port, shared_st_port};
+use hls_cdfg::system::{chan_ok_port, chan_rx_port, chan_tx_port, shared_ld_port, shared_st_port};
 use hls_cdfg::{BlockId, Cdfg, Fx, LoopKind, Region, SyncOp, SystemCdfg};
 use hls_sched::{CdfgSchedule, OpClassifier};
 
@@ -69,8 +81,9 @@ pub struct ProcessRtl<'a> {
 
 /// A flattened, resumable control program for one process: the region
 /// tree linearized so execution can pause at sync blocks and resume.
+/// Shared with the static deadlock analysis in [`crate::deadlock`].
 #[derive(Clone, Debug)]
-enum Ctl {
+pub(crate) enum Ctl {
     /// Execute the basic block.
     Block(BlockId),
     /// Jump to `target` when the flag is zero (`when_zero`) / nonzero.
@@ -83,7 +96,7 @@ enum Ctl {
     Jump(usize),
 }
 
-fn flatten(cdfg: &Cdfg) -> Vec<Ctl> {
+pub(crate) fn flatten(cdfg: &Cdfg) -> Vec<Ctl> {
     let mut out = Vec::new();
     flatten_region(cdfg.body(), &mut out);
     out
@@ -262,6 +275,10 @@ struct Driver<'a, E> {
     shared_vals: HashMap<String, Fx>,
     /// Virtual time at which each shared variable's mutex frees up.
     mutex_free: HashMap<String, u64>,
+    /// In-flight values of each buffered (depth ≥ 1) channel, paired with
+    /// the virtual time the sender enqueued them: a receiver can pop a
+    /// value only at or after that time.
+    fifos: HashMap<String, VecDeque<(Fx, u64)>>,
     rendezvous: u64,
 }
 
@@ -280,6 +297,12 @@ impl<'a, E: ProcExec> Driver<'a, E> {
                 .map(|s| (s.name.clone(), Fx::ZERO))
                 .collect(),
             mutex_free: sys.shared.iter().map(|s| (s.name.clone(), 0)).collect(),
+            fifos: sys
+                .channels
+                .iter()
+                .filter(|c| c.depth > 0)
+                .map(|c| (c.name.clone(), VecDeque::new()))
+                .collect(),
             rendezvous: 0,
         }
     }
@@ -348,6 +371,27 @@ impl<'a, E: ProcExec> Driver<'a, E> {
         Ok(())
     }
 
+    fn queue_len(&self, chan: &str) -> usize {
+        self.fifos.get(chan).map_or(0, VecDeque::len)
+    }
+
+    /// Reads the just-executed sender block's `tx` port and enqueues the
+    /// value at the sender's local clock. Counts as a transfer.
+    fn push_fifo(&mut self, chan: &hls_cdfg::ChannelSpec, s: usize) -> Result<(), SimError> {
+        let v = apply_width(self.execs[s].read(&chan_tx_port(&chan.name))?, chan.width);
+        let ts = self.execs[s].clock();
+        self.fifos
+            .entry(chan.name.clone())
+            .or_default()
+            .push_back((v, ts));
+        self.rendezvous += 1;
+        Ok(())
+    }
+
+    fn pop_fifo(&mut self, chan: &str) -> Option<(Fx, u64)> {
+        self.fifos.get_mut(chan).and_then(VecDeque::pop_front)
+    }
+
     fn run(&mut self) -> Result<(), SimError> {
         let n = self.sys.processes.len();
         loop {
@@ -392,35 +436,100 @@ impl<'a, E: ProcExec> Driver<'a, E> {
                 self.mutex_free.insert(var, self.execs[pi].clock());
                 granted = true;
             }
-            // Channel rendezvous next, in channel-declaration order.
+            // Channel grants next, in channel-declaration order. A
+            // rendezvous (depth 0) needs both endpoints waiting; a
+            // buffered channel grants each endpoint independently on
+            // queue occupancy, sender side first — so a receiver can pop
+            // a value pushed in the same sweep.
             for ci in 0..self.sys.channels.len() {
-                let chan = &self.sys.channels[ci];
-                let (Some(s), Some(r)) = (chan.sender, chan.receiver) else {
-                    continue;
-                };
-                let (Some(ps), Some(pr)) = (self.pending(s), self.pending(r)) else {
-                    continue;
-                };
-                let (name, width) = (chan.name.clone(), chan.width);
-                if !matches!(&ps.sync, SyncOp::Send { chan: c } if *c == name) {
+                let chan = self.sys.channels[ci].clone();
+                if chan.depth == 0 {
+                    let (Some(s), Some(r)) = (chan.sender, chan.receiver) else {
+                        continue;
+                    };
+                    let (Some(ps), Some(pr)) = (self.pending(s), self.pending(r)) else {
+                        continue;
+                    };
+                    let (name, width) = (chan.name.clone(), chan.width);
+                    if !matches!(&ps.sync, SyncOp::Send { chan: c } if *c == name) {
+                        continue;
+                    }
+                    if !matches!(&pr.sync, SyncOp::Recv { chan: c } if *c == name) {
+                        continue;
+                    }
+                    // Rendezvous: both parties wait for the later one, the
+                    // sender's block commits the value, the receiver latches
+                    // it and runs its block.
+                    let t0 = self.execs[s].clock().max(self.execs[r].clock());
+                    self.execs[s].set_clock(t0);
+                    self.exec_sync(s, ps.block)?;
+                    let v = apply_width(self.execs[s].read(&chan_tx_port(&name))?, width);
+                    let ts = self.execs[s].clock();
+                    self.execs[r].set_clock(ts);
+                    self.execs[r].write(&chan_rx_port(&name), v)?;
+                    self.exec_sync(r, pr.block)?;
+                    self.rendezvous += 1;
+                    granted = true;
                     continue;
                 }
-                if !matches!(&pr.sync, SyncOp::Recv { chan: c } if *c == name) {
-                    continue;
+                // Buffered channel: sender side.
+                if let Some(s) = chan.sender {
+                    match self.pending(s).map(|p| (p.sync.clone(), p.block)) {
+                        Some((SyncOp::Send { chan: c }, block))
+                            if c == chan.name
+                                && self.queue_len(&chan.name) < chan.depth as usize =>
+                        {
+                            self.exec_sync(s, block)?;
+                            self.push_fifo(&chan, s)?;
+                            granted = true;
+                        }
+                        Some((SyncOp::TrySend { chan: c }, block)) if c == chan.name => {
+                            // Never blocks: the ok port tells the block
+                            // whether the value made it into the queue.
+                            let ok = self.queue_len(&chan.name) < chan.depth as usize;
+                            self.execs[s].write(&chan_ok_port(&chan.name), bit(ok))?;
+                            self.exec_sync(s, block)?;
+                            if ok {
+                                self.push_fifo(&chan, s)?;
+                            }
+                            granted = true;
+                        }
+                        _ => {}
+                    }
                 }
-                // Rendezvous: both parties wait for the later one, the
-                // sender's block commits the value, the receiver latches
-                // it and runs its block.
-                let t0 = self.execs[s].clock().max(self.execs[r].clock());
-                self.execs[s].set_clock(t0);
-                self.exec_sync(s, ps.block)?;
-                let v = apply_width(self.execs[s].read(&chan_tx_port(&name))?, width);
-                let ts = self.execs[s].clock();
-                self.execs[r].set_clock(ts);
-                self.execs[r].write(&chan_rx_port(&name), v)?;
-                self.exec_sync(r, pr.block)?;
-                self.rendezvous += 1;
-                granted = true;
+                // Buffered channel: receiver side.
+                if let Some(r) = chan.receiver {
+                    match self.pending(r).map(|p| (p.sync.clone(), p.block)) {
+                        Some((SyncOp::Recv { chan: c }, block)) if c == chan.name => {
+                            if let Some((v, ts)) = self.pop_fifo(&chan.name) {
+                                let t0 = self.execs[r].clock().max(ts);
+                                self.execs[r].set_clock(t0);
+                                self.execs[r].write(&chan_rx_port(&chan.name), v)?;
+                                self.exec_sync(r, block)?;
+                                granted = true;
+                            }
+                        }
+                        Some((SyncOp::TryRecv { chan: c }, block)) if c == chan.name => {
+                            match self.pop_fifo(&chan.name) {
+                                Some((v, ts)) => {
+                                    let t0 = self.execs[r].clock().max(ts);
+                                    self.execs[r].set_clock(t0);
+                                    self.execs[r].write(&chan_rx_port(&chan.name), v)?;
+                                    self.execs[r].write(&chan_ok_port(&chan.name), bit(true))?;
+                                }
+                                None => {
+                                    // Empty FIFO: destination zeroed,
+                                    // flag low, no blocking.
+                                    self.execs[r].write(&chan_rx_port(&chan.name), Fx::ZERO)?;
+                                    self.execs[r].write(&chan_ok_port(&chan.name), bit(false))?;
+                                }
+                            }
+                            self.exec_sync(r, block)?;
+                            granted = true;
+                        }
+                        _ => {}
+                    }
+                }
             }
             if !granted {
                 let blocked = (0..n)
@@ -429,6 +538,11 @@ impl<'a, E: ProcExec> Driver<'a, E> {
                             let what = match &p.sync {
                                 SyncOp::Send { chan } => format!("send {chan}"),
                                 SyncOp::Recv { chan } => format!("recv {chan}"),
+                                // Try-ops are always grantable, so they
+                                // can never appear in a blocked set; the
+                                // labels exist for exhaustiveness.
+                                SyncOp::TrySend { chan } => format!("try_send {chan}"),
+                                SyncOp::TryRecv { chan } => format!("try_recv {chan}"),
                                 SyncOp::Shared { var, .. } => format!("shared {var}"),
                             };
                             (self.sys.processes[pi].name.clone(), what)
@@ -543,6 +657,15 @@ pub fn simulate_system(
 /// `{var}__ld`, ...), which are bound at sync time, not at start.
 fn is_port_var(name: &str) -> bool {
     name.contains("__")
+}
+
+/// A 1-bit flag value.
+fn bit(b: bool) -> Fx {
+    if b {
+        Fx::from_i64(1)
+    } else {
+        Fx::ZERO
+    }
 }
 
 #[cfg(test)]

@@ -147,6 +147,19 @@ end;
 end.
 ";
 
+/// [`PIPE3`] with both channels declared at FIFO depth `depth`
+/// (`chan c : fix[depth]`); depth 0 returns the rendezvous original.
+/// Used by the `table-fifo` experiment and its locking test to measure
+/// how buffering decouples the pipeline stages.
+pub fn pipe3_with_depth(depth: u32) -> String {
+    if depth == 0 {
+        return PIPE3.to_string();
+    }
+    PIPE3
+        .replace("chan c1 : fix;", &format!("chan c1 : fix[{depth}];"))
+        .replace("chan c2 : fix;", &format!("chan c2 : fix[{depth}];"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

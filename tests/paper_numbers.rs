@@ -143,3 +143,44 @@ fn e14_designs_execute_and_verify() {
         assert!(eq.equivalent, "{:?}", eq.mismatch);
     }
 }
+
+/// E21 (table-fifo): one slot of channel buffering strictly reduces the
+/// PIPE3 makespan vs rendezvous, and every variant is statically proven
+/// deadlock-free. Locks the EXPERIMENTS.md table (18 → 16 cycles).
+#[test]
+fn e21_fifo_depth_strictly_reduces_pipe3_makespan() {
+    use std::collections::BTreeMap;
+    let syn = Synthesizer::new();
+    let inputs = BTreeMap::from([("X".to_string(), hls::Fx::from_i64(3))]);
+    let run = |depth: u32| {
+        let sys = syn
+            .synthesize_system_source(&hls_workloads::sources::pipe3_with_depth(depth))
+            .unwrap();
+        assert!(
+            sys.deadlock.is_free(),
+            "depth {depth}: expected a free verdict, got {}",
+            sys.deadlock
+        );
+        let r = sys.run(&inputs).unwrap();
+        assert_eq!(r.outputs["Y"], hls::Fx::from_i64(24), "depth {depth}");
+        r
+    };
+    let rendezvous = run(0);
+    assert_eq!(rendezvous.cycles, 18);
+    for depth in [1u32, 2, 4] {
+        let buffered = run(depth);
+        assert!(
+            buffered.cycles < rendezvous.cycles,
+            "depth {depth}: {} !< {} cycles",
+            buffered.cycles,
+            rendezvous.cycles
+        );
+        assert_eq!(buffered.cycles, 16, "depth {depth}");
+        // The producer no longer waits for the consumer chain: it drains
+        // its three sends into the FIFO and retires early.
+        assert!(
+            buffered.process_cycles[0] < rendezvous.process_cycles[0],
+            "depth {depth}: producer not decoupled"
+        );
+    }
+}
