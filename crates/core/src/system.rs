@@ -460,9 +460,18 @@ impl SystemSynthesisResult {
                 let pin = sanitize(&port.name);
                 if let Some(base) = port.name.strip_prefix("in_") {
                     let conn = if let Some(chan) = base.strip_suffix("__rx") {
-                        // FIFOs present dequeue data on a separate wire.
+                        // FIFOs present dequeue data on a separate wire,
+                        // gated by rx_valid: a failed try_recv must latch
+                        // zero into the destination (both simulators write
+                        // "var zeroed, flag low"), not the stale
+                        // mem[rd_ptr] contents. Blocking recv is
+                        // unaffected — it only commits on a cycle where
+                        // rx_valid is high, so the gate is transparent.
                         match sys.channel(chan) {
-                            Some(c) if c.depth > 0 => format!("ch_{}_rx_data", sanitize(chan)),
+                            Some(c) if c.depth > 0 => {
+                                let cn = sanitize(chan);
+                                format!("ch_{cn}_rx_valid ? ch_{cn}_rx_data : 32'd0")
+                            }
                             _ => format!("ch_{}_data", sanitize(chan)),
                         }
                     } else if let Some(chan) = base.strip_suffix("__ok") {
@@ -570,9 +579,12 @@ enum SyncDir {
 impl SyncKind {
     fn parse(label: &str) -> SyncKind {
         // Try ops wire identically to their blocking forms — the sender
-        // side drives `tx_valid`, the receiver side `rx_ready` — the
-        // non-blocking part lives entirely in the controller, which
-        // samples the grant as the success flag instead of holding.
+        // side drives `tx_valid`, the receiver side `rx_ready`. The
+        // non-blocking part lives in the controller, which asserts its
+        // request for one cycle and advances regardless of the grant
+        // (see `hls_ctrl::controller_verilog`); the datapath latches the
+        // channel's local readiness — equal to the grant while the
+        // request is high — as the success flag during that cycle.
         match label.split_once(' ') {
             Some(("send" | "try_send", c)) => SyncKind::Send(c.to_string()),
             Some(("recv" | "try_recv", c)) => SyncKind::Recv(c.to_string()),
@@ -756,6 +768,9 @@ mod tests {
         assert!(!v.contains("module hs_channel"), "{v}");
         // The consumer reads the FIFO's dequeue side, not the tx wire.
         assert!(v.contains("ch_c_rx_data"), "{v}");
+        // Blocking send/recv states still hold for their grant (only
+        // try-op states advance ungated).
+        assert!(v.contains("if (grant_"), "{v}");
         assert_eq!(v.matches("module ").count(), v.matches("endmodule").count());
     }
 
@@ -789,6 +804,19 @@ mod tests {
         // The success flag input samples the FIFO's local readiness.
         assert!(v.contains(".in_c__ok(ch_c_tx_ready)"), "{v}");
         assert!(v.contains(".in_c__ok(ch_c_rx_valid)"), "{v}");
+        // Co-sim never executes the emitted controllers, so lint the
+        // Verilog: both processes only sync through try ops, whose states
+        // must pulse req and advance unconditionally — a grant gate would
+        // wedge the FSM on a full/empty FIFO and latch ok=1 forever,
+        // diverging from both simulators (ok=0, advance).
+        assert!(v.contains("assign req_"), "{v}");
+        assert!(!v.contains("if (grant_"), "try states must not hold: {v}");
+        // A failed try_recv latches zero, not stale FIFO memory: the
+        // dequeue data is gated by rx_valid at the datapath input.
+        assert!(
+            v.contains(".in_c__rx(ch_c_rx_valid ? ch_c_rx_data : 32'd0)"),
+            "{v}"
+        );
     }
 
     #[test]

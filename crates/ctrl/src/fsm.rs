@@ -65,9 +65,13 @@ pub struct Fsm {
     pub flags: BTreeSet<String>,
     /// Synchronization states: the *commit* state of every sync block
     /// (channel send/recv or mutexed shared access), keyed by state id
-    /// with a label such as `send c`, `recv c`, or `mutex acc`. The
-    /// controller must hold in such a state until its external grant
-    /// is asserted (see [`controller_verilog`](crate::controller_verilog)).
+    /// with a label such as `send c`, `recv c`, `try_send c`,
+    /// `try_recv c`, or `mutex acc`. For blocking labels the controller
+    /// holds in the state until its external grant is asserted; for the
+    /// non-blocking `try_*` labels it asserts its request for exactly one
+    /// cycle and advances regardless of the grant, which the datapath
+    /// samples as the success flag (see
+    /// [`controller_verilog`](crate::controller_verilog)).
     pub sync_states: BTreeMap<StateId, String>,
 }
 

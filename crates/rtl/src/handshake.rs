@@ -10,8 +10,9 @@
 //! * [`fifo_cell_verilog`] — a depth-parameterized FIFO channel
 //!   (`chan c : fix[N]`). Sender and receiver decouple: `tx_ready`
 //!   tracks "not full" and `rx_valid` tracks "not empty", so the two
-//!   FSMDs block independently and simultaneous push/pop is legal at
-//!   every fill level.
+//!   FSMDs block independently and a push and a pop may commit in the
+//!   same cycle at intermediate fill levels (a full FIFO accepts no
+//!   push until the cycle after a freeing pop).
 //! * [`arbiter_verilog`] — a fixed-priority mutex arbiter for `shared`
 //!   variables. Lowest index wins, matching the simulator's
 //!   process-declaration-order grant rule, and a grant is held until the
@@ -47,10 +48,12 @@ endmodule
 /// One instance per channel declared with depth ≥ 1 (`chan c : fix[N]`).
 /// A circular buffer of `DEPTH` slots: a push commits on any cycle with
 /// `tx_valid & tx_ready` (not full), a pop on `rx_valid & rx_ready` (not
-/// empty), and both may commit in the same cycle — including a
-/// pop-alongside-push when full, which frees the slot the push consumes.
-/// Depth 1 degenerates to a single skid register, which still decouples
-/// the endpoints by one transfer (unlike the rendezvous `hs_channel`).
+/// empty), and both may commit in the same cycle at intermediate fill
+/// levels. There is no full-with-pop bypass: when full, a push waits for
+/// the cycle *after* the freeing pop (matching the scheduler, which also
+/// requires room before granting a send). Depth 1 degenerates to a
+/// single skid register, which still decouples the endpoints by one
+/// transfer (unlike the rendezvous `hs_channel`).
 pub fn fifo_cell_verilog() -> &'static str {
     "\
 module hs_fifo #(parameter WIDTH = 32, parameter DEPTH = 1) (
