@@ -54,4 +54,37 @@ cargo run --release --offline -q -p hls-fuzz -- --iters 100 --seed 1 --mode proc
 echo "==> fuzz smoke, unrestricted sync patterns + deadlock verdicts (100 iterations)"
 cargo run --release --offline -q -p hls-fuzz -- --iters 100 --seed 2 --mode proc-any
 
+echo "==> shard front smoke (2 workers, 8-point batch, byte-stable warm NDJSON)"
+# The front reads its workers' drain signal from stdin EOF, so hold its
+# stdin open on a FIFO for the duration of the smoke and close it to
+# shut the whole tree down gracefully.
+front_log=$(mktemp)
+front_fifo=$(mktemp -u)
+mkfifo "$front_fifo"
+target/release/hls-serve --front --workers 2 127.0.0.1:0 \
+    <"$front_fifo" 2>"$front_log" &
+front_pid=$!
+exec 9>"$front_fifo"
+front_addr=""
+i=0
+while [ $i -lt 100 ]; do
+    front_addr=$(sed -n 's/.*front listening on \([0-9.:]*\) .*/\1/p' "$front_log")
+    [ -n "$front_addr" ] && break
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$front_addr" ]; then
+    echo "front never came up:"; cat "$front_log"; exit 1
+fi
+# batch-smoke: warms the cluster caches, then POSTs the same 8-point
+# /v1/batch twice and requires every seq present in order and the two
+# warm NDJSON streams byte-identical.
+target/release/hls-loadgen "$front_addr" --batch-smoke
+# Short mixed legacy/v1 closed loop through the front: byte-identity
+# per template plus envelope/Deprecation handling on the live wire.
+target/release/hls-loadgen "$front_addr" 64 4 --mix mixed
+exec 9>&-   # stdin EOF -> front drains itself and its workers
+wait "$front_pid"
+rm -f "$front_fifo" "$front_log"
+
 echo "CI OK"

@@ -50,7 +50,7 @@ pub struct DesignPoint {
 }
 
 impl DesignPoint {
-    fn new(cfg: &PointConfig, s: PointSummary) -> Self {
+    fn new(cfg: &GridPoint, s: PointSummary) -> Self {
         DesignPoint {
             fus: cfg.fus,
             algorithm: cfg.algorithm,
@@ -93,11 +93,18 @@ impl PointSummary {
 }
 
 /// One grid coordinate: the overrides applied to the base synthesizer.
+///
+/// Public so callers that need *explicit* point lists — the batch
+/// endpoint of `hls-serve` routes individual grid points to shard
+/// workers — can name coordinates outside a cartesian [`GridSpec`].
 #[derive(Clone, Copy, Debug, PartialEq)]
-struct PointConfig {
-    fus: usize,
-    algorithm: Algorithm,
-    control: ControlStyle,
+pub struct GridPoint {
+    /// Universal-FU count override.
+    pub fus: usize,
+    /// Scheduling algorithm override.
+    pub algorithm: Algorithm,
+    /// Control style override.
+    pub control: ControlStyle,
 }
 
 /// A multi-dimensional sweep specification: the cartesian product
@@ -134,12 +141,14 @@ impl GridSpec {
         self.len() == 0
     }
 
-    fn points(&self) -> Vec<PointConfig> {
+    /// Expands the cartesian grid into explicit coordinates, in grid
+    /// order (`fus` outermost, `controls` innermost).
+    pub fn expand(&self) -> Vec<GridPoint> {
         let mut out = Vec::with_capacity(self.len());
         for &fus in &self.fus {
             for &algorithm in &self.algorithms {
                 for &control in &self.controls {
-                    out.push(PointConfig {
+                    out.push(GridPoint {
                         fus,
                         algorithm,
                         control,
@@ -148,6 +157,10 @@ impl GridSpec {
             }
         }
         out
+    }
+
+    fn points(&self) -> Vec<GridPoint> {
+        self.expand()
     }
 }
 
@@ -210,11 +223,14 @@ impl MemoCache {
         }
     }
 
+    /// Returns the summary plus `true` when it was served from the cache
+    /// (including waits on a point another worker was synthesizing) or
+    /// `false` when this call ran the computation itself.
     fn get_or_compute(
         &self,
         key: u64,
         compute: impl FnOnce() -> Result<PointSummary, SynthesisError>,
-    ) -> Result<PointSummary, SynthesisError> {
+    ) -> Result<(PointSummary, bool), SynthesisError> {
         let (cell, owner) = {
             let mut map = self.map.lock().expect("cache lock");
             match map.entry(key) {
@@ -238,7 +254,7 @@ impl MemoCache {
                 Err(e) => *state = CellState::Failed(e.to_string()),
             }
             cell.ready.notify_all();
-            result
+            result.map(|s| (s, false))
         } else {
             self.hits.fetch_add(1, Ordering::SeqCst);
             let mut state = cell.state.lock().expect("cell lock");
@@ -246,7 +262,7 @@ impl MemoCache {
                 state = cell.ready.wait(state).expect("cell wait");
             }
             match &*state {
-                CellState::Done(s) => Ok(*s),
+                CellState::Done(s) => Ok((*s, true)),
                 CellState::Failed(msg) => Err(SynthesisError::Explore(msg.clone())),
                 CellState::Pending => unreachable!("loop exits only on a final state"),
             }
@@ -255,7 +271,7 @@ impl MemoCache {
 }
 
 /// Applies a grid coordinate to the base synthesizer.
-fn configure(base: &Synthesizer, cfg: &PointConfig) -> Synthesizer {
+pub(crate) fn configure(base: &Synthesizer, cfg: &GridPoint) -> Synthesizer {
     base.clone()
         .universal_fus(cfg.fus)
         .algorithm(cfg.algorithm)
@@ -466,10 +482,69 @@ impl Explorer {
             let key = memo_key(behavior_fp, syn.fingerprint());
             cache
                 .get_or_compute(key, || run_point(&syn, &prepared))
-                .map(|s| DesignPoint::new(&cfg, s))
+                .map(|(s, _)| DesignPoint::new(&cfg, s))
         });
         // First error in grid order, independent of completion order.
         results.into_iter().collect()
+    }
+
+    /// Parallel, cached sweep over an *explicit* point list, invoking
+    /// `on_point` from worker threads as each point completes (in
+    /// completion order, not list order). This is the progress hook the
+    /// batch-streaming endpoint of `hls-serve` is built on: each
+    /// callback carries the point's index into `points`, and on success
+    /// the [`DesignPoint`] plus whether it was served from the memo
+    /// cache (`true`) or freshly synthesized (`false`).
+    ///
+    /// Cancellation follows [`Explorer::sweep_grid_cdfg_cancellable`]:
+    /// started points run to completion, unstarted points report
+    /// [`SynthesisError::Cancelled`] through the callback.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only when the behavior fails to *prepare*
+    /// (before any point runs); per-point failures are delivered through
+    /// `on_point` instead so one bad point cannot hide the others.
+    ///
+    /// [`SynthesisError::Cancelled`]: crate::SynthesisError::Cancelled
+    pub fn sweep_points_cdfg_streaming<F>(
+        &self,
+        base: &Synthesizer,
+        cdfg: &Cdfg,
+        points: Vec<GridPoint>,
+        cancel: &crate::CancelToken,
+        on_point: F,
+    ) -> Result<(), SynthesisError>
+    where
+        F: Fn(usize, Result<(DesignPoint, bool), SynthesisError>) + Send + Sync + 'static,
+    {
+        let behavior_fp = cdfg_fingerprint(cdfg);
+        let base = Arc::new(base.clone());
+        let prepared = Arc::new(base.prepare(cdfg.clone())?);
+        let cache = Arc::clone(&self.cache);
+        let cancel = cancel.clone();
+        // map() blocks until every point has called back *and* every
+        // worker has released its clone of the closure, so the caller
+        // can finalize its stream (and reclaim anything `on_point`
+        // captured) right after this returns.
+        let _ = self.pool.map(points, move |seq, cfg| {
+            if cancel.is_cancelled() {
+                on_point(
+                    seq,
+                    Err(SynthesisError::Cancelled {
+                        completed: "explore-point",
+                    }),
+                );
+                return;
+            }
+            let syn = configure(&base, &cfg);
+            let key = memo_key(behavior_fp, syn.fingerprint());
+            let out = cache
+                .get_or_compute(key, || run_point(&syn, &prepared))
+                .map(|(s, hit)| (DesignPoint::new(&cfg, s), hit));
+            on_point(seq, out);
+        });
+        Ok(())
     }
 }
 
@@ -593,6 +668,82 @@ mod tests {
         assert!(!a.dominates(&c));
         assert!(!c.dominates(&a));
         assert!(!a.dominates(&a), "no self-domination");
+    }
+
+    #[test]
+    fn streaming_sweep_matches_grid_sweep_and_reports_hits() {
+        use std::sync::Mutex;
+
+        let explorer = Explorer::with_threads(2);
+        let base = Synthesizer::new();
+        let cdfg = hls_lang::compile(hls_workloads::sources::SQRT).unwrap();
+        let spec = GridSpec {
+            fus: vec![1, 2],
+            algorithms: vec![Algorithm::Asap, Algorithm::List(Priority::PathLength)],
+            controls: vec![ControlStyle::Hardwired(hls_ctrl::EncodingStyle::Binary)],
+        };
+        let reference = explorer
+            .sweep_grid_cdfg(&base, &cdfg, &spec)
+            .expect("reference sweep");
+
+        let run = |expect_hits: bool| {
+            let seen: Arc<Mutex<Vec<(usize, DesignPoint, bool)>>> =
+                Arc::new(Mutex::new(Vec::new()));
+            let sink = Arc::clone(&seen);
+            explorer
+                .sweep_points_cdfg_streaming(
+                    &base,
+                    &cdfg,
+                    spec.expand(),
+                    &crate::CancelToken::new(),
+                    move |seq, out| {
+                        let (p, hit) = out.expect("point synthesizes");
+                        sink.lock().unwrap().push((seq, p, hit));
+                    },
+                )
+                .expect("streaming sweep");
+            let mut seen = Arc::try_unwrap(seen).unwrap().into_inner().unwrap();
+            seen.sort_by_key(|(seq, _, _)| *seq);
+            assert_eq!(seen.len(), spec.len(), "every point calls back once");
+            for (i, (seq, p, hit)) in seen.iter().enumerate() {
+                assert_eq!(*seq, i);
+                assert_eq!(p, &reference[i], "streamed point {i} disagrees");
+                if expect_hits {
+                    assert!(*hit, "point {i} should hit the warm memo cache");
+                }
+            }
+        };
+        // First streaming run may mix hits (the reference sweep warmed
+        // the cache) — the second must be all hits.
+        run(true);
+        run(true);
+    }
+
+    #[test]
+    fn streaming_sweep_cancellation_reaches_callback() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let explorer = Explorer::with_threads(2);
+        let base = Synthesizer::new();
+        let cdfg = hls_lang::compile(hls_workloads::sources::SQRT).unwrap();
+        let cancel = crate::CancelToken::new();
+        cancel.cancel();
+        let cancelled = Arc::new(AtomicUsize::new(0));
+        let sink = Arc::clone(&cancelled);
+        explorer
+            .sweep_points_cdfg_streaming(
+                &base,
+                &cdfg,
+                GridSpec::fu_sweep(&base, 3).expand(),
+                &cancel,
+                move |_, out| {
+                    if matches!(out, Err(SynthesisError::Cancelled { .. })) {
+                        sink.fetch_add(1, Ordering::SeqCst);
+                    }
+                },
+            )
+            .expect("prepare still succeeds");
+        assert_eq!(cancelled.load(Ordering::SeqCst), 3, "all points cancelled");
     }
 
     #[test]

@@ -27,7 +27,7 @@ mod system;
 
 pub use explore::{
     pareto_front, sweep_fus, sweep_grid, sweep_grid_cdfg, CacheStats, DesignPoint, Explorer,
-    GridSpec,
+    GridPoint, GridSpec,
 };
 pub use pipeline::{
     cdfg_fingerprint, CancelToken, ControlReport, ControlStyle, PreparedBehavior, StageNanos,

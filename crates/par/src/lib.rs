@@ -182,6 +182,11 @@ impl ThreadPool {
             let tx = tx.clone();
             self.execute(move || {
                 let out = catch_unwind(AssertUnwindSafe(|| f(idx, item)));
+                // Release this job's closure clone *before* signaling:
+                // once the caller has collected all n results, no worker
+                // still holds `f` or anything it captured, so map()'s
+                // return means the closure's captures are released too.
+                drop(f);
                 // A dropped receiver means the caller already panicked;
                 // nothing useful to do with the result then.
                 let _ = tx.send((idx, out));

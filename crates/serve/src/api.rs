@@ -10,7 +10,7 @@
 use hls_cdfg::SystemCdfg;
 use hls_core::{
     cdfg_fingerprint, pareto_front, CancelToken, ControlReport, ControlStyle, DeadlockVerdict,
-    DesignPoint, Explorer, GridSpec, ProcessSynthesis, SynthesisError, SynthesisResult,
+    DesignPoint, Explorer, GridPoint, GridSpec, ProcessSynthesis, SynthesisError, SynthesisResult,
     Synthesizer, SystemSynthesisResult,
 };
 use hls_ctrl::EncodingStyle;
@@ -260,6 +260,64 @@ pub struct ExploreRequest {
     pub deadline_ms: Option<u64>,
 }
 
+/// Resolves a `grid` JSON object into a validated [`GridSpec`]; omitted
+/// axes fall back to the base synthesizer's configuration (or `[1,2,3]`
+/// functional units).
+fn parse_grid(grid: &Json, base: &Synthesizer) -> Result<GridSpec, ApiError> {
+    let fus = match grid.get("fus") {
+        None => vec![1, 2, 3],
+        Some(v) => v
+            .as_arr()
+            .ok_or_else(|| err("grid.fus must be an array"))?
+            .iter()
+            .map(|n| {
+                n.as_u64()
+                    .filter(|&n| (1..=64).contains(&n))
+                    .map(|n| n as usize)
+                    .ok_or_else(|| err("grid.fus entries must be integers in 1..=64"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let algorithms = match grid.get("algorithms") {
+        None => vec![base.configured_algorithm()],
+        Some(v) => v
+            .as_arr()
+            .ok_or_else(|| err("grid.algorithms must be an array"))?
+            .iter()
+            .map(|a| {
+                a.as_str()
+                    .ok_or_else(|| err("grid.algorithms entries must be strings"))
+                    .and_then(parse_algorithm)
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let controls = match grid.get("controls") {
+        None => vec![base.configured_control()],
+        Some(v) => v
+            .as_arr()
+            .ok_or_else(|| err("grid.controls must be an array"))?
+            .iter()
+            .map(|c| {
+                c.as_str()
+                    .ok_or_else(|| err("grid.controls entries must be strings"))
+                    .and_then(parse_control)
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let spec = GridSpec {
+        fus,
+        algorithms,
+        controls,
+    };
+    if spec.is_empty() {
+        return Err(err("grid has an empty axis"));
+    }
+    if spec.len() > 4096 {
+        return Err(err("grid too large (more than 4096 points)"));
+    }
+    Ok(spec)
+}
+
 impl ExploreRequest {
     /// Parses and validates a request body.
     pub fn from_json(body: &Json) -> Result<Self, ApiError> {
@@ -270,57 +328,7 @@ impl ExploreRequest {
             .to_string();
         let synthesizer = build_synthesizer(body.get("config"))?;
         let grid = body.get("grid").ok_or_else(|| err("missing \"grid\""))?;
-        let fus = match grid.get("fus") {
-            None => vec![1, 2, 3],
-            Some(v) => v
-                .as_arr()
-                .ok_or_else(|| err("grid.fus must be an array"))?
-                .iter()
-                .map(|n| {
-                    n.as_u64()
-                        .filter(|&n| (1..=64).contains(&n))
-                        .map(|n| n as usize)
-                        .ok_or_else(|| err("grid.fus entries must be integers in 1..=64"))
-                })
-                .collect::<Result<_, _>>()?,
-        };
-        let algorithms = match grid.get("algorithms") {
-            None => vec![synthesizer.configured_algorithm()],
-            Some(v) => v
-                .as_arr()
-                .ok_or_else(|| err("grid.algorithms must be an array"))?
-                .iter()
-                .map(|a| {
-                    a.as_str()
-                        .ok_or_else(|| err("grid.algorithms entries must be strings"))
-                        .and_then(parse_algorithm)
-                })
-                .collect::<Result<_, _>>()?,
-        };
-        let controls = match grid.get("controls") {
-            None => vec![synthesizer.configured_control()],
-            Some(v) => v
-                .as_arr()
-                .ok_or_else(|| err("grid.controls must be an array"))?
-                .iter()
-                .map(|c| {
-                    c.as_str()
-                        .ok_or_else(|| err("grid.controls entries must be strings"))
-                        .and_then(parse_control)
-                })
-                .collect::<Result<_, _>>()?,
-        };
-        let spec = GridSpec {
-            fus,
-            algorithms,
-            controls,
-        };
-        if spec.is_empty() {
-            return Err(err("grid has an empty axis"));
-        }
-        if spec.len() > 4096 {
-            return Err(err("grid too large (more than 4096 points)"));
-        }
+        let spec = parse_grid(grid, &synthesizer)?;
         let deadline_ms = match body.get("deadline_ms") {
             None => None,
             Some(v) => Some(
@@ -334,6 +342,131 @@ impl ExploreRequest {
             synthesizer,
             spec,
             deadline_ms,
+        })
+    }
+}
+
+/// A fully parsed `/v1/batch` request: a sweep whose points stream back
+/// as NDJSON records carrying caller-assigned sequence numbers.
+#[derive(Clone, Debug)]
+pub struct BatchRequest {
+    /// BSL source text.
+    pub source: String,
+    /// Base synthesizer the grid points perturb.
+    pub synthesizer: Synthesizer,
+    /// The raw `config` object as sent, kept verbatim so a front
+    /// process can re-render sub-batches for its workers without
+    /// round-tripping through the typed form.
+    pub config: Option<Json>,
+    /// `(seq, point)` pairs in request order. Sequence numbers are
+    /// unique but need not be contiguous: a front process carves one
+    /// client batch into per-worker sub-batches with global seqs.
+    pub points: Vec<(u64, GridPoint)>,
+    /// Optional per-batch deadline override, milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Test-only artificial delay per point (honored only when the
+    /// server enables it).
+    pub test_delay_ms: u64,
+}
+
+impl BatchRequest {
+    /// Parses and validates a request body. Exactly one of `"grid"`
+    /// (expanded front-side, seqs 0..n in grid order) or `"points"`
+    /// (explicit `{"seq","fus","algorithm"?,"control"?}` records) must
+    /// be present.
+    pub fn from_json(body: &Json) -> Result<Self, ApiError> {
+        let source = body
+            .get("source")
+            .and_then(Json::as_str)
+            .ok_or_else(|| err("missing required string field \"source\""))?
+            .to_string();
+        let config = body.get("config").cloned();
+        let synthesizer = build_synthesizer(config.as_ref())?;
+        let points = match (body.get("grid"), body.get("points")) {
+            (Some(_), Some(_)) => {
+                return Err(err("give either \"grid\" or \"points\", not both"));
+            }
+            (Some(grid), None) => parse_grid(grid, &synthesizer)?
+                .expand()
+                .into_iter()
+                .enumerate()
+                .map(|(i, p)| (i as u64, p))
+                .collect::<Vec<_>>(),
+            (None, Some(points)) => {
+                let arr = points
+                    .as_arr()
+                    .ok_or_else(|| err("points must be an array"))?;
+                if arr.len() > 4096 {
+                    return Err(err("too many points (more than 4096)"));
+                }
+                arr.iter()
+                    .map(|p| {
+                        let seq = p
+                            .get("seq")
+                            .and_then(Json::as_u64)
+                            .ok_or_else(|| err("each point needs an integer \"seq\""))?;
+                        let fus = p
+                            .get("fus")
+                            .and_then(Json::as_u64)
+                            .filter(|&n| (1..=64).contains(&n))
+                            .ok_or_else(|| err("each point needs \"fus\" in 1..=64"))?
+                            as usize;
+                        let algorithm = match p.get("algorithm") {
+                            None => synthesizer.configured_algorithm(),
+                            Some(a) => parse_algorithm(
+                                a.as_str()
+                                    .ok_or_else(|| err("point algorithm must be a string"))?,
+                            )?,
+                        };
+                        let control = match p.get("control") {
+                            None => synthesizer.configured_control(),
+                            Some(c) => parse_control(
+                                c.as_str()
+                                    .ok_or_else(|| err("point control must be a string"))?,
+                            )?,
+                        };
+                        Ok((
+                            seq,
+                            GridPoint {
+                                fus,
+                                algorithm,
+                                control,
+                            },
+                        ))
+                    })
+                    .collect::<Result<Vec<_>, ApiError>>()?
+            }
+            (None, None) => return Err(err("missing \"grid\" or \"points\"")),
+        };
+        if points.is_empty() {
+            return Err(err("batch has no points"));
+        }
+        let mut seqs: Vec<u64> = points.iter().map(|(s, _)| *s).collect();
+        seqs.sort_unstable();
+        if seqs.windows(2).any(|w| w[0] == w[1]) {
+            return Err(err("duplicate seq in points"));
+        }
+        let deadline_ms = match body.get("deadline_ms") {
+            None => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .filter(|&ms| ms > 0)
+                    .ok_or_else(|| err("deadline_ms must be a positive integer"))?,
+            ),
+        };
+        let test_delay_ms = match body.get("test_delay_ms") {
+            None => 0,
+            Some(v) => v
+                .as_u64()
+                .ok_or_else(|| err("test_delay_ms must be a non-negative integer"))?,
+        };
+        Ok(BatchRequest {
+            source,
+            synthesizer,
+            config,
+            points,
+            deadline_ms,
+            test_delay_ms,
         })
     }
 }
@@ -490,8 +623,28 @@ pub fn system_response(
     behavior_fp: u64,
     result: &SystemSynthesisResult,
 ) -> Json {
+    system_response_with(req, behavior_fp, result, false)
+}
+
+/// v1 variant of [`system_response`]: per-process objects carry the
+/// same metric keys as single-process responses (`clock_ns` after
+/// `area`); everything else is byte-identical to v0.
+pub fn system_response_v1(
+    req: &SynthesizeRequest,
+    behavior_fp: u64,
+    result: &SystemSynthesisResult,
+) -> Json {
+    system_response_with(req, behavior_fp, result, true)
+}
+
+fn system_response_with(
+    req: &SynthesizeRequest,
+    behavior_fp: u64,
+    result: &SystemSynthesisResult,
+    v1: bool,
+) -> Json {
     let process_json = |p: &ProcessSynthesis| {
-        Json::Obj(vec![
+        let mut members = vec![
             ("name".into(), Json::Str(p.name.clone())),
             ("latency".into(), Json::Num(p.result.latency as f64)),
             ("fus".into(), Json::Num(p.result.datapath.fu_count() as f64)),
@@ -504,8 +657,12 @@ pub fn system_response(
                 Json::Num(p.result.datapath.mux_inputs as f64),
             ),
             ("area".into(), Json::Num(p.result.area.total())),
-            ("fsm_states".into(), Json::Num(p.result.fsm.len() as f64)),
-        ])
+        ];
+        if v1 {
+            members.push(("clock_ns".into(), Json::Num(p.result.area.clock_ns)));
+        }
+        members.push(("fsm_states".into(), Json::Num(p.result.fsm.len() as f64)));
+        Json::Obj(members)
     };
     let names = |it: &[String]| Json::Arr(it.iter().map(|n| Json::Str(n.clone())).collect());
     let channels: Vec<String> = result
@@ -547,19 +704,22 @@ pub fn system_response(
     Json::Obj(members)
 }
 
+/// Flat design-point rendering shared by `/explore` bodies and batch
+/// summary pareto fronts.
+fn point_json(p: &DesignPoint) -> Json {
+    Json::Obj(vec![
+        ("fus".into(), Json::Num(p.fus as f64)),
+        ("algorithm".into(), Json::Str(algorithm_str(p.algorithm))),
+        ("control".into(), Json::Str(control_str(p.control))),
+        ("latency".into(), Json::Num(p.latency as f64)),
+        ("area".into(), Json::Num(p.area)),
+        ("registers".into(), Json::Num(p.registers as f64)),
+        ("mux_inputs".into(), Json::Num(p.mux_inputs as f64)),
+    ])
+}
+
 /// Builds the deterministic response body for one exploration sweep.
 pub fn explore_response(points: &[DesignPoint], behavior_fp: u64, config_fp: u64) -> Json {
-    let point_json = |p: &DesignPoint| {
-        Json::Obj(vec![
-            ("fus".into(), Json::Num(p.fus as f64)),
-            ("algorithm".into(), Json::Str(algorithm_str(p.algorithm))),
-            ("control".into(), Json::Str(control_str(p.control))),
-            ("latency".into(), Json::Num(p.latency as f64)),
-            ("area".into(), Json::Num(p.area)),
-            ("registers".into(), Json::Num(p.registers as f64)),
-            ("mux_inputs".into(), Json::Num(p.mux_inputs as f64)),
-        ])
-    };
     Json::Obj(vec![
         (
             "points".into(),
@@ -577,6 +737,116 @@ pub fn explore_response(points: &[DesignPoint], behavior_fp: u64, config_fp: u64
             ]),
         ),
     ])
+}
+
+/// Renders a [`GridPoint`] as its three configuration axes.
+pub fn grid_point_json(p: &GridPoint) -> Json {
+    Json::Obj(vec![
+        ("fus".into(), Json::Num(p.fus as f64)),
+        ("algorithm".into(), Json::Str(algorithm_str(p.algorithm))),
+        ("control".into(), Json::Str(control_str(p.control))),
+    ])
+}
+
+/// One completed grid point as an NDJSON record:
+/// `{"seq":k,"cache_hit":b,"point":{…},"result":{…}}`.
+pub fn batch_point_record(seq: u64, cache_hit: bool, point: &GridPoint, d: &DesignPoint) -> Json {
+    Json::Obj(vec![
+        ("seq".into(), Json::Num(seq as f64)),
+        ("cache_hit".into(), Json::Bool(cache_hit)),
+        ("point".into(), grid_point_json(point)),
+        (
+            "result".into(),
+            Json::Obj(vec![
+                ("latency".into(), Json::Num(d.latency as f64)),
+                ("area".into(), Json::Num(d.area)),
+                ("registers".into(), Json::Num(d.registers as f64)),
+                ("mux_inputs".into(), Json::Num(d.mux_inputs as f64)),
+            ]),
+        ),
+    ])
+}
+
+/// One failed grid point as an NDJSON record:
+/// `{"seq":k,"error":{"code","message","stage"?}}`.
+pub fn batch_error_record(seq: u64, code: &str, message: &str, stage: Option<&str>) -> Json {
+    let mut inner = vec![
+        ("code".into(), Json::Str(code.into())),
+        ("message".into(), Json::Str(message.into())),
+    ];
+    if let Some(stage) = stage {
+        inner.push(("stage".into(), Json::Str(stage.into())));
+    }
+    Json::Obj(vec![
+        ("seq".into(), Json::Num(seq as f64)),
+        ("error".into(), Json::Obj(inner)),
+    ])
+}
+
+/// The terminal NDJSON summary line for a batch: counts plus the pareto
+/// front over all completed points (given in seq order so the rendering
+/// is deterministic regardless of completion order).
+pub fn batch_summary(
+    total: usize,
+    ok: usize,
+    errors: usize,
+    cache_hits: usize,
+    completed: &[DesignPoint],
+) -> Json {
+    Json::Obj(vec![(
+        "summary".into(),
+        Json::Obj(vec![
+            ("points".into(), Json::Num(total as f64)),
+            ("ok".into(), Json::Num(ok as f64)),
+            ("errors".into(), Json::Num(errors as f64)),
+            ("cache_hits".into(), Json::Num(cache_hits as f64)),
+            (
+                "pareto".into(),
+                Json::Arr(pareto_front(completed).iter().map(point_json).collect()),
+            ),
+        ]),
+    )])
+}
+
+/// Builds the v1 error envelope
+/// `{"error":{"code","message","stage"?,"retry_after_ms"?}}`.
+pub fn error_envelope(
+    code: &str,
+    message: &str,
+    stage: Option<&str>,
+    retry_after_ms: Option<u64>,
+) -> Json {
+    let mut inner = vec![
+        ("code".into(), Json::Str(code.into())),
+        ("message".into(), Json::Str(message.into())),
+    ];
+    if let Some(stage) = stage {
+        inner.push(("stage".into(), Json::Str(stage.into())));
+    }
+    if let Some(ms) = retry_after_ms {
+        inner.push(("retry_after_ms".into(), Json::Num(ms as f64)));
+    }
+    Json::Obj(vec![("error".into(), Json::Obj(inner))])
+}
+
+/// Splices `"cache_hit":b` in as the first member of a rendered JSON
+/// object body. The cached rendering deliberately excludes the flag —
+/// it is the one field that depends on cache state rather than the
+/// request — so v1 handlers add it at serve time without re-rendering.
+pub fn with_cache_hit(body: &[u8], hit: bool) -> Vec<u8> {
+    debug_assert!(body.first() == Some(&b'{'), "body must be a JSON object");
+    let flag = if hit {
+        "{\"cache_hit\":true"
+    } else {
+        "{\"cache_hit\":false"
+    };
+    let mut out = Vec::with_capacity(flag.len() + body.len() + 1);
+    out.extend_from_slice(flag.as_bytes());
+    if body.get(1) != Some(&b'}') {
+        out.push(b',');
+    }
+    out.extend_from_slice(&body[1..]);
+    out
 }
 
 /// Runs a parsed `/synthesize` request to completion.
@@ -701,6 +971,92 @@ mod tests {
 
         let body = parse(r#"{"source":"x","grid":{"fus":[]}}"#).unwrap();
         assert!(ExploreRequest::from_json(&body).is_err());
+    }
+
+    #[test]
+    fn batch_request_expands_grid_and_accepts_explicit_points() {
+        let body =
+            parse(r#"{"source":"x","grid":{"fus":[1,2],"algorithms":["asap","list/path"]}}"#)
+                .unwrap();
+        let req = BatchRequest::from_json(&body).unwrap();
+        assert_eq!(req.points.len(), 4);
+        assert_eq!(req.points[0].0, 0);
+        assert_eq!(req.points[3].0, 3);
+        // Grid order: fus outermost, then algorithms.
+        assert_eq!(req.points[0].1.fus, 1);
+        assert_eq!(req.points[2].1.fus, 2);
+
+        let body = parse(
+            r#"{"source":"x","points":[{"seq":7,"fus":2,"algorithm":"asap"},{"seq":3,"fus":1}]}"#,
+        )
+        .unwrap();
+        let req = BatchRequest::from_json(&body).unwrap();
+        assert_eq!(req.points.len(), 2);
+        assert_eq!(req.points[0].0, 7, "seqs kept verbatim, order preserved");
+        assert_eq!(req.points[1].0, 3);
+        assert_eq!(req.points[0].1.algorithm, Algorithm::Asap);
+
+        for bad in [
+            r#"{"source":"x"}"#,
+            r#"{"source":"x","grid":{},"points":[]}"#,
+            r#"{"source":"x","points":[]}"#,
+            r#"{"source":"x","points":[{"seq":1,"fus":1},{"seq":1,"fus":2}]}"#,
+            r#"{"source":"x","points":[{"fus":1}]}"#,
+            r#"{"source":"x","points":[{"seq":0,"fus":99}]}"#,
+        ] {
+            let body = parse(bad).unwrap();
+            assert!(BatchRequest::from_json(&body).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn error_envelope_and_batch_records_render_stably() {
+        assert_eq!(
+            error_envelope("overloaded", "server overloaded", None, Some(1000)).render(),
+            r#"{"error":{"code":"overloaded","message":"server overloaded","retry_after_ms":1000}}"#
+        );
+        assert_eq!(
+            error_envelope("deadline_exceeded", "cancelled", Some("schedule"), None).render(),
+            r#"{"error":{"code":"deadline_exceeded","message":"cancelled","stage":"schedule"}}"#
+        );
+        assert_eq!(
+            batch_error_record(4, "deadline_exceeded", "cancelled", Some("none")).render(),
+            r#"{"seq":4,"error":{"code":"deadline_exceeded","message":"cancelled","stage":"none"}}"#
+        );
+        let p = GridPoint {
+            fus: 2,
+            algorithm: Algorithm::Asap,
+            control: ControlStyle::Hardwired(EncodingStyle::Binary),
+        };
+        let d = DesignPoint {
+            fus: 2,
+            algorithm: Algorithm::Asap,
+            control: ControlStyle::Hardwired(EncodingStyle::Binary),
+            latency: 10,
+            area: 100.5,
+            registers: 7,
+            mux_inputs: 12,
+        };
+        assert_eq!(
+            batch_point_record(3, true, &p, &d).render(),
+            concat!(
+                r#"{"seq":3,"cache_hit":true,"#,
+                r#""point":{"fus":2,"algorithm":"asap","control":"hardwired/binary"},"#,
+                r#""result":{"latency":10,"area":100.5,"registers":7,"mux_inputs":12}}"#
+            )
+        );
+        let s = batch_summary(1, 1, 0, 1, &[d]).render();
+        assert!(s.starts_with(r#"{"summary":{"points":1,"ok":1,"errors":0,"cache_hits":1,"#));
+        assert!(s.contains(r#""pareto":[{"fus":2"#), "{s}");
+    }
+
+    #[test]
+    fn cache_hit_splice_prepends_field() {
+        assert_eq!(
+            with_cache_hit(br#"{"latency":10}"#, false),
+            br#"{"cache_hit":false,"latency":10}"#
+        );
+        assert_eq!(with_cache_hit(b"{}", true), br#"{"cache_hit":true}"#);
     }
 
     #[test]

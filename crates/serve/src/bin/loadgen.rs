@@ -2,7 +2,7 @@
 //! `hls-serve`.
 //!
 //! ```text
-//! hls-loadgen ADDR [REQUESTS] [CLIENTS]
+//! hls-loadgen ADDR [REQUESTS] [CLIENTS] [--mix v1|legacy|mixed] [--batch-smoke]
 //! ```
 //!
 //! `CLIENTS` workers each run a closed loop: take the next request index
@@ -15,9 +15,22 @@
 //! template and fails loudly when two repeats ever disagree (whether
 //! they were served from cache or freshly synthesized).
 //!
-//! A `503` answer is back-off-and-retry (honoring `Retry-After`), and is
-//! reported separately from hard errors. Exit status is nonzero when any
-//! hard error or byte mismatch occurred.
+//! `--mix` selects the traffic shape: `v1` hits only `/v1/*` paths,
+//! `legacy` only the deprecated unversioned ones, and `mixed` (the
+//! default) alternates — which doubles the template count, since v1 and
+//! legacy bodies differ byte-wise (`cache_hit` field) and must be
+//! fingerprinted separately.
+//!
+//! A `503` answer is back-off-and-retry, honoring `Retry-After-Ms`
+//! when present (exact milliseconds), the v1 envelope's
+//! `retry_after_ms`, or falling back to `Retry-After` seconds. Sheds
+//! are reported separately from hard errors. Exit status is nonzero
+//! when any hard error or byte mismatch occurred.
+//!
+//! `--batch-smoke` runs a different check instead of the closed loop:
+//! it POSTs one `/v1/batch` sweep twice, verifies the NDJSON stream is
+//! well-formed (every seq present exactly once, ascending, summary
+//! last) and that the two response bodies are byte-identical.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -27,52 +40,95 @@ use std::time::{Duration, Instant};
 
 /// One request template: an endpoint path and a fixed JSON body.
 struct Template {
-    path: &'static str,
+    path: String,
     body: String,
     label: String,
 }
 
-fn templates() -> Vec<Template> {
+/// Which API surface the templates target.
+#[derive(Clone, Copy, PartialEq)]
+enum Mix {
+    V1,
+    Legacy,
+    Mixed,
+}
+
+fn templates(mix: Mix) -> Vec<Template> {
+    let prefixes: &[&str] = match mix {
+        Mix::V1 => &["/v1"],
+        Mix::Legacy => &[""],
+        Mix::Mixed => &["/v1", ""],
+    };
     let sqrt = hls_workloads::sources::SQRT;
     let diffeq = hls_workloads::sources::DIFFEQ;
     let gcd = hls_workloads::sources::GCD;
     let mut out = Vec::new();
-    for (name, source, fus, algorithm) in [
-        ("sqrt/1fu", sqrt, 1, "list/path"),
-        ("sqrt/2fu", sqrt, 2, "list/path"),
-        ("sqrt/asap", sqrt, 2, "asap"),
-        ("diffeq/2fu", diffeq, 2, "list/path"),
-        ("diffeq/3fu", diffeq, 3, "list/urgency"),
-        ("gcd/2fu", gcd, 2, "list/path"),
-    ] {
-        out.push(Template {
-            path: "/synthesize",
-            body: format!(
-                r#"{{"source":{source:?},"config":{{"fus":{fus},"algorithm":{algorithm:?}}}}}"#
-            ),
-            label: format!("synthesize:{name}"),
-        });
-    }
-    for (name, source, max_fus) in [("sqrt", sqrt, 3), ("diffeq", diffeq, 2)] {
-        let fus: Vec<String> = (1..=max_fus).map(|n| n.to_string()).collect();
-        out.push(Template {
-            path: "/explore",
-            body: format!(
-                r#"{{"source":{source:?},"grid":{{"fus":[{}],"algorithms":["asap","list/path"]}}}}"#,
-                fus.join(",")
-            ),
-            label: format!("explore:{name}"),
-        });
+    for prefix in prefixes {
+        let tag = if prefix.is_empty() { "legacy" } else { "v1" };
+        for (name, source, fus, algorithm) in [
+            ("sqrt/1fu", sqrt, 1, "list/path"),
+            ("sqrt/2fu", sqrt, 2, "list/path"),
+            ("sqrt/asap", sqrt, 2, "asap"),
+            ("diffeq/2fu", diffeq, 2, "list/path"),
+            ("diffeq/3fu", diffeq, 3, "list/urgency"),
+            ("gcd/2fu", gcd, 2, "list/path"),
+        ] {
+            out.push(Template {
+                path: format!("{prefix}/synthesize"),
+                body: format!(
+                    r#"{{"source":{source:?},"config":{{"fus":{fus},"algorithm":{algorithm:?}}}}}"#
+                ),
+                label: format!("synthesize:{name}:{tag}"),
+            });
+        }
+        for (name, source, max_fus) in [("sqrt", sqrt, 3), ("diffeq", diffeq, 2)] {
+            let fus: Vec<String> = (1..=max_fus).map(|n| n.to_string()).collect();
+            out.push(Template {
+                path: format!("{prefix}/explore"),
+                body: format!(
+                    r#"{{"source":{source:?},"grid":{{"fus":[{}],"algorithms":["asap","list/path"]}}}}"#,
+                    fus.join(",")
+                ),
+                label: format!("explore:{name}:{tag}"),
+            });
+        }
     }
     out
 }
 
-/// A parsed response: status, cache header, body.
+/// A parsed response: status, cache header, backoff hints, body.
 struct Reply {
     status: u16,
     cache: Option<String>,
-    retry_after: Option<u64>,
+    retry_after_secs: Option<u64>,
+    retry_after_ms: Option<u64>,
     body: Vec<u8>,
+}
+
+/// The backoff to sleep after a 503, in milliseconds. Prefers the exact
+/// `Retry-After-Ms` header (or the v1 envelope's `retry_after_ms`,
+/// passed in by the caller), falls back to `Retry-After` seconds, and
+/// scales down so a loadgen run doesn't stall: the server's hint is for
+/// polite clients, a load generator only needs to desynchronize.
+fn backoff_ms(retry_after_ms: Option<u64>, retry_after_secs: Option<u64>) -> u64 {
+    let hinted = retry_after_ms
+        .or(retry_after_secs.map(|s| s * 1000))
+        .unwrap_or(1000);
+    // 1/20th of the hint, clamped to [10ms, 2s]: same shape the old
+    // seconds-based sleep had (50ms per hinted second).
+    (hinted / 20).clamp(10, 2000)
+}
+
+/// Pulls `retry_after_ms` out of a v1 error envelope body, if present.
+fn envelope_retry_after_ms(body: &[u8]) -> Option<u64> {
+    let text = std::str::from_utf8(body).ok()?;
+    let key = "\"retry_after_ms\":";
+    let at = text.find(key)? + key.len();
+    let rest = &text[at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 /// Fires one request and reads the whole close-delimited response.
@@ -105,22 +161,58 @@ fn fire(addr: &str, path: &str, body: &str) -> Result<Reply, String> {
         .and_then(|s| s.parse().ok())
         .ok_or("bad status line")?;
     let mut cache = None;
-    let mut retry_after = None;
+    let mut retry_after_secs = None;
+    let mut retry_after_ms = None;
+    let mut chunked = false;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             match name.trim().to_ascii_lowercase().as_str() {
                 "x-hls-cache" => cache = Some(value.trim().to_string()),
-                "retry-after" => retry_after = value.trim().parse().ok(),
+                "retry-after" => retry_after_secs = value.trim().parse().ok(),
+                "retry-after-ms" => retry_after_ms = value.trim().parse().ok(),
+                "transfer-encoding" => {
+                    chunked = value.trim().eq_ignore_ascii_case("chunked");
+                }
                 _ => {}
             }
         }
     }
+    let mut body = raw[head_end + 4..].to_vec();
+    if chunked {
+        body = decode_chunked(&body)?;
+    }
     Ok(Reply {
         status,
         cache,
-        retry_after,
-        body: raw[head_end + 4..].to_vec(),
+        retry_after_secs,
+        retry_after_ms,
+        body,
     })
+}
+
+/// Decodes a complete chunked transfer-coding body.
+fn decode_chunked(raw: &[u8]) -> Result<Vec<u8>, String> {
+    let mut out = Vec::new();
+    let mut at = 0usize;
+    loop {
+        let line_end = raw[at..]
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .ok_or("chunk size line unterminated")?;
+        let size_text = std::str::from_utf8(&raw[at..at + line_end])
+            .map_err(|_| "non-utf8 chunk size")?
+            .trim();
+        let size = usize::from_str_radix(size_text, 16).map_err(|_| "bad chunk size")?;
+        at += line_end + 2;
+        if size == 0 {
+            return Ok(out);
+        }
+        if at + size + 2 > raw.len() {
+            return Err("truncated chunk".into());
+        }
+        out.extend_from_slice(&raw[at..at + size]);
+        at += size + 2;
+    }
 }
 
 fn fnv(bytes: &[u8]) -> u64 {
@@ -152,19 +244,128 @@ fn percentile(sorted: &[u64], p: f64) -> Duration {
     Duration::from_nanos(sorted[idx])
 }
 
-fn main() {
-    let mut args = std::env::args().skip(1);
-    let addr = match args.next() {
-        Some(a) if a != "-h" && a != "--help" => a,
-        _ => {
-            eprintln!("usage: hls-loadgen ADDR [REQUESTS] [CLIENTS]");
-            std::process::exit(2);
+/// `--batch-smoke`: one `/v1/batch` sweep, POSTed twice; checks NDJSON
+/// shape and byte-identity of the two streams. Returns process exit
+/// status.
+fn batch_smoke(addr: &str) -> i32 {
+    let source = hls_workloads::sources::SQRT;
+    let body = format!(
+        r#"{{"source":{source:?},"grid":{{"fus":[1,2,3,4],"algorithms":["asap","list/path"]}}}}"#
+    );
+    // Warm the worker caches first: the compared runs must both be
+    // warm, since `cache_hit` flips between a cold and a warm run.
+    if let Err(e) = fire(addr, "/v1/batch", &body) {
+        eprintln!("batch-smoke (warmup): {e}");
+        return 1;
+    }
+    let mut first: Option<Vec<u8>> = None;
+    for round in 0..2 {
+        let reply = match fire(addr, "/v1/batch", &body) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("batch-smoke: {e}");
+                return 1;
+            }
+        };
+        if reply.status != 200 {
+            eprintln!(
+                "batch-smoke: HTTP {} ({})",
+                reply.status,
+                String::from_utf8_lossy(&reply.body)
+            );
+            return 1;
         }
-    };
-    let total: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(1000);
-    let clients: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(8);
+        let text = String::from_utf8_lossy(&reply.body).into_owned();
+        let lines: Vec<&str> = text.lines().collect();
+        let (records, summary) = match lines.split_last() {
+            Some((last, init)) if last.contains("\"summary\"") => (init, *last),
+            _ => {
+                eprintln!("batch-smoke: stream does not end with a summary line");
+                return 1;
+            }
+        };
+        let mut seqs = Vec::new();
+        for line in records {
+            let Some(rest) = line.strip_prefix("{\"seq\":") else {
+                eprintln!("batch-smoke: bad record line {line:?}");
+                return 1;
+            };
+            let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+            match digits.parse::<u64>() {
+                Ok(s) => seqs.push(s),
+                Err(_) => {
+                    eprintln!("batch-smoke: bad seq in {line:?}");
+                    return 1;
+                }
+            }
+        }
+        let expect: Vec<u64> = (0..seqs.len() as u64).collect();
+        if seqs != expect {
+            eprintln!("batch-smoke: seqs {seqs:?} not 0..{}", seqs.len());
+            return 1;
+        }
+        eprintln!(
+            "batch-smoke round {round}: {} records in seq order, summary {summary}",
+            seqs.len()
+        );
+        match &first {
+            None => first = Some(reply.body),
+            Some(prev) if *prev != reply.body => {
+                eprintln!("batch-smoke: second stream differs byte-wise from the first");
+                return 1;
+            }
+            Some(_) => eprintln!("batch-smoke: streams byte-identical across runs"),
+        }
+    }
+    0
+}
 
-    let templates = Arc::new(templates());
+fn main() {
+    let mut addr = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut mix = Mix::Mixed;
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                eprintln!(
+                    "usage: hls-loadgen ADDR [REQUESTS] [CLIENTS] [--mix v1|legacy|mixed] [--batch-smoke]"
+                );
+                std::process::exit(2);
+            }
+            "--mix" => {
+                mix = match args.next().as_deref() {
+                    Some("v1") => Mix::V1,
+                    Some("legacy") => Mix::Legacy,
+                    Some("mixed") => Mix::Mixed,
+                    other => {
+                        eprintln!("bad --mix {other:?} (want v1|legacy|mixed)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--batch-smoke" => smoke = true,
+            other if addr.is_none() => addr = Some(other.to_string()),
+            other => positional.push(other.to_string()),
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!(
+            "usage: hls-loadgen ADDR [REQUESTS] [CLIENTS] [--mix v1|legacy|mixed] [--batch-smoke]"
+        );
+        std::process::exit(2);
+    };
+    if smoke {
+        std::process::exit(batch_smoke(&addr));
+    }
+    let total: usize = positional
+        .first()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000);
+    let clients: usize = positional.get(1).and_then(|v| v.parse().ok()).unwrap_or(8);
+
+    let templates = Arc::new(templates(mix));
     let stats = Arc::new(Stats {
         digests: Mutex::new(vec![None; templates.len()]),
         ..Stats::default()
@@ -191,12 +392,15 @@ fn main() {
                 let req_started = Instant::now();
                 let mut attempts = 0;
                 let reply = loop {
-                    match fire(&addr, t.path, &t.body) {
+                    match fire(&addr, &t.path, &t.body) {
                         Ok(r) if r.status == 503 && attempts < 10 => {
                             attempts += 1;
                             stats.sheds.fetch_add(1, Ordering::Relaxed);
-                            let secs = r.retry_after.unwrap_or(1);
-                            std::thread::sleep(Duration::from_millis(50 * secs.max(1)));
+                            let ms = backoff_ms(
+                                r.retry_after_ms.or(envelope_retry_after_ms(&r.body)),
+                                r.retry_after_secs,
+                            );
+                            std::thread::sleep(Duration::from_millis(ms));
                         }
                         other => break other,
                     }
@@ -204,10 +408,30 @@ fn main() {
                 match reply {
                     Ok(r) if r.status == 200 => {
                         stats.ok.fetch_add(1, Ordering::Relaxed);
-                        if r.cache.as_deref() == Some("hit") {
+                        let hit = r.cache.as_deref() == Some("hit");
+                        if hit {
                             stats.cache_hits.fetch_add(1, Ordering::Relaxed);
                         }
-                        let digest = fnv(&r.body);
+                        // v1 bodies carry the hit flag inline too; a
+                        // disagreement with the header is a bug.
+                        if t.path.starts_with("/v1/") {
+                            let text = String::from_utf8_lossy(&r.body);
+                            let flagged = text.contains("\"cache_hit\":true");
+                            if flagged != hit {
+                                stats.mismatches.fetch_add(1, Ordering::Relaxed);
+                                eprintln!(
+                                    "CACHE FLAG MISMATCH on {}: header {hit}, body {flagged}",
+                                    t.label
+                                );
+                            }
+                        }
+                        // The cache_hit field flips between first hit and
+                        // later repeats; mask it out of the digest so the
+                        // identity check sees only the payload.
+                        let canon = String::from_utf8_lossy(&r.body)
+                            .replace("\"cache_hit\":true", "\"cache_hit\":_")
+                            .replace("\"cache_hit\":false", "\"cache_hit\":_");
+                        let digest = fnv(canon.as_bytes());
                         let mut digests = stats.digests.lock().unwrap();
                         match digests[i % templates.len()] {
                             None => digests[i % templates.len()] = Some(digest),
@@ -273,5 +497,47 @@ fn main() {
     );
     if errors > 0 || mismatches > 0 {
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_prefers_exact_ms_over_seconds() {
+        // Retry-After-Ms wins; Retry-After seconds is the fallback.
+        assert_eq!(backoff_ms(Some(1000), Some(7)), 50);
+        assert_eq!(backoff_ms(None, Some(1)), 50);
+        // The old bug: treating seconds as milliseconds would give a
+        // 1000× shorter sleep. Seconds scale through ×1000 first.
+        assert_eq!(backoff_ms(None, Some(2)), 100);
+        assert_eq!(backoff_ms(Some(2), None), 10); // clamped floor
+        assert_eq!(backoff_ms(Some(600_000), None), 2000); // clamped ceiling
+        assert_eq!(backoff_ms(None, None), 50); // default 1s hint
+    }
+
+    #[test]
+    fn envelope_retry_after_ms_parses_v1_errors() {
+        let body = br#"{"error":{"code":"overloaded","message":"x","retry_after_ms":1500}}"#;
+        assert_eq!(envelope_retry_after_ms(body), Some(1500));
+        assert_eq!(envelope_retry_after_ms(b"{}"), None);
+    }
+
+    #[test]
+    fn chunked_decoder_reassembles_bodies() {
+        let raw = b"4\r\nwiki\r\n5\r\npedia\r\n0\r\n\r\n";
+        assert_eq!(decode_chunked(raw).unwrap(), b"wikipedia");
+        assert!(decode_chunked(b"zz\r\n").is_err());
+    }
+
+    #[test]
+    fn traffic_mixes_shape_the_template_set() {
+        let v1 = templates(Mix::V1);
+        let legacy = templates(Mix::Legacy);
+        let mixed = templates(Mix::Mixed);
+        assert!(v1.iter().all(|t| t.path.starts_with("/v1/")));
+        assert!(legacy.iter().all(|t| !t.path.starts_with("/v1/")));
+        assert_eq!(mixed.len(), v1.len() + legacy.len());
     }
 }

@@ -210,6 +210,274 @@ impl Response {
     }
 }
 
+/// Writes the head of a chunked streaming response (the NDJSON batch
+/// stream). The caller then emits bodies with [`write_chunk`] and
+/// terminates the stream with [`finish_chunked`]; the connection still
+/// closes after the exchange (`Connection: close`).
+pub fn start_chunked(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(String, String)],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\n",
+        status,
+        reason_phrase(status),
+        content_type
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("Connection: close\r\n\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.flush()
+}
+
+/// Writes one chunk of a chunked response and flushes it, so each NDJSON
+/// line reaches the client as soon as its grid point completes. Empty
+/// chunks are skipped (an empty chunk would terminate the stream).
+pub fn write_chunk(stream: &mut TcpStream, data: &[u8]) -> io::Result<()> {
+    if data.is_empty() {
+        return Ok(());
+    }
+    stream.write_all(format!("{:x}\r\n", data.len()).as_bytes())?;
+    stream.write_all(data)?;
+    stream.write_all(b"\r\n")?;
+    stream.flush()
+}
+
+/// Terminates a chunked response with the zero-length chunk.
+pub fn finish_chunked(stream: &mut TcpStream) -> io::Result<()> {
+    stream.write_all(b"0\r\n\r\n")?;
+    stream.flush()
+}
+
+/// Decodes a complete chunked transfer coding into the body bytes.
+///
+/// # Errors
+///
+/// Fails on malformed chunk framing (bad size line, missing CRLF,
+/// truncated data).
+pub fn decode_chunked(raw: &[u8]) -> io::Result<Vec<u8>> {
+    let bad = |why: &str| io::Error::new(io::ErrorKind::InvalidData, format!("chunked: {why}"));
+    let mut out = Vec::new();
+    let mut rest = raw;
+    loop {
+        let line_end = rest
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .ok_or_else(|| bad("missing size line"))?;
+        let size_text = std::str::from_utf8(&rest[..line_end]).map_err(|_| bad("non-utf8 size"))?;
+        let size = usize::from_str_radix(size_text.trim().split(';').next().unwrap_or(""), 16)
+            .map_err(|_| bad("bad chunk size"))?;
+        rest = &rest[line_end + 2..];
+        if size == 0 {
+            return Ok(out);
+        }
+        if rest.len() < size + 2 {
+            return Err(bad("truncated chunk"));
+        }
+        out.extend_from_slice(&rest[..size]);
+        if &rest[size..size + 2] != b"\r\n" {
+            return Err(bad("chunk without trailing CRLF"));
+        }
+        rest = &rest[size + 2..];
+    }
+}
+
+/// A parsed HTTP response (client side: the front proxying a worker, or
+/// the load generator).
+#[derive(Clone, Debug)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Header name/value pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body, with any chunked transfer coding already decoded.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header with the given (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A parsed response head: status, headers, and the index one past the
+/// terminating blank line.
+type ResponseHead = (u16, Vec<(String, String)>, usize);
+
+/// Parses a response head (status line + headers).
+fn parse_response_head(raw: &[u8]) -> io::Result<ResponseHead> {
+    let bad = |why: &str| io::Error::new(io::ErrorKind::InvalidData, why.to_string());
+    let head_len = head_end(raw).ok_or_else(|| bad("no header terminator"))?;
+    let head = std::str::from_utf8(&raw[..head_len]).map_err(|_| bad("non-utf8 response head"))?;
+    let mut lines = head.split("\r\n").flat_map(|l| l.split('\n'));
+    let status = lines
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("bad status line"))?;
+    let headers = lines
+        .filter(|l| !l.is_empty())
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Ok((status, headers, head_len))
+}
+
+/// Reads one whole close-delimited response from the stream, decoding
+/// chunked bodies.
+///
+/// # Errors
+///
+/// Propagates socket errors and malformed heads/chunk framing.
+pub fn read_response(stream: &mut TcpStream) -> io::Result<ClientResponse> {
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let (status, headers, head_len) = parse_response_head(&raw)?;
+    let chunked = headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let body = if chunked {
+        decode_chunked(&raw[head_len..])?
+    } else {
+        raw[head_len..].to_vec()
+    };
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// Incrementally reads a chunked NDJSON response line by line, without
+/// waiting for the stream to end — this is how the shard front forwards
+/// worker batch records to the client as they complete.
+pub struct ChunkedLineReader {
+    stream: TcpStream,
+    /// Raw, not-yet-decoded bytes read off the socket.
+    raw: Vec<u8>,
+    /// Decoded body bytes not yet split into lines.
+    decoded: Vec<u8>,
+    /// The terminal chunk has been decoded.
+    done: bool,
+    /// Response status and headers.
+    pub head: (u16, Vec<(String, String)>),
+}
+
+impl ChunkedLineReader {
+    /// Reads the response head and prepares incremental line decoding.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket errors, a malformed head, or a response that is
+    /// not chunked (the caller should fall back to [`read_response`]).
+    pub fn start(mut stream: TcpStream) -> io::Result<Self> {
+        let mut raw = Vec::with_capacity(1024);
+        let mut chunk = [0u8; 4096];
+        let head_len = loop {
+            if let Some(end) = head_end(&raw) {
+                break end;
+            }
+            match stream.read(&mut chunk)? {
+                0 => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "eof inside response head",
+                    ))
+                }
+                n => raw.extend_from_slice(&chunk[..n]),
+            }
+        };
+        let (status, headers, _) = parse_response_head(&raw)?;
+        let leftover = raw.split_off(head_len);
+        Ok(ChunkedLineReader {
+            stream,
+            raw: leftover,
+            decoded: Vec::new(),
+            done: false,
+            head: (status, headers),
+        })
+    }
+
+    /// Decodes as many complete chunks as `self.raw` currently holds.
+    fn drain_raw(&mut self) -> io::Result<()> {
+        let bad = |why: &str| io::Error::new(io::ErrorKind::InvalidData, format!("chunked: {why}"));
+        loop {
+            let Some(line_end) = self.raw.windows(2).position(|w| w == b"\r\n") else {
+                return Ok(()); // size line incomplete
+            };
+            let size_text = std::str::from_utf8(&self.raw[..line_end])
+                .map_err(|_| bad("non-utf8 size"))?
+                .trim()
+                .split(';')
+                .next()
+                .unwrap_or("")
+                .to_string();
+            let size = usize::from_str_radix(&size_text, 16).map_err(|_| bad("bad chunk size"))?;
+            if size == 0 {
+                self.done = true;
+                return Ok(());
+            }
+            if self.raw.len() < line_end + 2 + size + 2 {
+                return Ok(()); // chunk data incomplete
+            }
+            self.decoded
+                .extend_from_slice(&self.raw[line_end + 2..line_end + 2 + size]);
+            if &self.raw[line_end + 2 + size..line_end + 2 + size + 2] != b"\r\n" {
+                return Err(bad("chunk without trailing CRLF"));
+            }
+            self.raw.drain(..line_end + 2 + size + 2);
+        }
+    }
+
+    /// The next complete NDJSON line (without its terminator), or `None`
+    /// once the stream has ended.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and malformed chunk framing.
+    pub fn next_line(&mut self) -> io::Result<Option<String>> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            self.drain_raw()?;
+            if let Some(pos) = self.decoded.iter().position(|&b| b == b'\n') {
+                let mut line: Vec<u8> = self.decoded.drain(..=pos).collect();
+                line.pop(); // the \n
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Ok(Some(String::from_utf8(line).map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "non-utf8 ndjson line")
+                })?));
+            }
+            if self.done {
+                // A final unterminated line would be a framing bug on our
+                // side; the batch stream terminates every line.
+                return Ok(None);
+            }
+            match self.stream.read(&mut chunk)? {
+                0 => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "eof inside chunked body",
+                    ))
+                }
+                n => self.raw.extend_from_slice(&chunk[..n]),
+            }
+        }
+    }
+}
+
 /// Standard reason phrases for the statuses this server emits.
 pub fn reason_phrase(status: u16) -> &'static str {
     match status {
@@ -284,6 +552,65 @@ mod tests {
             roundtrip(raw.as_bytes()),
             Err(ReadError::TooLarge)
         ));
+    }
+
+    #[test]
+    fn chunked_roundtrip_through_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            start_chunked(&mut s, 200, "application/x-ndjson", &[]).unwrap();
+            write_chunk(&mut s, b"{\"seq\":0}\n").unwrap();
+            write_chunk(&mut s, b"").unwrap(); // skipped, not a terminator
+            write_chunk(&mut s, b"{\"seq\":1}\n{\"seq\":2}\n").unwrap();
+            finish_chunked(&mut s).unwrap();
+        });
+        let mut c = TcpStream::connect(addr).unwrap();
+        let resp = read_response(&mut c).unwrap();
+        t.join().unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            resp.header("transfer-encoding").map(str::to_string),
+            Some("chunked".into())
+        );
+        assert_eq!(resp.body, b"{\"seq\":0}\n{\"seq\":1}\n{\"seq\":2}\n");
+    }
+
+    #[test]
+    fn chunked_line_reader_yields_lines_across_chunk_boundaries() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            start_chunked(&mut s, 200, "application/x-ndjson", &[]).unwrap();
+            // One line split across two chunks, then two lines in one.
+            write_chunk(&mut s, b"{\"a\"").unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            write_chunk(&mut s, b":1}\n").unwrap();
+            write_chunk(&mut s, b"{\"b\":2}\n{\"c\":3}\n").unwrap();
+            finish_chunked(&mut s).unwrap();
+        });
+        let c = TcpStream::connect(addr).unwrap();
+        let mut reader = ChunkedLineReader::start(c).unwrap();
+        assert_eq!(reader.head.0, 200);
+        let mut lines = Vec::new();
+        while let Some(line) = reader.next_line().unwrap() {
+            lines.push(line);
+        }
+        t.join().unwrap();
+        assert_eq!(lines, vec!["{\"a\":1}", "{\"b\":2}", "{\"c\":3}"]);
+    }
+
+    #[test]
+    fn decode_chunked_rejects_malformed_framing() {
+        assert!(decode_chunked(b"zz\r\nhello\r\n0\r\n\r\n").is_err());
+        assert!(decode_chunked(b"5\r\nhel").is_err(), "truncated data");
+        assert!(decode_chunked(b"5\r\nhelloXX0\r\n\r\n").is_err(), "no CRLF");
+        assert_eq!(
+            decode_chunked(b"3\r\nabc\r\n2\r\nde\r\n0\r\n\r\n").unwrap(),
+            b"abcde"
+        );
     }
 
     #[test]

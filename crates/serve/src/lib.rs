@@ -5,12 +5,25 @@
 //! (BSL → CDFG → schedule → allocate → control → RTL) behind a
 //! programmatic request interface.
 //!
-//! | Endpoint            | Meaning                                          |
-//! |---------------------|--------------------------------------------------|
-//! | `POST /synthesize`  | BSL source + config → design summary (+ Verilog) |
-//! | `POST /explore`     | grid sweep over FU count × algorithm × control   |
-//! | `GET /healthz`      | liveness probe                                   |
-//! | `GET /metrics`      | Prometheus text metrics                          |
+//! | Endpoint               | Meaning                                          |
+//! |------------------------|--------------------------------------------------|
+//! | `POST /v1/synthesize`  | BSL source + config → design summary (+ Verilog) |
+//! | `POST /v1/explore`     | grid sweep over FU count × algorithm × control   |
+//! | `POST /v1/batch`       | sweep grid → NDJSON stream, one line per point   |
+//! | `GET /v1/healthz`      | liveness probe                                   |
+//! | `GET /v1/metrics`      | Prometheus text metrics                          |
+//!
+//! The unversioned legacy paths (`/synthesize`, …) still answer with
+//! their original response shapes, marked with a `Deprecation: true`
+//! header. v1 uses snake_case throughout, a single error envelope
+//! `{"error":{"code","message","stage"?}}`, and a `cache_hit` body
+//! field (see `DESIGN.md` §10 for the v0→v1 field map).
+//!
+//! For scale-out, the [`shard`] module adds a front process
+//! (`hls-serve --front --workers N`) that consistent-hashes requests
+//! over single-process workers — routing on the same cdfg×config
+//! fingerprints the workers key their caches on, so cache affinity
+//! falls out of the routing.
 //!
 //! The serving model is deliberately boring: a bounded admission count
 //! in front of a work-stealing pool (reused from [`hls_core::par`]),
@@ -43,6 +56,7 @@ pub mod http;
 pub mod json;
 pub mod metrics;
 mod server;
+pub mod shard;
 pub mod signal;
 
 pub use server::{Server, ServerConfig, ServerHandle};

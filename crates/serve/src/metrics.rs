@@ -40,14 +40,37 @@ impl Histogram {
     }
 }
 
+/// How one batch grid point resolved, for the
+/// `hls_serve_batch_points_total` counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchOutcome {
+    /// Served from the exploration memo cache.
+    Hit,
+    /// Synthesized fresh.
+    Miss,
+    /// Failed (or was cancelled) and streamed as an error record.
+    Error,
+}
+
 /// The server-wide metrics registry.
 #[derive(Debug, Default)]
 pub struct Metrics {
     /// Requests finished, by (endpoint, status).
     requests: Mutex<BTreeMap<(String, u16), u64>>,
-    /// Latency histograms for the two synthesis endpoints.
+    /// Latency histograms for the synthesis endpoints.
     synthesize_latency: Histogram,
     explore_latency: Histogram,
+    batch_latency: Histogram,
+    /// Requests arriving on legacy unversioned routes, by endpoint.
+    deprecated: Mutex<BTreeMap<String, u64>>,
+    /// Requests routed to each shard worker (front process only).
+    shard_requests: Mutex<BTreeMap<String, u64>>,
+    /// Batch grid points streamed, by outcome (`hit`/`miss`/`error`).
+    batch_points_hit: AtomicU64,
+    batch_points_miss: AtomicU64,
+    batch_points_error: AtomicU64,
+    /// Batches cancelled before the summary line (disconnect/deadline).
+    batch_cancelled: AtomicU64,
     /// Response-cache outcomes.
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
@@ -84,8 +107,54 @@ impl Metrics {
         match endpoint {
             "synthesize" => self.synthesize_latency.observe(elapsed),
             "explore" => self.explore_latency.observe(elapsed),
+            "batch" => self.batch_latency.observe(elapsed),
             _ => {}
         }
+    }
+
+    /// Records a request that arrived on a legacy unversioned route.
+    pub fn deprecated_request(&self, endpoint: &str) {
+        *self
+            .deprecated
+            .lock()
+            .expect("metrics lock")
+            .entry(endpoint.to_string())
+            .or_insert(0) += 1;
+    }
+
+    /// Records a request the front routed to `worker` (shard index or
+    /// address label).
+    pub fn shard_request(&self, worker: &str) {
+        *self
+            .shard_requests
+            .lock()
+            .expect("metrics lock")
+            .entry(worker.to_string())
+            .or_insert(0) += 1;
+    }
+
+    /// Records one streamed batch point by outcome.
+    pub fn batch_point(&self, outcome: BatchOutcome) {
+        let c = match outcome {
+            BatchOutcome::Hit => &self.batch_points_hit,
+            BatchOutcome::Miss => &self.batch_points_miss,
+            BatchOutcome::Error => &self.batch_points_error,
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a batch aborted before its summary line.
+    pub fn batch_cancelled(&self) {
+        self.batch_cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Batch point totals so far as (hit, miss, error) (used by tests).
+    pub fn batch_point_totals(&self) -> (u64, u64, u64) {
+        (
+            self.batch_points_hit.load(Ordering::Relaxed),
+            self.batch_points_miss.load(Ordering::Relaxed),
+            self.batch_points_error.load(Ordering::Relaxed),
+        )
     }
 
     /// Records a response-cache hit.
@@ -185,6 +254,7 @@ impl Metrics {
         for (endpoint, hist) in [
             ("synthesize", &self.synthesize_latency),
             ("explore", &self.explore_latency),
+            ("batch", &self.batch_latency),
         ] {
             let mut cumulative = 0u64;
             for (i, le) in BUCKETS.iter().enumerate() {
@@ -246,6 +316,50 @@ impl Metrics {
              hls_serve_stage_seconds_total{{stage=\"schedule\"}} {sched_s}\n\
              hls_serve_stage_seconds_total{{stage=\"alloc\"}} {alloc_s}\n\
              hls_serve_stage_seconds_total{{stage=\"rtl\"}} {rtl_s}"
+        );
+        {
+            let deprecated = self.deprecated.lock().expect("metrics lock");
+            out.push_str(
+                "# HELP hls_serve_deprecated_requests_total Requests on legacy unversioned routes.\n\
+                 # TYPE hls_serve_deprecated_requests_total counter\n",
+            );
+            for (endpoint, count) in deprecated.iter() {
+                let _ = writeln!(
+                    out,
+                    "hls_serve_deprecated_requests_total{{endpoint=\"{endpoint}\"}} {count}"
+                );
+            }
+        }
+        {
+            let shard = self.shard_requests.lock().expect("metrics lock");
+            if !shard.is_empty() {
+                out.push_str(
+                    "# HELP hls_serve_shard_requests_total Requests routed to each shard worker.\n\
+                     # TYPE hls_serve_shard_requests_total counter\n",
+                );
+                for (worker, count) in shard.iter() {
+                    let _ = writeln!(
+                        out,
+                        "hls_serve_shard_requests_total{{worker=\"{worker}\"}} {count}"
+                    );
+                }
+            }
+        }
+        let (bhit, bmiss, berr) = self.batch_point_totals();
+        let _ = writeln!(
+            out,
+            "# HELP hls_serve_batch_points_total Batch grid points streamed, by outcome.\n\
+             # TYPE hls_serve_batch_points_total counter\n\
+             hls_serve_batch_points_total{{outcome=\"hit\"}} {bhit}\n\
+             hls_serve_batch_points_total{{outcome=\"miss\"}} {bmiss}\n\
+             hls_serve_batch_points_total{{outcome=\"error\"}} {berr}"
+        );
+        let _ = writeln!(
+            out,
+            "# HELP hls_serve_batch_cancelled_total Batches aborted before their summary line.\n\
+             # TYPE hls_serve_batch_cancelled_total counter\n\
+             hls_serve_batch_cancelled_total {}",
+            self.batch_cancelled.load(Ordering::Relaxed)
         );
         let _ = writeln!(
             out,
@@ -337,6 +451,40 @@ mod tests {
         assert!(text.contains(r#"hls_serve_stage_seconds_total{stage="schedule"} 3"#));
         assert!(text.contains(r#"hls_serve_stage_seconds_total{stage="alloc"} 0.5"#));
         assert!(text.contains(r#"hls_serve_stage_seconds_total{stage="rtl"} 0.5"#));
+    }
+
+    #[test]
+    fn deprecated_shard_and_batch_counters_render() {
+        let m = Metrics::new();
+        m.deprecated_request("synthesize");
+        m.deprecated_request("synthesize");
+        m.deprecated_request("metrics");
+        m.shard_request("0");
+        m.shard_request("1");
+        m.shard_request("1");
+        m.batch_point(BatchOutcome::Hit);
+        m.batch_point(BatchOutcome::Miss);
+        m.batch_point(BatchOutcome::Miss);
+        m.batch_point(BatchOutcome::Error);
+        m.batch_cancelled();
+        m.observe_request("batch", 200, Duration::from_millis(3));
+        let text = m.render();
+        assert!(text.contains(r#"hls_serve_deprecated_requests_total{endpoint="synthesize"} 2"#));
+        assert!(text.contains(r#"hls_serve_deprecated_requests_total{endpoint="metrics"} 1"#));
+        assert!(text.contains(r#"hls_serve_shard_requests_total{worker="0"} 1"#));
+        assert!(text.contains(r#"hls_serve_shard_requests_total{worker="1"} 2"#));
+        assert!(text.contains(r#"hls_serve_batch_points_total{outcome="hit"} 1"#));
+        assert!(text.contains(r#"hls_serve_batch_points_total{outcome="miss"} 2"#));
+        assert!(text.contains(r#"hls_serve_batch_points_total{outcome="error"} 1"#));
+        assert!(text.contains("hls_serve_batch_cancelled_total 1"));
+        assert!(text.contains(r#"hls_request_duration_seconds_count{endpoint="batch"} 1"#));
+        assert_eq!(m.batch_point_totals(), (1, 2, 1));
+    }
+
+    #[test]
+    fn shard_section_absent_on_plain_workers() {
+        let m = Metrics::new();
+        assert!(!m.render().contains("hls_serve_shard_requests_total"));
     }
 
     #[test]

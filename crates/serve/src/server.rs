@@ -27,6 +27,7 @@
 //! [`crate::signal`]), so a terminating service finishes every admitted
 //! request before exiting.
 
+use std::collections::BTreeMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -34,13 +35,15 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use hls_core::par::{default_threads, ThreadPool};
-use hls_core::{cdfg_fingerprint, CancelToken, Explorer, SynthesisError};
+use hls_core::{cdfg_fingerprint, CancelToken, DesignPoint, Explorer, GridPoint, SynthesisError};
 
 use crate::api;
 use crate::cache::{response_key, ResponseCache};
-use crate::http::{read_request, ReadError, Request, Response};
+use crate::http::{
+    finish_chunked, read_request, start_chunked, write_chunk, ReadError, Request, Response,
+};
 use crate::json::{self, Json};
-use crate::metrics::Metrics;
+use crate::metrics::{BatchOutcome, Metrics};
 
 /// Server configuration; every knob has an environment variable.
 #[derive(Clone, Debug)]
@@ -58,9 +61,13 @@ pub struct ServerConfig {
     /// Response-cache capacity in entries (`HLS_SERVE_CACHE`, default
     /// 1024; 0 disables the cache).
     pub cache_capacity: usize,
-    /// Seconds suggested in the `Retry-After` header of a 503.
-    pub retry_after_secs: u64,
-    /// Honor the `test_delay_ms` request field (integration tests only).
+    /// Backoff suggested on a 503, in milliseconds. Rendered twice: the
+    /// standard `Retry-After` header carries it rounded **up** to whole
+    /// seconds (the header's unit), and `Retry-After-Ms` carries it
+    /// verbatim for clients (like `hls-loadgen`) that back off in ms.
+    pub retry_after_ms: u64,
+    /// Honor the `test_delay_ms` request field (integration tests only;
+    /// `HLS_SERVE_ALLOW_TEST_DELAY=1` for spawned worker processes).
     pub allow_test_delay: bool,
 }
 
@@ -72,7 +79,7 @@ impl Default for ServerConfig {
             queue: 64,
             deadline: Duration::from_millis(10_000),
             cache_capacity: 1024,
-            retry_after_secs: 1,
+            retry_after_ms: 1000,
             allow_test_delay: false,
         }
     }
@@ -111,8 +118,18 @@ impl ServerConfig {
             )),
             cache_capacity: env_number("HLS_SERVE_CACHE", defaults.cache_capacity as u64, 0)
                 as usize,
-            ..defaults
+            retry_after_ms: env_number("HLS_SERVE_RETRY_AFTER_MS", defaults.retry_after_ms, 1),
+            allow_test_delay: std::env::var("HLS_SERVE_ALLOW_TEST_DELAY")
+                .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+                .unwrap_or(defaults.allow_test_delay),
         }
+    }
+
+    /// The whole-second `Retry-After` value for [`Self::retry_after_ms`]
+    /// (rounded up, never zero — the header cannot express sub-second
+    /// backoff).
+    pub fn retry_after_secs(&self) -> u64 {
+        self.retry_after_ms.div_ceil(1000).max(1)
     }
 }
 
@@ -279,39 +296,53 @@ impl Server {
     }
 }
 
-/// Answers one over-capacity connection with 503 + `Retry-After`.
+/// Answers one over-capacity connection with 503 + `Retry-After` (whole
+/// seconds, the header's unit) + `Retry-After-Ms` (exact).
 fn shed(mut stream: TcpStream, ctx: &Ctx) {
     let started = Instant::now();
     let _ = stream.set_read_timeout(Some(Duration::from_millis(1000)));
     let _ = stream.set_write_timeout(Some(Duration::from_millis(1000)));
     // Read (and discard) the request so the client reliably sees the
     // response instead of a reset; ignore unreadable requests.
-    let endpoint = match read_request(&mut stream) {
-        Ok(req) => endpoint_label(&req),
-        Err(_) => "unknown",
+    let (endpoint, v1) = match read_request(&mut stream) {
+        Ok(req) => parse_route(&req),
+        Err(_) => ("unknown", false),
     };
-    let body = Json::Obj(vec![
-        ("error".into(), Json::Str("server overloaded".into())),
-        (
-            "retry_after_secs".into(),
-            Json::Num(ctx.config.retry_after_secs as f64),
-        ),
-    ]);
+    let ms = ctx.config.retry_after_ms;
+    let body = if v1 {
+        api::error_envelope("overloaded", "server overloaded", None, Some(ms))
+    } else {
+        Json::Obj(vec![
+            ("error".into(), Json::Str("server overloaded".into())),
+            (
+                "retry_after_secs".into(),
+                Json::Num(ctx.config.retry_after_secs() as f64),
+            ),
+        ])
+    };
     let resp = Response::json(503, body.render().into_bytes())
-        .with_header("Retry-After", ctx.config.retry_after_secs.to_string());
+        .with_header("Retry-After", ctx.config.retry_after_secs().to_string())
+        .with_header("Retry-After-Ms", ms.to_string());
     let _ = resp.write_to(&mut stream);
     ctx.metrics
         .observe_request(endpoint, 503, started.elapsed());
 }
 
-/// The metrics label for a request path.
-fn endpoint_label(req: &Request) -> &'static str {
+/// Resolves a request path to its `(endpoint label, is_v1)` pair.
+/// Legacy unversioned paths keep resolving (behind a `Deprecation`
+/// header downstream); `/v1/batch` has no legacy twin.
+pub(crate) fn parse_route(req: &Request) -> (&'static str, bool) {
     match req.path.split('?').next().unwrap_or("") {
-        "/healthz" => "healthz",
-        "/metrics" => "metrics",
-        "/synthesize" => "synthesize",
-        "/explore" => "explore",
-        _ => "unknown",
+        "/healthz" => ("healthz", false),
+        "/metrics" => ("metrics", false),
+        "/synthesize" => ("synthesize", false),
+        "/explore" => ("explore", false),
+        "/v1/healthz" => ("healthz", true),
+        "/v1/metrics" => ("metrics", true),
+        "/v1/synthesize" => ("synthesize", true),
+        "/v1/explore" => ("explore", true),
+        "/v1/batch" => ("batch", true),
+        other => ("unknown", other.starts_with("/v1/")),
     }
 }
 
@@ -326,35 +357,57 @@ fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
         Err(ReadError::Closed) => return,
         Err(ReadError::Io(_)) => return,
         Err(ReadError::TooLarge) => {
-            let resp = error_response(413, "request too large");
+            // The request never parsed, so its API version is unknown;
+            // pre-route errors keep the legacy shape.
+            let resp = error_response(413, "request too large", false);
             let _ = resp.write_to(&mut stream);
             ctx.metrics
                 .observe_request("unknown", 413, started.elapsed());
             return;
         }
         Err(ReadError::Malformed(why)) => {
-            let resp = error_response(400, why);
+            let resp = error_response(400, why, false);
             let _ = resp.write_to(&mut stream);
             ctx.metrics
                 .observe_request("unknown", 400, started.elapsed());
             return;
         }
     };
-    let endpoint = endpoint_label(&req);
+    let (endpoint, v1) = parse_route(&req);
+    if endpoint == "batch" && req.method == "POST" {
+        // The batch handler streams its own chunked response (and owns
+        // the error paths before the stream starts), so it bypasses the
+        // buffered write below. Same firewall contract as route().
+        let status = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            batch(&req, &mut stream, ctx)
+        }))
+        .unwrap_or_else(|payload| {
+            ctx.metrics.panic();
+            eprintln!(
+                "panic in /batch handler: {}",
+                panic_message(payload.as_ref())
+            );
+            500
+        });
+        ctx.metrics
+            .observe_request(endpoint, status, started.elapsed());
+        return;
+    }
     // Panic firewall: a bug anywhere in the synthesis pipeline must cost
     // one 500, not a worker thread. AssertUnwindSafe is sound here
     // because `ctx` only holds lock-guarded or atomic state that stays
     // consistent if a request dies mid-flight (a poisoned metrics lock
     // would itself panic on the *next* request, so route() never leaves
     // one behind: the registry methods do not panic while holding it).
-    let resp =
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(&req, endpoint, ctx)))
-            .unwrap_or_else(|payload| {
-                ctx.metrics.panic();
-                let msg = panic_message(payload.as_ref());
-                eprintln!("panic in /{endpoint} handler: {msg}");
-                error_response(500, &format!("internal error: {msg}"))
-            });
+    let resp = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        route(&req, endpoint, v1, ctx)
+    }))
+    .unwrap_or_else(|payload| {
+        ctx.metrics.panic();
+        let msg = panic_message(payload.as_ref());
+        eprintln!("panic in /{endpoint} handler: {msg}");
+        error_response(500, &format!("internal error: {msg}"), v1)
+    });
     let status = resp.status;
     let _ = resp.write_to(&mut stream);
     ctx.metrics
@@ -372,23 +425,51 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
     }
 }
 
-/// A JSON error body.
-fn error_response(status: u16, msg: &str) -> Response {
-    let body = Json::Obj(vec![("error".into(), Json::Str(msg.into()))]);
+/// The v1 machine-readable error code for an HTTP status.
+pub(crate) fn error_code(status: u16) -> &'static str {
+    match status {
+        400 => "bad_request",
+        404 => "not_found",
+        405 => "method_not_allowed",
+        413 => "payload_too_large",
+        422 => "unprocessable",
+        503 => "overloaded",
+        504 => "deadline_exceeded",
+        _ => "internal",
+    }
+}
+
+/// A JSON error body: v1 requests get the
+/// `{"error":{"code","message"}}` envelope, legacy requests keep the
+/// flat `{"error":"msg"}` shape.
+pub(crate) fn error_response(status: u16, msg: &str, v1: bool) -> Response {
+    let body = if v1 {
+        api::error_envelope(error_code(status), msg, None, None)
+    } else {
+        Json::Obj(vec![("error".into(), Json::Str(msg.into()))])
+    };
     Response::json(status, body.render().into_bytes())
 }
 
-/// Dispatches one parsed request.
-fn route(req: &Request, endpoint: &str, ctx: &Ctx) -> Response {
-    match (endpoint, req.method.as_str()) {
+/// Dispatches one parsed request. Legacy (unversioned) hits on known
+/// endpoints are counted and answered with a `Deprecation: true` header
+/// over the old-shape body.
+fn route(req: &Request, endpoint: &str, v1: bool, ctx: &Ctx) -> Response {
+    let resp = match (endpoint, req.method.as_str()) {
         ("healthz", "GET") => Response::json(200, br#"{"status":"ok"}"#.to_vec()),
         ("metrics", "GET") => Response::text(200, ctx.metrics.render().into_bytes()),
-        ("synthesize", "POST") => synthesize(req, ctx),
-        ("explore", "POST") => explore(req, ctx),
-        ("healthz" | "metrics" | "synthesize" | "explore", _) => {
-            error_response(405, "method not allowed")
+        ("synthesize", "POST") => synthesize(req, ctx, v1),
+        ("explore", "POST") => explore(req, ctx, v1),
+        ("healthz" | "metrics" | "synthesize" | "explore" | "batch", _) => {
+            error_response(405, "method not allowed", v1)
         }
-        _ => error_response(404, "no such endpoint"),
+        _ => error_response(404, "no such endpoint", v1),
+    };
+    if v1 || endpoint == "unknown" {
+        resp
+    } else {
+        ctx.metrics.deprecated_request(endpoint);
+        resp.with_header("Deprecation", "true".into())
     }
 }
 
@@ -402,34 +483,58 @@ fn deadline_token(ctx: &Ctx, requested_ms: Option<u64>) -> CancelToken {
     CancelToken::with_timeout(effective)
 }
 
-/// Maps a synthesis failure onto an HTTP response.
-fn synthesis_error_response(e: &SynthesisError, ctx: &Ctx) -> Response {
+/// Maps a synthesis failure onto an HTTP response. The v1 504 carries
+/// the last completed stage inside the envelope (`error.stage`); legacy
+/// keeps the top-level `completed_stage` member.
+fn synthesis_error_response(e: &SynthesisError, ctx: &Ctx, v1: bool) -> Response {
     match e {
-        SynthesisError::Parse(_) => error_response(422, &e.to_string()),
+        SynthesisError::Parse(_) => error_response(422, &e.to_string(), v1),
         SynthesisError::Cancelled { completed } => {
             ctx.metrics.deadline_cancelled();
-            let body = Json::Obj(vec![
-                ("error".into(), Json::Str("deadline exceeded".into())),
-                ("completed_stage".into(), Json::Str((*completed).into())),
-            ]);
+            let body = if v1 {
+                api::error_envelope(
+                    "deadline_exceeded",
+                    "deadline exceeded",
+                    Some(completed),
+                    None,
+                )
+            } else {
+                Json::Obj(vec![
+                    ("error".into(), Json::Str("deadline exceeded".into())),
+                    ("completed_stage".into(), Json::Str((*completed).into())),
+                ])
+            };
             Response::json(504, body.render().into_bytes())
         }
-        other => error_response(500, &other.to_string()),
+        other => error_response(500, &other.to_string(), v1),
     }
 }
 
-/// `POST /synthesize`.
-fn synthesize(req: &Request, ctx: &Ctx) -> Response {
+/// Wraps a cached-or-fresh 200 body for the requested API version: v1
+/// splices the serve-time `cache_hit` field in; both versions keep the
+/// `X-HLS-Cache` header.
+fn ok_with_cache_flag(body: &[u8], hit: bool, v1: bool) -> Response {
+    let rendered = if v1 {
+        api::with_cache_hit(body, hit)
+    } else {
+        body.to_vec()
+    };
+    Response::json(200, rendered)
+        .with_header("X-HLS-Cache", if hit { "hit" } else { "miss" }.into())
+}
+
+/// `POST /synthesize` and `POST /v1/synthesize`.
+fn synthesize(req: &Request, ctx: &Ctx, v1: bool) -> Response {
     let body = match std::str::from_utf8(&req.body)
         .map_err(|_| "body is not utf-8".to_string())
         .and_then(|text| json::parse(text).map_err(|e| e.to_string()))
     {
         Ok(v) => v,
-        Err(msg) => return error_response(400, &msg),
+        Err(msg) => return error_response(400, &msg, v1),
     };
     let parsed = match api::SynthesizeRequest::from_json(&body) {
         Ok(p) => p,
-        Err(e) => return error_response(422, &e.0),
+        Err(e) => return error_response(422, &e.0, v1),
     };
     let cancel = deadline_token(ctx, parsed.deadline_ms);
     // Test-only hold: occupies this worker (for saturation tests) while
@@ -445,11 +550,11 @@ fn synthesize(req: &Request, ctx: &Ctx) -> Response {
         panic!("test-injected panic in synthesize stage");
     }
     if hls_lang::is_system_source(&parsed.source) {
-        return synthesize_system(&parsed, ctx);
+        return synthesize_system(&parsed, ctx, v1);
     }
     let cdfg = match hls_lang::compile(&parsed.source) {
         Ok(c) => c,
-        Err(e) => return error_response(422, &format!("parse: {e}")),
+        Err(e) => return error_response(422, &format!("parse: {e}"), v1),
     };
     let behavior_fp = cdfg_fingerprint(&cdfg);
     let key = response_key(
@@ -461,14 +566,13 @@ fn synthesize(req: &Request, ctx: &Ctx) -> Response {
     if ctx.config.cache_capacity > 0 {
         if let Some(cached) = ctx.cache.get(key) {
             ctx.metrics.cache_hit();
-            return Response::json(200, cached.as_ref().clone())
-                .with_header("X-HLS-Cache", "hit".into());
+            return ok_with_cache_flag(&cached, true, v1);
         }
         ctx.metrics.cache_miss();
     }
     let result = match parsed.synthesizer.synthesize_cancellable(cdfg, &cancel) {
         Ok(r) => r,
-        Err(e) => return synthesis_error_response(&e, ctx),
+        Err(e) => return synthesis_error_response(&e, ctx, v1),
     };
     ctx.metrics.observe_stages(result.stage_nanos);
     let rendered = api::synthesize_response(&parsed, behavior_fp, &result)
@@ -478,7 +582,7 @@ fn synthesize(req: &Request, ctx: &Ctx) -> Response {
     if ctx.config.cache_capacity > 0 {
         ctx.cache.insert(key, Arc::clone(&rendered));
     }
-    Response::json(200, rendered.as_ref().clone()).with_header("X-HLS-Cache", "miss".into())
+    ok_with_cache_flag(&rendered, false, v1)
 }
 
 /// `POST /synthesize` for a multi-process `system` source: every
@@ -487,63 +591,68 @@ fn synthesize(req: &Request, ctx: &Ctx) -> Response {
 /// Verilog with the handshake interconnect. System synthesis has no
 /// between-stage cancel points yet, so the deadline is not enforced
 /// mid-flight here.
-fn synthesize_system(parsed: &api::SynthesizeRequest, ctx: &Ctx) -> Response {
+fn synthesize_system(parsed: &api::SynthesizeRequest, ctx: &Ctx, v1: bool) -> Response {
     let sys = match hls_lang::compile_system(&parsed.source) {
         Ok(s) => s,
-        Err(e) => return error_response(422, &format!("parse: {e}")),
+        Err(e) => return error_response(422, &format!("parse: {e}"), v1),
     };
     let behavior_fp = api::system_fingerprint(&sys);
+    // The v1 body differs (per-process `clock_ns`), so each version
+    // caches its own rendering; bit 1 of the flags keeps them apart.
     let key = response_key(
         "synthesize-system",
         behavior_fp,
         parsed.synthesizer.fingerprint(),
-        u64::from(parsed.verilog),
+        u64::from(parsed.verilog) | (u64::from(v1) << 1),
     );
     if ctx.config.cache_capacity > 0 {
         if let Some(cached) = ctx.cache.get(key) {
             ctx.metrics.cache_hit();
-            return Response::json(200, cached.as_ref().clone())
-                .with_header("X-HLS-Cache", "hit".into());
+            return ok_with_cache_flag(&cached, true, v1);
         }
         ctx.metrics.cache_miss();
     }
     let result = match parsed.synthesizer.synthesize_system(sys) {
         Ok(r) => r,
-        Err(e) => return synthesis_error_response(&e, ctx),
+        Err(e) => return synthesis_error_response(&e, ctx, v1),
     };
     for p in &result.processes {
         ctx.metrics.observe_stages(p.result.stage_nanos);
     }
-    let rendered = api::system_response(parsed, behavior_fp, &result)
-        .render()
-        .into_bytes();
+    let rendered = if v1 {
+        api::system_response_v1(parsed, behavior_fp, &result)
+    } else {
+        api::system_response(parsed, behavior_fp, &result)
+    }
+    .render()
+    .into_bytes();
     let rendered = Arc::new(rendered);
     if ctx.config.cache_capacity > 0 {
         ctx.cache.insert(key, Arc::clone(&rendered));
     }
-    Response::json(200, rendered.as_ref().clone()).with_header("X-HLS-Cache", "miss".into())
+    ok_with_cache_flag(&rendered, false, v1)
 }
 
-/// `POST /explore`.
-fn explore(req: &Request, ctx: &Ctx) -> Response {
+/// `POST /explore` and `POST /v1/explore`.
+fn explore(req: &Request, ctx: &Ctx, v1: bool) -> Response {
     let body = match std::str::from_utf8(&req.body)
         .map_err(|_| "body is not utf-8".to_string())
         .and_then(|text| json::parse(text).map_err(|e| e.to_string()))
     {
         Ok(v) => v,
-        Err(msg) => return error_response(400, &msg),
+        Err(msg) => return error_response(400, &msg, v1),
     };
     let parsed = match api::ExploreRequest::from_json(&body) {
         Ok(p) => p,
-        Err(e) => return error_response(422, &e.0),
+        Err(e) => return error_response(422, &e.0, v1),
     };
     let cancel = deadline_token(ctx, parsed.deadline_ms);
     if hls_lang::is_system_source(&parsed.source) {
-        return error_response(422, "explore does not accept system sources");
+        return error_response(422, "explore does not accept system sources", v1);
     }
     let cdfg = match hls_lang::compile(&parsed.source) {
         Ok(c) => c,
-        Err(e) => return error_response(422, &format!("parse: {e}")),
+        Err(e) => return error_response(422, &format!("parse: {e}"), v1),
     };
     let behavior_fp = cdfg_fingerprint(&cdfg);
     let config_fp = parsed.synthesizer.fingerprint();
@@ -557,8 +666,7 @@ fn explore(req: &Request, ctx: &Ctx) -> Response {
     if ctx.config.cache_capacity > 0 {
         if let Some(cached) = ctx.cache.get(key) {
             ctx.metrics.cache_hit();
-            return Response::json(200, cached.as_ref().clone())
-                .with_header("X-HLS-Cache", "hit".into());
+            return ok_with_cache_flag(&cached, true, v1);
         }
         ctx.metrics.cache_miss();
     }
@@ -569,7 +677,7 @@ fn explore(req: &Request, ctx: &Ctx) -> Response {
         &cancel,
     ) {
         Ok(p) => p,
-        Err(e) => return synthesis_error_response(&e, ctx),
+        Err(e) => return synthesis_error_response(&e, ctx, v1),
     };
     let rendered = api::explore_response(&points, behavior_fp, config_fp)
         .render()
@@ -578,7 +686,228 @@ fn explore(req: &Request, ctx: &Ctx) -> Response {
     if ctx.config.cache_capacity > 0 {
         ctx.cache.insert(key, Arc::clone(&rendered));
     }
-    Response::json(200, rendered.as_ref().clone()).with_header("X-HLS-Cache", "miss".into())
+    ok_with_cache_flag(&rendered, false, v1)
+}
+
+/// Serializes batch NDJSON lines onto one chunked response stream.
+///
+/// Grid points complete on pool workers in any order; records are keyed
+/// by their *local index* in the request (0..n) and written strictly in
+/// that order via a reorder buffer, so the byte stream of a batch is a
+/// deterministic function of the request whenever every point's outcome
+/// is (e.g. all cache hits). A failed write marks the client gone and
+/// cancels the batch token so remaining synthesis stops early.
+struct BatchEmitter {
+    inner: Mutex<EmitterInner>,
+    cancel: CancelToken,
+}
+
+struct EmitterInner {
+    stream: TcpStream,
+    /// Next local index to write.
+    next: usize,
+    /// Completed records waiting for their turn, by local index.
+    pending: BTreeMap<usize, Vec<u8>>,
+    failed: bool,
+}
+
+impl BatchEmitter {
+    fn new(stream: TcpStream, cancel: CancelToken) -> Self {
+        BatchEmitter {
+            inner: Mutex::new(EmitterInner {
+                stream,
+                next: 0,
+                pending: BTreeMap::new(),
+                failed: false,
+            }),
+            cancel,
+        }
+    }
+
+    /// Queues record `idx` and flushes every now-contiguous record.
+    fn push(&self, idx: usize, mut line: Vec<u8>) {
+        line.push(b'\n');
+        let mut g = self.inner.lock().expect("emitter lock");
+        if g.failed {
+            return;
+        }
+        g.pending.insert(idx, line);
+        loop {
+            let next = g.next;
+            let Some(line) = g.pending.remove(&next) else {
+                break;
+            };
+            if write_chunk(&mut g.stream, &line).is_err() {
+                // Mid-stream disconnect: drop the backlog and cancel the
+                // token so in-flight points stop at the next stage check.
+                g.failed = true;
+                g.pending.clear();
+                self.cancel.cancel();
+                return;
+            }
+            g.next += 1;
+        }
+    }
+
+    /// Writes the terminal line and the chunked terminator; `false` if
+    /// the client disconnected at any point.
+    fn finish(&self, terminal: &[u8]) -> bool {
+        let mut g = self.inner.lock().expect("emitter lock");
+        if g.failed {
+            return false;
+        }
+        let mut line = terminal.to_vec();
+        line.push(b'\n');
+        if write_chunk(&mut g.stream, &line).is_err() || finish_chunked(&mut g.stream).is_err() {
+            g.failed = true;
+            return false;
+        }
+        true
+    }
+
+    fn has_failed(&self) -> bool {
+        self.inner.lock().expect("emitter lock").failed
+    }
+}
+
+/// `POST /v1/batch`: streams one NDJSON record per completed grid point
+/// over a chunked response, then a terminal summary line. Returns the
+/// status for the metrics label (499 = client disconnected mid-stream).
+fn batch(req: &Request, stream: &mut TcpStream, ctx: &Ctx) -> u16 {
+    let fail = |stream: &mut TcpStream, status: u16, msg: &str| {
+        let _ = error_response(status, msg, true).write_to(stream);
+        status
+    };
+    let body = match std::str::from_utf8(&req.body)
+        .map_err(|_| "body is not utf-8".to_string())
+        .and_then(|text| json::parse(text).map_err(|e| e.to_string()))
+    {
+        Ok(v) => v,
+        Err(msg) => return fail(stream, 400, &msg),
+    };
+    let parsed = match api::BatchRequest::from_json(&body) {
+        Ok(p) => p,
+        Err(e) => return fail(stream, 422, &e.0),
+    };
+    if hls_lang::is_system_source(&parsed.source) {
+        return fail(stream, 422, "batch does not accept system sources");
+    }
+    let cdfg = match hls_lang::compile(&parsed.source) {
+        Ok(c) => c,
+        Err(e) => return fail(stream, 422, &format!("parse: {e}")),
+    };
+    let cancel = deadline_token(ctx, parsed.deadline_ms);
+    let Ok(out) = stream.try_clone() else {
+        return fail(stream, 500, "connection unavailable");
+    };
+    if start_chunked(stream, 200, "application/x-ndjson", &[]).is_err() {
+        return 499;
+    }
+    let n = parsed.points.len();
+    let seqs: Arc<Vec<u64>> = Arc::new(parsed.points.iter().map(|(s, _)| *s).collect());
+    let points: Vec<GridPoint> = parsed.points.iter().map(|(_, p)| *p).collect();
+    let emitter = Arc::new(BatchEmitter::new(out, cancel.clone()));
+    type Slot = Option<(DesignPoint, bool)>;
+    let results: Arc<Mutex<Vec<Slot>>> = Arc::new(Mutex::new(vec![None; n]));
+    let delay = if ctx.config.allow_test_delay {
+        parsed.test_delay_ms
+    } else {
+        0
+    };
+    // Test-only: hold once after the deadline clock starts, so a tiny
+    // deadline is deterministically blown before any point runs —
+    // mirroring where the single-shot path injects its hold.
+    if delay > 0 {
+        std::thread::sleep(Duration::from_millis(delay));
+    }
+    let cb = {
+        let emitter = Arc::clone(&emitter);
+        let results = Arc::clone(&results);
+        let seqs = Arc::clone(&seqs);
+        let points = Arc::new(points.clone());
+        let metrics = Arc::clone(&ctx.metrics);
+        move |idx: usize, res: Result<(DesignPoint, bool), SynthesisError>| {
+            // Test-only pacing: holds this pool worker per point so
+            // tests can observe mid-batch state deterministically.
+            if delay > 0 {
+                std::thread::sleep(Duration::from_millis(delay));
+            }
+            let seq = seqs[idx];
+            let line = match res {
+                Ok((dp, hit)) => {
+                    metrics.batch_point(if hit {
+                        BatchOutcome::Hit
+                    } else {
+                        BatchOutcome::Miss
+                    });
+                    let record = api::batch_point_record(seq, hit, &points[idx], &dp);
+                    results.lock().expect("results lock")[idx] = Some((dp, hit));
+                    record
+                }
+                Err(SynthesisError::Cancelled { completed }) => {
+                    metrics.batch_point(BatchOutcome::Error);
+                    api::batch_error_record(
+                        seq,
+                        "deadline_exceeded",
+                        "deadline exceeded",
+                        Some(completed),
+                    )
+                }
+                Err(e) => {
+                    metrics.batch_point(BatchOutcome::Error);
+                    let code = match &e {
+                        SynthesisError::Parse(_) => "unprocessable",
+                        _ => "internal",
+                    };
+                    api::batch_error_record(seq, code, &e.to_string(), None)
+                }
+            };
+            emitter.push(idx, line.render().into_bytes());
+        }
+    };
+    if let Err(e) =
+        ctx.explorer
+            .sweep_points_cdfg_streaming(&parsed.synthesizer, &cdfg, points, &cancel, cb)
+    {
+        // Shared preparation failed before any point ran: the chunked
+        // head is already on the wire, so the error goes out as the
+        // terminal line.
+        let line = api::error_envelope("internal", &e.to_string(), None, None)
+            .render()
+            .into_bytes();
+        emitter.finish(&line);
+        return 200;
+    }
+    // Summary over the completed points in *seq* order (completion
+    // order varies; the rendering must not).
+    let slots = results.lock().expect("results lock");
+    let mut completed: Vec<(u64, DesignPoint, bool)> = slots
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| s.as_ref().map(|(dp, hit)| (seqs[i], dp.clone(), *hit)))
+        .collect();
+    drop(slots);
+    completed.sort_by_key(|(seq, _, _)| *seq);
+    let ok = completed.len();
+    let hits = completed.iter().filter(|(_, _, hit)| *hit).count();
+    let pts: Vec<DesignPoint> = completed.iter().map(|(_, dp, _)| dp.clone()).collect();
+    let summary = api::batch_summary(n, ok, n - ok, hits, &pts)
+        .render()
+        .into_bytes();
+    if emitter.has_failed() {
+        ctx.metrics.batch_cancelled();
+        return 499;
+    }
+    if cancel.is_cancelled() {
+        // Deadline expiry mid-batch: the summary still goes out (late
+        // points became error records), but record the cancellation.
+        ctx.metrics.deadline_cancelled();
+    }
+    if !emitter.finish(&summary) {
+        ctx.metrics.batch_cancelled();
+        return 499;
+    }
+    200
 }
 
 #[cfg(test)]

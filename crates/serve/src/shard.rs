@@ -1,0 +1,1150 @@
+//! The shard front: consistent-hash routing over worker processes.
+//!
+//! A front process (`hls-serve --front --workers N`) owns the public
+//! listener and fans requests out to N single-process workers. Requests
+//! are routed by consistent-hashing the same cdfg×config fingerprint
+//! pair the workers use for their response and memo caches, so a given
+//! behavior+configuration always lands on the same worker and cache
+//! affinity falls out of the routing for free.
+//!
+//! - **Single requests** (`/synthesize`, `/explore`, v1 or legacy) are
+//!   proxied verbatim: one upstream connection per request, the worker's
+//!   response forwarded unchanged. A worker that fails mid-proxy is
+//!   marked dead and the request re-hashes to the next live worker on
+//!   the ring; with no live worker left the front sheds with 503.
+//! - **Batches** (`POST /v1/batch`) are expanded front-side: every grid
+//!   point gets a global `seq`, points are grouped by their routed
+//!   worker, and per-worker sub-batches stream back concurrently. The
+//!   front re-emits records to the client in *seq order* (a reorder
+//!   buffer), so a batch response body is a deterministic function of
+//!   the request even across differently-paced workers. Points stranded
+//!   by a worker death are re-hashed onto the survivors; points no live
+//!   worker can take become `upstream_unavailable` error records.
+//! - `/healthz` probes every worker and aggregates liveness;
+//!   `/metrics` exposes the front's own registry, including
+//!   `hls_serve_shard_requests_total{worker=…}`.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use hls_core::par::ThreadPool;
+use hls_core::{cdfg_fingerprint, DesignPoint, GridPoint, Synthesizer};
+
+use crate::api;
+use crate::http::{
+    finish_chunked, read_request, start_chunked, write_chunk, ChunkedLineReader, ClientResponse,
+    ReadError, Request, Response,
+};
+use crate::json::{self, Json};
+use crate::metrics::{BatchOutcome, Metrics};
+use crate::server::{error_response, parse_route, ServerConfig};
+
+/// Virtual nodes per worker on the hash ring: enough that removing one
+/// worker spreads its keyspace evenly over the survivors.
+const VNODES: usize = 64;
+
+/// FNV-1a over a pair of fingerprints: the shard routing key.
+pub fn shard_key(behavior_fp: u64, config_fp: u64) -> u64 {
+    let mut w = hls_testkit::FnvWriter::new();
+    w.update(&behavior_fp.to_le_bytes());
+    w.update(&config_fp.to_le_bytes());
+    w.finish()
+}
+
+/// The per-point routing key of one batch grid point: the same
+/// cdfg×config pair a worker's exploration memo cache folds, so
+/// repeating a batch re-routes every point to the worker that already
+/// holds it.
+pub fn point_key(behavior_fp: u64, base: &Synthesizer, p: &GridPoint) -> u64 {
+    let mut cfg = base.clone();
+    cfg.set_universal_fus(p.fus);
+    cfg.set_algorithm(p.algorithm);
+    cfg.set_control(p.control);
+    shard_key(behavior_fp, cfg.fingerprint())
+}
+
+/// A consistent-hash ring over worker indices.
+///
+/// Each worker contributes [`VNODES`] points; a key routes to the first
+/// vnode at or after its hash (wrapping), skipping workers the liveness
+/// predicate rejects — which *is* the re-hash on worker death.
+pub struct Ring {
+    /// Sorted `(hash, worker)` vnode points.
+    points: Vec<(u64, usize)>,
+    workers: usize,
+}
+
+impl Ring {
+    /// A ring over `workers` indices.
+    pub fn new(workers: usize) -> Self {
+        let mut points = Vec::with_capacity(workers * VNODES);
+        for w in 0..workers {
+            for v in 0..VNODES {
+                let mut h = hls_testkit::FnvWriter::new();
+                h.update(format!("worker-{w}-vnode-{v}").as_bytes());
+                points.push((h.finish(), w));
+            }
+        }
+        points.sort_unstable();
+        Ring { points, workers }
+    }
+
+    /// The first live worker at or after `key` on the ring, or `None`
+    /// when every worker is dead.
+    pub fn route(&self, key: u64, alive: impl Fn(usize) -> bool) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let start = self.points.partition_point(|&(h, _)| h < key);
+        let mut seen = vec![false; self.workers];
+        let mut checked = 0;
+        for i in 0..self.points.len() {
+            let (_, w) = self.points[(start + i) % self.points.len()];
+            if seen[w] {
+                continue;
+            }
+            seen[w] = true;
+            if alive(w) {
+                return Some(w);
+            }
+            checked += 1;
+            if checked == self.workers {
+                break;
+            }
+        }
+        None
+    }
+}
+
+/// Front configuration: the server knobs plus the worker addresses.
+#[derive(Clone, Debug)]
+pub struct FrontConfig {
+    /// Listen address.
+    pub addr: String,
+    /// Worker `host:port` addresses, index = shard id.
+    pub workers: Vec<String>,
+    /// Front pool threads (request concurrency).
+    pub threads: usize,
+    /// Admission bound, as in [`ServerConfig::queue`].
+    pub queue: usize,
+    /// Upstream read deadline headroom over the per-request deadline.
+    pub deadline: Duration,
+    /// 503 backoff, milliseconds (rendered like the worker's).
+    pub retry_after_ms: u64,
+}
+
+impl FrontConfig {
+    /// Derives a front configuration from the worker-level knobs.
+    pub fn from_server(cfg: &ServerConfig, workers: Vec<String>) -> Self {
+        FrontConfig {
+            addr: cfg.addr.clone(),
+            workers,
+            threads: cfg.threads,
+            queue: cfg.queue,
+            deadline: cfg.deadline,
+            retry_after_ms: cfg.retry_after_ms,
+        }
+    }
+}
+
+/// Shared front state.
+struct FrontCtx {
+    config: FrontConfig,
+    ring: Ring,
+    /// Last-known liveness per worker; proxy failures clear a flag,
+    /// `/healthz` probes refresh all of them.
+    alive: Vec<AtomicBool>,
+    metrics: Arc<Metrics>,
+    inflight: AtomicUsize,
+    shutdown: AtomicBool,
+    idle: Mutex<()>,
+    idle_cv: Condvar,
+}
+
+impl FrontCtx {
+    fn request_done(&self) {
+        let before = self.inflight.fetch_sub(1, Ordering::SeqCst);
+        self.metrics.queue_left(before.saturating_sub(1));
+        if before == 1 {
+            let _guard = self.idle.lock().expect("idle lock");
+            self.idle_cv.notify_all();
+        }
+    }
+
+    fn wait_idle(&self) {
+        let mut guard = self.idle.lock().expect("idle lock");
+        while self.inflight.load(Ordering::SeqCst) > 0 {
+            guard = self.idle_cv.wait(guard).expect("idle wait");
+        }
+    }
+
+    fn is_alive(&self, w: usize) -> bool {
+        self.alive[w].load(Ordering::SeqCst)
+    }
+
+    fn mark_dead(&self, w: usize) {
+        self.alive[w].store(false, Ordering::SeqCst);
+    }
+
+    fn retry_after_secs(&self) -> u64 {
+        self.config.retry_after_ms.div_ceil(1000).max(1)
+    }
+}
+
+/// The running front process.
+pub struct Front {
+    listener: TcpListener,
+    addr: SocketAddr,
+    ctx: Arc<FrontCtx>,
+    pool: ThreadPool,
+}
+
+/// A cloneable handle for shutting the front down and reading metrics.
+#[derive(Clone)]
+pub struct FrontHandle {
+    addr: SocketAddr,
+    ctx: Arc<FrontCtx>,
+}
+
+impl FrontHandle {
+    /// The address the front is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The front's metrics registry.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.ctx.metrics)
+    }
+
+    /// Requests a graceful shutdown (drain, then return from
+    /// [`Front::run`]). Idempotent. Workers are not stopped here — the
+    /// caller owns their lifecycle (see [`SpawnedWorker`]).
+    pub fn shutdown(&self) {
+        if !self.ctx.shutdown.swap(true, Ordering::SeqCst) {
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+}
+
+impl Front {
+    /// Binds the front listener.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the address cannot be bound or no workers were given.
+    pub fn bind(config: FrontConfig) -> io::Result<Self> {
+        if config.workers.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "front needs at least one worker",
+            ));
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let pool = ThreadPool::new(config.threads);
+        let ctx = Arc::new(FrontCtx {
+            ring: Ring::new(config.workers.len()),
+            alive: config
+                .workers
+                .iter()
+                .map(|_| AtomicBool::new(true))
+                .collect(),
+            metrics: Arc::new(Metrics::new()),
+            inflight: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            idle: Mutex::new(()),
+            idle_cv: Condvar::new(),
+            config,
+        });
+        Ok(Front {
+            listener,
+            addr,
+            ctx,
+            pool,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle for shutdown and metrics.
+    pub fn handle(&self) -> FrontHandle {
+        FrontHandle {
+            addr: self.addr,
+            ctx: Arc::clone(&self.ctx),
+        }
+    }
+
+    /// Runs the accept loop until [`FrontHandle::shutdown`], then drains.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal listener errors.
+    pub fn run(self) -> io::Result<()> {
+        loop {
+            let (stream, _) = match self.listener.accept() {
+                Ok(pair) => pair,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            if self.ctx.shutdown.load(Ordering::SeqCst) {
+                drop(stream);
+                break;
+            }
+            let depth = self.ctx.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+            self.ctx.metrics.queue_entered(depth);
+            if depth > self.ctx.config.queue {
+                self.ctx.metrics.shed();
+                let ctx = Arc::clone(&self.ctx);
+                std::thread::spawn(move || {
+                    shed_front(stream, &ctx);
+                    ctx.request_done();
+                });
+                continue;
+            }
+            let ctx = Arc::clone(&self.ctx);
+            self.pool.execute(move || {
+                let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    handle_front_connection(stream, &ctx);
+                }));
+                if caught.is_err() {
+                    ctx.metrics.panic();
+                }
+                ctx.request_done();
+            });
+        }
+        self.ctx.wait_idle();
+        drop(self.pool);
+        Ok(())
+    }
+}
+
+/// Answers one over-capacity front connection with 503.
+fn shed_front(mut stream: TcpStream, ctx: &FrontCtx) {
+    let started = Instant::now();
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(1000)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(1000)));
+    let (endpoint, v1) = match read_request(&mut stream) {
+        Ok(req) => parse_route(&req),
+        Err(_) => ("unknown", false),
+    };
+    let ms = ctx.config.retry_after_ms;
+    let body = if v1 {
+        api::error_envelope("overloaded", "server overloaded", None, Some(ms))
+    } else {
+        Json::Obj(vec![
+            ("error".into(), Json::Str("server overloaded".into())),
+            (
+                "retry_after_secs".into(),
+                Json::Num(ctx.retry_after_secs() as f64),
+            ),
+        ])
+    };
+    let resp = Response::json(503, body.render().into_bytes())
+        .with_header("Retry-After", ctx.retry_after_secs().to_string())
+        .with_header("Retry-After-Ms", ms.to_string());
+    let _ = resp.write_to(&mut stream);
+    ctx.metrics
+        .observe_request(endpoint, 503, started.elapsed());
+}
+
+/// Reads, routes, answers, and records one front connection.
+fn handle_front_connection(mut stream: TcpStream, ctx: &FrontCtx) {
+    let started = Instant::now();
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(5000)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(5000)));
+    let req = match read_request(&mut stream) {
+        Ok(req) => req,
+        Err(ReadError::Closed | ReadError::Io(_)) => return,
+        Err(ReadError::TooLarge) => {
+            let _ = error_response(413, "request too large", false).write_to(&mut stream);
+            ctx.metrics
+                .observe_request("unknown", 413, started.elapsed());
+            return;
+        }
+        Err(ReadError::Malformed(why)) => {
+            let _ = error_response(400, why, false).write_to(&mut stream);
+            ctx.metrics
+                .observe_request("unknown", 400, started.elapsed());
+            return;
+        }
+    };
+    let (endpoint, v1) = parse_route(&req);
+    if !v1 && endpoint != "unknown" {
+        ctx.metrics.deprecated_request(endpoint);
+    }
+    if endpoint == "batch" && req.method == "POST" {
+        let status = front_batch(&req, &mut stream, ctx);
+        ctx.metrics
+            .observe_request(endpoint, status, started.elapsed());
+        return;
+    }
+    let resp = match (endpoint, req.method.as_str()) {
+        // Front-local endpoints answer here; legacy paths get the
+        // Deprecation header from the front itself.
+        ("healthz", "GET") => deprecate(healthz(ctx), v1),
+        ("metrics", "GET") => deprecate(Response::text(200, ctx.metrics.render().into_bytes()), v1),
+        // Proxied endpoints keep the worker's response verbatim — it
+        // already carries the Deprecation header on legacy paths.
+        ("synthesize" | "explore", "POST") => proxy(&req, ctx, v1),
+        ("healthz" | "metrics" | "synthesize" | "explore" | "batch", _) => {
+            deprecate(error_response(405, "method not allowed", v1), v1)
+        }
+        _ => error_response(404, "no such endpoint", v1),
+    };
+    let status = resp.status;
+    let _ = resp.write_to(&mut stream);
+    ctx.metrics
+        .observe_request(endpoint, status, started.elapsed());
+}
+
+/// Adds the `Deprecation` header to a front-local legacy response.
+fn deprecate(resp: Response, v1: bool) -> Response {
+    if v1 {
+        resp
+    } else {
+        resp.with_header("Deprecation", "true".into())
+    }
+}
+
+/// `GET /healthz`: probes every worker, refreshes the liveness flags,
+/// and aggregates. All alive → `ok`, some → `degraded` (both 200), none
+/// → `down` with 503.
+fn healthz(ctx: &FrontCtx) -> Response {
+    let mut workers = Vec::with_capacity(ctx.config.workers.len());
+    let mut up = 0usize;
+    for (i, addr) in ctx.config.workers.iter().enumerate() {
+        let ok = probe_worker(addr);
+        ctx.alive[i].store(ok, Ordering::SeqCst);
+        up += usize::from(ok);
+        workers.push(Json::Obj(vec![
+            ("worker".into(), Json::Num(i as f64)),
+            ("alive".into(), Json::Bool(ok)),
+        ]));
+    }
+    let (status, word) = if up == ctx.config.workers.len() {
+        (200, "ok")
+    } else if up > 0 {
+        (200, "degraded")
+    } else {
+        (503, "down")
+    };
+    let body = Json::Obj(vec![
+        ("status".into(), Json::Str(word.into())),
+        ("workers".into(), Json::Arr(workers)),
+    ]);
+    Response::json(status, body.render().into_bytes())
+}
+
+/// One liveness probe: `GET /v1/healthz` with short timeouts.
+fn probe_worker(addr: &str) -> bool {
+    let Ok(sock) = addr.parse::<SocketAddr>() else {
+        return false;
+    };
+    let Ok(mut s) = TcpStream::connect_timeout(&sock, Duration::from_millis(500)) else {
+        return false;
+    };
+    let _ = s.set_read_timeout(Some(Duration::from_millis(1000)));
+    let _ = s.set_write_timeout(Some(Duration::from_millis(1000)));
+    let head = format!("GET /v1/healthz HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    if s.write_all(head.as_bytes()).is_err() {
+        return false;
+    }
+    matches!(crate::http::read_response(&mut s), Ok(r) if r.status == 200)
+}
+
+/// Opens one upstream connection and writes a request; the caller reads
+/// the response (buffered or streaming).
+fn send_upstream(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    read_timeout: Duration,
+) -> io::Result<TcpStream> {
+    let sock: SocketAddr = addr
+        .parse()
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "bad worker address"))?;
+    let mut s = TcpStream::connect_timeout(&sock, Duration::from_millis(1000))?;
+    let _ = s.set_nodelay(true);
+    s.set_read_timeout(Some(read_timeout))?;
+    s.set_write_timeout(Some(Duration::from_millis(5000)))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    s.write_all(head.as_bytes())?;
+    s.write_all(body)?;
+    s.flush()?;
+    Ok(s)
+}
+
+/// The routing key for a single synthesize/explore request: the same
+/// cdfg×config fingerprints the workers key their caches on. Bodies the
+/// front cannot interpret still route deterministically (by raw-body
+/// hash) and let the owning worker produce the authoritative error.
+fn request_key(req: &Request) -> u64 {
+    let fallback = || {
+        let mut w = hls_testkit::FnvWriter::new();
+        w.update(&req.body);
+        w.finish()
+    };
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return fallback();
+    };
+    let Ok(body) = json::parse(text) else {
+        return fallback();
+    };
+    let Ok(parsed) = api::SynthesizeRequest::from_json(&body) else {
+        return fallback();
+    };
+    let behavior_fp = if hls_lang::is_system_source(&parsed.source) {
+        match hls_lang::compile_system(&parsed.source) {
+            Ok(sys) => api::system_fingerprint(&sys),
+            Err(_) => return fallback(),
+        }
+    } else {
+        match hls_lang::compile(&parsed.source) {
+            Ok(cdfg) => cdfg_fingerprint(&cdfg),
+            Err(_) => return fallback(),
+        }
+    };
+    shard_key(behavior_fp, parsed.synthesizer.fingerprint())
+}
+
+/// Proxies one single-shot request to its routed worker, re-hashing past
+/// dead workers; 503 once the ring is empty.
+fn proxy(req: &Request, ctx: &FrontCtx, v1: bool) -> Response {
+    let key = request_key(req);
+    let read_timeout = ctx.config.deadline + Duration::from_millis(5000);
+    for _ in 0..ctx.config.workers.len() {
+        let Some(w) = ctx.ring.route(key, |i| ctx.is_alive(i)) else {
+            break;
+        };
+        match forward(req, &ctx.config.workers[w], read_timeout) {
+            Ok(resp) => {
+                ctx.metrics.shard_request(&w.to_string());
+                return resp;
+            }
+            Err(_) => ctx.mark_dead(w),
+        }
+    }
+    let ms = ctx.config.retry_after_ms;
+    let body = if v1 {
+        api::error_envelope("overloaded", "no live worker", None, Some(ms))
+    } else {
+        Json::Obj(vec![
+            ("error".into(), Json::Str("no live worker".into())),
+            (
+                "retry_after_secs".into(),
+                Json::Num(ctx.retry_after_secs() as f64),
+            ),
+        ])
+    };
+    Response::json(503, body.render().into_bytes())
+        .with_header("Retry-After", ctx.retry_after_secs().to_string())
+        .with_header("Retry-After-Ms", ms.to_string())
+}
+
+/// One proxy attempt: send, read the whole response, rebuild it for the
+/// client (minus the per-connection headers `write_to` re-adds).
+fn forward(req: &Request, addr: &str, read_timeout: Duration) -> io::Result<Response> {
+    let mut s = send_upstream(addr, &req.method, &req.path, &req.body, read_timeout)?;
+    let upstream: ClientResponse = crate::http::read_response(&mut s)?;
+    let headers = upstream
+        .headers
+        .iter()
+        .filter(|(k, _)| k != "content-length" && k != "connection" && k != "transfer-encoding")
+        .cloned()
+        .collect();
+    Ok(Response {
+        status: upstream.status,
+        headers,
+        body: upstream.body,
+    })
+}
+
+/// Serializes front batch records to the client strictly in global seq
+/// order, whatever order workers deliver them in — this is what makes a
+/// front batch response byte-deterministic.
+struct SeqEmitter {
+    inner: Mutex<SeqEmitterInner>,
+}
+
+struct SeqEmitterInner {
+    stream: TcpStream,
+    /// Rank (position in the sorted seq list) of the next line to write.
+    next: usize,
+    pending: BTreeMap<usize, Vec<u8>>,
+    failed: bool,
+}
+
+impl SeqEmitter {
+    fn new(stream: TcpStream) -> Self {
+        SeqEmitter {
+            inner: Mutex::new(SeqEmitterInner {
+                stream,
+                next: 0,
+                pending: BTreeMap::new(),
+                failed: false,
+            }),
+        }
+    }
+
+    fn push(&self, rank: usize, mut line: Vec<u8>) {
+        line.push(b'\n');
+        let mut g = self.inner.lock().expect("emitter lock");
+        if g.failed {
+            return;
+        }
+        g.pending.insert(rank, line);
+        loop {
+            let next = g.next;
+            let Some(line) = g.pending.remove(&next) else {
+                break;
+            };
+            if write_chunk(&mut g.stream, &line).is_err() {
+                g.failed = true;
+                g.pending.clear();
+                return;
+            }
+            g.next += 1;
+        }
+    }
+
+    fn finish(&self, terminal: &[u8]) -> bool {
+        let mut g = self.inner.lock().expect("emitter lock");
+        if g.failed {
+            return false;
+        }
+        let mut line = terminal.to_vec();
+        line.push(b'\n');
+        if write_chunk(&mut g.stream, &line).is_err() || finish_chunked(&mut g.stream).is_err() {
+            g.failed = true;
+            return false;
+        }
+        true
+    }
+
+    fn has_failed(&self) -> bool {
+        self.inner.lock().expect("emitter lock").failed
+    }
+}
+
+/// A worker batch record the front parsed off a sub-batch stream.
+struct ParsedRecord {
+    seq: u64,
+    /// `Some` for a completed point, `None` for an error record.
+    point: Option<(DesignPoint, bool)>,
+}
+
+/// Parses one worker NDJSON line; `None` for summary/terminal lines
+/// (absorbed by the front, which emits its own aggregate summary).
+fn parse_record(line: &str) -> Option<ParsedRecord> {
+    let v = json::parse(line).ok()?;
+    let seq = v.get("seq").and_then(Json::as_u64)?;
+    if v.get("error").is_some() {
+        return Some(ParsedRecord { seq, point: None });
+    }
+    let p = v.get("point")?;
+    let r = v.get("result")?;
+    let hit = v.get("cache_hit").and_then(Json::as_bool)?;
+    let point = DesignPoint {
+        fus: p.get("fus")?.as_u64()? as usize,
+        algorithm: api::parse_algorithm(p.get("algorithm")?.as_str()?).ok()?,
+        control: api::parse_control(p.get("control")?.as_str()?).ok()?,
+        latency: r.get("latency")?.as_u64()?,
+        area: r.get("area")?.as_f64()?,
+        registers: r.get("registers")?.as_u64()? as usize,
+        mux_inputs: r.get("mux_inputs")?.as_u64()? as usize,
+    };
+    Some(ParsedRecord {
+        seq,
+        point: Some((point, hit)),
+    })
+}
+
+/// Renders the sub-batch request body for one worker's points.
+fn sub_batch_body(req: &api::BatchRequest, pts: &[(u64, GridPoint)]) -> Vec<u8> {
+    let mut members = vec![("source".into(), Json::Str(req.source.clone()))];
+    if let Some(cfg) = &req.config {
+        members.push(("config".into(), cfg.clone()));
+    }
+    members.push((
+        "points".into(),
+        Json::Arr(
+            pts.iter()
+                .map(|(seq, p)| {
+                    Json::Obj(vec![
+                        ("seq".into(), Json::Num(*seq as f64)),
+                        ("fus".into(), Json::Num(p.fus as f64)),
+                        (
+                            "algorithm".into(),
+                            Json::Str(api::algorithm_str(p.algorithm)),
+                        ),
+                        ("control".into(), Json::Str(api::control_str(p.control))),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    if let Some(ms) = req.deadline_ms {
+        members.push(("deadline_ms".into(), Json::Num(ms as f64)));
+    }
+    if req.test_delay_ms > 0 {
+        members.push(("test_delay_ms".into(), Json::Num(req.test_delay_ms as f64)));
+    }
+    Json::Obj(members).render().into_bytes()
+}
+
+/// Shared accumulator for one front batch.
+struct BatchProgress {
+    /// Completed `(seq, point, cache_hit)` records, any order.
+    completed: Mutex<Vec<(u64, DesignPoint, bool)>>,
+    /// Count of error records forwarded.
+    errors: AtomicUsize,
+}
+
+/// Streams one worker sub-batch, forwarding records to the client
+/// emitter; returns the points that were *not* delivered (for
+/// re-dispatch after a worker death).
+#[allow(clippy::too_many_arguments)]
+fn dispatch_sub_batch(
+    ctx: &FrontCtx,
+    worker: usize,
+    req: &api::BatchRequest,
+    pts: Vec<(u64, GridPoint)>,
+    emitter: &SeqEmitter,
+    progress: &BatchProgress,
+    rank: &BTreeMap<u64, usize>,
+    read_timeout: Duration,
+) -> Vec<(u64, GridPoint)> {
+    ctx.metrics.shard_request(&worker.to_string());
+    let body = sub_batch_body(req, &pts);
+    let addr = &ctx.config.workers[worker];
+    let stream = match send_upstream(addr, "POST", "/v1/batch", &body, read_timeout) {
+        Ok(s) => s,
+        Err(_) => {
+            ctx.mark_dead(worker);
+            return pts;
+        }
+    };
+    let mut reader = match ChunkedLineReader::start(stream) {
+        Ok(r) => r,
+        Err(_) => {
+            ctx.mark_dead(worker);
+            return pts;
+        }
+    };
+    if reader.head.0 != 200 {
+        // The worker rejected a sub-batch the front already validated:
+        // a front/worker version skew, not a dead worker. Surface it as
+        // error records rather than retrying forever.
+        for (seq, _) in &pts {
+            ctx.metrics.batch_point(BatchOutcome::Error);
+            progress.errors.fetch_add(1, Ordering::SeqCst);
+            let line = api::batch_error_record(
+                *seq,
+                "internal",
+                &format!("worker answered {}", reader.head.0),
+                None,
+            );
+            emitter.push(rank[seq], line.render().into_bytes());
+        }
+        return Vec::new();
+    }
+    let mut delivered = std::collections::HashSet::new();
+    loop {
+        match reader.next_line() {
+            Ok(Some(line)) => {
+                let Some(record) = parse_record(&line) else {
+                    continue; // worker summary / terminal line: absorbed
+                };
+                delivered.insert(record.seq);
+                match record.point {
+                    Some((dp, hit)) => {
+                        ctx.metrics.batch_point(if hit {
+                            BatchOutcome::Hit
+                        } else {
+                            BatchOutcome::Miss
+                        });
+                        progress
+                            .completed
+                            .lock()
+                            .expect("progress lock")
+                            .push((record.seq, dp, hit));
+                    }
+                    None => {
+                        ctx.metrics.batch_point(BatchOutcome::Error);
+                        progress.errors.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+                emitter.push(rank[&record.seq], line.into_bytes());
+                if emitter.has_failed() {
+                    // Client gone: dropping the reader closes the worker
+                    // connection, which cancels the worker-side batch.
+                    return Vec::new();
+                }
+            }
+            Ok(None) => break,
+            Err(_) => {
+                // Worker died mid-stream: whatever it did not deliver
+                // re-hashes onto the survivors.
+                ctx.mark_dead(worker);
+                return pts
+                    .into_iter()
+                    .filter(|(seq, _)| !delivered.contains(seq))
+                    .collect();
+            }
+        }
+    }
+    // Clean end-of-stream: every point should have a record; anything
+    // missing is treated like a death for re-dispatch purposes.
+    pts.into_iter()
+        .filter(|(seq, _)| !delivered.contains(seq))
+        .collect()
+}
+
+/// `POST /v1/batch` on the front: expand, assign, fan out, merge.
+/// Returns the status for the metrics label (499 = client gone).
+fn front_batch(req: &Request, stream: &mut TcpStream, ctx: &FrontCtx) -> u16 {
+    let fail = |stream: &mut TcpStream, status: u16, msg: &str| {
+        let _ = error_response(status, msg, true).write_to(stream);
+        status
+    };
+    let body = match std::str::from_utf8(&req.body)
+        .map_err(|_| "body is not utf-8".to_string())
+        .and_then(|text| json::parse(text).map_err(|e| e.to_string()))
+    {
+        Ok(v) => v,
+        Err(msg) => return fail(stream, 400, &msg),
+    };
+    let parsed = match api::BatchRequest::from_json(&body) {
+        Ok(p) => p,
+        Err(e) => return fail(stream, 422, &e.0),
+    };
+    if hls_lang::is_system_source(&parsed.source) {
+        return fail(stream, 422, "batch does not accept system sources");
+    }
+    let behavior_fp = match hls_lang::compile(&parsed.source) {
+        Ok(cdfg) => cdfg_fingerprint(&cdfg),
+        Err(e) => return fail(stream, 422, &format!("parse: {e}")),
+    };
+    let Ok(out) = stream.try_clone() else {
+        return fail(stream, 500, "connection unavailable");
+    };
+    if start_chunked(stream, 200, "application/x-ndjson", &[]).is_err() {
+        return 499;
+    }
+    let n = parsed.points.len();
+    // Rank = position of a seq in the sorted seq list; the emitter
+    // releases lines in rank order.
+    let rank: BTreeMap<u64, usize> = {
+        let mut seqs: Vec<u64> = parsed.points.iter().map(|(s, _)| *s).collect();
+        seqs.sort_unstable();
+        seqs.into_iter().enumerate().map(|(i, s)| (s, i)).collect()
+    };
+    let emitter = SeqEmitter::new(out);
+    let progress = BatchProgress {
+        completed: Mutex::new(Vec::new()),
+        errors: AtomicUsize::new(0),
+    };
+    let read_timeout = parsed
+        .deadline_ms
+        .map(Duration::from_millis)
+        .unwrap_or(ctx.config.deadline)
+        + Duration::from_millis(10_000);
+    let mut todo: Vec<(u64, GridPoint)> = parsed.points.clone();
+    // Dispatch rounds: one per worker death at worst, plus the first.
+    for _ in 0..=ctx.config.workers.len() {
+        if todo.is_empty() || emitter.has_failed() {
+            break;
+        }
+        let mut groups: BTreeMap<usize, Vec<(u64, GridPoint)>> = BTreeMap::new();
+        let mut unroutable = Vec::new();
+        for (seq, p) in todo.drain(..) {
+            match ctx
+                .ring
+                .route(point_key(behavior_fp, &parsed.synthesizer, &p), |i| {
+                    ctx.is_alive(i)
+                }) {
+                Some(w) => groups.entry(w).or_default().push((seq, p)),
+                None => unroutable.push((seq, p)),
+            }
+        }
+        if groups.is_empty() {
+            todo = unroutable;
+            break;
+        }
+        let undelivered: Vec<Vec<(u64, GridPoint)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = groups
+                .into_iter()
+                .map(|(w, pts)| {
+                    let emitter = &emitter;
+                    let progress = &progress;
+                    let rank = &rank;
+                    let parsed = &parsed;
+                    scope.spawn(move || {
+                        dispatch_sub_batch(
+                            ctx,
+                            w,
+                            parsed,
+                            pts,
+                            emitter,
+                            progress,
+                            rank,
+                            read_timeout,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_default())
+                .collect()
+        });
+        todo = unroutable;
+        todo.extend(undelivered.into_iter().flatten());
+    }
+    // Whatever no live worker could take becomes an error record, so
+    // every seq is accounted for and the stream stays well-formed.
+    for (seq, _) in &todo {
+        ctx.metrics.batch_point(BatchOutcome::Error);
+        progress.errors.fetch_add(1, Ordering::SeqCst);
+        let line = api::batch_error_record(*seq, "upstream_unavailable", "no live worker", None);
+        emitter.push(rank[seq], line.render().into_bytes());
+    }
+    if emitter.has_failed() {
+        ctx.metrics.batch_cancelled();
+        return 499;
+    }
+    let mut completed = progress.completed.into_inner().expect("progress lock");
+    completed.sort_by_key(|(seq, _, _)| *seq);
+    let ok = completed.len();
+    let hits = completed.iter().filter(|(_, _, hit)| *hit).count();
+    let pts: Vec<DesignPoint> = completed.into_iter().map(|(_, dp, _)| dp).collect();
+    let summary = api::batch_summary(n, ok, n - ok, hits, &pts)
+        .render()
+        .into_bytes();
+    if !emitter.finish(&summary) {
+        ctx.metrics.batch_cancelled();
+        return 499;
+    }
+    200
+}
+
+/// A worker child process spawned by the front (or a test harness).
+///
+/// Holds the child's piped stdin: dropping the handle closes it, which
+/// the worker treats as a graceful-drain signal; [`Drop`] then waits
+/// briefly before escalating to a kill.
+pub struct SpawnedWorker {
+    /// The worker's bound `host:port` (parsed from its startup line).
+    pub addr: String,
+    child: Child,
+    stdin: Option<ChildStdin>,
+}
+
+impl SpawnedWorker {
+    /// Kills the worker immediately (simulating a crash).
+    pub fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for SpawnedWorker {
+    fn drop(&mut self) {
+        // Close stdin → the worker drains and exits on its own.
+        drop(self.stdin.take());
+        for _ in 0..50 {
+            if matches!(self.child.try_wait(), Ok(Some(_))) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawns one worker process on an ephemeral port and waits for its
+/// "listening on" line. `extra_env` overrides `HLS_SERVE_*` knobs.
+///
+/// # Errors
+///
+/// Fails when the process cannot start or exits before binding.
+pub fn spawn_worker(exe: &Path, extra_env: &[(String, String)]) -> io::Result<SpawnedWorker> {
+    let mut cmd = Command::new(exe);
+    cmd.arg("127.0.0.1:0")
+        .env("HLS_SERVE_ADDR", "127.0.0.1:0")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped());
+    for (k, v) in extra_env {
+        cmd.env(k, v);
+    }
+    let mut child = cmd.spawn()?;
+    let stdin = child.stdin.take();
+    let stderr = child.stderr.take().expect("piped stderr");
+    let mut reader = BufReader::new(stderr);
+    let addr = loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "worker exited before binding",
+            ));
+        }
+        if let Some(rest) = line.split("listening on ").nth(1) {
+            break rest
+                .split_whitespace()
+                .next()
+                .unwrap_or("")
+                .trim_end_matches(|c: char| !c.is_ascii_alphanumeric())
+                .to_string();
+        }
+    };
+    // Keep draining the worker's stderr so it never blocks on a full
+    // pipe; its diagnostics pass through to ours.
+    std::thread::spawn(move || {
+        let mut sink = [0u8; 4096];
+        loop {
+            match reader.read(&mut sink) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    let _ = std::io::stderr().write_all(&sink[..n]);
+                }
+            }
+        }
+    });
+    Ok(SpawnedWorker { addr, child, stdin })
+}
+
+/// Spawns `n` workers (see [`spawn_worker`]).
+///
+/// # Errors
+///
+/// Fails when any worker cannot start; already-started workers are
+/// dropped (drained) on the way out.
+pub fn spawn_workers(
+    exe: &Path,
+    n: usize,
+    extra_env: &[(String, String)],
+) -> io::Result<Vec<SpawnedWorker>> {
+    let mut workers = Vec::with_capacity(n);
+    for _ in 0..n {
+        workers.push(spawn_worker(exe, extra_env)?);
+    }
+    Ok(workers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_core::ControlStyle;
+    use hls_ctrl::EncodingStyle;
+    use hls_sched::Algorithm;
+
+    #[test]
+    fn ring_routes_deterministically_and_covers_all_workers() {
+        let ring = Ring::new(4);
+        let mut hit = [0usize; 4];
+        for key in 0..1000u64 {
+            let w = ring
+                .route(key.wrapping_mul(0x9E3779B97F4A7C15), |_| true)
+                .unwrap();
+            hit[w] += 1;
+            // Same key, same worker.
+            assert_eq!(
+                ring.route(key.wrapping_mul(0x9E3779B97F4A7C15), |_| true),
+                Some(w)
+            );
+        }
+        assert!(
+            hit.iter().all(|&c| c > 0),
+            "every worker takes load: {hit:?}"
+        );
+    }
+
+    #[test]
+    fn ring_rehashes_past_dead_workers_only_as_needed() {
+        let ring = Ring::new(3);
+        let key = 0xDEAD_BEEF_u64;
+        let primary = ring.route(key, |_| true).unwrap();
+        // Killing a different worker must not move this key.
+        let other = (primary + 1) % 3;
+        assert_eq!(ring.route(key, |w| w != other), Some(primary));
+        // Killing the primary moves it to a live worker.
+        let fallback = ring.route(key, |w| w != primary).unwrap();
+        assert_ne!(fallback, primary);
+        // No live workers: no route.
+        assert_eq!(ring.route(key, |_| false), None);
+    }
+
+    #[test]
+    fn point_key_matches_repeat_routing() {
+        let base = Synthesizer::new();
+        let cdfg = hls_lang::compile(hls_workloads::sources::SQRT).unwrap();
+        let fp = cdfg_fingerprint(&cdfg);
+        let p = GridPoint {
+            fus: 2,
+            algorithm: Algorithm::Asap,
+            control: ControlStyle::Hardwired(EncodingStyle::Binary),
+        };
+        assert_eq!(point_key(fp, &base, &p), point_key(fp, &base, &p));
+        let q = GridPoint { fus: 3, ..p };
+        assert_ne!(point_key(fp, &base, &p), point_key(fp, &base, &q));
+    }
+
+    #[test]
+    fn worker_batch_records_parse_back() {
+        let line = r#"{"seq":5,"cache_hit":true,"point":{"fus":2,"algorithm":"asap","control":"hardwired/binary"},"result":{"latency":10,"area":950.5,"registers":7,"mux_inputs":12}}"#;
+        let rec = parse_record(line).unwrap();
+        assert_eq!(rec.seq, 5);
+        let (dp, hit) = rec.point.unwrap();
+        assert!(hit);
+        assert_eq!(dp.fus, 2);
+        assert_eq!(dp.latency, 10);
+        assert_eq!(dp.area, 950.5);
+
+        let err = parse_record(r#"{"seq":3,"error":{"code":"internal","message":"x"}}"#).unwrap();
+        assert_eq!(err.seq, 3);
+        assert!(err.point.is_none());
+
+        assert!(parse_record(r#"{"summary":{"points":2}}"#).is_none());
+    }
+
+    #[test]
+    fn sub_batch_bodies_reparse_to_the_same_points() {
+        let body = json::parse(
+            r#"{"source":"x","config":{"optimize":false},"grid":{"fus":[1,2]},"deadline_ms":5000}"#,
+        )
+        .unwrap();
+        let req = api::BatchRequest::from_json(&body).unwrap();
+        let rendered = sub_batch_body(&req, &req.points);
+        let reparsed = api::BatchRequest::from_json(
+            &json::parse(std::str::from_utf8(&rendered).unwrap()).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(reparsed.points, req.points);
+        assert_eq!(reparsed.deadline_ms, Some(5000));
+        assert_eq!(
+            reparsed.synthesizer.fingerprint(),
+            req.synthesizer.fingerprint()
+        );
+    }
+}

@@ -20,13 +20,18 @@ use crate::ServerHandle;
 /// place, `false` when the platform (or pipe creation) does not
 /// cooperate.
 pub fn drain_on_termination(handle: ServerHandle) -> bool {
-    imp::install(handle)
+    imp::install(Box::new(move || handle.shutdown()))
+}
+
+/// [`drain_on_termination`] for any shutdown action — used by the shard
+/// front, whose handle type differs from the worker's.
+pub fn drain_on_termination_with(shutdown: impl FnOnce() + Send + 'static) -> bool {
+    imp::install(Box::new(shutdown))
 }
 
 #[cfg(unix)]
 #[allow(unsafe_code)]
 mod imp {
-    use super::ServerHandle;
     use std::fs::File;
     use std::io::Read;
     use std::os::fd::FromRawFd;
@@ -56,7 +61,7 @@ mod imp {
         }
     }
 
-    pub fn install(handle: ServerHandle) -> bool {
+    pub fn install(shutdown: Box<dyn FnOnce() + Send>) -> bool {
         let mut fds = [0i32; 2];
         // SAFETY: `fds` is a valid out-pointer for two descriptors.
         if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
@@ -78,7 +83,7 @@ mod imp {
                 let mut byte = [0u8; 1];
                 // Blocks until the handler writes (or the pipe breaks).
                 let _ = read_end.read(&mut byte);
-                handle.shutdown();
+                shutdown();
             })
             .is_ok()
     }
@@ -86,9 +91,7 @@ mod imp {
 
 #[cfg(not(unix))]
 mod imp {
-    use super::ServerHandle;
-
-    pub fn install(_handle: ServerHandle) -> bool {
+    pub fn install(_shutdown: Box<dyn FnOnce() + Send>) -> bool {
         false
     }
 }

@@ -529,3 +529,422 @@ fn system_cache_distinguishes_channel_depth_and_reports_deadlock_verdict() {
     assert_eq!(rendezvous.body, again.body);
     server.stop();
 }
+
+// ---------------------------------------------------------------------------
+// v1 API surface
+// ---------------------------------------------------------------------------
+
+/// POSTs to a streaming endpoint and collects the NDJSON lines.
+fn post_ndjson(
+    addr: SocketAddr,
+    path: &str,
+    body: &str,
+) -> (u16, Vec<(String, String)>, Vec<String>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    stream
+        .write_all(
+            format!(
+                "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("write request");
+    let mut reader = hls_serve::http::ChunkedLineReader::start(stream).expect("response head");
+    let (status, headers) = reader.head.clone();
+    let mut lines = Vec::new();
+    while let Some(line) = reader.next_line().expect("stream line") {
+        lines.push(line);
+    }
+    (status, headers, lines)
+}
+
+fn batch_body(source: &str) -> String {
+    format!(r#"{{"source":{source:?},"grid":{{"fus":[1,2],"algorithms":["asap","list/path"]}}}}"#)
+}
+
+/// Strips the volatile `cache_hit` flag so warm/cold bodies compare.
+fn mask_cache_hit(s: &str) -> String {
+    s.replace("\"cache_hit\":true", "\"cache_hit\":_")
+        .replace("\"cache_hit\":false", "\"cache_hit\":_")
+}
+
+#[test]
+fn v1_synthesize_carries_cache_hit_and_no_deprecation() {
+    let server = TestServer::start(ServerConfig {
+        threads: 2,
+        ..ServerConfig::default()
+    });
+    let body = synthesize_body(hls_workloads::sources::SQRT, 2);
+
+    let legacy = post(server.addr, "/synthesize", &body);
+    assert_eq!(legacy.status, 200, "body: {}", legacy.body);
+    assert_eq!(
+        legacy.headers.get("deprecation").map(String::as_str),
+        Some("true"),
+        "legacy path must be marked deprecated"
+    );
+    assert!(
+        !legacy.body.contains("cache_hit"),
+        "legacy body shape must not change: {}",
+        legacy.body
+    );
+
+    let v1 = post(server.addr, "/v1/synthesize", &body);
+    assert_eq!(v1.status, 200, "body: {}", v1.body);
+    assert!(
+        !v1.headers.contains_key("deprecation"),
+        "v1 must not carry Deprecation"
+    );
+    assert!(
+        v1.body.starts_with("{\"cache_hit\":"),
+        "v1 body leads with the hit flag: {}",
+        v1.body
+    );
+    // Same request was already cached by the legacy call: v1 and legacy
+    // share the synthesis cache (the flag is spliced per-surface).
+    assert!(v1.body.starts_with("{\"cache_hit\":true,"), "{}", v1.body);
+    assert_eq!(
+        format!("{{\"cache_hit\":true,{}", &legacy.body[1..]),
+        v1.body,
+        "v1 body = legacy body + spliced flag"
+    );
+
+    // Golden byte-identity: two v1 repeats agree exactly.
+    let again = post(server.addr, "/v1/synthesize", &body);
+    assert_eq!(again.body, v1.body);
+
+    // The deprecated counter saw the legacy call only.
+    let metrics = get(server.addr, "/v1/metrics");
+    assert!(
+        metrics
+            .body
+            .contains("hls_serve_deprecated_requests_total{endpoint=\"synthesize\"} 1"),
+        "metrics: {}",
+        metrics.body
+    );
+    server.stop();
+}
+
+#[test]
+fn v1_errors_use_the_envelope() {
+    let server = TestServer::start(ServerConfig {
+        threads: 1,
+        cache_capacity: 0,
+        allow_test_delay: true,
+        ..ServerConfig::default()
+    });
+    let bad = post(server.addr, "/v1/synthesize", "{not json");
+    assert_eq!(bad.status, 400);
+    assert!(
+        bad.body.starts_with(r#"{"error":{"code":"bad_request""#),
+        "{}",
+        bad.body
+    );
+
+    let missing = post(server.addr, "/v1/synthesize", r#"{"config":{}}"#);
+    assert_eq!(missing.status, 422);
+    assert!(
+        missing
+            .body
+            .starts_with(r#"{"error":{"code":"unprocessable""#),
+        "{}",
+        missing.body
+    );
+
+    let nowhere = get(server.addr, "/v1/nowhere");
+    assert_eq!(nowhere.status, 404);
+    assert!(
+        nowhere.body.starts_with(r#"{"error":{"code":"not_found""#),
+        "{}",
+        nowhere.body
+    );
+
+    let wrong_method = get(server.addr, "/v1/synthesize");
+    assert_eq!(wrong_method.status, 405);
+    assert!(
+        wrong_method
+            .body
+            .starts_with(r#"{"error":{"code":"method_not_allowed""#),
+        "{}",
+        wrong_method.body
+    );
+
+    // 504 carries the partial-progress stage inside the envelope.
+    let late = post(
+        server.addr,
+        "/v1/synthesize",
+        &format!(
+            r#"{{"source":{:?},"config":{{"fus":2}},"deadline_ms":1,"test_delay_ms":50}}"#,
+            hls_workloads::sources::SQRT
+        ),
+    );
+    assert_eq!(late.status, 504, "body: {}", late.body);
+    assert!(
+        late.body
+            .starts_with(r#"{"error":{"code":"deadline_exceeded""#),
+        "{}",
+        late.body
+    );
+    assert!(late.body.contains(r#""stage":"#), "{}", late.body);
+    server.stop();
+}
+
+#[test]
+fn v1_shed_reports_retry_after_in_both_units() {
+    let server = TestServer::start(ServerConfig {
+        threads: 1,
+        queue: 1,
+        retry_after_ms: 2500,
+        allow_test_delay: true,
+        ..ServerConfig::default()
+    });
+    let slow_body = format!(
+        r#"{{"source":{:?},"config":{{"fus":2}},"test_delay_ms":600}}"#,
+        hls_workloads::sources::SQRT
+    );
+    let addr = server.addr;
+    let slow = std::thread::spawn(move || post(addr, "/synthesize", &slow_body));
+    std::thread::sleep(Duration::from_millis(150));
+
+    let shed = post(
+        server.addr,
+        "/v1/synthesize",
+        &synthesize_body(hls_workloads::sources::GCD, 2),
+    );
+    assert_eq!(shed.status, 503, "body: {}", shed.body);
+    // Seconds header is the ceiling of the millisecond value — the two
+    // must agree in *unit*, not just both exist.
+    assert_eq!(
+        shed.headers.get("retry-after").map(String::as_str),
+        Some("3")
+    );
+    assert_eq!(
+        shed.headers.get("retry-after-ms").map(String::as_str),
+        Some("2500")
+    );
+    assert!(
+        shed.body.contains(r#""retry_after_ms":2500"#),
+        "{}",
+        shed.body
+    );
+    assert!(
+        shed.body.starts_with(r#"{"error":{"code":"overloaded""#),
+        "{}",
+        shed.body
+    );
+    slow.join().expect("slow client");
+    server.stop();
+}
+
+#[test]
+fn batch_streams_records_in_seq_order_with_summary() {
+    let server = TestServer::start(ServerConfig {
+        threads: 2,
+        ..ServerConfig::default()
+    });
+    let body = batch_body(hls_workloads::sources::SQRT);
+
+    let (status, headers, lines) = post_ndjson(server.addr, "/v1/batch", &body);
+    assert_eq!(status, 200, "lines: {lines:?}");
+    assert!(
+        headers
+            .iter()
+            .any(|(k, v)| k == "content-type" && v == "application/x-ndjson"),
+        "headers: {headers:?}"
+    );
+    assert_eq!(lines.len(), 5, "4 grid points + summary: {lines:?}");
+    for (i, line) in lines[..4].iter().enumerate() {
+        assert!(
+            line.starts_with(&format!("{{\"seq\":{i},\"cache_hit\":")),
+            "record {i} out of order: {line}"
+        );
+        assert!(line.contains(r#""point":"#), "{line}");
+        assert!(line.contains(r#""result":"#), "{line}");
+        assert!(line.contains(r#""latency":"#), "{line}");
+    }
+    let summary = &lines[4];
+    assert!(
+        summary.starts_with(r#"{"summary":{"points":4,"ok":4,"errors":0,"cache_hits":0"#),
+        "{summary}"
+    );
+    assert!(summary.contains(r#""pareto":"#), "{summary}");
+
+    // A repeat of the same batch is all cache hits and otherwise
+    // byte-identical, line for line.
+    let (_, _, warm) = post_ndjson(server.addr, "/v1/batch", &body);
+    assert_eq!(warm.len(), 5);
+    for (cold_line, warm_line) in lines[..4].iter().zip(&warm[..4]) {
+        assert!(
+            warm_line.contains("\"cache_hit\":true"),
+            "repeat batch must hit: {warm_line}"
+        );
+        assert_eq!(mask_cache_hit(cold_line), mask_cache_hit(warm_line));
+    }
+    assert!(
+        warm[4].starts_with(r#"{"summary":{"points":4,"ok":4,"errors":0,"cache_hits":4"#),
+        "{}",
+        warm[4]
+    );
+
+    // And a second warm run is byte-identical to the first, whole-stream.
+    let (_, _, warm2) = post_ndjson(server.addr, "/v1/batch", &body);
+    assert_eq!(warm, warm2, "warm batch streams must be byte-stable");
+    server.stop();
+}
+
+#[test]
+fn batch_with_blown_deadline_yields_error_records() {
+    let server = TestServer::start(ServerConfig {
+        threads: 1,
+        cache_capacity: 0,
+        allow_test_delay: true,
+        ..ServerConfig::default()
+    });
+    let body = format!(
+        r#"{{"source":{:?},"grid":{{"fus":[1,2]}},"deadline_ms":1,"test_delay_ms":50}}"#,
+        hls_workloads::sources::SQRT
+    );
+    let (status, _, lines) = post_ndjson(server.addr, "/v1/batch", &body);
+    assert_eq!(status, 200, "stream already started: {lines:?}");
+    assert_eq!(lines.len(), 3, "{lines:?}");
+    for line in &lines[..2] {
+        assert!(
+            line.contains(r#""error":{"code":"deadline_exceeded""#),
+            "{line}"
+        );
+    }
+    assert!(
+        lines[2].starts_with(r#"{"summary":{"points":2,"ok":0,"errors":2"#),
+        "{}",
+        lines[2]
+    );
+    server.stop();
+}
+
+#[test]
+fn batch_survives_a_slow_reader() {
+    let server = TestServer::start(ServerConfig {
+        threads: 2,
+        ..ServerConfig::default()
+    });
+    let body = batch_body(hls_workloads::sources::DIFFEQ);
+    let mut stream = TcpStream::connect(server.addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    stream
+        .write_all(
+            format!(
+                "POST /v1/batch HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("write request");
+    let mut reader = hls_serve::http::ChunkedLineReader::start(stream).expect("head");
+    assert_eq!(reader.head.0, 200);
+    let mut lines = Vec::new();
+    while let Some(line) = reader.next_line().expect("line") {
+        lines.push(line);
+        // Dawdle between reads: the server must keep the stream alive
+        // and deliver every record regardless of client pacing.
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    assert_eq!(lines.len(), 5, "{lines:?}");
+    assert!(lines[4].contains("\"summary\""), "{}", lines[4]);
+    server.stop();
+}
+
+#[test]
+fn batch_client_disconnect_cancels_the_batch() {
+    let server = TestServer::start(ServerConfig {
+        threads: 2,
+        cache_capacity: 0,
+        allow_test_delay: true,
+        ..ServerConfig::default()
+    });
+    let body = format!(
+        r#"{{"source":{:?},"grid":{{"fus":[1,2,3],"algorithms":["asap","list/path"]}},"test_delay_ms":200}}"#,
+        hls_workloads::sources::SQRT
+    );
+    {
+        let mut stream = TcpStream::connect(server.addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("read timeout");
+        stream
+            .write_all(
+                format!(
+                    "POST /v1/batch HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
+            )
+            .expect("write request");
+        let mut reader = hls_serve::http::ChunkedLineReader::start(stream).expect("head");
+        assert_eq!(reader.head.0, 200);
+        // Read one record, then vanish mid-stream.
+        let first = reader.next_line().expect("first line");
+        assert!(first.is_some());
+    } // drop = disconnect (unread data pending → RST on next write)
+
+    // The server notices on its next emit, cancels the remaining points,
+    // and counts the cancellation.
+    let mut cancelled = 0u64;
+    for _ in 0..100 {
+        let metrics = get(server.addr, "/metrics");
+        cancelled = metrics
+            .body
+            .lines()
+            .find_map(|l| l.strip_prefix("hls_serve_batch_cancelled_total "))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0);
+        if cancelled >= 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    assert_eq!(cancelled, 1, "disconnect must cancel the batch");
+
+    // The server still serves normally afterwards.
+    let after = post(
+        server.addr,
+        "/v1/synthesize",
+        &synthesize_body(hls_workloads::sources::GCD, 2),
+    );
+    assert_eq!(after.status, 200, "{}", after.body);
+    server.stop();
+}
+
+#[test]
+fn batch_rejects_bad_requests_before_streaming() {
+    let server = TestServer::start(ServerConfig::default());
+    let no_points = post(
+        server.addr,
+        "/v1/batch",
+        r#"{"source":"x = 1;","points":[]}"#,
+    );
+    assert_eq!(no_points.status, 422, "{}", no_points.body);
+    assert!(
+        no_points
+            .body
+            .starts_with(r#"{"error":{"code":"unprocessable""#),
+        "{}",
+        no_points.body
+    );
+
+    let dup = post(
+        server.addr,
+        "/v1/batch",
+        r#"{"source":"x = 1;","points":[{"seq":1,"fus":2},{"seq":1,"fus":3}]}"#,
+    );
+    assert_eq!(dup.status, 422, "duplicate seqs: {}", dup.body);
+
+    let legacy = post(server.addr, "/batch", r#"{}"#);
+    assert_eq!(legacy.status, 404, "batch is v1-only: {}", legacy.body);
+    server.stop();
+}
