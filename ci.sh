@@ -42,6 +42,12 @@ echo "==> benchmark regression gate (BENCH_5.json)"
 HLS_BENCH_SAMPLES=3 HLS_BENCH_WARMUP=1 \
     cargo run --release --offline -q -p hls-bench --bin perf_gate -- --check BENCH_5.json
 
+echo "==> estimator pruning agreement (E23 smoke)"
+# Runs the pruned-vs-exhaustive comparison on diffeq and a 256-op
+# synthetic grid; the binary itself asserts the pruned Pareto front is
+# byte-identical and that at least 30% of grid points were skipped.
+cargo run --release --offline -q -p hls-bench --bin experiments -- table-estimator --smoke
+
 echo "==> fuzz corpus replay"
 cargo run --release --offline -q -p hls-fuzz -- --replay tests/corpus
 

@@ -269,23 +269,7 @@ pub fn build_datapath(
     strategy: FuStrategy,
 ) -> Result<Datapath, AllocError> {
     // Pass 1: variable registers from every block boundary crossing.
-    let mut var_widths: BTreeMap<String, u8> = BTreeMap::new();
-    for (name, width) in cdfg.inputs() {
-        var_widths.insert(name.clone(), *width);
-    }
-    for block in cdfg.block_order() {
-        let dfg = &cdfg.block(block).dfg;
-        for &iv in dfg.inputs() {
-            let v = dfg.value(iv);
-            let w = var_widths.entry(v.name.clone()).or_insert(v.width);
-            *w = (*w).max(v.width);
-        }
-        for (name, v) in dfg.outputs() {
-            let width = dfg.value(*v).width;
-            let w = var_widths.entry(name.clone()).or_insert(width);
-            *w = (*w).max(width);
-        }
-    }
+    let var_widths = variable_widths(cdfg);
     let mut regs: Vec<RegDesc> = Vec::new();
     let mut var_reg: BTreeMap<String, usize> = BTreeMap::new();
     for (name, width) in &var_widths {
@@ -439,18 +423,7 @@ pub fn build_datapath(
         });
     }
 
-    let mut memories: Vec<String> = cdfg
-        .block_order()
-        .iter()
-        .flat_map(|&b| {
-            let dfg = &cdfg.block(b).dfg;
-            dfg.op_ids()
-                .filter_map(|op| dfg.op(op).memory.clone())
-                .collect::<Vec<_>>()
-        })
-        .collect();
-    memories.sort();
-    memories.dedup();
+    let memories = memory_names(cdfg);
 
     Ok(Datapath {
         fus,
@@ -563,7 +536,53 @@ fn block_mux_inputs(
             .sum::<usize>()
 }
 
-fn cell_class_for(class: FuClass) -> CellClass {
+/// The variable registers a behavior needs, independent of any schedule:
+/// one per named variable crossing a block boundary (program inputs
+/// included), at the maximum width seen across crossings. This is
+/// exactly pass 1 of [`build_datapath`]; the QoR estimator calls it to
+/// price variable registers without allocating.
+pub fn variable_widths(cdfg: &Cdfg) -> BTreeMap<String, u8> {
+    let mut var_widths: BTreeMap<String, u8> = BTreeMap::new();
+    for (name, width) in cdfg.inputs() {
+        var_widths.insert(name.clone(), *width);
+    }
+    for block in cdfg.block_order() {
+        let dfg = &cdfg.block(block).dfg;
+        for &iv in dfg.inputs() {
+            let v = dfg.value(iv);
+            let w = var_widths.entry(v.name.clone()).or_insert(v.width);
+            *w = (*w).max(v.width);
+        }
+        for (name, v) in dfg.outputs() {
+            let width = dfg.value(*v).width;
+            let w = var_widths.entry(name.clone()).or_insert(width);
+            *w = (*w).max(width);
+        }
+    }
+    var_widths
+}
+
+/// The named memories a behavior accesses (sorted, deduplicated) —
+/// schedule-independent; each becomes one single-port RAM instance.
+pub fn memory_names(cdfg: &Cdfg) -> Vec<String> {
+    let mut memories: Vec<String> = cdfg
+        .block_order()
+        .iter()
+        .flat_map(|&b| {
+            let dfg = &cdfg.block(b).dfg;
+            dfg.op_ids()
+                .filter_map(|op| dfg.op(op).memory.clone())
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    memories.sort();
+    memories.dedup();
+    memories
+}
+
+/// The library cell class implementing an FU class — the binding
+/// [`build_datapath`] uses when it instantiates functional units.
+pub fn cell_class_for(class: FuClass) -> CellClass {
     match class {
         FuClass::Universal => CellClass::Universal,
         FuClass::Alu => CellClass::Alu,

@@ -28,8 +28,8 @@ mod registers;
 
 pub use clique::{max_clique, partition_max_clique, partition_tseng, CompatGraph};
 pub use datapath::{
-    build_datapath, global_source, BlockBinding, Datapath, FuDesc, FuStrategy, OutputWrite,
-    RegDesc, RegKind,
+    build_datapath, cell_class_for, global_source, memory_names, variable_widths, BlockBinding,
+    Datapath, FuDesc, FuStrategy, OutputWrite, RegDesc, RegKind,
 };
 pub use error::AllocError;
 pub use fu::{

@@ -14,12 +14,16 @@
 //!
 //! Sample counts come from the usual harness knobs (`HLS_BENCH_SAMPLES`,
 //! `HLS_BENCH_WARMUP`), so CI can run a short gate while local tuning
-//! runs use more samples.
+//! runs use more samples. Each benchmark records its *median* sample
+//! (robust on contended 1-CPU hosts; see `hls_bench::suite::run_suite`),
+//! and `HLS_BENCH_TOLERANCE=<pct>` grants extra slack over the
+//! baseline's threshold at `--check` time for hosts whose noise survives
+//! the calibration rescale.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
-use hls_bench::gate::{compare, format_nanos, GateReport};
+use hls_bench::gate::{compare_with, env_tolerance_pct, format_nanos, GateReport};
 use hls_bench::suite::{check_hforce_scaling, gate_sizes, run_suite, MAX_HFORCE_SCALING_RATIO};
 
 fn usage() -> ExitCode {
@@ -82,10 +86,16 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let outcome = compare(&baseline, &report);
+            let tolerance = env_tolerance_pct();
+            let outcome = compare_with(&baseline, &report, tolerance);
             println!(
-                "\nbenchmark gate vs {path} (threshold {}%, calibration {} -> {}):\n",
+                "\nbenchmark gate vs {path} (threshold {}%{}, calibration {} -> {}):\n",
                 baseline.threshold_pct,
+                if tolerance > 0.0 {
+                    format!(" + {tolerance}% tolerance")
+                } else {
+                    String::new()
+                },
                 format_nanos(baseline.calibration_nanos),
                 format_nanos(report.calibration_nanos),
             );

@@ -1,17 +1,23 @@
 //! Machine-readable benchmark baselines and the regression gate.
 //!
-//! `perf_gate --write BENCH_5.json` records the minimum wall time of each
+//! `perf_gate --write BENCH_5.json` records the median wall time of each
 //! gate benchmark; `perf_gate --check BENCH_5.json` re-runs the suite and
 //! fails when any benchmark regressed more than the committed threshold.
-//! (The minimum, not the median: background load only ever adds time, so
-//! the min is the most interference-robust estimator, and a genuine
-//! regression shifts the whole distribution including the min.)
+//! (The median, not the minimum: on 1-CPU hosts every sample is inflated
+//! by scheduler interference, which makes min-of-N as volatile as a
+//! single sample, while the median tracks the typical cost and the
+//! calibration rescale cancels the shared inflation. See
+//! `suite::run_suite` for the history.)
 //!
 //! Raw wall times do not transfer between machines, so every report also
 //! records a *calibration* measurement — a fixed, pure-CPU workload. At
 //! check time each baseline number is rescaled by the ratio of the two
 //! calibration times before the threshold is applied, which makes the
 //! gate about relative algorithmic cost rather than absolute CPU speed.
+//! Residual host noise that survives the rescale can be absorbed with
+//! `HLS_BENCH_TOLERANCE` — extra allowed slowdown in percent, added on
+//! top of the baseline's committed threshold at check time (see
+//! [`env_tolerance_pct`] / [`compare_with`]).
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -187,19 +193,52 @@ pub fn format_nanos(nanos: u64) -> String {
     }
 }
 
+/// Reads the `HLS_BENCH_TOLERANCE` knob: extra allowed slowdown in
+/// percent, added to the baseline's threshold at check time. Unset means
+/// zero; a set-but-invalid (non-numeric or negative) value warns and
+/// falls back to zero so a typo never silently widens the gate.
+pub fn env_tolerance_pct() -> f64 {
+    match std::env::var("HLS_BENCH_TOLERANCE") {
+        Err(_) => 0.0,
+        Ok(raw) => match raw.trim().parse::<f64>() {
+            Ok(pct) if pct >= 0.0 && pct.is_finite() => pct,
+            _ => {
+                eprintln!(
+                    "warning: ignoring HLS_BENCH_TOLERANCE={raw:?} \
+                     (expected a non-negative number of percent)"
+                );
+                0.0
+            }
+        },
+    }
+}
+
 /// Compares `current` against `baseline`, rescaling by calibration.
 ///
 /// A benchmark present in the baseline but missing from the current run is
 /// a failure (the gate must never silently lose coverage); a benchmark
 /// only in the current run is reported but never fails.
 pub fn compare(baseline: &GateReport, current: &GateReport) -> GateOutcome {
+    compare_with(baseline, current, 0.0)
+}
+
+/// [`compare`] with `extra_tolerance_pct` percentage points of slack on
+/// top of the baseline's threshold — the `HLS_BENCH_TOLERANCE` hook for
+/// hosts whose residual noise survives the calibration rescale. The
+/// slack applies to the *relative* limit only; the absolute
+/// [`NOISE_FLOOR_NANOS`] guard is unchanged.
+pub fn compare_with(
+    baseline: &GateReport,
+    current: &GateReport,
+    extra_tolerance_pct: f64,
+) -> GateOutcome {
     let mut outcome = GateOutcome::default();
     let scale = if baseline.calibration_nanos == 0 {
         1.0
     } else {
         current.calibration_nanos as f64 / baseline.calibration_nanos as f64
     };
-    let limit = 1.0 + baseline.threshold_pct / 100.0;
+    let limit = 1.0 + (baseline.threshold_pct + extra_tolerance_pct) / 100.0;
     for (name, &base) in &baseline.benchmarks {
         let Some(&cur) = current.benchmarks.get(name) else {
             outcome
@@ -216,7 +255,7 @@ pub fn compare(baseline: &GateReport, current: &GateReport) -> GateOutcome {
                 format_nanos(cur),
                 format_nanos(scaled_base as u64),
                 (ratio - 1.0) * 100.0,
-                baseline.threshold_pct
+                baseline.threshold_pct + extra_tolerance_pct
             ));
         }
         outcome.rows.push(GateRow {
@@ -465,6 +504,42 @@ mod tests {
         let outcome = compare(&base, &cur);
         assert!(outcome.passed());
         assert!(outcome.render_table().contains("alloc/new-thing (new)"));
+    }
+
+    #[test]
+    fn tolerance_widens_the_relative_limit() {
+        let base = sample();
+        let mut cur = base.clone();
+        // +33% over a 25% threshold: fails plain, passes with 10 extra
+        // percentage points of tolerance.
+        cur.benchmarks
+            .insert("sched/force/synth-2048".into(), 1_200_000_000);
+        assert!(!compare(&base, &cur).passed());
+        assert!(compare_with(&base, &cur, 10.0).passed());
+        // A genuine 2x regression still fails through the slack.
+        cur.benchmarks
+            .insert("sched/force/synth-2048".into(), 1_800_000_000);
+        let outcome = compare_with(&base, &cur, 10.0);
+        assert!(!outcome.passed());
+        assert!(
+            outcome.failures[0].contains("35%"),
+            "{:?}",
+            outcome.failures
+        );
+    }
+
+    #[test]
+    fn tolerance_env_knob_parses_and_rejects_garbage() {
+        // The env var is process-global, but no other test reads it.
+        std::env::remove_var("HLS_BENCH_TOLERANCE");
+        assert_eq!(env_tolerance_pct(), 0.0);
+        std::env::set_var("HLS_BENCH_TOLERANCE", " 12.5 ");
+        assert_eq!(env_tolerance_pct(), 12.5);
+        for bad in ["-3", "lots", "inf", ""] {
+            std::env::set_var("HLS_BENCH_TOLERANCE", bad);
+            assert_eq!(env_tolerance_pct(), 0.0, "{bad:?} must fall back");
+        }
+        std::env::remove_var("HLS_BENCH_TOLERANCE");
     }
 
     #[test]

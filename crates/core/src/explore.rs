@@ -24,6 +24,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use hls_cdfg::Cdfg;
 use hls_sched::Algorithm;
 
+use crate::estimate::{prune_mask, Estimator, PruneStats};
 use crate::par::{default_threads, ThreadPool};
 use crate::pipeline::{
     cdfg_fingerprint, ControlStyle, PreparedBehavior, SynthesisResult, Synthesizer,
@@ -97,7 +98,7 @@ impl PointSummary {
 /// Public so callers that need *explicit* point lists — the batch
 /// endpoint of `hls-serve` routes individual grid points to shard
 /// workers — can name coordinates outside a cartesian [`GridSpec`].
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct GridPoint {
     /// Universal-FU count override.
     pub fus: usize,
@@ -159,9 +160,66 @@ impl GridSpec {
         out
     }
 
+    /// Expands the grid and collapses duplicate coordinates (an axis may
+    /// repeat a value), keeping first-occurrence order. Parallel sweeps
+    /// dispatch exactly these points; positions of
+    /// [`GridSpec::expand`]-order duplicates are filled by copying their
+    /// representative's result, so a spec-repeated point is synthesized
+    /// (and memo-cached) once, not once per repetition.
+    pub fn expand_unique(&self) -> Vec<GridPoint> {
+        dedup_points(&self.expand()).0
+    }
+
     fn points(&self) -> Vec<GridPoint> {
         self.expand()
     }
+}
+
+/// Collapses duplicate coordinates: the unique points in first-occurrence
+/// order, plus one representative index per original position.
+fn dedup_points(points: &[GridPoint]) -> (Vec<GridPoint>, Vec<usize>) {
+    let mut uniq: Vec<GridPoint> = Vec::new();
+    let mut index: HashMap<GridPoint, usize> = HashMap::new();
+    let mut slot = Vec::with_capacity(points.len());
+    for p in points {
+        let next = uniq.len();
+        let s = *index.entry(*p).or_insert_with(|| {
+            uniq.push(*p);
+            next
+        });
+        slot.push(s);
+    }
+    (uniq, slot)
+}
+
+/// The outcome of a pruned grid sweep
+/// ([`Explorer::sweep_grid_cdfg_pruned`]).
+#[derive(Clone, Debug)]
+pub struct PrunedSweep {
+    /// The synthesized (surviving) design points, in grid order.
+    pub points: Vec<DesignPoint>,
+    /// One flag per expanded-grid position: `true` when the point was
+    /// skipped by the dominance pre-pass. `points` holds exactly the
+    /// `false` positions, in order.
+    pub pruned: Vec<bool>,
+    /// Estimator and pruning counters.
+    pub stats: PruneStats,
+}
+
+/// One record of a pruned streaming sweep
+/// ([`Explorer::sweep_points_cdfg_streaming_pruned`]).
+#[derive(Clone, Debug)]
+pub enum StreamedPoint {
+    /// Skipped by the estimator's dominance pre-pass — provably absent
+    /// from the exhaustive Pareto front, never synthesized.
+    Pruned,
+    /// Fully synthesized (or answered from the memo cache).
+    Synthesized {
+        /// The synthesized design point.
+        point: DesignPoint,
+        /// `true` when the point was served from the memo cache.
+        cache_hit: bool,
+    },
 }
 
 /// Cache hit/miss counters of an [`Explorer`].
@@ -472,7 +530,11 @@ impl Explorer {
         let prepared = Arc::new(base.prepare(cdfg.clone())?);
         let cache = Arc::clone(&self.cache);
         let cancel = cancel.clone();
-        let results = self.pool.map(spec.points(), move |_, cfg| {
+        // A spec axis may repeat a value; dispatch each distinct
+        // coordinate once and fan its result back out to every
+        // duplicate position, so repeats never even consult the cache.
+        let (uniq, slot) = dedup_points(&spec.points());
+        let results = self.pool.map(uniq, move |_, cfg| {
             if cancel.is_cancelled() {
                 return Err(SynthesisError::Cancelled {
                     completed: "explore-point",
@@ -485,7 +547,126 @@ impl Explorer {
                 .map(|(s, _)| DesignPoint::new(&cfg, s))
         });
         // First error in grid order, independent of completion order.
-        results.into_iter().collect()
+        let mut results: Vec<Option<Result<DesignPoint, SynthesisError>>> =
+            results.into_iter().map(Some).collect();
+        let mut out = Vec::with_capacity(slot.len());
+        for &s in &slot {
+            match results[s].take() {
+                Some(Ok(p)) => {
+                    results[s] = Some(Ok(p.clone()));
+                    out.push(p);
+                }
+                Some(Err(e)) => return Err(e),
+                None => {
+                    return Err(SynthesisError::Explore(
+                        "duplicate grid slot resolved twice".into(),
+                    ))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// [`Explorer::sweep_grid_cdfg`] behind the QoR-estimator pruning
+    /// pre-pass; see [`Explorer::sweep_grid_cdfg_pruned_cancellable`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first synthesis failure among *synthesized* points
+    /// (in grid order).
+    pub fn sweep_grid_cdfg_pruned(
+        &self,
+        base: &Synthesizer,
+        cdfg: &Cdfg,
+        spec: &GridSpec,
+    ) -> Result<PrunedSweep, SynthesisError> {
+        self.sweep_grid_cdfg_pruned_cancellable(base, cdfg, spec, &crate::CancelToken::new())
+    }
+
+    /// Grid sweep with estimator-driven dominance pruning: every grid
+    /// point is first *estimated* (sound latency/area intervals from the
+    /// prepared bound analyses — no scheduling), and a point provably
+    /// absent from the exhaustive Pareto front
+    /// ([`crate::estimate::prune_mask`]) is skipped instead of
+    /// synthesized. The surviving points' [`pareto_front`] is
+    /// byte-identical to the exhaustive sweep's.
+    ///
+    /// Caveat on *errors*: pruning decisions ignore control style (it
+    /// never affects latency or area), but hardwired controller
+    /// generation can fail where microcode cannot — a pruned point that
+    /// would have errored in the exhaustive sweep errors here only if a
+    /// surviving point shares the failure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first synthesis failure among *synthesized* points
+    /// (in grid order).
+    pub fn sweep_grid_cdfg_pruned_cancellable(
+        &self,
+        base: &Synthesizer,
+        cdfg: &Cdfg,
+        spec: &GridSpec,
+        cancel: &crate::CancelToken,
+    ) -> Result<PrunedSweep, SynthesisError> {
+        let behavior_fp = cdfg_fingerprint(cdfg);
+        let prepared = Arc::new(base.prepare(cdfg.clone())?);
+        let all = spec.points();
+        let estimates = Estimator::new(base, &prepared).estimate_points(&all);
+        let mask = prune_mask(&estimates);
+        let survivors: Vec<(usize, GridPoint)> = all
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(i, _)| !mask[*i])
+            .collect();
+
+        let base = Arc::new(base.clone());
+        let cache = Arc::clone(&self.cache);
+        let cancel = cancel.clone();
+        let results = {
+            let prepared = Arc::clone(&prepared);
+            self.pool.map(survivors.clone(), move |_, (_, cfg)| {
+                if cancel.is_cancelled() {
+                    return Err(SynthesisError::Cancelled {
+                        completed: "explore-point",
+                    });
+                }
+                let syn = configure(&base, &cfg);
+                let key = memo_key(behavior_fp, syn.fingerprint());
+                cache
+                    .get_or_compute(key, || run_point(&syn, &prepared))
+                    .map(|(s, _)| DesignPoint::new(&cfg, s))
+            })
+        };
+        let points: Vec<DesignPoint> = results.into_iter().collect::<Result<_, _>>()?;
+
+        // Self-check: did every bounded estimate contain its actual?
+        let mut checked = 0usize;
+        let mut inside = 0usize;
+        for ((i, _), p) in survivors.iter().zip(&points) {
+            let e = &estimates[*i];
+            if e.bounded {
+                checked += 1;
+                if e.contains(p.latency, p.area) {
+                    inside += 1;
+                }
+            }
+        }
+        let stats = PruneStats {
+            estimated: all.len(),
+            pruned: mask.iter().filter(|&&m| m).count(),
+            synthesized: survivors.len(),
+            agreement: if checked == 0 {
+                1.0
+            } else {
+                inside as f64 / checked as f64
+            },
+        };
+        Ok(PrunedSweep {
+            points,
+            pruned: mask,
+            stats,
+        })
     }
 
     /// Parallel, cached sweep over an *explicit* point list, invoking
@@ -545,6 +726,106 @@ impl Explorer {
             on_point(seq, out);
         });
         Ok(())
+    }
+
+    /// [`Explorer::sweep_points_cdfg_streaming`] behind the
+    /// QoR-estimator pruning pre-pass. Pruned positions call back
+    /// immediately (from the caller's thread, in list order) with
+    /// [`StreamedPoint::Pruned`]; surviving positions synthesize on the
+    /// pool and call back in completion order with
+    /// [`StreamedPoint::Synthesized`]. Every index of `points` calls
+    /// back exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only when the behavior fails to *prepare*;
+    /// per-point failures are delivered through `on_point`.
+    pub fn sweep_points_cdfg_streaming_pruned<F>(
+        &self,
+        base: &Synthesizer,
+        cdfg: &Cdfg,
+        points: Vec<GridPoint>,
+        cancel: &crate::CancelToken,
+        on_point: F,
+    ) -> Result<PruneStats, SynthesisError>
+    where
+        F: Fn(usize, Result<StreamedPoint, SynthesisError>) + Send + Sync + 'static,
+    {
+        let behavior_fp = cdfg_fingerprint(cdfg);
+        let prepared = Arc::new(base.prepare(cdfg.clone())?);
+        let estimates = Estimator::new(base, &prepared).estimate_points(&points);
+        let mask = prune_mask(&estimates);
+        let mut survivors = Vec::new();
+        for (i, (p, pruned)) in points.iter().zip(&mask).enumerate() {
+            if *pruned {
+                on_point(i, Ok(StreamedPoint::Pruned));
+            } else {
+                survivors.push((i, *p));
+            }
+        }
+        let synthesized = survivors.len();
+
+        let base = Arc::new(base.clone());
+        let cache = Arc::clone(&self.cache);
+        let cancel = cancel.clone();
+        // Actual (latency, area) per surviving list index, for the
+        // agreement self-check once the pool drains.
+        let actuals: Arc<Mutex<Vec<(usize, u64, f64)>>> = Arc::new(Mutex::new(Vec::new()));
+        {
+            let prepared = Arc::clone(&prepared);
+            let sink = Arc::clone(&actuals);
+            let _ = self.pool.map(survivors, move |_, (seq, cfg)| {
+                if cancel.is_cancelled() {
+                    on_point(
+                        seq,
+                        Err(SynthesisError::Cancelled {
+                            completed: "explore-point",
+                        }),
+                    );
+                    return;
+                }
+                let syn = configure(&base, &cfg);
+                let key = memo_key(behavior_fp, syn.fingerprint());
+                match cache.get_or_compute(key, || run_point(&syn, &prepared)) {
+                    Ok((s, hit)) => {
+                        let point = DesignPoint::new(&cfg, s);
+                        sink.lock()
+                            .expect("actuals lock")
+                            .push((seq, point.latency, point.area));
+                        on_point(
+                            seq,
+                            Ok(StreamedPoint::Synthesized {
+                                point,
+                                cache_hit: hit,
+                            }),
+                        );
+                    }
+                    Err(e) => on_point(seq, Err(e)),
+                }
+            });
+        }
+
+        let actuals = actuals.lock().expect("actuals lock");
+        let mut checked = 0usize;
+        let mut inside = 0usize;
+        for &(i, latency, area) in actuals.iter() {
+            if estimates[i].bounded {
+                checked += 1;
+                if estimates[i].contains(latency, area) {
+                    inside += 1;
+                }
+            }
+        }
+        Ok(PruneStats {
+            estimated: points.len(),
+            pruned: mask.iter().filter(|&&m| m).count(),
+            synthesized,
+            agreement: if checked == 0 {
+                1.0
+            } else {
+                inside as f64 / checked as f64
+            },
+        })
     }
 }
 
@@ -744,6 +1025,134 @@ mod tests {
             )
             .expect("prepare still succeeds");
         assert_eq!(cancelled.load(Ordering::SeqCst), 3, "all points cancelled");
+    }
+
+    #[test]
+    fn expand_unique_collapses_duplicates_in_first_occurrence_order() {
+        let spec = GridSpec {
+            fus: vec![2, 1, 2, 2],
+            algorithms: vec![Algorithm::Asap],
+            controls: vec![ControlStyle::Microcode],
+        };
+        assert_eq!(spec.len(), 4, "expand keeps duplicates");
+        assert_eq!(spec.expand().len(), 4);
+        let uniq = spec.expand_unique();
+        assert_eq!(uniq.len(), 2);
+        assert_eq!(uniq[0].fus, 2, "first occurrence wins the slot");
+        assert_eq!(uniq[1].fus, 1);
+    }
+
+    #[test]
+    fn duplicate_grid_points_synthesize_once_and_fan_out() {
+        let explorer = Explorer::with_threads(2);
+        let base = Synthesizer::new();
+        let cdfg = hls_lang::compile(hls_workloads::sources::SQRT).unwrap();
+        let spec = GridSpec {
+            fus: vec![2, 1, 2],
+            algorithms: vec![Algorithm::Asap],
+            controls: vec![ControlStyle::Microcode],
+        };
+        let points = explorer.sweep_grid_cdfg(&base, &cdfg, &spec).unwrap();
+        assert_eq!(points.len(), 3, "output shape keeps the duplicate");
+        assert_eq!(points[0], points[2]);
+        // The duplicate never reached the memo cache: two misses, no hits.
+        let stats = explorer.cache_stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.hits, 0);
+    }
+
+    #[test]
+    fn pruned_sweep_preserves_the_pareto_front_exactly() {
+        let explorer = Explorer::with_threads(2);
+        let base = Synthesizer::new();
+        let cdfg = hls_lang::compile(hls_workloads::sources::SQRT).unwrap();
+        let spec = GridSpec {
+            fus: vec![1, 2, 3, 4],
+            algorithms: vec![
+                Algorithm::Asap,
+                Algorithm::List(Priority::PathLength),
+                Algorithm::ForceDirected { slack: 1 },
+            ],
+            controls: vec![
+                ControlStyle::Hardwired(hls_ctrl::EncodingStyle::Binary),
+                ControlStyle::Microcode,
+            ],
+        };
+        let exhaustive = explorer.sweep_grid_cdfg(&base, &cdfg, &spec).unwrap();
+        let pruned = explorer
+            .sweep_grid_cdfg_pruned(&base, &cdfg, &spec)
+            .unwrap();
+        assert_eq!(
+            pareto_front(&pruned.points),
+            pareto_front(&exhaustive),
+            "pruning must not change the front"
+        );
+        assert_eq!(pruned.stats.estimated, spec.len());
+        assert_eq!(
+            pruned.stats.pruned + pruned.stats.synthesized,
+            pruned.stats.estimated
+        );
+        assert!(
+            pruned.stats.pruned > 0,
+            "control-duplicate points alone guarantee pruning here"
+        );
+        assert_eq!(pruned.stats.agreement, 1.0, "{:?}", pruned.stats);
+        assert_eq!(pruned.pruned.len(), spec.len());
+        assert_eq!(
+            pruned.pruned.iter().filter(|&&m| !m).count(),
+            pruned.points.len()
+        );
+    }
+
+    #[test]
+    fn streaming_pruned_sweep_matches_the_batch_variant() {
+        use std::sync::Mutex;
+
+        let explorer = Explorer::with_threads(2);
+        let base = Synthesizer::new();
+        let cdfg = hls_lang::compile(hls_workloads::sources::SQRT).unwrap();
+        let spec = GridSpec {
+            fus: vec![1, 2, 3],
+            algorithms: vec![Algorithm::Asap, Algorithm::List(Priority::PathLength)],
+            controls: vec![
+                ControlStyle::Hardwired(hls_ctrl::EncodingStyle::Binary),
+                ControlStyle::Microcode,
+            ],
+        };
+        let reference = explorer
+            .sweep_grid_cdfg_pruned(&base, &cdfg, &spec)
+            .unwrap();
+
+        type SeenLog = Vec<(usize, Option<DesignPoint>)>;
+        let seen: Arc<Mutex<SeenLog>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let stats = explorer
+            .sweep_points_cdfg_streaming_pruned(
+                &base,
+                &cdfg,
+                spec.expand(),
+                &crate::CancelToken::new(),
+                move |seq, out| {
+                    let p = match out.expect("point synthesizes") {
+                        StreamedPoint::Pruned => None,
+                        StreamedPoint::Synthesized { point, .. } => Some(point),
+                    };
+                    sink.lock().unwrap().push((seq, p));
+                },
+            )
+            .unwrap();
+        let mut seen = Arc::try_unwrap(seen).unwrap().into_inner().unwrap();
+        seen.sort_by_key(|(seq, _)| *seq);
+        assert_eq!(seen.len(), spec.len(), "every position calls back once");
+        let streamed: Vec<DesignPoint> = seen.iter().filter_map(|(_, p)| p.clone()).collect();
+        assert_eq!(streamed, reference.points);
+        for (i, (_, p)) in seen.iter().enumerate() {
+            assert_eq!(p.is_none(), reference.pruned[i], "position {i}");
+        }
+        assert_eq!(stats.estimated, reference.stats.estimated);
+        assert_eq!(stats.pruned, reference.stats.pruned);
+        assert_eq!(stats.synthesized, reference.stats.synthesized);
+        assert_eq!(stats.agreement, 1.0);
     }
 
     #[test]

@@ -19,15 +19,17 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod estimate;
 mod explore;
 pub mod par;
 mod pipeline;
 mod report;
 mod system;
 
+pub use estimate::{prune_mask, Estimator, PruneStats, QorEstimate};
 pub use explore::{
     pareto_front, sweep_fus, sweep_grid, sweep_grid_cdfg, CacheStats, DesignPoint, Explorer,
-    GridPoint, GridSpec,
+    GridPoint, GridSpec, PrunedSweep, StreamedPoint,
 };
 pub use pipeline::{
     cdfg_fingerprint, CancelToken, ControlReport, ControlStyle, PreparedBehavior, StageNanos,

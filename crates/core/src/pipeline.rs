@@ -21,7 +21,7 @@ use hls_sched::{
 use crate::SynthesisError;
 
 /// Controller implementation style.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ControlStyle {
     /// Hardwired FSM with the given state encoding.
     Hardwired(EncodingStyle),
@@ -246,6 +246,26 @@ impl Synthesizer {
         self.algorithm
     }
 
+    /// The currently configured resource limits (read by the QoR
+    /// estimator, which mirrors the scheduler dispatch without running
+    /// a scheduler).
+    pub(crate) fn limits_ref(&self) -> &ResourceLimits {
+        &self.limits
+    }
+
+    /// Replaces the resource limits wholesale. Only the estimator's
+    /// canonicalization uses this: the public surface stays at
+    /// [`Synthesizer::universal_fus`] / [`Synthesizer::typed_fus`],
+    /// which keep the classifier consistent.
+    pub(crate) fn set_limits(&mut self, limits: ResourceLimits) {
+        self.limits = limits;
+    }
+
+    /// The currently configured component library.
+    pub(crate) fn library_ref(&self) -> &Library {
+        &self.library
+    }
+
     /// The currently configured control style.
     pub fn configured_control(&self) -> ControlStyle {
         self.control
@@ -462,6 +482,16 @@ impl PreparedBehavior {
     /// Statistics of the optimization passes that ran during preparation.
     pub fn pass_stats(&self) -> &[PassStats] {
         &self.pass_stats
+    }
+
+    /// The per-block dependence/bound analyses built during preparation.
+    pub fn bounds(&self) -> &CdfgBoundsCache {
+        &self.bounds
+    }
+
+    /// The classifier the preparation ran under.
+    pub fn classifier(&self) -> &OpClassifier {
+        &self.classifier
     }
 }
 

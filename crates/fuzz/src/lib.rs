@@ -26,6 +26,7 @@
 pub mod corpus;
 pub mod gen;
 pub mod minimize;
+pub mod qor;
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 

@@ -1,0 +1,134 @@
+//! The estimator's two standing obligations, checked over the fuzzer's
+//! random-DFG corpus:
+//!
+//! 1. **Conservativeness** — a pruned sweep's Pareto front must be
+//!    *identical* (not just equivalent) to the exhaustive front on every
+//!    corpus case. 128 seeds, zero disagreements.
+//! 2. **Calibration** — every corpus sample's signed interval errors
+//!    must stay inside the committed envelope
+//!    (`hls_fuzz::qor::LATENCY_BOUNDS` etc.), so bounds can only be
+//!    tightened or consciously re-committed, never silently loosened.
+
+use hls_core::{pareto_front, Explorer};
+use hls_fuzz::qor::{
+    corpus_cases, measure_case, measurement_grid, percentile, FU_COST_BOUNDS, LATENCY_BOUNDS,
+    REGISTER_COST_BOUNDS,
+};
+use hls_fuzz::{corpus::Case, gen};
+
+/// Seeds in the committed battery. The committed error envelope in
+/// `hls_fuzz::qor` was measured over exactly this population.
+const SEEDS: u64 = 128;
+
+/// Corpus cases, with the generated behavior attached.
+fn corpus() -> Vec<(Case, hls_cdfg::Cdfg)> {
+    corpus_cases(SEEDS)
+        .into_iter()
+        .map(|case| {
+            let cdfg = gen::generate(&case).expect("corpus case generates");
+            (case, cdfg)
+        })
+        .collect()
+}
+
+/// (1) The 128-seed differential battery: pruned vs exhaustive, byte-
+/// identical fronts and a perfect interval-agreement self-check on
+/// every seed.
+#[test]
+fn pruned_front_matches_exhaustive_on_128_random_dfgs() {
+    let base = hls_core::Synthesizer::new();
+    let grid = measurement_grid();
+    let explorer = Explorer::with_threads(2);
+    let mut pruned_total = 0usize;
+    let mut estimated_total = 0usize;
+    for (case, cdfg) in corpus() {
+        let exhaustive = explorer
+            .sweep_grid_cdfg(&base, &cdfg, &grid)
+            .unwrap_or_else(|e| panic!("seed {}: exhaustive sweep failed: {e}", case.seed));
+        let sweep = explorer
+            .sweep_grid_cdfg_pruned(&base, &cdfg, &grid)
+            .unwrap_or_else(|e| panic!("seed {}: pruned sweep failed: {e}", case.seed));
+        assert_eq!(
+            pareto_front(&sweep.points),
+            pareto_front(&exhaustive),
+            "seed {}: pruned front diverged",
+            case.seed
+        );
+        assert_eq!(
+            sweep.stats.agreement, 1.0,
+            "seed {}: an interval failed its self-check: {:?}",
+            case.seed, sweep.stats
+        );
+        assert_eq!(sweep.stats.estimated, grid.len(), "seed {}", case.seed);
+        assert_eq!(
+            sweep.stats.pruned + sweep.stats.synthesized,
+            sweep.stats.estimated,
+            "seed {}",
+            case.seed
+        );
+        pruned_total += sweep.stats.pruned;
+        estimated_total += sweep.stats.estimated;
+    }
+    // The battery must actually exercise pruning, not vacuously pass on
+    // a grid the estimator never prunes.
+    assert!(
+        pruned_total * 10 >= estimated_total * 3,
+        "corpus pruning rate below 30%: {pruned_total}/{estimated_total}"
+    );
+}
+
+/// (2) The committed error-bound table: no corpus sample may escape the
+/// envelope. On failure the observed envelope is printed so a conscious
+/// re-commit has the numbers at hand.
+#[test]
+fn signed_errors_stay_inside_the_committed_envelope() {
+    let mut metrics: [(&str, Vec<f64>, Vec<f64>); 3] = [
+        ("latency", Vec::new(), Vec::new()),
+        ("fu_cost", Vec::new(), Vec::new()),
+        ("register_cost", Vec::new(), Vec::new()),
+    ];
+    let mut violations = Vec::new();
+    for case in corpus_cases(SEEDS) {
+        let samples = measure_case(&case).expect("corpus case measures");
+        assert!(
+            !samples.is_empty(),
+            "seed {}: no bounded grid point",
+            case.seed
+        );
+        for s in samples {
+            for (bounds, err, slot) in [
+                (LATENCY_BOUNDS, s.latency, 0usize),
+                (FU_COST_BOUNDS, s.fu_cost, 1),
+                (REGISTER_COST_BOUNDS, s.register_cost, 2),
+            ] {
+                metrics[slot].1.push(err.lo);
+                metrics[slot].2.push(err.hi);
+                if !bounds.admits(err) {
+                    violations.push(format!(
+                        "seed {} {:?} {}: {err:?} outside {bounds:?}",
+                        s.seed, s.point, metrics[slot].0
+                    ));
+                }
+            }
+        }
+    }
+    if !violations.is_empty() {
+        for (name, lo, hi) in &metrics {
+            println!(
+                "{name}: lo [{:+.3}, {:+.3}] p50 {:+.3}  hi [{:+.3}, {:+.3}] p50 {:+.3} p95 {:+.3}",
+                percentile(lo, 0.0),
+                percentile(lo, 100.0),
+                percentile(lo, 50.0),
+                percentile(hi, 0.0),
+                percentile(hi, 100.0),
+                percentile(hi, 50.0),
+                percentile(hi, 95.0),
+            );
+        }
+        panic!(
+            "{} sample(s) escaped the committed envelope:\n{}",
+            violations.len(),
+            violations.join("\n")
+        );
+    }
+}

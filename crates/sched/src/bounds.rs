@@ -270,6 +270,90 @@ impl SchedGraph {
     }
 }
 
+/// Distribution statistics of one FU class in one block: how many ops
+/// the class must execute and how tightly the dependence structure packs
+/// them. The QoR estimator (`hls-core::estimate`) derives latency and
+/// FU-count bounds from these without running a scheduler.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClassStats {
+    /// The FU class.
+    pub class: FuClass,
+    /// Step-taking ops of this class (free and wired ops excluded).
+    pub ops: usize,
+    /// Peak per-step occupancy of the class under dependence-only ASAP —
+    /// the concurrency the dependence structure alone produces. A
+    /// resource limit at or above this peak (for every class of the
+    /// block) cannot bind: greedy resource-constrained schedulers then
+    /// degenerate to dependence ASAP exactly.
+    pub asap_peak: usize,
+}
+
+impl SchedGraph {
+    /// Per-class distribution statistics (sorted by class): step-taking
+    /// op counts and dependence-ASAP peak occupancies.
+    pub fn class_stats(&self) -> Vec<ClassStats> {
+        let (asap, _) = self.asap();
+        let (classes, idx) = self.dense_classes();
+        let mut ops = vec![0usize; classes.len()];
+        let mut per_step: Vec<std::collections::BTreeMap<u32, usize>> =
+            vec![std::collections::BTreeMap::new(); classes.len()];
+        for i in 0..self.len() {
+            if let Some(c) = idx[i] {
+                ops[c] += 1;
+                *per_step[c].entry(asap[i]).or_insert(0) += 1;
+            }
+        }
+        classes
+            .into_iter()
+            .enumerate()
+            .map(|(c, class)| ClassStats {
+                class,
+                ops: ops[c],
+                asap_peak: per_step[c].values().copied().max().unwrap_or(0),
+            })
+            .collect()
+    }
+
+    /// Per-class peak *window support* against `deadline`: the largest
+    /// number of same-class ops whose feasible `[asap, alap]` windows
+    /// share one step. No schedule that fits the deadline can exceed this
+    /// concurrency, so it upper-bounds the FU demand of every
+    /// time-constrained scheduler at that deadline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SchedGraph::windows`] errors (deadline below the
+    /// critical path, infeasible op window).
+    pub fn window_peaks(&self, deadline: u32) -> Result<Vec<(FuClass, usize)>, ScheduleError> {
+        let w = self.windows(deadline)?;
+        let (classes, idx) = self.dense_classes();
+        let steps = deadline.max(1) as usize;
+        // Difference array per class: +1 at lo, -1 past hi.
+        let mut diff = vec![vec![0isize; steps + 1]; classes.len()];
+        for (i, ci) in idx.iter().enumerate().take(self.len()) {
+            if let Some(c) = *ci {
+                let lo = (w.lo[i] as usize).min(steps);
+                let hi = ((w.hi[i] as usize) + 1).min(steps);
+                diff[c][lo] += 1;
+                diff[c][hi] -= 1;
+            }
+        }
+        Ok(classes
+            .into_iter()
+            .enumerate()
+            .map(|(c, class)| {
+                let mut peak = 0isize;
+                let mut cur = 0isize;
+                for &d in &diff[c] {
+                    cur += d;
+                    peak = peak.max(cur);
+                }
+                (class, peak.max(0) as usize)
+            })
+            .collect())
+    }
+}
+
 /// Feasible step windows for every op, indexed densely.
 #[derive(Clone, Debug)]
 pub struct Windows {

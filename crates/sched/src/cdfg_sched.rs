@@ -15,7 +15,7 @@ use crate::transform::transformational_schedule;
 use crate::{asap::asap_schedule, ScheduleError};
 
 /// Which scheduling algorithm to run on each block.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Algorithm {
     /// Resource-constrained ASAP (Fig. 3).
     Asap,
@@ -106,6 +106,13 @@ impl CdfgBoundsCache {
             .iter()
             .find(|(b, _)| *b == block)
             .map(|(_, sg)| sg)
+    }
+
+    /// All cached per-block analyses in block order. The QoR estimator
+    /// walks this to derive per-block latency and FU bounds without
+    /// scheduling.
+    pub fn blocks(&self) -> impl Iterator<Item = (BlockId, &SchedGraph)> {
+        self.blocks.iter().map(|(b, sg)| (*b, sg))
     }
 }
 

@@ -58,7 +58,7 @@ mod transform;
 pub use alap::alap_schedule;
 pub use asap::asap_schedule;
 pub use bb::{branch_and_bound_schedule, DEFAULT_NODE_BUDGET};
-pub use bounds::{SchedGraph, Windows};
+pub use bounds::{ClassStats, SchedGraph, Windows};
 pub use cdfg_sched::{schedule_cdfg, schedule_cdfg_cached, Algorithm, CdfgBoundsCache};
 pub use chain::{chained_schedule, ChainedSchedule, DelayModel};
 pub use error::ScheduleError;

@@ -10,8 +10,8 @@
 use hls_cdfg::SystemCdfg;
 use hls_core::{
     cdfg_fingerprint, pareto_front, CancelToken, ControlReport, ControlStyle, DeadlockVerdict,
-    DesignPoint, Explorer, GridPoint, GridSpec, ProcessSynthesis, SynthesisError, SynthesisResult,
-    Synthesizer, SystemSynthesisResult,
+    DesignPoint, Explorer, GridPoint, GridSpec, ProcessSynthesis, PruneStats, PrunedSweep,
+    SynthesisError, SynthesisResult, Synthesizer, SystemSynthesisResult,
 };
 use hls_ctrl::EncodingStyle;
 use hls_sched::{Algorithm, Priority};
@@ -256,6 +256,9 @@ pub struct ExploreRequest {
     pub synthesizer: Synthesizer,
     /// The sweep grid.
     pub spec: GridSpec,
+    /// Run the estimator's dominance pre-pass and skip grid points
+    /// provably absent from the Pareto front.
+    pub prune: bool,
     /// Optional per-request deadline override, milliseconds.
     pub deadline_ms: Option<u64>,
 }
@@ -329,6 +332,10 @@ impl ExploreRequest {
         let synthesizer = build_synthesizer(body.get("config"))?;
         let grid = body.get("grid").ok_or_else(|| err("missing \"grid\""))?;
         let spec = parse_grid(grid, &synthesizer)?;
+        let prune = match body.get("prune") {
+            None => false,
+            Some(v) => v.as_bool().ok_or_else(|| err("prune must be a boolean"))?,
+        };
         let deadline_ms = match body.get("deadline_ms") {
             None => None,
             Some(v) => Some(
@@ -341,6 +348,7 @@ impl ExploreRequest {
             source,
             synthesizer,
             spec,
+            prune,
             deadline_ms,
         })
     }
@@ -362,6 +370,9 @@ pub struct BatchRequest {
     /// unique but need not be contiguous: a front process carves one
     /// client batch into per-worker sub-batches with global seqs.
     pub points: Vec<(u64, GridPoint)>,
+    /// Run the estimator's dominance pre-pass: pruned points stream
+    /// back as `{"seq":k,"pruned":true,…}` records instead of results.
+    pub prune: bool,
     /// Optional per-batch deadline override, milliseconds.
     pub deadline_ms: Option<u64>,
     /// Test-only artificial delay per point (honored only when the
@@ -446,6 +457,10 @@ impl BatchRequest {
         if seqs.windows(2).any(|w| w[0] == w[1]) {
             return Err(err("duplicate seq in points"));
         }
+        let prune = match body.get("prune") {
+            None => false,
+            Some(v) => v.as_bool().ok_or_else(|| err("prune must be a boolean"))?,
+        };
         let deadline_ms = match body.get("deadline_ms") {
             None => None,
             Some(v) => Some(
@@ -465,6 +480,7 @@ impl BatchRequest {
             synthesizer,
             config,
             points,
+            prune,
             deadline_ms,
             test_delay_ms,
         })
@@ -739,6 +755,41 @@ pub fn explore_response(points: &[DesignPoint], behavior_fp: u64, config_fp: u64
     ])
 }
 
+/// Renders estimator/pruning counters as a JSON object.
+fn prune_stats_json(stats: &PruneStats) -> Json {
+    Json::Obj(vec![
+        ("estimated".into(), Json::Num(stats.estimated as f64)),
+        ("pruned".into(), Json::Num(stats.pruned as f64)),
+        ("synthesized".into(), Json::Num(stats.synthesized as f64)),
+        ("agreement".into(), Json::Num(stats.agreement)),
+    ])
+}
+
+/// Builds the deterministic response body for one *pruned* exploration
+/// sweep: the synthesized (surviving) points, the Pareto front — by
+/// construction identical to the exhaustive sweep's front — and the
+/// estimator counters under `"prune_stats"`.
+pub fn explore_response_pruned(sweep: &PrunedSweep, behavior_fp: u64, config_fp: u64) -> Json {
+    Json::Obj(vec![
+        (
+            "points".into(),
+            Json::Arr(sweep.points.iter().map(point_json).collect()),
+        ),
+        (
+            "pareto".into(),
+            Json::Arr(pareto_front(&sweep.points).iter().map(point_json).collect()),
+        ),
+        ("prune_stats".into(), prune_stats_json(&sweep.stats)),
+        (
+            "fingerprints".into(),
+            Json::Obj(vec![
+                ("cdfg".into(), hex_fp(behavior_fp)),
+                ("config".into(), hex_fp(config_fp)),
+            ]),
+        ),
+    ])
+}
+
 /// Renders a [`GridPoint`] as its three configuration axes.
 pub fn grid_point_json(p: &GridPoint) -> Json {
     Json::Obj(vec![
@@ -764,6 +815,17 @@ pub fn batch_point_record(seq: u64, cache_hit: bool, point: &GridPoint, d: &Desi
                 ("mux_inputs".into(), Json::Num(d.mux_inputs as f64)),
             ]),
         ),
+    ])
+}
+
+/// One estimator-skipped grid point as an NDJSON record:
+/// `{"seq":k,"pruned":true,"point":{…}}`. Pruned points are provably
+/// absent from the exhaustive Pareto front, so no result is streamed.
+pub fn batch_pruned_record(seq: u64, point: &GridPoint) -> Json {
+    Json::Obj(vec![
+        ("seq".into(), Json::Num(seq as f64)),
+        ("pruned".into(), Json::Bool(true)),
+        ("point".into(), grid_point_json(point)),
     ])
 }
 
@@ -793,19 +855,44 @@ pub fn batch_summary(
     cache_hits: usize,
     completed: &[DesignPoint],
 ) -> Json {
-    Json::Obj(vec![(
-        "summary".into(),
-        Json::Obj(vec![
-            ("points".into(), Json::Num(total as f64)),
-            ("ok".into(), Json::Num(ok as f64)),
-            ("errors".into(), Json::Num(errors as f64)),
-            ("cache_hits".into(), Json::Num(cache_hits as f64)),
-            (
-                "pareto".into(),
-                Json::Arr(pareto_front(completed).iter().map(point_json).collect()),
-            ),
-        ]),
-    )])
+    batch_summary_with(total, ok, errors, cache_hits, None, completed)
+}
+
+/// [`batch_summary`] for a pruned batch: adds a `"pruned"` count after
+/// `"cache_hits"`. Non-pruned summaries keep their exact v1 shape.
+pub fn batch_summary_pruned(
+    total: usize,
+    ok: usize,
+    errors: usize,
+    cache_hits: usize,
+    pruned: usize,
+    completed: &[DesignPoint],
+) -> Json {
+    batch_summary_with(total, ok, errors, cache_hits, Some(pruned), completed)
+}
+
+fn batch_summary_with(
+    total: usize,
+    ok: usize,
+    errors: usize,
+    cache_hits: usize,
+    pruned: Option<usize>,
+    completed: &[DesignPoint],
+) -> Json {
+    let mut members = vec![
+        ("points".into(), Json::Num(total as f64)),
+        ("ok".into(), Json::Num(ok as f64)),
+        ("errors".into(), Json::Num(errors as f64)),
+        ("cache_hits".into(), Json::Num(cache_hits as f64)),
+    ];
+    if let Some(pruned) = pruned {
+        members.push(("pruned".into(), Json::Num(pruned as f64)));
+    }
+    members.push((
+        "pareto".into(),
+        Json::Arr(pareto_front(completed).iter().map(point_json).collect()),
+    ));
+    Json::Obj(vec![("summary".into(), Json::Obj(members))])
 }
 
 /// Builds the v1 error envelope
@@ -881,6 +968,25 @@ pub fn run_explore(
     let points =
         explorer.sweep_grid_cdfg_cancellable(&req.synthesizer, &cdfg, &req.spec, cancel)?;
     Ok((behavior_fp, points))
+}
+
+/// Runs a parsed `/explore` request with the estimator's dominance
+/// pre-pass on the shared explorer.
+///
+/// # Errors
+///
+/// Propagates synthesis errors (including cancellation) for the caller
+/// to map onto HTTP statuses.
+pub fn run_explore_pruned(
+    req: &ExploreRequest,
+    explorer: &Explorer,
+    cancel: &CancelToken,
+) -> Result<(u64, PrunedSweep), SynthesisError> {
+    let cdfg = hls_lang::compile(&req.source)?;
+    let behavior_fp = cdfg_fingerprint(&cdfg);
+    let sweep =
+        explorer.sweep_grid_cdfg_pruned_cancellable(&req.synthesizer, &cdfg, &req.spec, cancel)?;
+    Ok((behavior_fp, sweep))
 }
 
 #[cfg(test)]
@@ -971,6 +1077,41 @@ mod tests {
 
         let body = parse(r#"{"source":"x","grid":{"fus":[]}}"#).unwrap();
         assert!(ExploreRequest::from_json(&body).is_err());
+    }
+
+    #[test]
+    fn prune_flag_parses_on_explore_and_batch() {
+        let body = parse(r#"{"source":"x","grid":{}}"#).unwrap();
+        assert!(!ExploreRequest::from_json(&body).unwrap().prune);
+        let body = parse(r#"{"source":"x","grid":{},"prune":true}"#).unwrap();
+        assert!(ExploreRequest::from_json(&body).unwrap().prune);
+        let body = parse(r#"{"source":"x","grid":{},"prune":"yes"}"#).unwrap();
+        assert!(ExploreRequest::from_json(&body).is_err());
+
+        let body = parse(r#"{"source":"x","grid":{"fus":[1,2]},"prune":true}"#).unwrap();
+        assert!(BatchRequest::from_json(&body).unwrap().prune);
+        let body = parse(r#"{"source":"x","grid":{"fus":[1,2]}}"#).unwrap();
+        assert!(!BatchRequest::from_json(&body).unwrap().prune);
+    }
+
+    #[test]
+    fn pruned_records_and_summaries_render_stably() {
+        let p = GridPoint {
+            fus: 3,
+            algorithm: Algorithm::Asap,
+            control: ControlStyle::Microcode,
+        };
+        assert_eq!(
+            batch_pruned_record(9, &p).render(),
+            r#"{"seq":9,"pruned":true,"point":{"fus":3,"algorithm":"asap","control":"microcode"}}"#
+        );
+        let s = batch_summary_pruned(4, 2, 0, 1, 2, &[]).render();
+        assert!(
+            s.starts_with(r#"{"summary":{"points":4,"ok":2,"errors":0,"cache_hits":1,"pruned":2,"#),
+            "{s}"
+        );
+        // The non-pruned summary keeps its exact v1 shape.
+        assert!(!batch_summary(4, 4, 0, 1, &[]).render().contains("pruned"));
     }
 
     #[test]

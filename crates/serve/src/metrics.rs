@@ -71,6 +71,9 @@ pub struct Metrics {
     batch_points_error: AtomicU64,
     /// Batches cancelled before the summary line (disconnect/deadline).
     batch_cancelled: AtomicU64,
+    /// Exploration grid points skipped by the estimator's dominance
+    /// pre-pass (never synthesized).
+    points_pruned: AtomicU64,
     /// Response-cache outcomes.
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
@@ -146,6 +149,16 @@ impl Metrics {
     /// Records a batch aborted before its summary line.
     pub fn batch_cancelled(&self) {
         self.batch_cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` exploration points skipped by the dominance pre-pass.
+    pub fn points_pruned(&self, n: u64) {
+        self.points_pruned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Pruned-point total so far (used by tests).
+    pub fn points_pruned_total(&self) -> u64 {
+        self.points_pruned.load(Ordering::Relaxed)
     }
 
     /// Batch point totals so far as (hit, miss, error) (used by tests).
@@ -363,6 +376,13 @@ impl Metrics {
         );
         let _ = writeln!(
             out,
+            "# HELP hls_serve_points_pruned_total Exploration points skipped by the estimator's dominance pre-pass.\n\
+             # TYPE hls_serve_points_pruned_total counter\n\
+             hls_serve_points_pruned_total {}",
+            self.points_pruned_total()
+        );
+        let _ = writeln!(
+            out,
             "# HELP hls_queue_depth Queued plus in-flight requests.\n\
              # TYPE hls_queue_depth gauge\n\
              hls_queue_depth {}",
@@ -467,6 +487,8 @@ mod tests {
         m.batch_point(BatchOutcome::Miss);
         m.batch_point(BatchOutcome::Error);
         m.batch_cancelled();
+        m.points_pruned(3);
+        m.points_pruned(2);
         m.observe_request("batch", 200, Duration::from_millis(3));
         let text = m.render();
         assert!(text.contains(r#"hls_serve_deprecated_requests_total{endpoint="synthesize"} 2"#));
@@ -477,8 +499,10 @@ mod tests {
         assert!(text.contains(r#"hls_serve_batch_points_total{outcome="miss"} 2"#));
         assert!(text.contains(r#"hls_serve_batch_points_total{outcome="error"} 1"#));
         assert!(text.contains("hls_serve_batch_cancelled_total 1"));
+        assert!(text.contains("hls_serve_points_pruned_total 5"));
         assert!(text.contains(r#"hls_request_duration_seconds_count{endpoint="batch"} 1"#));
         assert_eq!(m.batch_point_totals(), (1, 2, 1));
+        assert_eq!(m.points_pruned_total(), 5);
     }
 
     #[test]

@@ -35,7 +35,9 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use hls_core::par::{default_threads, ThreadPool};
-use hls_core::{cdfg_fingerprint, CancelToken, DesignPoint, Explorer, GridPoint, SynthesisError};
+use hls_core::{
+    cdfg_fingerprint, CancelToken, DesignPoint, Explorer, GridPoint, StreamedPoint, SynthesisError,
+};
 
 use crate::api;
 use crate::cache::{response_key, ResponseCache};
@@ -660,6 +662,11 @@ fn explore(req: &Request, ctx: &Ctx, v1: bool) -> Response {
         use std::fmt::Write as _;
         let mut w = hls_testkit::FnvWriter::new();
         let _ = write!(w, "{:?}", parsed.spec);
+        if parsed.prune {
+            // A pruned response body carries extra members, so it must
+            // not share a cache slot with the exhaustive rendering.
+            w.update(b"/pruned");
+        }
         w.finish()
     };
     let key = response_key("explore", behavior_fp, config_fp, spec_fp);
@@ -670,18 +677,32 @@ fn explore(req: &Request, ctx: &Ctx, v1: bool) -> Response {
         }
         ctx.metrics.cache_miss();
     }
-    let points = match ctx.explorer.sweep_grid_cdfg_cancellable(
-        &parsed.synthesizer,
-        &cdfg,
-        &parsed.spec,
-        &cancel,
-    ) {
-        Ok(p) => p,
-        Err(e) => return synthesis_error_response(&e, ctx, v1),
-    };
-    let rendered = api::explore_response(&points, behavior_fp, config_fp)
-        .render()
-        .into_bytes();
+    let rendered = if parsed.prune {
+        let sweep = match ctx.explorer.sweep_grid_cdfg_pruned_cancellable(
+            &parsed.synthesizer,
+            &cdfg,
+            &parsed.spec,
+            &cancel,
+        ) {
+            Ok(s) => s,
+            Err(e) => return synthesis_error_response(&e, ctx, v1),
+        };
+        ctx.metrics.points_pruned(sweep.stats.pruned as u64);
+        api::explore_response_pruned(&sweep, behavior_fp, config_fp)
+    } else {
+        let points = match ctx.explorer.sweep_grid_cdfg_cancellable(
+            &parsed.synthesizer,
+            &cdfg,
+            &parsed.spec,
+            &cancel,
+        ) {
+            Ok(p) => p,
+            Err(e) => return synthesis_error_response(&e, ctx, v1),
+        };
+        api::explore_response(&points, behavior_fp, config_fp)
+    }
+    .render()
+    .into_bytes();
     let rendered = Arc::new(rendered);
     if ctx.config.cache_capacity > 0 {
         ctx.cache.insert(key, Arc::clone(&rendered));
@@ -770,6 +791,26 @@ impl BatchEmitter {
     }
 }
 
+/// Renders one failed grid point as its NDJSON error record (shared by
+/// the exhaustive and pruned batch callbacks).
+fn batch_error_line(seq: u64, e: &SynthesisError) -> Json {
+    match e {
+        SynthesisError::Cancelled { completed } => api::batch_error_record(
+            seq,
+            "deadline_exceeded",
+            "deadline exceeded",
+            Some(completed),
+        ),
+        other => {
+            let code = match other {
+                SynthesisError::Parse(_) => "unprocessable",
+                _ => "internal",
+            };
+            api::batch_error_record(seq, code, &other.to_string(), None)
+        }
+    }
+}
+
 /// `POST /v1/batch`: streams one NDJSON record per completed grid point
 /// over a chunked response, then a terminal summary line. Returns the
 /// status for the metrics label (499 = client disconnected mid-stream).
@@ -820,64 +861,97 @@ fn batch(req: &Request, stream: &mut TcpStream, ctx: &Ctx) -> u16 {
     if delay > 0 {
         std::thread::sleep(Duration::from_millis(delay));
     }
-    let cb = {
-        let emitter = Arc::clone(&emitter);
-        let results = Arc::clone(&results);
-        let seqs = Arc::clone(&seqs);
-        let points = Arc::new(points.clone());
-        let metrics = Arc::clone(&ctx.metrics);
-        move |idx: usize, res: Result<(DesignPoint, bool), SynthesisError>| {
-            // Test-only pacing: holds this pool worker per point so
-            // tests can observe mid-batch state deterministically.
-            if delay > 0 {
-                std::thread::sleep(Duration::from_millis(delay));
+    let sweep_result: Result<Option<hls_core::PruneStats>, SynthesisError> = if parsed.prune {
+        let cb = {
+            let emitter = Arc::clone(&emitter);
+            let results = Arc::clone(&results);
+            let seqs = Arc::clone(&seqs);
+            let points = Arc::new(points.clone());
+            let metrics = Arc::clone(&ctx.metrics);
+            move |idx: usize, res: Result<StreamedPoint, SynthesisError>| {
+                if delay > 0 {
+                    std::thread::sleep(Duration::from_millis(delay));
+                }
+                let seq = seqs[idx];
+                let line = match res {
+                    Ok(StreamedPoint::Pruned) => {
+                        metrics.points_pruned(1);
+                        api::batch_pruned_record(seq, &points[idx])
+                    }
+                    Ok(StreamedPoint::Synthesized {
+                        point: dp,
+                        cache_hit: hit,
+                    }) => {
+                        metrics.batch_point(if hit {
+                            BatchOutcome::Hit
+                        } else {
+                            BatchOutcome::Miss
+                        });
+                        let record = api::batch_point_record(seq, hit, &points[idx], &dp);
+                        results.lock().expect("results lock")[idx] = Some((dp, hit));
+                        record
+                    }
+                    Err(e) => {
+                        metrics.batch_point(BatchOutcome::Error);
+                        batch_error_line(seq, &e)
+                    }
+                };
+                emitter.push(idx, line.render().into_bytes());
             }
-            let seq = seqs[idx];
-            let line = match res {
-                Ok((dp, hit)) => {
-                    metrics.batch_point(if hit {
-                        BatchOutcome::Hit
-                    } else {
-                        BatchOutcome::Miss
-                    });
-                    let record = api::batch_point_record(seq, hit, &points[idx], &dp);
-                    results.lock().expect("results lock")[idx] = Some((dp, hit));
-                    record
+        };
+        ctx.explorer
+            .sweep_points_cdfg_streaming_pruned(&parsed.synthesizer, &cdfg, points, &cancel, cb)
+            .map(Some)
+    } else {
+        let cb = {
+            let emitter = Arc::clone(&emitter);
+            let results = Arc::clone(&results);
+            let seqs = Arc::clone(&seqs);
+            let points = Arc::new(points.clone());
+            let metrics = Arc::clone(&ctx.metrics);
+            move |idx: usize, res: Result<(DesignPoint, bool), SynthesisError>| {
+                // Test-only pacing: holds this pool worker per point so
+                // tests can observe mid-batch state deterministically.
+                if delay > 0 {
+                    std::thread::sleep(Duration::from_millis(delay));
                 }
-                Err(SynthesisError::Cancelled { completed }) => {
-                    metrics.batch_point(BatchOutcome::Error);
-                    api::batch_error_record(
-                        seq,
-                        "deadline_exceeded",
-                        "deadline exceeded",
-                        Some(completed),
-                    )
-                }
-                Err(e) => {
-                    metrics.batch_point(BatchOutcome::Error);
-                    let code = match &e {
-                        SynthesisError::Parse(_) => "unprocessable",
-                        _ => "internal",
-                    };
-                    api::batch_error_record(seq, code, &e.to_string(), None)
-                }
-            };
-            emitter.push(idx, line.render().into_bytes());
-        }
-    };
-    if let Err(e) =
+                let seq = seqs[idx];
+                let line = match res {
+                    Ok((dp, hit)) => {
+                        metrics.batch_point(if hit {
+                            BatchOutcome::Hit
+                        } else {
+                            BatchOutcome::Miss
+                        });
+                        let record = api::batch_point_record(seq, hit, &points[idx], &dp);
+                        results.lock().expect("results lock")[idx] = Some((dp, hit));
+                        record
+                    }
+                    Err(e) => {
+                        metrics.batch_point(BatchOutcome::Error);
+                        batch_error_line(seq, &e)
+                    }
+                };
+                emitter.push(idx, line.render().into_bytes());
+            }
+        };
         ctx.explorer
             .sweep_points_cdfg_streaming(&parsed.synthesizer, &cdfg, points, &cancel, cb)
-    {
-        // Shared preparation failed before any point ran: the chunked
-        // head is already on the wire, so the error goes out as the
-        // terminal line.
-        let line = api::error_envelope("internal", &e.to_string(), None, None)
-            .render()
-            .into_bytes();
-        emitter.finish(&line);
-        return 200;
-    }
+            .map(|()| None)
+    };
+    let stats = match sweep_result {
+        Ok(stats) => stats,
+        Err(e) => {
+            // Shared preparation failed before any point ran: the chunked
+            // head is already on the wire, so the error goes out as the
+            // terminal line.
+            let line = api::error_envelope("internal", &e.to_string(), None, None)
+                .render()
+                .into_bytes();
+            emitter.finish(&line);
+            return 200;
+        }
+    };
     // Summary over the completed points in *seq* order (completion
     // order varies; the rendering must not).
     let slots = results.lock().expect("results lock");
@@ -891,9 +965,15 @@ fn batch(req: &Request, stream: &mut TcpStream, ctx: &Ctx) -> u16 {
     let ok = completed.len();
     let hits = completed.iter().filter(|(_, _, hit)| *hit).count();
     let pts: Vec<DesignPoint> = completed.iter().map(|(_, dp, _)| dp.clone()).collect();
-    let summary = api::batch_summary(n, ok, n - ok, hits, &pts)
-        .render()
-        .into_bytes();
+    let summary = match stats {
+        Some(stats) => {
+            let errors = n.saturating_sub(ok).saturating_sub(stats.pruned);
+            api::batch_summary_pruned(n, ok, errors, hits, stats.pruned, &pts)
+        }
+        None => api::batch_summary(n, ok, n - ok, hits, &pts),
+    }
+    .render()
+    .into_bytes();
     if emitter.has_failed() {
         ctx.metrics.batch_cancelled();
         return 499;

@@ -645,8 +645,17 @@ impl SeqEmitter {
 /// A worker batch record the front parsed off a sub-batch stream.
 struct ParsedRecord {
     seq: u64,
-    /// `Some` for a completed point, `None` for an error record.
-    point: Option<(DesignPoint, bool)>,
+    outcome: RecordOutcome,
+}
+
+/// How one worker batch record resolved.
+enum RecordOutcome {
+    /// A completed point plus its cache-hit flag.
+    Point(DesignPoint, bool),
+    /// Skipped by the worker's estimator pre-pass (pruned batches only).
+    Pruned,
+    /// An error record.
+    Error,
 }
 
 /// Parses one worker NDJSON line; `None` for summary/terminal lines
@@ -655,7 +664,16 @@ fn parse_record(line: &str) -> Option<ParsedRecord> {
     let v = json::parse(line).ok()?;
     let seq = v.get("seq").and_then(Json::as_u64)?;
     if v.get("error").is_some() {
-        return Some(ParsedRecord { seq, point: None });
+        return Some(ParsedRecord {
+            seq,
+            outcome: RecordOutcome::Error,
+        });
+    }
+    if v.get("pruned").and_then(Json::as_bool) == Some(true) {
+        return Some(ParsedRecord {
+            seq,
+            outcome: RecordOutcome::Pruned,
+        });
     }
     let p = v.get("point")?;
     let r = v.get("result")?;
@@ -671,7 +689,7 @@ fn parse_record(line: &str) -> Option<ParsedRecord> {
     };
     Some(ParsedRecord {
         seq,
-        point: Some((point, hit)),
+        outcome: RecordOutcome::Point(point, hit),
     })
 }
 
@@ -699,6 +717,9 @@ fn sub_batch_body(req: &api::BatchRequest, pts: &[(u64, GridPoint)]) -> Vec<u8> 
                 .collect(),
         ),
     ));
+    if req.prune {
+        members.push(("prune".into(), Json::Bool(true)));
+    }
     if let Some(ms) = req.deadline_ms {
         members.push(("deadline_ms".into(), Json::Num(ms as f64)));
     }
@@ -714,6 +735,8 @@ struct BatchProgress {
     completed: Mutex<Vec<(u64, DesignPoint, bool)>>,
     /// Count of error records forwarded.
     errors: AtomicUsize,
+    /// Count of pruned records forwarded (pruned batches only).
+    pruned: AtomicUsize,
 }
 
 /// Streams one worker sub-batch, forwarding records to the client
@@ -772,8 +795,8 @@ fn dispatch_sub_batch(
                     continue; // worker summary / terminal line: absorbed
                 };
                 delivered.insert(record.seq);
-                match record.point {
-                    Some((dp, hit)) => {
+                match record.outcome {
+                    RecordOutcome::Point(dp, hit) => {
                         ctx.metrics.batch_point(if hit {
                             BatchOutcome::Hit
                         } else {
@@ -785,7 +808,11 @@ fn dispatch_sub_batch(
                             .expect("progress lock")
                             .push((record.seq, dp, hit));
                     }
-                    None => {
+                    RecordOutcome::Pruned => {
+                        ctx.metrics.points_pruned(1);
+                        progress.pruned.fetch_add(1, Ordering::SeqCst);
+                    }
+                    RecordOutcome::Error => {
                         ctx.metrics.batch_point(BatchOutcome::Error);
                         progress.errors.fetch_add(1, Ordering::SeqCst);
                     }
@@ -859,6 +886,7 @@ fn front_batch(req: &Request, stream: &mut TcpStream, ctx: &FrontCtx) -> u16 {
     let progress = BatchProgress {
         completed: Mutex::new(Vec::new()),
         errors: AtomicUsize::new(0),
+        pruned: AtomicUsize::new(0),
     };
     let read_timeout = parsed
         .deadline_ms
@@ -934,9 +962,15 @@ fn front_batch(req: &Request, stream: &mut TcpStream, ctx: &FrontCtx) -> u16 {
     let ok = completed.len();
     let hits = completed.iter().filter(|(_, _, hit)| *hit).count();
     let pts: Vec<DesignPoint> = completed.into_iter().map(|(_, dp, _)| dp).collect();
-    let summary = api::batch_summary(n, ok, n - ok, hits, &pts)
-        .render()
-        .into_bytes();
+    let summary = if parsed.prune {
+        let pruned = progress.pruned.load(Ordering::SeqCst);
+        let errors = n.saturating_sub(ok).saturating_sub(pruned);
+        api::batch_summary_pruned(n, ok, errors, hits, pruned, &pts)
+    } else {
+        api::batch_summary(n, ok, n - ok, hits, &pts)
+    }
+    .render()
+    .into_bytes();
     if !emitter.finish(&summary) {
         ctx.metrics.batch_cancelled();
         return 499;
@@ -1115,7 +1149,9 @@ mod tests {
         let line = r#"{"seq":5,"cache_hit":true,"point":{"fus":2,"algorithm":"asap","control":"hardwired/binary"},"result":{"latency":10,"area":950.5,"registers":7,"mux_inputs":12}}"#;
         let rec = parse_record(line).unwrap();
         assert_eq!(rec.seq, 5);
-        let (dp, hit) = rec.point.unwrap();
+        let RecordOutcome::Point(dp, hit) = rec.outcome else {
+            panic!("expected a completed point");
+        };
         assert!(hit);
         assert_eq!(dp.fus, 2);
         assert_eq!(dp.latency, 10);
@@ -1123,7 +1159,16 @@ mod tests {
 
         let err = parse_record(r#"{"seq":3,"error":{"code":"internal","message":"x"}}"#).unwrap();
         assert_eq!(err.seq, 3);
-        assert!(err.point.is_none());
+        assert!(matches!(err.outcome, RecordOutcome::Error));
+
+        // A pruned record counts as delivered — otherwise the front
+        // would re-dispatch its seq forever.
+        let pruned = parse_record(
+            r#"{"seq":8,"pruned":true,"point":{"fus":1,"algorithm":"asap","control":"microcode"}}"#,
+        )
+        .unwrap();
+        assert_eq!(pruned.seq, 8);
+        assert!(matches!(pruned.outcome, RecordOutcome::Pruned));
 
         assert!(parse_record(r#"{"summary":{"points":2}}"#).is_none());
     }
@@ -1146,5 +1191,18 @@ mod tests {
             reparsed.synthesizer.fingerprint(),
             req.synthesizer.fingerprint()
         );
+        assert!(!reparsed.prune);
+    }
+
+    #[test]
+    fn sub_batch_bodies_carry_the_prune_flag() {
+        let body = json::parse(r#"{"source":"x","grid":{"fus":[1,2]},"prune":true}"#).unwrap();
+        let req = api::BatchRequest::from_json(&body).unwrap();
+        let rendered = sub_batch_body(&req, &req.points);
+        let reparsed = api::BatchRequest::from_json(
+            &json::parse(std::str::from_utf8(&rendered).unwrap()).unwrap(),
+        )
+        .unwrap();
+        assert!(reparsed.prune, "workers must see the front's prune flag");
     }
 }

@@ -390,3 +390,39 @@ fn front_rehashes_batch_when_a_worker_dies_midstream() {
     handle.shutdown();
     runner.join().expect("front thread").expect("front run");
 }
+
+/// A pruned batch through the front: the prune flag reaches the workers,
+/// pruned records stream back in seq order and count as delivered (no
+/// re-dispatch), and the front summary carries the pruned count.
+#[test]
+fn front_batch_passes_the_prune_flag_through() {
+    let cluster = Cluster::start(2, ServerConfig::default());
+    let body = format!(
+        r#"{{"source":{:?},"grid":{{"fus":[1,2],"algorithms":["asap","list/path"],"controls":["hardwired/binary","microcode"]}},"prune":true}}"#,
+        hls_workloads::sources::SQRT
+    );
+    let (status, lines) = post_ndjson(cluster.front_addr, &body);
+    assert_eq!(status, 200, "{lines:?}");
+    assert_eq!(lines.len(), 9, "8 records + summary: {lines:?}");
+    let pruned = lines
+        .iter()
+        .filter(|l| l.contains("\"pruned\":true"))
+        .count();
+    let ok = lines.iter().filter(|l| l.contains("\"result\":")).count();
+    assert!(pruned > 0, "control-collapsed grid must prune: {lines:?}");
+    assert_eq!(ok + pruned, 8, "every seq resolves once: {lines:?}");
+    for (i, line) in lines[..8].iter().enumerate() {
+        assert!(
+            line.starts_with(&format!("{{\"seq\":{i},")),
+            "records stream in seq order: {line}"
+        );
+    }
+    assert!(
+        lines[8].contains(&format!(
+            "\"errors\":0,\"cache_hits\":0,\"pruned\":{pruned}"
+        )),
+        "{}",
+        lines[8]
+    );
+    cluster.stop();
+}

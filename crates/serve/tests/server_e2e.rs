@@ -948,3 +948,143 @@ fn batch_rejects_bad_requests_before_streaming() {
     assert_eq!(legacy.status, 404, "batch is v1-only: {}", legacy.body);
     server.stop();
 }
+
+/// `/v1/explore` with `"prune":true`: the pruned sweep's pareto front is
+/// byte-identical to the exhaustive sweep's, the response carries
+/// `prune_stats` with full agreement, and the pruned-point counter moves.
+#[test]
+fn pruned_explore_matches_exhaustive_pareto_and_reports_stats() {
+    let server = TestServer::start(ServerConfig {
+        threads: 2,
+        ..ServerConfig::default()
+    });
+    let grid = r#"{"fus":[1,2,3,4],"algorithms":["asap","list/path","list/urgency"],"controls":["hardwired/binary","microcode"]}"#;
+    let exhaustive = post(
+        server.addr,
+        "/v1/explore",
+        &format!(
+            r#"{{"source":{:?},"grid":{grid}}}"#,
+            hls_workloads::sources::SQRT
+        ),
+    );
+    assert_eq!(exhaustive.status, 200, "{}", exhaustive.body);
+    let pruned = post(
+        server.addr,
+        "/v1/explore",
+        &format!(
+            r#"{{"source":{:?},"grid":{grid},"prune":true}}"#,
+            hls_workloads::sources::SQRT
+        ),
+    );
+    assert_eq!(pruned.status, 200, "{}", pruned.body);
+
+    // Both bodies render the front under the same `"pareto":[…]` key.
+    let front = |body: &str| {
+        let start = body.find("\"pareto\":[").expect("pareto member");
+        let rest = &body[start..];
+        let end = rest.find("],").expect("pareto end");
+        rest[..=end].to_string()
+    };
+    assert_eq!(
+        front(&exhaustive.body),
+        front(&pruned.body),
+        "pruned front must equal the exhaustive front byte-for-byte"
+    );
+    assert!(
+        pruned.body.contains("\"prune_stats\":{\"estimated\":24,"),
+        "{}",
+        pruned.body
+    );
+    assert!(
+        pruned.body.contains("\"agreement\":1"),
+        "estimator self-check must hold: {}",
+        pruned.body
+    );
+    assert!(
+        !exhaustive.body.contains("prune_stats"),
+        "exhaustive body shape must not change: {}",
+        exhaustive.body
+    );
+
+    // Pruned and exhaustive responses cache under different keys.
+    let again = post(
+        server.addr,
+        "/v1/explore",
+        &format!(
+            r#"{{"source":{:?},"grid":{grid},"prune":true}}"#,
+            hls_workloads::sources::SQRT
+        ),
+    );
+    assert!(
+        again.body.starts_with("{\"cache_hit\":true,"),
+        "{}",
+        again.body
+    );
+    assert_eq!(
+        mask_cache_hit(&again.body),
+        mask_cache_hit(&pruned.body),
+        "warm pruned response must be byte-stable"
+    );
+
+    let metrics = get(server.addr, "/v1/metrics");
+    let total: u64 = metrics
+        .body
+        .lines()
+        .find_map(|l| l.strip_prefix("hls_serve_points_pruned_total "))
+        .expect("pruned counter")
+        .trim()
+        .parse()
+        .expect("counter value");
+    assert!(total > 0, "control-collapsed grid must prune: {total}");
+    server.stop();
+}
+
+/// `/v1/batch` with `"prune":true`: pruned seqs stream back as
+/// `{"seq":k,"pruned":true,…}` records, the summary carries the pruned
+/// count, and every seq is accounted for exactly once.
+#[test]
+fn pruned_batch_streams_pruned_records_and_summary() {
+    let server = TestServer::start(ServerConfig {
+        threads: 2,
+        ..ServerConfig::default()
+    });
+    let body = format!(
+        r#"{{"source":{:?},"grid":{{"fus":[1,2],"algorithms":["asap","list/path"],"controls":["hardwired/binary","microcode"]}},"prune":true}}"#,
+        hls_workloads::sources::SQRT
+    );
+    let (status, _, lines) = post_ndjson(server.addr, "/v1/batch", &body);
+    assert_eq!(status, 200);
+    assert_eq!(lines.len(), 9, "8 records + summary: {lines:?}");
+    let pruned = lines
+        .iter()
+        .filter(|l| l.contains("\"pruned\":true"))
+        .count();
+    let ok = lines.iter().filter(|l| l.contains("\"result\":")).count();
+    assert!(pruned > 0, "control-collapsed grid must prune: {lines:?}");
+    assert_eq!(ok + pruned, 8, "every seq resolves once: {lines:?}");
+    let summary = lines.last().expect("summary line");
+    assert!(
+        summary.contains(&format!(
+            "\"ok\":{ok},\"errors\":0,\"cache_hits\":0,\"pruned\":{pruned}"
+        )),
+        "{summary}"
+    );
+    assert!(summary.contains("\"pareto\":["), "{summary}");
+
+    // Same grid without pruning: the summary pareto front is identical.
+    let exhaustive_body = format!(
+        r#"{{"source":{:?},"grid":{{"fus":[1,2],"algorithms":["asap","list/path"],"controls":["hardwired/binary","microcode"]}}}}"#,
+        hls_workloads::sources::SQRT
+    );
+    let (_, _, exhaustive) = post_ndjson(server.addr, "/v1/batch", &exhaustive_body);
+    let pareto = |line: &str| {
+        let start = line.find("\"pareto\":[").expect("pareto member");
+        line[start..].to_string()
+    };
+    assert_eq!(
+        pareto(summary),
+        pareto(exhaustive.last().expect("summary")),
+        "pruned batch front must equal the exhaustive front"
+    );
+    server.stop();
+}
